@@ -1,0 +1,131 @@
+package clamshell
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/experiments"
+)
+
+// benchExperiment runs one paper experiment per iteration. On the first
+// iteration the regenerated table is printed, so `go test -bench=.` doubles
+// as the paper-reproduction harness (see EXPERIMENTS.md).
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(id, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(benchWriter{b})
+		}
+	}
+}
+
+// benchWriter routes experiment tables through the bench log.
+type benchWriter struct{ b *testing.B }
+
+func (w benchWriter) Write(p []byte) (int, error) {
+	w.b.Log(string(p))
+	return len(p), nil
+}
+
+var _ io.Writer = benchWriter{}
+
+// One benchmark per table/figure of the paper's evaluation (§6).
+
+func BenchmarkFig2(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)        { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)        { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)        { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)       { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)       { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)       { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)       { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)       { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)       { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)       { benchExperiment(b, "fig18") }
+func BenchmarkHeadline(b *testing.B)    { benchExperiment(b, "headline") }
+func BenchmarkConvergence(b *testing.B) { benchExperiment(b, "convergence") }
+func BenchmarkRouting(b *testing.B)     { benchExperiment(b, "routing") }
+func BenchmarkQCDecouple(b *testing.B)  { benchExperiment(b, "qcdecouple") }
+func BenchmarkAsyncRetrain(b *testing.B) {
+	benchExperiment(b, "asyncretrain")
+}
+
+// Extension ablations (paper sec 4.2 Extensions / sec 7 Future Directions).
+
+func BenchmarkObjective(b *testing.B)     { benchExperiment(b, "objective") }
+func BenchmarkEnsemble(b *testing.B)      { benchExperiment(b, "ensemble") }
+func BenchmarkAbandonment(b *testing.B)   { benchExperiment(b, "abandonment") }
+func BenchmarkEarlyStop(b *testing.B)     { benchExperiment(b, "earlystop") }
+func BenchmarkQualification(b *testing.B) { benchExperiment(b, "qualification") }
+func BenchmarkKOS(b *testing.B)           { benchExperiment(b, "kos") }
+func BenchmarkProblem1(b *testing.B)      { benchExperiment(b, "problem1") }
+func BenchmarkFatigue(b *testing.B)       { benchExperiment(b, "fatigue") }
+func BenchmarkCriteria(b *testing.B)      { benchExperiment(b, "criteria") }
+func BenchmarkModels(b *testing.B)        { benchExperiment(b, "models") }
+func BenchmarkMarketDrift(b *testing.B)   { benchExperiment(b, "marketdrift") }
+func BenchmarkTaxonomy(b *testing.B)      { benchExperiment(b, "taxonomy") }
+
+// Micro-benchmarks of the hot substrate paths.
+
+func BenchmarkLabelingRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := Config{Seed: int64(i), PoolSize: 15, NumTasks: 100, GroupSize: 5, Retainer: true,
+			Straggler: StragglerConfig{Enabled: true}}
+		NewEngine(cfg).RunLabeling()
+	}
+}
+
+func BenchmarkLabelingRunMaintained(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := Config{Seed: int64(i), PoolSize: 15, NumTasks: 100, GroupSize: 5, Retainer: true,
+			Straggler:   StragglerConfig{Enabled: true},
+			Maintenance: MaintenanceConfig{Enabled: true, Threshold: 8 * time.Second, UseTermEst: true}}
+		NewEngine(cfg).RunLabeling()
+	}
+}
+
+func BenchmarkLogisticTrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := Guyon(rng, GuyonConfig{N: 500, Features: 50, Informative: 20, Classes: 2, ClassSep: 1.5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr := RunLearning(LearnConfig{
+			Config:       Config{Seed: int64(i), PoolSize: 10, Retainer: true},
+			Dataset:      d,
+			Strategy:     Hybrid,
+			TargetLabels: 100,
+			AsyncRetrain: true,
+		})
+		if lr.FinalAccuracy == 0 {
+			b.Fatal("degenerate run")
+		}
+	}
+}
+
+// smoke check that the bench ids all exist in the registry.
+func TestBenchIDsRegistered(t *testing.T) {
+	for _, id := range []string{
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "headline", "convergence", "routing",
+		"qcdecouple", "asyncretrain", "objective", "ensemble", "abandonment",
+		"earlystop", "qualification", "kos", "problem1", "fatigue",
+		"criteria", "models", "marketdrift", "taxonomy",
+	} {
+		if experiments.Describe(id) == "" {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package clamshell is a Go implementation of CLAMShell, the low-latency
+// crowd data-labeling system of Haas, Wang, Wu and Franklin (VLDB 2015).
+//
+// CLAMShell clamps down on every source of crowdsourcing latency at once:
+//
+//   - Retainer pools eliminate recruitment latency by pre-recruiting workers
+//     and paying them to wait for work.
+//   - Straggler mitigation assigns idle workers as speculative duplicates of
+//     slow in-flight tasks; the first answer wins and the rest are
+//     terminated, collapsing the long tail of batch latency.
+//   - Pool maintenance continuously evicts workers whose empirical speed is
+//     significantly below a threshold, converging the pool toward its
+//     fastest members; TermEst corrects the latency censoring that straggler
+//     mitigation introduces.
+//   - Hybrid learning splits the pool between active (uncertainty sampling)
+//     and passive (random) label acquisition, exploiting full crowd
+//     parallelism while retaining active learning's label efficiency, with
+//     asynchronous model retraining to hide decision latency.
+//
+// The package front-door is this facade: construct a labeling run with
+// NewEngine or a learning run with RunLearning, using the provided
+// CLAMShell/Base-R/Base-NR configurations or your own. Everything runs
+// against a deterministic discrete-event crowd simulator by default; the
+// companion HTTP routing server (cmd/clamshell-server) speaks the same task
+// lifecycle for live deployments.
+//
+// Quickstart:
+//
+//	dataset := clamshell.MNISTLike(rand.New(rand.NewSource(1)), 2000)
+//	cfg := clamshell.CLAMShellConfig(1, 20, dataset)
+//	cfg.TargetLabels = 500
+//	res := clamshell.RunLearning(cfg)
+//	fmt.Println(res.FinalAccuracy, res.Run.TotalTime)
+package clamshell
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/core"
+	"github.com/clamshell/clamshell/internal/learn"
+	"github.com/clamshell/clamshell/internal/metrics"
+	"github.com/clamshell/clamshell/internal/pool"
+	"github.com/clamshell/clamshell/internal/straggler"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// Config parameterizes a labeling run: pool size Np, pool/batch ratio R,
+// records-per-task Ng, quorum, retainer vs open-market recruitment, and the
+// straggler-mitigation and pool-maintenance sub-configurations.
+type Config = core.Config
+
+// Engine executes labeling runs over the simulated crowd. Construct with
+// NewEngine, then call RunLabeling.
+type Engine = core.Engine
+
+// NewEngine builds an engine and its substrate (simulator, crowd platform,
+// mitigator, maintainer) for one run.
+func NewEngine(cfg Config) *Engine { return core.NewEngine(cfg) }
+
+// LearnConfig parameterizes a full learning run: the dataset, acquisition
+// strategy, active fraction, label budget and retraining mode, on top of a
+// labeling Config.
+type LearnConfig = core.LearnConfig
+
+// LearnResult bundles a learning run's measurements with its accuracy-over-
+// time curve.
+type LearnResult = core.LearnResult
+
+// RunLearning executes a full learning run: iteratively select points per
+// the strategy, label them through the crowd, retrain, and track accuracy.
+func RunLearning(cfg LearnConfig) *LearnResult { return core.RunLearning(cfg) }
+
+// CLAMShellConfig returns the full CLAMShell stack: retainer pool, straggler
+// mitigation, pool maintenance with TermEst, hybrid learning, asynchronous
+// retraining.
+func CLAMShellConfig(seed int64, poolSize int, dataset *Dataset) LearnConfig {
+	return core.CLAMShellConfig(seed, poolSize, dataset)
+}
+
+// BaseRConfig returns the Base-R baseline: retainer pool with pure active
+// learning, no mitigation or maintenance, synchronous retraining.
+func BaseRConfig(seed int64, poolSize int, dataset *Dataset) LearnConfig {
+	return core.BaseRConfig(seed, poolSize, dataset)
+}
+
+// BaseNRConfig returns the Base-NR baseline: open-market recruitment (no
+// retainer pool) with passive learning.
+func BaseNRConfig(seed int64, poolSize int, dataset *Dataset) LearnConfig {
+	return core.BaseNRConfig(seed, poolSize, dataset)
+}
+
+// StragglerConfig controls straggler mitigation: on/off, routing policy,
+// speculation limit, and the naive coupled-QC mode used only for ablation.
+type StragglerConfig = straggler.Config
+
+// RoutingPolicy selects which in-flight task a speculative worker joins.
+type RoutingPolicy = straggler.Policy
+
+// Routing policies for speculative assignment. The paper finds the choice
+// does not matter; Random is the default.
+const (
+	Random         RoutingPolicy = straggler.Random
+	LongestRunning RoutingPolicy = straggler.LongestRunning
+	FewestActive   RoutingPolicy = straggler.FewestActive
+	Oracle         RoutingPolicy = straggler.Oracle
+)
+
+// MaintenanceConfig controls pool maintenance: the latency threshold PMℓ,
+// the significance level, TermEst, the warm-reserve size, and the
+// maintenance objective.
+type MaintenanceConfig = pool.Config
+
+// MaintenanceObjective selects what pool maintenance optimizes for.
+type MaintenanceObjective = pool.Objective
+
+// Maintenance objectives: evict on speed (the paper's core algorithm), on
+// inter-worker agreement, or on a weighted combination (§4.2 Extensions).
+const (
+	MaintainSpeed    MaintenanceObjective = pool.Speed
+	MaintainQuality  MaintenanceObjective = pool.Quality
+	MaintainWeighted MaintenanceObjective = pool.Weighted
+)
+
+// Dataset is a dense labeled dataset for learning runs.
+type Dataset = learn.Dataset
+
+// Strategy selects the label-acquisition strategy.
+type Strategy = learn.Strategy
+
+// Label-acquisition strategies.
+const (
+	Passive Strategy = learn.Passive
+	Active  Strategy = learn.Active
+	Hybrid  Strategy = learn.Hybrid
+)
+
+// GuyonConfig parameterizes the synthetic classification-dataset generator.
+type GuyonConfig = learn.GuyonConfig
+
+// Guyon generates a synthetic classification dataset of tunable hardness.
+func Guyon(rng *rand.Rand, cfg GuyonConfig) *Dataset { return learn.Guyon(rng, cfg) }
+
+// MNISTLike generates the 10-class, 784-feature stand-in for MNIST digits.
+func MNISTLike(rng *rand.Rand, n int) *Dataset { return learn.MNISTLike(rng, n) }
+
+// CIFARLike generates the hard binary, 3072-feature stand-in for the
+// paper's Birds-vs-Airplanes CIFAR-10 task.
+func CIFARLike(rng *rand.Rand, n int) *Dataset { return learn.CIFARLike(rng, n) }
+
+// RunResult is the full measurement record of a labeling run: total time,
+// per-batch statistics, cost accounting, per-assignment trace, label
+// timeline and worker-age samples.
+type RunResult = metrics.RunResult
+
+// BatchStat summarizes one labeled batch (latency, task-latency spread,
+// mean pool latency, workers replaced).
+type BatchStat = metrics.BatchStat
+
+// LearningCurve is an accuracy-over-time series.
+type LearningCurve = metrics.LearningCurve
+
+// Cost is money in exact integer micro-dollars.
+type Cost = metrics.Cost
+
+// Accounting breaks a run's spend into wait pay, work pay, terminated-work
+// pay and recruitment.
+type Accounting = metrics.Accounting
+
+// WorkerParams are the latent latency/accuracy parameters of one crowd
+// worker.
+type WorkerParams = worker.Params
+
+// Population is a distribution over worker parameters from which the
+// platform recruits.
+type Population = worker.Population
+
+// LivePopulation returns the seconds-scale worker population matching the
+// paper's live MTurk experiments.
+func LivePopulation(rng *rand.Rand) Population { return worker.Live(rng) }
+
+// MedicalPopulation returns the minutes-scale heavy-tailed population
+// matching the paper's medical-abstract deployment.
+func MedicalPopulation(rng *rand.Rand) Population { return worker.Medical(rng) }
+
+// BimodalPopulation returns a fast/slow mixture population.
+func BimodalPopulation(rng *rand.Rand, fracFast float64, fastMean, slowMean time.Duration) Population {
+	return worker.Bimodal(rng, fracFast, fastMean, slowMean)
+}

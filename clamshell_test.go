@@ -1,0 +1,90 @@
+package clamshell
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cfg := Config{
+		Seed: 1, PoolSize: 10, NumTasks: 40, GroupSize: 5, Retainer: true,
+		Straggler:   StragglerConfig{Enabled: true, Policy: Random},
+		Maintenance: MaintenanceConfig{Enabled: true, Threshold: 8 * time.Second, UseTermEst: true},
+	}
+	res := NewEngine(cfg).RunLabeling()
+	if res.TotalLabels() != 200 {
+		t.Fatalf("labels = %d", res.TotalLabels())
+	}
+	if res.TotalTime <= 0 || res.Cost.Total() <= 0 {
+		t.Fatalf("degenerate run: %v %v", res.TotalTime, res.Cost.Total())
+	}
+}
+
+func TestIncrementalEngineFlow(t *testing.T) {
+	cfg := Config{Seed: 2, PoolSize: 8, GroupSize: 1, Classes: 3, Retainer: true,
+		Straggler: StragglerConfig{Enabled: true}}
+	e := NewEngine(cfg)
+	e.Start()
+	for i := 0; i < 3; i++ {
+		stat := e.LabelBatch(8)
+		if stat.Labels != 8 {
+			t.Fatalf("batch %d labels = %d", i, stat.Labels)
+		}
+	}
+	labels, accuracy := e.ConsensusLabels()
+	if len(labels) != 24 {
+		t.Fatalf("consensus over %d tasks, want 24", len(labels))
+	}
+	if accuracy < 0.6 {
+		t.Fatalf("consensus accuracy = %v", accuracy)
+	}
+	res := e.Finish()
+	if len(res.Batches) != 3 {
+		t.Fatalf("batches = %d", len(res.Batches))
+	}
+}
+
+func TestLearningFlow(t *testing.T) {
+	d := Guyon(rand.New(rand.NewSource(3)), GuyonConfig{
+		N: 300, Features: 10, Informative: 8, Classes: 2, ClassSep: 2,
+	})
+	cfg := CLAMShellConfig(4, 10, d)
+	cfg.TargetLabels = 120
+	res := RunLearning(cfg)
+	if res.FinalAccuracy < 0.8 {
+		t.Fatalf("accuracy = %v", res.FinalAccuracy)
+	}
+}
+
+func TestDatasetConstructors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if d := MNISTLike(rng, 20); d.Classes != 10 || d.Features != 784 {
+		t.Fatalf("MNISTLike = %+v", d)
+	}
+	if d := CIFARLike(rng, 20); d.Classes != 2 || d.Features != 3072 {
+		t.Fatalf("CIFARLike = %+v", d)
+	}
+}
+
+func TestPopulationConstructors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, pop := range []Population{
+		LivePopulation(rng),
+		MedicalPopulation(rng),
+		BimodalPopulation(rng, 0.5, time.Second, 10*time.Second),
+	} {
+		p := pop.Draw()
+		if p.Mean <= 0 || p.Accuracy <= 0 {
+			t.Fatalf("bad params %+v", p)
+		}
+	}
+}
+
+func TestBaselineConstructorsDiffer(t *testing.T) {
+	d := Guyon(rand.New(rand.NewSource(7)), GuyonConfig{N: 100, Features: 6})
+	cs, br, nr := CLAMShellConfig(1, 10, d), BaseRConfig(1, 10, d), BaseNRConfig(1, 10, d)
+	if cs.Strategy == br.Strategy || br.Retainer == nr.Retainer {
+		t.Fatal("baseline configs should differ")
+	}
+}

@@ -1,0 +1,46 @@
+// Command clamshell-bench regenerates the CLAMShell paper's tables and
+// figures on the simulated crowd.
+//
+// Usage:
+//
+//	clamshell-bench -list
+//	clamshell-bench -exp fig9 [-seed 42]
+//	clamshell-bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/clamshell/clamshell/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (see -list)")
+	seed := flag.Int64("seed", 42, "base random seed")
+	list := flag.Bool("list", false, "list available experiments")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-12s %s\n", id, experiments.Describe(id))
+		}
+	case *all:
+		for _, r := range experiments.RunAll(*seed) {
+			r.Format(os.Stdout)
+		}
+	case *exp != "":
+		r, err := experiments.Run(*exp, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r.Format(os.Stdout)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,252 @@
+// Command clamshell-ctl is an operator CLI for a running clamshell-server:
+// inspect pool and queue health, per-worker stats, spend, task results and
+// live metrics; submit tasks; snapshot and restore the server's durable
+// state across restarts.
+//
+// Usage:
+//
+//	clamshell-ctl [-addr http://localhost:8080] <command> [args]
+//
+// Commands:
+//
+//	status                         pool and queue counters
+//	workers                        per-worker latency and throughput
+//	costs                          accumulated spend by component
+//	metrics                        Prometheus-format metrics page
+//	result -task <id>              task state and consensus labels
+//	consensus [-estimator E]       cross-task consensus (majority | em | kos)
+//	submit -records a,b,c [-classes N] [-quorum K]
+//	                               enqueue one task, print its id
+//	snapshot [-o file]             download durable state (default stdout)
+//	restore -i file                upload durable state
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "server base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	c := server.NewClient(*addr)
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "status":
+		err = runStatus(c)
+	case "workers":
+		err = runWorkers(c)
+	case "costs":
+		err = runCosts(c)
+	case "metrics":
+		err = runMetrics(c)
+	case "result":
+		err = runResult(c, args)
+	case "consensus":
+		err = runConsensus(c, args)
+	case "submit":
+		err = runSubmit(c, args)
+	case "snapshot":
+		err = runSnapshot(c, args)
+	case "restore":
+		err = runRestore(c, args)
+	default:
+		fmt.Fprintf(os.Stderr, "clamshell-ctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clamshell-ctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: clamshell-ctl [-addr URL] <command> [args]
+
+commands:
+  status                                  pool and queue counters
+  workers                                 per-worker latency and throughput
+  costs                                   accumulated spend by component
+  metrics                                 Prometheus-format metrics page
+  result   -task <id>                     task state and consensus labels
+  consensus [-estimator majority|em|kos]  cross-task consensus + worker scores
+  submit   -records a,b,c [-classes N] [-quorum K]
+  snapshot [-o file]                      download durable state
+  restore  -i file                        upload durable state
+`)
+}
+
+func runStatus(c *server.Client) error {
+	st, err := c.Status()
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%-12s %d\n", k, st[k])
+	}
+	return nil
+}
+
+func runWorkers(c *server.Client) error {
+	ws, err := c.Workers()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-5s %-16s %-10s %-14s %-8s\n", "id", "name", "completed", "mean s/record", "working")
+	for _, w := range ws {
+		fmt.Printf("%-5d %-16s %-10d %-14.2f %-8v\n",
+			w.ID, w.Name, w.Completed, w.MeanPerRec, w.Working)
+	}
+	return nil
+}
+
+func runCosts(c *server.Client) error {
+	costs, err := c.Costs()
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(costs))
+	for k := range costs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%-24s $%.4f\n", k, costs[k])
+	}
+	return nil
+}
+
+func runMetrics(c *server.Client) error {
+	body, err := c.Metricsz()
+	if err != nil {
+		return err
+	}
+	fmt.Print(body)
+	return nil
+}
+
+func runResult(c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	task := fs.Int("task", 0, "task id")
+	fs.Parse(args)
+	if *task == 0 {
+		return fmt.Errorf("result: -task is required")
+	}
+	st, err := c.Result(*task)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("task %d: %s (%d answers, %d active)\n", st.ID, st.State, st.Answers, st.Active)
+	if st.State == "complete" {
+		for i, rec := range st.Records {
+			fmt.Printf("  %-30q -> %d\n", rec, st.Consensus[i])
+		}
+	}
+	return nil
+}
+
+func runConsensus(c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("consensus", flag.ExitOnError)
+	estimator := fs.String("estimator", "majority", "majority | em | kos")
+	fs.Parse(args)
+	res, err := c.Consensus(*estimator)
+	if err != nil {
+		return err
+	}
+	taskIDs := make([]int, 0, len(res.Labels))
+	for id := range res.Labels {
+		taskIDs = append(taskIDs, id)
+	}
+	sort.Ints(taskIDs)
+	fmt.Printf("estimator: %s (%d tasks with votes)\n", res.Estimator, len(taskIDs))
+	for _, id := range taskIDs {
+		fmt.Printf("  task %-5d -> %v\n", id, res.Labels[id])
+	}
+	if len(res.WorkerScores) > 0 {
+		workerIDs := make([]int, 0, len(res.WorkerScores))
+		for id := range res.WorkerScores {
+			workerIDs = append(workerIDs, id)
+		}
+		sort.Ints(workerIDs)
+		fmt.Println("worker scores (em: accuracy; kos: reliability, negative = adversarial):")
+		for _, id := range workerIDs {
+			fmt.Printf("  worker %-4d %+.3f\n", id, res.WorkerScores[id])
+		}
+	}
+	return nil
+}
+
+func runSubmit(c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	records := fs.String("records", "", "comma-separated record payloads")
+	classes := fs.Int("classes", 2, "number of label classes")
+	quorum := fs.Int("quorum", 1, "answers required per task")
+	fs.Parse(args)
+	if *records == "" {
+		return fmt.Errorf("submit: -records is required")
+	}
+	ids, err := c.SubmitTasks([]server.TaskSpec{{
+		Records: strings.Split(*records, ","),
+		Classes: *classes,
+		Quorum:  *quorum,
+	}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("task %d submitted\n", ids[0])
+	return nil
+}
+
+func runSnapshot(c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	data, err := c.Snapshot()
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return nil
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot written to %s (%d bytes)\n", *out, len(data))
+	return nil
+}
+
+func runRestore(c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("restore", flag.ExitOnError)
+	in := fs.String("i", "", "snapshot file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("restore: -i is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	if err := c.Restore(data); err != nil {
+		return err
+	}
+	fmt.Println("restored")
+	return nil
+}

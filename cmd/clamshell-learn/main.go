@@ -1,0 +1,177 @@
+// Command clamshell-learn runs a full CLAMShell learning experiment from
+// flags: pick (or load) a dataset, choose a strategy and stack, label
+// through the simulated crowd, and report the learning curve and the final
+// label assignment (crowd labels + model imputations).
+//
+// Usage:
+//
+//	clamshell-learn [-dataset mnistlike|cifarlike|guyon] [-csv file]
+//	                [-strategy hybrid|active|passive] [-pool 20]
+//	                [-labels 500] [-stack clamshell|base-r|base-nr]
+//	                [-curve out.csv] [-out labels.csv] [-seed 42]
+//
+// -csv loads a dataset in the interchange format (feature columns then an
+// integer label column; see internal/learn's dataset CSV docs) instead of
+// a builtin generator. -curve writes the accuracy-over-time series;
+// -out writes the final label per training point and whether it came from
+// the crowd or the model.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/core"
+	"github.com/clamshell/clamshell/internal/learn"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "mnistlike", "builtin dataset: mnistlike | cifarlike | guyon")
+		csvPath  = flag.String("csv", "", "load dataset from a CSV file instead (features..., label)")
+		n        = flag.Int("n", 2000, "points to generate for builtin datasets")
+		strategy = flag.String("strategy", "hybrid", "label acquisition: hybrid | active | passive")
+		pool     = flag.Int("pool", 20, "retainer pool size")
+		labels   = flag.Int("labels", 500, "label budget")
+		stack    = flag.String("stack", "clamshell", "technique stack: clamshell | base-r | base-nr")
+		curve    = flag.String("curve", "", "write the accuracy-over-time curve CSV here")
+		out      = flag.String("out", "", "write the final label assignment CSV here")
+		seed     = flag.Int64("seed", 42, "base random seed")
+	)
+	flag.Parse()
+
+	d, err := loadDataset(*dataset, *csvPath, *n, *seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var cfg core.LearnConfig
+	switch *stack {
+	case "clamshell":
+		cfg = core.CLAMShellConfig(*seed, *pool, d)
+	case "base-r":
+		cfg = core.BaseRConfig(*seed, *pool, d)
+	case "base-nr":
+		cfg = core.BaseNRConfig(*seed, *pool, d)
+	default:
+		fatal("unknown stack %q (want clamshell, base-r or base-nr)", *stack)
+	}
+	switch *strategy {
+	case "hybrid":
+		cfg.Strategy = learn.Hybrid
+	case "active":
+		cfg.Strategy = learn.Active
+	case "passive":
+		cfg.Strategy = learn.Passive
+	default:
+		fatal("unknown strategy %q (want hybrid, active or passive)", *strategy)
+	}
+	cfg.TargetLabels = *labels
+
+	res := core.RunLearning(cfg)
+
+	fmt.Printf("dataset: %d points, %d features, %d classes\n", d.Len(), d.Features, d.Classes)
+	fmt.Printf("stack %s, strategy %s, pool %d, budget %d labels\n",
+		*stack, cfg.Strategy, *pool, *labels)
+	fmt.Printf("crowd labels: %d in %v (%s)\n",
+		res.CrowdLabeled, res.Run.TotalTime.Round(time.Second), res.Run.Cost.Total())
+	fmt.Printf("final held-out accuracy: %.3f\n", res.FinalAccuracy)
+	if res.CrowdLabeled < len(res.Labels) {
+		fmt.Printf("imputed %d labels at %.3f accuracy against ground truth\n",
+			len(res.Labels)-res.CrowdLabeled, res.ImputedAccuracy)
+	}
+
+	if *curve != "" {
+		if err := writeCurve(*curve, res); err != nil {
+			fatal("writing curve: %v", err)
+		}
+		fmt.Printf("learning curve written to %s (%d points)\n", *curve, len(res.Curve))
+	}
+	if *out != "" {
+		if err := writeLabels(*out, res); err != nil {
+			fatal("writing labels: %v", err)
+		}
+		fmt.Printf("label assignment written to %s (%d rows)\n", *out, len(res.Labels))
+	}
+}
+
+func loadDataset(name, csvPath string, n int, seed int64) (*learn.Dataset, error) {
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return learn.ReadDatasetCSV(f)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "mnistlike":
+		return learn.MNISTLike(rng, n), nil
+	case "cifarlike":
+		return learn.CIFARLike(rng, n), nil
+	case "guyon":
+		return learn.Guyon(rng, learn.GuyonConfig{
+			N: n, Features: 20, Informative: 14, Classes: 2, ClassSep: 1.5,
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want mnistlike, cifarlike or guyon, or use -csv)", name)
+	}
+}
+
+func writeCurve(path string, res *core.LearnResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write([]string{"seconds", "labels", "accuracy"}); err != nil {
+		return err
+	}
+	for _, p := range res.Curve {
+		rec := []string{
+			strconv.FormatFloat(p.T.Seconds(), 'f', 3, 64),
+			strconv.Itoa(p.Labels),
+			strconv.FormatFloat(p.Accuracy, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeLabels(path string, res *core.LearnResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write([]string{"index", "label", "source"}); err != nil {
+		return err
+	}
+	for i, l := range res.Labels {
+		src := "model"
+		if res.FromCrowd[i] {
+			src = "crowd"
+		}
+		if err := cw.Write([]string{strconv.Itoa(i), strconv.Itoa(l), src}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "clamshell-learn: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command clamshell-plan runs the Problem 1 planner from flags: it sweeps
+// candidate pool sizes and pool/batch ratios over the simulator, scores
+// each configuration under the objective βl + (1−β)c, and prints the
+// guidance table with the cost/latency Pareto frontier marked.
+//
+// Usage:
+//
+//	clamshell-plan [-beta 0.5] [-tasks 100] [-group 5] [-quorum 1]
+//	               [-pools 5,10,15,20,30] [-ratios 0.75,1] [-trials 3]
+//	               [-population live|medical|bimodal] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/core"
+	"github.com/clamshell/clamshell/internal/optimizer"
+	"github.com/clamshell/clamshell/internal/straggler"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+func main() {
+	var (
+		beta    = flag.Float64("beta", 0.5, "speed vs cost preference in [0,1]: 1 = all speed")
+		tasks   = flag.Int("tasks", 100, "tasks in the workload")
+		group   = flag.Int("group", 5, "records per task (Ng)")
+		quorum  = flag.Int("quorum", 1, "answers required per task")
+		pools   = flag.String("pools", "5,10,15,20,30", "candidate pool sizes, comma-separated")
+		ratios  = flag.String("ratios", "0.75,1", "candidate pool/batch ratios, comma-separated")
+		trials  = flag.Int("trials", 3, "simulations per candidate")
+		popName = flag.String("population", "live", "worker market: live | medical | bimodal")
+		seed    = flag.Int64("seed", 42, "base random seed")
+	)
+	flag.Parse()
+
+	poolSizes, err := parseInts(*pools)
+	if err != nil {
+		fatal("parsing -pools: %v", err)
+	}
+	ratioVals, err := parseFloats(*ratios)
+	if err != nil {
+		fatal("parsing -ratios: %v", err)
+	}
+	pop, err := population(*popName)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	g := optimizer.Plan(optimizer.Params{
+		Base: core.Config{
+			Seed:       *seed,
+			NumTasks:   *tasks,
+			GroupSize:  *group,
+			Quorum:     *quorum,
+			Retainer:   true,
+			Population: pop,
+			Straggler:  straggler.Config{Enabled: true},
+		},
+		Beta:      *beta,
+		PoolSizes: poolSizes,
+		Ratios:    ratioVals,
+		Trials:    *trials,
+	})
+	g.Format(os.Stdout)
+	best := g.Best()
+	fmt.Printf("\nrecommendation: p=%d at R=%.2f (expect %v +/- %v, %s)\n",
+		best.PoolSize, best.Ratio,
+		best.Latency.Round(time.Second), best.LatencyStd.Round(time.Second), best.Cost)
+}
+
+func population(name string) (func(*rand.Rand) worker.Population, error) {
+	switch name {
+	case "live":
+		return worker.Live, nil
+	case "medical":
+		return worker.Medical, nil
+	case "bimodal":
+		return func(rng *rand.Rand) worker.Population {
+			return worker.Bimodal(rng, 0.6, 3*time.Second, 15*time.Second)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown population %q (want live, medical or bimodal)", name)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "clamshell-plan: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Command clamshell-server runs the retainer-pool HTTP routing server for
+// live crowd deployments. Workers join, heartbeat, poll for tasks and
+// submit labels; clients enqueue tasks and read consensus results.
+//
+// Usage:
+//
+//	clamshell-server -addr :8080 -speculation 1 -worker-timeout 2m
+//
+// API (JSON over HTTP):
+//
+//	POST /api/join        {"name": "..."}                 -> {"worker_id": N}
+//	POST /api/heartbeat   {"worker_id": N}
+//	POST /api/leave       {"worker_id": N}
+//	POST /api/tasks       {"tasks": [{records, classes, quorum}]} -> {"task_ids": [...]}
+//	GET  /api/task?worker_id=N                            -> assignment or 204
+//	POST /api/submit      {"worker_id", "task_id", "labels"}
+//	GET  /api/result?task_id=N                            -> status + consensus
+//	GET  /api/status                                      -> pool counters
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	spec := flag.Int("speculation", 1, "speculative duplicates per outstanding answer")
+	timeout := flag.Duration("worker-timeout", 2*time.Minute, "expire workers after this heartbeat silence")
+	maintenance := flag.Duration("maintenance-threshold", 0, "retire workers slower than this per record (0 = off)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		SpeculationLimit:     *spec,
+		WorkerTimeout:        *timeout,
+		MaintenanceThreshold: *maintenance,
+	})
+	log.Printf("clamshell-server listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

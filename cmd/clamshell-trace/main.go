@@ -1,0 +1,46 @@
+// Command clamshell-trace renders a per-assignment trace CSV (written by
+// clamshell-sim -trace, or by RunResult.Trace.WriteCSV) as an ASCII Gantt
+// chart — the terminal rendition of the paper's Figure 13.
+//
+// Usage:
+//
+//	clamshell-sim -tasks 100 -sm -trace run.csv
+//	clamshell-trace -in run.csv -width 120 -workers 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/clamshell/clamshell/internal/gantt"
+	"github.com/clamshell/clamshell/internal/metrics"
+	"github.com/clamshell/clamshell/internal/simclock"
+)
+
+func main() {
+	in := flag.String("in", "", "trace CSV file (required)")
+	width := flag.Int("width", 100, "chart width in columns")
+	workers := flag.Int("workers", 30, "max worker rows (0 = all)")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := metrics.ReadTraceCSV(f, simclock.Epoch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := gantt.Render(os.Stdout, tr, gantt.Options{Width: *width, MaxWorkers: *workers}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

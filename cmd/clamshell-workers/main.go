@@ -1,0 +1,123 @@
+// Command clamshell-workers drives a pool of simulated crowd workers
+// against a running clamshell-server: each worker joins the retainer pool,
+// polls for tasks, labels them with configurable latency and accuracy, and
+// heartbeats while idle. Use it to demo or load-test the routing server
+// without a real crowd:
+//
+//	clamshell-server -addr :8080 &
+//	clamshell-workers -server http://localhost:8080 -n 10 -mean 2s
+//
+// Workers run until interrupted. A fraction of them can be made stragglers
+// to exercise straggler mitigation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+func main() {
+	var (
+		base     = flag.String("server", "http://localhost:8080", "clamshell-server base URL")
+		n        = flag.Int("n", 10, "number of simulated workers")
+		mean     = flag.Duration("mean", 2*time.Second, "mean per-record work time")
+		accuracy = flag.Float64("accuracy", 0.9, "per-record answer accuracy")
+		slowFrac = flag.Float64("slow", 0.2, "fraction of workers that are 5x stragglers")
+		seed     = flag.Int64("seed", 1, "random seed")
+		poll     = flag.Duration("poll", 250*time.Millisecond, "idle polling interval")
+	)
+	flag.Parse()
+
+	stop := make(chan struct{})
+	go func() {
+		c := make(chan os.Signal, 1)
+		signal.Notify(c, os.Interrupt)
+		<-c
+		close(stop)
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(id)))
+			slow := rng.Float64() < *slowFrac
+			myMean := *mean
+			if slow {
+				myMean *= 5
+			}
+			runWorker(id, *base, myMean, *accuracy, *poll, rng, stop)
+		}(i)
+	}
+	log.Printf("%d simulated workers polling %s (ctrl-c to stop)", *n, *base)
+	wg.Wait()
+}
+
+// runWorker is one simulated worker's loop: join, poll, work, submit.
+func runWorker(id int, base string, mean time.Duration, accuracy float64,
+	poll time.Duration, rng *rand.Rand, stop <-chan struct{}) {
+	c := server.NewClient(base)
+	name := fmt.Sprintf("sim-%d", id)
+	wid, err := c.Join(name)
+	if err != nil {
+		log.Printf("%s: join failed: %v", name, err)
+		return
+	}
+	log.Printf("%s joined as worker %d (mean %v)", name, wid, mean)
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			c.Leave(wid)
+			return
+		case <-ticker.C:
+		}
+		a, ok, err := c.FetchTask(wid)
+		if err != nil {
+			log.Printf("%s: retired or server gone: %v", name, err)
+			return
+		}
+		if !ok {
+			c.Heartbeat(wid)
+			continue
+		}
+		// Work: lognormal-ish latency around mean, scaled by record count.
+		perRec := mean.Seconds() * math.Exp(rng.NormFloat64()*0.4)
+		work := time.Duration(perRec * float64(len(a.Records)) * float64(time.Second))
+		select {
+		case <-stop:
+			c.Leave(wid)
+			return
+		case <-time.After(work):
+		}
+		labels := make([]int, len(a.Records))
+		for i := range labels {
+			if rng.Float64() < accuracy {
+				labels[i] = 0 // "correct" placeholder class
+			} else {
+				labels[i] = rng.Intn(a.Classes)
+			}
+		}
+		accepted, terminated, err := c.Submit(wid, a.TaskID, labels)
+		if err != nil {
+			log.Printf("%s: submit failed: %v", name, err)
+			return
+		}
+		if terminated {
+			log.Printf("%s: task %d was already done (straggled, still paid)", name, a.TaskID)
+		} else if accepted {
+			log.Printf("%s: completed task %d", name, a.TaskID)
+		}
+	}
+}

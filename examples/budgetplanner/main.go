@@ -1,0 +1,75 @@
+// Command budgetplanner demonstrates the paper's Problem 1 (The Crowd
+// Labeling Problem): given a labeling workload and a speed-versus-cost
+// preference β, how large should the retainer pool be, and at what
+// pool/batch ratio should work be issued?
+//
+// The planner sweeps candidate (p, R) configurations over the simulator,
+// scores each under the objective βl + (1−β)c, and prints the guidance
+// table with the cost/latency Pareto frontier marked — the "guidance about
+// how the cost and latency will be affected by changing p" that the paper
+// promises in §2.2.
+//
+// Run it:
+//
+//	go run ./examples/budgetplanner
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	clamshell "github.com/clamshell/clamshell"
+)
+
+func main() {
+	// The workload: 100 entity-resolution style tasks, two records per
+	// task, on a market that mixes fast and slow workers.
+	base := clamshell.Config{
+		Seed:      1,
+		NumTasks:  100,
+		GroupSize: 2,
+		Retainer:  true,
+		Population: func(rng *rand.Rand) clamshell.Population {
+			return clamshell.BimodalPopulation(rng, 0.6, 3*time.Second, 15*time.Second)
+		},
+		Straggler: clamshell.StragglerConfig{Enabled: true},
+	}
+
+	fmt.Println("Planning a 100-task labeling run across pool sizes and ratios.")
+	fmt.Println()
+
+	// An interactive dashboard wants answers now: β = 0.9.
+	speed := clamshell.Plan(clamshell.PlanParams{
+		Base:      base,
+		Beta:      0.9,
+		PoolSizes: []int{5, 10, 20, 30},
+		Ratios:    []float64{0.75, 1},
+	})
+	clamshell.FormatGuidance(speed, os.Stdout)
+	best := speed.Best()
+	fmt.Printf("interactive deployment (beta=0.9): run p=%d at R=%.2f "+
+		"(expect %v, %s)\n\n", best.PoolSize, best.Ratio,
+		best.Latency.Round(time.Second), best.Cost)
+
+	// A nightly batch job wants cheap: β = 0.1.
+	budget := clamshell.Plan(clamshell.PlanParams{
+		Base:      base,
+		Beta:      0.1,
+		PoolSizes: []int{5, 10, 20, 30},
+		Ratios:    []float64{0.75, 1},
+	})
+	best = budget.Best()
+	fmt.Printf("batch deployment (beta=0.1): run p=%d at R=%.2f "+
+		"(expect %v, %s)\n\n", best.PoolSize, best.Ratio,
+		best.Latency.Round(time.Second), best.Cost)
+
+	// The Pareto frontier is the menu of rational configurations for any
+	// preference in between.
+	fmt.Println("cost/latency Pareto frontier (any other configuration is dominated):")
+	for _, o := range speed.Pareto() {
+		fmt.Printf("  p=%-3d R=%.2f  %8v  %s\n",
+			o.PoolSize, o.Ratio, o.Latency.Round(time.Second), o.Cost)
+	}
+}

@@ -1,0 +1,202 @@
+// Livelearning: the full CLAMShell learning loop over the live HTTP
+// routing server, in one process. This is the wall-clock counterpart of
+// the simulator's RunLearning:
+//
+//   - an AsyncRetrainer continuously retrains a model in the background
+//     and publishes snapshots (§5.3: decision latency is off the critical
+//     path);
+//   - each round, the batcher scores unlabeled points against the latest
+//     snapshot and submits the uncertain ones at high priority and random
+//     fill at low priority — the hybrid selector expressed through the
+//     server's priority queue;
+//   - a swarm of simulated worker clients labels points with human-like
+//     noise over HTTP, exactly the protocol a real crowd frontend speaks.
+//
+// Run it:
+//
+//	go run ./examples/livelearning
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	clamshell "github.com/clamshell/clamshell"
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+const (
+	poolSize     = 8
+	activeShare  = 0.5 // k = r*p uncertainty-sampled points per round
+	targetLabels = 160
+)
+
+func main() {
+	// An easy binary dataset: active selection genuinely helps here.
+	data := clamshell.Guyon(rand.New(rand.NewSource(1)), clamshell.GuyonConfig{
+		N: 1200, Features: 12, Informative: 9, Classes: 2, ClassSep: 1.6,
+	})
+	train, test := data.Split(rand.New(rand.NewSource(2)), 0.25)
+
+	srv := server.New(server.Config{SpeculationLimit: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("routing server at %s; labeling %d points with %d live workers\n",
+		ts.URL, targetLabels, poolSize)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	startWorkers(ts.URL, train.Y, stop, &wg)
+
+	retrainer := clamshell.NewAsyncRetrainer(train.Features, train.Classes, 3)
+	defer retrainer.Close()
+
+	client := server.NewClient(ts.URL)
+	rng := rand.New(rand.NewSource(4))
+	labeled := make(map[int]bool)
+	start := time.Now()
+
+	for len(labeled) < targetLabels {
+		k := int(math.Round(poolSize * activeShare))
+		points := selectPoints(rng, retrainer, train, labeled, k, poolSize-k)
+		if len(points) == 0 {
+			break
+		}
+		ids := submitPoints(client, points, k)
+
+		// Collect this round's answers and feed the retrainer.
+		for i, taskID := range ids {
+			idx := points[i]
+			labels := awaitResult(client, taskID)
+			labeled[idx] = true
+			retrainer.Observe(idx, train.X[idx], labels[0])
+		}
+
+		if model, _ := retrainer.Model(); model != nil && len(labeled)%(poolSize*4) == 0 {
+			fmt.Printf("  %3d labels, %5.1fs: held-out accuracy %.3f\n",
+				len(labeled), time.Since(start).Seconds(),
+				model.Accuracy(test.X, test.Y))
+		}
+	}
+
+	// Wait for the final fit over everything observed.
+	for retrainer.Fits() == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	model, version := retrainer.Model()
+	fmt.Printf("done: %d crowd labels in %.1fs, model v%d, final accuracy %.3f\n",
+		len(labeled), time.Since(start).Seconds(), version,
+		model.Accuracy(test.X, test.Y))
+
+	close(stop)
+	wg.Wait()
+}
+
+// selectPoints picks k uncertain points under the latest model snapshot
+// (random before the first fit) plus fill random points.
+func selectPoints(rng *rand.Rand, ar *clamshell.AsyncRetrainer, train *clamshell.Dataset,
+	labeled map[int]bool, k, fill int) []int {
+	var pool []int
+	for i := 0; i < train.Len(); i++ {
+		if !labeled[i] {
+			pool = append(pool, i)
+		}
+	}
+	if len(pool) <= k+fill {
+		return pool
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	model, _ := ar.Model()
+	if model == nil {
+		return pool[:k+fill]
+	}
+	// Score a candidate sample, take the k most uncertain, fill randomly.
+	cands := pool
+	if len(cands) > 200 {
+		cands = cands[:200]
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return model.Uncertainty(train.X[cands[i]]) > model.Uncertainty(train.X[cands[j]])
+	})
+	return cands[:k+fill]
+}
+
+// submitPoints sends the round to the server: the first k points at high
+// priority (the uncertainty-sampled ones), the rest at priority 0.
+func submitPoints(c *server.Client, points []int, k int) []int {
+	specs := make([]server.TaskSpec, len(points))
+	for i, idx := range points {
+		prio := 0
+		if i < k {
+			prio = 10
+		}
+		specs[i] = server.TaskSpec{
+			Records:  []string{fmt.Sprintf("point-%d", idx)},
+			Classes:  2,
+			Quorum:   1,
+			Priority: prio,
+		}
+	}
+	ids, err := c.SubmitTasks(specs)
+	if err != nil {
+		panic(err)
+	}
+	return ids
+}
+
+// awaitResult polls until the task completes and returns its consensus.
+func awaitResult(c *server.Client, taskID int) []int {
+	for {
+		st, err := c.Result(taskID)
+		if err == nil && st.State == "complete" {
+			return st.Consensus
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// startWorkers launches the simulated crowd: each worker polls for tasks,
+// parses the point index from the record payload, and answers the true
+// label with 90% probability after a short human-like delay.
+func startWorkers(baseURL string, truth []int, stop chan struct{}, wg *sync.WaitGroup) {
+	for w := 0; w < poolSize; w++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + n)))
+			wc := server.NewClient(baseURL)
+			wid, err := wc.Join(fmt.Sprintf("live-worker-%d", n))
+			if err != nil {
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					wc.Leave(wid)
+					return
+				default:
+				}
+				a, ok, err := wc.FetchTask(wid)
+				if err != nil || !ok {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				idx, _ := strconv.Atoi(strings.TrimPrefix(a.Records[0], "point-"))
+				label := truth[idx]
+				if rng.Float64() >= 0.9 {
+					label = 1 - label
+				}
+				time.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+				wc.Submit(wid, a.TaskID, []int{label})
+			}
+		}(w)
+	}
+}

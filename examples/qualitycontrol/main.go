@@ -1,0 +1,94 @@
+// Command qualitycontrol demonstrates redundancy-based quality control on a
+// hostile crowd: items are labeled with k-fold redundancy by a worker pool
+// containing spammers (random answers) and adversaries (systematically
+// wrong answers), and three aggregation estimators compete to recover the
+// truth:
+//
+//   - majority vote — the baseline every crowd system starts from,
+//   - EM (Dawid–Skene style) — jointly infers worker accuracies and labels,
+//   - KOS — the Karger–Oh–Shah iterative message-passing estimator, the
+//     CLAMShell paper's citation [28] for reliable crowdsourcing.
+//
+// All of CLAMShell's latency techniques are compatible with these
+// estimators: straggler mitigation is decoupled from quality control, so a
+// task simply stays active until its quorum of answers arrives, and the
+// answers are aggregated here.
+//
+// Run it:
+//
+//	go run ./examples/qualitycontrol
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	clamshell "github.com/clamshell/clamshell"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// A 40-worker market: half reliable, a third spammers, the rest
+	// adversarial. Mean accuracy stays above 1/2 — the identifiability
+	// condition every unsupervised estimator needs.
+	var accuracies []float64
+	for i := 0; i < 20; i++ {
+		accuracies = append(accuracies, 0.92)
+	}
+	for i := 0; i < 13; i++ {
+		accuracies = append(accuracies, 0.5)
+	}
+	for i := 0; i < 7; i++ {
+		accuracies = append(accuracies, 0.12)
+	}
+
+	const items = 500
+	fmt.Printf("labeling %d binary items with a crowd of %d workers\n", items, len(accuracies))
+	fmt.Printf("(20 reliable @0.92, 13 spammers @0.50, 7 adversaries @0.12)\n\n")
+	fmt.Printf("%-11s %-9s %-6s %-6s\n", "redundancy", "majority", "EM", "KOS")
+
+	for _, redundancy := range []int{3, 5, 7, 9} {
+		votes, truth := simulateVotes(rng, items, redundancy, accuracies)
+		maj := clamshell.LabelAccuracy(clamshell.MajorityLabels(votes), truth)
+		em := clamshell.LabelAccuracy(clamshell.EstimateAccuracy(votes, 2, 20).Labels, truth)
+		kos := clamshell.LabelAccuracy(clamshell.KOS(votes, 10, rng).Labels, truth)
+		fmt.Printf("%-11d %-9.3f %-6.3f %-6.3f\n", redundancy, maj, em, kos)
+	}
+
+	// KOS also tells you who the adversaries are: reliability < 0.
+	votes, _ := simulateVotes(rng, items, 7, accuracies)
+	res := clamshell.KOS(votes, 10, rng)
+	flagged := 0
+	for w, rel := range res.Reliability {
+		if rel < 0 && int(w) > len(accuracies)-7 {
+			flagged++
+			_ = w
+		}
+	}
+	fmt.Printf("\nKOS flagged %d/7 adversaries with negative reliability\n", flagged)
+	fmt.Println("(feed these into pool maintenance's quality objective to evict them)")
+}
+
+// simulateVotes draws a random bipartite vote graph: each item receives
+// redundancy votes from distinct workers, each answering correctly with
+// their own accuracy.
+func simulateVotes(rng *rand.Rand, items, redundancy int, accuracies []float64) ([]clamshell.Vote, map[int]int) {
+	truth := make(map[int]int, items)
+	var votes []clamshell.Vote
+	for i := 0; i < items; i++ {
+		truth[i] = rng.Intn(2)
+		for _, w := range rng.Perm(len(accuracies))[:redundancy] {
+			label := truth[i]
+			if rng.Float64() >= accuracies[w] {
+				label = 1 - label
+			}
+			votes = append(votes, clamshell.Vote{
+				Item:   i,
+				Worker: clamshell.WorkerID(w + 1),
+				Label:  label,
+			})
+		}
+	}
+	return votes, truth
+}

@@ -1,0 +1,66 @@
+// Sentiment: the paper's running example (§3, Example 1). A news outlet
+// covers a live political debate and needs crowd sentiment labels for each
+// burst of tweets fast enough for a live visualization. Tweets stream in
+// window by window; each window is pushed to the retained crowd as one
+// batch, and the consensus labels come back within seconds.
+//
+// This example uses the incremental Engine API (Start / LabelBatch /
+// Finish) that a streaming application would drive.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/clamshell/clamshell"
+)
+
+func main() {
+	cfg := clamshell.Config{
+		Seed:      7,
+		PoolSize:  15,
+		GroupSize: 1, // one tweet per task
+		Classes:   3, // positive / negative / neutral
+		Retainer:  true,
+		Straggler: clamshell.StragglerConfig{Enabled: true, Policy: clamshell.Random},
+		Maintenance: clamshell.MaintenanceConfig{
+			Enabled:    true,
+			Threshold:  8 * time.Second,
+			UseTermEst: true,
+		},
+	}
+	engine := clamshell.NewEngine(cfg)
+	engine.Start() // recruit and warm the pool before the debate starts
+
+	windows := []struct {
+		moment string
+		tweets int
+	}{
+		{"candidate A opening statement", 12},
+		{"exchange on healthcare", 15},
+		{"candidate B gaffe goes viral", 25},
+		{"closing statements", 10},
+	}
+
+	fmt.Println("live debate sentiment labeling (3 classes)")
+	labeled := 0
+	for _, w := range windows {
+		stat := engine.LabelBatch(w.tweets)
+		labels, agreement := engine.ConsensusLabels()
+		counts := [3]int{}
+		for _, task := range labels[labeled:] {
+			counts[task[0]]++
+		}
+		labeled = len(labels)
+		fmt.Printf("  %-32s %2d tweets in %-7v  pos=%d neg=%d neutral=%d (label quality %.0f%%)\n",
+			w.moment, w.tweets, stat.Latency.Round(100*time.Millisecond),
+			counts[0], counts[1], counts[2], agreement*100)
+	}
+
+	res := engine.Finish()
+	fmt.Printf("\ntotal: %d labels in %v for %v (%.2f labels/s)\n",
+		res.TotalLabels(), res.TotalTime.Round(time.Second),
+		res.Cost.Total(), res.Throughput())
+	fmt.Println("every window returned fast enough to keep a live dashboard current —")
+	fmt.Println("the paper's bar for interactive use is single-digit-second variance.")
+}

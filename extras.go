@@ -1,0 +1,124 @@
+package clamshell
+
+import (
+	"io"
+	"math/rand"
+
+	"github.com/clamshell/clamshell/internal/learn"
+	"github.com/clamshell/clamshell/internal/optimizer"
+	"github.com/clamshell/clamshell/internal/quality"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// This file exports the subsystems beyond the core labeling loop: the
+// Problem 1 planner, redundancy-based quality control (majority vote, EM
+// and the Karger–Oh–Shah iterative estimator), the uncertainty-criterion
+// and classifier choices behind the learning loop, and nonstationary
+// worker dynamics.
+
+// PlanParams configures a Problem 1 planning sweep: the run template, the
+// speed/cost preference β, and the candidate pool sizes and ratios.
+type PlanParams = optimizer.Params
+
+// PlanGuidance is the planner's output: every candidate configuration
+// scored under β, sorted best-first, with a Pareto frontier.
+type PlanGuidance = optimizer.Guidance
+
+// PlanOption is one evaluated (pool size, ratio) configuration.
+type PlanOption = optimizer.Option
+
+// Plan sweeps candidate pool sizes and pool/batch ratios over the
+// simulator and scores each under the paper's Problem 1 objective
+// βl + (1−β)c — the pool-size guidance promised in §2.2.
+func Plan(p PlanParams) *PlanGuidance { return optimizer.Plan(p) }
+
+// FormatGuidance renders planner guidance as an aligned table with Pareto
+// options marked.
+func FormatGuidance(g *PlanGuidance, w io.Writer) { g.Format(w) }
+
+// WorkerID identifies a worker within a run.
+type WorkerID = worker.ID
+
+// Vote is one worker's label for one item, the unit of evidence for the
+// quality-control estimators.
+type Vote = quality.Vote
+
+// KOSResult is the output of the Karger–Oh–Shah estimator: consensus
+// labels and per-worker reliabilities (negative = adversarial).
+type KOSResult = quality.KOSResult
+
+// KOS runs the Karger–Oh–Shah iterative message-passing estimator over
+// binary votes (the paper's [28]) — far more robust than majority voting
+// against spammers and adversaries.
+func KOS(votes []Vote, maxIter int, rng *rand.Rand) KOSResult {
+	return quality.KOS(votes, maxIter, rng)
+}
+
+// EMResult is the output of the EM (Dawid–Skene style) estimator.
+type EMResult = quality.EMResult
+
+// EstimateAccuracy runs EM over votes, jointly inferring consensus labels
+// and per-worker accuracies.
+func EstimateAccuracy(votes []Vote, classes, maxIter int) EMResult {
+	return quality.EstimateAccuracy(votes, classes, maxIter)
+}
+
+// MajorityLabels applies per-item plurality voting — the baseline the
+// other estimators are compared against.
+func MajorityLabels(votes []Vote) map[int]int { return quality.MajorityLabels(votes) }
+
+// LabelAccuracy scores estimated labels against ground truth.
+func LabelAccuracy(estimated, truth map[int]int) float64 {
+	return quality.LabelAccuracy(estimated, truth)
+}
+
+// Criterion selects the uncertainty score for active point selection.
+type Criterion = learn.Criterion
+
+// Uncertainty criteria for active selection: margin (the paper's), least
+// confident, entropy, and query-by-committee vote entropy.
+const (
+	MarginCriterion    Criterion = learn.MarginCriterion
+	LeastConfident     Criterion = learn.LeastConfident
+	EntropyCriterion   Criterion = learn.EntropyCriterion
+	CommitteeCriterion Criterion = learn.CommitteeCriterion
+)
+
+// Classifier is the model interface behind the learning loop.
+type Classifier = learn.Classifier
+
+// NewClassifier constructs a model by name: "logistic" (the paper's
+// default), "naivebayes", "knn" or "perceptron".
+func NewClassifier(name string, features, classes int) Classifier {
+	return learn.NewClassifier(name, features, classes)
+}
+
+// ModelNames lists the available classifier names.
+func ModelNames() []string { return learn.ModelNames() }
+
+// ReadDatasetCSV loads a dataset in the interchange format: feature
+// columns followed by an integer class label, with a header row.
+func ReadDatasetCSV(r io.Reader) (*Dataset, error) { return learn.ReadDatasetCSV(r) }
+
+// WriteDatasetCSV writes a dataset in the interchange format.
+func WriteDatasetCSV(w io.Writer, d *Dataset) error { return learn.WriteDatasetCSV(w, d) }
+
+// AsyncRetrainer continuously retrains a model in a background goroutine
+// and publishes immutable snapshots — the live-mode (wall-clock)
+// implementation of §5.3's pipelined retraining. Feed it labels with
+// Observe, read the latest snapshot with Model, and Close it when done.
+type AsyncRetrainer = learn.AsyncRetrainer
+
+// NewAsyncRetrainer starts a background retrainer for the given problem
+// shape.
+func NewAsyncRetrainer(features, classes int, seed int64) *AsyncRetrainer {
+	return learn.NewAsyncRetrainer(features, classes, seed)
+}
+
+// WithDynamics wraps a population with nonstationary worker behaviour:
+// fatigue (fractional slowdown per completed task) and warmup (initial
+// tasks are slower) — the drift that makes continuous pool maintenance
+// necessary.
+func WithDynamics(pop Population, fatigue float64, warmup int) Population {
+	return worker.WithDynamics(pop, fatigue, warmup)
+}

@@ -1,0 +1,140 @@
+package clamshell
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlanFacade(t *testing.T) {
+	g := Plan(PlanParams{
+		Base: Config{
+			Seed: 1, NumTasks: 20, GroupSize: 2, Retainer: true,
+			Population: func(rng *rand.Rand) Population {
+				return BimodalPopulation(rng, 0.6, 3*time.Second, 12*time.Second)
+			},
+			Straggler: StragglerConfig{Enabled: true},
+		},
+		Beta:      0.5,
+		PoolSizes: []int{5, 10},
+		Ratios:    []float64{1},
+		Trials:    1,
+	})
+	if len(g.Options) != 2 {
+		t.Fatalf("got %d options, want 2", len(g.Options))
+	}
+	var sb strings.Builder
+	FormatGuidance(g, &sb)
+	if !strings.Contains(sb.String(), "beta=0.50") {
+		t.Fatalf("guidance table missing beta:\n%s", sb.String())
+	}
+}
+
+func TestQualityFacade(t *testing.T) {
+	votes := []Vote{
+		{Item: 0, Worker: 1, Label: 1},
+		{Item: 0, Worker: 2, Label: 1},
+		{Item: 0, Worker: 3, Label: 0},
+		{Item: 1, Worker: 1, Label: 0},
+		{Item: 1, Worker: 2, Label: 0},
+		{Item: 1, Worker: 3, Label: 0},
+	}
+	truth := map[int]int{0: 1, 1: 0}
+	if acc := LabelAccuracy(MajorityLabels(votes), truth); acc != 1 {
+		t.Fatalf("majority accuracy = %v, want 1", acc)
+	}
+	if acc := LabelAccuracy(KOS(votes, 10, nil).Labels, truth); acc != 1 {
+		t.Fatalf("KOS accuracy = %v, want 1", acc)
+	}
+	if acc := LabelAccuracy(EstimateAccuracy(votes, 2, 20).Labels, truth); acc != 1 {
+		t.Fatalf("EM accuracy = %v, want 1", acc)
+	}
+}
+
+func TestClassifierFacade(t *testing.T) {
+	for _, name := range ModelNames() {
+		m := NewClassifier(name, 2, 2)
+		m.Fit([][]float64{{0, 0}, {5, 5}}, []int{0, 1}, rand.New(rand.NewSource(1)))
+		if got := m.Predict([]float64{5, 5}); got != 1 {
+			t.Errorf("%s: Predict = %d, want 1", name, got)
+		}
+	}
+}
+
+func TestLearningWithCriterionAndCommittee(t *testing.T) {
+	d := Guyon(rand.New(rand.NewSource(2)), GuyonConfig{
+		N: 400, Features: 8, Informative: 6, Classes: 2, ClassSep: 1.8,
+	})
+	for _, lc := range []LearnConfig{
+		{
+			Config:       Config{Seed: 3, PoolSize: 10, Retainer: true},
+			Dataset:      d,
+			Strategy:     Hybrid,
+			TargetLabels: 80,
+			AsyncRetrain: true,
+			Criterion:    EntropyCriterion,
+		},
+		{
+			Config:        Config{Seed: 3, PoolSize: 10, Retainer: true},
+			Dataset:       d,
+			Strategy:      Hybrid,
+			TargetLabels:  80,
+			AsyncRetrain:  true,
+			CommitteeSize: 3,
+		},
+	} {
+		res := RunLearning(lc)
+		if res.FinalAccuracy < 0.75 {
+			t.Errorf("criterion=%v committee=%d: accuracy %.2f, want >= 0.75",
+				lc.Criterion, lc.CommitteeSize, res.FinalAccuracy)
+		}
+	}
+}
+
+func TestDatasetCSVFacade(t *testing.T) {
+	d := Guyon(rand.New(rand.NewSource(5)), GuyonConfig{
+		N: 30, Features: 3, Informative: 2, Classes: 2, ClassSep: 1.5,
+	})
+	var buf strings.Builder
+	if err := WriteDatasetCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatasetCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.Features != d.Features {
+		t.Fatalf("round trip shape (%d, %d), want (%d, %d)",
+			got.Len(), got.Features, d.Len(), d.Features)
+	}
+}
+
+func TestAsyncRetrainerFacade(t *testing.T) {
+	ar := NewAsyncRetrainer(1, 2, 1)
+	defer ar.Close()
+	for i := 0; i < 20; i++ {
+		ar.Observe(i, []float64{float64(i % 2)}, i%2)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m, _ := ar.Model(); m != nil {
+			if got := m.Predict([]float64{1}); got != 1 {
+				t.Fatalf("Predict(1) = %d, want 1", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no model published within 5s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestWithDynamicsFacade(t *testing.T) {
+	pop := WithDynamics(LivePopulation(rand.New(rand.NewSource(4))), 0.05, 2)
+	p := pop.Draw()
+	if p.Fatigue != 0.05 || p.Warmup != 2 {
+		t.Fatalf("dynamics not applied: %+v", p)
+	}
+}

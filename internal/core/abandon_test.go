@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/pool"
+	"github.com/clamshell/clamshell/internal/straggler"
+)
+
+func TestAbandonmentPoolIsRefilled(t *testing.T) {
+	// Workers stay ~2 minutes on average; the run takes much longer, so the
+	// pool would drain to nothing without automatic refill.
+	e := NewEngine(Config{
+		Seed: 21, PoolSize: 10, NumTasks: 150, GroupSize: 5, Retainer: true,
+		MeanStay:  2 * time.Minute,
+		Straggler: straggler.Config{Enabled: true},
+	})
+	res := e.RunLabeling()
+	if res.TotalLabels() != 750 {
+		t.Fatalf("labels = %d, want 750", res.TotalLabels())
+	}
+	// The run must have survived abandonment: more distinct workers appear
+	// in the trace than the pool size.
+	if workers := len(res.Trace.ByWorker()); workers <= 10 {
+		t.Fatalf("only %d workers seen; abandonment/refill never happened", workers)
+	}
+	// Pool should still be near target at the end.
+	if got := e.Platform().PoolSize(); got < 5 {
+		t.Fatalf("pool drained to %d", got)
+	}
+}
+
+func TestAbandonmentWithMaintenance(t *testing.T) {
+	// Abandonment and maintenance interact: reserve workers can leave too.
+	// The run must still complete.
+	e := NewEngine(Config{
+		Seed: 22, PoolSize: 8, NumTasks: 100, GroupSize: 5, Retainer: true,
+		MeanStay:    90 * time.Second,
+		Straggler:   straggler.Config{Enabled: true},
+		Maintenance: pool.Config{Enabled: true, Threshold: 8 * time.Second, UseTermEst: true},
+	})
+	res := e.RunLabeling()
+	if res.TotalLabels() != 500 {
+		t.Fatalf("labels = %d", res.TotalLabels())
+	}
+}
+
+func TestNoAbandonmentByDefault(t *testing.T) {
+	e := NewEngine(Config{Seed: 23, PoolSize: 5, NumTasks: 20, Retainer: true})
+	res := e.RunLabeling()
+	if workers := len(res.Trace.ByWorker()); workers != 5 {
+		t.Fatalf("workers = %d, want exactly the pool with no abandonment", workers)
+	}
+}
+
+func TestAbandonmentDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed: 24, PoolSize: 6, NumTasks: 60, Retainer: true,
+		MeanStay:  time.Minute,
+		Straggler: straggler.Config{Enabled: true},
+	}
+	a := NewEngine(cfg).RunLabeling()
+	b := NewEngine(cfg).RunLabeling()
+	if a.TotalTime != b.TotalTime || a.Cost != b.Cost {
+		t.Fatal("abandonment broke determinism")
+	}
+}

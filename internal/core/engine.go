@@ -1,0 +1,738 @@
+// Package core is the CLAMShell engine: the Batcher that groups work, the
+// LifeGuard scheduler that routes tasks to retainer-pool slots, and the glue
+// binding straggler mitigation, pool maintenance, quality control and the
+// learning loop into end-to-end labeling runs (paper §3, Figure 1). It also
+// implements the two baselines of §6.6: Base-NR (no retainer pool, passive
+// learning) and Base-R (retainer pool, pure active learning).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/crowd"
+	"github.com/clamshell/clamshell/internal/learn"
+	"github.com/clamshell/clamshell/internal/metrics"
+	"github.com/clamshell/clamshell/internal/pool"
+	"github.com/clamshell/clamshell/internal/quality"
+	"github.com/clamshell/clamshell/internal/simclock"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/straggler"
+	"github.com/clamshell/clamshell/internal/task"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// Config parameterizes a labeling run. Zero values get the defaults of the
+// paper's live experiments (§6.1–6.3): Np=15, R=1, Ng=5, quorum 1, Live
+// worker population.
+type Config struct {
+	Seed int64
+
+	PoolSize       int     // Np: retainer pool size
+	PoolBatchRatio float64 // R = Npool/Nbatch; batch size = round(Np/R)
+	GroupSize      int     // Ng: records per task
+	Quorum         int     // answers required per task (quality control)
+	NumTasks       int     // tasks to label in RunLabeling
+	Classes        int     // label classes for synthetic truth
+
+	// Retainer selects the retainer-pool model. When false (Base-NR) the
+	// run posts work to the open market: recruitment latency counts against
+	// the run, no wait pay is owed, and workers churn — each leaves after a
+	// geometric number of tasks (mean ChurnTasks) and must be replaced.
+	Retainer bool
+
+	// ChurnTasks is the mean number of tasks an open-market worker
+	// completes before leaving (default 8). Ignored in retainer mode.
+	ChurnTasks float64
+
+	// MeanStay, when positive, makes retained workers abandon the pool
+	// after an exponential dwell time. The engine maintains the pool at
+	// PoolSize by recruiting a replacement for every abandonment (paper
+	// §2.2: "CLAMShell automatically maintains the pool size at p as
+	// workers abandon the pool"). Zero disables abandonment.
+	MeanStay time.Duration
+
+	// Qualification, when positive, gates recruitment behind a gold-record
+	// test of that many records (paper §2.2: workers are trained and
+	// verified during recruitment so pool workers are immediately useful).
+	Qualification int
+
+	// GoldFraction, in (0, 1), makes that fraction of tasks gold-standard
+	// catch trials: their answers are scored against known truth and feed
+	// quality-aware pool maintenance even when Quorum is 1 (standard
+	// crowdsourcing quality-control practice, compatible with every
+	// CLAMShell technique per §1).
+	GoldFraction float64
+
+	// Population builds the worker population; default worker.Live.
+	Population func(rng *rand.Rand) worker.Population
+
+	Straggler   straggler.Config
+	Maintenance pool.Config
+}
+
+func (c *Config) fillDefaults() {
+	if c.PoolSize == 0 {
+		c.PoolSize = 15
+	}
+	if c.PoolBatchRatio == 0 {
+		c.PoolBatchRatio = 1
+	}
+	if c.GroupSize == 0 {
+		c.GroupSize = 5
+	}
+	if c.Quorum == 0 {
+		c.Quorum = 1
+	}
+	if c.NumTasks == 0 {
+		c.NumTasks = 100
+	}
+	if c.Classes == 0 {
+		c.Classes = 2
+	}
+	if c.Population == nil {
+		c.Population = worker.Live
+	}
+	if c.ChurnTasks == 0 {
+		c.ChurnTasks = 8
+	}
+}
+
+// BatchSize returns round(Np/R), minimum 1.
+func (c *Config) BatchSize() int {
+	b := int(math.Round(float64(c.PoolSize) / c.PoolBatchRatio))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Engine executes labeling runs over the simulated crowd.
+type Engine struct {
+	cfg Config
+
+	sim        *simclock.Sim
+	rng        *rand.Rand
+	platform   *crowd.Platform
+	mitigator  *straggler.Mitigator
+	maintainer *pool.Maintainer
+
+	set     *task.Set
+	started bool
+	startT  time.Time
+
+	allTasks []*task.Task
+	nextID   int
+	batchIdx int
+	gold     map[task.ID]bool // catch-trial tasks scored against truth
+
+	result metrics.RunResult
+	labels int // cumulative labels for the timeline
+
+	// onTaskComplete, when set, fires for every completed task (used by the
+	// learning loop to feed the trainer).
+	onTaskComplete func(*task.Task)
+}
+
+// NewEngine builds an engine and its substrate for one run.
+func NewEngine(cfg Config) *Engine {
+	cfg.fillDefaults()
+	e := &Engine{cfg: cfg}
+	e.sim = simclock.NewSim()
+	e.rng = stats.NewRand(cfg.Seed)
+	popRNG := stats.NewRand(cfg.Seed + 1)
+	crowdCfg := crowd.Config{
+		Sim:        e.sim,
+		RNG:        stats.NewRand(cfg.Seed + 2),
+		Population: cfg.Population(popRNG),
+		Seed:       cfg.Seed + 3,
+	}
+	if !cfg.Retainer {
+		crowdCfg.WaitPayPerMin = -1 // open market: nobody is paid to wait
+	}
+	if cfg.Retainer && cfg.MeanStay > 0 {
+		crowdCfg.MeanStay = cfg.MeanStay
+		crowdCfg.OnAbandon = func(s *crowd.Slot) { e.handleAbandon(s) }
+	}
+	crowdCfg.Qualification = cfg.Qualification
+	e.platform = crowd.New(crowdCfg)
+	e.mitigator = straggler.New(cfg.Straggler, e.platform, stats.NewRand(cfg.Seed+4))
+	e.maintainer = pool.New(cfg.Maintenance, e.platform)
+
+	e.platform.OnAssignmentFinished = e.handleCompletion
+	e.maintainer.OnEvict = func(s *crowd.Slot) {
+		e.mitigator.HandleEviction(s)
+		// An eviction may have orphaned a task; wake any idle slots.
+		e.routeAvailable()
+	}
+	e.maintainer.OnReplace = func(s *crowd.Slot) { e.route(s) }
+	return e
+}
+
+// Sim exposes the engine's simulator (examples and tests advance it).
+func (e *Engine) Sim() *simclock.Sim { return e.sim }
+
+// Platform exposes the engine's crowd platform.
+func (e *Engine) Platform() *crowd.Platform { return e.platform }
+
+// Maintainer exposes the engine's pool maintainer.
+func (e *Engine) Maintainer() *pool.Maintainer { return e.maintainer }
+
+// route sends one idle slot to work; in non-retainer mode slots with no
+// work leave the market (no wait pay accrues off-pool).
+func (e *Engine) route(s *crowd.Slot) {
+	if s.Busy() || s.Evicted() {
+		return
+	}
+	if e.maintainer != nil && !e.maintainer.InPool(s) {
+		return // reserve workers don't label until promoted
+	}
+	if a := e.mitigator.RouteIdle(s); a != nil {
+		e.maintainer.ObserveStart(s, a.Task.Records)
+	}
+}
+
+// routeAvailable routes every idle slot.
+func (e *Engine) routeAvailable() {
+	for _, s := range e.platform.Available() {
+		e.route(s)
+	}
+}
+
+// handleCompletion is the platform callback for finished assignments.
+func (e *Engine) handleCompletion(s *crowd.Slot, a *task.Assignment, ans task.Answer) {
+	t := a.Task
+	perRecord := ans.Latency().Seconds() / float64(t.Records)
+	e.result.AgeSamples = append(e.result.AgeSamples, metrics.AgeSample{
+		Worker:   s.Worker.ID,
+		Age:      s.TasksDone - 1, // age when the task started
+		PerLabel: perRecord,
+		At:       e.sim.Now().Sub(e.startT),
+	})
+
+	if e.gold[t.ID] && t.Truth != nil {
+		match := 0
+		for r, l := range ans.Labels {
+			if r < len(t.Truth) && l == t.Truth[r] {
+				match++
+			}
+		}
+		e.maintainer.ObserveQuality(s.Worker.ID, float64(match)/float64(len(ans.Labels)))
+	}
+
+	freed, completed := e.mitigator.HandleCompletion(s, a, ans)
+	e.maintainer.ObserveCompletion(s, t.Records, ans.Latency())
+	for _, f := range freed {
+		e.maintainer.ObserveTermination(f, perRecord)
+	}
+	if completed {
+		e.labels += t.Records
+		e.result.LabelTimeline = append(e.result.LabelTimeline, metrics.TimelinePoint{
+			T:      e.sim.Now().Sub(e.startT),
+			Labels: e.labels,
+		})
+		if t.Quorum > 1 {
+			// Quorum tasks carry a quality signal: each voter's leave-one-
+			// out agreement with the other votes feeds quality-aware pool
+			// maintenance (own votes are excluded so a worker cannot vouch
+			// for themselves).
+			votes, _ := quality.VotesFromTasks([]*task.Task{t})
+			for w, rate := range quality.Agreement(votes) {
+				e.maintainer.ObserveQuality(w, rate)
+			}
+		}
+		if e.onTaskComplete != nil {
+			e.onTaskComplete(t)
+		}
+	}
+	for _, f := range freed {
+		e.route(f)
+	}
+	if !e.cfg.Retainer && e.rng.Float64() < 1/e.cfg.ChurnTasks {
+		// Open-market churn: the worker leaves; post a replacement
+		// recruitment task (its latency is on the critical path).
+		e.platform.Evict(s)
+		e.mitigator.HandleEviction(s)
+		e.platform.Recruit(func(ns *crowd.Slot) {
+			e.maintainer.AddToPool(ns)
+			e.route(ns)
+		})
+		return
+	}
+	e.route(s)
+}
+
+// handleAbandon refills the pool after a retained worker leaves: cleanup
+// the scheduler's bookkeeping, wake idle slots (the abandoned task returned
+// to the queue), and recruit a replacement into the pool.
+func (e *Engine) handleAbandon(s *crowd.Slot) {
+	e.mitigator.HandleEviction(s)
+	e.routeAvailable()
+	if !e.maintainer.InPool(s) {
+		// A warm reserve worker left; top the reserve back up.
+		e.maintainer.EnsureReserve()
+		return
+	}
+	e.maintainer.RemoveFromPool(s)
+	e.platform.Recruit(func(ns *crowd.Slot) {
+		e.maintainer.AddToPool(ns)
+		e.route(ns)
+	})
+}
+
+// setupPool recruits the initial retainer pool and (if maintenance is on)
+// the warm reserve. In retainer mode the clock is then re-based: the paper
+// measures from the moment the first task is sent, amortizing recruitment.
+func (e *Engine) setupPool() {
+	e.platform.RecruitN(e.cfg.PoolSize, func(s *crowd.Slot) {
+		e.maintainer.AddToPool(s)
+	})
+	for e.platform.PoolSize() < e.cfg.PoolSize && e.sim.Step() {
+	}
+	if e.platform.PoolSize() < e.cfg.PoolSize {
+		panic("core: recruitment starved; population exhausted")
+	}
+	e.maintainer.EnsureReserve()
+	e.startT = e.sim.Now()
+}
+
+// openMarket starts an open-market (Base-NR) run: recruitment is posted at
+// t=0 and its latency counts against the run. Arriving workers are routed
+// immediately.
+func (e *Engine) openMarket() {
+	e.startT = e.sim.Now()
+	e.platform.RecruitN(e.cfg.PoolSize, func(s *crowd.Slot) {
+		e.maintainer.AddToPool(s)
+		e.route(s)
+	})
+}
+
+// Start prepares the engine for incremental use: in retainer mode the pool
+// is recruited and warmed before the clock starts; in open-market mode
+// recruitment is posted and counts against the run. Start is idempotent and
+// called implicitly by RunLabeling and LabelBatch.
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	if e.cfg.Retainer {
+		e.setupPool()
+	} else {
+		e.openMarket()
+	}
+}
+
+// LabelBatch synchronously labels one batch of n fresh synthetic tasks
+// (streaming use: call repeatedly as work arrives). It returns the batch
+// statistics; consensus labels are available via ConsensusLabels.
+func (e *Engine) LabelBatch(n int) metrics.BatchStat {
+	e.Start()
+	tasks := e.makeTasks(n, e.nextID+1)
+	e.nextID += n
+	for _, t := range tasks {
+		t.Batch = e.batchIdx
+	}
+	e.allTasks = append(e.allTasks, tasks...)
+	stat := e.runBatch(task.NewSet(tasks), e.batchIdx)
+	e.batchIdx++
+	e.result.Batches = append(e.result.Batches, stat)
+	return stat
+}
+
+// Finish settles accounting and returns the run's full measurement record.
+func (e *Engine) Finish() *metrics.RunResult {
+	e.platform.Close()
+	e.result.TotalTime = e.sim.Now().Sub(e.startT)
+	e.result.Cost = e.platform.Accounting()
+	e.result.Trace = *e.platform.Trace()
+	e.result.Replaced = e.maintainer.Replaced()
+	return &e.result
+}
+
+// ConsensusLabels returns, for every task labeled so far, the per-record
+// majority-vote labels, plus the fraction of records matching the synthetic
+// ground truth (simulation-only quality figure).
+func (e *Engine) ConsensusLabels() ([][]int, float64) {
+	labels := make([][]int, len(e.allTasks))
+	correct, total := 0, 0
+	for i, t := range e.allTasks {
+		labels[i] = quality.MajorityVote(t)
+		for r, l := range labels[i] {
+			if t.Truth != nil && r < len(t.Truth) {
+				total++
+				if l == t.Truth[r] {
+					correct++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return labels, 0
+	}
+	return labels, float64(correct) / float64(total)
+}
+
+// runBatch drives the simulator until every task in the set completes.
+func (e *Engine) runBatch(set *task.Set, index int) metrics.BatchStat {
+	e.set = set
+	e.mitigator.SetBatch(set)
+	start := e.sim.Now()
+	replacedBefore := e.maintainer.Replaced()
+	e.routeAvailable()
+	for !set.Complete() {
+		if !e.sim.Step() {
+			panic(fmt.Sprintf("core: deadlock: batch %d stalled with %d/%d tasks complete",
+				index, set.CompletedCount(), set.Len()))
+		}
+	}
+	end := e.sim.Now()
+
+	// Per-task latency spread: the winning answer's latency per task.
+	var latencies []float64
+	labels := 0
+	for _, t := range set.All() {
+		if answers := t.Answers(); len(answers) > 0 {
+			latencies = append(latencies, answers[0].Latency().Seconds())
+		}
+		labels += t.Records
+	}
+	return metrics.BatchStat{
+		Index:     index,
+		Start:     start,
+		End:       end,
+		Tasks:     set.Len(),
+		Labels:    labels,
+		Latency:   end.Sub(start),
+		TaskStd:   time.Duration(stats.Std(latencies) * float64(time.Second)),
+		MeanPoolL: time.Duration(e.maintainer.MeanPoolLatency() * float64(time.Second)),
+		Replaced:  e.maintainer.Replaced() - replacedBefore,
+	}
+}
+
+// makeTasks builds n synthetic tasks with random ground truth, marking a
+// GoldFraction of them as catch trials.
+func (e *Engine) makeTasks(n, startID int) []*task.Task {
+	out := make([]*task.Task, n)
+	for i := range out {
+		truth := make([]int, e.cfg.GroupSize)
+		for r := range truth {
+			truth[r] = e.rng.Intn(e.cfg.Classes)
+		}
+		t := task.New(task.ID(startID+i), e.cfg.GroupSize, truth, e.cfg.Classes, e.cfg.Quorum)
+		if e.cfg.GoldFraction > 0 && e.rng.Float64() < e.cfg.GoldFraction {
+			if e.gold == nil {
+				e.gold = make(map[task.ID]bool)
+			}
+			e.gold[t.ID] = true
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// RunLabeling executes a pure labeling run: NumTasks tasks in batches of
+// BatchSize, returning the full measurement record.
+func (e *Engine) RunLabeling() *metrics.RunResult {
+	e.Start()
+	batchSize := e.cfg.BatchSize()
+	if !e.cfg.Retainer {
+		// Open-market deployments post everything at once (Base-NR).
+		batchSize = e.cfg.NumTasks
+	}
+	remaining := e.cfg.NumTasks
+	for remaining > 0 {
+		n := batchSize
+		if n > remaining {
+			n = remaining
+		}
+		e.LabelBatch(n)
+		remaining -= n
+	}
+	return e.Finish()
+}
+
+// LearnConfig parameterizes a full-run learning experiment (paper §5, §6.5,
+// §6.6).
+type LearnConfig struct {
+	Config
+
+	Dataset      *learn.Dataset
+	TestFraction float64 // held-out fraction for accuracy scoring (default 0.25)
+	Strategy     learn.Strategy
+
+	// ActiveFraction r = k/p under Hybrid (default 0.5).
+	ActiveFraction float64
+
+	// Criterion selects the uncertainty score used for active selection
+	// (margin by default, the paper's criterion; see learn.Criterion).
+	Criterion learn.Criterion
+
+	// CommitteeSize, when positive, switches active selection to query-by-
+	// committee with a bootstrap committee of that many models (overrides
+	// Criterion).
+	CommitteeSize int
+
+	// TargetLabels stops the run once this many points are labeled
+	// (default 500, the paper's end-to-end experiments).
+	TargetLabels int
+
+	// AsyncRetrain pipelines model retraining with crowd labeling (§5.3):
+	// decision latency is hidden. When false the run blocks for
+	// learn.DecisionLatency between batches (Base-R behaviour).
+	AsyncRetrain bool
+
+	// Ensemble trains separate models on actively- and passively-acquired
+	// points and averages their probabilities (the paper's §7 extension),
+	// instead of one model on the union.
+	Ensemble bool
+
+	// StopOnConvergence enables the paper's stopping rule: labeling halts
+	// once k-fold cross-validation accuracy converges (or reaches
+	// ConvergenceTarget), even before TargetLabels is spent. The remaining
+	// points would be imputed by the model.
+	StopOnConvergence bool
+	// ConvergenceTarget optionally stops as soon as CV accuracy reaches it.
+	ConvergenceTarget float64
+}
+
+func (lc *LearnConfig) fillDefaults() {
+	lc.Config.fillDefaults()
+	if lc.TestFraction == 0 {
+		lc.TestFraction = 0.25
+	}
+	if lc.ActiveFraction == 0 {
+		lc.ActiveFraction = 0.5
+	}
+	if lc.TargetLabels == 0 {
+		lc.TargetLabels = 500
+	}
+}
+
+// LearnResult bundles the run measurements with the learning curve and the
+// complete label assignment the paper's workflow ultimately delivers.
+type LearnResult struct {
+	Run   *metrics.RunResult
+	Curve metrics.LearningCurve
+	// FinalAccuracy is the held-out accuracy of the last trained model.
+	FinalAccuracy float64
+
+	// Labels is the full label assignment over the training pool: the crowd
+	// consensus where a point was labeled, the final model's prediction
+	// everywhere else ("uses that model to impute labels for all remaining
+	// points", §5). Index-aligned with the train split of the dataset.
+	Labels []int
+	// FromCrowd is index-aligned with Labels: true where the label is crowd
+	// consensus, false where it is model-imputed.
+	FromCrowd []bool
+	// CrowdLabeled is how many of those labels came from the crowd; the
+	// rest are imputed.
+	CrowdLabeled int
+	// ImputedAccuracy is the fraction of *imputed* labels matching ground
+	// truth (simulation-only figure; the user of a live run cannot know it).
+	ImputedAccuracy float64
+}
+
+// RunLearning executes a full learning run: iteratively select points per
+// the strategy, label them through the simulated crowd, retrain, and track
+// the accuracy-over-time curve.
+func RunLearning(lc LearnConfig) *LearnResult {
+	lc.fillDefaults()
+	if lc.Dataset == nil {
+		panic("core: LearnConfig requires Dataset")
+	}
+	// Points are labeled individually in learning runs.
+	lc.Config.GroupSize = 1
+	lc.Config.Classes = lc.Dataset.Classes
+
+	e := NewEngine(lc.Config)
+	trainSet, testSet := lc.Dataset.Split(stats.NewRand(lc.Seed+10), lc.TestFraction)
+	trainer := learn.NewTrainer(trainSet, testSet, stats.NewRand(lc.Seed+11))
+	trainer.ActiveFraction = lc.ActiveFraction
+	trainer.Criterion = lc.Criterion
+	if lc.CommitteeSize > 0 {
+		trainer.EnableCommittee(lc.CommitteeSize)
+	}
+	if lc.Ensemble {
+		trainer.EnableEnsemble()
+	}
+
+	// Map task IDs to train-set indices for label routing.
+	taskPoint := make(map[task.ID]int)
+	e.onTaskComplete = func(t *task.Task) {
+		idx := taskPoint[t.ID]
+		labels := quality.MajorityVote(t)
+		if labels[0] >= 0 {
+			trainer.AddLabel(idx, labels[0])
+		}
+	}
+
+	e.Start()
+
+	curve := metrics.LearningCurve{}
+	record := func() {
+		curve = append(curve, metrics.CurvePoint{
+			T:        e.sim.Now().Sub(e.startT),
+			Labels:   trainer.LabeledCount(),
+			Accuracy: trainer.TestAccuracy(),
+		})
+	}
+	record()
+
+	// Batch size per strategy (§5.2, §6.5): active uses k = r·p; passive
+	// and hybrid use the full pool p.
+	p := lc.PoolSize
+	batchSize := p
+	if lc.Strategy == learn.Active {
+		batchSize = int(float64(p)*lc.ActiveFraction + 0.5)
+		if batchSize < 1 {
+			batchSize = 1
+		}
+	}
+	if !lc.Retainer {
+		// Base-NR posts all points to the market at once and trains passive
+		// models as labels stream in; retrain/record every p completions.
+		batchSize = lc.TargetLabels
+		labelsSinceRetrain := 0
+		inner := e.onTaskComplete
+		e.onTaskComplete = func(t *task.Task) {
+			inner(t)
+			labelsSinceRetrain++
+			if labelsSinceRetrain >= p {
+				labelsSinceRetrain = 0
+				trainer.Retrain()
+				record()
+			}
+		}
+	}
+
+	var detector *learn.ConvergenceDetector
+	if lc.StopOnConvergence {
+		detector = &learn.ConvergenceDetector{Target: lc.ConvergenceTarget}
+	}
+
+	nextID := 1
+	batch := 0
+	for trainer.LabeledCount() < lc.TargetLabels {
+		want := lc.TargetLabels - trainer.LabeledCount()
+		n := batchSize
+		if n > want {
+			n = want
+		}
+		idx := trainer.SelectBatch(lc.Strategy, n)
+		if len(idx) == 0 {
+			break // unlabeled pool exhausted
+		}
+		tasks := make([]*task.Task, len(idx))
+		for i, pointIdx := range idx {
+			t := task.New(task.ID(nextID), 1, []int{trainSet.Y[pointIdx]},
+				lc.Dataset.Classes, lc.Quorum)
+			t.Batch = batch
+			nextID++
+			taskPoint[t.ID] = pointIdx
+			tasks[i] = t
+		}
+		stat := e.runBatch(task.NewSet(tasks), batch)
+		e.result.Batches = append(e.result.Batches, stat)
+		batch++
+
+		trainer.Retrain()
+		if !lc.AsyncRetrain && lc.Strategy != learn.Passive {
+			// Synchronous retraining blocks the crowd for the decision
+			// latency (uncertainty sampling requires the fresh model).
+			e.sim.RunFor(learn.DecisionLatency(trainer.LabeledCount(), trainer.CandidateSample))
+		}
+		record()
+		if detector != nil && detector.Observe(trainer.CrossValAccuracy(5)) {
+			break
+		}
+	}
+
+	// Deliver the complete label assignment: crowd labels where we have
+	// them, model imputations everywhere else.
+	labels := make([]int, trainSet.Len())
+	fromCrowd := make([]bool, trainSet.Len())
+	imputedCorrect, imputed := 0, 0
+	for i := range labels {
+		if trainer.HasLabel(i) {
+			labels[i] = trainer.Label(i)
+			fromCrowd[i] = true
+			continue
+		}
+		labels[i] = trainer.Predict(trainSet.X[i])
+		imputed++
+		if labels[i] == trainSet.Y[i] {
+			imputedCorrect++
+		}
+	}
+	imputedAcc := 0.0
+	if imputed > 0 {
+		imputedAcc = float64(imputedCorrect) / float64(imputed)
+	}
+
+	return &LearnResult{
+		Run:             e.Finish(),
+		Curve:           curve,
+		FinalAccuracy:   trainer.TestAccuracy(),
+		Labels:          labels,
+		FromCrowd:       fromCrowd,
+		CrowdLabeled:    trainer.LabeledCount(),
+		ImputedAccuracy: imputedAcc,
+	}
+}
+
+// CLAMShellConfig returns the full-stack configuration the paper evaluates
+// end-to-end: retainer pool, straggler mitigation, pool maintenance with
+// TermEst, hybrid learning with asynchronous retraining.
+func CLAMShellConfig(seed int64, np int, dataset *learn.Dataset) LearnConfig {
+	return LearnConfig{
+		Config: Config{
+			Seed:           seed,
+			PoolSize:       np,
+			PoolBatchRatio: 1,
+			Retainer:       true,
+			Straggler:      straggler.Config{Enabled: true, Policy: straggler.Random},
+			Maintenance: pool.Config{
+				Enabled:    true,
+				Threshold:  8 * time.Second,
+				UseTermEst: true,
+			},
+		},
+		Dataset:      dataset,
+		Strategy:     learn.Hybrid,
+		AsyncRetrain: true,
+	}
+}
+
+// BaseRConfig returns the Base-R baseline (§6.6): retainer pool and pure
+// active learning, but no straggler mitigation, no maintenance, synchronous
+// retraining.
+func BaseRConfig(seed int64, np int, dataset *learn.Dataset) LearnConfig {
+	return LearnConfig{
+		Config: Config{
+			Seed:     seed,
+			PoolSize: np,
+			Retainer: true,
+		},
+		Dataset:      dataset,
+		Strategy:     learn.Active,
+		AsyncRetrain: false,
+	}
+}
+
+// BaseNRConfig returns the Base-NR baseline (§6.6): no retainer pool
+// (recruitment latency on the critical path), passive learning.
+func BaseNRConfig(seed int64, np int, dataset *learn.Dataset) LearnConfig {
+	return LearnConfig{
+		Config: Config{
+			Seed:     seed,
+			PoolSize: np,
+			Retainer: false,
+		},
+		Dataset:      dataset,
+		Strategy:     learn.Passive,
+		AsyncRetrain: true, // passive has no decision latency either way
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/learn"
+	"github.com/clamshell/clamshell/internal/pool"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/straggler"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+func TestRunLabelingCompletesAllTasks(t *testing.T) {
+	e := NewEngine(Config{
+		Seed: 1, PoolSize: 10, NumTasks: 50, GroupSize: 5, Retainer: true,
+	})
+	res := e.RunLabeling()
+	if got := res.TotalLabels(); got != 250 {
+		t.Fatalf("labels = %d, want 250", got)
+	}
+	if len(res.Batches) != 5 {
+		t.Fatalf("batches = %d, want 5", len(res.Batches))
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("zero total time")
+	}
+	if res.Cost.Total() <= 0 {
+		t.Fatal("zero cost")
+	}
+	// Timeline must be monotone in both time and labels.
+	for i := 1; i < len(res.LabelTimeline); i++ {
+		if res.LabelTimeline[i].T < res.LabelTimeline[i-1].T {
+			t.Fatal("timeline time went backwards")
+		}
+		if res.LabelTimeline[i].Labels <= res.LabelTimeline[i-1].Labels {
+			t.Fatal("timeline labels not increasing")
+		}
+	}
+	if last := res.LabelTimeline[len(res.LabelTimeline)-1]; last.Labels != 250 {
+		t.Fatalf("timeline ends at %d labels", last.Labels)
+	}
+}
+
+func TestRunLabelingDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, PoolSize: 8, NumTasks: 30, Retainer: true,
+		Straggler: straggler.Config{Enabled: true}}
+	a := NewEngine(cfg).RunLabeling()
+	b := NewEngine(cfg).RunLabeling()
+	if a.TotalTime != b.TotalTime {
+		t.Fatalf("same seed, different total time: %v vs %v", a.TotalTime, b.TotalTime)
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("same seed, different cost: %v vs %v", a.Cost, b.Cost)
+	}
+	if len(a.Trace.Events) != len(b.Trace.Events) {
+		t.Fatal("same seed, different trace lengths")
+	}
+}
+
+func TestBatchSize(t *testing.T) {
+	c := Config{PoolSize: 15, PoolBatchRatio: 3}
+	if got := c.BatchSize(); got != 5 {
+		t.Fatalf("BatchSize = %d, want 5", got)
+	}
+	c = Config{PoolSize: 15, PoolBatchRatio: 0.75}
+	if got := c.BatchSize(); got != 20 {
+		t.Fatalf("BatchSize = %d, want 20", got)
+	}
+	c = Config{PoolSize: 1, PoolBatchRatio: 10}
+	if got := c.BatchSize(); got != 1 {
+		t.Fatalf("BatchSize = %d, want 1 (floor)", got)
+	}
+}
+
+func TestStragglerMitigationImprovesBatchVariance(t *testing.T) {
+	// Figure 9 shape: SM cuts the per-batch task-latency stddev several-fold.
+	run := func(sm bool, seed int64) float64 {
+		e := NewEngine(Config{
+			Seed: seed, PoolSize: 15, NumTasks: 60, GroupSize: 5, Retainer: true,
+			Straggler: straggler.Config{Enabled: sm, Policy: straggler.Random},
+		})
+		res := e.RunLabeling()
+		return stats.Mean(res.BatchStds())
+	}
+	wins := 0
+	const trials = 5
+	for s := int64(0); s < trials; s++ {
+		if run(true, 100+s) < run(false, 100+s) {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Fatalf("SM reduced mean batch stddev in only %d/%d trials", wins, trials)
+	}
+}
+
+func TestStragglerMitigationImprovesLatency(t *testing.T) {
+	run := func(sm bool, seed int64) time.Duration {
+		e := NewEngine(Config{
+			Seed: seed, PoolSize: 15, NumTasks: 60, GroupSize: 5, Retainer: true,
+			Straggler: straggler.Config{Enabled: sm, Policy: straggler.Random},
+		})
+		return e.RunLabeling().TotalTime
+	}
+	var smTotal, noTotal time.Duration
+	for s := int64(0); s < 5; s++ {
+		smTotal += run(true, 200+s)
+		noTotal += run(false, 200+s)
+	}
+	if smTotal >= noTotal {
+		t.Fatalf("SM total %v >= NoSM total %v", smTotal, noTotal)
+	}
+}
+
+func TestPoolMaintenanceReplacesWorkers(t *testing.T) {
+	e := NewEngine(Config{
+		Seed: 7, PoolSize: 10, NumTasks: 150, GroupSize: 5, Retainer: true,
+		Population: func(rng *randRand) worker.Population {
+			return worker.Bimodal(rng, 0.5, 2*time.Second, 20*time.Second)
+		},
+		Maintenance: pool.Config{Enabled: true, Threshold: 8 * time.Second},
+	})
+	res := e.RunLabeling()
+	if res.Replaced == 0 {
+		t.Fatal("maintenance never replaced a slow worker")
+	}
+}
+
+func TestPoolMaintenanceImprovesLatencyOnBimodalPool(t *testing.T) {
+	// Figure 4 shape: with a slow-heavy pool, PM8 beats PM∞ on wall clock.
+	run := func(pm bool, seed int64) time.Duration {
+		cfg := Config{
+			Seed: seed, PoolSize: 10, NumTasks: 200, GroupSize: 5, Retainer: true,
+			Population: func(rng *randRand) worker.Population {
+				return worker.Bimodal(rng, 0.5, 2*time.Second, 20*time.Second)
+			},
+		}
+		if pm {
+			cfg.Maintenance = pool.Config{Enabled: true, Threshold: 8 * time.Second}
+		}
+		return NewEngine(cfg).RunLabeling().TotalTime
+	}
+	var pmTotal, noTotal time.Duration
+	for s := int64(0); s < 3; s++ {
+		pmTotal += run(true, 300+s)
+		noTotal += run(false, 300+s)
+	}
+	if pmTotal >= noTotal {
+		t.Fatalf("PM total %v >= no-PM total %v", pmTotal, noTotal)
+	}
+}
+
+func TestOpenMarketSlowerThanRetainer(t *testing.T) {
+	// Base-NR vs retainer labeling throughput: the retainer pool must win
+	// clearly (paper: 7.24x on raw labels; we assert > 1.5x to stay robust).
+	run := func(retainer bool, seed int64) float64 {
+		cfg := Config{Seed: seed, PoolSize: 10, NumTasks: 100, GroupSize: 5, Retainer: retainer}
+		if retainer {
+			cfg.Straggler = straggler.Config{Enabled: true}
+		}
+		return NewEngine(cfg).RunLabeling().Throughput()
+	}
+	var ratios float64
+	for s := int64(0); s < 3; s++ {
+		ratios += run(true, 400+s) / run(false, 400+s)
+	}
+	if avg := ratios / 3; avg < 1.5 {
+		t.Fatalf("retainer/open-market throughput ratio = %v, want > 1.5", avg)
+	}
+}
+
+func TestOpenMarketNoWaitPay(t *testing.T) {
+	e := NewEngine(Config{Seed: 9, PoolSize: 5, NumTasks: 20, Retainer: false})
+	res := e.RunLabeling()
+	if res.Cost.WaitPay != 0 {
+		t.Fatalf("open market accrued wait pay %v", res.Cost.WaitPay)
+	}
+	if res.Cost.WorkPay == 0 {
+		t.Fatal("no work pay recorded")
+	}
+}
+
+func TestQuorumProducesMultipleAnswers(t *testing.T) {
+	e := NewEngine(Config{
+		Seed: 11, PoolSize: 9, NumTasks: 12, GroupSize: 1, Quorum: 3, Retainer: true,
+		Straggler: straggler.Config{Enabled: true, SpeculationLimit: 1},
+	})
+	res := e.RunLabeling()
+	if res.TotalLabels() != 12 {
+		t.Fatalf("labels = %d", res.TotalLabels())
+	}
+	// Each task needed 3 answers: at least 36 completed assignments.
+	if got := len(res.Trace.Completed()); got < 36 {
+		t.Fatalf("completed assignments = %d, want >= 36", got)
+	}
+}
+
+func TestRunLearningReachesAccuracy(t *testing.T) {
+	d := learn.Guyon(stats.NewRand(1), learn.GuyonConfig{
+		N: 400, Features: 12, Informative: 10, Classes: 2, ClassSep: 2,
+	})
+	lr := RunLearning(LearnConfig{
+		Config:       Config{Seed: 5, PoolSize: 10, Retainer: true},
+		Dataset:      d,
+		Strategy:     learn.Hybrid,
+		TargetLabels: 150,
+		AsyncRetrain: true,
+	})
+	if lr.FinalAccuracy < 0.85 {
+		t.Fatalf("final accuracy = %v, want >= 0.85", lr.FinalAccuracy)
+	}
+	if len(lr.Curve) < 3 {
+		t.Fatalf("curve has %d points", len(lr.Curve))
+	}
+	if lr.Curve.Final().Labels != 150 {
+		t.Fatalf("curve ends at %d labels, want 150", lr.Curve.Final().Labels)
+	}
+	// Curve time must be nondecreasing.
+	for i := 1; i < len(lr.Curve); i++ {
+		if lr.Curve[i].T < lr.Curve[i-1].T {
+			t.Fatal("curve time went backwards")
+		}
+	}
+}
+
+func TestRunLearningRequiresDataset(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunLearning(LearnConfig{Config: Config{Seed: 1}})
+}
+
+func TestSyncRetrainSlowerThanAsync(t *testing.T) {
+	// §5.3: asynchronous retraining hides decision latency, so the same
+	// label count finishes sooner.
+	d := learn.Guyon(stats.NewRand(2), learn.GuyonConfig{
+		N: 300, Features: 10, Informative: 8, Classes: 2, ClassSep: 2,
+	})
+	run := func(async bool) time.Duration {
+		return RunLearning(LearnConfig{
+			Config:       Config{Seed: 6, PoolSize: 10, Retainer: true},
+			Dataset:      d,
+			Strategy:     learn.Active,
+			TargetLabels: 100,
+			AsyncRetrain: async,
+		}).Run.TotalTime
+	}
+	if a, s := run(true), run(false); a >= s {
+		t.Fatalf("async %v >= sync %v", a, s)
+	}
+}
+
+func TestBaselineConfigs(t *testing.T) {
+	d := learn.Guyon(stats.NewRand(3), learn.GuyonConfig{
+		N: 200, Features: 8, Informative: 6, Classes: 2, ClassSep: 2,
+	})
+	cs := CLAMShellConfig(1, 10, d)
+	if !cs.Retainer || !cs.Straggler.Enabled || !cs.Maintenance.Enabled ||
+		cs.Strategy != learn.Hybrid || !cs.AsyncRetrain {
+		t.Fatalf("CLAMShellConfig wrong: %+v", cs)
+	}
+	br := BaseRConfig(1, 10, d)
+	if !br.Retainer || br.Straggler.Enabled || br.Maintenance.Enabled ||
+		br.Strategy != learn.Active || br.AsyncRetrain {
+		t.Fatalf("BaseRConfig wrong: %+v", br)
+	}
+	bnr := BaseNRConfig(1, 10, d)
+	if bnr.Retainer || bnr.Strategy != learn.Passive {
+		t.Fatalf("BaseNRConfig wrong: %+v", bnr)
+	}
+}
+
+func TestCLAMShellBeatsBaseNREndToEnd(t *testing.T) {
+	// §6.6 shape: CLAMShell labels a fixed budget of points much faster
+	// than Base-NR.
+	d := learn.Guyon(stats.NewRand(4), learn.GuyonConfig{
+		N: 400, Features: 10, Informative: 8, Classes: 2, ClassSep: 1.5,
+	})
+	cs := CLAMShellConfig(8, 10, d)
+	cs.TargetLabels = 150
+	bnr := BaseNRConfig(8, 10, d)
+	bnr.TargetLabels = 150
+	tCS := RunLearning(cs).Run.TotalTime
+	tNR := RunLearning(bnr).Run.TotalTime
+	if ratio := tNR.Seconds() / tCS.Seconds(); ratio < 1.5 {
+		t.Fatalf("Base-NR/CLAMShell time ratio = %.2f, want > 1.5", ratio)
+	}
+}
+
+func TestAgeSamplesRecorded(t *testing.T) {
+	e := NewEngine(Config{Seed: 13, PoolSize: 5, NumTasks: 20, Retainer: true})
+	res := e.RunLabeling()
+	if len(res.AgeSamples) < 20 {
+		t.Fatalf("age samples = %d, want >= 20", len(res.AgeSamples))
+	}
+	for _, s := range res.AgeSamples {
+		if s.Age < 0 || s.PerLabel <= 0 {
+			t.Fatalf("bad age sample %+v", s)
+		}
+	}
+}
+
+// randRand aliases math/rand.Rand to keep test signatures tidy.
+type randRand = rand.Rand

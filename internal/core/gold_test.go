@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/pool"
+	"github.com/clamshell/clamshell/internal/straggler"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// sloppyFastPop mixes accurate and careless workers at identical speed, so
+// only a quality signal can tell them apart.
+func sloppyFastPop(rng *rand.Rand) worker.Population {
+	n := 0
+	return worker.PopulationFunc(func() worker.Params {
+		n++
+		acc := 0.95
+		if n%2 == 0 {
+			acc = 0.45
+		}
+		return worker.Params{
+			ID: worker.ID(n), Mean: 3 * time.Second,
+			Std: 500 * time.Millisecond, Accuracy: acc,
+		}
+	})
+}
+
+func TestGoldTrialsFeedQualityMaintenance(t *testing.T) {
+	// Quorum 1: without gold trials there is no quality signal at all; with
+	// 30% gold, the quality objective finds and replaces careless workers.
+	run := func(goldFrac float64) (int, float64) {
+		e := NewEngine(Config{
+			Seed: 31, PoolSize: 8, NumTasks: 250, GroupSize: 1,
+			Retainer:     true,
+			Population:   sloppyFastPop,
+			GoldFraction: goldFrac,
+			Straggler:    straggler.Config{Enabled: true},
+			Maintenance: pool.Config{
+				Enabled:          true,
+				Threshold:        time.Minute, // speed never triggers
+				Objective:        pool.Quality,
+				QualityThreshold: 0.8,
+			},
+		})
+		res := e.RunLabeling()
+		_, acc := e.ConsensusLabels()
+		return res.Replaced, acc
+	}
+	replacedNo, accNo := run(0)
+	replacedGold, accGold := run(0.3)
+	if replacedNo != 0 {
+		t.Fatalf("replacements without any quality signal: %d", replacedNo)
+	}
+	if replacedGold == 0 {
+		t.Fatal("gold trials produced no replacements")
+	}
+	if accGold <= accNo {
+		t.Fatalf("gold+quality maintenance did not improve accuracy: %v vs %v",
+			accGold, accNo)
+	}
+}
+
+func TestGoldFractionZeroMarksNothing(t *testing.T) {
+	e := NewEngine(Config{Seed: 32, PoolSize: 5, NumTasks: 30, Retainer: true})
+	e.RunLabeling()
+	if len(e.gold) != 0 {
+		t.Fatalf("gold tasks marked with fraction 0: %d", len(e.gold))
+	}
+}
+
+func TestGoldFractionMarksRoughlyFraction(t *testing.T) {
+	e := NewEngine(Config{
+		Seed: 33, PoolSize: 5, NumTasks: 200, Retainer: true, GoldFraction: 0.25,
+	})
+	e.RunLabeling()
+	got := len(e.gold)
+	if got < 30 || got > 70 {
+		t.Fatalf("gold tasks = %d of 200, want ~50", got)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/clamshell/clamshell/internal/learn"
+	"github.com/clamshell/clamshell/internal/stats"
+)
+
+// learnRun executes a small learning run for imputation tests.
+func learnRun(t *testing.T, target int) (*LearnResult, *learn.Dataset) {
+	t.Helper()
+	d := learn.Guyon(stats.NewRand(7), learn.GuyonConfig{
+		N: 600, Features: 10, Informative: 8, Classes: 2, ClassSep: 1.8,
+	})
+	res := RunLearning(LearnConfig{
+		Config:       Config{Seed: 8, PoolSize: 10, Retainer: true},
+		Dataset:      d,
+		Strategy:     learn.Hybrid,
+		TargetLabels: target,
+		AsyncRetrain: true,
+	})
+	return res, d
+}
+
+func TestLearnResultDeliversFullAssignment(t *testing.T) {
+	res, d := learnRun(t, 120)
+	trainLen := d.Len() - d.Len()/4 // TestFraction defaults to 0.25
+	if len(res.Labels) != trainLen {
+		t.Fatalf("got %d labels, want the full train pool %d", len(res.Labels), trainLen)
+	}
+	for i, l := range res.Labels {
+		if l < 0 || l >= d.Classes {
+			t.Fatalf("label %d for point %d out of range", l, i)
+		}
+	}
+	if res.CrowdLabeled != 120 {
+		t.Fatalf("CrowdLabeled = %d, want 120", res.CrowdLabeled)
+	}
+}
+
+func TestImputedLabelsAreAccurate(t *testing.T) {
+	res, _ := learnRun(t, 120)
+	// On easy data the model imputes nearly as well as it scores held-out.
+	if res.ImputedAccuracy < 0.8 {
+		t.Fatalf("imputed accuracy %.2f, want >= 0.8 on easy data", res.ImputedAccuracy)
+	}
+	if res.FinalAccuracy < 0.8 {
+		t.Fatalf("final accuracy %.2f, want >= 0.8", res.FinalAccuracy)
+	}
+}
+
+func TestImputationPreservesCrowdLabels(t *testing.T) {
+	// With the whole pool labeled, nothing is imputed and ImputedAccuracy
+	// is reported as 0 (no evidence).
+	d := learn.Guyon(stats.NewRand(9), learn.GuyonConfig{
+		N: 80, Features: 6, Informative: 5, Classes: 2, ClassSep: 1.8,
+	})
+	res := RunLearning(LearnConfig{
+		Config:       Config{Seed: 10, PoolSize: 10, Retainer: true},
+		Dataset:      d,
+		Strategy:     learn.Passive,
+		TargetLabels: 80, // more than the 60-point train split
+		AsyncRetrain: true,
+	})
+	if res.CrowdLabeled != len(res.Labels) {
+		t.Fatalf("crowd labeled %d of %d; expected the whole pool", res.CrowdLabeled, len(res.Labels))
+	}
+	if res.ImputedAccuracy != 0 {
+		t.Fatalf("ImputedAccuracy = %v with nothing imputed, want 0", res.ImputedAccuracy)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/learn"
+	"github.com/clamshell/clamshell/internal/pool"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/straggler"
+)
+
+// TestPropertyEngineInvariants fuzzes small engine configurations and checks
+// the run-level invariants that every configuration must satisfy:
+// completion of all requested labels, a monotone label timeline,
+// non-negative accounting, and internally consistent traces.
+func TestPropertyEngineInvariants(t *testing.T) {
+	f := func(seed int64, poolSize, nTasks, ng, quorum, flags uint8) bool {
+		cfg := Config{
+			Seed:      seed,
+			PoolSize:  int(poolSize%8) + 2, // 2..9
+			NumTasks:  int(nTasks%20) + 5,  // 5..24
+			GroupSize: int(ng%3)*4 + 1,     // 1, 5, 9
+			Quorum:    int(quorum%3) + 1,   // 1..3
+			Retainer:  flags&1 == 0,
+			Straggler: straggler.Config{
+				Enabled:          flags&2 != 0,
+				Policy:           straggler.Policy(flags % 4),
+				SpeculationLimit: 1,
+			},
+		}
+		if flags&4 != 0 {
+			cfg.Maintenance = pool.Config{
+				Enabled: true, Threshold: 8 * time.Second, UseTermEst: true,
+			}
+		}
+		if flags&8 != 0 && cfg.Retainer {
+			cfg.MeanStay = 2 * time.Minute
+		}
+		res := NewEngine(cfg).RunLabeling()
+
+		// All requested labels delivered.
+		if res.TotalLabels() != cfg.NumTasks*cfg.GroupSize {
+			return false
+		}
+		// Monotone timeline ending at the total.
+		prevT := time.Duration(-1)
+		prevL := 0
+		for _, p := range res.LabelTimeline {
+			if p.T < prevT || p.Labels <= prevL {
+				return false
+			}
+			prevT, prevL = p.T, p.Labels
+		}
+		if prevL != res.TotalLabels() {
+			return false
+		}
+		// Accounting components non-negative and consistent.
+		c := res.Cost
+		if c.WaitPay < 0 || c.WorkPay < 0 || c.TerminatedPay < 0 || c.RecruitmentPay < 0 {
+			return false
+		}
+		if c.Total() != c.WaitPay+c.WorkPay+c.TerminatedPay+c.RecruitmentPay {
+			return false
+		}
+		// Trace consistency: completed assignments produce the work pay.
+		completed := res.Trace.Completed()
+		if len(completed)+res.Trace.TerminatedCount() != len(res.Trace.Events) {
+			return false
+		}
+		for _, e := range res.Trace.Events {
+			if e.End.Before(e.Start) {
+				return false
+			}
+		}
+		// Every batch produced labels and nonnegative latency.
+		for _, b := range res.Batches {
+			if b.Labels <= 0 || b.Latency < 0 {
+				return false
+			}
+		}
+		return res.TotalTime > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLearningInvariants fuzzes learning configurations.
+func TestPropertyLearningInvariants(t *testing.T) {
+	d := testDataset()
+	f := func(seed int64, strat, flags uint8) bool {
+		lc := LearnConfig{
+			Config: Config{
+				Seed:     seed,
+				PoolSize: 6,
+				Retainer: flags&1 == 0,
+				Straggler: straggler.Config{
+					Enabled: flags&2 != 0,
+				},
+			},
+			Dataset:      d,
+			Strategy:     learnStrategy(strat % 3),
+			TargetLabels: 60,
+			AsyncRetrain: flags&4 != 0,
+			Ensemble:     flags&8 != 0,
+		}
+		res := RunLearning(lc)
+		if res.Curve.Final().Labels != 60 {
+			return false
+		}
+		prev := time.Duration(-1)
+		for _, p := range res.Curve {
+			if p.T < prev || p.Accuracy < 0 || p.Accuracy > 1 {
+				return false
+			}
+			prev = p.T
+		}
+		return res.FinalAccuracy >= 0 && res.FinalAccuracy <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testDataset builds a small dataset shared by the learning fuzz test.
+func testDataset() *learn.Dataset {
+	return learn.Guyon(stats.NewRand(99), learn.GuyonConfig{
+		N: 150, Features: 8, Informative: 6, Classes: 2, ClassSep: 1.5,
+	})
+}
+
+// learnStrategy converts a fuzz byte into a strategy.
+func learnStrategy(b uint8) learn.Strategy { return learn.Strategy(b) }

@@ -1,0 +1,94 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/simclock"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/task"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+func TestAbandonmentRemovesSlotAndNotifies(t *testing.T) {
+	sim := simclock.NewSim()
+	var abandoned []*Slot
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(1),
+		Population:     worker.Uniform(time.Second, 0, 1),
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+		MeanStay:       time.Minute,
+		OnAbandon:      func(s *Slot) { abandoned = append(abandoned, s) },
+	})
+	p.RecruitN(5, nil)
+	sim.RunFor(30 * time.Minute) // far beyond every dwell time
+	if p.PoolSize() != 0 {
+		t.Fatalf("pool = %d after everyone should have left", p.PoolSize())
+	}
+	if len(abandoned) != 5 {
+		t.Fatalf("abandon callbacks = %d, want 5", len(abandoned))
+	}
+}
+
+func TestAbandonmentTerminatesInFlightWork(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(2),
+		Population:     worker.Uniform(10*time.Minute, 0, 1), // slower than the stay
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+		MeanStay:       30 * time.Second,
+	})
+	completions := 0
+	p.OnAssignmentFinished = func(s *Slot, a *task.Assignment, ans task.Answer) {
+		a.Task.AssignmentEnded(&ans)
+		completions++
+	}
+	tk := task.New(1, 1, []int{0}, 2, 1)
+	p.RecruitN(1, func(s *Slot) { p.Assign(s, tk) })
+	sim.Run()
+	if completions != 0 {
+		t.Fatal("assignment completed despite abandonment mid-task")
+	}
+	if tk.State() != task.Unassigned {
+		t.Fatalf("task state = %v, want unassigned after abandonment", tk.State())
+	}
+	// Partial work was paid.
+	if p.Accounting().TerminatedPay == 0 {
+		t.Fatal("abandoned in-flight work not paid")
+	}
+}
+
+func TestEvictedWorkerNeverAbandons(t *testing.T) {
+	sim := simclock.NewSim()
+	calls := 0
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(3),
+		Population:     worker.Uniform(time.Second, 0, 1),
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+		MeanStay:       time.Minute,
+		OnAbandon:      func(*Slot) { calls++ },
+	})
+	var slot *Slot
+	p.RecruitN(1, func(s *Slot) { slot = s })
+	sim.RunUntil(sim.Now())
+	p.Evict(slot)
+	sim.RunFor(time.Hour)
+	if calls != 0 {
+		t.Fatal("abandon fired for an already-evicted slot")
+	}
+}
+
+func TestNoAbandonmentWhenDisabled(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(4),
+		Population:     worker.Uniform(time.Second, 0, 1),
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	p.RecruitN(3, nil)
+	sim.RunFor(24 * time.Hour)
+	if p.PoolSize() != 3 {
+		t.Fatalf("pool = %d, want 3 with abandonment disabled", p.PoolSize())
+	}
+}

@@ -1,0 +1,392 @@
+// Package crowd simulates a microtask crowdsourcing platform with a retainer
+// pool (Bernstein et al.'s model, which CLAMShell builds on): workers are
+// recruited with realistic recruitment latency, paid to wait in slots, and
+// complete assignments with latencies drawn from their individual latency
+// distributions. The simulator is event-driven on a virtual clock, so a
+// multi-hour crowd deployment replays in microseconds, deterministically.
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/metrics"
+	"github.com/clamshell/clamshell/internal/simclock"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/task"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// SlotID identifies a retainer-pool slot.
+type SlotID int
+
+// Slot is a persistent retainer position held by one crowd worker. A slot is
+// either waiting (available for work) or busy with an assignment.
+type Slot struct {
+	ID        SlotID
+	Worker    *worker.Worker
+	JoinedAt  time.Time
+	TasksDone int // worker "age": completed tasks (Figure 5's x-axis)
+
+	current     *task.Assignment
+	event       *simclock.Event // pending completion event
+	expectedEnd time.Time       // when the in-flight assignment will finish
+	waitStart   time.Time
+	evicted     bool
+}
+
+// ExpectedCompletion returns the (simulator-known) completion instant of the
+// in-flight assignment. Only an oracle may consult this — it exists to
+// support the paper's oracle routing-policy ablation. Zero when idle.
+func (s *Slot) ExpectedCompletion() time.Time {
+	if s.current == nil {
+		return time.Time{}
+	}
+	return s.expectedEnd
+}
+
+// Busy reports whether the slot is working on an assignment.
+func (s *Slot) Busy() bool { return s.current != nil }
+
+// Current returns the in-flight assignment, or nil.
+func (s *Slot) Current() *task.Assignment { return s.current }
+
+// Evicted reports whether the slot has been removed from the pool.
+func (s *Slot) Evicted() bool { return s.evicted }
+
+// Config parameterizes the platform simulator. Pay rates default to the
+// paper's live-experiment rates (§6.1): $0.05/min wait pay, $0.02/record.
+type Config struct {
+	Sim        *simclock.Sim
+	RNG        *rand.Rand
+	Population worker.Population
+	Seed       int64 // base seed for per-worker RNG streams
+
+	// RecruitLatency draws the time from posting a recruitment task to a
+	// worker joining. Defaults to lognormal with 3-minute mean (the paper
+	// reposts recruitment tasks every 3 minutes).
+	RecruitLatency func(rng *rand.Rand) time.Duration
+
+	// WaitPayPerMin is paid to idle pool workers. Zero selects the default
+	// ($.05/min); a negative value disables wait pay entirely (open-market
+	// runs, where nobody is retained).
+	WaitPayPerMin metrics.Cost
+	RecordPay     metrics.Cost // paid per labeled record
+
+	// MeanStay, when positive, makes retained workers abandon the pool
+	// after an exponentially distributed dwell time: even paid-to-wait
+	// workers eventually leave (the paper's pool-size maintenance exists
+	// because of exactly this). Zero disables abandonment.
+	MeanStay time.Duration
+
+	// Qualification, when positive, gates recruitment behind a gold-
+	// standard test of that many records (paper §2.1 phase 2, §2.2: the
+	// pool "trains and verifies worker qualifications as part of
+	// recruitment"). A candidate must answer at least QualificationPass of
+	// them correctly; failures are discarded and a fresh recruitment is
+	// posted, so qualification trades recruitment latency for pool
+	// accuracy. Qualification work is paid at RecordPay.
+	Qualification     int
+	QualificationPass int // required correct answers (default: 80% of Qualification)
+
+	// OnAbandon fires when a worker abandons their slot, after any
+	// in-flight assignment is terminated, so the orchestrator can recruit a
+	// replacement.
+	OnAbandon func(*Slot)
+}
+
+func (c *Config) fillDefaults() {
+	if c.WaitPayPerMin == 0 {
+		c.WaitPayPerMin = metrics.Cents(5)
+	}
+	if c.RecordPay == 0 {
+		c.RecordPay = metrics.Cents(2)
+	}
+	if c.RecruitLatency == nil {
+		mu, sigma := stats.LogNormalFromMoments(180, 120)
+		c.RecruitLatency = func(rng *rand.Rand) time.Duration {
+			return time.Duration(stats.LogNormal(rng, mu, sigma) * float64(time.Second))
+		}
+	}
+	if c.Qualification > 0 && c.QualificationPass == 0 {
+		c.QualificationPass = (c.Qualification*4 + 4) / 5 // ceil(80%)
+	}
+}
+
+// Platform is the simulated crowd platform.
+type Platform struct {
+	cfg Config
+
+	slots      map[SlotID]*Slot
+	nextSlot   SlotID
+	nextAssign task.AssignmentID
+
+	accounting metrics.Accounting
+	trace      metrics.Trace
+	qualFailed int // candidates rejected by the qualification test
+
+	// Per-phase latency observations (§2.1's taxonomy: recruitment,
+	// qualification & training, work — work lives in the trace).
+	recruitLat []time.Duration
+	qualLat    []time.Duration
+
+	// OnAssignmentFinished fires when an assignment completes with an
+	// answer (never for terminations). The orchestrator reacts by routing
+	// the freed slot and handling the task's new state.
+	OnAssignmentFinished func(*Slot, *task.Assignment, task.Answer)
+}
+
+// New creates a platform. Sim, RNG and Population are required.
+func New(cfg Config) *Platform {
+	if cfg.Sim == nil || cfg.RNG == nil || cfg.Population == nil {
+		panic("crowd: Config requires Sim, RNG and Population")
+	}
+	cfg.fillDefaults()
+	return &Platform{cfg: cfg, slots: make(map[SlotID]*Slot)}
+}
+
+// Now returns the current simulation time.
+func (p *Platform) Now() time.Time { return p.cfg.Sim.Now() }
+
+// Recruit posts a recruitment task. After the drawn recruitment latency a
+// fresh worker joins the pool in a new slot and cb (if non-nil) fires.
+// Recruitment costs one record-pay (the recruitment HIT itself).
+func (p *Platform) Recruit(cb func(*Slot)) {
+	p.accounting.RecruitmentPay += p.cfg.RecordPay
+	delay := p.cfg.RecruitLatency(p.cfg.RNG)
+	p.recruitLat = append(p.recruitLat, delay)
+	p.cfg.Sim.After(delay, func() {
+		params := p.cfg.Population.Draw()
+		w := worker.New(params, p.cfg.Seed)
+		if p.cfg.Qualification > 0 {
+			// Qualification phase: the candidate labels gold records on
+			// their own time (their drawn latency) and is paid for them;
+			// failures never enter the pool and a fresh recruitment is
+			// posted immediately.
+			qualTime := w.Latency(p.cfg.Qualification)
+			p.qualLat = append(p.qualLat, qualTime)
+			p.cfg.Sim.After(qualTime, func() {
+				p.accounting.RecruitmentPay += p.cfg.RecordPay * metrics.Cost(p.cfg.Qualification)
+				correct := 0
+				for i := 0; i < p.cfg.Qualification; i++ {
+					if w.Correct() {
+						correct++
+					}
+				}
+				if correct < p.cfg.QualificationPass {
+					p.qualFailed++
+					p.Recruit(cb)
+					return
+				}
+				p.admit(w, cb)
+			})
+			return
+		}
+		p.admit(w, cb)
+	})
+}
+
+// admit installs a (qualified) worker into a fresh slot.
+func (p *Platform) admit(w *worker.Worker, cb func(*Slot)) {
+	p.nextSlot++
+	s := &Slot{
+		ID:        p.nextSlot,
+		Worker:    w,
+		JoinedAt:  p.Now(),
+		waitStart: p.Now(),
+	}
+	p.slots[s.ID] = s
+	if p.cfg.MeanStay > 0 {
+		dwell := stats.Exponential(p.cfg.RNG, 1/p.cfg.MeanStay.Seconds())
+		p.cfg.Sim.After(time.Duration(dwell*float64(time.Second)), func() {
+			p.abandon(s)
+		})
+	}
+	if cb != nil {
+		cb(s)
+	}
+}
+
+// abandon removes a worker who decided to leave the pool: their in-flight
+// work is terminated (and paid) and the orchestrator is notified so it can
+// refill the pool.
+func (p *Platform) abandon(s *Slot) {
+	if s.evicted {
+		return
+	}
+	p.Evict(s)
+	if p.cfg.OnAbandon != nil {
+		p.cfg.OnAbandon(s)
+	}
+}
+
+// RecruitN recruits n workers, invoking cb as each joins.
+func (p *Platform) RecruitN(n int, cb func(*Slot)) {
+	for i := 0; i < n; i++ {
+		p.Recruit(cb)
+	}
+}
+
+// Slots returns all non-evicted slots in ID order.
+func (p *Platform) Slots() []*Slot {
+	out := make([]*Slot, 0, len(p.slots))
+	for id := SlotID(1); id <= p.nextSlot; id++ {
+		if s, ok := p.slots[id]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Available returns the slots currently waiting for work, in ID order.
+func (p *Platform) Available() []*Slot {
+	var out []*Slot
+	for _, s := range p.Slots() {
+		if !s.Busy() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PoolSize returns the number of non-evicted slots.
+func (p *Platform) PoolSize() int { return len(p.slots) }
+
+// Assign starts the slot's worker on the task. The worker's completion is
+// scheduled at a latency drawn from their distribution; wait pay for the
+// idle period is settled. Assigning to a busy or evicted slot is a
+// programming error.
+func (p *Platform) Assign(s *Slot, t *task.Task) *task.Assignment {
+	if s.Busy() {
+		panic(fmt.Sprintf("crowd: slot %d already busy", s.ID))
+	}
+	if s.evicted {
+		panic(fmt.Sprintf("crowd: slot %d is evicted", s.ID))
+	}
+	p.settleWait(s)
+	p.nextAssign++
+	a := &task.Assignment{
+		ID:     p.nextAssign,
+		Task:   t,
+		Worker: s.Worker.ID,
+		Start:  p.Now(),
+		State:  task.AssignmentActive,
+	}
+	s.current = a
+	t.AssignmentStarted()
+	latency := s.Worker.Latency(t.Records)
+	s.expectedEnd = p.Now().Add(latency)
+	s.event = p.cfg.Sim.After(latency, func() { p.complete(s, a) })
+	return a
+}
+
+// complete finishes an assignment: draws the worker's answers, pays for the
+// work, updates the task, and notifies the orchestrator.
+func (p *Platform) complete(s *Slot, a *task.Assignment) {
+	a.End = p.Now()
+	a.State = task.AssignmentCompleted
+	s.current = nil
+	s.event = nil
+	s.waitStart = p.Now()
+	s.TasksDone++
+	p.accounting.WorkPay += p.cfg.RecordPay * metrics.Cost(a.Task.Records)
+
+	labels := make([]int, a.Task.Records)
+	for i := range labels {
+		truth := 0
+		if a.Task.Truth != nil {
+			truth = a.Task.Truth[i]
+		}
+		labels[i] = s.Worker.Answer(truth, a.Task.Classes)
+	}
+	ans := task.Answer{Worker: s.Worker.ID, Labels: labels, Start: a.Start, End: a.End}
+
+	p.trace.Record(metrics.AssignmentEvent{
+		Assignment: a.ID, Task: a.Task.ID, Worker: s.Worker.ID,
+		Batch: a.Task.Batch, Start: a.Start, End: a.End,
+	})
+
+	if p.OnAssignmentFinished != nil {
+		p.OnAssignmentFinished(s, a, ans)
+	} else {
+		a.Task.AssignmentEnded(&ans)
+	}
+}
+
+// Terminate cancels an in-flight assignment (straggler mitigation or
+// eviction): the pending completion event is cancelled, the worker is paid
+// for the partial work (the paper pays terminated workers regardless), and
+// the slot returns to waiting. Terminating a non-active assignment is a
+// no-op returning false.
+func (p *Platform) Terminate(s *Slot) bool {
+	a := s.current
+	if a == nil || a.State != task.AssignmentActive {
+		return false
+	}
+	s.event.Cancel()
+	s.event = nil
+	s.current = nil
+	s.waitStart = p.Now()
+	a.End = p.Now()
+	a.State = task.AssignmentTerminated
+	a.Task.AssignmentEnded(nil)
+	p.accounting.TerminatedPay += p.cfg.RecordPay * metrics.Cost(a.Task.Records)
+	p.trace.Record(metrics.AssignmentEvent{
+		Assignment: a.ID, Task: a.Task.ID, Worker: s.Worker.ID,
+		Batch: a.Task.Batch, Start: a.Start, End: a.End, Terminated: true,
+	})
+	return true
+}
+
+// Evict removes a slot from the pool (pool maintenance). Any in-flight
+// assignment is terminated and paid. The worker is not blacklisted; they
+// simply receive no more work.
+func (p *Platform) Evict(s *Slot) {
+	if s.evicted {
+		return
+	}
+	p.Terminate(s)
+	p.settleWait(s)
+	s.evicted = true
+	delete(p.slots, s.ID)
+}
+
+// settleWait accrues wait pay for the slot's idle period ending now.
+func (p *Platform) settleWait(s *Slot) {
+	idle := p.Now().Sub(s.waitStart)
+	if idle > 0 && p.cfg.WaitPayPerMin > 0 {
+		p.accounting.WaitPay += metrics.PerMinute(p.cfg.WaitPayPerMin, idle)
+	}
+	s.waitStart = p.Now()
+}
+
+// Close settles outstanding wait pay for all remaining slots; call at the
+// end of a run before reading Accounting.
+func (p *Platform) Close() {
+	for _, s := range p.Slots() {
+		p.settleWait(s)
+	}
+}
+
+// Accounting returns the money spent so far.
+func (p *Platform) Accounting() metrics.Accounting { return p.accounting }
+
+// Trace returns the per-assignment trace recorded so far.
+func (p *Platform) Trace() *metrics.Trace { return &p.trace }
+
+// QualificationFailures returns how many recruitment candidates failed the
+// qualification test.
+func (p *Platform) QualificationFailures() int { return p.qualFailed }
+
+// RecruitmentLatencies returns the recruitment delay of every recruitment
+// posted so far (§2.1 phase 1).
+func (p *Platform) RecruitmentLatencies() []time.Duration {
+	return append([]time.Duration(nil), p.recruitLat...)
+}
+
+// QualificationLatencies returns the time every candidate spent on the
+// qualification test (§2.1 phase 2). Empty when qualification is off.
+func (p *Platform) QualificationLatencies() []time.Duration {
+	return append([]time.Duration(nil), p.qualLat...)
+}

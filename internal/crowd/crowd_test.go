@@ -1,0 +1,259 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/metrics"
+	"github.com/clamshell/clamshell/internal/simclock"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/task"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+func TestRecruitmentJoinsAfterLatency(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim:        sim,
+		RNG:        stats.NewRand(1),
+		Population: worker.Uniform(2*time.Second, 0, 1),
+		RecruitLatency: func(_ *rand.Rand) time.Duration {
+			return 90 * time.Second
+		},
+	})
+	joined := 0
+	p.RecruitN(3, func(s *Slot) { joined++ })
+	if p.PoolSize() != 0 {
+		t.Fatal("workers joined before recruitment latency elapsed")
+	}
+	sim.Run()
+	if joined != 3 || p.PoolSize() != 3 {
+		t.Fatalf("joined=%d pool=%d, want 3/3", joined, p.PoolSize())
+	}
+	if sim.Elapsed() != 90*time.Second {
+		t.Fatalf("elapsed = %v, want 90s", sim.Elapsed())
+	}
+	if len(p.Available()) != 3 {
+		t.Fatalf("available = %d, want 3", len(p.Available()))
+	}
+}
+
+func TestAssignCompletesWithAnswer(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim:        sim,
+		RNG:        stats.NewRand(2),
+		Population: worker.Uniform(3*time.Second, 0, 1), // perfect, deterministic worker
+		RecruitLatency: func(_ *rand.Rand) time.Duration {
+			return 0
+		},
+	})
+	var done []task.Answer
+	p.OnAssignmentFinished = func(s *Slot, a *task.Assignment, ans task.Answer) {
+		a.Task.AssignmentEnded(&ans)
+		done = append(done, ans)
+	}
+	tk := task.New(1, 5, []int{0, 1, 1, 0, 1}, 2, 1)
+	p.RecruitN(1, func(s *Slot) { p.Assign(s, tk) })
+	sim.Run()
+
+	if len(done) != 1 {
+		t.Fatalf("completions = %d, want 1", len(done))
+	}
+	for i, l := range done[0].Labels {
+		if l != tk.Truth[i] {
+			t.Fatalf("perfect worker mislabeled record %d", i)
+		}
+	}
+	if tk.State() != task.Complete {
+		t.Fatalf("task state = %v", tk.State())
+	}
+	// 5 records at ~3s each (truncated normal with 0 std = exactly 3s).
+	if got := sim.Elapsed(); got != 15*time.Second {
+		t.Fatalf("elapsed = %v, want 15s", got)
+	}
+	if s := p.Slots()[0]; s.TasksDone != 1 || s.Busy() {
+		t.Fatalf("slot age=%d busy=%v", s.TasksDone, s.Busy())
+	}
+}
+
+func TestAssignBusySlotPanics(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(3),
+		Population:     worker.Uniform(time.Second, 0, 1),
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	var slot *Slot
+	p.RecruitN(1, func(s *Slot) { slot = s })
+	sim.Run()
+	p.Assign(slot, task.New(1, 1, []int{0}, 2, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic assigning busy slot")
+		}
+	}()
+	p.Assign(slot, task.New(2, 1, []int{0}, 2, 1))
+}
+
+func TestTerminateCancelsCompletion(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(4),
+		Population:     worker.Uniform(10*time.Second, 0, 1),
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	completions := 0
+	p.OnAssignmentFinished = func(s *Slot, a *task.Assignment, ans task.Answer) {
+		a.Task.AssignmentEnded(&ans)
+		completions++
+	}
+	var slot *Slot
+	p.RecruitN(1, func(s *Slot) { slot = s })
+	sim.Run()
+	tk := task.New(1, 1, []int{0}, 2, 1)
+	p.Assign(slot, tk)
+	sim.RunFor(2 * time.Second)
+	if !p.Terminate(slot) {
+		t.Fatal("Terminate returned false for active assignment")
+	}
+	sim.Run()
+	if completions != 0 {
+		t.Fatal("terminated assignment completed anyway")
+	}
+	if tk.State() != task.Unassigned {
+		t.Fatalf("task state = %v, want unassigned", tk.State())
+	}
+	if slot.Busy() {
+		t.Fatal("slot still busy after termination")
+	}
+	if p.Terminate(slot) {
+		t.Fatal("double-terminate should return false")
+	}
+	if p.Trace().TerminatedCount() != 1 {
+		t.Fatalf("trace terminated = %d", p.Trace().TerminatedCount())
+	}
+}
+
+func TestEvictRemovesSlotAndPaysPartialWork(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(5),
+		Population:     worker.Uniform(10*time.Second, 0, 1),
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	var slot *Slot
+	p.RecruitN(1, func(s *Slot) { slot = s })
+	sim.Run()
+	tk := task.New(1, 3, []int{0, 0, 0}, 2, 1)
+	p.Assign(slot, tk)
+	sim.RunFor(time.Second)
+	p.Evict(slot)
+	if p.PoolSize() != 0 {
+		t.Fatalf("pool = %d after evict", p.PoolSize())
+	}
+	if !slot.Evicted() {
+		t.Fatal("slot not marked evicted")
+	}
+	// Terminated partial work is paid: 3 records at $.02.
+	if got, want := p.Accounting().TerminatedPay, metrics.Cents(6); got != want {
+		t.Fatalf("terminated pay = %v, want %v", got, want)
+	}
+	p.Evict(slot) // idempotent
+}
+
+func TestWaitPayAccrues(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(6),
+		Population:     worker.Uniform(time.Second, 0, 1),
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	p.RecruitN(2, nil)
+	sim.Run()
+	sim.RunFor(10 * time.Minute)
+	p.Close()
+	// 2 workers × 10 min × $.05/min = $1.00.
+	if got, want := p.Accounting().WaitPay, metrics.Dollars(1); got != want {
+		t.Fatalf("wait pay = %v, want %v", got, want)
+	}
+}
+
+func TestRecruitmentCostCharged(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(8),
+		Population:     worker.Uniform(time.Second, 0, 1),
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	p.RecruitN(5, nil)
+	sim.Run()
+	if got, want := p.Accounting().RecruitmentPay, metrics.Cents(10); got != want {
+		t.Fatalf("recruitment pay = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultRecruitLatencyMinutesScale(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{Sim: sim, RNG: stats.NewRand(9), Population: worker.Uniform(time.Second, 0, 1)})
+	p.RecruitN(200, nil)
+	sim.Run()
+	// Mean recruitment latency should be minutes-scale (default 3 min mean).
+	if e := sim.Elapsed(); e < 2*time.Minute || e > time.Hour {
+		t.Fatalf("200 recruits done after %v, want minutes-scale max", e)
+	}
+	if p.PoolSize() != 200 {
+		t.Fatalf("pool = %d", p.PoolSize())
+	}
+}
+
+func TestNewRequiresDeps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestSlotsOrderedByID(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(10),
+		Population:     worker.Uniform(time.Second, 0, 1),
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	p.RecruitN(10, nil)
+	sim.Run()
+	slots := p.Slots()
+	for i := 1; i < len(slots); i++ {
+		if slots[i].ID <= slots[i-1].ID {
+			t.Fatal("slots not in ID order")
+		}
+	}
+}
+
+func TestImperfectWorkerMislabels(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(11),
+		Population:     worker.Uniform(time.Second, 0, 0), // always wrong
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	wrong := 0
+	p.OnAssignmentFinished = func(s *Slot, a *task.Assignment, ans task.Answer) {
+		a.Task.AssignmentEnded(&ans)
+		for _, l := range ans.Labels {
+			if l != 0 {
+				wrong++
+			}
+		}
+	}
+	tk := task.New(1, 10, make([]int, 10), 3, 1)
+	p.RecruitN(1, func(s *Slot) { p.Assign(s, tk) })
+	sim.Run()
+	if wrong != 10 {
+		t.Fatalf("0-accuracy worker got %d/10 wrong, want 10", wrong)
+	}
+}

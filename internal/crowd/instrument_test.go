@@ -1,0 +1,80 @@
+package crowd
+
+import (
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/simclock"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+func TestRecruitmentLatenciesRecorded(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim:        sim,
+		RNG:        stats.NewRand(1),
+		Population: worker.Uniform(2*time.Second, 0, 1),
+		Seed:       2,
+	})
+	p.RecruitN(4, nil)
+	for sim.Step() {
+	}
+	lats := p.RecruitmentLatencies()
+	if len(lats) != 4 {
+		t.Fatalf("recorded %d recruitment latencies, want 4", len(lats))
+	}
+	for i, l := range lats {
+		if l <= 0 {
+			t.Errorf("recruitment %d latency %v, want > 0", i, l)
+		}
+	}
+	// The returned slice is a copy: mutating it must not affect the platform.
+	lats[0] = -1
+	if p.RecruitmentLatencies()[0] == -1 {
+		t.Fatal("RecruitmentLatencies leaked internal state")
+	}
+}
+
+func TestQualificationLatenciesRecorded(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim:           sim,
+		RNG:           stats.NewRand(3),
+		Population:    worker.Uniform(2*time.Second, 0, 1), // perfect accuracy: all pass
+		Seed:          4,
+		Qualification: 5,
+	})
+	p.RecruitN(3, nil)
+	for sim.Step() {
+	}
+	quals := p.QualificationLatencies()
+	if len(quals) != 3 {
+		t.Fatalf("recorded %d qualification latencies, want 3", len(quals))
+	}
+	for _, q := range quals {
+		// 5 records at a deterministic 2s each.
+		if q != 10*time.Second {
+			t.Fatalf("qualification latency %v, want 10s", q)
+		}
+	}
+	if p.PoolSize() != 3 {
+		t.Fatalf("pool size %d, want 3 (all candidates pass)", p.PoolSize())
+	}
+}
+
+func TestQualificationLatenciesEmptyWhenDisabled(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim:        sim,
+		RNG:        stats.NewRand(5),
+		Population: worker.Uniform(time.Second, 0, 1),
+		Seed:       6,
+	})
+	p.RecruitN(2, nil)
+	for sim.Step() {
+	}
+	if n := len(p.QualificationLatencies()); n != 0 {
+		t.Fatalf("qualification latencies recorded with qualification off: %d", n)
+	}
+}

@@ -1,0 +1,90 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/simclock"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// mixPop yields alternating accurate and inaccurate workers.
+func mixPop() worker.Population {
+	n := 0
+	return worker.PopulationFunc(func() worker.Params {
+		n++
+		acc := 0.95
+		if n%2 == 0 {
+			acc = 0.3
+		}
+		return worker.Params{ID: worker.ID(n), Mean: time.Second, Std: 0, Accuracy: acc}
+	})
+}
+
+func TestQualificationFiltersInaccurateWorkers(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(1), Population: mixPop(), Seed: 1,
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return time.Second },
+		Qualification:  10, // pass needs ceil(80%) = 8 correct
+	})
+	p.RecruitN(10, nil)
+	sim.Run()
+	if p.PoolSize() != 10 {
+		t.Fatalf("pool = %d, want 10 (failures replaced)", p.PoolSize())
+	}
+	if p.QualificationFailures() == 0 {
+		t.Fatal("no qualification failures despite 30%-accuracy candidates")
+	}
+	for _, s := range p.Slots() {
+		if s.Worker.Accuracy < 0.9 {
+			t.Fatalf("inaccurate worker %v passed qualification", s.Worker.Accuracy)
+		}
+	}
+}
+
+func TestQualificationCostsAndDelays(t *testing.T) {
+	run := func(qual int) (time.Duration, int64) {
+		sim := simclock.NewSim()
+		p := New(Config{
+			Sim: sim, RNG: stats.NewRand(2), Population: mixPop(), Seed: 2,
+			RecruitLatency: func(_ *rand.Rand) time.Duration { return time.Second },
+			Qualification:  qual,
+		})
+		p.RecruitN(5, nil)
+		sim.Run()
+		return sim.Elapsed(), int64(p.Accounting().RecruitmentPay)
+	}
+	tNo, cNo := run(0)
+	tQ, cQ := run(10)
+	if tQ <= tNo {
+		t.Fatalf("qualification should add recruitment latency: %v vs %v", tQ, tNo)
+	}
+	if cQ <= cNo {
+		t.Fatalf("qualification should add recruitment cost: %d vs %d", cQ, cNo)
+	}
+}
+
+func TestQualificationDisabledAdmitsEveryone(t *testing.T) {
+	sim := simclock.NewSim()
+	p := New(Config{
+		Sim: sim, RNG: stats.NewRand(3), Population: mixPop(), Seed: 3,
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	p.RecruitN(10, nil)
+	sim.Run()
+	if p.QualificationFailures() != 0 {
+		t.Fatal("failures recorded with qualification disabled")
+	}
+	low := 0
+	for _, s := range p.Slots() {
+		if s.Worker.Accuracy < 0.5 {
+			low++
+		}
+	}
+	if low == 0 {
+		t.Fatal("expected inaccurate workers to be admitted without qualification")
+	}
+}

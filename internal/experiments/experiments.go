@@ -1,0 +1,153 @@
+// Package experiments regenerates every table and figure of the CLAMShell
+// paper's evaluation (§6) on the simulated crowd. Each experiment is a
+// named function producing a Result — the same rows or series the paper
+// reports — runnable via cmd/clamshell-bench or the root benchmark suite.
+// Absolute numbers come from the simulator, not the authors' MTurk testbed;
+// the shapes (who wins, by what factor, where crossovers fall) are the
+// reproduction target. See EXPERIMENTS.md for paper-vs-measured notes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Format renders the result as an aligned text table.
+func (r *Result) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", r.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner executes one experiment with a base seed.
+type Runner func(seed int64) *Result
+
+// registry holds the experiment catalogue in presentation order.
+var registry []struct {
+	id  string
+	fn  Runner
+	doc string
+}
+
+func register(id, doc string, fn Runner) {
+	registry = append(registry, struct {
+		id  string
+		fn  Runner
+		doc string
+	}{id, fn, doc})
+}
+
+// IDs returns the experiment ids in presentation order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) string {
+	for _, e := range registry {
+		if e.id == id {
+			return e.doc
+		}
+	}
+	return ""
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, seed int64) (*Result, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.fn(seed), nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+		id, strings.Join(IDs(), ", "))
+}
+
+// RunAll executes every registered experiment.
+func RunAll(seed int64) []*Result {
+	out := make([]*Result, len(registry))
+	for i, e := range registry {
+		out[i] = e.fn(seed)
+	}
+	return out
+}
+
+// fmtDur renders a duration with sensible precision for tables.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.2fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}
+
+// fmtF renders a float with 2 decimals.
+func fmtF(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// fmtX renders a ratio as "N.NNx".
+func fmtX(x float64) string { return fmt.Sprintf("%.2fx", x) }
+
+// sortedKeys returns sorted int keys of a map.
+func sortedKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "routing", "qcdecouple",
+		"convergence", "fig15", "fig16", "fig17", "fig18", "headline",
+		"asyncretrain",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", 1); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if Describe("fig9") == "" {
+		t.Fatal("fig9 has no description")
+	}
+	if Describe("nope") != "" {
+		t.Fatal("unknown id should describe empty")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Header: []string{"a", "bb"}, Notes: "n"}
+	r.AddRow("1", "2")
+	var buf bytes.Buffer
+	r.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: t ==", "a", "bb", "1", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// parseRatio extracts the float from "N.NNx" cells.
+func parseRatio(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad ratio cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig2HeavyTail(t *testing.T) {
+	r := Fig2(1)
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// p99 mean latency must dwarf p50 (heavy tail).
+	p50 := parseMinutes(t, r.Rows[2][1])
+	p99 := parseMinutes(t, r.Rows[5][1])
+	if p99 < 3*p50 {
+		t.Fatalf("tail too light: p50=%v p99=%v", p50, p99)
+	}
+}
+
+func parseMinutes(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "m"), 64)
+	if err != nil {
+		t.Fatalf("bad minutes cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig4MaintenanceHelpsComplexTasks(t *testing.T) {
+	r := Fig4(2)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The complex row's speedup should exceed 1 (maintenance helps).
+	if sp := parseRatio(t, r.Rows[2][3]); sp <= 1.0 {
+		t.Fatalf("complex-task speedup = %v, want > 1", sp)
+	}
+}
+
+func TestFig9MitigationCutsVariance(t *testing.T) {
+	r := Fig9(3)
+	for _, row := range r.Rows {
+		if red := parseRatio(t, row[3]); red < 1.2 {
+			t.Fatalf("R=%s stddev reduction = %v, want >= 1.2", row[0], red)
+		}
+	}
+}
+
+func TestFig14TermEstRestoresReplacement(t *testing.T) {
+	r := Fig14(4)
+	noSM, _ := strconv.Atoi(r.Rows[0][1])
+	smNoEst, _ := strconv.Atoi(r.Rows[1][1])
+	smEst, _ := strconv.Atoi(r.Rows[2][1])
+	if smEst <= smNoEst {
+		t.Fatalf("TermEst did not raise replacement: noSM=%d smNoEst=%d smEst=%d",
+			noSM, smNoEst, smEst)
+	}
+}
+
+func TestRoutingPoliciesComparable(t *testing.T) {
+	r := Routing(5)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	times := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		times[i] = parseSeconds(t, row[1])
+	}
+	// All policies within 2.5x of each other (paper: indistinguishable).
+	min, max := times[0], times[0]
+	for _, x := range times[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if max/min > 2.5 {
+		t.Fatalf("policies diverge: min=%v max=%v", min, max)
+	}
+}
+
+func parseSeconds(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimSpace(cell)
+	var mult float64 = 1
+	switch {
+	case strings.HasSuffix(cell, "h"):
+		mult, cell = 3600, strings.TrimSuffix(cell, "h")
+	case strings.HasSuffix(cell, "m"):
+		mult, cell = 60, strings.TrimSuffix(cell, "m")
+	default:
+		cell = strings.TrimSuffix(cell, "s")
+	}
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("bad duration cell %q: %v", cell, err)
+	}
+	return v * mult
+}
+
+func TestQCDecoupleUsesFewerAssignments(t *testing.T) {
+	r := QCDecouple(6)
+	dec, _ := strconv.Atoi(r.Rows[0][2])
+	coup, _ := strconv.Atoi(r.Rows[1][2])
+	if dec >= coup {
+		t.Fatalf("decoupled assignments %d >= coupled %d", dec, coup)
+	}
+}
+
+func TestConvergenceModelTracksSim(t *testing.T) {
+	r := Convergence(7)
+	if len(r.Rows) < 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The model's step-10 value should be below its step-0 value.
+	first, _ := strconv.ParseFloat(r.Rows[0][1], 64)
+	last, _ := strconv.ParseFloat(r.Rows[len(r.Rows)-1][1], 64)
+	if last >= first {
+		t.Fatalf("model not converging: first=%v last=%v", first, last)
+	}
+}
+
+func TestHeadlineCLAMShellWins(t *testing.T) {
+	r := Headline(8)
+	// Row 1: throughput ratio must exceed 2x.
+	if ratio := parseRatio(t, r.Rows[1][3]); ratio < 2 {
+		t.Fatalf("throughput ratio = %v, want >= 2", ratio)
+	}
+	// Row 2: variance (gap std) reduction must exceed 2x.
+	if ratio := parseRatio(t, r.Rows[2][3]); ratio < 2 {
+		t.Fatalf("gap-std ratio = %v, want >= 2", ratio)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{90 * time.Second, "1.5m"},
+		{2 * time.Hour, "2.00h"},
+		{1500 * time.Millisecond, "1.5s"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.d); got != c.want {
+			t.Fatalf("fmtDur(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

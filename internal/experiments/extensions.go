@@ -1,0 +1,207 @@
+package experiments
+
+// Extension experiments: features the paper proposes beyond its core
+// evaluation (§4.2 Extensions, §7 Future Directions), implemented and
+// measured here — quality-aware pool maintenance, ensemble hybrid learning,
+// and pool-size maintenance under worker abandonment.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/core"
+	"github.com/clamshell/clamshell/internal/learn"
+	"github.com/clamshell/clamshell/internal/pool"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/straggler"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+func init() {
+	register("objective", "Extension: speed vs quality vs weighted maintenance objectives", ObjectiveAblation)
+	register("ensemble", "Extension: ensemble hybrid learning (model averaging)", EnsembleAblation)
+	register("abandonment", "Extension: pool-size maintenance under worker abandonment", Abandonment)
+	register("earlystop", "Extension: cross-validation convergence stopping (task-count reduction)", EarlyStop)
+	register("qualification", "Extension: qualification gate on recruitment (accuracy vs recruitment latency)", Qualification)
+}
+
+// mixedPop is a market where speed and accuracy anti-correlate: fast
+// workers are sloppy, slow workers careful — the regime where the choice of
+// maintenance objective matters.
+func mixedPop(rng *rand.Rand) worker.Population {
+	inner := worker.Bimodal(rng, 0.5, 2*time.Second, 12*time.Second)
+	return worker.PopulationFunc(func() worker.Params {
+		p := inner.Draw()
+		if p.Mean < 6*time.Second {
+			p.Accuracy = 0.65 // fast and sloppy
+		} else {
+			p.Accuracy = 0.95 // slow and careful
+		}
+		return p
+	})
+}
+
+// ObjectiveAblation compares maintenance objectives on a market where speed
+// and quality trade off: Speed maximizes throughput but keeps sloppy
+// workers, Quality keeps accuracy but tolerates slowness, Weighted sits
+// between.
+func ObjectiveAblation(seed int64) *Result {
+	r := &Result{
+		ID:     "objective",
+		Title:  "Maintenance objective ablation (quorum 3, speed/quality anti-correlated market)",
+		Header: []string{"objective", "total time", "consensus accuracy", "replaced"},
+		Notes:  "paper sec 4.2: maintenance generalizes to quality or weighted objectives",
+	}
+	for _, obj := range []pool.Objective{pool.Speed, pool.Quality, pool.Weighted} {
+		cfg := core.Config{
+			Seed: seed, PoolSize: 12, NumTasks: 250, GroupSize: 1, Quorum: 3,
+			Retainer:   true,
+			Population: mixedPop,
+			Straggler:  straggler.Config{Enabled: true, SpeculationLimit: 1},
+			Maintenance: pool.Config{
+				Enabled:          true,
+				Threshold:        6 * time.Second,
+				UseTermEst:       true,
+				Objective:        obj,
+				QualityThreshold: 0.8,
+				SpeedWeight:      0.5,
+			},
+		}
+		e := core.NewEngine(cfg)
+		res := e.RunLabeling()
+		_, acc := e.ConsensusLabels()
+		r.AddRow(obj.String(), fmtDur(res.TotalTime), fmtF(acc), fmt.Sprint(res.Replaced))
+	}
+	return r
+}
+
+// EnsembleAblation compares the union-model hybrid against the §7 ensemble
+// (separate active/passive models, probability-averaged).
+func EnsembleAblation(seed int64) *Result {
+	r := &Result{
+		ID:     "ensemble",
+		Title:  "Ensemble hybrid learning ablation (CIFAR-like, 300 labels)",
+		Header: []string{"mode", "final acc", "acc@90s", "total time"},
+		Notes:  "paper sec 7: keep active/passive points separate; average the models",
+	}
+	d := learn.CIFARLike(stats.NewRand(seed), 800)
+	for _, ens := range []bool{false, true} {
+		res := core.RunLearning(core.LearnConfig{
+			Config: core.Config{Seed: seed, PoolSize: 20, Retainer: true,
+				Straggler: straggler.Config{Enabled: true}},
+			Dataset:      d,
+			Strategy:     learn.Hybrid,
+			TargetLabels: 300,
+			AsyncRetrain: true,
+			Ensemble:     ens,
+		})
+		name := "union model"
+		if ens {
+			name = "ensemble"
+		}
+		r.AddRow(name, fmtF(res.FinalAccuracy),
+			fmtF(res.Curve.AccuracyAt(90*time.Second)), fmtDur(res.Run.TotalTime))
+	}
+	return r
+}
+
+// EarlyStop demonstrates the paper's stopping rule: labeling halts when
+// k-fold CV accuracy converges, spending fewer labels for nearly the same
+// model.
+func EarlyStop(seed int64) *Result {
+	r := &Result{
+		ID:     "earlystop",
+		Title:  "CV-convergence stopping vs fixed label budget (easy Guyon data)",
+		Header: []string{"mode", "labels used", "final acc", "total time", "cost"},
+		Notes:  "paper sec 2.2: label until model accuracy (cross-validation) converges",
+	}
+	d := learn.Guyon(stats.NewRand(seed), learn.GuyonConfig{
+		N: 1500, Features: 16, Informative: 12, Classes: 2, ClassSep: 1.6,
+	})
+	for _, stop := range []bool{false, true} {
+		res := core.RunLearning(core.LearnConfig{
+			Config: core.Config{Seed: seed, PoolSize: 20, Retainer: true,
+				Straggler: straggler.Config{Enabled: true}},
+			Dataset:           d,
+			Strategy:          learn.Hybrid,
+			TargetLabels:      500,
+			AsyncRetrain:      true,
+			StopOnConvergence: stop,
+		})
+		name := "fixed 500 labels"
+		if stop {
+			name = "stop on CV convergence"
+		}
+		r.AddRow(name, fmt.Sprint(res.Curve.Final().Labels), fmtF(res.FinalAccuracy),
+			fmtDur(res.Run.TotalTime), res.Run.Cost.Total().String())
+	}
+	return r
+}
+
+// Qualification measures the recruitment-quality trade: gating the pool on
+// gold records removes inaccurate workers at the price of longer, costlier
+// recruitment.
+func Qualification(seed int64) *Result {
+	r := &Result{
+		ID:     "qualification",
+		Title:  "Qualification gate on recruitment (accuracy-mixed market, quorum 1)",
+		Header: []string{"qualification", "label accuracy", "recruit cost", "total time"},
+		Notes:  "paper sec 2.2: workers are trained and verified as part of recruitment",
+	}
+	pop := func(rng *rand.Rand) worker.Population {
+		inner := worker.Live(rng)
+		return worker.PopulationFunc(func() worker.Params {
+			p := inner.Draw()
+			if rng.Float64() < 0.4 {
+				p.Accuracy = 0.55 // 40% of the market is careless
+			}
+			return p
+		})
+	}
+	for _, qual := range []int{0, 10} {
+		cfg := core.Config{
+			Seed: seed, PoolSize: 12, NumTasks: 200, GroupSize: 1,
+			Retainer: true, Population: pop,
+			Qualification: qual,
+			Straggler:     straggler.Config{Enabled: true},
+		}
+		e := core.NewEngine(cfg)
+		res := e.RunLabeling()
+		_, acc := e.ConsensusLabels()
+		name := "none"
+		if qual > 0 {
+			name = fmt.Sprintf("%d gold records", qual)
+		}
+		r.AddRow(name, fmtF(acc), res.Cost.RecruitmentPay.String(), fmtDur(res.TotalTime))
+	}
+	return r
+}
+
+// Abandonment measures how automatic pool refill holds throughput as
+// retained workers leave (paper §2.2's pool-size maintenance).
+func Abandonment(seed int64) *Result {
+	r := &Result{
+		ID:     "abandonment",
+		Title:  "Pool-size maintenance under worker abandonment (150 tasks)",
+		Header: []string{"mean stay", "total time", "distinct workers", "final pool"},
+		Notes:  "the engine recruits a replacement for every abandonment; throughput degrades gracefully",
+	}
+	for _, stay := range []time.Duration{0, 10 * time.Minute, 3 * time.Minute, time.Minute} {
+		cfg := core.Config{
+			Seed: seed, PoolSize: 10, NumTasks: 150, GroupSize: 5,
+			Retainer: true, MeanStay: stay,
+			Straggler: straggler.Config{Enabled: true},
+		}
+		e := core.NewEngine(cfg)
+		res := e.RunLabeling()
+		label := "none"
+		if stay > 0 {
+			label = fmtDur(stay)
+		}
+		r.AddRow(label, fmtDur(res.TotalTime),
+			fmt.Sprint(len(res.Trace.ByWorker())),
+			fmt.Sprint(e.Platform().PoolSize()))
+	}
+	return r
+}

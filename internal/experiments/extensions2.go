@@ -1,0 +1,253 @@
+package experiments
+
+// Second wave of extension experiments: iterative quality control (the
+// paper's citation [28]), the Problem 1 cost/latency planner (§2.2's
+// pool-size guidance), pool maintenance under nonstationary workers
+// (§2.1's fatigue factor), the uncertainty-criterion ablation, and the
+// model-choice ablation behind the learning substrate.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/core"
+	"github.com/clamshell/clamshell/internal/learn"
+	"github.com/clamshell/clamshell/internal/metrics"
+	"github.com/clamshell/clamshell/internal/optimizer"
+	"github.com/clamshell/clamshell/internal/pool"
+	"github.com/clamshell/clamshell/internal/quality"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/straggler"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+func init() {
+	register("kos", "Extension: Karger-Oh-Shah iterative quality control vs majority vote vs EM", KOSComparison)
+	register("problem1", "Extension: Problem 1 planner — pool size and ratio guidance under beta", Problem1)
+	register("fatigue", "Extension: pool maintenance under nonstationary (fatiguing) workers", Fatigue)
+	register("criteria", "Extension: uncertainty-criterion ablation (margin/least-confident/entropy/QBC)", Criteria)
+	register("models", "Extension: classifier choice under crowd-noisy labels", Models)
+}
+
+// KOSComparison pits the three label-aggregation estimators against each
+// other on a crowd with spammers and adversaries, across redundancy levels.
+// The paper's quality-control discussion (§4.1) assumes redundancy-based
+// voting; [28] is its citation for doing that voting well.
+func KOSComparison(seed int64) *Result {
+	r := &Result{
+		ID:     "kos",
+		Title:  "Label aggregation: majority vote vs EM (Dawid-Skene) vs KOS [28]",
+		Header: []string{"redundancy", "majority", "EM", "KOS"},
+		Notes:  "400 items; crowd = 50% reliable (0.92), 30% spammers (0.5), 20% adversarial (0.15)",
+	}
+	rng := stats.NewRand(seed)
+	var accs []float64
+	for i := 0; i < 15; i++ {
+		accs = append(accs, 0.92)
+	}
+	for i := 0; i < 9; i++ {
+		accs = append(accs, 0.5)
+	}
+	for i := 0; i < 6; i++ {
+		accs = append(accs, 0.15)
+	}
+	for _, redundancy := range []int{3, 5, 7} {
+		votes, truth := synthCrowdVotes(rng, 400, redundancy, accs)
+		maj := quality.LabelAccuracy(quality.MajorityLabels(votes), truth)
+		em := quality.LabelAccuracy(quality.EstimateAccuracy(votes, 2, 20).Labels, truth)
+		kos := quality.LabelAccuracy(quality.KOS(votes, 10, stats.NewRand(seed+int64(redundancy))).Labels, truth)
+		r.AddRow(fmt.Sprint(redundancy), fmtF(maj), fmtF(em), fmtF(kos))
+	}
+	return r
+}
+
+// synthCrowdVotes builds a random bipartite vote graph over binary items.
+func synthCrowdVotes(rng *rand.Rand, items, redundancy int, accs []float64) ([]quality.Vote, map[int]int) {
+	truth := make(map[int]int, items)
+	var votes []quality.Vote
+	for i := 0; i < items; i++ {
+		truth[i] = rng.Intn(2)
+		perm := rng.Perm(len(accs))[:redundancy]
+		for _, w := range perm {
+			label := truth[i]
+			if rng.Float64() >= accs[w] {
+				label = 1 - label
+			}
+			votes = append(votes, quality.Vote{Item: i, Worker: worker.ID(w + 1), Label: label})
+		}
+	}
+	return votes, truth
+}
+
+// Problem1 regenerates the pool-size guidance the paper promises in §2.2:
+// sweep (p, R) and report the best configuration per preference weight β,
+// plus the full Pareto frontier.
+func Problem1(seed int64) *Result {
+	r := &Result{
+		ID:     "problem1",
+		Title:  "Problem 1 planner: best (p, R) per speed/cost preference beta",
+		Header: []string{"beta", "best p", "best R", "latency", "cost", "pareto size"},
+		Notes:  "objective beta*l + (1-beta)*c, both normalized; 60 tasks, bimodal market, mitigation on",
+	}
+	base := core.Config{
+		Seed: seed, NumTasks: 60, GroupSize: 2, Retainer: true,
+		Population: func(rng *rand.Rand) worker.Population {
+			return worker.Bimodal(rng, 0.6, 3*time.Second, 12*time.Second)
+		},
+		Straggler: straggler.Config{Enabled: true, Policy: straggler.Random},
+	}
+	for _, beta := range []float64{0.2, 0.5, 0.8} {
+		g := optimizer.Plan(optimizer.Params{
+			Base:      base,
+			Beta:      beta,
+			PoolSizes: []int{5, 10, 15, 25},
+			Ratios:    []float64{0.75, 1},
+			Trials:    2,
+		})
+		best := g.Best()
+		r.AddRow(fmtF(beta), fmt.Sprint(best.PoolSize), fmtF(best.Ratio),
+			fmtDur(best.Latency), best.Cost.String(), fmt.Sprint(len(g.Pareto())))
+	}
+	return r
+}
+
+// Fatigue measures pool maintenance against nonstationary workers: when the
+// whole pool drifts slower over time (§2.1's fatigue factor), a maintained
+// pool keeps evicting the drifted and re-recruiting fresh workers, holding
+// the mean pool latency down.
+func Fatigue(seed int64) *Result {
+	r := &Result{
+		ID:     "fatigue",
+		Title:  "Maintenance under worker fatigue (+3%/task drift, warmup 3 tasks; 300 tasks)",
+		Header: []string{"maintenance", "total time", "batch latency first 10", "batch latency last 10", "replaced"},
+		Notes:  "paper sec 6.2: workers may not maintain consistent speed over time — maintenance keeps re-estimating",
+	}
+	pop := func(rng *rand.Rand) worker.Population {
+		return worker.WithDynamics(worker.Live(rng), 0.03, 3)
+	}
+	for _, maint := range []bool{false, true} {
+		cfg := core.Config{
+			Seed: seed, PoolSize: 12, NumTasks: 300, GroupSize: 5,
+			Retainer: true, Population: pop,
+			Straggler: straggler.Config{Enabled: true},
+		}
+		name := "off"
+		if maint {
+			name = "PM8"
+			cfg.Maintenance = pool.Config{
+				Enabled: true, Threshold: 8 * time.Second, UseTermEst: true,
+			}
+		}
+		res := core.NewEngine(cfg).RunLabeling()
+		early, late := batchLatencyWindow(res, 10)
+		r.AddRow(name, fmtDur(res.TotalTime), fmtDur(early), fmtDur(late),
+			fmt.Sprint(res.Replaced))
+	}
+	return r
+}
+
+// batchLatencyWindow averages the batch completion latency over the first
+// and last n batches of a run — drift shows as late ≫ early.
+func batchLatencyWindow(res *metrics.RunResult, n int) (early, late time.Duration) {
+	bs := res.Batches
+	if len(bs) == 0 {
+		return 0, 0
+	}
+	if n > len(bs) {
+		n = len(bs)
+	}
+	var e, l time.Duration
+	for i := 0; i < n; i++ {
+		e += bs[i].Latency
+		l += bs[len(bs)-1-i].Latency
+	}
+	return e / time.Duration(n), l / time.Duration(n)
+}
+
+// Criteria ablates the active-selection uncertainty criterion, including
+// query by committee, with everything else fixed (hybrid strategy,
+// mitigation on, easy Guyon data where active selection matters).
+func Criteria(seed int64) *Result {
+	r := &Result{
+		ID:     "criteria",
+		Title:  "Uncertainty-criterion ablation (hybrid, 300 labels, easy Guyon data)",
+		Header: []string{"criterion", "final acc", "acc@60s", "total time"},
+		Notes:  "margin is the paper's criterion; QBC = query by committee (5 bootstrap models)",
+	}
+	d := learn.Guyon(stats.NewRand(seed), learn.GuyonConfig{
+		N: 1500, Features: 20, Informative: 14, Classes: 2, ClassSep: 1.5,
+	})
+	type variant struct {
+		name      string
+		criterion learn.Criterion
+		committee int
+	}
+	for _, v := range []variant{
+		{"margin", learn.MarginCriterion, 0},
+		{"least-confident", learn.LeastConfident, 0},
+		{"entropy", learn.EntropyCriterion, 0},
+		{"committee(5)", learn.CommitteeCriterion, 5},
+	} {
+		res := core.RunLearning(core.LearnConfig{
+			Config: core.Config{Seed: seed, PoolSize: 20, Retainer: true,
+				Straggler: straggler.Config{Enabled: true}},
+			Dataset:       d,
+			Strategy:      learn.Hybrid,
+			TargetLabels:  300,
+			AsyncRetrain:  true,
+			Criterion:     v.criterion,
+			CommitteeSize: v.committee,
+		})
+		r.AddRow(v.name, fmtF(res.FinalAccuracy),
+			fmtF(res.Curve.AccuracyAt(60*time.Second)), fmtDur(res.Run.TotalTime))
+	}
+	return r
+}
+
+// Models ablates the classifier behind the learning loop under crowd-noisy
+// labels: each model is trained on the same noisy sample of an MNIST-like
+// task at two label budgets.
+func Models(seed int64) *Result {
+	r := &Result{
+		ID:     "models",
+		Title:  "Classifier choice under crowd-noisy labels (MNIST-like, 15% label noise)",
+		Header: []string{"model", "acc@200 labels", "acc@400 labels"},
+		Notes:  "logistic regression is the paper's model; alternatives trade accuracy against retraining cost",
+	}
+	rng := stats.NewRand(seed)
+	d := learn.MNISTLike(rng, 1600)
+	train, test := d.Split(stats.NewRand(seed+1), 0.25)
+
+	// One fixed noisy labeled sample shared by every model.
+	perm := stats.NewRand(seed + 2).Perm(train.Len())
+	noisy := make([]int, train.Len())
+	noiseRNG := stats.NewRand(seed + 3)
+	for i := 0; i < train.Len(); i++ {
+		noisy[i] = train.Y[i]
+		if noiseRNG.Float64() < 0.15 {
+			noisy[i] = noiseRNG.Intn(d.Classes)
+		}
+	}
+	sample := func(n int) ([][]float64, []int) {
+		X := make([][]float64, n)
+		Y := make([]int, n)
+		for i := 0; i < n; i++ {
+			X[i] = train.X[perm[i]]
+			Y[i] = noisy[perm[i]]
+		}
+		return X, Y
+	}
+
+	for _, name := range learn.ModelNames() {
+		var cells []string
+		for _, n := range []int{200, 400} {
+			m := learn.NewClassifier(name, d.Features, d.Classes)
+			X, Y := sample(n)
+			m.Fit(X, Y, stats.NewRand(seed+4))
+			cells = append(cells, fmtF(learn.EvalAccuracy(m, test.X, test.Y)))
+		}
+		r.AddRow(name, cells[0], cells[1])
+	}
+	return r
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestNewExtensionExperimentsProduceTables(t *testing.T) {
+	for _, id := range []string{"kos", "problem1", "fatigue", "criteria", "models", "marketdrift", "taxonomy"} {
+		r, err := Run(id, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(r.Rows) == 0 {
+			t.Errorf("%s: no rows", id)
+		}
+		for i, row := range r.Rows {
+			if len(row) != len(r.Header) {
+				t.Errorf("%s row %d: %d cells, header has %d", id, i, len(row), len(r.Header))
+			}
+		}
+	}
+}
+
+func TestKOSExperimentShape(t *testing.T) {
+	r := KOSComparison(42)
+	// Columns: redundancy, majority, EM, KOS. The graph estimators must not
+	// trail majority voting at any redundancy on the hostile crowd.
+	for _, row := range r.Rows {
+		maj, _ := strconv.ParseFloat(row[1], 64)
+		em, _ := strconv.ParseFloat(row[2], 64)
+		kos, _ := strconv.ParseFloat(row[3], 64)
+		if em < maj-0.01 || kos < maj-0.01 {
+			t.Errorf("redundancy %s: em %.2f / kos %.2f trail majority %.2f",
+				row[0], em, kos, maj)
+		}
+		if kos < 0.8 {
+			t.Errorf("redundancy %s: kos accuracy %.2f, want >= 0.8", row[0], kos)
+		}
+	}
+}
+
+func TestProblem1ExperimentShape(t *testing.T) {
+	r := Problem1(42)
+	// Higher beta (more speed preference) must not pick a *smaller* pool.
+	var prevPool int
+	for i, row := range r.Rows {
+		pool, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("row %d pool: %v", i, err)
+		}
+		if i > 0 && pool < prevPool {
+			t.Errorf("beta %s picked pool %d, smaller than lower-beta winner %d",
+				row[0], pool, prevPool)
+		}
+		prevPool = pool
+	}
+}
+
+func TestMarketDriftExperimentShape(t *testing.T) {
+	r := MarketDrift(42)
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 markets x 2 deployments)", len(r.Rows))
+	}
+	// Retainer rows use exactly the pool size of workers; open-market rows
+	// churn through more.
+	for _, row := range r.Rows {
+		workers, _ := strconv.Atoi(row[4])
+		if row[1] == "retainer pool" && workers != 10 {
+			t.Errorf("retainer run used %d workers, want 10", workers)
+		}
+		if row[1] == "open market" && workers <= 10 {
+			t.Errorf("open-market run used %d workers, want > 10 (churn)", workers)
+		}
+	}
+}
+
+func TestTaxonomyExperimentShape(t *testing.T) {
+	r := Taxonomy(42)
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 phases", len(r.Rows))
+	}
+	wantPhases := []string{"recruitment", "qualification", "work (per task)"}
+	for i, row := range r.Rows {
+		if row[0] != wantPhases[i] {
+			t.Errorf("row %d phase %q, want %q", i, row[0], wantPhases[i])
+		}
+		if n, _ := strconv.Atoi(row[1]); n == 0 {
+			t.Errorf("phase %s has no observations", row[0])
+		}
+	}
+}

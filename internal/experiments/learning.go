@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/core"
+	"github.com/clamshell/clamshell/internal/learn"
+	"github.com/clamshell/clamshell/internal/metrics"
+	"github.com/clamshell/clamshell/internal/pool"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/straggler"
+)
+
+func init() {
+	register("fig15", "Active vs passive vs hybrid on generated datasets (hardness x AL fraction)", Fig15)
+	register("fig16", "Active vs passive vs hybrid on MNIST-like and CIFAR-like data", Fig16)
+	register("fig17", "Time to reach accuracy thresholds: CLAMShell vs Base-R vs Base-NR", Fig17)
+	register("fig18", "Accuracy-vs-wall-clock learning curves for the three strategies", Fig18)
+	register("headline", "Raw labeling throughput and variance: CLAMShell vs Base-NR (sec 6.6)", Headline)
+	register("asyncretrain", "Ablation: asynchronous vs synchronous model retraining", AsyncRetrain)
+}
+
+// hardness tiers for the generated-dataset grid (paper Figure 15 rows:
+// more features, weaker signal, harder problem).
+var genTiers = []struct {
+	name string
+	cfg  learn.GuyonConfig
+}{
+	{"easy(20f)", learn.GuyonConfig{N: 2000, Features: 20, Informative: 12,
+		Classes: 2, ClassSep: 1.8, FlipFrac: 0.02, ClustersPer: 1}},
+	{"medium(40f)", learn.GuyonConfig{N: 2000, Features: 40, Informative: 10,
+		Classes: 2, ClassSep: 1.0, FlipFrac: 0.06, ClustersPer: 2}},
+	{"hard(80f)", learn.GuyonConfig{N: 2000, Features: 80, Informative: 8,
+		Classes: 2, ClassSep: 0.9, FlipFrac: 0.10, ClustersPer: 4}},
+}
+
+// genDataset builds one hardness tier.
+func genDataset(seed int64, tier int) *learn.Dataset {
+	return learn.Guyon(stats.NewRand(seed), genTiers[tier].cfg)
+}
+
+// learningRun executes one strategy over a dataset through the simulated
+// crowd and returns the result.
+func learningRun(seed int64, d *learn.Dataset, strat learn.Strategy, activeFrac float64, target int) *core.LearnResult {
+	return core.RunLearning(core.LearnConfig{
+		Config: core.Config{
+			Seed:      seed,
+			PoolSize:  20,
+			Retainer:  true,
+			Straggler: straggler.Config{Enabled: true, Policy: straggler.Random},
+		},
+		Dataset:        d,
+		Strategy:       strat,
+		ActiveFraction: activeFrac,
+		TargetLabels:   target,
+		AsyncRetrain:   true,
+	})
+}
+
+// Fig15 reproduces the generated-dataset grid: dataset hardness (rows) by
+// active-learning fraction r (columns). As in the paper, strategies are
+// compared at equal wall-clock time with equal crowd resources: active
+// learning's small batches (k = r*p) underuse the pool, so on hard datasets
+// where selection is uninformative, passive's full-pool parallelism wins.
+func Fig15(seed int64) *Result {
+	r := &Result{
+		ID:     "fig15",
+		Title:  "Learning strategies on generated datasets (accuracy at fixed wall clock)",
+		Header: []string{"dataset", "r=k/p", "active@90s", "passive@90s", "hybrid@90s"},
+		Notes:  "paper: active wins on easy data, passive on hard; hybrid >= both",
+	}
+	const budget = 90 * time.Second
+	const reps = 3
+	for tier := range genTiers {
+		for _, frac := range []float64{0.25, 0.5, 0.75} {
+			var a, p, h float64
+			for rep := int64(0); rep < reps; rep++ {
+				d := genDataset(seed+int64(tier)*100+rep, tier)
+				a += learningRun(seed+rep, d, learn.Active, frac, 400).Curve.AccuracyAt(budget)
+				p += learningRun(seed+rep, d, learn.Passive, frac, 400).Curve.AccuracyAt(budget)
+				h += learningRun(seed+rep, d, learn.Hybrid, frac, 400).Curve.AccuracyAt(budget)
+			}
+			r.AddRow(genTiers[tier].name, fmtF(frac), fmtF(a/reps), fmtF(p/reps), fmtF(h/reps))
+		}
+	}
+	return r
+}
+
+// Fig16 reproduces the real-world-dataset comparison on the MNIST-like and
+// CIFAR-like stand-ins with live-style workers.
+func Fig16(seed int64) *Result {
+	r := &Result{
+		ID:     "fig16",
+		Title:  "Learning strategies on MNIST-like / CIFAR-like (300-label budget)",
+		Header: []string{"dataset", "r=k/p", "strategy", "acc@90s", "final acc", "time"},
+		Notes:  "paper: hybrid is always the preferred solution over time",
+	}
+	datasets := []*learn.Dataset{
+		learn.MNISTLike(stats.NewRand(seed), 800),
+		learn.CIFARLike(stats.NewRand(seed+1), 500),
+	}
+	const budget = 90 * time.Second
+	for _, d := range datasets {
+		for _, frac := range []float64{0.25, 0.5, 0.75} {
+			for _, strat := range []learn.Strategy{learn.Active, learn.Passive, learn.Hybrid} {
+				res := learningRun(seed, d, strat, frac, 300)
+				r.AddRow(d.Name, fmtF(frac), strat.String(),
+					fmtF(res.Curve.AccuracyAt(budget)),
+					fmtF(res.FinalAccuracy), fmtDur(res.Run.TotalTime))
+			}
+		}
+	}
+	return r
+}
+
+// endToEnd runs the three §6.6 systems over a dataset with a 500-label
+// budget.
+func endToEnd(seed int64, d *learn.Dataset) (cs, br, bnr *core.LearnResult) {
+	csCfg := core.CLAMShellConfig(seed, 20, d)
+	csCfg.TargetLabels = 500
+	brCfg := core.BaseRConfig(seed, 20, d)
+	brCfg.TargetLabels = 500
+	bnrCfg := core.BaseNRConfig(seed, 20, d)
+	bnrCfg.TargetLabels = 500
+	return core.RunLearning(csCfg), core.RunLearning(brCfg), core.RunLearning(bnrCfg)
+}
+
+// Fig17 reports the wall-clock time for each system to reach fixed accuracy
+// thresholds.
+func Fig17(seed int64) *Result {
+	r := &Result{
+		ID:     "fig17",
+		Title:  "Time to reach model accuracy (500-label budget)",
+		Header: []string{"dataset", "threshold", "CLAMShell", "Base-R", "Base-NR", "CS vs NR"},
+		Notes:  "paper: CLAMShell reaches 75% 4-5x faster than Base-NR; '-' = never reached",
+	}
+	datasets := []*learn.Dataset{
+		learn.MNISTLike(stats.NewRand(seed), 800),
+		learn.CIFARLike(stats.NewRand(seed+1), 500),
+	}
+	for _, d := range datasets {
+		cs, br, bnr := endToEnd(seed, d)
+		for _, th := range []float64{0.65, 0.70, 0.75, 0.80} {
+			cell := func(lr *core.LearnResult) (string, float64) {
+				if t, ok := lr.Curve.TimeToAccuracy(th); ok {
+					return fmtDur(t), t.Seconds()
+				}
+				return "-", 0
+			}
+			c1, t1 := cell(cs)
+			c2, _ := cell(br)
+			c3, t3 := cell(bnr)
+			ratio := "-"
+			if t1 > 0 && t3 > 0 {
+				ratio = fmtX(t3 / t1)
+			}
+			r.AddRow(d.Name, fmtF(th), c1, c2, c3, ratio)
+		}
+	}
+	return r
+}
+
+// Fig18 emits the accuracy-over-time curves for the three systems.
+func Fig18(seed int64) *Result {
+	r := &Result{
+		ID:     "fig18",
+		Title:  "Wall-clock time vs model accuracy (MNIST-like)",
+		Header: []string{"system", "time", "labels", "accuracy"},
+		Notes:  "paper: CLAMShell dominates both baselines across the curve",
+	}
+	d := learn.MNISTLike(stats.NewRand(seed), 800)
+	cs, br, bnr := endToEnd(seed, d)
+	emit := func(name string, curve metrics.LearningCurve) {
+		step := len(curve) / 8
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(curve); i += step {
+			p := curve[i]
+			r.AddRow(name, fmtDur(p.T), fmt.Sprint(p.Labels), fmtF(p.Accuracy))
+		}
+		last := curve.Final()
+		r.AddRow(name, fmtDur(last.T), fmt.Sprint(last.Labels), fmtF(last.Accuracy))
+	}
+	emit("CLAMShell", cs.Curve)
+	emit("Base-R", br.Curve)
+	emit("Base-NR", bnr.Curve)
+	return r
+}
+
+// Headline reproduces the §6.6 raw-labeling claim: CLAMShell's labeling
+// throughput and batch-latency variance versus Base-NR on 500 labels.
+func Headline(seed int64) *Result {
+	r := &Result{
+		ID:     "headline",
+		Title:  "Raw labeling of 500 points: CLAMShell vs Base-NR",
+		Header: []string{"metric", "CLAMShell", "Base-NR", "ratio"},
+		Notes:  "paper: 7.24x throughput, 151x variance reduction (3.1s vs 475s std)",
+	}
+	full := core.Config{
+		Seed: seed, PoolSize: 20, NumTasks: 500, GroupSize: 1,
+		Retainer:    true,
+		Straggler:   stragglerOn(),
+		Maintenance: poolOn(),
+	}
+	base := core.Config{
+		Seed: seed, PoolSize: 20, NumTasks: 500, GroupSize: 1,
+		Retainer: false,
+	}
+	cs := core.NewEngine(full).RunLabeling()
+	nr := core.NewEngine(base).RunLabeling()
+
+	csStd := stats.Std(interCompletionGaps(cs))
+	nrStd := stats.Std(interCompletionGaps(nr))
+
+	r.AddRow("total time", fmtDur(cs.TotalTime), fmtDur(nr.TotalTime),
+		fmtX(nr.TotalTime.Seconds()/cs.TotalTime.Seconds()))
+	r.AddRow("throughput (labels/s)", fmtF(cs.Throughput()), fmtF(nr.Throughput()),
+		fmtX(cs.Throughput()/nr.Throughput()))
+	r.AddRow("completion-gap std (s)", fmtF(csStd), fmtF(nrStd), fmtX(nrStd/max1(csStd)))
+	r.AddRow("cost", cs.Cost.Total().String(), nr.Cost.Total().String(),
+		fmtF(float64(cs.Cost.Total())/float64(nr.Cost.Total())))
+	return r
+}
+
+// interCompletionGaps returns the gaps between successive label completions
+// in seconds — the variance the paper's predictability claim is about.
+func interCompletionGaps(res *metrics.RunResult) []float64 {
+	var out []float64
+	for i := 1; i < len(res.LabelTimeline); i++ {
+		out = append(out, (res.LabelTimeline[i].T - res.LabelTimeline[i-1].T).Seconds())
+	}
+	return out
+}
+
+// AsyncRetrain measures the decision-latency cost of synchronous retraining
+// versus CLAMShell's pipelined retrainer (§5.3 ablation).
+func AsyncRetrain(seed int64) *Result {
+	r := &Result{
+		ID:     "asyncretrain",
+		Title:  "Asynchronous vs synchronous retraining (active, 300 labels)",
+		Header: []string{"mode", "total time", "final acc"},
+		Notes:  "async pipelines retraining with labeling; sync blocks each batch",
+	}
+	d := genDataset(seed, 1)
+	for _, async := range []bool{true, false} {
+		res := core.RunLearning(core.LearnConfig{
+			Config: core.Config{Seed: seed, PoolSize: 20, Retainer: true,
+				Straggler: straggler.Config{Enabled: true, Policy: straggler.Random}},
+			Dataset:      d,
+			Strategy:     learn.Active,
+			TargetLabels: 300,
+			AsyncRetrain: async,
+		})
+		name := "synchronous"
+		if async {
+			name = "asynchronous"
+		}
+		r.AddRow(name, fmtDur(res.Run.TotalTime), fmtF(res.FinalAccuracy))
+	}
+	return r
+}
+
+// stragglerOn and poolOn are tiny helpers keeping Headline readable.
+func stragglerOn() straggler.Config {
+	return straggler.Config{Enabled: true, Policy: straggler.Random}
+}
+
+func poolOn() pool.Config {
+	return pool.Config{Enabled: true, Threshold: 8 * time.Second, UseTermEst: true}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+// Market-drift experiment: §1 and §2 of the paper motivate retainer pools
+// partly by the observation that "the quantity, quality, and speed of
+// available workers on crowd platforms ... can fluctuate wildly". A
+// retainer pool recruited while the market is good insulates a run from a
+// deteriorating market; an open-market (Base-NR style) deployment keeps
+// recruiting into the deterioration and pays for it in latency.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/core"
+	"github.com/clamshell/clamshell/internal/straggler"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+func init() {
+	register("marketdrift", "Extension: retainer pools insulate against a deteriorating market", MarketDrift)
+}
+
+// driftingMarket returns a population where the market turns bad after the
+// first `goodDraws` recruits: every later recruit's mean latency is scaled
+// by 1 + rate*(draws − goodDraws), capped at 5x. A retainer pool of size
+// goodDraws is fully recruited before the deterioration; an open-market
+// run churns through replacements and keeps recruiting into it.
+func driftingMarket(rate float64, goodDraws int) func(rng *rand.Rand) worker.Population {
+	return func(rng *rand.Rand) worker.Population {
+		inner := worker.Bimodal(rng, 0.7, 3*time.Second, 10*time.Second)
+		draws := 0
+		return worker.PopulationFunc(func() worker.Params {
+			p := inner.Draw()
+			factor := 1.0
+			if draws >= goodDraws {
+				factor = 1 + rate*float64(draws-goodDraws+1)
+				if factor > 5 {
+					factor = 5
+				}
+			}
+			draws++
+			p.Mean = time.Duration(float64(p.Mean) * factor)
+			p.Std = time.Duration(float64(p.Std) * factor)
+			return p
+		})
+	}
+}
+
+// MarketDrift compares retainer and open-market deployments on stable and
+// deteriorating markets.
+func MarketDrift(seed int64) *Result {
+	r := &Result{
+		ID:     "marketdrift",
+		Title:  "Retainer pool vs open market on a deteriorating worker market (200 tasks)",
+		Header: []string{"market", "deployment", "total time", "cost", "workers used"},
+		Notes:  "market turns bad after the first 10 recruits (+25%/recruit thereafter, capped 5x)",
+	}
+	for _, drift := range []struct {
+		name string
+		rate float64
+	}{
+		{"stable", 0},
+		{"deteriorating", 0.25},
+	} {
+		for _, retainer := range []bool{true, false} {
+			cfg := core.Config{
+				Seed: seed, PoolSize: 10, NumTasks: 200, GroupSize: 2,
+				Retainer:   retainer,
+				Population: driftingMarket(drift.rate, 10),
+				Straggler:  straggler.Config{Enabled: retainer},
+			}
+			res := core.NewEngine(cfg).RunLabeling()
+			name := "open market"
+			if retainer {
+				name = "retainer pool"
+			}
+			r.AddRow(drift.name, name, fmtDur(res.TotalTime),
+				res.Cost.Total().String(),
+				fmt.Sprint(len(res.Trace.ByWorker())))
+		}
+	}
+	return r
+}

@@ -1,0 +1,565 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/core"
+	"github.com/clamshell/clamshell/internal/metrics"
+	"github.com/clamshell/clamshell/internal/pool"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/straggler"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+func init() {
+	register("fig2", "CDFs of per-worker latency mean and stddev (medical deployment)", Fig2)
+	register("fig3", "Points labeled over time: maintenance on/off x task complexity", Fig3)
+	register("fig4", "End-to-end latency and cost with/without pool maintenance", Fig4)
+	register("fig5", "Worker age vs per-label latency, PM8 vs PMinf", Fig5)
+	register("fig6", "Mean pool latency per batch, maintenance on/off", Fig6)
+	register("fig7", "Workers replaced over time vs maintenance threshold", Fig7)
+	register("fig8", "Task latency percentiles vs threshold, by worker-age slice", Fig8)
+	register("fig9", "Straggler mitigation: per-batch task-latency stddev", Fig9)
+	register("fig10", "Points labeled over time with/without straggler mitigation", Fig10)
+	register("fig11", "Straggler mitigation: cost, latency, variance summary", Fig11)
+	register("fig12", "Combining mitigation and maintenance: 2x2 configuration grid", Fig12)
+	register("fig13", "Per-assignment Gantt summary per configuration", Fig13)
+	register("fig14", "TermEst restores the replacement rate under mitigation", Fig14)
+	register("routing", "Straggler routing policy ablation (random vs oracle)", Routing)
+	register("qcdecouple", "Decoupled vs naive coupling of mitigation and quality control", QCDecouple)
+	register("convergence", "Maintained-pool MPL vs the analytic convergence model", Convergence)
+}
+
+// bimodalPop is the slow-heavy population used by the maintenance figures:
+// half the market labels a record in ~2s, half in ~20s.
+func bimodalPop(rng *rand.Rand) worker.Population {
+	return worker.Bimodal(rng, 0.5, 2*time.Second, 20*time.Second)
+}
+
+// Fig2 samples the medical-deployment population and reports the CDFs of
+// per-worker mean latency and per-worker stddev (paper Figure 2).
+func Fig2(seed int64) *Result {
+	rng := stats.NewRand(seed)
+	ps := worker.DrawN(worker.Medical(rng), 1000)
+	means := make([]float64, len(ps))
+	stds := make([]float64, len(ps))
+	for i, p := range ps {
+		means[i] = p.Mean.Minutes()
+		stds[i] = p.Std.Minutes()
+	}
+	r := &Result{
+		ID:     "fig2",
+		Title:  "Distribution of worker latencies (1000 workers, minutes)",
+		Header: []string{"percentile", "mean latency", "latency stddev"},
+		Notes:  "paper: means spread from tens of seconds to hours; heavy tail",
+	}
+	for _, p := range []float64{10, 25, 50, 75, 90, 99} {
+		r.AddRow(fmt.Sprintf("p%.0f", p),
+			fmtF(stats.Percentile(means, p))+"m",
+			fmtF(stats.Percentile(stds, p))+"m")
+	}
+	return r
+}
+
+// maintenanceRun labels 500 MNIST-like tasks at a given complexity with or
+// without maintenance over the slow-heavy pool.
+func maintenanceRun(seed int64, ng int, pm bool) *metrics.RunResult {
+	cfg := core.Config{
+		Seed: seed, PoolSize: 15, NumTasks: 500, GroupSize: ng,
+		Retainer: true, Population: bimodalPop,
+	}
+	if pm {
+		cfg.Maintenance = pool.Config{Enabled: true, Threshold: 8 * time.Second}
+	}
+	return core.NewEngine(cfg).RunLabeling()
+}
+
+// timelineMilestones extracts the times at which a run reached the given
+// fractions of its final label count.
+func timelineMilestones(res *metrics.RunResult, fracs []float64) []time.Duration {
+	total := res.TotalLabels()
+	out := make([]time.Duration, len(fracs))
+	for i, f := range fracs {
+		target := int(f * float64(total))
+		for _, p := range res.LabelTimeline {
+			if p.Labels >= target {
+				out[i] = p.T
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Fig3 reports the label-acquisition timeline for each task complexity with
+// maintenance on (PM8) and off (PMinf).
+func Fig3(seed int64) *Result {
+	r := &Result{
+		ID:     "fig3",
+		Title:  "Points labeled over time (500 tasks, Np=15)",
+		Header: []string{"complexity", "config", "25%", "50%", "75%", "100%"},
+		Notes:  "paper: simple tasks uniform; maintenance culls stragglers on medium/complex",
+	}
+	for _, c := range []struct {
+		name string
+		ng   int
+	}{{"simple(Ng=1)", 1}, {"medium(Ng=5)", 5}, {"complex(Ng=10)", 10}} {
+		for _, pm := range []bool{true, false} {
+			res := maintenanceRun(seed, c.ng, pm)
+			ms := timelineMilestones(res, []float64{0.25, 0.5, 0.75, 1})
+			name := "PM8"
+			if !pm {
+				name = "PMinf"
+			}
+			r.AddRow(c.name, name, fmtDur(ms[0]), fmtDur(ms[1]), fmtDur(ms[2]), fmtDur(ms[3]))
+		}
+	}
+	return r
+}
+
+// Fig4 reports end-to-end latency and cost per complexity with and without
+// maintenance, plus the speedup and cost ratios.
+func Fig4(seed int64) *Result {
+	r := &Result{
+		ID:     "fig4",
+		Title:  "End-to-end latency and cost, maintenance on/off",
+		Header: []string{"complexity", "PM8 time", "PMinf time", "speedup", "PM8 cost", "PMinf cost", "cost ratio"},
+		Notes:  "paper: ~1x simple, 1.3x medium, 1.8x complex; cost down 7-16% on medium/complex",
+	}
+	for _, c := range []struct {
+		name string
+		ng   int
+	}{{"simple(Ng=1)", 1}, {"medium(Ng=5)", 5}, {"complex(Ng=10)", 10}} {
+		on := maintenanceRun(seed, c.ng, true)
+		off := maintenanceRun(seed, c.ng, false)
+		r.AddRow(c.name,
+			fmtDur(on.TotalTime), fmtDur(off.TotalTime),
+			fmtX(off.TotalTime.Seconds()/on.TotalTime.Seconds()),
+			on.Cost.Total().String(), off.Cost.Total().String(),
+			fmtF(float64(on.Cost.Total())/float64(off.Cost.Total())))
+	}
+	return r
+}
+
+// ageBuckets classifies age samples into the paper's fast/medium/slow
+// per-label latency categories by worker-age bucket.
+func ageBuckets(samples []metrics.AgeSample) map[int][3]int {
+	out := make(map[int][3]int)
+	for _, s := range samples {
+		bucket := s.Age / 5 * 5 // 0-4 -> 0, 5-9 -> 5, ...
+		if bucket > 20 {
+			bucket = 20
+		}
+		v := out[bucket]
+		switch {
+		case s.PerLabel < 4:
+			v[0]++
+		case s.PerLabel < 8:
+			v[1]++
+		default:
+			v[2]++
+		}
+		out[bucket] = v
+	}
+	return out
+}
+
+// Fig5 reports, per worker-age bucket, the share of slow tasks with and
+// without maintenance: maintenance purges slow workers as age grows.
+func Fig5(seed int64) *Result {
+	r := &Result{
+		ID:     "fig5",
+		Title:  "Worker age vs per-label latency (Ng=5)",
+		Header: []string{"config", "age bucket", "fast(<4s)", "med(5-7s)", "slow(>=8s)", "slow share"},
+		Notes:  "paper: with PM8, slow tasks vanish once workers age past ~4 minutes",
+	}
+	for _, pm := range []bool{true, false} {
+		res := maintenanceRun(seed, 5, pm)
+		name := "PM8"
+		if !pm {
+			name = "PMinf"
+		}
+		buckets := ageBuckets(res.AgeSamples)
+		for _, b := range sortedKeys(buckets) {
+			v := buckets[b]
+			total := v[0] + v[1] + v[2]
+			if total == 0 {
+				continue
+			}
+			label := fmt.Sprintf("%d-%d", b, b+4)
+			if b == 20 {
+				label = "20+"
+			}
+			r.AddRow(name, label,
+				fmt.Sprint(v[0]), fmt.Sprint(v[1]), fmt.Sprint(v[2]),
+				fmtF(float64(v[2])/float64(total)))
+		}
+	}
+	return r
+}
+
+// Fig6 reports the mean-pool-latency trajectory across batches with and
+// without maintenance: under PM8 the MPL converges down toward the
+// fast-worker mean; without maintenance it stays pinned at the initial
+// pool's mean.
+func Fig6(seed int64) *Result {
+	r := &Result{
+		ID:     "fig6",
+		Title:  "Mean pool latency over batches (seconds)",
+		Header: []string{"config", "MPL@start", "MPL@25%", "MPL@50%", "MPL@end", "late std"},
+		Notes:  "paper: maintenance removes the slow tail of the pool over time",
+	}
+	for _, pm := range []bool{true, false} {
+		res := maintenanceRun(seed, 5, pm)
+		name := "PM8"
+		if !pm {
+			name = "PMinf"
+		}
+		mpl := res.MeanPoolLatencies()
+		if len(mpl) > 1 {
+			mpl = mpl[1:] // estimates are empty until observations land
+		}
+		at := func(frac float64) float64 {
+			i := int(frac * float64(len(mpl)-1))
+			return mpl[i]
+		}
+		late := mpl[len(mpl)/2:]
+		r.AddRow(name, fmtF(at(0)), fmtF(at(0.25)), fmtF(at(0.5)), fmtF(at(1)),
+			fmtF(stats.Std(late)))
+	}
+	return r
+}
+
+// Fig7 sweeps the maintenance threshold and reports replacement counts.
+func Fig7(seed int64) *Result {
+	r := &Result{
+		ID:     "fig7",
+		Title:  "Workers replaced vs maintenance threshold (500 tasks, Ng=5)",
+		Header: []string{"threshold", "replaced", "total time"},
+		Notes:  "paper: lower thresholds replace more workers; too low thrashes",
+	}
+	for _, th := range []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second,
+		16 * time.Second, 32 * time.Second} {
+		cfg := core.Config{
+			Seed: seed, PoolSize: 15, NumTasks: 500, GroupSize: 5,
+			Retainer: true, Population: bimodalPop,
+			Maintenance: pool.Config{Enabled: true, Threshold: th},
+		}
+		res := core.NewEngine(cfg).RunLabeling()
+		r.AddRow(fmtDur(th), fmt.Sprint(res.Replaced), fmtDur(res.TotalTime))
+	}
+	return r
+}
+
+// Fig8 reports per-label latency percentiles by worker-age slice across
+// thresholds.
+func Fig8(seed int64) *Result {
+	r := &Result{
+		ID:     "fig8",
+		Title:  "Per-label latency percentiles vs threshold, by worker-age slice",
+		Header: []string{"threshold", "age slice", "p50", "p95", "p99"},
+		Notes:  "paper: thresholds cut the extrema hardest; PM8 ~2x on stragglers",
+	}
+	for _, th := range []time.Duration{2 * time.Second, 8 * time.Second, 32 * time.Second} {
+		cfg := core.Config{
+			Seed: seed, PoolSize: 15, NumTasks: 500, GroupSize: 5,
+			Retainer: true, Population: bimodalPop,
+			Maintenance: pool.Config{Enabled: true, Threshold: th},
+		}
+		res := core.NewEngine(cfg).RunLabeling()
+		slices := map[string][]float64{"age<5": nil, "5<=age<15": nil, "age>=15": nil}
+		for _, s := range res.AgeSamples {
+			switch {
+			case s.Age < 5:
+				slices["age<5"] = append(slices["age<5"], s.PerLabel)
+			case s.Age < 15:
+				slices["5<=age<15"] = append(slices["5<=age<15"], s.PerLabel)
+			default:
+				slices["age>=15"] = append(slices["age>=15"], s.PerLabel)
+			}
+		}
+		for _, name := range []string{"age<5", "5<=age<15", "age>=15"} {
+			xs := slices[name]
+			if len(xs) == 0 {
+				continue
+			}
+			r.AddRow(fmtDur(th), name,
+				fmtF(stats.Percentile(xs, 50)),
+				fmtF(stats.Percentile(xs, 95)),
+				fmtF(stats.Percentile(xs, 99)))
+		}
+	}
+	return r
+}
+
+// stragglerRun labels CIFAR-like tasks (Ng=5, Np=15) at a given pool/batch
+// ratio with or without mitigation.
+func stragglerRun(seed int64, ratio float64, sm bool) *metrics.RunResult {
+	cfg := core.Config{
+		Seed: seed, PoolSize: 15, PoolBatchRatio: ratio, NumTasks: 120,
+		GroupSize: 5, Retainer: true,
+		Straggler: straggler.Config{Enabled: sm, Policy: straggler.Random},
+	}
+	return core.NewEngine(cfg).RunLabeling()
+}
+
+// Fig9 reports the per-batch task-latency stddev with and without
+// mitigation at several pool/batch ratios.
+func Fig9(seed int64) *Result {
+	r := &Result{
+		ID:     "fig9",
+		Title:  "Per-batch task-latency stddev (seconds), SM vs NoSM",
+		Header: []string{"R", "SM std", "NoSM std", "reduction"},
+		Notes:  "paper: mitigation cuts stddev 5-10x across batches",
+	}
+	for _, ratio := range []float64{0.5, 0.75, 1, 3} {
+		sm := stats.Mean(stragglerRun(seed, ratio, true).BatchStds())
+		no := stats.Mean(stragglerRun(seed, ratio, false).BatchStds())
+		r.AddRow(fmtF(ratio), fmtF(sm), fmtF(no), fmtX(no/max1(sm)))
+	}
+	return r
+}
+
+// Fig10 reports label-timeline milestones with and without mitigation.
+func Fig10(seed int64) *Result {
+	r := &Result{
+		ID:     "fig10",
+		Title:  "Points labeled over time, SM vs NoSM",
+		Header: []string{"R", "config", "25%", "50%", "75%", "100%"},
+		Notes:  "paper: SM completes batches without waiting on stragglers",
+	}
+	for _, ratio := range []float64{0.75, 1, 3} {
+		for _, sm := range []bool{true, false} {
+			res := stragglerRun(seed, ratio, sm)
+			ms := timelineMilestones(res, []float64{0.25, 0.5, 0.75, 1})
+			name := "SM"
+			if !sm {
+				name = "NoSM"
+			}
+			r.AddRow(fmtF(ratio), name, fmtDur(ms[0]), fmtDur(ms[1]), fmtDur(ms[2]), fmtDur(ms[3]))
+		}
+	}
+	return r
+}
+
+// Fig11 summarizes mitigation's cost/latency/variance trade-off.
+func Fig11(seed int64) *Result {
+	r := &Result{
+		ID:     "fig11",
+		Title:  "Straggler mitigation summary",
+		Header: []string{"R", "latency speedup", "std reduction", "cost ratio"},
+		Notes:  "paper: ~1-2x cost buys 2.5-5x latency and 4-14x variance",
+	}
+	for _, ratio := range []float64{0.5, 0.75, 1, 3} {
+		sm := stragglerRun(seed, ratio, true)
+		no := stragglerRun(seed, ratio, false)
+		r.AddRow(fmtF(ratio),
+			fmtX(no.TotalTime.Seconds()/sm.TotalTime.Seconds()),
+			fmtX(stats.Mean(no.BatchStds())/max1(stats.Mean(sm.BatchStds()))),
+			fmtX(float64(sm.Cost.Total())/float64(no.Cost.Total())))
+	}
+	return r
+}
+
+// combinedRun executes one cell of the SM x PM grid.
+func combinedRun(seed int64, sm, pm bool) *metrics.RunResult {
+	cfg := core.Config{
+		Seed: seed, PoolSize: 15, NumTasks: 200, GroupSize: 5,
+		Retainer: true, Population: bimodalPop,
+		Straggler: straggler.Config{Enabled: sm, Policy: straggler.Random},
+	}
+	if pm {
+		cfg.Maintenance = pool.Config{
+			Enabled: true, Threshold: 8 * time.Second, UseTermEst: sm,
+		}
+	}
+	return core.NewEngine(cfg).RunLabeling()
+}
+
+// Fig12 reports the 2x2 grid of mitigation x maintenance.
+func Fig12(seed int64) *Result {
+	r := &Result{
+		ID:     "fig12",
+		Title:  "Combining per-batch techniques (200 tasks, Ng=5)",
+		Header: []string{"config", "total time", "batch std (s)", "cost", "replaced"},
+		Notes:  "paper: combined up to 6x latency, 15x stddev vs baseline",
+	}
+	for _, cell := range []struct {
+		name   string
+		sm, pm bool
+	}{
+		{"NoSM+PMinf", false, false},
+		{"NoSM+PM8", false, true},
+		{"SM+PMinf", true, false},
+		{"SM+PM8", true, true},
+	} {
+		res := combinedRun(seed, cell.sm, cell.pm)
+		r.AddRow(cell.name, fmtDur(res.TotalTime),
+			fmtF(stats.Mean(res.BatchStds())),
+			res.Cost.Total().String(), fmt.Sprint(res.Replaced))
+	}
+	return r
+}
+
+// Fig13 summarizes the per-assignment trace per configuration: assignment
+// counts, termination counts, batch span — the data behind the Gantt view.
+func Fig13(seed int64) *Result {
+	r := &Result{
+		ID:     "fig13",
+		Title:  "Per-assignment trace summary per configuration",
+		Header: []string{"config", "assignments", "completed", "terminated", "workers", "mean assign (s)"},
+		Notes:  "full event log available via RunResult.Trace for plotting",
+	}
+	for _, cell := range []struct {
+		name   string
+		sm, pm bool
+	}{
+		{"NoSM+PMinf", false, false},
+		{"NoSM+PM8", false, true},
+		{"SM+PMinf", true, false},
+		{"SM+PM8", true, true},
+	} {
+		res := combinedRun(seed, cell.sm, cell.pm)
+		tr := res.Trace
+		var lats []float64
+		for _, e := range tr.Events {
+			lats = append(lats, e.Latency().Seconds())
+		}
+		r.AddRow(cell.name,
+			fmt.Sprint(len(tr.Events)),
+			fmt.Sprint(len(tr.Completed())),
+			fmt.Sprint(tr.TerminatedCount()),
+			fmt.Sprint(len(tr.ByWorker())),
+			fmtF(stats.Mean(lats)))
+	}
+	return r
+}
+
+// Fig14 compares replacement rates with and without TermEst under
+// mitigation, against the no-mitigation reference.
+func Fig14(seed int64) *Result {
+	r := &Result{
+		ID:     "fig14",
+		Title:  "TermEst effect on replacement rate (alpha=1)",
+		Header: []string{"config", "replaced", "total time"},
+		Notes:  "paper: without TermEst censoring masks slow workers and replacement collapses",
+	}
+	runs := []struct {
+		name    string
+		sm, est bool
+	}{
+		{"NoSM (reference)", false, false},
+		{"SM without TermEst", true, false},
+		{"SM with TermEst", true, true},
+	}
+	for _, cell := range runs {
+		cfg := core.Config{
+			Seed: seed, PoolSize: 15, NumTasks: 300, GroupSize: 5,
+			Retainer: true, Population: bimodalPop,
+			Straggler: straggler.Config{Enabled: cell.sm, Policy: straggler.Random},
+			Maintenance: pool.Config{
+				Enabled: true, Threshold: 8 * time.Second,
+				UseTermEst: cell.est, TermEstAlpha: 1,
+			},
+		}
+		res := core.NewEngine(cfg).RunLabeling()
+		r.AddRow(cell.name, fmt.Sprint(res.Replaced), fmtDur(res.TotalTime))
+	}
+	return r
+}
+
+// Routing reproduces the §4.1 simulation: the straggler routing policy does
+// not matter.
+func Routing(seed int64) *Result {
+	r := &Result{
+		ID:     "routing",
+		Title:  "Straggler routing policy ablation (120 tasks, R=1)",
+		Header: []string{"policy", "total time", "batch std (s)"},
+		Notes:  "paper: random performs as fast as the oracle",
+	}
+	for _, pol := range []straggler.Policy{straggler.Random, straggler.LongestRunning,
+		straggler.FewestActive, straggler.Oracle} {
+		cfg := core.Config{
+			Seed: seed, PoolSize: 15, NumTasks: 120, GroupSize: 5, Retainer: true,
+			Straggler: straggler.Config{Enabled: true, Policy: pol},
+		}
+		res := core.NewEngine(cfg).RunLabeling()
+		r.AddRow(pol.String(), fmtDur(res.TotalTime), fmtF(stats.Mean(res.BatchStds())))
+	}
+	return r
+}
+
+// QCDecouple compares decoupled and naive coupled mitigation under a
+// 3-vote quorum.
+func QCDecouple(seed int64) *Result {
+	r := &Result{
+		ID:     "qcdecouple",
+		Title:  "Quality-control coupling ablation (quorum 3)",
+		Header: []string{"mode", "total time", "assignments", "cost"},
+		Notes:  "paper: decoupling avoids redundant duplicates, up to ~30% per-batch latency win",
+	}
+	for _, cell := range []struct {
+		name    string
+		coupled bool
+	}{{"decoupled (limit 1)", false}, {"coupled (naive 2Q)", true}} {
+		cfg := core.Config{
+			Seed: seed, PoolSize: 15, PoolBatchRatio: 3, NumTasks: 60,
+			GroupSize: 1, Quorum: 3, Retainer: true,
+			Straggler: straggler.Config{
+				Enabled: true, Policy: straggler.Random,
+				SpeculationLimit: 1, Coupled: cell.coupled,
+			},
+		}
+		res := core.NewEngine(cfg).RunLabeling()
+		r.AddRow(cell.name, fmtDur(res.TotalTime),
+			fmt.Sprint(len(res.Trace.Events)), res.Cost.Total().String())
+	}
+	return r
+}
+
+// Convergence compares the simulated maintained-pool MPL to the analytic
+// model of §4.2.
+func Convergence(seed int64) *Result {
+	rng := stats.NewRand(seed)
+	pop := worker.Bimodal(rng, 0.5, 2*time.Second, 20*time.Second)
+	// Fit the model from a large population sample.
+	sample := worker.DrawN(pop, 2000)
+	means := make([]float64, len(sample))
+	for i, p := range sample {
+		means[i] = p.Mean.Seconds()
+	}
+	model := pool.FitConvergenceModel(means, 8)
+
+	cfg := core.Config{
+		Seed: seed, PoolSize: 15, NumTasks: 500, GroupSize: 5,
+		Retainer: true, Population: bimodalPop,
+		Maintenance: pool.Config{Enabled: true, Threshold: 8 * time.Second},
+	}
+	res := core.NewEngine(cfg).RunLabeling()
+
+	r := &Result{
+		ID:     "convergence",
+		Title:  "Pool MPL convergence: model vs simulation (seconds)",
+		Header: []string{"step", "model E[mu_n]", "simulated MPL"},
+		Notes: fmt.Sprintf("model: q=%.2f muF=%.2f muS=%.2f asymptote=%.2f",
+			model.Q, model.MuFast, model.MuSlow, model.Asymptote()),
+	}
+	mpl := res.MeanPoolLatencies()
+	for i := 0; i < len(mpl) && i < 12; i++ {
+		sim := fmtF(mpl[i])
+		if mpl[i] == 0 {
+			sim = "-"
+		}
+		r.AddRow(fmt.Sprint(i), fmtF(model.MeanAfter(i)), sim)
+	}
+	return r
+}
+
+func max1(x float64) float64 {
+	if x <= 0 {
+		return 1e-9
+	}
+	return x
+}

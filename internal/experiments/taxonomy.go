@@ -1,0 +1,84 @@
+package experiments
+
+// Latency taxonomy measurement (§2.1): the paper's empirical study of the
+// 60k-task medical deployment decomposes per-task latency into
+// recruitment, qualification & training, and work, and quotes summary
+// statistics for each phase. This experiment regenerates that study on
+// the simulator's medical-like market, phase by phase, from the same
+// instrumentation a live deployment would use.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/core"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+func init() {
+	register("taxonomy", "Sec 2.1: per-phase latency decomposition (recruitment / qualification / work)", Taxonomy)
+}
+
+// Taxonomy measures each latency phase of an open-market run on the
+// medical-like population — the deployment style the paper's §2.1 numbers
+// come from (no retainer pool, so recruitment is on the critical path).
+func Taxonomy(seed int64) *Result {
+	r := &Result{
+		ID:     "taxonomy",
+		Title:  "Per-phase latency decomposition, open-market medical-like deployment",
+		Header: []string{"phase", "n", "min", "median", "p90", "std"},
+		Notes:  "paper sec 2.1 quotes recruitment 5m min / 36m median and work median ~4m with p90 in hours",
+	}
+	cfg := core.Config{
+		Seed:          seed,
+		PoolSize:      10,
+		NumTasks:      120,
+		GroupSize:     5,
+		Retainer:      false, // open market: every phase is on the critical path
+		Qualification: 3,
+		Population:    worker.Medical,
+	}
+	e := core.NewEngine(cfg)
+	res := e.RunLabeling()
+
+	recruit := toSeconds(e.Platform().RecruitmentLatencies())
+	qual := toSeconds(e.Platform().QualificationLatencies())
+	var work []float64
+	for _, ev := range res.Trace.Completed() {
+		work = append(work, ev.Latency().Seconds())
+	}
+
+	addPhase(r, "recruitment", recruit)
+	addPhase(r, "qualification", qual)
+	addPhase(r, "work (per task)", work)
+	return r
+}
+
+func toSeconds(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+func addPhase(r *Result, name string, xs []float64) {
+	if len(xs) == 0 {
+		r.AddRow(name, "0", "-", "-", "-", "-")
+		return
+	}
+	s := stats.Summarize(xs)
+	r.AddRow(name,
+		fmt.Sprint(s.N),
+		fmtSecDur(s.Min),
+		fmtSecDur(s.Median),
+		fmtSecDur(s.P90),
+		fmtSecDur(s.Std),
+	)
+}
+
+// fmtSecDur renders seconds as a duration string.
+func fmtSecDur(sec float64) string {
+	return fmtDur(time.Duration(sec * float64(time.Second)))
+}

@@ -1,0 +1,126 @@
+// Package gantt renders per-assignment traces as ASCII Gantt charts — a
+// terminal rendition of the paper's Figure 13, where each row is a worker,
+// each segment an assignment, completed work drawn solid and terminated
+// (straggler-mitigated) work drawn hollow.
+package gantt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/metrics"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// Options configures rendering.
+type Options struct {
+	// Width is the chart width in columns (default 100).
+	Width int
+	// MaxWorkers caps the number of worker rows (busiest first; 0 = all).
+	MaxWorkers int
+}
+
+// Render writes an ASCII Gantt of the trace. Completed assignments are
+// drawn with '=', terminated ones with '-', batch boundaries with '|' on
+// the axis.
+func Render(w io.Writer, tr *metrics.Trace, opts Options) error {
+	if opts.Width <= 10 {
+		opts.Width = 100
+	}
+	if len(tr.Events) == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+
+	start := tr.Events[0].Start
+	end := tr.Events[0].End
+	for _, e := range tr.Events {
+		if e.Start.Before(start) {
+			start = e.Start
+		}
+		if e.End.After(end) {
+			end = e.End
+		}
+	}
+	span := end.Sub(start)
+	if span <= 0 {
+		span = time.Second
+	}
+	col := func(t time.Time) int {
+		c := int(float64(opts.Width-1) * float64(t.Sub(start)) / float64(span))
+		if c < 0 {
+			c = 0
+		}
+		if c >= opts.Width {
+			c = opts.Width - 1
+		}
+		return c
+	}
+
+	byWorker := tr.ByWorker()
+	ids := make([]worker.ID, 0, len(byWorker))
+	for id := range byWorker {
+		ids = append(ids, id)
+	}
+	// Busiest workers first, stable by id.
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := len(byWorker[ids[i]]), len(byWorker[ids[j]])
+		if a != b {
+			return a > b
+		}
+		return ids[i] < ids[j]
+	})
+	if opts.MaxWorkers > 0 && len(ids) > opts.MaxWorkers {
+		ids = ids[:opts.MaxWorkers]
+	}
+
+	if _, err := fmt.Fprintf(w, "trace: %d assignments, %d workers, span %v ('=' completed, '-' terminated)\n",
+		len(tr.Events), len(byWorker), span.Round(time.Millisecond)); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		row := make([]byte, opts.Width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, e := range byWorker[id] {
+			lo, hi := col(e.Start), col(e.End)
+			fill := byte('=')
+			if e.Terminated {
+				fill = '-'
+			}
+			for c := lo; c <= hi; c++ {
+				row[c] = fill
+			}
+		}
+		if _, err := fmt.Fprintf(w, "w%-4d |%s|\n", id, string(row)); err != nil {
+			return err
+		}
+	}
+
+	// Axis with batch-start markers.
+	axis := make([]byte, opts.Width)
+	for i := range axis {
+		axis[i] = '.'
+	}
+	seen := map[int]bool{}
+	for _, e := range tr.Events {
+		if !seen[e.Batch] {
+			seen[e.Batch] = true
+			axis[col(e.Start)] = '|'
+		}
+	}
+	if _, err := fmt.Fprintf(w, "batch |%s|\n", string(axis)); err != nil {
+		return err
+	}
+	label := span.Round(time.Second).String()
+	pad := opts.Width - len(label)
+	if pad < 1 {
+		pad = 1
+	}
+	_, err := fmt.Fprintf(w, "      0%s%s\n", strings.Repeat(" ", pad), label)
+	return err
+}

@@ -1,0 +1,83 @@
+package gantt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/metrics"
+)
+
+func sampleTrace() *metrics.Trace {
+	base := time.Date(2015, 9, 20, 0, 0, 0, 0, time.UTC)
+	var tr metrics.Trace
+	tr.Record(metrics.AssignmentEvent{
+		Assignment: 1, Task: 1, Worker: 1, Batch: 0,
+		Start: base, End: base.Add(10 * time.Second),
+	})
+	tr.Record(metrics.AssignmentEvent{
+		Assignment: 2, Task: 2, Worker: 2, Batch: 0,
+		Start: base, End: base.Add(30 * time.Second), Terminated: true,
+	})
+	tr.Record(metrics.AssignmentEvent{
+		Assignment: 3, Task: 2, Worker: 1, Batch: 1,
+		Start: base.Add(12 * time.Second), End: base.Add(20 * time.Second),
+	})
+	return &tr
+}
+
+func TestRenderBasics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, sampleTrace(), Options{Width: 60}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "3 assignments, 2 workers") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "=") {
+		t.Fatal("no completed segments drawn")
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatal("no terminated segments drawn")
+	}
+	if !strings.Contains(out, "w1") || !strings.Contains(out, "w2") {
+		t.Fatalf("worker rows missing:\n%s", out)
+	}
+	// Worker rows sorted busiest-first: w1 (2 events) before w2.
+	if strings.Index(out, "w1") > strings.Index(out, "w2") {
+		t.Fatal("rows not sorted by activity")
+	}
+}
+
+func TestRenderEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, &metrics.Trace{}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty trace") {
+		t.Fatal("empty trace not reported")
+	}
+}
+
+func TestRenderMaxWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, sampleTrace(), Options{Width: 40, MaxWorkers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "w2") {
+		t.Fatalf("MaxWorkers not applied:\n%s", out)
+	}
+}
+
+func TestRenderZeroWidthDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, sampleTrace(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.String()) == 0 {
+		t.Fatal("no output")
+	}
+}

@@ -1,0 +1,61 @@
+package learn
+
+import "math/rand"
+
+// Classifier is the interface shared by the package's models. The paper's
+// experiments use logistic regression (as its scikit-learn backend did), but
+// hybrid learning and uncertainty sampling are model-agnostic; the extra
+// learners let the model choice itself be ablated.
+type Classifier interface {
+	// Fit trains the model from scratch on (X, Y). Implementations must be
+	// deterministic given rng.
+	Fit(X [][]float64, Y []int, rng *rand.Rand)
+	// Predict returns the most probable class for one example.
+	Predict(x []float64) int
+	// Proba returns normalized class probabilities for one example.
+	Proba(x []float64) []float64
+}
+
+// Compile-time conformance of the package's models.
+var (
+	_ Classifier = (*Logistic)(nil)
+	_ Classifier = (*NaiveBayes)(nil)
+	_ Classifier = (*KNN)(nil)
+	_ Classifier = (*Perceptron)(nil)
+)
+
+// EvalAccuracy returns the fraction of examples a classifier labels
+// correctly. It mirrors Logistic.Accuracy for any Classifier.
+func EvalAccuracy(c Classifier, X [][]float64, Y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range X {
+		if c.Predict(x) == Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+// NewClassifier constructs a model by name ("logistic", "naivebayes", "knn",
+// "perceptron") for the given problem shape. Unknown names fall back to
+// logistic regression, the paper's default.
+func NewClassifier(name string, features, classes int) Classifier {
+	switch name {
+	case "naivebayes":
+		return NewNaiveBayes(features, classes)
+	case "knn":
+		return NewKNN(features, classes, 5)
+	case "perceptron":
+		return NewPerceptron(features, classes)
+	default:
+		return NewLogistic(features, classes)
+	}
+}
+
+// ModelNames lists the available classifier names in presentation order.
+func ModelNames() []string {
+	return []string{"logistic", "naivebayes", "knn", "perceptron"}
+}

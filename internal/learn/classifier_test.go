@@ -1,0 +1,179 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blobs builds a linearly separable 2-feature, 2-class dataset: class 0
+// centered at (-sep, -sep), class 1 at (+sep, +sep).
+func blobs(rng *rand.Rand, n int, sep float64) ([][]float64, []int) {
+	X := make([][]float64, n)
+	Y := make([]int, n)
+	for i := range X {
+		c := i % 2
+		cx := -sep
+		if c == 1 {
+			cx = sep
+		}
+		X[i] = []float64{cx + rng.NormFloat64()*0.5, cx + rng.NormFloat64()*0.5}
+		Y[i] = c
+	}
+	return X, Y
+}
+
+// blobs3 builds a 3-class variant with centers on a triangle.
+func blobs3(rng *rand.Rand, n int) ([][]float64, []int) {
+	centers := [][2]float64{{0, 3}, {-3, -2}, {3, -2}}
+	X := make([][]float64, n)
+	Y := make([]int, n)
+	for i := range X {
+		c := i % 3
+		X[i] = []float64{
+			centers[c][0] + rng.NormFloat64()*0.6,
+			centers[c][1] + rng.NormFloat64()*0.6,
+		}
+		Y[i] = c
+	}
+	return X, Y
+}
+
+func TestAllModelsSeparateBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, Y := blobs(rng, 200, 2)
+	teX, teY := blobs(rand.New(rand.NewSource(8)), 100, 2)
+	for _, name := range ModelNames() {
+		m := NewClassifier(name, 2, 2)
+		m.Fit(X, Y, rand.New(rand.NewSource(9)))
+		if acc := EvalAccuracy(m, teX, teY); acc < 0.95 {
+			t.Errorf("%s: accuracy %.2f on separable blobs, want >= 0.95", name, acc)
+		}
+	}
+}
+
+func TestAllModelsMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	X, Y := blobs3(rng, 300)
+	teX, teY := blobs3(rand.New(rand.NewSource(12)), 150)
+	for _, name := range ModelNames() {
+		m := NewClassifier(name, 2, 3)
+		m.Fit(X, Y, rand.New(rand.NewSource(13)))
+		if acc := EvalAccuracy(m, teX, teY); acc < 0.9 {
+			t.Errorf("%s: accuracy %.2f on 3-class blobs, want >= 0.9", name, acc)
+		}
+	}
+}
+
+func TestAllModelsProbaNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	X, Y := blobs3(rng, 120)
+	probe := []float64{0.3, -0.7}
+	for _, name := range ModelNames() {
+		m := NewClassifier(name, 2, 3)
+		m.Fit(X, Y, rand.New(rand.NewSource(22)))
+		p := m.Proba(probe)
+		if len(p) != 3 {
+			t.Fatalf("%s: Proba returned %d classes, want 3", name, len(p))
+		}
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: probability %v out of [0,1]", name, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: probabilities sum to %v, want 1", name, sum)
+		}
+	}
+}
+
+func TestNewClassifierUnknownFallsBackToLogistic(t *testing.T) {
+	if _, ok := NewClassifier("nope", 4, 2).(*Logistic); !ok {
+		t.Fatal("unknown model name should fall back to *Logistic")
+	}
+}
+
+func TestEvalAccuracyEmpty(t *testing.T) {
+	m := NewLogistic(2, 2)
+	if acc := EvalAccuracy(m, nil, nil); acc != 0 {
+		t.Fatalf("EvalAccuracy on empty set = %v, want 0", acc)
+	}
+}
+
+func TestNaiveBayesUntrainedIsUniform(t *testing.T) {
+	m := NewNaiveBayes(2, 4)
+	p := m.Proba([]float64{1, 2})
+	for _, v := range p {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatalf("untrained NB proba = %v, want uniform 0.25", p)
+		}
+	}
+	if m.Predict([]float64{1, 2}) != 0 {
+		t.Fatal("untrained NB should predict class 0")
+	}
+}
+
+func TestNaiveBayesSkipsOutOfRangeLabels(t *testing.T) {
+	m := NewNaiveBayes(1, 2)
+	X := [][]float64{{0}, {1}, {2}}
+	Y := []int{0, 1, 7} // label 7 out of range: must be ignored, not panic
+	m.Fit(X, Y, nil)
+	if got := m.Predict([]float64{0}); got != 0 {
+		t.Fatalf("Predict(0) = %d, want 0", got)
+	}
+}
+
+func TestKNNOneNeighborMemorizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	X, Y := blobs(rng, 60, 1)
+	m := NewKNN(2, 2, 1)
+	m.Fit(X, Y, nil)
+	if acc := EvalAccuracy(m, X, Y); acc != 1 {
+		t.Fatalf("1-NN training accuracy = %v, want 1 (exact memorization)", acc)
+	}
+}
+
+func TestKNNUntrainedIsUniform(t *testing.T) {
+	m := NewKNN(2, 2, 3)
+	p := m.Proba([]float64{0, 0})
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]-0.5) > 1e-12 {
+		t.Fatalf("untrained kNN proba = %v, want [0.5 0.5]", p)
+	}
+}
+
+func TestKNNKLargerThanData(t *testing.T) {
+	m := NewKNN(1, 2, 50)
+	m.Fit([][]float64{{0}, {0.1}, {5}}, []int{0, 0, 1}, nil)
+	if got := m.Predict([]float64{0}); got != 0 {
+		t.Fatalf("Predict near class-0 cluster = %d, want 0", got)
+	}
+}
+
+func TestPerceptronEmptyFit(t *testing.T) {
+	m := NewPerceptron(2, 2)
+	m.Fit(nil, nil, rand.New(rand.NewSource(1)))
+	// Must not panic and predictions must be in range.
+	if y := m.Predict([]float64{1, 1}); y < 0 || y > 1 {
+		t.Fatalf("Predict after empty fit = %d, out of range", y)
+	}
+}
+
+func TestPerceptronAveragingStableOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	X, Y := blobs(rng, 300, 2)
+	// Flip 10% of the labels: the averaged perceptron should still recover
+	// the separator.
+	for i := range Y {
+		if rng.Float64() < 0.1 {
+			Y[i] = 1 - Y[i]
+		}
+	}
+	m := NewPerceptron(2, 2)
+	m.Fit(X, Y, rand.New(rand.NewSource(42)))
+	teX, teY := blobs(rand.New(rand.NewSource(43)), 100, 2)
+	if acc := EvalAccuracy(m, teX, teY); acc < 0.9 {
+		t.Fatalf("averaged perceptron accuracy %.2f under 10%% label noise, want >= 0.9", acc)
+	}
+}

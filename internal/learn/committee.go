@@ -1,0 +1,118 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Committee is a bag of classifiers trained on bootstrap resamples of the
+// labeled data, scoring candidate points by the disagreement of member
+// votes (query by committee). Disagreement-based selection is the classic
+// alternative to single-model uncertainty sampling and tends to be more
+// robust early in a run, when one model's probabilities are unreliable —
+// exactly the regime where the paper observes active learning misguiding
+// point selection on hard datasets (§5.1).
+type Committee struct {
+	Members []Classifier
+	Classes int
+
+	features int
+	trained  bool
+}
+
+// NewCommittee builds a committee of size fresh logistic members.
+func NewCommittee(features, classes, size int) *Committee {
+	if size < 2 {
+		size = 3
+	}
+	members := make([]Classifier, size)
+	for i := range members {
+		members[i] = NewLogistic(features, classes)
+	}
+	return &Committee{Members: members, Classes: classes, features: features}
+}
+
+// Fit trains every member on an independent bootstrap resample of (X, Y).
+func (c *Committee) Fit(X [][]float64, Y []int, rng *rand.Rand) {
+	n := len(X)
+	if n == 0 {
+		c.trained = false
+		return
+	}
+	for _, m := range c.Members {
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = X[j]
+			by[i] = Y[j]
+		}
+		m.Fit(bx, by, rng)
+	}
+	c.trained = true
+}
+
+// Trained reports whether the committee has been fitted at least once.
+func (c *Committee) Trained() bool { return c.trained }
+
+// VoteEntropy returns the normalized entropy of the members' hard votes on
+// x: 0 when all members agree, 1 when votes are spread uniformly.
+func (c *Committee) VoteEntropy(x []float64) float64 {
+	if !c.trained || len(c.Members) == 0 {
+		return 0
+	}
+	counts := make([]float64, c.Classes)
+	for _, m := range c.Members {
+		y := m.Predict(x)
+		if y >= 0 && y < c.Classes {
+			counts[y]++
+		}
+	}
+	total := float64(len(c.Members))
+	h := 0.0
+	for _, n := range counts {
+		if n > 0 {
+			p := n / total
+			h -= p * math.Log(p)
+		}
+	}
+	norm := math.Log(math.Min(float64(c.Classes), total))
+	if norm == 0 {
+		return 0
+	}
+	return h / norm
+}
+
+// Proba returns the member-averaged class probabilities (soft voting).
+func (c *Committee) Proba(x []float64) []float64 {
+	out := make([]float64, c.Classes)
+	if !c.trained || len(c.Members) == 0 {
+		for i := range out {
+			out[i] = 1 / float64(c.Classes)
+		}
+		return out
+	}
+	for _, m := range c.Members {
+		for i, v := range m.Proba(x) {
+			if i < len(out) {
+				out[i] += v
+			}
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(c.Members))
+	}
+	return out
+}
+
+// Predict returns the soft-vote consensus class.
+func (c *Committee) Predict(x []float64) int {
+	p := c.Proba(x)
+	best, bestV := 0, p[0]
+	for i := 1; i < len(p); i++ {
+		if p[i] > bestV {
+			best, bestV = i, p[i]
+		}
+	}
+	return best
+}

@@ -1,0 +1,122 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCommitteeAgreesOnClearPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	X, Y := blobs(rng, 300, 3)
+	c := NewCommittee(2, 2, 5)
+	c.Fit(X, Y, rand.New(rand.NewSource(62)))
+	if !c.Trained() {
+		t.Fatal("committee should be trained after Fit")
+	}
+	// Deep inside a class blob every member should vote the same way.
+	if h := c.VoteEntropy([]float64{3, 3}); h > 1e-9 {
+		t.Fatalf("vote entropy deep in class 1 = %v, want 0", h)
+	}
+	if h := c.VoteEntropy([]float64{-3, -3}); h > 1e-9 {
+		t.Fatalf("vote entropy deep in class 0 = %v, want 0", h)
+	}
+}
+
+func TestCommitteeDisagreementHigherAtBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	// Noisy overlapping blobs so bootstrap members genuinely differ.
+	X, Y := blobs(rng, 80, 0.7)
+	c := NewCommittee(2, 2, 7)
+	c.Fit(X, Y, rand.New(rand.NewSource(64)))
+	// Average entropy over points on the boundary vs far away.
+	bd, far := 0.0, 0.0
+	probes := 25
+	for i := 0; i < probes; i++ {
+		s := -1.0 + 2*float64(i)/float64(probes-1)
+		bd += c.VoteEntropy([]float64{s, -s}) // along the anti-diagonal (boundary)
+		far += c.VoteEntropy([]float64{3 + s*0.1, 3 + s*0.1})
+	}
+	if bd <= far {
+		t.Fatalf("boundary entropy %v not above far-field entropy %v", bd, far)
+	}
+}
+
+func TestCommitteePredictAndProba(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	X, Y := blobs(rng, 200, 2)
+	c := NewCommittee(2, 2, 4)
+	c.Fit(X, Y, rand.New(rand.NewSource(66)))
+	if got := c.Predict([]float64{2, 2}); got != 1 {
+		t.Fatalf("Predict(2,2) = %d, want 1", got)
+	}
+	p := c.Proba([]float64{2, 2})
+	sum := p[0] + p[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Proba sums to %v, want 1", sum)
+	}
+	if p[1] < 0.9 {
+		t.Fatalf("Proba class 1 = %v, want confident (>= 0.9)", p[1])
+	}
+}
+
+func TestCommitteeUntrainedIsNeutral(t *testing.T) {
+	c := NewCommittee(2, 3, 3)
+	if h := c.VoteEntropy([]float64{0, 0}); h != 0 {
+		t.Fatalf("untrained vote entropy = %v, want 0", h)
+	}
+	p := c.Proba([]float64{0, 0})
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("untrained proba = %v, want uniform", p)
+		}
+	}
+}
+
+func TestCommitteeEmptyFit(t *testing.T) {
+	c := NewCommittee(2, 2, 3)
+	c.Fit(nil, nil, rand.New(rand.NewSource(1)))
+	if c.Trained() {
+		t.Fatal("empty fit should leave committee untrained")
+	}
+}
+
+func TestNewCommitteeMinimumSize(t *testing.T) {
+	if n := len(NewCommittee(2, 2, 0).Members); n < 2 {
+		t.Fatalf("committee size = %d, want >= 2", n)
+	}
+	if n := len(NewCommittee(2, 2, 1).Members); n < 2 {
+		t.Fatalf("committee size = %d, want >= 2", n)
+	}
+}
+
+func TestTrainerEnableCommitteeSelectsDisagreementPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	X, Y := blobs(rng, 400, 2)
+	train := &Dataset{X: X, Y: Y, Features: 2, Classes: 2}
+	teX, teY := blobs(rand.New(rand.NewSource(72)), 100, 2)
+	test := &Dataset{X: teX, Y: teY, Features: 2, Classes: 2}
+
+	tr := NewTrainer(train, test, rand.New(rand.NewSource(73)))
+	tr.EnableCommittee(5)
+	tr.CandidateSample = 0
+	if tr.Criterion != CommitteeCriterion {
+		t.Fatal("EnableCommittee should set CommitteeCriterion")
+	}
+	for _, i := range tr.SelectBatch(Passive, 40) {
+		tr.AddLabel(i, train.Y[i])
+	}
+	tr.Retrain()
+	picked := tr.SelectBatch(Active, 20)
+	if len(picked) != 20 {
+		t.Fatalf("selected %d points, want 20", len(picked))
+	}
+	// QBC selection should still converge a model when labels keep coming.
+	for _, i := range picked {
+		tr.AddLabel(i, train.Y[i])
+	}
+	tr.Retrain()
+	if acc := tr.TestAccuracy(); acc < 0.9 {
+		t.Fatalf("accuracy after QBC rounds = %v, want >= 0.9", acc)
+	}
+}

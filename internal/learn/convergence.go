@@ -1,0 +1,128 @@
+package learn
+
+import "math/rand"
+
+// Cross-validation and convergence detection: the paper's full-run loop
+// labels "until the model accuracy (e.g., cross-validation) converges",
+// then imputes the remaining labels with the model. This file provides the
+// k-fold estimator and the convergence detector that implements that
+// stopping rule without touching the held-out test set.
+
+// CrossValAccuracy estimates model accuracy by k-fold cross-validation over
+// the currently labeled points. It trains k disposable models; the
+// trainer's main model is untouched. Returns 0 when fewer than k points are
+// labeled.
+func (t *Trainer) CrossValAccuracy(k int) float64 {
+	if k < 2 {
+		k = 2
+	}
+	var X [][]float64
+	var Y []int
+	for i := 0; i < t.Train.Len(); i++ {
+		if y, ok := t.labels[i]; ok {
+			X = append(X, t.Train.X[i])
+			Y = append(Y, y)
+		}
+	}
+	if len(X) < k {
+		return 0
+	}
+	return KFoldAccuracy(X, Y, t.Train.Features, t.Train.Classes, k, t.rng)
+}
+
+// KFoldAccuracy runs k-fold cross-validation of a fresh logistic model over
+// (X, Y), returning mean held-fold accuracy.
+func KFoldAccuracy(X [][]float64, Y []int, features, classes, k int, rng *rand.Rand) float64 {
+	n := len(X)
+	idx := rng.Perm(n)
+	foldOf := make([]int, n)
+	for i, j := range idx {
+		foldOf[j] = i % k
+	}
+	total, folds := 0.0, 0
+	for f := 0; f < k; f++ {
+		var trX, teX [][]float64
+		var trY, teY []int
+		for i := 0; i < n; i++ {
+			if foldOf[i] == f {
+				teX = append(teX, X[i])
+				teY = append(teY, Y[i])
+			} else {
+				trX = append(trX, X[i])
+				trY = append(trY, Y[i])
+			}
+		}
+		if len(trX) == 0 || len(teX) == 0 {
+			continue
+		}
+		m := NewLogistic(features, classes)
+		m.Fit(trX, trY, rng)
+		total += m.Accuracy(teX, teY)
+		folds++
+	}
+	if folds == 0 {
+		return 0
+	}
+	return total / float64(folds)
+}
+
+// ConvergenceDetector implements the stopping rule: labeling stops when the
+// cross-validation accuracy reaches Target, or when it has improved by less
+// than Epsilon over the last Window observations (whichever comes first).
+type ConvergenceDetector struct {
+	// Target stops as soon as CV accuracy reaches it. <= 0 disables.
+	Target float64
+	// Window is how many recent observations the plateau test considers.
+	// Default 4.
+	Window int
+	// Epsilon is the minimum improvement over the window that counts as
+	// progress. Default 0.01.
+	Epsilon float64
+	// MinObservations before the plateau test can fire. Default 5.
+	MinObservations int
+
+	history []float64
+}
+
+func (d *ConvergenceDetector) fillDefaults() {
+	if d.Window == 0 {
+		d.Window = 4
+	}
+	if d.Epsilon == 0 {
+		d.Epsilon = 0.01
+	}
+	if d.MinObservations == 0 {
+		d.MinObservations = 5
+	}
+}
+
+// Observe records one CV accuracy measurement and reports whether labeling
+// should stop.
+func (d *ConvergenceDetector) Observe(acc float64) bool {
+	d.fillDefaults()
+	d.history = append(d.history, acc)
+	if d.Target > 0 && acc >= d.Target {
+		return true
+	}
+	n := len(d.history)
+	if n < d.MinObservations || n <= d.Window {
+		return false
+	}
+	// Plateau: best of the last Window vs best before the window.
+	bestRecent := max(d.history[n-d.Window:])
+	bestBefore := max(d.history[:n-d.Window])
+	return bestRecent-bestBefore < d.Epsilon
+}
+
+// Observations returns the number of recorded measurements.
+func (d *ConvergenceDetector) Observations() int { return len(d.history) }
+
+func max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,102 @@
+package learn
+
+import (
+	"testing"
+
+	"github.com/clamshell/clamshell/internal/stats"
+)
+
+func TestCrossValAccuracyTracksDifficulty(t *testing.T) {
+	easy := Guyon(stats.NewRand(1), GuyonConfig{
+		N: 200, Features: 10, Informative: 8, Classes: 2, ClassSep: 2.5,
+	})
+	train, test := easy.Split(stats.NewRand(2), 0.2)
+	tr := NewTrainer(train, test, stats.NewRand(3))
+	for i := 0; i < 100; i++ {
+		tr.AddLabel(i, train.Y[i])
+	}
+	if acc := tr.CrossValAccuracy(5); acc < 0.85 {
+		t.Fatalf("CV accuracy on easy data = %v", acc)
+	}
+}
+
+func TestCrossValAccuracyTooFewPoints(t *testing.T) {
+	d := Guyon(stats.NewRand(4), GuyonConfig{N: 50, Features: 5})
+	train, test := d.Split(stats.NewRand(5), 0.2)
+	tr := NewTrainer(train, test, stats.NewRand(6))
+	tr.AddLabel(0, 0)
+	if acc := tr.CrossValAccuracy(5); acc != 0 {
+		t.Fatalf("CV with 1 point = %v, want 0", acc)
+	}
+}
+
+func TestKFoldAccuracyBounds(t *testing.T) {
+	d := Guyon(stats.NewRand(7), GuyonConfig{
+		N: 120, Features: 8, Informative: 6, Classes: 2, ClassSep: 2,
+	})
+	acc := KFoldAccuracy(d.X, d.Y, d.Features, d.Classes, 4, stats.NewRand(8))
+	if acc < 0 || acc > 1 {
+		t.Fatalf("CV accuracy out of bounds: %v", acc)
+	}
+	if acc < 0.8 {
+		t.Fatalf("CV accuracy on separable data = %v", acc)
+	}
+}
+
+func TestConvergenceDetectorTarget(t *testing.T) {
+	d := &ConvergenceDetector{Target: 0.8}
+	if d.Observe(0.5) || d.Observe(0.7) {
+		t.Fatal("stopped below target")
+	}
+	if !d.Observe(0.81) {
+		t.Fatal("did not stop at target")
+	}
+}
+
+func TestConvergenceDetectorPlateau(t *testing.T) {
+	d := &ConvergenceDetector{Window: 3, Epsilon: 0.01, MinObservations: 4}
+	// Rising: never stops.
+	for i, acc := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		if d.Observe(acc) {
+			t.Fatalf("stopped while improving at step %d", i)
+		}
+	}
+	// Plateau at 0.9: stops once the window shows no progress.
+	stopped := false
+	for i := 0; i < 5; i++ {
+		if d.Observe(0.9) {
+			stopped = true
+			break
+		}
+	}
+	if !stopped {
+		t.Fatal("never detected the plateau")
+	}
+}
+
+func TestConvergenceDetectorMinObservations(t *testing.T) {
+	d := &ConvergenceDetector{Window: 2, Epsilon: 0.01, MinObservations: 10}
+	for i := 0; i < 9; i++ {
+		if d.Observe(0.5) {
+			t.Fatalf("stopped before MinObservations at %d", i)
+		}
+	}
+	if d.Observations() != 9 {
+		t.Fatalf("Observations = %d", d.Observations())
+	}
+}
+
+func TestConvergenceDetectorNoisyButFlat(t *testing.T) {
+	d := &ConvergenceDetector{Window: 4, Epsilon: 0.02, MinObservations: 5}
+	accs := []float64{0.70, 0.72, 0.71, 0.73, 0.72, 0.73, 0.72, 0.71, 0.73, 0.72}
+	stopped := false
+	for _, a := range accs {
+		if d.Observe(a) {
+			stopped = true
+			break
+		}
+	}
+	if !stopped {
+		t.Fatal("noisy plateau never detected")
+	}
+}

@@ -1,0 +1,85 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Criterion selects how a probability vector is turned into an uncertainty
+// score for active point selection. The paper uses margin-style uncertainty
+// sampling; the alternatives are the other standard members of the
+// uncertainty-sampling family (Settles' survey, the paper's [46]), exposed
+// so the choice can be ablated.
+type Criterion int
+
+// Uncertainty criteria.
+const (
+	// MarginCriterion scores 1 − (p1 − p2): the paper's criterion, maximal
+	// when the two top classes are tied.
+	MarginCriterion Criterion = iota
+	// LeastConfident scores 1 − p1: maximal when the best class is weak.
+	LeastConfident
+	// EntropyCriterion scores the Shannon entropy of the full distribution,
+	// normalized to [0, 1] by log(classes).
+	EntropyCriterion
+	// CommitteeCriterion scores by committee vote entropy (query by
+	// committee); requires Trainer.EnableCommittee.
+	CommitteeCriterion
+)
+
+// String renders the criterion name.
+func (c Criterion) String() string {
+	switch c {
+	case MarginCriterion:
+		return "margin"
+	case LeastConfident:
+		return "leastconfident"
+	case EntropyCriterion:
+		return "entropy"
+	case CommitteeCriterion:
+		return "committee"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// UncertaintyScore maps class probabilities to an uncertainty in [0, 1]
+// under the given criterion. CommitteeCriterion has no per-probability
+// score and falls back to margin here; the Trainer special-cases it.
+func UncertaintyScore(p []float64, c Criterion) float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	switch c {
+	case LeastConfident:
+		top := 0.0
+		for _, v := range p {
+			if v > top {
+				top = v
+			}
+		}
+		return 1 - top
+	case EntropyCriterion:
+		h := 0.0
+		for _, v := range p {
+			if v > 0 {
+				h -= v * math.Log(v)
+			}
+		}
+		norm := math.Log(float64(len(p)))
+		if norm == 0 {
+			return 0
+		}
+		return h / norm
+	default: // MarginCriterion and fallbacks
+		top, second := 0.0, 0.0
+		for _, v := range p {
+			if v > top {
+				top, second = v, top
+			} else if v > second {
+				second = v
+			}
+		}
+		return 1 - (top - second)
+	}
+}

@@ -1,0 +1,118 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUncertaintyScoreExtremes(t *testing.T) {
+	confident := []float64{1, 0, 0}
+	uniform := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	for _, c := range []Criterion{MarginCriterion, LeastConfident, EntropyCriterion} {
+		if s := UncertaintyScore(confident, c); s > 1e-9 {
+			t.Errorf("%v: confident score = %v, want ~0", c, s)
+		}
+		s := UncertaintyScore(uniform, c)
+		want := 1.0
+		if c == LeastConfident {
+			want = 1 - 1.0/3
+		}
+		if math.Abs(s-want) > 1e-9 {
+			t.Errorf("%v: uniform score = %v, want %v", c, s, want)
+		}
+	}
+}
+
+func TestUncertaintyScoreOrdering(t *testing.T) {
+	nearBoundary := []float64{0.51, 0.49}
+	farFromBoundary := []float64{0.95, 0.05}
+	for _, c := range []Criterion{MarginCriterion, LeastConfident, EntropyCriterion} {
+		if UncertaintyScore(nearBoundary, c) <= UncertaintyScore(farFromBoundary, c) {
+			t.Errorf("%v: near-boundary point not scored more uncertain", c)
+		}
+	}
+}
+
+func TestUncertaintyScoreInUnitIntervalProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		// Build an arbitrary normalized 3-class distribution.
+		x := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		sum := x[0] + x[1] + x[2]
+		for i := range x {
+			x[i] /= sum
+		}
+		for _, crit := range []Criterion{MarginCriterion, LeastConfident, EntropyCriterion} {
+			s := UncertaintyScore(x, crit)
+			if s < -1e-12 || s > 1+1e-12 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUncertaintyScoreEmpty(t *testing.T) {
+	for _, c := range []Criterion{MarginCriterion, LeastConfident, EntropyCriterion} {
+		if s := UncertaintyScore(nil, c); s != 0 {
+			t.Errorf("%v: empty proba score = %v, want 0", c, s)
+		}
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	cases := map[Criterion]string{
+		MarginCriterion:    "margin",
+		LeastConfident:     "leastconfident",
+		EntropyCriterion:   "entropy",
+		CommitteeCriterion: "committee",
+		Criterion(99):      "Criterion(99)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestTrainerCriterionSelectsBoundaryPoints(t *testing.T) {
+	// A trained model should direct uncertainty sampling toward the class
+	// boundary for every criterion.
+	rng := rand.New(rand.NewSource(51))
+	X, Y := blobs(rng, 400, 3)
+	train := &Dataset{X: X, Y: Y, Features: 2, Classes: 2}
+	teX, teY := blobs(rand.New(rand.NewSource(52)), 100, 3)
+	test := &Dataset{X: teX, Y: teY, Features: 2, Classes: 2}
+
+	for _, crit := range []Criterion{MarginCriterion, LeastConfident, EntropyCriterion} {
+		tr := NewTrainer(train, test, rand.New(rand.NewSource(53)))
+		tr.Criterion = crit
+		tr.CandidateSample = 0 // score everything for determinism
+		// Seed with a random warm-up batch, then retrain.
+		for _, i := range tr.SelectBatch(Passive, 40) {
+			tr.AddLabel(i, train.Y[i])
+		}
+		tr.Retrain()
+		picked := tr.SelectBatch(Active, 20)
+		// Boundary points lie near x+y = 0; measure their mean |x|+|y|
+		// against the dataset mean.
+		meanDist := func(idx []int) float64 {
+			s := 0.0
+			for _, i := range idx {
+				s += math.Abs(train.X[i][0] + train.X[i][1])
+			}
+			return s / float64(len(idx))
+		}
+		all := make([]int, train.Len())
+		for i := range all {
+			all[i] = i
+		}
+		if meanDist(picked) >= meanDist(all) {
+			t.Errorf("%v: active batch no closer to boundary than average", crit)
+		}
+	}
+}

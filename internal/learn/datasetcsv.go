@@ -1,0 +1,88 @@
+package learn
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Dataset CSV interchange: each row is the feature values followed by an
+// integer class label in the last column. The header row is "f0,f1,...,y".
+// This is how a downstream user brings their own unlabeled-pool features
+// into a learning run (the labels column holds ground truth for
+// simulation, or the known labels of an evaluation set).
+
+// WriteDatasetCSV writes the dataset in the interchange format.
+func WriteDatasetCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, d.Features+1)
+	for f := 0; f < d.Features; f++ {
+		header[f] = fmt.Sprintf("f%d", f)
+	}
+	header[d.Features] = "y"
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, d.Features+1)
+	for i := 0; i < d.Len(); i++ {
+		for f := 0; f < d.Features; f++ {
+			row[f] = strconv.FormatFloat(d.X[i][f], 'g', -1, 64)
+		}
+		row[d.Features] = strconv.Itoa(d.Y[i])
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadDatasetCSV parses the interchange format. The class count is
+// inferred as max(label)+1 (minimum 2); every row must have the same
+// width and labels must be non-negative integers.
+func ReadDatasetCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("learn: reading dataset csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("learn: dataset csv needs a header and at least one row")
+	}
+	width := len(rows[0])
+	if width < 2 {
+		return nil, fmt.Errorf("learn: dataset csv needs at least one feature column and a label")
+	}
+	features := width - 1
+	d := &Dataset{Features: features}
+	for i, row := range rows[1:] {
+		if len(row) != width {
+			return nil, fmt.Errorf("learn: row %d: want %d fields, got %d", i+2, width, len(row))
+		}
+		x := make([]float64, features)
+		for f := 0; f < features; f++ {
+			v, err := strconv.ParseFloat(row[f], 64)
+			if err != nil {
+				return nil, fmt.Errorf("learn: row %d feature %d: %w", i+2, f, err)
+			}
+			x[f] = v
+		}
+		y, err := strconv.Atoi(row[features])
+		if err != nil {
+			return nil, fmt.Errorf("learn: row %d label: %w", i+2, err)
+		}
+		if y < 0 {
+			return nil, fmt.Errorf("learn: row %d: negative label %d", i+2, y)
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+		if y+1 > d.Classes {
+			d.Classes = y + 1
+		}
+	}
+	if d.Classes < 2 {
+		d.Classes = 2
+	}
+	return d, nil
+}

@@ -1,0 +1,78 @@
+package learn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDatasetCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Guyon(rng, GuyonConfig{N: 50, Features: 4, Informative: 3, Classes: 3, ClassSep: 1.5})
+
+	var buf bytes.Buffer
+	if err := WriteDatasetCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatasetCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.Features != d.Features || got.Classes != d.Classes {
+		t.Fatalf("shape mismatch: got (%d, %d, %d), want (%d, %d, %d)",
+			got.Len(), got.Features, got.Classes, d.Len(), d.Features, d.Classes)
+	}
+	for i := 0; i < d.Len(); i++ {
+		if got.Y[i] != d.Y[i] {
+			t.Fatalf("row %d label %d, want %d", i, got.Y[i], d.Y[i])
+		}
+		for f := 0; f < d.Features; f++ {
+			if got.X[i][f] != d.X[i][f] {
+				t.Fatalf("row %d feature %d: %v, want %v", i, f, got.X[i][f], d.X[i][f])
+			}
+		}
+	}
+}
+
+func TestReadDatasetCSVInfersClasses(t *testing.T) {
+	in := "f0,y\n1.0,0\n2.0,4\n"
+	d, err := ReadDatasetCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes != 5 {
+		t.Fatalf("classes = %d, want 5 (max label + 1)", d.Classes)
+	}
+}
+
+func TestReadDatasetCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"header only":    "f0,y\n",
+		"one column":     "y\n1\n",
+		"bad feature":    "f0,y\nx,0\n",
+		"bad label":      "f0,y\n1.0,zero\n",
+		"negative label": "f0,y\n1.0,-1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadDatasetCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Ragged rows are rejected by the csv reader itself.
+	if _, err := ReadDatasetCSV(strings.NewReader("f0,f1,y\n1.0,0\n")); err == nil {
+		t.Error("ragged row: expected error")
+	}
+}
+
+func TestDatasetCSVBinaryFloor(t *testing.T) {
+	// A single-class file still yields a usable binary problem.
+	d, err := ReadDatasetCSV(strings.NewReader("f0,y\n1.0,0\n2.0,0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes != 2 {
+		t.Fatalf("classes = %d, want floor of 2", d.Classes)
+	}
+}

@@ -1,0 +1,106 @@
+package learn
+
+// Ensemble support: the paper's §7 proposes, instead of training one model
+// on the union of actively- and passively-acquired labels, keeping the two
+// point sets separate and combining models ("model averaging or
+// ensembling"). Trainer implements probability averaging over two
+// sub-models, weighted by their training-set sizes, falling back to the
+// union model while either subset is too small.
+
+// sourceKind tags how a labeled point was selected.
+type sourceKind int
+
+const (
+	sourcePassive sourceKind = iota
+	sourceActive
+)
+
+// minEnsembleSubset is the smallest per-source labeled subset worth
+// training a sub-model on.
+const minEnsembleSubset = 10
+
+// EnableEnsemble switches the trainer to ensemble mode: Retrain fits
+// separate models on actively- and passively-selected points and
+// TestAccuracy scores their probability average.
+func (t *Trainer) EnableEnsemble() { t.ensemble = true }
+
+// noteSource records how a batch of indices was selected, so the ensemble
+// can partition the label cache later.
+func (t *Trainer) noteSource(idx []int, k sourceKind) {
+	if t.sources == nil {
+		t.sources = make(map[int]sourceKind)
+	}
+	for _, i := range idx {
+		t.sources[i] = k
+	}
+}
+
+// retrainEnsemble fits the per-source sub-models. It returns false when
+// either subset is too small, in which case the caller falls back to the
+// union model.
+func (t *Trainer) retrainEnsemble() bool {
+	var aX, pX [][]float64
+	var aY, pY []int
+	for i := 0; i < t.Train.Len(); i++ {
+		y, ok := t.labels[i]
+		if !ok {
+			continue
+		}
+		if t.sources[i] == sourceActive {
+			aX = append(aX, t.Train.X[i])
+			aY = append(aY, y)
+		} else {
+			pX = append(pX, t.Train.X[i])
+			pY = append(pY, y)
+		}
+	}
+	if len(aX) < minEnsembleSubset || len(pX) < minEnsembleSubset {
+		return false
+	}
+	if t.activeModel == nil {
+		t.activeModel = NewLogistic(t.Train.Features, t.Train.Classes)
+		t.passiveModel = NewLogistic(t.Train.Features, t.Train.Classes)
+	}
+	t.activeModel.Fit(aX, aY, t.rng)
+	t.passiveModel.Fit(pX, pY, t.rng)
+	t.activeWeight = float64(len(aX)) / float64(len(aX)+len(pX))
+	return true
+}
+
+// ensembleProba returns the size-weighted average of the two sub-models'
+// class probabilities.
+func (t *Trainer) ensembleProba(x []float64) []float64 {
+	pa := t.activeModel.Proba(x)
+	pp := t.passiveModel.Proba(x)
+	out := make([]float64, len(pa))
+	for c := range out {
+		out[c] = t.activeWeight*pa[c] + (1-t.activeWeight)*pp[c]
+	}
+	return out
+}
+
+// ensemblePredict returns the argmax of the averaged probabilities.
+func (t *Trainer) ensemblePredict(x []float64) int {
+	p := t.ensembleProba(x)
+	best := 0
+	for c := 1; c < len(p); c++ {
+		if p[c] > p[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// ensembleAccuracy scores the ensemble on (X, Y).
+func (t *Trainer) ensembleAccuracy(X [][]float64, Y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range X {
+		if t.ensemblePredict(x) == Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}

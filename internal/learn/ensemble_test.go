@@ -1,0 +1,90 @@
+package learn
+
+import (
+	"testing"
+
+	"github.com/clamshell/clamshell/internal/stats"
+)
+
+func ensembleTrainer(t *testing.T, seed int64) (*Trainer, *Dataset) {
+	t.Helper()
+	d := Guyon(stats.NewRand(seed), GuyonConfig{
+		N: 500, Features: 14, Informative: 10, Classes: 2, ClassSep: 1.5,
+	})
+	train, test := d.Split(stats.NewRand(seed+1), 0.25)
+	tr := NewTrainer(train, test, stats.NewRand(seed+2))
+	tr.EnableEnsemble()
+	return tr, train
+}
+
+func TestEnsembleFallsBackUntilBothSubsetsExist(t *testing.T) {
+	tr, train := ensembleTrainer(t, 1)
+	// Only passive points so far: ensemble not ready, union model used.
+	for _, i := range tr.SelectBatch(Passive, 30) {
+		tr.AddLabel(i, train.Y[i])
+	}
+	tr.Retrain()
+	if tr.ensembleReady {
+		t.Fatal("ensemble ready without active points")
+	}
+	if acc := tr.TestAccuracy(); acc < 0.7 {
+		t.Fatalf("fallback accuracy = %v", acc)
+	}
+}
+
+func TestEnsembleActivatesWithBothSources(t *testing.T) {
+	tr, train := ensembleTrainer(t, 2)
+	for round := 0; round < 5; round++ {
+		for _, i := range tr.SelectBatch(Hybrid, 20) {
+			tr.AddLabel(i, train.Y[i])
+		}
+		tr.Retrain()
+	}
+	if !tr.ensembleReady {
+		t.Fatal("ensemble never became ready under hybrid selection")
+	}
+	if acc := tr.TestAccuracy(); acc < 0.8 {
+		t.Fatalf("ensemble accuracy = %v", acc)
+	}
+	// Averaged probabilities stay normalized.
+	p := tr.ensembleProba(train.X[0])
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("ensemble proba sums to %v", sum)
+	}
+	if tr.activeWeight <= 0 || tr.activeWeight >= 1 {
+		t.Fatalf("active weight = %v, want interior", tr.activeWeight)
+	}
+}
+
+func TestEnsembleComparableToUnion(t *testing.T) {
+	// The ensemble shouldn't be dramatically worse than the union model.
+	run := func(ensemble bool, seed int64) float64 {
+		d := Guyon(stats.NewRand(seed), GuyonConfig{
+			N: 600, Features: 20, Informative: 12, Classes: 2, ClassSep: 1.2,
+		})
+		train, test := d.Split(stats.NewRand(seed+1), 0.25)
+		tr := NewTrainer(train, test, stats.NewRand(seed+2))
+		if ensemble {
+			tr.EnableEnsemble()
+		}
+		for tr.LabeledCount() < 150 {
+			for _, i := range tr.SelectBatch(Hybrid, 20) {
+				tr.AddLabel(i, train.Y[i])
+			}
+			tr.Retrain()
+		}
+		return tr.TestAccuracy()
+	}
+	var deficit float64
+	const trials = 3
+	for s := int64(0); s < trials; s++ {
+		deficit += run(false, 50+s) - run(true, 50+s)
+	}
+	if deficit/trials > 0.08 {
+		t.Fatalf("ensemble trails union by %v on average", deficit/trials)
+	}
+}

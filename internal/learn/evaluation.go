@@ -1,0 +1,125 @@
+package learn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConfusionMatrix counts predictions by (true class, predicted class) —
+// the standard per-class evaluation companion to plain accuracy.
+type ConfusionMatrix struct {
+	Classes int
+	Counts  [][]int // Counts[t][p]: truth t predicted as p
+}
+
+// NewConfusionMatrix allocates a matrix for the given class count.
+func NewConfusionMatrix(classes int) *ConfusionMatrix {
+	if classes < 2 {
+		classes = 2
+	}
+	counts := make([][]int, classes)
+	for i := range counts {
+		counts[i] = make([]int, classes)
+	}
+	return &ConfusionMatrix{Classes: classes, Counts: counts}
+}
+
+// Observe records one (truth, predicted) pair; out-of-range labels are
+// ignored.
+func (cm *ConfusionMatrix) Observe(truth, predicted int) {
+	if truth < 0 || truth >= cm.Classes || predicted < 0 || predicted >= cm.Classes {
+		return
+	}
+	cm.Counts[truth][predicted]++
+}
+
+// Evaluate fills the matrix from a model over (X, Y).
+func Evaluate(m *Logistic, X [][]float64, Y []int) *ConfusionMatrix {
+	cm := NewConfusionMatrix(m.Classes)
+	for i, x := range X {
+		cm.Observe(Y[i], m.Predict(x))
+	}
+	return cm
+}
+
+// Total returns the number of observations.
+func (cm *ConfusionMatrix) Total() int {
+	n := 0
+	for _, row := range cm.Counts {
+		for _, c := range row {
+			n += c
+		}
+	}
+	return n
+}
+
+// Accuracy returns the diagonal fraction (0 with no observations).
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	total := cm.Total()
+	if total == 0 {
+		return 0
+	}
+	diag := 0
+	for c := 0; c < cm.Classes; c++ {
+		diag += cm.Counts[c][c]
+	}
+	return float64(diag) / float64(total)
+}
+
+// Precision returns TP/(TP+FP) for class c (0 when the class is never
+// predicted).
+func (cm *ConfusionMatrix) Precision(c int) float64 {
+	predicted := 0
+	for t := 0; t < cm.Classes; t++ {
+		predicted += cm.Counts[t][c]
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(cm.Counts[c][c]) / float64(predicted)
+}
+
+// Recall returns TP/(TP+FN) for class c (0 when the class never occurs).
+func (cm *ConfusionMatrix) Recall(c int) float64 {
+	actual := 0
+	for p := 0; p < cm.Classes; p++ {
+		actual += cm.Counts[c][p]
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(cm.Counts[c][c]) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for class c.
+func (cm *ConfusionMatrix) F1(c int) float64 {
+	p, r := cm.Precision(c), cm.Recall(c)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 averages F1 over classes.
+func (cm *ConfusionMatrix) MacroF1() float64 {
+	sum := 0.0
+	for c := 0; c < cm.Classes; c++ {
+		sum += cm.F1(c)
+	}
+	return sum / float64(cm.Classes)
+}
+
+// String renders the matrix with per-class precision/recall.
+func (cm *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d obs, acc %.3f, macro-F1 %.3f)\n",
+		cm.Total(), cm.Accuracy(), cm.MacroF1())
+	for t := 0; t < cm.Classes; t++ {
+		fmt.Fprintf(&b, "  t=%d:", t)
+		for p := 0; p < cm.Classes; p++ {
+			fmt.Fprintf(&b, " %5d", cm.Counts[t][p])
+		}
+		fmt.Fprintf(&b, "  P=%.2f R=%.2f\n", cm.Precision(t), cm.Recall(t))
+	}
+	return b.String()
+}

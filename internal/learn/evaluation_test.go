@@ -1,0 +1,89 @@
+package learn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/clamshell/clamshell/internal/stats"
+)
+
+func TestConfusionMatrixByHand(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	// truth 0: 3 right, 1 wrong; truth 1: 2 right, 2 wrong.
+	for i := 0; i < 3; i++ {
+		cm.Observe(0, 0)
+	}
+	cm.Observe(0, 1)
+	for i := 0; i < 2; i++ {
+		cm.Observe(1, 1)
+	}
+	for i := 0; i < 2; i++ {
+		cm.Observe(1, 0)
+	}
+	if cm.Total() != 8 {
+		t.Fatalf("Total = %d", cm.Total())
+	}
+	if acc := cm.Accuracy(); math.Abs(acc-5.0/8) > 1e-12 {
+		t.Fatalf("Accuracy = %v", acc)
+	}
+	// Class 0: precision 3/5, recall 3/4.
+	if p := cm.Precision(0); math.Abs(p-0.6) > 1e-12 {
+		t.Fatalf("Precision(0) = %v", p)
+	}
+	if r := cm.Recall(0); math.Abs(r-0.75) > 1e-12 {
+		t.Fatalf("Recall(0) = %v", r)
+	}
+	wantF1 := 2 * 0.6 * 0.75 / (0.6 + 0.75)
+	if f := cm.F1(0); math.Abs(f-wantF1) > 1e-12 {
+		t.Fatalf("F1(0) = %v", f)
+	}
+	if !strings.Contains(cm.String(), "acc 0.625") {
+		t.Fatalf("String missing accuracy:\n%s", cm.String())
+	}
+}
+
+func TestConfusionMatrixEdges(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	if cm.Accuracy() != 0 || cm.MacroF1() != 0 {
+		t.Fatal("empty matrix should score 0")
+	}
+	cm.Observe(-1, 0) // ignored
+	cm.Observe(0, 9)  // ignored
+	if cm.Total() != 0 {
+		t.Fatal("out-of-range observations counted")
+	}
+	if cm.Precision(1) != 0 || cm.Recall(1) != 0 || cm.F1(1) != 0 {
+		t.Fatal("never-seen class must score 0")
+	}
+}
+
+func TestEvaluateAgreesWithAccuracy(t *testing.T) {
+	d := Guyon(stats.NewRand(1), GuyonConfig{
+		N: 300, Features: 10, Informative: 8, Classes: 3, ClassSep: 2,
+	})
+	train, test := d.Split(stats.NewRand(2), 0.25)
+	m := NewLogistic(d.Features, d.Classes)
+	m.Fit(train.X, train.Y, stats.NewRand(3))
+	cm := Evaluate(m, test.X, test.Y)
+	if math.Abs(cm.Accuracy()-m.Accuracy(test.X, test.Y)) > 1e-12 {
+		t.Fatalf("confusion accuracy %v != model accuracy %v",
+			cm.Accuracy(), m.Accuracy(test.X, test.Y))
+	}
+	if cm.Total() != test.Len() {
+		t.Fatalf("Total = %d, want %d", cm.Total(), test.Len())
+	}
+	if cm.MacroF1() < 0.7 {
+		t.Fatalf("macro F1 = %v on easy data", cm.MacroF1())
+	}
+}
+
+func TestPerfectClassifierScoresOne(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	for i := 0; i < 10; i++ {
+		cm.Observe(i%2, i%2)
+	}
+	if cm.Accuracy() != 1 || cm.MacroF1() != 1 {
+		t.Fatalf("perfect scores: acc=%v f1=%v", cm.Accuracy(), cm.MacroF1())
+	}
+}

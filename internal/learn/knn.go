@@ -1,0 +1,139 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KNN is a k-nearest-neighbor classifier with Euclidean distance and
+// distance-weighted voting. It has no training cost at all — Fit just
+// stores the data — which makes it the extreme point of the retraining-
+// latency spectrum the paper's asynchronous retrainer targets (§5.3):
+// zero decision latency to retrain, all cost at prediction time.
+type KNN struct {
+	Classes  int
+	Features int
+	K        int // neighbors consulted (default 5)
+
+	X [][]float64
+	Y []int
+}
+
+// NewKNN creates an untrained kNN model.
+func NewKNN(features, classes, k int) *KNN {
+	if classes < 2 {
+		classes = 2
+	}
+	if k < 1 {
+		k = 5
+	}
+	return &KNN{Classes: classes, Features: features, K: k}
+}
+
+// Fit stores the training data. rng is unused but kept for Classifier
+// conformance.
+func (m *KNN) Fit(X [][]float64, Y []int, rng *rand.Rand) {
+	_ = rng
+	m.X = X
+	m.Y = Y
+}
+
+// neighborVotes accumulates distance-weighted class votes from the K
+// nearest stored examples.
+func (m *KNN) neighborVotes(x []float64) []float64 {
+	votes := make([]float64, m.Classes)
+	n := len(m.X)
+	if n == 0 {
+		return votes
+	}
+	k := m.K
+	if k > n {
+		k = n
+	}
+	// Keep the k smallest distances with a simple insertion buffer — k is
+	// tiny (≤ ~10) so this beats sorting all n.
+	best := make([]nb, 0, k)
+	for i, xi := range m.X {
+		d2 := 0.0
+		for f, v := range x {
+			if f >= len(xi) {
+				break
+			}
+			d := v - xi[f]
+			d2 += d * d
+		}
+		if len(best) < k {
+			best = append(best, nb{d2, m.Y[i]})
+			if len(best) == k {
+				sortNB(best)
+			}
+			continue
+		}
+		if d2 < best[k-1].d2 {
+			best[k-1] = nb{d2, m.Y[i]}
+			for j := k - 1; j > 0 && best[j].d2 < best[j-1].d2; j-- {
+				best[j], best[j-1] = best[j-1], best[j]
+			}
+		}
+	}
+	if len(best) < k {
+		sortNB(best)
+	}
+	for _, b := range best {
+		if b.y < 0 || b.y >= m.Classes {
+			continue
+		}
+		votes[b.y] += 1 / (1 + math.Sqrt(b.d2))
+	}
+	return votes
+}
+
+// nb is one neighbor candidate: squared distance and label.
+type nb struct {
+	d2 float64
+	y  int
+}
+
+func sortNB(s []nb) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].d2 < s[j-1].d2; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Proba returns normalized distance-weighted neighbor votes.
+func (m *KNN) Proba(x []float64) []float64 {
+	votes := m.neighborVotes(x)
+	sum := 0.0
+	for _, v := range votes {
+		sum += v
+	}
+	if sum == 0 {
+		for c := range votes {
+			votes[c] = 1 / float64(m.Classes)
+		}
+		return votes
+	}
+	for c := range votes {
+		votes[c] /= sum
+	}
+	return votes
+}
+
+// Predict returns the class with the highest weighted vote.
+func (m *KNN) Predict(x []float64) int {
+	votes := m.neighborVotes(x)
+	best, bestV := 0, votes[0]
+	for c := 1; c < m.Classes; c++ {
+		if votes[c] > bestV {
+			best, bestV = c, votes[c]
+		}
+	}
+	return best
+}
+
+// Accuracy returns the fraction of examples classified correctly.
+func (m *KNN) Accuracy(X [][]float64, Y []int) float64 {
+	return EvalAccuracy(m, X, Y)
+}

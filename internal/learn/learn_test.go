@@ -1,0 +1,371 @@
+package learn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/clamshell/clamshell/internal/stats"
+)
+
+func easyDataset(seed int64, n int) *Dataset {
+	return Guyon(stats.NewRand(seed), GuyonConfig{
+		N: n, Features: 10, Informative: 8, Classes: 2, ClassSep: 2.5,
+	})
+}
+
+func TestGuyonShape(t *testing.T) {
+	d := easyDataset(1, 200)
+	if d.Len() != 200 || d.Features != 10 || d.Classes != 2 {
+		t.Fatalf("dataset shape wrong: %+v", d)
+	}
+	for _, y := range d.Y {
+		if y < 0 || y >= 2 {
+			t.Fatalf("label %d out of range", y)
+		}
+	}
+	counts := map[int]int{}
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	if counts[0] < 60 || counts[1] < 60 {
+		t.Fatalf("classes unbalanced: %v", counts)
+	}
+}
+
+func TestGuyonDeterministic(t *testing.T) {
+	a := easyDataset(7, 50)
+	b := easyDataset(7, 50)
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("same seed produced different labels")
+		}
+		for f := range a.X[i] {
+			if a.X[i][f] != b.X[i][f] {
+				t.Fatal("same seed produced different features")
+			}
+		}
+	}
+}
+
+func TestGuyonDefaults(t *testing.T) {
+	d := Guyon(stats.NewRand(2), GuyonConfig{N: 10, Features: 5})
+	if d.Classes != 2 {
+		t.Fatalf("default classes = %d", d.Classes)
+	}
+}
+
+func TestMNISTLikeShape(t *testing.T) {
+	d := MNISTLike(stats.NewRand(3), 100)
+	if d.Classes != 10 || d.Features != 784 || d.Len() != 100 {
+		t.Fatalf("mnistlike shape: %+v", d)
+	}
+	for _, x := range d.X {
+		for _, v := range x {
+			if v < 0 {
+				t.Fatal("pixel below 0")
+			}
+		}
+	}
+}
+
+func TestCIFARLikeShape(t *testing.T) {
+	d := CIFARLike(stats.NewRand(4), 60)
+	if d.Classes != 2 || d.Features != 3072 || d.Len() != 60 {
+		t.Fatalf("cifarlike shape: %+v", d)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := easyDataset(5, 100)
+	train, test := d.Split(stats.NewRand(6), 0.3)
+	if train.Len()+test.Len() != 100 {
+		t.Fatalf("split sizes %d+%d != 100", train.Len(), test.Len())
+	}
+	if test.Len() != 30 {
+		t.Fatalf("test size = %d, want 30", test.Len())
+	}
+}
+
+func TestSplitExtremes(t *testing.T) {
+	d := easyDataset(5, 10)
+	train, test := d.Split(stats.NewRand(6), 0)
+	if test.Len() != 1 || train.Len() != 9 {
+		t.Fatalf("0-frac split %d/%d", train.Len(), test.Len())
+	}
+	train, test = d.Split(stats.NewRand(6), 1)
+	if test.Len() != 9 || train.Len() != 1 {
+		t.Fatalf("1-frac split %d/%d", train.Len(), test.Len())
+	}
+}
+
+func TestLogisticLearnsSeparableData(t *testing.T) {
+	d := easyDataset(10, 400)
+	train, test := d.Split(stats.NewRand(11), 0.25)
+	m := NewLogistic(d.Features, d.Classes)
+	m.Fit(train.X, train.Y, stats.NewRand(12))
+	if acc := m.Accuracy(test.X, test.Y); acc < 0.9 {
+		t.Fatalf("accuracy = %v on separable data, want >= 0.9", acc)
+	}
+}
+
+func TestLogisticMulticlass(t *testing.T) {
+	d := Guyon(stats.NewRand(13), GuyonConfig{
+		N: 600, Features: 12, Informative: 10, Classes: 4, ClassSep: 2.5,
+	})
+	train, test := d.Split(stats.NewRand(14), 0.25)
+	m := NewLogistic(d.Features, d.Classes)
+	m.Fit(train.X, train.Y, stats.NewRand(15))
+	if acc := m.Accuracy(test.X, test.Y); acc < 0.8 {
+		t.Fatalf("4-class accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestProbaSumsToOne(t *testing.T) {
+	d := easyDataset(16, 50)
+	m := NewLogistic(d.Features, d.Classes)
+	m.Fit(d.X, d.Y, stats.NewRand(17))
+	for _, x := range d.X {
+		p := m.Proba(x)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability %v out of range", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestUncertaintyBounds(t *testing.T) {
+	d := easyDataset(18, 100)
+	m := NewLogistic(d.Features, d.Classes)
+	m.Fit(d.X, d.Y, stats.NewRand(19))
+	for _, x := range d.X {
+		u := m.Uncertainty(x)
+		if u < 0 || u > 1 {
+			t.Fatalf("uncertainty %v out of [0,1]", u)
+		}
+	}
+}
+
+func TestUntrainedModelUniform(t *testing.T) {
+	m := NewLogistic(4, 3)
+	p := m.Proba([]float64{1, 2, 3, 4})
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-9 {
+			t.Fatalf("untrained proba = %v, want uniform", p)
+		}
+	}
+	if u := m.Uncertainty([]float64{1, 2, 3, 4}); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("untrained uncertainty = %v, want 1", u)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewLogistic(2, 2)
+	m.W[0][0] = 5
+	c := m.Clone()
+	c.W[0][0] = 9
+	if m.W[0][0] != 5 {
+		t.Fatal("Clone shares weight storage")
+	}
+}
+
+func TestFitEmptyIsNoop(t *testing.T) {
+	m := NewLogistic(2, 2)
+	m.Fit(nil, nil, stats.NewRand(1)) // must not panic
+}
+
+func TestTrainerLabelCache(t *testing.T) {
+	d := easyDataset(20, 100)
+	train, test := d.Split(stats.NewRand(21), 0.2)
+	tr := NewTrainer(train, test, stats.NewRand(22))
+	if tr.LabeledCount() != 0 {
+		t.Fatal("fresh trainer has labels")
+	}
+	tr.AddLabel(3, 1)
+	tr.AddLabel(3, 0) // overwrite, still one point
+	if tr.LabeledCount() != 1 || !tr.HasLabel(3) {
+		t.Fatal("label cache broken")
+	}
+	batch := tr.SelectBatch(Passive, 10)
+	for _, i := range batch {
+		if i == 3 {
+			t.Fatal("selected an already-labeled point")
+		}
+	}
+}
+
+func TestSelectBatchSizes(t *testing.T) {
+	d := easyDataset(23, 50)
+	train, test := d.Split(stats.NewRand(24), 0.2)
+	tr := NewTrainer(train, test, stats.NewRand(25))
+	for _, strat := range []Strategy{Passive, Active, Hybrid} {
+		got := tr.SelectBatch(strat, 10)
+		if len(got) != 10 {
+			t.Fatalf("%v batch = %d, want 10", strat, len(got))
+		}
+		seen := map[int]bool{}
+		for _, i := range got {
+			if seen[i] {
+				t.Fatalf("%v returned duplicate index %d", strat, i)
+			}
+			seen[i] = true
+		}
+	}
+	// Exhausted pool returns the remainder.
+	for i := 0; i < train.Len(); i++ {
+		tr.AddLabel(i, 0)
+	}
+	if got := tr.SelectBatch(Passive, 10); len(got) != 0 {
+		t.Fatalf("exhausted pool returned %d points", len(got))
+	}
+}
+
+func TestHybridSplitsActivePassive(t *testing.T) {
+	d := easyDataset(26, 200)
+	train, test := d.Split(stats.NewRand(27), 0.2)
+	tr := NewTrainer(train, test, stats.NewRand(28))
+	tr.ActiveFraction = 0.5
+	// Train a bit so uncertainty sampling is active.
+	for i := 0; i < 20; i++ {
+		tr.AddLabel(i, train.Y[i])
+	}
+	tr.Retrain()
+	got := tr.SelectBatch(Hybrid, 12)
+	if len(got) != 12 {
+		t.Fatalf("hybrid batch = %d", len(got))
+	}
+}
+
+func TestRetrainImprovesAccuracy(t *testing.T) {
+	d := easyDataset(29, 300)
+	train, test := d.Split(stats.NewRand(30), 0.25)
+	tr := NewTrainer(train, test, stats.NewRand(31))
+	before := tr.TestAccuracy()
+	if math.Abs(before-0.5) > 1e-9 {
+		t.Fatalf("untrained accuracy = %v, want chance 0.5", before)
+	}
+	for i := 0; i < 100; i++ {
+		tr.AddLabel(i, train.Y[i])
+	}
+	tr.Retrain()
+	if after := tr.TestAccuracy(); after < 0.85 {
+		t.Fatalf("trained accuracy = %v, want >= 0.85", after)
+	}
+}
+
+// The central §5 shape: on an easy dataset, active learning reaches a given
+// accuracy with fewer labels than passive learning.
+func TestActiveBeatsPassiveOnEasyData(t *testing.T) {
+	run := func(strategy Strategy, seed int64) float64 {
+		d := Guyon(stats.NewRand(seed), GuyonConfig{
+			N: 500, Features: 16, Informative: 12, Classes: 2, ClassSep: 1.2,
+		})
+		train, test := d.Split(stats.NewRand(seed+1), 0.3)
+		tr := NewTrainer(train, test, stats.NewRand(seed+2))
+		for tr.LabeledCount() < 120 {
+			for _, i := range tr.SelectBatch(strategy, 10) {
+				tr.AddLabel(i, train.Y[i])
+			}
+			tr.Retrain()
+		}
+		return tr.TestAccuracy()
+	}
+	activeWins := 0
+	const trials = 5
+	for s := int64(0); s < trials; s++ {
+		a := run(Active, 40+s*10)
+		p := run(Passive, 40+s*10)
+		if a >= p-0.01 { // active at least matches passive (usually beats)
+			activeWins++
+		}
+	}
+	if activeWins < 3 {
+		t.Fatalf("active matched/beat passive in only %d/%d trials", activeWins, trials)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if Passive.String() != "passive" || Active.String() != "active" || Hybrid.String() != "hybrid" {
+		t.Fatal("strategy strings wrong")
+	}
+	if Strategy(9).String() == "" {
+		t.Fatal("unknown strategy must render")
+	}
+}
+
+func TestDecisionLatencyMonotone(t *testing.T) {
+	if DecisionLatency(0, 0) <= 0 {
+		t.Fatal("base decision latency must be positive")
+	}
+	if DecisionLatency(1000, 250) <= DecisionLatency(10, 250) {
+		t.Fatal("decision latency must grow with labeled count")
+	}
+}
+
+// Property: SelectBatch never returns labeled or duplicate indices and never
+// exceeds the requested size.
+func TestPropertySelectBatchSound(t *testing.T) {
+	d := easyDataset(50, 80)
+	train, test := d.Split(stats.NewRand(51), 0.2)
+	f := func(pre []uint8, n uint8, strat uint8) bool {
+		tr := NewTrainer(train, test, stats.NewRand(52))
+		for _, p := range pre {
+			tr.AddLabel(int(p)%train.Len(), 0)
+		}
+		batch := tr.SelectBatch(Strategy(strat%3), int(n%20))
+		if len(batch) > int(n%20) && len(batch) > train.Len()-tr.LabeledCount() {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range batch {
+			if tr.HasLabel(i) || seen[i] || i < 0 || i >= train.Len() {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: softmax probabilities always sum to 1 for any weights and input.
+func TestPropertyProbaNormalized(t *testing.T) {
+	f := func(ws []int8, xs []int8) bool {
+		m := NewLogistic(3, 3)
+		k := 0
+		for c := range m.W {
+			for f := range m.W[c] {
+				if k < len(ws) {
+					m.W[c][f] = float64(ws[k]) / 8
+					k++
+				}
+			}
+		}
+		x := make([]float64, 3)
+		for i := range x {
+			if i < len(xs) {
+				x[i] = float64(xs[i]) / 8
+			}
+		}
+		p := m.Proba(x)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

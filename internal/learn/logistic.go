@@ -1,0 +1,174 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Logistic is a multinomial logistic-regression classifier trained by
+// mini-batch SGD with L2 regularization — the workhorse model behind the
+// paper's learning experiments.
+type Logistic struct {
+	Classes  int
+	Features int
+	// W is row-major [Classes][Features+1]; the last column is the bias.
+	W [][]float64
+
+	LR     float64 // learning rate (default 0.1)
+	L2     float64 // L2 penalty (default 1e-4)
+	Epochs int     // SGD passes per Fit (default 20)
+}
+
+// NewLogistic creates an untrained model.
+func NewLogistic(features, classes int) *Logistic {
+	if classes < 2 {
+		classes = 2
+	}
+	w := make([][]float64, classes)
+	for c := range w {
+		w[c] = make([]float64, features+1)
+	}
+	return &Logistic{
+		Classes:  classes,
+		Features: features,
+		W:        w,
+		LR:       0.1,
+		L2:       1e-4,
+		Epochs:   20,
+	}
+}
+
+// Clone returns a deep copy of the model (used by the asynchronous
+// retrainer to publish snapshots).
+func (m *Logistic) Clone() *Logistic {
+	w := make([][]float64, m.Classes)
+	for c := range w {
+		w[c] = make([]float64, len(m.W[c]))
+		copy(w[c], m.W[c])
+	}
+	return &Logistic{
+		Classes: m.Classes, Features: m.Features, W: w,
+		LR: m.LR, L2: m.L2, Epochs: m.Epochs,
+	}
+}
+
+// logits computes the raw scores for one example.
+func (m *Logistic) logits(x []float64) []float64 {
+	z := make([]float64, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		w := m.W[c]
+		s := w[m.Features] // bias
+		for f, v := range x {
+			s += w[f] * v
+		}
+		z[c] = s
+	}
+	return z
+}
+
+// Proba returns the softmax class probabilities for one example.
+func (m *Logistic) Proba(x []float64) []float64 {
+	z := m.logits(x)
+	max := z[0]
+	for _, v := range z[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for c := range z {
+		z[c] = math.Exp(z[c] - max)
+		sum += z[c]
+	}
+	for c := range z {
+		z[c] /= sum
+	}
+	return z
+}
+
+// Predict returns the most probable class for one example.
+func (m *Logistic) Predict(x []float64) int {
+	z := m.logits(x)
+	best, bestV := 0, z[0]
+	for c := 1; c < m.Classes; c++ {
+		if z[c] > bestV {
+			best, bestV = c, z[c]
+		}
+	}
+	return best
+}
+
+// Uncertainty returns 1 minus the margin between the two most probable
+// classes: 0 for a confident prediction, approaching 1 at the decision
+// boundary. This is the paper's uncertainty-sampling criterion.
+func (m *Logistic) Uncertainty(x []float64) float64 {
+	p := m.Proba(x)
+	top, second := 0.0, 0.0
+	for _, v := range p {
+		if v > top {
+			top, second = v, top
+		} else if v > second {
+			second = v
+		}
+	}
+	return 1 - (top - second)
+}
+
+// Fit trains the model from scratch on (X, Y) with SGD, resetting weights
+// first. It is deterministic given rng.
+func (m *Logistic) Fit(X [][]float64, Y []int, rng *rand.Rand) {
+	for c := range m.W {
+		for f := range m.W[c] {
+			m.W[c][f] = 0
+		}
+	}
+	m.Partial(X, Y, m.Epochs, rng)
+}
+
+// Partial runs additional SGD epochs over (X, Y) without resetting weights
+// (incremental refinement for warm-started retraining).
+func (m *Logistic) Partial(X [][]float64, Y []int, epochs int, rng *rand.Rand) {
+	n := len(X)
+	if n == 0 {
+		return
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	lr := m.LR
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			x, y := X[i], Y[i]
+			p := m.Proba(x)
+			for c := 0; c < m.Classes; c++ {
+				g := p[c]
+				if c == y {
+					g -= 1
+				}
+				w := m.W[c]
+				step := lr * g
+				for f, v := range x {
+					w[f] -= step*v + lr*m.L2*w[f]
+				}
+				w[m.Features] -= step
+			}
+		}
+		lr *= 0.95 // gentle decay for stability on noisy crowd labels
+	}
+}
+
+// Accuracy returns the fraction of examples the model classifies correctly.
+func (m *Logistic) Accuracy(X [][]float64, Y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}

@@ -1,0 +1,180 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NaiveBayes is a Gaussian naive Bayes classifier: per-class feature means
+// and variances with a shared variance floor, class priors from label
+// frequencies. It trains in one pass (no epochs), which makes it the
+// cheapest retraining target for the asynchronous retrainer, at the price
+// of the independence assumption.
+type NaiveBayes struct {
+	Classes  int
+	Features int
+
+	// VarSmoothing is added to every per-feature variance, as a fraction of
+	// the largest feature variance (sklearn-style; default 1e-9 of max var,
+	// floored absolutely at 1e-9).
+	VarSmoothing float64
+
+	prior []float64   // log class priors
+	mean  [][]float64 // [class][feature]
+	vari  [][]float64 // [class][feature]
+	fit   bool
+}
+
+// NewNaiveBayes creates an untrained Gaussian naive Bayes model.
+func NewNaiveBayes(features, classes int) *NaiveBayes {
+	if classes < 2 {
+		classes = 2
+	}
+	return &NaiveBayes{Classes: classes, Features: features, VarSmoothing: 1e-9}
+}
+
+// Fit estimates per-class Gaussians from (X, Y) in one pass. rng is unused
+// (the estimator is closed-form) but kept for Classifier conformance.
+func (m *NaiveBayes) Fit(X [][]float64, Y []int, rng *rand.Rand) {
+	_ = rng
+	n := len(X)
+	m.prior = make([]float64, m.Classes)
+	m.mean = make([][]float64, m.Classes)
+	m.vari = make([][]float64, m.Classes)
+	counts := make([]float64, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		m.mean[c] = make([]float64, m.Features)
+		m.vari[c] = make([]float64, m.Features)
+	}
+	if n == 0 {
+		m.fit = false
+		return
+	}
+	for i, x := range X {
+		c := Y[i]
+		if c < 0 || c >= m.Classes {
+			continue
+		}
+		counts[c]++
+		for f, v := range x {
+			m.mean[c][f] += v
+		}
+	}
+	for c := 0; c < m.Classes; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for f := range m.mean[c] {
+			m.mean[c][f] /= counts[c]
+		}
+	}
+	for i, x := range X {
+		c := Y[i]
+		if c < 0 || c >= m.Classes {
+			continue
+		}
+		for f, v := range x {
+			d := v - m.mean[c][f]
+			m.vari[c][f] += d * d
+		}
+	}
+	// Global variance scale for the smoothing floor.
+	maxVar := 0.0
+	for c := 0; c < m.Classes; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for f := range m.vari[c] {
+			m.vari[c][f] /= counts[c]
+			if m.vari[c][f] > maxVar {
+				maxVar = m.vari[c][f]
+			}
+		}
+	}
+	eps := m.VarSmoothing * maxVar
+	if eps < 1e-9 {
+		eps = 1e-9
+	}
+	for c := 0; c < m.Classes; c++ {
+		for f := range m.vari[c] {
+			m.vari[c][f] += eps
+		}
+	}
+	total := float64(n)
+	for c := 0; c < m.Classes; c++ {
+		// Laplace-smoothed priors so unseen classes keep nonzero mass.
+		m.prior[c] = math.Log((counts[c] + 1) / (total + float64(m.Classes)))
+	}
+	m.fit = true
+}
+
+// logJoint computes log P(class) + log P(x | class) per class.
+func (m *NaiveBayes) logJoint(x []float64) []float64 {
+	out := make([]float64, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		lp := m.prior[c]
+		for f, v := range x {
+			if f >= m.Features {
+				break
+			}
+			va := m.vari[c][f]
+			d := v - m.mean[c][f]
+			lp += -0.5*math.Log(2*math.Pi*va) - d*d/(2*va)
+		}
+		out[c] = lp
+	}
+	return out
+}
+
+// Proba returns the posterior class probabilities for one example.
+func (m *NaiveBayes) Proba(x []float64) []float64 {
+	if !m.fit {
+		p := make([]float64, m.Classes)
+		for c := range p {
+			p[c] = 1 / float64(m.Classes)
+		}
+		return p
+	}
+	lp := m.logJoint(x)
+	return softmaxLog(lp)
+}
+
+// Predict returns the maximum-posterior class for one example.
+func (m *NaiveBayes) Predict(x []float64) int {
+	if !m.fit {
+		return 0
+	}
+	lp := m.logJoint(x)
+	best, bestV := 0, lp[0]
+	for c := 1; c < m.Classes; c++ {
+		if lp[c] > bestV {
+			best, bestV = c, lp[c]
+		}
+	}
+	return best
+}
+
+// Accuracy returns the fraction of examples classified correctly.
+func (m *NaiveBayes) Accuracy(X [][]float64, Y []int) float64 {
+	return EvalAccuracy(m, X, Y)
+}
+
+// softmaxLog exponentiates and normalizes log scores with the max trick.
+func softmaxLog(lp []float64) []float64 {
+	out := make([]float64, len(lp))
+	max := lp[0]
+	for _, v := range lp[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range lp {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

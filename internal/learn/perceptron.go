@@ -1,0 +1,128 @@
+package learn
+
+import "math/rand"
+
+// Perceptron is an averaged multiclass perceptron: mistake-driven updates
+// with weight averaging for stability on noisy crowd labels. It sits
+// between naive Bayes (one pass, closed form) and logistic regression
+// (many SGD epochs) on the retraining-cost spectrum.
+type Perceptron struct {
+	Classes  int
+	Features int
+	Epochs   int // passes over the data per Fit (default 10)
+
+	// W is the averaged weight matrix, row-major [Classes][Features+1];
+	// the last column is the bias.
+	W [][]float64
+}
+
+// NewPerceptron creates an untrained averaged perceptron.
+func NewPerceptron(features, classes int) *Perceptron {
+	if classes < 2 {
+		classes = 2
+	}
+	w := make([][]float64, classes)
+	for c := range w {
+		w[c] = make([]float64, features+1)
+	}
+	return &Perceptron{Classes: classes, Features: features, Epochs: 10, W: w}
+}
+
+// Fit trains from scratch with the averaged-perceptron algorithm: the
+// published weights are the running average of the online weights over all
+// updates, which damps the oscillation plain perceptrons exhibit on
+// non-separable (crowd-noisy) data.
+func (m *Perceptron) Fit(X [][]float64, Y []int, rng *rand.Rand) {
+	n := len(X)
+	cur := make([][]float64, m.Classes)
+	sum := make([][]float64, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		cur[c] = make([]float64, m.Features+1)
+		sum[c] = make([]float64, m.Features+1)
+	}
+	if n == 0 {
+		m.W = cur
+		return
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	steps := 0.0
+	for e := 0; e < m.Epochs; e++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			x, y := X[i], Y[i]
+			if y < 0 || y >= m.Classes {
+				continue
+			}
+			pred := argmaxScore(cur, x, m.Features)
+			if pred != y {
+				for f, v := range x {
+					if f >= m.Features {
+						break
+					}
+					cur[y][f] += v
+					cur[pred][f] -= v
+				}
+				cur[y][m.Features]++
+				cur[pred][m.Features]--
+			}
+			for c := 0; c < m.Classes; c++ {
+				for f := range cur[c] {
+					sum[c][f] += cur[c][f]
+				}
+			}
+			steps++
+		}
+	}
+	m.W = make([][]float64, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		m.W[c] = make([]float64, m.Features+1)
+		for f := range sum[c] {
+			m.W[c][f] = sum[c][f] / steps
+		}
+	}
+}
+
+func argmaxScore(w [][]float64, x []float64, features int) int {
+	best, bestV := 0, scoreRow(w[0], x, features)
+	for c := 1; c < len(w); c++ {
+		if s := scoreRow(w[c], x, features); s > bestV {
+			best, bestV = c, s
+		}
+	}
+	return best
+}
+
+func scoreRow(w, x []float64, features int) float64 {
+	s := w[features]
+	for f, v := range x {
+		if f >= features {
+			break
+		}
+		s += w[f] * v
+	}
+	return s
+}
+
+// Predict returns the highest-scoring class under the averaged weights.
+func (m *Perceptron) Predict(x []float64) int {
+	return argmaxScore(m.W, x, m.Features)
+}
+
+// Proba returns a softmax over the averaged scores. Perceptron scores are
+// not calibrated probabilities, but the softmax preserves their ordering,
+// which is all uncertainty sampling needs.
+func (m *Perceptron) Proba(x []float64) []float64 {
+	z := make([]float64, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		z[c] = scoreRow(m.W[c], x, m.Features)
+	}
+	return softmaxLog(z)
+}
+
+// Accuracy returns the fraction of examples classified correctly.
+func (m *Perceptron) Accuracy(X [][]float64, Y []int) float64 {
+	return EvalAccuracy(m, X, Y)
+}

@@ -1,0 +1,139 @@
+package learn
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// AsyncRetrainer is the live-mode implementation of the paper's §5.3
+// pipeline: a background goroutine continually retrains models on the
+// latest labels and publishes immutable snapshots, so point selection
+// never blocks on training. The simulator models the same behaviour by
+// charging (or hiding) DecisionLatency on the virtual clock; this type is
+// for wall-clock deployments like the routing server, where retraining
+// genuinely runs concurrently with crowd labeling.
+//
+// The contract is the paper's: selections made from a snapshot may be
+// slightly stale, which empirically does not hurt convergence (§5.3).
+type AsyncRetrainer struct {
+	features int
+	classes  int
+
+	mu        sync.Mutex
+	labels    map[int][]float64 // pending training set: x by example id
+	targets   map[int]int       // label by example id
+	dirty     bool              // labels changed since the last fit
+	published *Logistic         // latest immutable snapshot
+	version   int               // bumps on every publish
+	fits      int               // completed training passes
+	closed    bool
+
+	wake chan struct{}
+	done chan struct{}
+	rng  *rand.Rand
+}
+
+// NewAsyncRetrainer starts the background trainer for the given problem
+// shape. Close must be called to release the goroutine.
+func NewAsyncRetrainer(features, classes int, seed int64) *AsyncRetrainer {
+	ar := &AsyncRetrainer{
+		features: features,
+		classes:  classes,
+		labels:   make(map[int][]float64),
+		targets:  make(map[int]int),
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	go ar.loop()
+	return ar
+}
+
+// Observe feeds one labeled example (idempotent per id: a re-observed id
+// overwrites its previous label, matching the label cache semantics).
+func (ar *AsyncRetrainer) Observe(id int, x []float64, label int) {
+	ar.mu.Lock()
+	ar.labels[id] = x
+	ar.targets[id] = label
+	ar.dirty = true
+	ar.mu.Unlock()
+	select {
+	case ar.wake <- struct{}{}:
+	default: // a wake-up is already pending
+	}
+}
+
+// Model returns the most recently published snapshot and its version.
+// Nil until the first training pass completes (callers fall back to
+// random selection, exactly like the Trainer before first Retrain).
+func (ar *AsyncRetrainer) Model() (*Logistic, int) {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	return ar.published, ar.version
+}
+
+// Fits returns how many training passes have completed.
+func (ar *AsyncRetrainer) Fits() int {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	return ar.fits
+}
+
+// Close stops the background goroutine and waits for it to exit. The last
+// published model remains readable. Close is idempotent.
+func (ar *AsyncRetrainer) Close() {
+	ar.mu.Lock()
+	if ar.closed {
+		ar.mu.Unlock()
+		<-ar.done
+		return
+	}
+	ar.closed = true
+	ar.mu.Unlock()
+	select {
+	case ar.wake <- struct{}{}:
+	default:
+	}
+	<-ar.done
+}
+
+// loop is the background retraining goroutine: it sleeps until labels
+// change, snapshots them, trains off-lock, and publishes.
+func (ar *AsyncRetrainer) loop() {
+	defer close(ar.done)
+	for range ar.wake {
+		ar.mu.Lock()
+		if ar.closed {
+			ar.mu.Unlock()
+			return
+		}
+		if !ar.dirty || len(ar.labels) == 0 {
+			ar.mu.Unlock()
+			continue
+		}
+		ar.dirty = false
+		X := make([][]float64, 0, len(ar.labels))
+		Y := make([]int, 0, len(ar.labels))
+		for id, x := range ar.labels {
+			X = append(X, x)
+			Y = append(Y, ar.targets[id])
+		}
+		// Async mode is inherently timing-dependent, so per-fit determinism
+		// buys nothing; draw a private seed so Fit gets its own RNG stream.
+		seed := ar.rng.Int63()
+		ar.mu.Unlock()
+
+		m := NewLogistic(ar.features, ar.classes)
+		m.Fit(X, Y, rand.New(rand.NewSource(seed)))
+
+		ar.mu.Lock()
+		ar.published = m
+		ar.version++
+		ar.fits++
+		closed := ar.closed
+		ar.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}

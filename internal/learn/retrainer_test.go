@@ -1,0 +1,146 @@
+package learn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond up to 5s, failing the test on timeout.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestAsyncRetrainerPublishesModel(t *testing.T) {
+	ar := NewAsyncRetrainer(2, 2, 1)
+	defer ar.Close()
+
+	if m, v := ar.Model(); m != nil || v != 0 {
+		t.Fatal("retrainer should publish nothing before observations")
+	}
+	rng := rand.New(rand.NewSource(2))
+	X, Y := blobs(rng, 100, 2)
+	for i := range X {
+		ar.Observe(i, X[i], Y[i])
+	}
+	waitFor(t, "first published model", func() bool {
+		m, _ := ar.Model()
+		return m != nil
+	})
+	// The trained snapshot must actually separate the blobs.
+	waitFor(t, "a model trained on the full set", func() bool {
+		m, _ := ar.Model()
+		return m.Accuracy(X, Y) > 0.9
+	})
+}
+
+func TestAsyncRetrainerVersionAdvances(t *testing.T) {
+	ar := NewAsyncRetrainer(2, 2, 3)
+	defer ar.Close()
+	rng := rand.New(rand.NewSource(4))
+	X, Y := blobs(rng, 40, 2)
+	for i := 0; i < 20; i++ {
+		ar.Observe(i, X[i], Y[i])
+	}
+	waitFor(t, "first fit", func() bool { return ar.Fits() >= 1 })
+	_, v1 := ar.Model()
+
+	for i := 20; i < 40; i++ {
+		ar.Observe(i, X[i], Y[i])
+	}
+	waitFor(t, "a newer snapshot", func() bool {
+		_, v := ar.Model()
+		return v > v1
+	})
+}
+
+func TestAsyncRetrainerSnapshotsAreImmutable(t *testing.T) {
+	ar := NewAsyncRetrainer(2, 2, 5)
+	defer ar.Close()
+	rng := rand.New(rand.NewSource(6))
+	X, Y := blobs(rng, 60, 2)
+	for i := 0; i < 30; i++ {
+		ar.Observe(i, X[i], Y[i])
+	}
+	waitFor(t, "first fit", func() bool { return ar.Fits() >= 1 })
+	m1, _ := ar.Model()
+	w0 := m1.W[0][0]
+
+	// Trigger more training; the old snapshot must not change underneath
+	// the reader.
+	for i := 30; i < 60; i++ {
+		ar.Observe(i, X[i], Y[i])
+	}
+	waitFor(t, "another fit", func() bool { return ar.Fits() >= 2 })
+	if m1.W[0][0] != w0 {
+		t.Fatal("published snapshot mutated by a later training pass")
+	}
+}
+
+func TestAsyncRetrainerConcurrentObservers(t *testing.T) {
+	// Many goroutines feeding labels while another reads models: run under
+	// -race this verifies the locking discipline.
+	ar := NewAsyncRetrainer(2, 2, 7)
+	defer ar.Close()
+	rng := rand.New(rand.NewSource(8))
+	X, Y := blobs(rng, 400, 2)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g * 100; i < (g+1)*100; i++ {
+				ar.Observe(i, X[i], Y[i])
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ar.Model()
+			}
+		}
+	}()
+	wg.Wait()
+	waitFor(t, "fit over concurrent labels", func() bool { return ar.Fits() >= 1 })
+	close(stop)
+}
+
+func TestAsyncRetrainerCloseIdempotent(t *testing.T) {
+	ar := NewAsyncRetrainer(2, 2, 9)
+	ar.Observe(0, []float64{1, 1}, 1)
+	ar.Close()
+	ar.Close() // must not hang or panic
+	// The last snapshot (if any) stays readable after Close.
+	ar.Model()
+}
+
+func TestAsyncRetrainerObserveOverwrites(t *testing.T) {
+	ar := NewAsyncRetrainer(1, 2, 10)
+	defer ar.Close()
+	// Same id relabeled: the retrainer must train on the latest label only.
+	for i := 0; i < 50; i++ {
+		ar.Observe(i, []float64{float64(i%2) * 4}, i%2)
+	}
+	for i := 0; i < 50; i++ {
+		ar.Observe(i, []float64{float64(i%2) * 4}, 1-i%2) // flip everything
+	}
+	waitFor(t, "fit on flipped labels", func() bool {
+		m, _ := ar.Model()
+		return m != nil && m.Predict([]float64{4}) == 0 && m.Predict([]float64{0}) == 1
+	})
+}

@@ -1,0 +1,81 @@
+package learn
+
+import "math"
+
+// Scaler standardizes features to zero mean and unit variance — the usual
+// preprocessing in front of SGD-trained linear models, fitted on training
+// data only and applied to everything else.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes per-feature means and standard deviations over X.
+// Constant features get Std 1 so scaling is a no-op for them.
+func FitScaler(X [][]float64) *Scaler {
+	if len(X) == 0 {
+		return &Scaler{}
+	}
+	f := len(X[0])
+	mean := make([]float64, f)
+	for _, x := range X {
+		for j, v := range x {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(X))
+	}
+	std := make([]float64, f)
+	for _, x := range X {
+		for j, v := range x {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(len(X)))
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	return &Scaler{Mean: mean, Std: std}
+}
+
+// Transform returns a standardized copy of x.
+func (s *Scaler) Transform(x []float64) []float64 {
+	if len(s.Mean) == 0 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll standardizes a matrix.
+func (s *Scaler) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		out[i] = s.Transform(x)
+	}
+	return out
+}
+
+// Standardize returns a copy of the dataset with features standardized by a
+// scaler fitted on the dataset itself (convenience for whole-dataset
+// preprocessing before splitting — for leak-free evaluation fit the scaler
+// on the train split instead).
+func (d *Dataset) Standardize() *Dataset {
+	s := FitScaler(d.X)
+	return &Dataset{
+		Name:     d.Name + "-std",
+		X:        s.TransformAll(d.X),
+		Y:        append([]int(nil), d.Y...),
+		Classes:  d.Classes,
+		Features: d.Features,
+	}
+}

@@ -1,0 +1,108 @@
+package learn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/clamshell/clamshell/internal/stats"
+)
+
+func TestScalerStandardizes(t *testing.T) {
+	X := [][]float64{{1, 10}, {2, 20}, {3, 30}}
+	s := FitScaler(X)
+	out := s.TransformAll(X)
+	for j := 0; j < 2; j++ {
+		var col []float64
+		for _, x := range out {
+			col = append(col, x[j])
+		}
+		if m := stats.Mean(col); math.Abs(m) > 1e-9 {
+			t.Fatalf("feature %d mean = %v", j, m)
+		}
+		// Population std 1 (FitScaler divides by n).
+		v := 0.0
+		for _, x := range col {
+			v += x * x
+		}
+		if sd := math.Sqrt(v / float64(len(col))); math.Abs(sd-1) > 1e-9 {
+			t.Fatalf("feature %d std = %v", j, sd)
+		}
+	}
+}
+
+func TestScalerConstantFeature(t *testing.T) {
+	X := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	s := FitScaler(X)
+	out := s.Transform([]float64{5, 2})
+	if out[0] != 0 {
+		t.Fatalf("constant feature transformed to %v", out[0])
+	}
+}
+
+func TestScalerEmpty(t *testing.T) {
+	s := FitScaler(nil)
+	got := s.Transform([]float64{1, 2})
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("empty scaler should copy: %v", got)
+	}
+}
+
+func TestScalerDoesNotMutateInput(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	s := FitScaler(X)
+	s.TransformAll(X)
+	if X[0][0] != 1 || X[1][1] != 4 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestStandardizeDataset(t *testing.T) {
+	d := Guyon(stats.NewRand(1), GuyonConfig{N: 100, Features: 6, Informative: 4, Classes: 2, ClassSep: 2})
+	sd := d.Standardize()
+	if sd.Name != d.Name+"-std" || sd.Len() != d.Len() {
+		t.Fatalf("standardized dataset malformed: %s %d", sd.Name, sd.Len())
+	}
+	// Labels preserved, features changed.
+	for i := range d.Y {
+		if sd.Y[i] != d.Y[i] {
+			t.Fatal("labels changed")
+		}
+	}
+	// Standardization keeps the problem learnable.
+	train, test := sd.Split(stats.NewRand(2), 0.25)
+	m := NewLogistic(sd.Features, sd.Classes)
+	m.Fit(train.X, train.Y, stats.NewRand(3))
+	if acc := m.Accuracy(test.X, test.Y); acc < 0.85 {
+		t.Fatalf("accuracy after standardization = %v", acc)
+	}
+}
+
+// Property: transformed columns always have |mean| < eps and the transform
+// is invertible up to float error.
+func TestPropertyScalerRoundTrip(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2 * 2
+		X := make([][]float64, n/2)
+		for i := range X {
+			X[i] = []float64{float64(raw[2*i]), float64(raw[2*i+1])}
+		}
+		s := FitScaler(X)
+		for _, x := range X {
+			z := s.Transform(x)
+			for j := range z {
+				back := z[j]*s.Std[j] + s.Mean[j]
+				if math.Abs(back-x[j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,300 @@
+package learn
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Strategy selects how the next batch of points to label is chosen (paper
+// §5): pure passive (random sampling), pure active (uncertainty sampling),
+// or CLAMShell's hybrid which splits the pool between the two.
+type Strategy int
+
+// Label-acquisition strategies.
+const (
+	Passive Strategy = iota
+	Active
+	Hybrid
+)
+
+// String renders the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Passive:
+		return "passive"
+	case Active:
+		return "active"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Trainer manages the label-acquisition loop over an unlabeled pool: it
+// selects points per strategy, caches crowd labels (points are never paid
+// for twice — the paper's label cache), retrains the model, and evaluates
+// on a held-out test set.
+type Trainer struct {
+	Train *Dataset // unlabeled pool (ground truth hidden behind the crowd)
+	Test  *Dataset // held-out evaluation set
+	Model *Logistic
+
+	// ActiveFraction r = k/p: share of each batch chosen by uncertainty
+	// sampling under Hybrid (default 0.5 per the paper's §5.2).
+	ActiveFraction float64
+
+	// CandidateSample bounds the number of unlabeled points scored during
+	// uncertainty sampling (paper §5.3's first decision-latency
+	// optimization). 0 means score all.
+	CandidateSample int
+
+	// Criterion selects the uncertainty score used for active selection.
+	// The zero value is MarginCriterion, the paper's criterion.
+	Criterion Criterion
+
+	// committee, when non-nil, scores candidates by vote entropy
+	// (query by committee) instead of single-model uncertainty.
+	committee *Committee
+
+	rng     *rand.Rand
+	labels  map[int]int // crowd label cache: train index -> label
+	trained bool
+
+	// Ensemble state (paper §7: keep active/passive points separate and
+	// average models). See ensemble.go.
+	ensemble      bool
+	sources       map[int]sourceKind
+	activeModel   *Logistic
+	passiveModel  *Logistic
+	activeWeight  float64
+	ensembleReady bool
+}
+
+// NewTrainer creates a Trainer over the given train/test split.
+func NewTrainer(train, test *Dataset, rng *rand.Rand) *Trainer {
+	return &Trainer{
+		Train:           train,
+		Test:            test,
+		Model:           NewLogistic(train.Features, train.Classes),
+		ActiveFraction:  0.5,
+		CandidateSample: 250,
+		rng:             rng,
+		labels:          make(map[int]int),
+	}
+}
+
+// LabeledCount returns the number of distinct points labeled so far.
+func (t *Trainer) LabeledCount() int { return len(t.labels) }
+
+// HasLabel reports whether the point is already in the label cache.
+func (t *Trainer) HasLabel(idx int) bool { _, ok := t.labels[idx]; return ok }
+
+// Label returns the cached crowd label for a train-set point (or -1 when
+// the point has not been labeled).
+func (t *Trainer) Label(idx int) int {
+	if y, ok := t.labels[idx]; ok {
+		return y
+	}
+	return -1
+}
+
+// Predict returns the current model's label for one example — the
+// imputation path for points the crowd never labels (§5). In ensemble
+// mode with both sub-models trained, the ensemble predicts.
+func (t *Trainer) Predict(x []float64) int {
+	if !t.trained {
+		return 0
+	}
+	if t.ensemble && t.ensembleReady {
+		return t.ensemblePredict(x)
+	}
+	return t.Model.Predict(x)
+}
+
+// AddLabel records a crowd label for a train-set point.
+func (t *Trainer) AddLabel(idx, label int) { t.labels[idx] = label }
+
+// unlabeled returns the indices not yet in the cache.
+func (t *Trainer) unlabeled() []int {
+	out := make([]int, 0, t.Train.Len()-len(t.labels))
+	for i := 0; i < t.Train.Len(); i++ {
+		if _, ok := t.labels[i]; !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectBatch picks n unlabeled points per the strategy. Under Hybrid,
+// ceil(n·ActiveFraction) points come from uncertainty sampling and the rest
+// from random sampling; under Active all points are uncertainty-sampled;
+// under Passive all are random. Fewer than n indices are returned when the
+// pool is nearly exhausted.
+func (t *Trainer) SelectBatch(strategy Strategy, n int) []int {
+	pool := t.unlabeled()
+	if len(pool) <= n {
+		return pool
+	}
+	switch strategy {
+	case Passive:
+		out := t.randomFrom(pool, n)
+		t.noteSource(out, sourcePassive)
+		return out
+	case Active:
+		out := t.uncertainFrom(pool, n)
+		t.noteSource(out, sourceActive)
+		return out
+	case Hybrid:
+		k := int(float64(n)*t.ActiveFraction + 0.5)
+		if k > n {
+			k = n
+		}
+		chosen := t.uncertainFrom(pool, k)
+		t.noteSource(chosen, sourceActive)
+		taken := make(map[int]bool, len(chosen))
+		for _, i := range chosen {
+			taken[i] = true
+		}
+		rest := make([]int, 0, len(pool)-len(chosen))
+		for _, i := range pool {
+			if !taken[i] {
+				rest = append(rest, i)
+			}
+		}
+		passive := t.randomFrom(rest, n-len(chosen))
+		t.noteSource(passive, sourcePassive)
+		return append(chosen, passive...)
+	default:
+		out := t.randomFrom(pool, n)
+		t.noteSource(out, sourcePassive)
+		return out
+	}
+}
+
+// randomFrom picks n distinct indices from pool uniformly.
+func (t *Trainer) randomFrom(pool []int, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if n >= len(pool) {
+		out := make([]int, len(pool))
+		copy(out, pool)
+		return out
+	}
+	perm := t.rng.Perm(len(pool))[:n]
+	out := make([]int, n)
+	for i, j := range perm {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// uncertainFrom picks the n most uncertain points under the current model,
+// scoring at most CandidateSample random candidates. Before the first
+// training pass the model is uninformative, so selection is random.
+func (t *Trainer) uncertainFrom(pool []int, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if !t.trained {
+		return t.randomFrom(pool, n)
+	}
+	cands := pool
+	if t.CandidateSample > 0 && len(pool) > t.CandidateSample {
+		cands = t.randomFrom(pool, t.CandidateSample)
+	}
+	type scored struct {
+		idx int
+		u   float64
+	}
+	ss := make([]scored, len(cands))
+	useCommittee := t.Criterion == CommitteeCriterion && t.committee != nil && t.committee.Trained()
+	for i, idx := range cands {
+		x := t.Train.X[idx]
+		var u float64
+		if useCommittee {
+			u = t.committee.VoteEntropy(x)
+		} else {
+			u = UncertaintyScore(t.Model.Proba(x), t.Criterion)
+		}
+		ss[i] = scored{idx, u}
+	}
+	// Partial selection of the n highest uncertainties.
+	if n > len(ss) {
+		n = len(ss)
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < len(ss); j++ {
+			if ss[j].u > ss[best].u {
+				best = j
+			}
+		}
+		ss[i], ss[best] = ss[best], ss[i]
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = ss[i].idx
+	}
+	return out
+}
+
+// Retrain fits the model on all cached labels.
+func (t *Trainer) Retrain() {
+	if len(t.labels) == 0 {
+		return
+	}
+	X := make([][]float64, 0, len(t.labels))
+	Y := make([]int, 0, len(t.labels))
+	for i := 0; i < t.Train.Len(); i++ {
+		if y, ok := t.labels[i]; ok {
+			X = append(X, t.Train.X[i])
+			Y = append(Y, y)
+		}
+	}
+	t.Model.Fit(X, Y, t.rng)
+	t.trained = true
+	if t.committee != nil {
+		t.committee.Fit(X, Y, t.rng)
+	}
+	if t.ensemble {
+		t.ensembleReady = t.retrainEnsemble()
+	}
+}
+
+// EnableCommittee switches active selection to query-by-committee with a
+// bootstrap committee of the given size (minimum 2, default 5 when size
+// is 0). The committee is refitted on every Retrain.
+func (t *Trainer) EnableCommittee(size int) {
+	if size == 0 {
+		size = 5
+	}
+	t.Criterion = CommitteeCriterion
+	t.committee = NewCommittee(t.Train.Features, t.Train.Classes, size)
+}
+
+// TestAccuracy evaluates the current model (or, in ensemble mode with both
+// sub-models trained, the probability-averaged ensemble) on the held-out
+// test set.
+func (t *Trainer) TestAccuracy() float64 {
+	if !t.trained {
+		return 1 / float64(t.Train.Classes) // chance level before training
+	}
+	if t.ensemble && t.ensembleReady {
+		return t.ensembleAccuracy(t.Test.X, t.Test.Y)
+	}
+	return t.Model.Accuracy(t.Test.X, t.Test.Y)
+}
+
+// DecisionLatency models the wall-clock cost of one synchronous retrain +
+// uncertainty-sampling pass (paper §5.3): linear in the number of labeled
+// points and the candidate sample size. The constants are calibrated to
+// the commodity-server regime the paper describes (seconds per iteration
+// once thousands of points are labeled). The asynchronous retrainer hides
+// this latency; Base-R pays it every batch.
+func DecisionLatency(labeled, candidateSample int) time.Duration {
+	ms := 150 + 3*float64(labeled) + 0.5*float64(candidateSample)
+	return time.Duration(ms * float64(time.Millisecond))
+}

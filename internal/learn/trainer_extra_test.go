@@ -1,0 +1,55 @@
+package learn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrainerLabelReturnsCacheOrMinusOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	X, Y := blobs(rng, 40, 2)
+	train := &Dataset{X: X, Y: Y, Features: 2, Classes: 2}
+	tr := NewTrainer(train, train, rand.New(rand.NewSource(82)))
+
+	if got := tr.Label(3); got != -1 {
+		t.Fatalf("Label of unlabeled point = %d, want -1", got)
+	}
+	tr.AddLabel(3, 1)
+	if got := tr.Label(3); got != 1 {
+		t.Fatalf("Label = %d, want 1", got)
+	}
+}
+
+func TestTrainerPredictBeforeTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	X, Y := blobs(rng, 40, 2)
+	train := &Dataset{X: X, Y: Y, Features: 2, Classes: 2}
+	tr := NewTrainer(train, train, rand.New(rand.NewSource(84)))
+	if got := tr.Predict(X[0]); got != 0 {
+		t.Fatalf("untrained Predict = %d, want 0", got)
+	}
+}
+
+func TestTrainerPredictUsesEnsembleWhenReady(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	X, Y := blobs(rng, 200, 3)
+	train := &Dataset{X: X, Y: Y, Features: 2, Classes: 2}
+	tr := NewTrainer(train, train, rand.New(rand.NewSource(86)))
+	tr.EnableEnsemble()
+	// Label a mix of active and passive points so both sub-models train.
+	for _, i := range tr.SelectBatch(Hybrid, 60) {
+		tr.AddLabel(i, train.Y[i])
+	}
+	tr.Retrain()
+	for _, i := range tr.SelectBatch(Hybrid, 60) {
+		tr.AddLabel(i, train.Y[i])
+	}
+	tr.Retrain()
+	// Whatever path Predict takes, it must classify the blob centers.
+	if got := tr.Predict([]float64{3, 3}); got != 1 {
+		t.Fatalf("Predict(3,3) = %d, want 1", got)
+	}
+	if got := tr.Predict([]float64{-3, -3}); got != 0 {
+		t.Fatalf("Predict(-3,-3) = %d, want 0", got)
+	}
+}

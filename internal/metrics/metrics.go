@@ -1,0 +1,265 @@
+// Package metrics provides the measurement machinery for CLAMShell
+// experiments: money accounting in exact integer micro-dollars, per-batch
+// latency statistics, per-assignment traces (the data behind the paper's
+// Figure 13 Gantt view), and learning curves.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/task"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// Cost is an amount of money in micro-dollars. Integer arithmetic keeps
+// accounting exact: 1_000_000 = $1.
+type Cost int64
+
+// Dollars converts a dollar amount to Cost, rounding to the nearest
+// micro-dollar.
+func Dollars(d float64) Cost { return Cost(math.Round(d * 1e6)) }
+
+// Cents converts a cent amount to Cost.
+func Cents(c float64) Cost { return Dollars(c / 100) }
+
+// Dollars returns the cost as a float dollar amount.
+func (c Cost) Dollars() float64 { return float64(c) / 1e6 }
+
+// String renders the cost as dollars.
+func (c Cost) String() string { return fmt.Sprintf("$%.4f", c.Dollars()) }
+
+// PerMinute prorates an hourly-style per-minute rate over an arbitrary
+// duration.
+func PerMinute(rate Cost, d time.Duration) Cost {
+	return Cost(math.Round(float64(rate) * d.Minutes()))
+}
+
+// Accounting tallies where the money went during a run, mirroring the
+// paper's cost model: wait pay ($.05/min to sit in the retainer pool),
+// work pay ($.02/record), spent on completed, terminated (partial work is
+// still paid, §4.1), and background recruitment.
+type Accounting struct {
+	WaitPay        Cost
+	WorkPay        Cost
+	TerminatedPay  Cost
+	RecruitmentPay Cost
+}
+
+// Total returns the sum of all cost components.
+func (a Accounting) Total() Cost {
+	return a.WaitPay + a.WorkPay + a.TerminatedPay + a.RecruitmentPay
+}
+
+// Add returns the component-wise sum of two accountings.
+func (a Accounting) Add(b Accounting) Accounting {
+	return Accounting{
+		WaitPay:        a.WaitPay + b.WaitPay,
+		WorkPay:        a.WorkPay + b.WorkPay,
+		TerminatedPay:  a.TerminatedPay + b.TerminatedPay,
+		RecruitmentPay: a.RecruitmentPay + b.RecruitmentPay,
+	}
+}
+
+// String renders the accounting breakdown.
+func (a Accounting) String() string {
+	return fmt.Sprintf("total=%v (wait=%v work=%v term=%v recruit=%v)",
+		a.Total(), a.WaitPay, a.WorkPay, a.TerminatedPay, a.RecruitmentPay)
+}
+
+// AssignmentEvent records one assignment for the Gantt trace (Figure 13).
+type AssignmentEvent struct {
+	Assignment task.AssignmentID
+	Task       task.ID
+	Worker     worker.ID
+	Batch      int
+	Start      time.Time
+	End        time.Time
+	Terminated bool
+}
+
+// Latency is the assignment's duration.
+func (e AssignmentEvent) Latency() time.Duration { return e.End.Sub(e.Start) }
+
+// Trace accumulates assignment events over a run.
+type Trace struct {
+	Events []AssignmentEvent
+}
+
+// Record appends an event.
+func (tr *Trace) Record(e AssignmentEvent) { tr.Events = append(tr.Events, e) }
+
+// Completed returns only non-terminated events.
+func (tr *Trace) Completed() []AssignmentEvent {
+	var out []AssignmentEvent
+	for _, e := range tr.Events {
+		if !e.Terminated {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TerminatedCount returns how many assignments were terminated.
+func (tr *Trace) TerminatedCount() int {
+	n := 0
+	for _, e := range tr.Events {
+		if e.Terminated {
+			n++
+		}
+	}
+	return n
+}
+
+// ByWorker groups events per worker, preserving order.
+func (tr *Trace) ByWorker() map[worker.ID][]AssignmentEvent {
+	m := make(map[worker.ID][]AssignmentEvent)
+	for _, e := range tr.Events {
+		m[e.Worker] = append(m[e.Worker], e)
+	}
+	return m
+}
+
+// BatchStat summarizes one batch of tasks.
+type BatchStat struct {
+	Index     int
+	Start     time.Time
+	End       time.Time
+	Tasks     int
+	Labels    int           // records labeled (tasks × Ng)
+	Latency   time.Duration // end-to-end batch latency
+	TaskStd   time.Duration // stddev of individual task completion latencies
+	MeanPoolL time.Duration // mean pool latency observed during the batch
+	Replaced  int           // workers replaced by maintenance during the batch
+}
+
+// RunResult is the outcome of a labeling run: everything the experiment
+// harness needs to reproduce the paper's tables and figures.
+type RunResult struct {
+	TotalTime time.Duration
+	Batches   []BatchStat
+	Cost      Accounting
+	Trace     Trace
+	// LabelTimeline records cumulative labels acquired at each completion
+	// instant (Figures 3 and 10).
+	LabelTimeline []TimelinePoint
+	// AgeSamples records (worker age, per-label latency) pairs for every
+	// completed task (Figures 5 and 8).
+	AgeSamples []AgeSample
+	// Replaced is the total number of workers replaced by pool maintenance.
+	Replaced int
+}
+
+// TimelinePoint is one step of the cumulative-labels-over-time curve.
+type TimelinePoint struct {
+	T      time.Duration // elapsed since run start
+	Labels int           // cumulative labels acquired
+}
+
+// BatchLatencies extracts the per-batch latency series in seconds.
+func (r *RunResult) BatchLatencies() []float64 {
+	out := make([]float64, len(r.Batches))
+	for i, b := range r.Batches {
+		out[i] = b.Latency.Seconds()
+	}
+	return out
+}
+
+// BatchStds extracts the per-batch task-latency stddev series in seconds
+// (Figure 9).
+func (r *RunResult) BatchStds() []float64 {
+	out := make([]float64, len(r.Batches))
+	for i, b := range r.Batches {
+		out[i] = b.TaskStd.Seconds()
+	}
+	return out
+}
+
+// MeanPoolLatencies extracts the per-batch MPL series in seconds (Figure 6).
+func (r *RunResult) MeanPoolLatencies() []float64 {
+	out := make([]float64, len(r.Batches))
+	for i, b := range r.Batches {
+		out[i] = b.MeanPoolL.Seconds()
+	}
+	return out
+}
+
+// TotalLabels returns the number of labels acquired.
+func (r *RunResult) TotalLabels() int {
+	n := 0
+	for _, b := range r.Batches {
+		n += b.Labels
+	}
+	return n
+}
+
+// Throughput returns labels per second over the whole run.
+func (r *RunResult) Throughput() float64 {
+	if r.TotalTime <= 0 {
+		return 0
+	}
+	return float64(r.TotalLabels()) / r.TotalTime.Seconds()
+}
+
+// Summary renders a one-line digest of the run.
+func (r *RunResult) Summary() string {
+	lat := stats.Summarize(r.BatchLatencies())
+	return fmt.Sprintf("labels=%d time=%v cost=%v batch[%s]",
+		r.TotalLabels(), r.TotalTime.Round(time.Millisecond), r.Cost.Total(), lat)
+}
+
+// AgeSample pairs a worker's age (tasks completed before this one) with the
+// per-label latency of the task they just completed — the data behind the
+// paper's Figure 5 scatter and Figure 8 age-sliced percentiles.
+type AgeSample struct {
+	Worker   worker.ID
+	Age      int
+	PerLabel float64 // seconds per record
+	At       time.Duration
+}
+
+// CurvePoint is one observation of a learning curve: model accuracy after
+// spending T wall-clock time and acquiring Labels labels.
+type CurvePoint struct {
+	T        time.Duration
+	Labels   int
+	Accuracy float64
+}
+
+// LearningCurve is an accuracy-over-time series (Figures 15–18).
+type LearningCurve []CurvePoint
+
+// TimeToAccuracy returns the earliest time at which the curve reaches the
+// given accuracy, and whether it ever does.
+func (c LearningCurve) TimeToAccuracy(acc float64) (time.Duration, bool) {
+	for _, p := range c {
+		if p.Accuracy >= acc {
+			return p.T, true
+		}
+	}
+	return 0, false
+}
+
+// Final returns the last point of the curve (zero value if empty).
+func (c LearningCurve) Final() CurvePoint {
+	if len(c) == 0 {
+		return CurvePoint{}
+	}
+	return c[len(c)-1]
+}
+
+// AccuracyAt returns the model accuracy available at elapsed time t: the
+// accuracy of the last point no later than t (step interpolation, matching
+// how a user would query the most recently trained model).
+func (c LearningCurve) AccuracyAt(t time.Duration) float64 {
+	acc := 0.0
+	for _, p := range c {
+		if p.T > t {
+			break
+		}
+		acc = p.Accuracy
+	}
+	return acc
+}

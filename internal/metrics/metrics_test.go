@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCostConversions(t *testing.T) {
+	if Dollars(1) != 1_000_000 {
+		t.Fatalf("Dollars(1) = %d", Dollars(1))
+	}
+	if Cents(5) != 50_000 {
+		t.Fatalf("Cents(5) = %d", Cents(5))
+	}
+	if got := Dollars(1.23).Dollars(); math.Abs(got-1.23) > 1e-9 {
+		t.Fatalf("round trip = %v", got)
+	}
+	if Dollars(0.5).String() != "$0.5000" {
+		t.Fatalf("String = %s", Dollars(0.5).String())
+	}
+}
+
+func TestPerMinute(t *testing.T) {
+	// $.05/min for 10 minutes = $0.50.
+	if got := PerMinute(Cents(5), 10*time.Minute); got != Dollars(0.5) {
+		t.Fatalf("PerMinute = %v", got)
+	}
+	// 30 seconds = half the rate.
+	if got := PerMinute(Cents(5), 30*time.Second); got != Cents(2.5) {
+		t.Fatalf("PerMinute(30s) = %v", got)
+	}
+}
+
+func TestAccountingTotalsAndAdd(t *testing.T) {
+	a := Accounting{WaitPay: 1, WorkPay: 2, TerminatedPay: 3, RecruitmentPay: 4}
+	if a.Total() != 10 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+	b := a.Add(a)
+	if b.Total() != 20 || b.WorkPay != 4 {
+		t.Fatalf("Add = %+v", b)
+	}
+	if a.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestTraceQueries(t *testing.T) {
+	var tr Trace
+	base := time.Date(2015, 9, 20, 0, 0, 0, 0, time.UTC)
+	tr.Record(AssignmentEvent{Assignment: 1, Worker: 1, Start: base, End: base.Add(2 * time.Second)})
+	tr.Record(AssignmentEvent{Assignment: 2, Worker: 2, Start: base, End: base.Add(5 * time.Second), Terminated: true})
+	tr.Record(AssignmentEvent{Assignment: 3, Worker: 1, Start: base, End: base.Add(time.Second)})
+
+	if got := len(tr.Completed()); got != 2 {
+		t.Fatalf("Completed = %d", got)
+	}
+	if tr.TerminatedCount() != 1 {
+		t.Fatalf("TerminatedCount = %d", tr.TerminatedCount())
+	}
+	byW := tr.ByWorker()
+	if len(byW[1]) != 2 || len(byW[2]) != 1 {
+		t.Fatalf("ByWorker = %v", byW)
+	}
+	if tr.Events[0].Latency() != 2*time.Second {
+		t.Fatalf("Latency = %v", tr.Events[0].Latency())
+	}
+}
+
+func TestRunResultAggregates(t *testing.T) {
+	r := RunResult{
+		TotalTime: 100 * time.Second,
+		Batches: []BatchStat{
+			{Labels: 50, Latency: 10 * time.Second, TaskStd: 2 * time.Second, MeanPoolL: 3 * time.Second},
+			{Labels: 50, Latency: 30 * time.Second, TaskStd: 4 * time.Second, MeanPoolL: 5 * time.Second},
+		},
+	}
+	if r.TotalLabels() != 100 {
+		t.Fatalf("TotalLabels = %d", r.TotalLabels())
+	}
+	if r.Throughput() != 1 {
+		t.Fatalf("Throughput = %v", r.Throughput())
+	}
+	if got := r.BatchLatencies(); got[0] != 10 || got[1] != 30 {
+		t.Fatalf("BatchLatencies = %v", got)
+	}
+	if got := r.BatchStds(); got[0] != 2 || got[1] != 4 {
+		t.Fatalf("BatchStds = %v", got)
+	}
+	if got := r.MeanPoolLatencies(); got[0] != 3 || got[1] != 5 {
+		t.Fatalf("MPLs = %v", got)
+	}
+	if r.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+	var empty RunResult
+	if empty.Throughput() != 0 {
+		t.Fatal("zero-time throughput must be 0")
+	}
+}
+
+func TestLearningCurve(t *testing.T) {
+	c := LearningCurve{
+		{T: 0, Labels: 0, Accuracy: 0.5},
+		{T: 10 * time.Second, Labels: 20, Accuracy: 0.7},
+		{T: 20 * time.Second, Labels: 40, Accuracy: 0.9},
+	}
+	if tt, ok := c.TimeToAccuracy(0.7); !ok || tt != 10*time.Second {
+		t.Fatalf("TimeToAccuracy = %v, %v", tt, ok)
+	}
+	if _, ok := c.TimeToAccuracy(0.95); ok {
+		t.Fatal("unreachable accuracy reported reached")
+	}
+	if c.Final().Labels != 40 {
+		t.Fatalf("Final = %+v", c.Final())
+	}
+	if (LearningCurve{}).Final().Labels != 0 {
+		t.Fatal("empty Final not zero")
+	}
+	if got := c.AccuracyAt(15 * time.Second); got != 0.7 {
+		t.Fatalf("AccuracyAt(15s) = %v", got)
+	}
+	if got := c.AccuracyAt(time.Hour); got != 0.9 {
+		t.Fatalf("AccuracyAt(1h) = %v", got)
+	}
+	if got := c.AccuracyAt(-time.Second); got != 0 {
+		t.Fatalf("AccuracyAt(-1s) = %v", got)
+	}
+}
+
+// Property: money conversions round-trip within one micro-dollar.
+func TestPropertyCostRoundTrip(t *testing.T) {
+	f := func(cents int32) bool {
+		d := float64(cents) / 100
+		return math.Abs(Dollars(d).Dollars()-d) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AccuracyAt is monotone for monotone curves.
+func TestPropertyAccuracyAtMonotone(t *testing.T) {
+	f := func(steps []uint8) bool {
+		var c LearningCurve
+		acc := 0.0
+		for i, s := range steps {
+			acc += float64(s) / (256 * float64(len(steps)))
+			c = append(c, CurvePoint{T: time.Duration(i) * time.Second, Accuracy: acc})
+		}
+		prev := -1.0
+		for tt := 0; tt <= len(steps); tt++ {
+			got := c.AccuracyAt(time.Duration(tt) * time.Second)
+			if got < prev {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/task"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// WriteCSV writes the trace as CSV rows suitable for plotting the paper's
+// Figure 13 Gantt view: one row per assignment with worker, task, batch,
+// start/end offsets (seconds from base) and termination flag.
+func (tr *Trace) WriteCSV(w io.Writer, base time.Time) error {
+	cw := csv.NewWriter(w)
+	header := []string{"assignment", "task", "worker", "batch", "start_s", "end_s", "terminated"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, e := range tr.Events {
+		row := []string{
+			strconv.Itoa(int(e.Assignment)),
+			strconv.Itoa(int(e.Task)),
+			strconv.Itoa(int(e.Worker)),
+			strconv.Itoa(e.Batch),
+			strconv.FormatFloat(e.Start.Sub(base).Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(e.End.Sub(base).Seconds(), 'f', 3, 64),
+			strconv.FormatBool(e.Terminated),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTraceCSV parses a trace written by WriteCSV, returning events with
+// times rebased onto base.
+func ReadTraceCSV(r io.Reader, base time.Time) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: reading trace csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("metrics: empty trace csv")
+	}
+	tr := &Trace{}
+	for i, row := range rows[1:] {
+		if len(row) != 7 {
+			return nil, fmt.Errorf("metrics: row %d: want 7 fields, got %d", i+2, len(row))
+		}
+		ints := make([]int, 4)
+		for j := 0; j < 4; j++ {
+			v, err := strconv.Atoi(row[j])
+			if err != nil {
+				return nil, fmt.Errorf("metrics: row %d col %d: %w", i+2, j, err)
+			}
+			ints[j] = v
+		}
+		start, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: row %d start: %w", i+2, err)
+		}
+		end, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: row %d end: %w", i+2, err)
+		}
+		term, err := strconv.ParseBool(row[6])
+		if err != nil {
+			return nil, fmt.Errorf("metrics: row %d terminated: %w", i+2, err)
+		}
+		tr.Record(AssignmentEvent{
+			Assignment: task.AssignmentID(ints[0]),
+			Task:       task.ID(ints[1]),
+			Worker:     worker.ID(ints[2]),
+			Batch:      ints[3],
+			Start:      base.Add(time.Duration(start * float64(time.Second))),
+			End:        base.Add(time.Duration(end * float64(time.Second))),
+			Terminated: term,
+		})
+	}
+	return tr, nil
+}

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	base := time.Date(2015, 9, 20, 0, 0, 0, 0, time.UTC)
+	var tr Trace
+	tr.Record(AssignmentEvent{
+		Assignment: 1, Task: 10, Worker: 3, Batch: 0,
+		Start: base, End: base.Add(1500 * time.Millisecond),
+	})
+	tr.Record(AssignmentEvent{
+		Assignment: 2, Task: 11, Worker: 4, Batch: 1,
+		Start: base.Add(2 * time.Second), End: base.Add(9 * time.Second),
+		Terminated: true,
+	})
+
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf, base); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceCSV(&buf, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 2 {
+		t.Fatalf("events = %d", len(got.Events))
+	}
+	for i, e := range got.Events {
+		want := tr.Events[i]
+		if e.Assignment != want.Assignment || e.Task != want.Task ||
+			e.Worker != want.Worker || e.Batch != want.Batch ||
+			e.Terminated != want.Terminated {
+			t.Fatalf("event %d: got %+v want %+v", i, e, want)
+		}
+		if d := e.Start.Sub(want.Start); d < -time.Millisecond || d > time.Millisecond {
+			t.Fatalf("event %d start drift %v", i, d)
+		}
+	}
+}
+
+func TestReadTraceCSVErrors(t *testing.T) {
+	base := time.Now()
+	cases := []string{
+		"",
+		"assignment,task,worker,batch,start_s,end_s,terminated\n1,2,3\n",
+		"assignment,task,worker,batch,start_s,end_s,terminated\nx,2,3,0,0,1,false\n",
+		"assignment,task,worker,batch,start_s,end_s,terminated\n1,2,3,0,x,1,false\n",
+		"assignment,task,worker,batch,start_s,end_s,terminated\n1,2,3,0,0,x,false\n",
+		"assignment,task,worker,batch,start_s,end_s,terminated\n1,2,3,0,0,1,maybe\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadTraceCSV(strings.NewReader(c), base); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package optimizer addresses the paper's Problem 1 (The Crowd Labeling
+// Problem): a user wants N items labeled by a pool of p workers, and cares
+// about latency l and cost c with a preference weight β — the objective is
+// to minimize βl + (1−β)c (equivalently, maximize the paper's metric
+// 1/(βl + (1−β)c)). Pool size is "typically set by operational constraints",
+// but CLAMShell promises "guidance about how the cost and latency will be
+// affected by changing p" (§2.2) — this package is that guidance: it sweeps
+// candidate pool sizes and pool/batch ratios over the simulator, scores each
+// configuration under β, and reports the winner plus the full cost/latency
+// frontier.
+package optimizer
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/core"
+	"github.com/clamshell/clamshell/internal/metrics"
+)
+
+// Params configures a planning sweep.
+type Params struct {
+	// Base is the run template: straggler/maintenance settings, group size,
+	// quorum, worker population and task count all come from here. PoolSize
+	// and PoolBatchRatio are overridden per candidate.
+	Base core.Config
+
+	// Beta expresses the speed-versus-cost preference in [0, 1]: 1 cares
+	// only about latency, 0 only about cost (default 0.5).
+	Beta float64
+
+	// PoolSizes are the candidate p values (default {5, 10, 15, 20, 30}).
+	PoolSizes []int
+
+	// Ratios are the candidate R = Npool/Nbatch values (default
+	// {0.5, 0.75, 1, 2} — the paper finds R in [0.75, 1] attractive).
+	Ratios []float64
+
+	// Trials per configuration, averaged with distinct seeds (default 3).
+	Trials int
+}
+
+func (p *Params) fillDefaults() {
+	if p.Beta == 0 {
+		p.Beta = 0.5
+	}
+	if len(p.PoolSizes) == 0 {
+		p.PoolSizes = []int{5, 10, 15, 20, 30}
+	}
+	if len(p.Ratios) == 0 {
+		p.Ratios = []float64{0.5, 0.75, 1, 2}
+	}
+	if p.Trials == 0 {
+		p.Trials = 3
+	}
+}
+
+// Option is one evaluated (pool size, ratio) configuration.
+type Option struct {
+	PoolSize int
+	Ratio    float64
+
+	Latency    time.Duration // mean run latency across trials
+	LatencyStd time.Duration // across-trial standard deviation
+	Cost       metrics.Cost  // mean total cost across trials
+
+	// Objective is β·(l/l_max) + (1−β)·(c/c_max), each dimension normalized
+	// by the sweep maximum so the weights are unit-free. Lower is better.
+	Objective float64
+}
+
+// Guidance is the result of a planning sweep: every option scored under β,
+// sorted best-first.
+type Guidance struct {
+	Beta    float64
+	Options []Option
+}
+
+// Best returns the minimum-objective option.
+func (g *Guidance) Best() Option { return g.Options[0] }
+
+// Pareto returns the cost/latency Pareto frontier of the sweep: options not
+// dominated (worse or equal in both dimensions, strictly worse in one) by
+// any other, sorted by latency. These are the only rational choices for any
+// β; the rest are dominated at every preference.
+func (g *Guidance) Pareto() []Option {
+	var out []Option
+	for _, o := range g.Options {
+		dominated := false
+		for _, p := range g.Options {
+			if p.Latency <= o.Latency && p.Cost <= o.Cost &&
+				(p.Latency < o.Latency || p.Cost < o.Cost) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Latency < out[j].Latency })
+	return out
+}
+
+// Format renders the guidance as an aligned table, Pareto options marked.
+func (g *Guidance) Format(w io.Writer) {
+	pareto := make(map[[2]int]bool)
+	for _, o := range g.Pareto() {
+		pareto[[2]int{o.PoolSize, int(o.Ratio * 100)}] = true
+	}
+	fmt.Fprintf(w, "Problem 1 guidance (beta=%.2f; lower objective is better)\n", g.Beta)
+	fmt.Fprintf(w, "  %-6s %-6s %-10s %-10s %-10s %-9s %s\n",
+		"p", "R", "latency", "lat-std", "cost", "objective", "pareto")
+	for _, o := range g.Options {
+		mark := ""
+		if pareto[[2]int{o.PoolSize, int(o.Ratio * 100)}] {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "  %-6d %-6.2f %-10s %-10s %-10s %-9.3f %s\n",
+			o.PoolSize, o.Ratio,
+			o.Latency.Round(time.Second), o.LatencyStd.Round(time.Second),
+			o.Cost, o.Objective, mark)
+	}
+}
+
+// Plan runs the sweep: Trials simulations per (pool size, ratio) candidate,
+// objective scoring under Beta, and returns the sorted guidance.
+func Plan(p Params) *Guidance {
+	p.fillDefaults()
+	var opts []Option
+	for _, np := range p.PoolSizes {
+		for _, r := range p.Ratios {
+			opts = append(opts, measure(p, np, r))
+		}
+	}
+
+	// Normalize both dimensions by the sweep maximum so β is unit-free.
+	maxL, maxC := 0.0, 0.0
+	for _, o := range opts {
+		if l := o.Latency.Seconds(); l > maxL {
+			maxL = l
+		}
+		if c := o.Cost.Dollars(); c > maxC {
+			maxC = c
+		}
+	}
+	for i := range opts {
+		l, c := 0.0, 0.0
+		if maxL > 0 {
+			l = opts[i].Latency.Seconds() / maxL
+		}
+		if maxC > 0 {
+			c = opts[i].Cost.Dollars() / maxC
+		}
+		opts[i].Objective = p.Beta*l + (1-p.Beta)*c
+	}
+	sort.Slice(opts, func(i, j int) bool {
+		if opts[i].Objective != opts[j].Objective {
+			return opts[i].Objective < opts[j].Objective
+		}
+		if opts[i].PoolSize != opts[j].PoolSize {
+			return opts[i].PoolSize < opts[j].PoolSize
+		}
+		return opts[i].Ratio < opts[j].Ratio
+	})
+	return &Guidance{Beta: p.Beta, Options: opts}
+}
+
+// measure averages Trials runs of one configuration.
+func measure(p Params, np int, ratio float64) Option {
+	var lats []float64
+	var cost metrics.Cost
+	for trial := 0; trial < p.Trials; trial++ {
+		cfg := p.Base
+		cfg.PoolSize = np
+		cfg.PoolBatchRatio = ratio
+		cfg.Seed = p.Base.Seed + int64(trial)*1000 + int64(np)*7 + int64(ratio*13)
+		res := core.NewEngine(cfg).RunLabeling()
+		lats = append(lats, res.TotalTime.Seconds())
+		cost += res.Cost.Total()
+	}
+	mean, std := meanStd(lats)
+	return Option{
+		PoolSize:   np,
+		Ratio:      ratio,
+		Latency:    time.Duration(mean * float64(time.Second)),
+		LatencyStd: time.Duration(std * float64(time.Second)),
+		Cost:       cost / metrics.Cost(p.Trials),
+	}
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

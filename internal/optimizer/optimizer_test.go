@@ -1,0 +1,158 @@
+package optimizer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/core"
+	"github.com/clamshell/clamshell/internal/metrics"
+	"github.com/clamshell/clamshell/internal/straggler"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// fastBase returns a small, fast-to-simulate run template.
+func fastBase(seed int64) core.Config {
+	return core.Config{
+		Seed:      seed,
+		NumTasks:  30,
+		GroupSize: 2,
+		Retainer:  true,
+		Population: func(rng *rand.Rand) worker.Population {
+			return worker.Bimodal(rng, 0.6, 3*time.Second, 12*time.Second)
+		},
+		Straggler: straggler.Config{Enabled: true, Policy: straggler.Random},
+	}
+}
+
+func plan(t *testing.T, beta float64) *Guidance {
+	t.Helper()
+	return Plan(Params{
+		Base:      fastBase(1),
+		Beta:      beta,
+		PoolSizes: []int{5, 10, 20},
+		Ratios:    []float64{0.75, 1},
+		Trials:    2,
+	})
+}
+
+func TestPlanCoversAllCandidates(t *testing.T) {
+	g := plan(t, 0.5)
+	if len(g.Options) != 6 {
+		t.Fatalf("got %d options, want 6 (3 pools x 2 ratios)", len(g.Options))
+	}
+	for _, o := range g.Options {
+		if o.Latency <= 0 {
+			t.Errorf("p=%d R=%.2f: non-positive latency %v", o.PoolSize, o.Ratio, o.Latency)
+		}
+		if o.Cost <= 0 {
+			t.Errorf("p=%d R=%.2f: non-positive cost %v", o.PoolSize, o.Ratio, o.Cost)
+		}
+		if o.Objective < 0 || o.Objective > 1 {
+			t.Errorf("p=%d R=%.2f: objective %v outside [0,1]", o.PoolSize, o.Ratio, o.Objective)
+		}
+	}
+}
+
+func TestPlanSortedByObjective(t *testing.T) {
+	g := plan(t, 0.5)
+	for i := 1; i < len(g.Options); i++ {
+		if g.Options[i].Objective < g.Options[i-1].Objective {
+			t.Fatalf("options not sorted: %v before %v",
+				g.Options[i-1].Objective, g.Options[i].Objective)
+		}
+	}
+	if g.Best() != g.Options[0] {
+		t.Fatal("Best() should return the first (lowest-objective) option")
+	}
+}
+
+func TestBetaExtremesPickDifferentWinners(t *testing.T) {
+	speed := plan(t, 0.999)  // latency-only preference
+	budget := plan(t, 0.001) // cost-only preference
+
+	// Pure speed preference must pick (one of) the fastest options; pure
+	// cost preference the cheapest.
+	var minLat time.Duration
+	var minCost metrics.Cost
+	for i, o := range speed.Options {
+		if i == 0 || o.Latency < minLat {
+			minLat = o.Latency
+		}
+	}
+	for i, o := range budget.Options {
+		if i == 0 || o.Cost < minCost {
+			minCost = o.Cost
+		}
+	}
+	if speed.Best().Latency != minLat {
+		t.Errorf("beta~1 picked latency %v, fastest available %v", speed.Best().Latency, minLat)
+	}
+	if budget.Best().Cost != minCost {
+		t.Errorf("beta~0 picked cost %v, cheapest available %v", budget.Best().Cost, minCost)
+	}
+	// Bigger pools are faster but cost more: the two preferences should
+	// not agree on pool size in this market.
+	if speed.Best().PoolSize <= budget.Best().PoolSize {
+		t.Errorf("speed preference picked p=%d, cost preference p=%d; expected speed > cost",
+			speed.Best().PoolSize, budget.Best().PoolSize)
+	}
+}
+
+func TestParetoFrontierNotDominated(t *testing.T) {
+	g := plan(t, 0.5)
+	frontier := g.Pareto()
+	if len(frontier) == 0 {
+		t.Fatal("empty Pareto frontier")
+	}
+	// No frontier point may dominate another.
+	for _, a := range frontier {
+		for _, b := range frontier {
+			if a == b {
+				continue
+			}
+			if a.Latency <= b.Latency && a.Cost <= b.Cost &&
+				(a.Latency < b.Latency || a.Cost < b.Cost) {
+				t.Fatalf("frontier point %+v dominates frontier point %+v", a, b)
+			}
+		}
+	}
+	// The best option under any beta must be on the frontier.
+	onFrontier := func(o Option) bool {
+		for _, f := range frontier {
+			if f.PoolSize == o.PoolSize && f.Ratio == o.Ratio {
+				return true
+			}
+		}
+		return false
+	}
+	for _, beta := range []float64{0.001, 0.5, 0.999} {
+		if b := plan(t, beta).Best(); !onFrontier(b) {
+			t.Errorf("beta=%.3f best (p=%d R=%.2f) not on Pareto frontier", beta, b.PoolSize, b.Ratio)
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	a, b := plan(t, 0.5), plan(t, 0.5)
+	for i := range a.Options {
+		if a.Options[i] != b.Options[i] {
+			t.Fatalf("plan not deterministic at option %d: %+v vs %+v",
+				i, a.Options[i], b.Options[i])
+		}
+	}
+}
+
+func TestGuidanceFormat(t *testing.T) {
+	g := plan(t, 0.5)
+	var sb strings.Builder
+	g.Format(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "beta=0.50") {
+		t.Errorf("formatted output missing beta: %q", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("formatted output should mark at least one Pareto option:\n%s", out)
+	}
+}

@@ -1,0 +1,118 @@
+package pool
+
+import (
+	"fmt"
+
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// workerID aliases worker.ID for signature brevity within this file.
+type workerID = worker.ID
+
+// Objective selects what pool maintenance optimizes for. The paper's core
+// algorithm targets speed; §4.2 ("Extensions") and §7 propose maintaining
+// on quality or a weighted combination, which this implements.
+type Objective int
+
+// Maintenance objectives.
+const (
+	// Speed evicts workers whose latency estimate is significantly above
+	// the threshold PMℓ (the paper's core algorithm).
+	Speed Objective = iota
+	// Quality evicts workers whose inter-worker agreement (or
+	// majority-match rate) falls significantly below QualityThreshold.
+	Quality
+	// Weighted evicts on a weighted combination of normalized slowness and
+	// badness: SpeedWeight·(latency/PMℓ) + (1−SpeedWeight)·((1−q)/(1−Qθ)) > 1.
+	Weighted
+)
+
+// String renders the objective name.
+func (o Objective) String() string {
+	switch o {
+	case Speed:
+		return "speed"
+	case Quality:
+		return "quality"
+	case Weighted:
+		return "weighted"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// QualityStats accumulates a worker's agreement evidence: per completed
+// quorum task, the fraction of their records matching the consensus.
+type QualityStats struct {
+	agreement stats.Welford
+}
+
+// Observe records one agreement observation in [0, 1].
+func (qs *QualityStats) Observe(rate float64) { qs.agreement.Add(rate) }
+
+// Mean returns the mean observed agreement (1 with no evidence — innocent
+// until proven disagreeing).
+func (qs *QualityStats) Mean() float64 {
+	if qs.agreement.N() == 0 {
+		return 1
+	}
+	return qs.agreement.Mean()
+}
+
+// N returns the number of observations.
+func (qs *QualityStats) N() int { return qs.agreement.N() }
+
+// Std returns the sample standard deviation of agreement observations.
+func (qs *QualityStats) Std() float64 { return qs.agreement.Std() }
+
+// ObserveQuality records an agreement observation for a worker (fed by the
+// engine whenever a quorum task completes and per-worker majority-match
+// rates are known).
+func (m *Maintainer) ObserveQuality(id workerID, rate float64) {
+	qs := m.quality[id]
+	if qs == nil {
+		qs = &QualityStats{}
+		m.quality[id] = qs
+	}
+	qs.Observe(rate)
+	m.sweep()
+}
+
+// QualityOf returns the worker's quality stats (nil if never observed).
+func (m *Maintainer) QualityOf(id workerID) *QualityStats { return m.quality[id] }
+
+// flagged decides whether a worker should be replaced under the configured
+// objective. latencyMean/latencyStd/latencyN come from the latency
+// estimator (TermEst-adjusted when enabled).
+func (m *Maintainer) flagged(id workerID, latencyMean, latencyStd float64, latencyN int) bool {
+	switch m.cfg.Objective {
+	case Quality:
+		qs := m.quality[id]
+		if qs == nil || qs.N() < m.cfg.MinObservations {
+			return false
+		}
+		// Significantly BELOW the quality threshold: test disagreement
+		// (1 - agreement) significantly above (1 - threshold).
+		return stats.SignificantlyAbove(1-qs.Mean(), qs.Std(), qs.N(),
+			1-m.cfg.QualityThreshold, m.cfg.Alpha)
+	case Weighted:
+		if latencyN < m.cfg.MinObservations {
+			return false
+		}
+		q := 1.0
+		if qs := m.quality[id]; qs != nil && qs.N() > 0 {
+			q = qs.Mean()
+		}
+		slowness := latencyMean / m.cfg.Threshold.Seconds()
+		badness := (1 - q) / (1 - m.cfg.QualityThreshold)
+		w := m.cfg.SpeedWeight
+		return w*slowness+(1-w)*badness > 1
+	default: // Speed
+		if latencyN < m.cfg.MinObservations {
+			return false
+		}
+		return stats.SignificantlyAbove(latencyMean, latencyStd, latencyN,
+			m.cfg.Threshold.Seconds(), m.cfg.Alpha)
+	}
+}

@@ -1,0 +1,144 @@
+package pool
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/crowd"
+	"github.com/clamshell/clamshell/internal/simclock"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+func newObjectiveHarness(t *testing.T, cfg Config) (*Maintainer, *crowd.Slot, *simclock.Sim) {
+	t.Helper()
+	sim := simclock.NewSim()
+	p := crowd.New(crowd.Config{
+		Sim: sim, RNG: stats.NewRand(1),
+		Population:     worker.Uniform(2*time.Second, 100*time.Millisecond, 1),
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	m := New(cfg, p)
+	var pooled *crowd.Slot
+	p.RecruitN(1, func(s *crowd.Slot) { pooled = s; m.AddToPool(s) })
+	sim.Run()
+	m.EnsureReserve()
+	sim.Run()
+	return m, pooled, sim
+}
+
+func TestObjectiveStrings(t *testing.T) {
+	if Speed.String() != "speed" || Quality.String() != "quality" || Weighted.String() != "weighted" {
+		t.Fatal("objective strings wrong")
+	}
+	if Objective(9).String() == "" {
+		t.Fatal("unknown objective must render")
+	}
+}
+
+func TestQualityObjectiveEvictsDisagreeingWorker(t *testing.T) {
+	m, pooled, _ := newObjectiveHarness(t, Config{
+		Enabled: true, Threshold: 100 * time.Second,
+		Objective: Quality, QualityThreshold: 0.75,
+	})
+	// Fast but wrong: agreement ~30% over many quorum tasks.
+	for i := 0; i < 10; i++ {
+		m.ObserveQuality(pooled.Worker.ID, 0.3)
+	}
+	if m.Replaced() != 1 {
+		t.Fatalf("disagreeing worker not replaced (replaced=%d)", m.Replaced())
+	}
+}
+
+func TestQualityObjectiveKeepsAgreeingWorker(t *testing.T) {
+	m, pooled, _ := newObjectiveHarness(t, Config{
+		Enabled: true, Threshold: 100 * time.Second,
+		Objective: Quality, QualityThreshold: 0.75,
+	})
+	for i := 0; i < 10; i++ {
+		m.ObserveQuality(pooled.Worker.ID, 0.95)
+	}
+	if m.Replaced() != 0 {
+		t.Fatal("agreeing worker replaced")
+	}
+}
+
+func TestQualityObjectiveIgnoresSlowButAccurate(t *testing.T) {
+	// Under the Quality objective, slowness alone never evicts.
+	m, pooled, _ := newObjectiveHarness(t, Config{
+		Enabled: true, Threshold: time.Second, // everyone is "slow"
+		Objective: Quality, QualityThreshold: 0.75,
+	})
+	for i := 0; i < 10; i++ {
+		m.ObserveStart(pooled, 1)
+		m.ObserveCompletion(pooled, 1, 30*time.Second)
+		m.ObserveQuality(pooled.Worker.ID, 1.0)
+	}
+	if m.Replaced() != 0 {
+		t.Fatal("quality objective evicted on speed")
+	}
+}
+
+func TestWeightedObjectiveCombines(t *testing.T) {
+	// Moderately slow AND moderately inaccurate: neither alone crosses its
+	// threshold, but the weighted combination does.
+	m, pooled, _ := newObjectiveHarness(t, Config{
+		Enabled: true, Threshold: 10 * time.Second,
+		Objective: Weighted, QualityThreshold: 0.8, SpeedWeight: 0.5,
+	})
+	for i := 0; i < 6; i++ {
+		m.ObserveStart(pooled, 1)
+		m.ObserveCompletion(pooled, 1, 8*time.Second) // 0.8 of threshold
+		m.ObserveQuality(pooled.Worker.ID, 0.85)      // 0.75 of badness budget
+	}
+	// 0.5*0.8 + 0.5*0.75 = 0.775 < 1: stays.
+	if m.Replaced() != 0 {
+		t.Fatal("weighted objective too eager")
+	}
+	for i := 0; i < 10; i++ {
+		m.ObserveStart(pooled, 1)
+		m.ObserveCompletion(pooled, 1, 14*time.Second)
+		m.ObserveQuality(pooled.Worker.ID, 0.7)
+	}
+	if m.Replaced() != 1 {
+		t.Fatal("weighted objective never fired on a slow+bad worker")
+	}
+}
+
+func TestSpeedObjectiveIgnoresQuality(t *testing.T) {
+	m, pooled, _ := newObjectiveHarness(t, Config{
+		Enabled: true, Threshold: 100 * time.Second, // never slow
+		Objective: Speed,
+	})
+	for i := 0; i < 10; i++ {
+		m.ObserveQuality(pooled.Worker.ID, 0.1) // terrible quality
+		m.ObserveStart(pooled, 1)
+		m.ObserveCompletion(pooled, 1, 2*time.Second)
+	}
+	if m.Replaced() != 0 {
+		t.Fatal("speed objective evicted on quality")
+	}
+}
+
+func TestQualityStatsDefaults(t *testing.T) {
+	var qs QualityStats
+	if qs.Mean() != 1 {
+		t.Fatalf("no-evidence mean = %v, want 1", qs.Mean())
+	}
+	qs.Observe(0.5)
+	qs.Observe(0.7)
+	if n := qs.N(); n != 2 {
+		t.Fatalf("N = %d", n)
+	}
+	if m := qs.Mean(); m < 0.59 || m > 0.61 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestQualityOfUnknownWorker(t *testing.T) {
+	m, _, _ := newObjectiveHarness(t, Config{Enabled: true, Threshold: time.Second})
+	if m.QualityOf(999) != nil {
+		t.Fatal("unknown worker has quality stats")
+	}
+}

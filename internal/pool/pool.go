@@ -1,0 +1,392 @@
+// Package pool implements CLAMShell's retainer-pool maintenance (paper
+// §4.2–4.3): continuously replace workers whose empirical per-record latency
+// is significantly above a threshold PMℓ, so the pool's mean latency
+// converges toward the mean of the fast workers. Replacement is pipelined —
+// a reserve of freshly recruited workers is kept warm in the background so
+// eviction never blocks on recruitment.
+//
+// The package also implements TermEst, the paper's estimator for the latency
+// of terminated tasks. Straggler mitigation terminates slow assignments
+// before they finish, which censors exactly the observations maintenance
+// needs; TermEst reconstructs a worker's true latency from how often they
+// are terminated:
+//
+//	ls_Tt = lf · (N + α) / (Nc + α)
+//	ls    = (Nt/N) · ls_Tt + (Nc/N) · ls_Tc
+//
+// where N = tasks started, Nc completed, Nt terminated, lf the mean latency
+// of the workers that caused the terminations, ls_Tc the empirical mean of
+// completed tasks, and α a smoothing constant.
+package pool
+
+import (
+	"math"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/crowd"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// WorkerStats accumulates per-worker latency evidence, including the
+// termination counts TermEst needs.
+type WorkerStats struct {
+	completed stats.Welford // per-record latencies of completed tasks
+	started   int           // N: tasks started
+	ended     int           // Nc: tasks completed
+	termCause stats.Welford // per-record latencies of workers that beat this one
+}
+
+// Started returns N, the number of tasks the worker started.
+func (ws *WorkerStats) Started() int { return ws.started }
+
+// Completed returns Nc, the number of tasks the worker completed.
+func (ws *WorkerStats) Completed() int { return ws.ended }
+
+// Terminated returns Nt, the number of the worker's tasks that were
+// terminated.
+func (ws *WorkerStats) Terminated() int { return ws.started - ws.ended }
+
+// EmpiricalMean returns ls_Tc, the mean per-record latency over completed
+// tasks (0 with no completions).
+func (ws *WorkerStats) EmpiricalMean() float64 { return ws.completed.Mean() }
+
+// TermEst returns the TermEst-adjusted mean per-record latency estimate with
+// smoothing alpha. With no terminations it reduces to the empirical mean.
+func (ws *WorkerStats) TermEst(alpha float64) float64 {
+	n := ws.started
+	if n == 0 {
+		return 0
+	}
+	nc := ws.ended
+	nt := n - nc
+	if nt == 0 {
+		return ws.EmpiricalMean()
+	}
+	lf := ws.termCause.Mean()
+	if lf == 0 {
+		// No observed terminator latencies yet: fall back to the empirical
+		// mean of the worker's own completions (or nothing at all).
+		lf = ws.EmpiricalMean()
+	}
+	lsTt := lf * (float64(n) + alpha) / (float64(nc) + alpha)
+	lsTc := ws.EmpiricalMean()
+	return float64(nt)/float64(n)*lsTt + float64(nc)/float64(n)*lsTc
+}
+
+// Config parameterizes the Maintainer.
+type Config struct {
+	// Enabled turns maintenance on (PMℓ < ∞). When false the Maintainer
+	// still records statistics (so MPL reporting works) but never evicts.
+	Enabled bool
+
+	// Threshold is PMℓ, the per-record latency above which a worker is a
+	// removal candidate.
+	Threshold time.Duration
+
+	// Alpha is the significance level of the one-sided test that flags a
+	// worker as slow. Default 0.05.
+	Alpha float64
+
+	// UseTermEst enables termination-aware latency estimation. Without it,
+	// straggler mitigation censors slow observations and replacement nearly
+	// stops (the paper's Figure 14).
+	UseTermEst bool
+
+	// TermEstAlpha is the smoothing constant α. Default 1.
+	TermEstAlpha float64
+
+	// ReserveTarget is how many pre-recruited replacement workers to keep
+	// warm. Default 2.
+	ReserveTarget int
+
+	// MinObservations before a worker can be evicted. Default 3.
+	MinObservations int
+
+	// Objective selects what maintenance optimizes: Speed (default),
+	// Quality, or Weighted (paper §4.2 Extensions).
+	Objective Objective
+
+	// QualityThreshold is the agreement rate below which a worker is a
+	// quality-removal candidate (Quality/Weighted objectives). Default 0.75.
+	QualityThreshold float64
+
+	// SpeedWeight balances slowness vs badness under Weighted. Default 0.5.
+	SpeedWeight float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.05
+	}
+	if c.TermEstAlpha == 0 {
+		c.TermEstAlpha = 1
+	}
+	if c.ReserveTarget == 0 {
+		c.ReserveTarget = 2
+	}
+	if c.MinObservations == 0 {
+		c.MinObservations = 3
+	}
+	if c.QualityThreshold == 0 {
+		c.QualityThreshold = 0.75
+	}
+	if c.SpeedWeight == 0 {
+		c.SpeedWeight = 0.5
+	}
+}
+
+// Maintainer tracks worker speed and replaces slow pool workers with
+// pre-recruited reserves.
+type Maintainer struct {
+	cfg      Config
+	platform *crowd.Platform
+
+	pooled   map[crowd.SlotID]bool
+	reserve  []*crowd.Slot
+	pending  int // recruitments in flight
+	perW     map[worker.ID]*WorkerStats
+	quality  map[worker.ID]*QualityStats
+	replaced int
+
+	// OnEvict fires when a slot is evicted so the scheduler can clean up
+	// bookkeeping, and OnReplace when a replacement slot is promoted into
+	// the pool so the scheduler can route work to it.
+	OnEvict   func(*crowd.Slot)
+	OnReplace func(*crowd.Slot)
+}
+
+// New creates a Maintainer over the platform.
+func New(cfg Config, platform *crowd.Platform) *Maintainer {
+	cfg.fillDefaults()
+	return &Maintainer{
+		cfg:      cfg,
+		platform: platform,
+		pooled:   make(map[crowd.SlotID]bool),
+		perW:     make(map[worker.ID]*WorkerStats),
+		quality:  make(map[worker.ID]*QualityStats),
+	}
+}
+
+// AddToPool marks a slot as part of the active labeling pool.
+func (m *Maintainer) AddToPool(s *crowd.Slot) { m.pooled[s.ID] = true }
+
+// RemoveFromPool clears a slot's pool membership (worker abandoned or was
+// evicted by an external policy).
+func (m *Maintainer) RemoveFromPool(s *crowd.Slot) { delete(m.pooled, s.ID) }
+
+// InPool reports whether the slot belongs to the active labeling pool (as
+// opposed to the warm reserve).
+func (m *Maintainer) InPool(s *crowd.Slot) bool { return m.pooled[s.ID] }
+
+// Replaced returns the number of workers replaced so far.
+func (m *Maintainer) Replaced() int { return m.replaced }
+
+// ReserveSize returns the number of warm replacement workers standing by.
+func (m *Maintainer) ReserveSize() int { return len(m.reserve) }
+
+// Stats returns the accumulated statistics for a worker (nil if never seen).
+func (m *Maintainer) Stats(id worker.ID) *WorkerStats { return m.perW[id] }
+
+// statsFor returns (allocating if needed) the stats for a worker.
+func (m *Maintainer) statsFor(id worker.ID) *WorkerStats {
+	ws := m.perW[id]
+	if ws == nil {
+		ws = &WorkerStats{}
+		m.perW[id] = ws
+	}
+	return ws
+}
+
+// pruneReserve drops reserve slots that abandoned the platform while
+// waiting to be promoted.
+func (m *Maintainer) pruneReserve() {
+	live := m.reserve[:0]
+	for _, s := range m.reserve {
+		if !s.Evicted() {
+			live = append(live, s)
+		}
+	}
+	m.reserve = live
+}
+
+// EnsureReserve tops up background recruitment so that reserve + in-flight
+// recruitments reaches the target. Call once at startup and after each swap.
+func (m *Maintainer) EnsureReserve() {
+	if !m.cfg.Enabled {
+		return
+	}
+	m.pruneReserve()
+	for len(m.reserve)+m.pending < m.cfg.ReserveTarget {
+		m.pending++
+		m.platform.Recruit(func(s *crowd.Slot) {
+			m.pending--
+			m.reserve = append(m.reserve, s)
+			m.sweep() // a replacement just became available; act on flags
+		})
+	}
+}
+
+// ObserveStart records that a worker began a task of ng records.
+func (m *Maintainer) ObserveStart(s *crowd.Slot, ng int) {
+	m.statsFor(s.Worker.ID).started++
+}
+
+// ObserveCompletion records a completed task's per-record latency and then
+// checks the pool for eviction candidates.
+func (m *Maintainer) ObserveCompletion(s *crowd.Slot, ng int, latency time.Duration) {
+	ws := m.statsFor(s.Worker.ID)
+	ws.ended++
+	ws.completed.Add(latency.Seconds() / float64(maxInt(ng, 1)))
+	m.sweep()
+}
+
+// ObserveTermination records that the worker's task was terminated because
+// winner completed it first (winner's per-record latency feeds the lf
+// estimate in TermEst). winnerPerRecord may be 0 when unknown (eviction).
+func (m *Maintainer) ObserveTermination(s *crowd.Slot, winnerPerRecord float64) {
+	ws := m.statsFor(s.Worker.ID)
+	if winnerPerRecord > 0 {
+		ws.termCause.Add(winnerPerRecord)
+	}
+}
+
+// estimate returns the worker's per-record latency estimate under the
+// configured estimator, plus the dispersion and count used for the
+// significance test.
+func (m *Maintainer) estimate(ws *WorkerStats) (mean, std float64, n int) {
+	if m.cfg.UseTermEst {
+		return ws.TermEst(m.cfg.TermEstAlpha), ws.completed.Std(), ws.started
+	}
+	return ws.EmpiricalMean(), ws.completed.Std(), ws.ended
+}
+
+// sweep evicts every pooled worker flagged slow, one per available reserve
+// slot: the replacement is promoted into the pool first, then the slow
+// worker is released (the paper replaces only when the new worker is ready).
+func (m *Maintainer) sweep() {
+	if !m.cfg.Enabled {
+		return
+	}
+	m.pruneReserve()
+	for _, s := range m.platform.Slots() {
+		if len(m.reserve) == 0 {
+			break
+		}
+		if !m.pooled[s.ID] {
+			continue
+		}
+		ws := m.perW[s.Worker.ID]
+		if ws == nil || ws.started < m.cfg.MinObservations {
+			if m.cfg.Objective != Quality {
+				continue
+			}
+		}
+		var mean, std float64
+		var n int
+		if ws != nil {
+			mean, std, n = m.estimate(ws)
+		}
+		if !m.flagged(s.Worker.ID, mean, std, n) {
+			continue
+		}
+		m.swap(s)
+	}
+}
+
+// swap promotes a reserve slot into the pool and evicts the slow slot.
+func (m *Maintainer) swap(slow *crowd.Slot) {
+	repl := m.reserve[0]
+	m.reserve = m.reserve[1:]
+	m.pooled[repl.ID] = true
+	delete(m.pooled, slow.ID)
+	m.platform.Evict(slow)
+	m.replaced++
+	if m.OnEvict != nil {
+		m.OnEvict(slow)
+	}
+	if m.OnReplace != nil {
+		m.OnReplace(repl)
+	}
+	m.EnsureReserve()
+}
+
+// MeanPoolLatency returns the mean of the pooled workers' current latency
+// estimates in seconds (the MPL the paper tracks in Figure 6). Workers with
+// no observations yet are skipped.
+func (m *Maintainer) MeanPoolLatency() float64 {
+	sum, n := 0.0, 0
+	for _, s := range m.platform.Slots() {
+		if !m.pooled[s.ID] {
+			continue
+		}
+		ws := m.perW[s.Worker.ID]
+		if ws == nil || ws.started == 0 {
+			continue
+		}
+		mean, _, _ := m.estimate(ws)
+		if mean > 0 {
+			sum += mean
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ConvergenceModel is the paper's analytic model of maintained-pool speed
+// (§4.2): with q the probability mass of the worker distribution above PMℓ,
+// µf the mean latency below the threshold and µs above it, the pool mean
+// after n maintenance steps is
+//
+//	E[µ_n] = (1 − q^{n+1}) µf + q^{n+1} µs
+//
+// converging to µf as n → ∞.
+type ConvergenceModel struct {
+	Q      float64 // fraction of the population slower than PMℓ
+	MuFast float64 // mean latency of workers below PMℓ (seconds)
+	MuSlow float64 // mean latency of workers above PMℓ (seconds)
+}
+
+// FitConvergenceModel estimates (q, µf, µs) from a sample of worker mean
+// latencies (seconds) and a threshold.
+func FitConvergenceModel(means []float64, threshold float64) ConvergenceModel {
+	var fast, slow []float64
+	for _, x := range means {
+		if x > threshold {
+			slow = append(slow, x)
+		} else {
+			fast = append(fast, x)
+		}
+	}
+	model := ConvergenceModel{
+		Q:      float64(len(slow)) / float64(maxInt(len(means), 1)),
+		MuFast: stats.Mean(fast),
+		MuSlow: stats.Mean(slow),
+	}
+	return model
+}
+
+// MeanAfter returns E[µ_n], the expected pool mean latency after n
+// maintenance steps.
+func (c ConvergenceModel) MeanAfter(n int) float64 {
+	qn := math.Pow(c.Q, float64(n+1))
+	return (1-qn)*c.MuFast + qn*c.MuSlow
+}
+
+// Asymptote returns the limit of the maintained pool's mean latency: µf.
+func (c ConvergenceModel) Asymptote() float64 { return c.MuFast }
+
+// InitialMean returns E[µ_0] before any maintenance: (1−q)µf + qµs.
+func (c ConvergenceModel) InitialMean() float64 {
+	return (1-c.Q)*c.MuFast + c.Q*c.MuSlow
+}

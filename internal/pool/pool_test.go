@@ -1,0 +1,357 @@
+package pool
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/crowd"
+	"github.com/clamshell/clamshell/internal/simclock"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/task"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+func newPlatform(pop worker.Population, seed int64) (*crowd.Platform, *simclock.Sim) {
+	sim := simclock.NewSim()
+	p := crowd.New(crowd.Config{
+		Sim: sim, RNG: stats.NewRand(seed), Population: pop, Seed: seed,
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	return p, sim
+}
+
+func TestWorkerStatsTermEstNoTerminations(t *testing.T) {
+	ws := &WorkerStats{}
+	ws.started = 3
+	ws.ended = 3
+	for _, l := range []float64{2, 4, 6} {
+		ws.completed.Add(l)
+	}
+	if got := ws.TermEst(1); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("TermEst = %v, want empirical mean 4", got)
+	}
+	if ws.Terminated() != 0 {
+		t.Fatalf("Terminated = %d", ws.Terminated())
+	}
+}
+
+func TestWorkerStatsTermEstInflatesCensoredWorker(t *testing.T) {
+	// A slow worker terminated often: 10 started, 2 completed at 3s/record
+	// (only their lucky fast tasks finish), terminators averaged 2s/record.
+	ws := &WorkerStats{}
+	ws.started = 10
+	ws.ended = 2
+	ws.completed.Add(3)
+	ws.completed.Add(3)
+	for i := 0; i < 8; i++ {
+		ws.termCause.Add(2)
+	}
+	// ls_Tt = 2 * (10+1)/(2+1) = 7.33; ls = 0.8*7.33 + 0.2*3 = 6.47.
+	got := ws.TermEst(1)
+	want := 0.8*(2*11.0/3.0) + 0.2*3
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TermEst = %v, want %v", got, want)
+	}
+	if got <= ws.EmpiricalMean() {
+		t.Fatal("TermEst must exceed the censored empirical mean")
+	}
+}
+
+func TestWorkerStatsTermEstAllTerminated(t *testing.T) {
+	// All tasks terminated: Nc = 0, only α prevents division by zero.
+	ws := &WorkerStats{}
+	ws.started = 5
+	ws.termCause.Add(2)
+	got := ws.TermEst(1)
+	want := 2 * (5 + 1.0) / (0 + 1.0) // ls_Tt, weighted fully by Nt/N = 1
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TermEst = %v, want %v", got, want)
+	}
+}
+
+func TestWorkerStatsTermEstZeroStarted(t *testing.T) {
+	ws := &WorkerStats{}
+	if ws.TermEst(1) != 0 {
+		t.Fatal("no evidence should estimate 0")
+	}
+}
+
+func TestMaintainerEvictsSlowWorker(t *testing.T) {
+	// Pool of 1 slow worker (10s/record); reserve recruits fast workers.
+	n := 0
+	pop := worker.PopulationFunc(func() worker.Params {
+		n++
+		mean := 2 * time.Second
+		if n == 1 {
+			mean = 10 * time.Second
+		}
+		return worker.Params{ID: worker.ID(n), Mean: mean, Std: 100 * time.Millisecond, Accuracy: 1}
+	})
+	p, sim := newPlatform(pop, 1)
+	m := New(Config{Enabled: true, Threshold: 4 * time.Second}, p)
+
+	var evicted, promoted *crowd.Slot
+	m.OnEvict = func(s *crowd.Slot) { evicted = s }
+	m.OnReplace = func(s *crowd.Slot) { promoted = s }
+
+	var pooled *crowd.Slot
+	p.RecruitN(1, func(s *crowd.Slot) {
+		pooled = s
+		m.AddToPool(s)
+	})
+	sim.Run()
+	m.EnsureReserve()
+	sim.Run()
+	if m.ReserveSize() != 2 {
+		t.Fatalf("reserve = %d, want 2", m.ReserveSize())
+	}
+
+	// Feed observations: 5 completed tasks at ~10s/record.
+	for i := 0; i < 5; i++ {
+		m.ObserveStart(pooled, 1)
+		m.ObserveCompletion(pooled, 1, 10*time.Second)
+	}
+	if evicted != pooled {
+		t.Fatal("slow worker not evicted")
+	}
+	if promoted == nil || !m.InPool(promoted) {
+		t.Fatal("replacement not promoted into pool")
+	}
+	if m.InPool(pooled) {
+		t.Fatal("evicted slot still marked pooled")
+	}
+	if m.Replaced() != 1 {
+		t.Fatalf("Replaced = %d", m.Replaced())
+	}
+	sim.Run()
+	if m.ReserveSize()+0 != 2 {
+		t.Fatalf("reserve not refilled: %d", m.ReserveSize())
+	}
+}
+
+func TestMaintainerKeepsFastWorker(t *testing.T) {
+	p, sim := newPlatform(worker.Uniform(2*time.Second, 200*time.Millisecond, 1), 2)
+	m := New(Config{Enabled: true, Threshold: 8 * time.Second}, p)
+	var pooled *crowd.Slot
+	p.RecruitN(1, func(s *crowd.Slot) { pooled = s; m.AddToPool(s) })
+	sim.Run()
+	m.EnsureReserve()
+	sim.Run()
+	for i := 0; i < 20; i++ {
+		m.ObserveStart(pooled, 1)
+		m.ObserveCompletion(pooled, 1, 2*time.Second)
+	}
+	if m.Replaced() != 0 {
+		t.Fatal("fast worker replaced")
+	}
+	if !m.InPool(pooled) {
+		t.Fatal("fast worker dropped from pool")
+	}
+}
+
+func TestMaintainerDisabledNeverEvicts(t *testing.T) {
+	p, sim := newPlatform(worker.Uniform(20*time.Second, time.Second, 1), 3)
+	m := New(Config{Enabled: false, Threshold: time.Second}, p)
+	var pooled *crowd.Slot
+	p.RecruitN(1, func(s *crowd.Slot) { pooled = s; m.AddToPool(s) })
+	sim.Run()
+	m.EnsureReserve() // no-op when disabled
+	sim.Run()
+	if m.ReserveSize() != 0 {
+		t.Fatal("disabled maintainer recruited reserves")
+	}
+	for i := 0; i < 10; i++ {
+		m.ObserveStart(pooled, 1)
+		m.ObserveCompletion(pooled, 1, 20*time.Second)
+	}
+	if m.Replaced() != 0 {
+		t.Fatal("disabled maintainer evicted")
+	}
+}
+
+func TestMaintainerRequiresMinObservations(t *testing.T) {
+	p, sim := newPlatform(worker.Uniform(20*time.Second, time.Second, 1), 4)
+	m := New(Config{Enabled: true, Threshold: time.Second, MinObservations: 5}, p)
+	var pooled *crowd.Slot
+	p.RecruitN(1, func(s *crowd.Slot) { pooled = s; m.AddToPool(s) })
+	sim.Run()
+	m.EnsureReserve()
+	sim.Run()
+	for i := 0; i < 4; i++ {
+		m.ObserveStart(pooled, 1)
+		m.ObserveCompletion(pooled, 1, 20*time.Second)
+	}
+	if m.Replaced() != 0 {
+		t.Fatal("evicted before MinObservations")
+	}
+	m.ObserveStart(pooled, 1)
+	m.ObserveCompletion(pooled, 1, 20*time.Second)
+	if m.Replaced() != 1 {
+		t.Fatal("not evicted after MinObservations")
+	}
+}
+
+func TestCensoringStopsReplacementWithoutTermEst(t *testing.T) {
+	// The Figure 14 effect. A slow worker whose slow tasks are always
+	// terminated: completed observations all look fast (2s), but they
+	// started 20 tasks and completed only 4.
+	feed := func(useTermEst bool) int {
+		p, sim := newPlatform(worker.Uniform(2*time.Second, 100*time.Millisecond, 1), 5)
+		m := New(Config{
+			Enabled: true, Threshold: 4 * time.Second,
+			UseTermEst: useTermEst, TermEstAlpha: 1,
+		}, p)
+		var pooled *crowd.Slot
+		p.RecruitN(1, func(s *crowd.Slot) { pooled = s; m.AddToPool(s) })
+		sim.Run()
+		m.EnsureReserve()
+		sim.Run()
+		for i := 0; i < 20; i++ {
+			m.ObserveStart(pooled, 1)
+			if i%5 == 0 {
+				m.ObserveCompletion(pooled, 1, 2*time.Second) // lucky fast task
+			} else {
+				m.ObserveTermination(pooled, 2.0) // terminator ran at 2s/rec
+			}
+		}
+		m.sweep()
+		return m.Replaced()
+	}
+	if feed(false) != 0 {
+		t.Fatal("without TermEst the censored worker should look fast and survive")
+	}
+	if feed(true) != 1 {
+		t.Fatal("with TermEst the censored worker should be flagged and replaced")
+	}
+}
+
+func TestMeanPoolLatency(t *testing.T) {
+	p, sim := newPlatform(worker.Uniform(2*time.Second, 0, 1), 6)
+	m := New(Config{Enabled: true, Threshold: 100 * time.Second}, p)
+	var slots []*crowd.Slot
+	p.RecruitN(2, func(s *crowd.Slot) { slots = append(slots, s); m.AddToPool(s) })
+	sim.Run()
+	if m.MeanPoolLatency() != 0 {
+		t.Fatal("MPL with no observations should be 0")
+	}
+	m.ObserveStart(slots[0], 1)
+	m.ObserveCompletion(slots[0], 1, 2*time.Second)
+	m.ObserveStart(slots[1], 1)
+	m.ObserveCompletion(slots[1], 1, 6*time.Second)
+	if got := m.MeanPoolLatency(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("MPL = %v, want 4", got)
+	}
+}
+
+func TestPerRecordNormalization(t *testing.T) {
+	p, sim := newPlatform(worker.Uniform(2*time.Second, 0, 1), 7)
+	m := New(Config{Enabled: true, Threshold: 100 * time.Second}, p)
+	var pooled *crowd.Slot
+	p.RecruitN(1, func(s *crowd.Slot) { pooled = s; m.AddToPool(s) })
+	sim.Run()
+	// A 10-record task taking 30s is 3s/record.
+	m.ObserveStart(pooled, 10)
+	m.ObserveCompletion(pooled, 10, 30*time.Second)
+	if got := m.Stats(pooled.Worker.ID).EmpiricalMean(); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("per-record mean = %v, want 3", got)
+	}
+}
+
+func TestConvergenceModel(t *testing.T) {
+	c := ConvergenceModel{Q: 0.3, MuFast: 2, MuSlow: 20}
+	if got := c.InitialMean(); math.Abs(got-(0.7*2+0.3*20)) > 1e-9 {
+		t.Fatalf("InitialMean = %v", got)
+	}
+	if got := c.MeanAfter(0); math.Abs(got-c.InitialMean()) > 1e-9 {
+		t.Fatalf("MeanAfter(0) = %v, want initial %v", got, c.InitialMean())
+	}
+	if got := c.MeanAfter(100); math.Abs(got-2) > 1e-6 {
+		t.Fatalf("MeanAfter(100) = %v, want asymptote 2", got)
+	}
+	if c.Asymptote() != 2 {
+		t.Fatal("Asymptote != MuFast")
+	}
+}
+
+func TestFitConvergenceModel(t *testing.T) {
+	means := []float64{1, 2, 3, 10, 20}
+	c := FitConvergenceModel(means, 5)
+	if math.Abs(c.Q-0.4) > 1e-9 {
+		t.Fatalf("Q = %v, want 0.4", c.Q)
+	}
+	if math.Abs(c.MuFast-2) > 1e-9 || math.Abs(c.MuSlow-15) > 1e-9 {
+		t.Fatalf("MuFast=%v MuSlow=%v", c.MuFast, c.MuSlow)
+	}
+}
+
+// Property: the convergence model is monotonically improving (non-increasing
+// mean) whenever slow workers are slower than fast ones, and always bounded
+// by [MuFast, InitialMean].
+func TestPropertyConvergenceMonotone(t *testing.T) {
+	f := func(q8, fast8, gap8 uint8, n uint8) bool {
+		q := float64(q8) / 256
+		muF := 1 + float64(fast8)/16
+		muS := muF + 0.1 + float64(gap8)/8
+		c := ConvergenceModel{Q: q, MuFast: muF, MuSlow: muS}
+		prev := c.InitialMean()
+		for i := 0; i <= int(n%32); i++ {
+			cur := c.MeanAfter(i)
+			if cur > prev+1e-9 {
+				return false
+			}
+			if cur < muF-1e-9 || cur > c.InitialMean()+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TermEst never underestimates the empirical mean when the
+// terminator latencies are at least the empirical mean (terminations only
+// add evidence of slowness).
+func TestPropertyTermEstAtLeastEmpirical(t *testing.T) {
+	f := func(nc, nt uint8, emp8, extra8 uint8) bool {
+		ws := &WorkerStats{}
+		ncI, ntI := int(nc%20)+1, int(nt%20)
+		emp := 0.5 + float64(emp8)/32
+		lf := emp + float64(extra8)/64 // lf >= emp
+		ws.started = ncI + ntI
+		ws.ended = ncI
+		for i := 0; i < ncI; i++ {
+			ws.completed.Add(emp)
+		}
+		for i := 0; i < ntI; i++ {
+			ws.termCause.Add(lf)
+		}
+		return ws.TermEst(1) >= ws.EmpiricalMean()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainerSweepNoReserveNoEvict(t *testing.T) {
+	p, sim := newPlatform(worker.Uniform(20*time.Second, time.Second, 1), 8)
+	m := New(Config{Enabled: true, Threshold: time.Second, ReserveTarget: 1}, p)
+	var pooled *crowd.Slot
+	p.RecruitN(1, func(s *crowd.Slot) { pooled = s; m.AddToPool(s) })
+	sim.Run()
+	// No EnsureReserve called: reserve empty, so even a flagrant straggler
+	// survives (replacement must be ready before eviction, per the paper).
+	for i := 0; i < 10; i++ {
+		m.ObserveStart(pooled, 1)
+		m.ObserveCompletion(pooled, 1, 20*time.Second)
+	}
+	if m.Replaced() != 0 {
+		t.Fatal("evicted without a ready replacement")
+	}
+	_ = task.Unassigned // keep task import for future extension
+}

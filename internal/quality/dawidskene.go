@@ -1,0 +1,171 @@
+package quality
+
+import (
+	"math"
+
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// DSResult is the output of DawidSkene: consensus labels, per-worker
+// confusion matrices, and the estimated class prior.
+type DSResult struct {
+	// Labels maps item -> MAP consensus label.
+	Labels map[int]int
+	// Posteriors maps item -> per-class posterior probabilities.
+	Posteriors map[int][]float64
+	// Confusion maps worker -> confusion matrix: Confusion[w][t][l] is the
+	// estimated probability the worker answers l when the truth is t.
+	Confusion map[worker.ID][][]float64
+	// Prior is the estimated marginal class distribution.
+	Prior []float64
+	// Iterations performed before convergence (or the cap).
+	Iterations int
+}
+
+// Accuracy returns a worker's diagonal mass weighted by the class prior —
+// the scalar accuracy implied by their confusion matrix.
+func (r *DSResult) Accuracy(w worker.ID) float64 {
+	cm, ok := r.Confusion[w]
+	if !ok {
+		return 0
+	}
+	acc := 0.0
+	for t := range cm {
+		acc += r.Prior[t] * cm[t][t]
+	}
+	return acc
+}
+
+// DawidSkene runs the full Dawid–Skene EM estimator over votes: unlike the
+// symmetric-accuracy simplification in EstimateAccuracy, each worker gets a
+// complete per-class confusion matrix, so systematic biases (e.g. a worker
+// who always answers "negative" for "neutral") are modeled. classes is the
+// number of label classes; maxIter bounds EM (typically converges in < 20).
+func DawidSkene(votes []Vote, classes, maxIter int) DSResult {
+	if classes < 2 {
+		classes = 2
+	}
+	if maxIter < 1 {
+		maxIter = 1
+	}
+	byItem := make(map[int][]Vote)
+	byWorker := make(map[worker.ID][]Vote)
+	for _, v := range votes {
+		byItem[v.Item] = append(byItem[v.Item], v)
+		byWorker[v.Worker] = append(byWorker[v.Worker], v)
+	}
+
+	// Initialize posteriors from per-item majority votes.
+	posterior := make(map[int][]float64, len(byItem))
+	for item, vs := range byItem {
+		p := make([]float64, classes)
+		for _, v := range vs {
+			p[v.Label]++
+		}
+		normalize(p)
+		posterior[item] = p
+	}
+
+	prior := make([]float64, classes)
+	confusion := make(map[worker.ID][][]float64, len(byWorker))
+	iters := 0
+	const smoothing = 0.1 // Dirichlet smoothing keeps matrices full-rank
+
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+
+		// M-step: class prior.
+		for c := range prior {
+			prior[c] = smoothing
+		}
+		for _, p := range posterior {
+			for c, v := range p {
+				prior[c] += v
+			}
+		}
+		normalize(prior)
+
+		// M-step: per-worker confusion matrices.
+		for w, vs := range byWorker {
+			cm := newMatrix(classes, smoothing)
+			for _, v := range vs {
+				p := posterior[v.Item]
+				for t := 0; t < classes; t++ {
+					cm[t][v.Label] += p[t]
+				}
+			}
+			for t := 0; t < classes; t++ {
+				normalize(cm[t])
+			}
+			confusion[w] = cm
+		}
+
+		// E-step: item posteriors given priors and confusion matrices.
+		maxDelta := 0.0
+		for item, vs := range byItem {
+			logp := make([]float64, classes)
+			for t := 0; t < classes; t++ {
+				logp[t] = math.Log(prior[t])
+				for _, v := range vs {
+					logp[t] += math.Log(confusion[v.Worker][t][v.Label])
+				}
+			}
+			normalizeLog(logp)
+			old := posterior[item]
+			for c := range logp {
+				if d := math.Abs(logp[c] - old[c]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			posterior[item] = logp
+		}
+		if maxDelta < 1e-6 {
+			break
+		}
+	}
+
+	labels := make(map[int]int, len(posterior))
+	for item, p := range posterior {
+		best := 0
+		for c := 1; c < classes; c++ {
+			if p[c] > p[best] {
+				best = c
+			}
+		}
+		labels[item] = best
+	}
+	return DSResult{
+		Labels:     labels,
+		Posteriors: posterior,
+		Confusion:  confusion,
+		Prior:      prior,
+		Iterations: iters,
+	}
+}
+
+func newMatrix(n int, fill float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = fill
+		}
+	}
+	return m
+}
+
+func normalize(p []float64) {
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum == 0 {
+		for i := range p {
+			p[i] = 1 / float64(len(p))
+		}
+		return
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+}

@@ -1,0 +1,165 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// biasedVotes simulates workers with distinct confusion behaviour over a
+// 3-class problem.
+func biasedVotes(t *testing.T, items int) ([]Vote, []int) {
+	t.Helper()
+	rng := stats.NewRand(77)
+	truth := make([]int, items)
+	for i := range truth {
+		truth[i] = rng.Intn(3)
+	}
+	var votes []Vote
+	for i, tr := range truth {
+		// Workers 1-3: 90% accurate, uniform errors.
+		for w := worker.ID(1); w <= 3; w++ {
+			l := tr
+			if !stats.Bernoulli(rng, 0.9) {
+				l = (tr + 1 + rng.Intn(2)) % 3
+			}
+			votes = append(votes, Vote{Item: i, Worker: w, Label: l})
+		}
+		// Worker 4: systematically maps class 2 -> 0 (a biased rater), else
+		// accurate.
+		l := tr
+		if tr == 2 {
+			l = 0
+		}
+		votes = append(votes, Vote{Item: i, Worker: 4, Label: l})
+	}
+	return votes, truth
+}
+
+func TestDawidSkeneRecoversTruthAndBias(t *testing.T) {
+	votes, truth := biasedVotes(t, 400)
+	res := DawidSkene(votes, 3, 30)
+
+	correct := 0
+	for i, tr := range truth {
+		if res.Labels[i] == tr {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(truth)); frac < 0.93 {
+		t.Fatalf("consensus accuracy = %v", frac)
+	}
+
+	// Worker 4's confusion matrix must expose the 2->0 bias.
+	cm := res.Confusion[4]
+	if cm[2][0] < 0.8 {
+		t.Fatalf("bias not recovered: P(answer 0 | truth 2) = %v", cm[2][0])
+	}
+	if cm[0][0] < 0.8 || cm[1][1] < 0.8 {
+		t.Fatalf("worker 4 should look accurate on classes 0/1: %v", cm)
+	}
+
+	// Scalar accuracy ordering: honest workers above the biased one.
+	if res.Accuracy(1) <= res.Accuracy(4) {
+		t.Fatalf("accuracy ordering wrong: honest %v <= biased %v",
+			res.Accuracy(1), res.Accuracy(4))
+	}
+}
+
+func TestDawidSkeneBeatsMajorityUnderBias(t *testing.T) {
+	// With two coordinated biased raters out of four, majority voting makes
+	// correlated mistakes on class 2; Dawid-Skene downweights them.
+	rng := stats.NewRand(78)
+	const items = 400
+	truth := make([]int, items)
+	for i := range truth {
+		truth[i] = rng.Intn(3)
+	}
+	var votes []Vote
+	for i, tr := range truth {
+		for w := worker.ID(1); w <= 2; w++ { // honest
+			l := tr
+			if !stats.Bernoulli(rng, 0.92) {
+				l = (tr + 1 + rng.Intn(2)) % 3
+			}
+			votes = append(votes, Vote{Item: i, Worker: w, Label: l})
+		}
+		for w := worker.ID(3); w <= 4; w++ { // biased: 2 -> 0
+			l := tr
+			if tr == 2 {
+				l = 0
+			}
+			votes = append(votes, Vote{Item: i, Worker: w, Label: l})
+		}
+	}
+	res := DawidSkene(votes, 3, 30)
+	dsCorrect := 0
+	for i, tr := range truth {
+		if res.Labels[i] == tr {
+			dsCorrect++
+		}
+	}
+	// Majority baseline.
+	majCorrect := 0
+	byItem := map[int][]Vote{}
+	for _, v := range votes {
+		byItem[v.Item] = append(byItem[v.Item], v)
+	}
+	for i, tr := range truth {
+		counts := map[int]int{}
+		for _, v := range byItem[i] {
+			counts[v.Label]++
+		}
+		if argmaxCount(counts) == tr {
+			majCorrect++
+		}
+	}
+	if dsCorrect <= majCorrect {
+		t.Fatalf("Dawid-Skene (%d) did not beat majority (%d) under coordinated bias",
+			dsCorrect, majCorrect)
+	}
+}
+
+func TestDawidSkeneEmpty(t *testing.T) {
+	res := DawidSkene(nil, 3, 10)
+	if len(res.Labels) != 0 {
+		t.Fatal("empty votes produced labels")
+	}
+	if res.Accuracy(1) != 0 {
+		t.Fatal("unknown worker accuracy must be 0")
+	}
+}
+
+func TestDawidSkenePosteriorsNormalized(t *testing.T) {
+	votes, _ := biasedVotes(t, 100)
+	res := DawidSkene(votes, 3, 20)
+	for item, p := range res.Posteriors {
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("item %d posterior out of range: %v", item, p)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("item %d posterior sums to %v", item, sum)
+		}
+	}
+	prior := 0.0
+	for _, v := range res.Prior {
+		prior += v
+	}
+	if math.Abs(prior-1) > 1e-9 {
+		t.Fatalf("prior sums to %v", prior)
+	}
+}
+
+func TestDawidSkeneConvergesEarly(t *testing.T) {
+	votes, _ := biasedVotes(t, 200)
+	res := DawidSkene(votes, 3, 100)
+	if res.Iterations >= 100 {
+		t.Fatalf("EM did not converge in %d iterations", res.Iterations)
+	}
+}

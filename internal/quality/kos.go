@@ -1,0 +1,216 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// This file implements the iterative message-passing estimator of Karger,
+// Oh and Shah ("Iterative Learning for Reliable Crowdsourcing Systems",
+// NIPS 2011) — the paper's citation [28] for redundancy-based quality
+// control. Compared with majority voting, KOS infers a per-worker
+// reliability from the agreement structure of the vote graph and weights
+// votes accordingly, which makes it far more robust to spammers (random
+// voters) and adversarial (systematically wrong) workers. It is defined
+// for binary tasks; the algorithm maps labels {0, 1} to spins {−1, +1}.
+
+// KOSResult is the output of KOS: consensus labels per item and an
+// (unnormalized) reliability score per worker, positive for workers who
+// tend to agree with the consensus and negative for adversarial ones.
+type KOSResult struct {
+	Labels      map[int]int
+	Reliability map[worker.ID]float64
+	Iterations  int
+}
+
+// KOS runs the Karger–Oh–Shah message-passing algorithm over binary votes
+// for maxIter iterations (10 suffices in practice; the estimator converges
+// geometrically). rng seeds the worker-message initialization with unit
+// gaussians, as the algorithm prescribes; a nil rng uses the all-ones
+// initialization, which is deterministic and nearly as good. Votes with
+// labels other than 0 or 1 are ignored.
+func KOS(votes []Vote, maxIter int, rng *rand.Rand) KOSResult {
+	if maxIter < 1 {
+		maxIter = 10
+	}
+
+	// Build the bipartite graph: per-item and per-worker incident votes.
+	type edge struct {
+		item   int
+		worker worker.ID
+		spin   float64 // +1 for label 1, −1 for label 0
+	}
+	var edges []edge
+	itemEdges := make(map[int][]int)         // item -> edge indices
+	workerEdges := make(map[worker.ID][]int) // worker -> edge indices
+	for _, v := range votes {
+		if v.Label != 0 && v.Label != 1 {
+			continue
+		}
+		spin := -1.0
+		if v.Label == 1 {
+			spin = 1.0
+		}
+		idx := len(edges)
+		edges = append(edges, edge{v.Item, v.Worker, spin})
+		itemEdges[v.Item] = append(itemEdges[v.Item], idx)
+		workerEdges[v.Worker] = append(workerEdges[v.Worker], idx)
+	}
+	if len(edges) == 0 {
+		return KOSResult{Labels: map[int]int{}, Reliability: map[worker.ID]float64{}}
+	}
+
+	// Messages live on edges: x[e] flows item→worker, y[e] worker→item.
+	x := make([]float64, len(edges))
+	y := make([]float64, len(edges))
+	for e := range y {
+		if rng != nil {
+			y[e] = 1 + rng.NormFloat64()
+		} else {
+			y[e] = 1
+		}
+	}
+
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+		// Item update: x_{i→j} = Σ_{j'≠j} A_{ij'} · y_{j'→i}.
+		for item, es := range itemEdges {
+			_ = item
+			total := 0.0
+			for _, e := range es {
+				total += edges[e].spin * y[e]
+			}
+			for _, e := range es {
+				x[e] = total - edges[e].spin*y[e]
+			}
+		}
+		// Worker update: y_{j→i} = Σ_{i'≠i} A_{i'j} · x_{i'→j}.
+		for w, es := range workerEdges {
+			_ = w
+			total := 0.0
+			for _, e := range es {
+				total += edges[e].spin * x[e]
+			}
+			for _, e := range es {
+				y[e] = total - edges[e].spin*x[e]
+			}
+		}
+		// Normalize to keep messages bounded; scale is irrelevant to the
+		// final signs.
+		maxAbs := 0.0
+		for _, v := range y {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs > 0 {
+			for e := range y {
+				y[e] /= maxAbs
+			}
+		}
+	}
+
+	// Decision: x_i = Σ_j A_{ij} y_{j→i}; label = 1 if x_i > 0.
+	labels := make(map[int]int, len(itemEdges))
+	for item, es := range itemEdges {
+		total := 0.0
+		for _, e := range es {
+			total += edges[e].spin * y[e]
+		}
+		switch {
+		case total > 0:
+			labels[item] = 1
+		case total < 0:
+			labels[item] = 0
+		default:
+			// Tie (e.g. a single-vote item whose only voter has zero
+			// reliability evidence): fall back to that vote's plurality.
+			counts := make(map[int]int)
+			for _, e := range es {
+				if edges[e].spin > 0 {
+					counts[1]++
+				} else {
+					counts[0]++
+				}
+			}
+			labels[item] = argmaxCount(counts)
+		}
+	}
+
+	// Worker reliability: r_j = Σ_{i∈∂j} A_{ij} x_{i→j}, normalized by
+	// degree so scores are comparable across workers.
+	rel := make(map[worker.ID]float64, len(workerEdges))
+	for w, es := range workerEdges {
+		total := 0.0
+		for _, e := range es {
+			total += edges[e].spin * x[e]
+		}
+		rel[w] = total / float64(len(es))
+	}
+
+	// The message-passing fixed point is invariant under a global sign flip
+	// (flipping every label and every reliability is an equally good
+	// solution). Resolve the gauge the standard way: align with plurality
+	// voting, which is the maximum-likelihood anchor under KOS's assumption
+	// that the crowd is net-informative (average accuracy > 1/2).
+	maj := MajorityLabels(votes)
+	agree, overlap := 0, 0
+	for item, l := range labels {
+		if m, ok := maj[item]; ok {
+			overlap++
+			if m == l {
+				agree++
+			}
+		}
+	}
+	if overlap > 0 && 2*agree < overlap {
+		for item, l := range labels {
+			labels[item] = 1 - l
+		}
+		for w := range rel {
+			rel[w] = -rel[w]
+		}
+	}
+
+	return KOSResult{Labels: labels, Reliability: rel, Iterations: iters}
+}
+
+// LabelAccuracy scores estimated labels against ground truth, counting
+// only items present in truth. Returns 0 when nothing overlaps.
+func LabelAccuracy(estimated map[int]int, truth map[int]int) float64 {
+	correct, total := 0, 0
+	for item, want := range truth {
+		got, ok := estimated[item]
+		if !ok {
+			continue
+		}
+		total++
+		if got == want {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// MajorityLabels applies per-item plurality voting to a flat vote list —
+// the baseline KOS is compared against.
+func MajorityLabels(votes []Vote) map[int]int {
+	byItem := make(map[int]map[int]int)
+	for _, v := range votes {
+		if byItem[v.Item] == nil {
+			byItem[v.Item] = make(map[int]int)
+		}
+		byItem[v.Item][v.Label]++
+	}
+	out := make(map[int]int, len(byItem))
+	for item, counts := range byItem {
+		out[item] = argmaxCount(counts)
+	}
+	return out
+}

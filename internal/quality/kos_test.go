@@ -1,0 +1,143 @@
+package quality
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// synthVotes builds a random bipartite vote graph: each of items gets
+// degree votes from distinct workers; each worker answers correctly with
+// their own accuracy. Returns votes and the ground truth.
+func synthVotes(rng *rand.Rand, items, degree int, accuracies []float64) ([]Vote, map[int]int) {
+	truth := make(map[int]int, items)
+	var votes []Vote
+	for i := 0; i < items; i++ {
+		truth[i] = rng.Intn(2)
+		perm := rng.Perm(len(accuracies))[:degree]
+		for _, w := range perm {
+			label := truth[i]
+			if rng.Float64() >= accuracies[w] {
+				label = 1 - label
+			}
+			votes = append(votes, Vote{Item: i, Worker: worker.ID(w + 1), Label: label})
+		}
+	}
+	return votes, truth
+}
+
+func TestKOSBeatsMajorityWithAdversaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// 30 workers: adversaries, spammers and a reliable majority-by-skill.
+	// The crowd is net-informative (mean accuracy > 1/2) — KOS's standing
+	// assumption — but noisy enough that plain majority voting suffers.
+	var acc []float64
+	for i := 0; i < 6; i++ {
+		acc = append(acc, 0.1)
+	}
+	for i := 0; i < 10; i++ {
+		acc = append(acc, 0.5)
+	}
+	for i := 0; i < 14; i++ {
+		acc = append(acc, 0.9)
+	}
+	votes, truth := synthVotes(rng, 300, 7, acc)
+
+	maj := LabelAccuracy(MajorityLabels(votes), truth)
+	kos := LabelAccuracy(KOS(votes, 10, rand.New(rand.NewSource(8))).Labels, truth)
+	if kos < maj {
+		t.Fatalf("KOS accuracy %.3f below majority vote %.3f", kos, maj)
+	}
+	if kos < 0.85 {
+		t.Fatalf("KOS accuracy %.3f, want >= 0.85 in the adversarial regime", kos)
+	}
+}
+
+func TestKOSReliabilitySignSeparatesWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	acc := []float64{0.95, 0.95, 0.95, 0.95, 0.95, 0.05, 0.05, 0.05}
+	votes, _ := synthVotes(rng, 200, 5, acc)
+	res := KOS(votes, 10, nil)
+	for w := worker.ID(1); w <= 5; w++ {
+		if res.Reliability[w] <= 0 {
+			t.Errorf("good worker %d reliability %.3f, want > 0", w, res.Reliability[w])
+		}
+	}
+	for w := worker.ID(6); w <= 8; w++ {
+		if res.Reliability[w] >= 0 {
+			t.Errorf("adversarial worker %d reliability %.3f, want < 0", w, res.Reliability[w])
+		}
+	}
+}
+
+func TestKOSUnanimousVotes(t *testing.T) {
+	votes := []Vote{
+		{Item: 0, Worker: 1, Label: 1},
+		{Item: 0, Worker: 2, Label: 1},
+		{Item: 1, Worker: 1, Label: 0},
+		{Item: 1, Worker: 2, Label: 0},
+	}
+	res := KOS(votes, 10, nil)
+	if res.Labels[0] != 1 || res.Labels[1] != 0 {
+		t.Fatalf("unanimous labels = %v, want {0:1, 1:0}", res.Labels)
+	}
+}
+
+func TestKOSEmptyAndNonBinary(t *testing.T) {
+	res := KOS(nil, 10, nil)
+	if len(res.Labels) != 0 || len(res.Reliability) != 0 {
+		t.Fatal("empty votes should give empty result")
+	}
+	// Non-binary labels are ignored entirely.
+	res = KOS([]Vote{{Item: 0, Worker: 1, Label: 3}}, 10, nil)
+	if len(res.Labels) != 0 {
+		t.Fatalf("non-binary votes should be ignored, got labels %v", res.Labels)
+	}
+}
+
+func TestKOSSingleVotePerItem(t *testing.T) {
+	// With one vote per item there is no redundancy: KOS must still return
+	// a label per item (the lone vote).
+	votes := []Vote{
+		{Item: 0, Worker: 1, Label: 1},
+		{Item: 1, Worker: 2, Label: 0},
+	}
+	res := KOS(votes, 10, nil)
+	if res.Labels[0] != 1 || res.Labels[1] != 0 {
+		t.Fatalf("single-vote labels = %v, want the lone votes", res.Labels)
+	}
+}
+
+func TestKOSMatchesMajorityWhenAllReliable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	acc := make([]float64, 12)
+	for i := range acc {
+		acc[i] = 0.92
+	}
+	votes, truth := synthVotes(rng, 150, 5, acc)
+	maj := LabelAccuracy(MajorityLabels(votes), truth)
+	kos := LabelAccuracy(KOS(votes, 10, nil).Labels, truth)
+	if kos < maj-0.02 {
+		t.Fatalf("KOS %.3f materially below majority %.3f on an honest crowd", kos, maj)
+	}
+}
+
+func TestLabelAccuracyEdgeCases(t *testing.T) {
+	if got := LabelAccuracy(map[int]int{}, map[int]int{1: 0}); got != 0 {
+		t.Fatalf("no-overlap accuracy = %v, want 0", got)
+	}
+	if got := LabelAccuracy(map[int]int{1: 0, 2: 1}, map[int]int{1: 0}); got != 1 {
+		t.Fatalf("accuracy = %v, want 1 (extra estimates ignored)", got)
+	}
+}
+
+func TestMajorityLabelsTieBreaksLow(t *testing.T) {
+	votes := []Vote{
+		{Item: 0, Worker: 1, Label: 1},
+		{Item: 0, Worker: 2, Label: 0},
+	}
+	if got := MajorityLabels(votes)[0]; got != 0 {
+		t.Fatalf("tie broke to %d, want 0 (lowest class)", got)
+	}
+}

@@ -1,0 +1,159 @@
+package quality
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// randomVotes builds an arbitrary binary vote set from quick-check inputs.
+func randomVotes(seed int64, items, workers, n uint8) []Vote {
+	rng := rand.New(rand.NewSource(seed))
+	ni := int(items%20) + 2
+	nw := int(workers%10) + 2
+	out := make([]Vote, int(n)+5)
+	for i := range out {
+		out[i] = Vote{
+			Item:   rng.Intn(ni),
+			Worker: worker.ID(rng.Intn(nw) + 1),
+			Label:  rng.Intn(2),
+		}
+	}
+	return out
+}
+
+func TestMajorityPermutationInvarianceProperty(t *testing.T) {
+	f := func(seed int64, items, workers, n uint8) bool {
+		votes := randomVotes(seed, items, workers, n)
+		a := MajorityLabels(votes)
+		// Shuffle and recompute: order must not matter.
+		rng := rand.New(rand.NewSource(seed + 1))
+		shuffled := append([]Vote(nil), votes...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		b := MajorityLabels(shuffled)
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKOSFlipSymmetry(t *testing.T) {
+	// Flipping every vote label flips every consensus label. This holds on
+	// tie-free instances (deterministic tie-breaking cannot be symmetric),
+	// so build one: 200 items, 5 distinct voters each with odd redundancy,
+	// all drawn from a 0.9-accuracy crowd.
+	rng := rand.New(rand.NewSource(13))
+	votes, _ := synthVotes(rng, 200, 5, []float64{
+		0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9,
+	})
+	flipped := make([]Vote, len(votes))
+	for i, v := range votes {
+		v.Label = 1 - v.Label
+		flipped[i] = v
+	}
+	a := KOS(votes, 10, nil).Labels
+	b := KOS(flipped, 10, nil).Labels
+	if len(a) != len(b) {
+		t.Fatalf("label counts differ: %d vs %d", len(a), len(b))
+	}
+	for item, l := range a {
+		if b[item] != 1-l {
+			t.Fatalf("item %d: label %d did not flip (got %d)", item, l, b[item])
+		}
+	}
+}
+
+func TestKOSCoversEveryVotedItemProperty(t *testing.T) {
+	f := func(seed int64, items, workers, n uint8) bool {
+		votes := randomVotes(seed, items, workers, n)
+		res := KOS(votes, 10, nil)
+		seen := map[int]bool{}
+		for _, v := range votes {
+			seen[v.Item] = true
+		}
+		if len(res.Labels) != len(seen) {
+			return false
+		}
+		for item := range seen {
+			if l, ok := res.Labels[item]; !ok || (l != 0 && l != 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMUnanimityProperty(t *testing.T) {
+	// When every vote on an item carries the same label, EM must return
+	// that label.
+	f := func(seed int64, items, workers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ni := int(items%15) + 1
+		nw := int(workers%6) + 2
+		var votes []Vote
+		want := make(map[int]int, ni)
+		for i := 0; i < ni; i++ {
+			want[i] = rng.Intn(2)
+			for w := 1; w <= nw; w++ {
+				votes = append(votes, Vote{Item: i, Worker: worker.ID(w), Label: want[i]})
+			}
+		}
+		res := EstimateAccuracy(votes, 2, 20)
+		for i, l := range want {
+			if res.Labels[i] != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMAccuraciesInUnitIntervalProperty(t *testing.T) {
+	f := func(seed int64, items, workers, n uint8) bool {
+		votes := randomVotes(seed, items, workers, n)
+		res := EstimateAccuracy(votes, 2, 20)
+		for _, a := range res.Accuracies {
+			if a < 0 || a > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgreementInUnitIntervalProperty(t *testing.T) {
+	f := func(seed int64, items, workers, n uint8) bool {
+		votes := randomVotes(seed, items, workers, n)
+		for _, rate := range Agreement(votes) {
+			if rate < 0 || rate > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

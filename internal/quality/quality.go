@@ -1,0 +1,273 @@
+// Package quality implements redundancy-based quality control for crowd
+// labels: majority voting over a task's quorum of answers, worker accuracy
+// estimation via EM (a simplified Dawid–Skene model, in the spirit of
+// Ipeirotis et al.'s quality management), and inter-worker agreement — the
+// signal the paper suggests for quality-aware pool maintenance (§4.2
+// Extensions). CLAMShell's straggler mitigation is deliberately decoupled
+// from these mechanisms; this package only aggregates completed answers.
+package quality
+
+import (
+	"math"
+
+	"github.com/clamshell/clamshell/internal/task"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// MajorityVote returns the per-record plurality label over the task's
+// answers. Ties break toward the lowest class index (deterministic). Records
+// with no answers get -1.
+func MajorityVote(t *task.Task) []int {
+	out := make([]int, t.Records)
+	for r := 0; r < t.Records; r++ {
+		counts := make(map[int]int)
+		for _, a := range t.Answers() {
+			if r < len(a.Labels) {
+				counts[a.Labels[r]]++
+			}
+		}
+		out[r] = argmaxCount(counts)
+	}
+	return out
+}
+
+// WeightedVote returns per-record labels where each worker's vote is
+// weighted by the given worker weights (e.g. EM-estimated accuracies).
+// Missing weights default to 1. Records with no answers get -1.
+func WeightedVote(t *task.Task, weights map[worker.ID]float64) []int {
+	out := make([]int, t.Records)
+	for r := 0; r < t.Records; r++ {
+		scores := make(map[int]float64)
+		for _, a := range t.Answers() {
+			if r >= len(a.Labels) {
+				continue
+			}
+			w, ok := weights[a.Worker]
+			if !ok {
+				w = 1
+			}
+			scores[a.Labels[r]] += w
+		}
+		out[r] = argmaxScore(scores)
+	}
+	return out
+}
+
+func argmaxCount(counts map[int]int) int {
+	best, bestN := -1, 0
+	for label, n := range counts {
+		if n > bestN || (n == bestN && best != -1 && label < best) {
+			best, bestN = label, n
+		}
+	}
+	return best
+}
+
+func argmaxScore(scores map[int]float64) int {
+	best := -1
+	bestS := math.Inf(-1)
+	for label, s := range scores {
+		if s > bestS || (s == bestS && best != -1 && label < best) {
+			best, bestS = label, s
+		}
+	}
+	return best
+}
+
+// Vote is one worker's label for one item, the unit of evidence for the EM
+// estimator. Items are identified by an opaque index so callers can flatten
+// task records however they like.
+type Vote struct {
+	Item   int
+	Worker worker.ID
+	Label  int
+}
+
+// EMResult is the output of EstimateAccuracy: a consensus label per item and
+// an estimated accuracy per worker.
+type EMResult struct {
+	Labels     map[int]int           // item -> consensus label
+	Accuracies map[worker.ID]float64 // worker -> estimated accuracy
+	Iterations int                   // EM iterations performed
+}
+
+// EstimateAccuracy runs EM over votes: the E-step infers per-item label
+// posteriors from current worker accuracies; the M-step re-estimates each
+// worker's accuracy against the posterior consensus. This is the symmetric-
+// confusion simplification of Dawid–Skene that redundancy-based crowd
+// systems typically deploy. classes is the number of label classes;
+// maxIter bounds the EM loop (20 is plenty in practice).
+func EstimateAccuracy(votes []Vote, classes, maxIter int) EMResult {
+	if classes < 2 {
+		classes = 2
+	}
+	if maxIter < 1 {
+		maxIter = 1
+	}
+	byItem := make(map[int][]Vote)
+	workers := make(map[worker.ID][]Vote)
+	for _, v := range votes {
+		byItem[v.Item] = append(byItem[v.Item], v)
+		workers[v.Worker] = append(workers[v.Worker], v)
+	}
+
+	acc := make(map[worker.ID]float64, len(workers))
+	for w := range workers {
+		acc[w] = 0.8 // optimistic prior: most crowd workers try
+	}
+
+	posterior := make(map[int][]float64, len(byItem))
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+		// E-step: per-item label posterior given worker accuracies.
+		for item, vs := range byItem {
+			probs := make([]float64, classes)
+			for c := range probs {
+				logp := 0.0
+				for _, v := range vs {
+					a := clampProb(acc[v.Worker])
+					if v.Label == c {
+						logp += math.Log(a)
+					} else {
+						logp += math.Log((1 - a) / float64(classes-1))
+					}
+				}
+				probs[c] = logp
+			}
+			normalizeLog(probs)
+			posterior[item] = probs
+		}
+		// M-step: worker accuracy = expected fraction of posterior-correct
+		// votes, with Laplace smoothing so nobody hits exactly 0 or 1.
+		changed := false
+		for w, vs := range workers {
+			num, den := 1.0, 2.0 // Laplace(1,1)
+			for _, v := range vs {
+				num += posterior[v.Item][v.Label]
+				den += 1
+			}
+			next := num / den
+			if math.Abs(next-acc[w]) > 1e-6 {
+				changed = true
+			}
+			acc[w] = next
+		}
+		if !changed {
+			break
+		}
+	}
+
+	labels := make(map[int]int, len(byItem))
+	for item, probs := range posterior {
+		best, bestP := 0, probs[0]
+		for c := 1; c < classes; c++ {
+			if probs[c] > bestP {
+				best, bestP = c, probs[c]
+			}
+		}
+		labels[item] = best
+	}
+	return EMResult{Labels: labels, Accuracies: acc, Iterations: iters}
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-4
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+// normalizeLog converts log scores in place to a normalized probability
+// vector using the log-sum-exp trick.
+func normalizeLog(logp []float64) {
+	max := logp[0]
+	for _, x := range logp[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	sum := 0.0
+	for i := range logp {
+		logp[i] = math.Exp(logp[i] - max)
+		sum += logp[i]
+	}
+	for i := range logp {
+		logp[i] /= sum
+	}
+}
+
+// Agreement returns each worker's inter-worker agreement rate: the fraction
+// of their votes matching the majority of the other votes on the same item.
+// Workers whose items have no other votes get agreement 1 (no evidence
+// against them). This is the cheap quality proxy the paper's pool-
+// maintenance extension suggests (Callison-Burch-style agreement).
+func Agreement(votes []Vote) map[worker.ID]float64 {
+	byItem := make(map[int][]Vote)
+	for _, v := range votes {
+		byItem[v.Item] = append(byItem[v.Item], v)
+	}
+	match := make(map[worker.ID]float64)
+	total := make(map[worker.ID]float64)
+	for _, vs := range byItem {
+		for i, v := range vs {
+			counts := make(map[int]int)
+			maxN := 0
+			for j, o := range vs {
+				if i != j {
+					counts[o.Label]++
+					if counts[o.Label] > maxN {
+						maxN = counts[o.Label]
+					}
+				}
+			}
+			if len(counts) == 0 {
+				continue
+			}
+			total[v.Worker]++
+			// A worker agrees when their label is among the plurality
+			// labels of the remaining votes (ties count as agreement).
+			if counts[v.Label] == maxN {
+				match[v.Worker]++
+			}
+		}
+	}
+	out := make(map[worker.ID]float64)
+	for _, v := range votes {
+		if total[v.Worker] == 0 {
+			out[v.Worker] = 1
+			continue
+		}
+		out[v.Worker] = match[v.Worker] / total[v.Worker]
+	}
+	return out
+}
+
+// VotesFromTasks flattens completed tasks into per-record votes for the EM
+// estimator. Record r of task t becomes item t.ID*stride + r, where stride
+// is the maximum record count across tasks.
+func VotesFromTasks(tasks []*task.Task) ([]Vote, int) {
+	stride := 1
+	for _, t := range tasks {
+		if t.Records > stride {
+			stride = t.Records
+		}
+	}
+	var votes []Vote
+	for _, t := range tasks {
+		for _, a := range t.Answers() {
+			for r, label := range a.Labels {
+				votes = append(votes, Vote{
+					Item:   int(t.ID)*stride + r,
+					Worker: a.Worker,
+					Label:  label,
+				})
+			}
+		}
+	}
+	return votes, stride
+}

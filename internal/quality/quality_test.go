@@ -1,0 +1,221 @@
+package quality
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/task"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// answeredTask builds a completed quorum task with the given answer matrix
+// (one row per worker).
+func answeredTask(t *testing.T, records int, answers [][]int) *task.Task {
+	t.Helper()
+	tk := task.New(1, records, make([]int, records), 4, len(answers))
+	for i, labels := range answers {
+		tk.AssignmentStarted()
+		tk.AssignmentEnded(&task.Answer{Worker: worker.ID(i + 1), Labels: labels})
+	}
+	return tk
+}
+
+func TestMajorityVote(t *testing.T) {
+	tk := answeredTask(t, 3, [][]int{
+		{0, 1, 2},
+		{0, 1, 3},
+		{1, 1, 3},
+	})
+	got := MajorityVote(tk)
+	want := []int{0, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MajorityVote = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMajorityVoteTieBreaksLow(t *testing.T) {
+	tk := answeredTask(t, 1, [][]int{{2}, {0}})
+	if got := MajorityVote(tk); got[0] != 0 {
+		t.Fatalf("tie broke to %d, want 0", got[0])
+	}
+}
+
+func TestMajorityVoteNoAnswers(t *testing.T) {
+	tk := task.New(1, 2, []int{0, 0}, 2, 1)
+	got := MajorityVote(tk)
+	if got[0] != -1 || got[1] != -1 {
+		t.Fatalf("unanswered records = %v, want -1s", got)
+	}
+}
+
+func TestWeightedVoteOverridesMajority(t *testing.T) {
+	tk := answeredTask(t, 1, [][]int{{1}, {1}, {0}})
+	weights := map[worker.ID]float64{1: 0.1, 2: 0.1, 3: 0.9}
+	if got := WeightedVote(tk, weights); got[0] != 0 {
+		t.Fatalf("weighted vote = %d, want trusted worker's 0", got[0])
+	}
+	// Without weights it's plain majority.
+	if got := WeightedVote(tk, nil); got[0] != 1 {
+		t.Fatalf("unweighted vote = %d, want 1", got[0])
+	}
+}
+
+func TestEstimateAccuracyRecoversGoodAndBadWorkers(t *testing.T) {
+	rng := stats.NewRand(5)
+	const items = 300
+	truth := make([]int, items)
+	for i := range truth {
+		truth[i] = rng.Intn(2)
+	}
+	// Workers 1-3: 95% accurate. Worker 4: 55% (barely better than coin).
+	accs := map[worker.ID]float64{1: 0.95, 2: 0.95, 3: 0.95, 4: 0.55}
+	var votes []Vote
+	for w, acc := range accs {
+		for i, tr := range truth {
+			label := tr
+			if !stats.Bernoulli(rng, acc) {
+				label = 1 - tr
+			}
+			votes = append(votes, Vote{Item: i, Worker: w, Label: label})
+		}
+	}
+	res := EstimateAccuracy(votes, 2, 20)
+	correct := 0
+	for i, tr := range truth {
+		if res.Labels[i] == tr {
+			correct++
+		}
+	}
+	if frac := float64(correct) / items; frac < 0.97 {
+		t.Fatalf("consensus accuracy = %v, want >= 0.97", frac)
+	}
+	if res.Accuracies[1] < 0.85 {
+		t.Fatalf("good worker estimated at %v", res.Accuracies[1])
+	}
+	if res.Accuracies[4] > 0.75 {
+		t.Fatalf("bad worker estimated at %v", res.Accuracies[4])
+	}
+	if res.Iterations < 1 {
+		t.Fatal("no EM iterations recorded")
+	}
+}
+
+func TestEstimateAccuracyEmptyVotes(t *testing.T) {
+	res := EstimateAccuracy(nil, 2, 10)
+	if len(res.Labels) != 0 || len(res.Accuracies) != 0 {
+		t.Fatal("empty input should produce empty result")
+	}
+}
+
+func TestEstimateAccuracyClampsArgs(t *testing.T) {
+	votes := []Vote{{Item: 0, Worker: 1, Label: 0}}
+	res := EstimateAccuracy(votes, 0, 0) // classes, maxIter both clamped
+	if res.Labels[0] != 0 {
+		t.Fatalf("label = %d", res.Labels[0])
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	votes := []Vote{
+		{Item: 0, Worker: 1, Label: 0},
+		{Item: 0, Worker: 2, Label: 0},
+		{Item: 0, Worker: 3, Label: 1},
+		{Item: 1, Worker: 1, Label: 1},
+		{Item: 1, Worker: 2, Label: 1},
+		{Item: 1, Worker: 3, Label: 0},
+	}
+	ag := Agreement(votes)
+	if ag[1] != 1 || ag[2] != 1 {
+		t.Fatalf("agreeing workers = %v/%v, want 1/1", ag[1], ag[2])
+	}
+	if ag[3] != 0 {
+		t.Fatalf("dissenter agreement = %v, want 0", ag[3])
+	}
+}
+
+func TestAgreementSingleton(t *testing.T) {
+	ag := Agreement([]Vote{{Item: 0, Worker: 1, Label: 3}})
+	if ag[1] != 1 {
+		t.Fatalf("singleton agreement = %v, want 1 (no evidence)", ag[1])
+	}
+}
+
+func TestVotesFromTasks(t *testing.T) {
+	t1 := task.New(1, 2, []int{0, 0}, 2, 1)
+	t1.AssignmentStarted()
+	t1.AssignmentEnded(&task.Answer{Worker: 7, Labels: []int{0, 1}})
+	t2 := task.New(2, 1, []int{0}, 2, 1)
+	t2.AssignmentStarted()
+	t2.AssignmentEnded(&task.Answer{Worker: 8, Labels: []int{1}})
+
+	votes, stride := VotesFromTasks([]*task.Task{t1, t2})
+	if stride != 2 {
+		t.Fatalf("stride = %d, want 2", stride)
+	}
+	if len(votes) != 3 {
+		t.Fatalf("votes = %d, want 3", len(votes))
+	}
+	// Distinct items for distinct records.
+	seen := map[int]bool{}
+	for _, v := range votes {
+		key := v.Item
+		if seen[key] {
+			t.Fatal("item collision")
+		}
+		seen[key] = true
+	}
+}
+
+// Property: with unanimous votes, majority, weighted and EM all return the
+// unanimous label.
+func TestPropertyUnanimousConsensus(t *testing.T) {
+	f := func(label uint8, nWorkers uint8, classes8 uint8) bool {
+		classes := int(classes8%6) + 2
+		l := int(label) % classes
+		n := int(nWorkers%5) + 1
+		tk := task.New(1, 1, []int{0}, classes, n)
+		var votes []Vote
+		for i := 0; i < n; i++ {
+			tk.AssignmentStarted()
+			tk.AssignmentEnded(&task.Answer{Worker: worker.ID(i + 1), Labels: []int{l}})
+			votes = append(votes, Vote{Item: 0, Worker: worker.ID(i + 1), Label: l})
+		}
+		if MajorityVote(tk)[0] != l {
+			return false
+		}
+		if WeightedVote(tk, nil)[0] != l {
+			return false
+		}
+		res := EstimateAccuracy(votes, classes, 10)
+		return res.Labels[0] == l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: agreement rates are always within [0, 1].
+func TestPropertyAgreementBounded(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var votes []Vote
+		for i, b := range raw {
+			votes = append(votes, Vote{
+				Item:   int(b % 7),
+				Worker: worker.ID(i%5 + 1),
+				Label:  int(b % 3),
+			})
+		}
+		for _, a := range Agreement(votes) {
+			if a < 0 || a > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

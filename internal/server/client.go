@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a Go client for the routing server, used by worker drivers and
+// task submitters (and by the integration tests).
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("encoding %s request: %w", path, err)
+	}
+	r, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(r.Body).Decode(&e)
+		return fmt.Errorf("%s: %s (%s)", path, r.Status, e.Error)
+	}
+	if resp != nil {
+		return json.NewDecoder(r.Body).Decode(resp)
+	}
+	return nil
+}
+
+// Join admits a worker and returns its id.
+func (c *Client) Join(name string) (int, error) {
+	var resp struct {
+		WorkerID int `json:"worker_id"`
+	}
+	err := c.post("/api/join", map[string]string{"name": name}, &resp)
+	return resp.WorkerID, err
+}
+
+// Heartbeat keeps the worker alive while waiting.
+func (c *Client) Heartbeat(workerID int) error {
+	return c.post("/api/heartbeat", map[string]int{"worker_id": workerID}, nil)
+}
+
+// Leave removes the worker from the pool.
+func (c *Client) Leave(workerID int) error {
+	return c.post("/api/leave", map[string]int{"worker_id": workerID}, nil)
+}
+
+// SubmitTasks enqueues tasks and returns their ids.
+func (c *Client) SubmitTasks(tasks []TaskSpec) ([]int, error) {
+	var resp struct {
+		TaskIDs []int `json:"task_ids"`
+	}
+	err := c.post("/api/tasks", map[string][]TaskSpec{"tasks": tasks}, &resp)
+	return resp.TaskIDs, err
+}
+
+// Assignment is a unit of work handed to a worker.
+type Assignment struct {
+	TaskID  int      `json:"task_id"`
+	Records []string `json:"records"`
+	Classes int      `json:"classes"`
+}
+
+// FetchTask polls for work. ok is false when no work is available yet.
+func (c *Client) FetchTask(workerID int) (a Assignment, ok bool, err error) {
+	r, err := c.HTTP.Get(fmt.Sprintf("%s/api/task?worker_id=%d", c.BaseURL, workerID))
+	if err != nil {
+		return a, false, err
+	}
+	defer r.Body.Close()
+	switch r.StatusCode {
+	case http.StatusNoContent:
+		return a, false, nil
+	case http.StatusOK:
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			return a, false, fmt.Errorf("decoding assignment: %w", err)
+		}
+		return a, true, nil
+	default:
+		return a, false, fmt.Errorf("fetch task: %s", r.Status)
+	}
+}
+
+// Submit sends a completed assignment. terminated reports that the task had
+// already been completed by a faster worker (the work is still paid).
+func (c *Client) Submit(workerID, taskID int, labels []int) (accepted, terminated bool, err error) {
+	var resp struct {
+		Accepted   bool `json:"accepted"`
+		Terminated bool `json:"terminated"`
+	}
+	err = c.post("/api/submit", map[string]any{
+		"worker_id": workerID, "task_id": taskID, "labels": labels,
+	}, &resp)
+	return resp.Accepted, resp.Terminated, err
+}
+
+// Result fetches a task's status and consensus labels.
+func (c *Client) Result(taskID int) (TaskStatus, error) {
+	var st TaskStatus
+	r, err := c.HTTP.Get(fmt.Sprintf("%s/api/result?task_id=%d", c.BaseURL, taskID))
+	if err != nil {
+		return st, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("result: %s", r.Status)
+	}
+	err = json.NewDecoder(r.Body).Decode(&st)
+	return st, err
+}
+
+// Workers fetches per-worker statistics.
+func (c *Client) Workers() ([]WorkerStats, error) {
+	var out []WorkerStats
+	r, err := c.HTTP.Get(c.BaseURL + "/api/workers")
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("workers: %s", r.Status)
+	}
+	err = json.NewDecoder(r.Body).Decode(&out)
+	return out, err
+}
+
+// Costs fetches the accumulated spend in dollars, by component.
+func (c *Client) Costs() (map[string]float64, error) {
+	var out map[string]float64
+	r, err := c.HTTP.Get(c.BaseURL + "/api/costs")
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("costs: %s", r.Status)
+	}
+	err = json.NewDecoder(r.Body).Decode(&out)
+	return out, err
+}
+
+// Snapshot downloads the server's durable state as JSON.
+func (c *Client) Snapshot() ([]byte, error) {
+	r, err := c.HTTP.Get(c.BaseURL + "/api/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("snapshot: %s", r.Status)
+	}
+	return io.ReadAll(r.Body)
+}
+
+// Restore uploads a snapshot, replacing the server's durable state.
+func (c *Client) Restore(data []byte) error {
+	r, err := c.HTTP.Post(c.BaseURL+"/api/restore", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(r.Body).Decode(&e)
+		return fmt.Errorf("restore: %s (%s)", r.Status, e.Error)
+	}
+	return nil
+}
+
+// Metricsz fetches the Prometheus-format metrics page.
+func (c *Client) Metricsz() (string, error) {
+	r, err := c.HTTP.Get(c.BaseURL + "/api/metricsz")
+	if err != nil {
+		return "", err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metricsz: %s", r.Status)
+	}
+	b, err := io.ReadAll(r.Body)
+	return string(b), err
+}
+
+// Status fetches pool and queue health counters.
+func (c *Client) Status() (map[string]int, error) {
+	var st map[string]int
+	r, err := c.HTTP.Get(c.BaseURL + "/api/status")
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status: %s", r.Status)
+	}
+	err = json.NewDecoder(r.Body).Decode(&st)
+	return st, err
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/clamshell/clamshell/internal/quality"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// Cross-task consensus: GET /api/consensus?estimator=majority|em|kos
+// aggregates every answer on the server into one vote graph and returns
+// per-task consensus labels under the chosen estimator. Unlike
+// /api/result, which aggregates each task's own quorum in isolation, the
+// graph estimators (EM, KOS) pool evidence across tasks: a worker who
+// disagrees with consensus everywhere is down-weighted everywhere, which
+// is what makes them robust to spammers and adversaries.
+
+// ConsensusResponse is the payload of GET /api/consensus.
+type ConsensusResponse struct {
+	Estimator string `json:"estimator"`
+	// Labels maps task id -> per-record consensus labels (-1 for records
+	// with no votes yet).
+	Labels map[int][]int `json:"labels"`
+	// WorkerScores is the estimator's per-worker signal: estimated accuracy
+	// for "em", reliability (negative = adversarial) for "kos". Empty for
+	// "majority".
+	WorkerScores map[int]float64 `json:"worker_scores,omitempty"`
+}
+
+// handleConsensus aggregates all answers under the requested estimator.
+func (s *Server) handleConsensus(w http.ResponseWriter, r *http.Request) {
+	estimator := r.URL.Query().Get("estimator")
+	if estimator == "" {
+		estimator = "majority"
+	}
+
+	s.mu.Lock()
+	votes, stride, classes := s.voteGraph()
+	order := append([]int(nil), s.order...)
+	records := make(map[int]int, len(s.tasks))
+	for id, u := range s.tasks {
+		records[id] = len(u.spec.Records)
+	}
+	seed := int64(s.nextTask)*1e6 + int64(len(votes))
+	s.mu.Unlock()
+
+	var labels map[int]int
+	scores := map[int]float64{}
+	switch estimator {
+	case "majority":
+		labels = quality.MajorityLabels(votes)
+	case "em":
+		res := quality.EstimateAccuracy(votes, classes, 20)
+		labels = res.Labels
+		for id, a := range res.Accuracies {
+			scores[int(id)] = a
+		}
+	case "kos":
+		if classes > 2 {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("kos estimator requires binary tasks; server has %d classes", classes))
+			return
+		}
+		res := quality.KOS(votes, 10, stats.NewRand(seed))
+		labels = res.Labels
+		for id, rel := range res.Reliability {
+			scores[int(id)] = rel
+		}
+	default:
+		writeErr(w, http.StatusBadRequest,
+			errors.New("unknown estimator (want majority, em or kos)"))
+		return
+	}
+
+	resp := ConsensusResponse{Estimator: estimator, Labels: make(map[int][]int, len(order))}
+	for _, tid := range order {
+		n := records[tid]
+		out := make([]int, n)
+		any := false
+		for rec := 0; rec < n; rec++ {
+			if l, ok := labels[tid*stride+rec]; ok {
+				out[rec] = l
+				any = true
+			} else {
+				out[rec] = -1
+			}
+		}
+		if any {
+			resp.Labels[tid] = out
+		}
+	}
+	if estimator != "majority" {
+		resp.WorkerScores = scores
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// voteGraph flattens every answer on the server into per-record votes.
+// Record rec of task tid becomes item tid*stride + rec. Callers hold mu.
+func (s *Server) voteGraph() (votes []quality.Vote, stride, classes int) {
+	stride = 1
+	classes = 2
+	for _, u := range s.tasks {
+		if len(u.spec.Records) > stride {
+			stride = len(u.spec.Records)
+		}
+		if u.spec.Classes > classes {
+			classes = u.spec.Classes
+		}
+	}
+	for _, tid := range s.order {
+		u := s.tasks[tid]
+		for i, ans := range u.answers {
+			voter := u.voters[i]
+			for rec, label := range ans {
+				votes = append(votes, quality.Vote{
+					Item:   tid*stride + rec,
+					Worker: worker.ID(voter),
+					Label:  label,
+				})
+			}
+		}
+	}
+	return votes, stride, classes
+}
+
+// Consensus fetches cross-task consensus labels from the server under the
+// given estimator ("majority", "em" or "kos").
+func (c *Client) Consensus(estimator string) (ConsensusResponse, error) {
+	var out ConsensusResponse
+	r, err := c.HTTP.Get(c.BaseURL + "/api/consensus?estimator=" + estimator)
+	if err != nil {
+		return out, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("consensus: %s", r.Status)
+	}
+	// encoding/json round-trips int-keyed maps as quoted integer keys.
+	err = json.NewDecoder(r.Body).Decode(&out)
+	return out, err
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/metrics"
+)
+
+// accountingT aliases metrics.Accounting (see Server.costs).
+type accountingT = metrics.Accounting
+
+// Live-server cost accounting, mirroring the simulator's: retained workers
+// accrue wait pay while idle, record pay on completed work, and terminated
+// (straggled) submissions are still paid.
+
+// CostConfig sets the live pay rates. Zero values select the paper's
+// defaults ($0.05/min wait, $0.02/record).
+type CostConfig struct {
+	WaitPayPerMin metrics.Cost
+	RecordPay     metrics.Cost
+}
+
+func (c *CostConfig) fillDefaults() {
+	if c.WaitPayPerMin == 0 {
+		c.WaitPayPerMin = metrics.Cents(5)
+	}
+	if c.RecordPay == 0 {
+		c.RecordPay = metrics.Cents(2)
+	}
+}
+
+// settleWait accrues wait pay for a worker's idle span ending now. Callers
+// hold mu. Wait starts at join and restarts at each submit; fetching a task
+// ends the waiting span.
+func (s *Server) settleWait(pw *poolWorker) {
+	now := s.cfg.Now()
+	if !pw.waitStart.IsZero() && now.After(pw.waitStart) {
+		s.costs.WaitPay += metrics.PerMinute(s.cfg.Costs.WaitPayPerMin, now.Sub(pw.waitStart))
+	}
+	pw.waitStart = time.Time{}
+}
+
+// startWait begins an idle span for the worker. Callers hold mu.
+func (s *Server) startWait(pw *poolWorker) {
+	pw.waitStart = s.cfg.Now()
+}
+
+// payWork credits record pay for a submission (terminated submissions are
+// paid under TerminatedPay). Callers hold mu.
+func (s *Server) payWork(records int, terminated bool) {
+	amount := s.cfg.Costs.RecordPay * metrics.Cost(records)
+	if terminated {
+		s.costs.TerminatedPay += amount
+	} else {
+		s.costs.WorkPay += amount
+	}
+}
+
+// handleCosts reports the accumulated spend, including wait pay accrued up
+// to now for currently idle workers.
+func (s *Server) handleCosts(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acct := s.costs
+	now := s.cfg.Now()
+	for _, pw := range s.workers {
+		if !pw.waitStart.IsZero() && now.After(pw.waitStart) {
+			acct.WaitPay += metrics.PerMinute(s.cfg.Costs.WaitPayPerMin, now.Sub(pw.waitStart))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{
+		"wait_pay_dollars":       acct.WaitPay.Dollars(),
+		"work_pay_dollars":       acct.WorkPay.Dollars(),
+		"terminated_pay_dollars": acct.TerminatedPay.Dollars(),
+		"total_dollars":          acct.Total().Dollars(),
+	})
+}

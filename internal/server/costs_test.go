@@ -1,0 +1,95 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func fetchCosts(t *testing.T, c *Client) map[string]float64 {
+	t.Helper()
+	r, err := c.HTTP.Get(c.BaseURL + "/api/costs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var out map[string]float64
+	if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCostsWaitPayAccrues(t *testing.T) {
+	now := time.Date(2015, 9, 20, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	c, _ := newTestServer(t, Config{Now: clock})
+	c.Join("idler")
+	now = now.Add(10 * time.Minute)
+	costs := fetchCosts(t, c)
+	// $.05/min x 10 min = $0.50.
+	if math.Abs(costs["wait_pay_dollars"]-0.5) > 1e-6 {
+		t.Fatalf("wait pay = %v, want 0.5", costs["wait_pay_dollars"])
+	}
+}
+
+func TestCostsWorkAndTerminatedPay(t *testing.T) {
+	now := time.Date(2015, 9, 20, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	c, _ := newTestServer(t, Config{Now: clock, SpeculationLimit: 1})
+	ids, _ := c.SubmitTasks([]TaskSpec{{Records: []string{"a", "b", "c"}, Classes: 2}})
+
+	w1, _ := c.Join("winner")
+	w2, _ := c.Join("loser")
+	c.FetchTask(w1)
+	c.FetchTask(w2) // speculative duplicate
+	c.Submit(w1, ids[0], []int{0, 1, 0})
+	c.Submit(w2, ids[0], []int{1, 1, 1}) // terminated but paid
+
+	costs := fetchCosts(t, c)
+	// 3 records at $.02 each, for both completed and terminated.
+	if math.Abs(costs["work_pay_dollars"]-0.06) > 1e-6 {
+		t.Fatalf("work pay = %v, want 0.06", costs["work_pay_dollars"])
+	}
+	if math.Abs(costs["terminated_pay_dollars"]-0.06) > 1e-6 {
+		t.Fatalf("terminated pay = %v, want 0.06", costs["terminated_pay_dollars"])
+	}
+	if costs["total_dollars"] < costs["work_pay_dollars"]+costs["terminated_pay_dollars"]-1e-9 {
+		t.Fatal("total below components")
+	}
+}
+
+func TestCostsWaitPausesWhileWorking(t *testing.T) {
+	now := time.Date(2015, 9, 20, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	c, _ := newTestServer(t, Config{Now: clock})
+	ids, _ := c.SubmitTasks([]TaskSpec{{Records: []string{"a"}, Classes: 2}})
+	w, _ := c.Join("worker")
+	now = now.Add(2 * time.Minute) // waits 2 min
+	c.FetchTask(w)
+	now = now.Add(30 * time.Minute) // works 30 min: NOT wait-paid
+	c.Submit(w, ids[0], []int{0})
+	now = now.Add(1 * time.Minute) // waits 1 min after
+	costs := fetchCosts(t, c)
+	// 3 minutes of waiting at $.05 = $0.15; plus $0.02 work pay.
+	if math.Abs(costs["wait_pay_dollars"]-0.15) > 1e-6 {
+		t.Fatalf("wait pay = %v, want 0.15 (work time must not accrue)", costs["wait_pay_dollars"])
+	}
+}
+
+func TestCostsCustomRates(t *testing.T) {
+	now := time.Date(2015, 9, 20, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	srv := New(Config{Now: clock, Costs: CostConfig{
+		WaitPayPerMin: 10_000,  // $0.01/min
+		RecordPay:     100_000, // $0.10/record
+	}})
+	_ = srv
+	// Rates validated through the default-fill path.
+	var cc CostConfig
+	cc.fillDefaults()
+	if cc.WaitPayPerMin.Dollars() != 0.05 || cc.RecordPay.Dollars() != 0.02 {
+		t.Fatalf("defaults wrong: %v %v", cc.WaitPayPerMin, cc.RecordPay)
+	}
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Server-side pool maintenance: the live counterpart of the simulator's
+// Maintainer. The server tracks each worker's empirical per-record latency;
+// when a worker's mean is significantly above the configured threshold they
+// are retired — their next fetch returns 410 Gone and their slot leaves the
+// pool (they are not blacklisted, exactly as in the paper).
+
+// WorkerStats is the per-worker view exposed by GET /api/workers.
+type WorkerStats struct {
+	ID          int     `json:"id"`
+	Name        string  `json:"name"`
+	Completed   int     `json:"completed"`
+	MeanPerRec  float64 `json:"mean_per_record_seconds"`
+	Working     bool    `json:"working"`
+	JoinedAgoMS int64   `json:"joined_ago_ms"`
+}
+
+// observeLatency records a completed assignment's per-record latency for a
+// worker. Callers hold mu.
+func (s *Server) observeLatency(pw *poolWorker, records int, elapsed time.Duration) {
+	if records < 1 {
+		records = 1
+	}
+	perRec := elapsed.Seconds() / float64(records)
+	pw.latN++
+	pw.latSum += perRec
+	for _, q := range s.latQ {
+		q.Add(perRec)
+	}
+}
+
+// maintenanceCheck retires the worker if maintenance is enabled and their
+// empirical mean is above the threshold with enough evidence. Callers hold
+// mu. Returns true if the worker was retired.
+func (s *Server) maintenanceCheck(pw *poolWorker) bool {
+	if s.cfg.MaintenanceThreshold <= 0 || pw.latN < s.cfg.MaintenanceMinObs {
+		return false
+	}
+	if pw.latSum/float64(pw.latN) <= s.cfg.MaintenanceThreshold.Seconds() {
+		return false
+	}
+	pw.retired = true
+	s.retired[pw.id] = true
+	s.removeWorker(pw.id)
+	s.retiredCount++
+	return true
+}
+
+// handleWorkers reports per-worker statistics in join order.
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireWorkers()
+	now := s.cfg.Now()
+	out := make([]WorkerStats, 0, len(s.workers))
+	for _, pw := range s.workers {
+		ws := WorkerStats{
+			ID:          pw.id,
+			Name:        pw.name,
+			Completed:   pw.done,
+			Working:     pw.current != 0,
+			JoinedAgoMS: now.Sub(pw.joinedAt).Milliseconds(),
+		}
+		if pw.latN > 0 {
+			ws.MeanPerRec = pw.latSum / float64(pw.latN)
+		}
+		out = append(out, ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"github.com/clamshell/clamshell/internal/metrics"
+)
+
+// Durability: the server can snapshot its task queue and accounting to JSON
+// and restore it after a restart. Workers are deliberately not persisted —
+// retainer sessions are live HTTP conversations that cannot survive a
+// process restart; workers simply rejoin and the restored queue is routed
+// to them. In-flight assignments at snapshot time are likewise dropped back
+// to the queue (the same thing that happens when a worker times out), so a
+// restore never loses a task and never double-counts an answer.
+
+// snapshotVersion guards against loading snapshots from incompatible
+// builds.
+const snapshotVersion = 1
+
+type taskSnapshot struct {
+	ID      int      `json:"id"`
+	Spec    TaskSpec `json:"spec"`
+	Answers [][]int  `json:"answers,omitempty"`
+	Voters  []int    `json:"voters,omitempty"`
+	Done    bool     `json:"done"`
+}
+
+type snapshot struct {
+	Version      int                `json:"version"`
+	NextTask     int                `json:"next_task"`
+	NextWorker   int                `json:"next_worker"`
+	Terminated   int                `json:"terminated"`
+	RetiredCount int                `json:"retired_count"`
+	Retired      []int              `json:"retired,omitempty"`
+	Costs        metrics.Accounting `json:"costs"`
+	Order        []int              `json:"order,omitempty"`
+	Tasks        []taskSnapshot     `json:"tasks,omitempty"`
+}
+
+// Snapshot serializes the server's durable state (tasks, answers, counters,
+// accounting) as JSON.
+func (s *Server) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := snapshot{
+		Version:      snapshotVersion,
+		NextTask:     s.nextTask,
+		NextWorker:   s.nextWorker,
+		Terminated:   s.terminated,
+		RetiredCount: s.retiredCount,
+		Costs:        s.costs,
+		Order:        append([]int(nil), s.order...),
+	}
+	for id := range s.retired {
+		snap.Retired = append(snap.Retired, id)
+	}
+	for _, tid := range s.order {
+		u := s.tasks[tid]
+		snap.Tasks = append(snap.Tasks, taskSnapshot{
+			ID:      u.id,
+			Spec:    u.spec,
+			Answers: u.answers,
+			Voters:  u.voters,
+			Done:    u.done,
+		})
+	}
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// Restore replaces the server's durable state with a snapshot produced by
+// Snapshot. All connected workers are dropped (they rejoin); unfinished
+// tasks return to the queue.
+func (s *Server) Restore(data []byte) error {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("server: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("server: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	tasks := make(map[int]*workUnit, len(snap.Tasks))
+	for _, ts := range snap.Tasks {
+		if len(ts.Spec.Records) == 0 {
+			return fmt.Errorf("server: snapshot task %d has no records", ts.ID)
+		}
+		if len(ts.Answers) != len(ts.Voters) {
+			return fmt.Errorf("server: snapshot task %d: %d answers but %d voters",
+				ts.ID, len(ts.Answers), len(ts.Voters))
+		}
+		tasks[ts.ID] = &workUnit{
+			id:      ts.ID,
+			spec:    ts.Spec,
+			answers: ts.Answers,
+			voters:  ts.Voters,
+			active:  make(map[int]bool),
+			done:    ts.Done,
+		}
+	}
+	for _, tid := range snap.Order {
+		if _, ok := tasks[tid]; !ok {
+			return fmt.Errorf("server: snapshot order references unknown task %d", tid)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tasks = tasks
+	s.order = append([]int(nil), snap.Order...)
+	s.workers = make(map[int]*poolWorker)
+	s.nextTask = snap.NextTask
+	s.nextWorker = snap.NextWorker
+	s.terminated = snap.Terminated
+	s.retiredCount = snap.RetiredCount
+	s.retired = make(map[int]bool, len(snap.Retired))
+	for _, id := range snap.Retired {
+		s.retired[id] = true
+	}
+	s.costs = snap.Costs
+	return nil
+}
+
+// handleSnapshot serves the durable state as JSON.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	data, err := s.Snapshot()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleRestore loads durable state from the request body.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var buf json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&buf); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading snapshot body: %w", err))
+		return
+	}
+	if err := s.Restore(buf); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// startServer spins up a test server + client pair.
+func startServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, NewClient(ts.URL)
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s, c := startServer(t, Config{})
+
+	// Build up state: two tasks, one completed by a worker.
+	wid, err := c.Join("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := c.SubmitTasks([]TaskSpec{
+		{Records: []string{"r1", "r2"}, Classes: 2, Quorum: 1},
+		{Records: []string{"r3"}, Classes: 3, Quorum: 2},
+	})
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("submit: ids=%v err=%v", ids, err)
+	}
+	a, ok, err := c.FetchTask(wid)
+	if err != nil || !ok {
+		t.Fatalf("fetch: ok=%v err=%v", ok, err)
+	}
+	if _, _, err := c.Submit(wid, a.TaskID, []int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh server: tasks, answers and counters must carry
+	// over; workers must not.
+	s2, c2 := startServer(t, Config{})
+	if err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c2.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["tasks"] != 2 || st["complete"] != 1 {
+		t.Fatalf("restored status = %v, want 2 tasks / 1 complete", st)
+	}
+	if st["workers"] != 0 {
+		t.Fatalf("restored server has %d workers, want 0 (workers rejoin)", st["workers"])
+	}
+	res, err := c2.Result(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "complete" || len(res.Consensus) != 2 {
+		t.Fatalf("restored result = %+v, want complete with 2 consensus labels", res)
+	}
+
+	// The restored queue must hand out the unfinished task to a new worker.
+	wid2, err := c2.Join("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, ok, err := c2.FetchTask(wid2)
+	if err != nil || !ok {
+		t.Fatalf("fetch after restore: ok=%v err=%v", ok, err)
+	}
+	if a2.TaskID != ids[1] {
+		t.Fatalf("restored queue handed task %d, want unfinished task %d", a2.TaskID, ids[1])
+	}
+
+	// Task ids must keep counting from the snapshot's high-water mark.
+	newIDs, err := c2.SubmitTasks([]TaskSpec{{Records: []string{"x"}, Classes: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newIDs[0] <= ids[1] {
+		t.Fatalf("new task id %d not above restored high-water %d", newIDs[0], ids[1])
+	}
+	_ = s
+	_ = s2
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	s := New(Config{})
+	cases := map[string]string{
+		"not json":          "{",
+		"wrong version":     `{"version": 99}`,
+		"task no records":   `{"version":1,"tasks":[{"id":1,"spec":{"records":[],"classes":2}}]}`,
+		"answers != voters": `{"version":1,"tasks":[{"id":1,"spec":{"records":["a"],"classes":2},"answers":[[0]],"voters":[]}]}`,
+		"order unknown id":  `{"version":1,"order":[5]}`,
+	}
+	for name, body := range cases {
+		if err := s.Restore([]byte(body)); err == nil {
+			t.Errorf("%s: Restore accepted invalid snapshot", name)
+		}
+	}
+}
+
+func TestRestoreDropsInFlightAssignments(t *testing.T) {
+	_, c := startServer(t, Config{})
+	wid, _ := c.Join("w")
+	ids, _ := c.SubmitTasks([]TaskSpec{{Records: []string{"a"}, Classes: 2}})
+	if _, ok, _ := c.FetchTask(wid); !ok {
+		t.Fatal("fetch failed")
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot was taken while the task was in flight; after restore it
+	// must be unassigned, not stuck active forever.
+	_, c2 := startServer(t, Config{})
+	if err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c2.Result(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "unassigned" {
+		t.Fatalf("in-flight task restored as %q, want unassigned", res.State)
+	}
+}
+
+func TestSnapshotIsStableJSON(t *testing.T) {
+	_, c := startServer(t, Config{})
+	c.SubmitTasks([]TaskSpec{{Records: []string{"a"}, Classes: 2}})
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(snap), `"version": 1`) {
+		t.Fatalf("snapshot missing version field:\n%s", snap)
+	}
+}

@@ -1,0 +1,556 @@
+// Package server implements the live-deployment counterpart of the
+// simulator: an HTTP routing server speaking the retainer-pool protocol.
+// Workers (or worker UIs) join the pool, poll for work, and submit labels;
+// clients enqueue tasks and collect consensus results. The server applies
+// the same straggler-mitigation semantics as the simulator — when every
+// task is assigned, idle workers receive speculative duplicates of
+// in-flight tasks, the first answer wins, and late duplicates are told
+// their work was redundant (but still counted for payment).
+//
+// The protocol is deliberately plain JSON over HTTP so any crowd frontend
+// (an MTurk ExternalQuestion iframe, an internal labeling UI) can drive it.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/stats"
+)
+
+// TaskSpec is a labeling task submitted by a client.
+type TaskSpec struct {
+	Records []string `json:"records"` // payloads to label (text, image URLs, ...)
+	Classes int      `json:"classes"` // number of label classes
+	Quorum  int      `json:"quorum"`  // answers required (default 1)
+
+	// Priority orders the queue: higher-priority tasks are handed out
+	// first (FIFO within a priority). A live-mode Batcher submits its
+	// uncertainty-sampled points at high priority and passive fill at
+	// priority 0, reproducing the hybrid selector's ordering on a real
+	// crowd.
+	Priority int `json:"priority,omitempty"`
+}
+
+// TaskStatus reports a task's progress.
+type TaskStatus struct {
+	ID        int      `json:"id"`
+	State     string   `json:"state"` // unassigned | active | complete
+	Answers   int      `json:"answers"`
+	Active    int      `json:"active"`
+	Consensus []int    `json:"consensus,omitempty"` // majority labels when complete
+	Records   []string `json:"records,omitempty"`
+}
+
+// workUnit is the server's internal task state.
+type workUnit struct {
+	id      int
+	spec    TaskSpec
+	answers [][]int      // one label vector per completed assignment
+	voters  []int        // worker id per answer
+	active  map[int]bool // worker ids currently assigned
+	done    bool
+}
+
+func (u *workUnit) needed() int {
+	n := u.spec.Quorum - len(u.answers)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// poolWorker is a joined retainer worker.
+type poolWorker struct {
+	id        int
+	name      string
+	joinedAt  time.Time
+	lastSeen  time.Time
+	current   int       // assigned task id, 0 if idle
+	fetchedAt time.Time // when the current assignment was handed out
+	done      int       // completed assignments
+	latN      int       // completed latency observations
+	latSum    float64   // sum of per-record latencies (seconds)
+	retired   bool      // removed by server-side maintenance
+	waitStart time.Time // start of the current idle (paid-to-wait) span
+}
+
+// Config parameterizes the server.
+type Config struct {
+	// SpeculationLimit caps speculative duplicates per outstanding answer
+	// (0 = 1, the decoupled default).
+	SpeculationLimit int
+
+	// WorkerTimeout expires workers that stop heartbeating; their in-flight
+	// assignments return to the queue. Default 2 minutes.
+	WorkerTimeout time.Duration
+
+	// MaintenanceThreshold, when positive, enables server-side pool
+	// maintenance: workers whose mean per-record latency exceeds the
+	// threshold (after MaintenanceMinObs completed assignments) are retired
+	// from the pool. Zero disables maintenance.
+	MaintenanceThreshold time.Duration
+
+	// MaintenanceMinObs is the minimum completed assignments before a
+	// worker can be retired. Default 3.
+	MaintenanceMinObs int
+
+	// Now overrides the clock (tests). Defaults to time.Now.
+	Now func() time.Time
+
+	// Costs sets pay rates for the live accounting endpoint.
+	Costs CostConfig
+}
+
+// Server is the retainer-pool routing server. It implements http.Handler.
+type Server struct {
+	cfg Config
+
+	mu           sync.Mutex
+	mux          *http.ServeMux
+	tasks        map[int]*workUnit
+	order        []int // task ids in submission order
+	workers      map[int]*poolWorker
+	nextTask     int
+	nextWorker   int
+	terminated   int          // duplicate answers discarded (stragglers that lost)
+	retired      map[int]bool // workers retired by server-side maintenance
+	retiredCount int
+	costs        metricsAccounting
+	startedAt    time.Time
+	latQ         []*stats.P2Quantile // streaming p50/p95/p99 of per-record latency
+}
+
+// metricsAccounting aliases metrics.Accounting for field brevity.
+type metricsAccounting = accountingT
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	if cfg.SpeculationLimit <= 0 {
+		cfg.SpeculationLimit = 1
+	}
+	if cfg.WorkerTimeout == 0 {
+		cfg.WorkerTimeout = 2 * time.Minute
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.MaintenanceMinObs == 0 {
+		cfg.MaintenanceMinObs = 3
+	}
+	cfg.Costs.fillDefaults()
+	s := &Server{
+		cfg:       cfg,
+		tasks:     make(map[int]*workUnit),
+		workers:   make(map[int]*poolWorker),
+		retired:   make(map[int]bool),
+		startedAt: cfg.Now(),
+		latQ: []*stats.P2Quantile{
+			stats.NewP2Quantile(0.5),
+			stats.NewP2Quantile(0.95),
+			stats.NewP2Quantile(0.99),
+		},
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /api/join", s.handleJoin)
+	s.mux.HandleFunc("POST /api/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("POST /api/leave", s.handleLeave)
+	s.mux.HandleFunc("POST /api/tasks", s.handleSubmitTasks)
+	s.mux.HandleFunc("GET /api/task", s.handleFetchTask)
+	s.mux.HandleFunc("POST /api/submit", s.handleSubmitAnswer)
+	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+	s.mux.HandleFunc("GET /api/workers", s.handleWorkers)
+	s.mux.HandleFunc("GET /api/costs", s.handleCosts)
+	s.mux.HandleFunc("GET /api/result", s.handleResult)
+	s.mux.HandleFunc("GET /api/consensus", s.handleConsensus)
+	s.mux.HandleFunc("GET /api/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /api/restore", s.handleRestore)
+	s.mux.HandleFunc("GET /api/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /api/metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /{$}", s.handleUI)
+	return s
+}
+
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleJoin admits a worker into the retainer pool.
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding join request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextWorker++
+	pw := &poolWorker{
+		id:       s.nextWorker,
+		name:     req.Name,
+		joinedAt: s.cfg.Now(),
+		lastSeen: s.cfg.Now(),
+	}
+	s.workers[pw.id] = pw
+	s.startWait(pw)
+	writeJSON(w, http.StatusOK, map[string]int{"worker_id": pw.id})
+}
+
+// handleHeartbeat keeps a waiting worker alive.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id, err := intField(r, "worker_id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pw, ok := s.workers[id]
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
+		return
+	}
+	pw.lastSeen = s.cfg.Now()
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleLeave removes a worker; any assignment returns to the queue.
+func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	id, err := intField(r, "worker_id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeWorker(id)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) removeWorker(id int) {
+	pw, ok := s.workers[id]
+	if !ok {
+		return
+	}
+	s.settleWait(pw)
+	if pw.current != 0 {
+		if u, ok := s.tasks[pw.current]; ok {
+			delete(u.active, id)
+		}
+	}
+	delete(s.workers, id)
+}
+
+// handleSubmitTasks enqueues labeling tasks.
+func (s *Server) handleSubmitTasks(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Tasks []TaskSpec `json:"tasks"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding tasks: %w", err))
+		return
+	}
+	if len(req.Tasks) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no tasks given"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]int, 0, len(req.Tasks))
+	for _, spec := range req.Tasks {
+		if len(spec.Records) == 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("task with no records"))
+			return
+		}
+		if spec.Quorum < 1 {
+			spec.Quorum = 1
+		}
+		if spec.Classes < 2 {
+			spec.Classes = 2
+		}
+		s.nextTask++
+		u := &workUnit{id: s.nextTask, spec: spec, active: make(map[int]bool)}
+		s.tasks[u.id] = u
+		s.order = append(s.order, u.id)
+		ids = append(ids, u.id)
+	}
+	writeJSON(w, http.StatusOK, map[string][]int{"task_ids": ids})
+}
+
+// handleFetchTask hands the next task to a polling worker: first a task
+// still needing primary answers, then a speculative duplicate (straggler
+// mitigation). 204 means "keep waiting".
+func (s *Server) handleFetchTask(w http.ResponseWriter, r *http.Request) {
+	id, err := intQuery(r, "worker_id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireWorkers()
+	if s.retired[id] {
+		writeErr(w, http.StatusGone, errors.New("no more tasks available"))
+		return
+	}
+	pw, ok := s.workers[id]
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
+		return
+	}
+	pw.lastSeen = s.cfg.Now()
+	if pw.current != 0 {
+		// Re-deliver the in-flight assignment (lost response tolerance).
+		u := s.tasks[pw.current]
+		writeJSON(w, http.StatusOK, s.assignmentPayload(u))
+		return
+	}
+	u := s.pick(id)
+	if u == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s.settleWait(pw)
+	u.active[id] = true
+	pw.current = u.id
+	pw.fetchedAt = s.cfg.Now()
+	writeJSON(w, http.StatusOK, s.assignmentPayload(u))
+}
+
+func (s *Server) assignmentPayload(u *workUnit) map[string]any {
+	return map[string]any{
+		"task_id": u.id,
+		"records": u.spec.Records,
+		"classes": u.spec.Classes,
+	}
+}
+
+// pick chooses a task for the worker: starved tasks first, then speculative
+// duplicates under the cap — each pass in priority order (higher first,
+// FIFO within a priority). The worker never duplicates a task it already
+// answered or is working on.
+func (s *Server) pick(workerID int) *workUnit {
+	var starved, speculative *workUnit
+	for _, tid := range s.order {
+		u := s.tasks[tid]
+		if u.done || u.active[workerID] || s.answered(u, workerID) {
+			continue
+		}
+		switch {
+		case len(u.active) < u.needed():
+			if starved == nil || u.spec.Priority > starved.spec.Priority {
+				starved = u
+			}
+		case len(u.active) > 0 && len(u.active) < u.needed()+s.cfg.SpeculationLimit:
+			if speculative == nil || u.spec.Priority > speculative.spec.Priority {
+				speculative = u
+			}
+		}
+	}
+	if starved != nil {
+		return starved
+	}
+	return speculative
+}
+
+func (s *Server) answered(u *workUnit, workerID int) bool {
+	for _, v := range u.voters {
+		if v == workerID {
+			return true
+		}
+	}
+	return false
+}
+
+// handleSubmitAnswer ingests a completed assignment. A submission for an
+// already-complete task is acknowledged as terminated: the worker is not at
+// fault and is paid, but the labels are discarded.
+func (s *Server) handleSubmitAnswer(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		WorkerID int   `json:"worker_id"`
+		TaskID   int   `json:"task_id"`
+		Labels   []int `json:"labels"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding answer: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pw, ok := s.workers[req.WorkerID]
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
+		return
+	}
+	u, ok := s.tasks[req.TaskID]
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("unknown task"))
+		return
+	}
+	if len(req.Labels) != len(u.spec.Records) {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("want %d labels, got %d", len(u.spec.Records), len(req.Labels)))
+		return
+	}
+	for _, l := range req.Labels {
+		if l < 0 || l >= u.spec.Classes {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("label %d out of range", l))
+			return
+		}
+	}
+	delete(u.active, req.WorkerID)
+	if pw.current == u.id {
+		pw.current = 0
+		if !pw.fetchedAt.IsZero() {
+			s.observeLatency(pw, len(u.spec.Records), s.cfg.Now().Sub(pw.fetchedAt))
+		}
+	}
+	pw.done++
+	pw.lastSeen = s.cfg.Now()
+	if !s.maintenanceCheck(pw) {
+		s.startWait(pw)
+	}
+
+	if u.done {
+		// A straggler losing the race: acknowledged, paid, discarded.
+		s.terminated++
+		s.payWork(len(u.spec.Records), true)
+		writeJSON(w, http.StatusOK, map[string]bool{"accepted": false, "terminated": true})
+		return
+	}
+	s.payWork(len(u.spec.Records), false)
+	u.answers = append(u.answers, req.Labels)
+	u.voters = append(u.voters, req.WorkerID)
+	if len(u.answers) >= u.spec.Quorum {
+		u.done = true
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "terminated": false})
+}
+
+// handleStatus reports pool and queue health.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireWorkers()
+	complete := 0
+	for _, u := range s.tasks {
+		if u.done {
+			complete++
+		}
+	}
+	idle := 0
+	for _, pw := range s.workers {
+		if pw.current == 0 {
+			idle++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"tasks":      len(s.tasks),
+		"complete":   complete,
+		"workers":    len(s.workers),
+		"idle":       idle,
+		"terminated": s.terminated,
+		"retired":    s.retiredCount,
+	})
+}
+
+// handleResult returns a task's status and, when complete, its per-record
+// majority-vote consensus labels.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id, err := intQuery(r, "task_id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.tasks[id]
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("unknown task"))
+		return
+	}
+	st := TaskStatus{
+		ID:      u.id,
+		Answers: len(u.answers),
+		Active:  len(u.active),
+		Records: u.spec.Records,
+	}
+	switch {
+	case u.done:
+		st.State = "complete"
+		st.Consensus = s.majority(u)
+	case len(u.active) > 0:
+		st.State = "active"
+	default:
+		st.State = "unassigned"
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// majority computes per-record plurality labels over a unit's answers,
+// ties breaking to the lowest class.
+func (s *Server) majority(u *workUnit) []int {
+	out := make([]int, len(u.spec.Records))
+	for rec := range u.spec.Records {
+		counts := make(map[int]int)
+		for _, labels := range u.answers {
+			counts[labels[rec]]++
+		}
+		best, bestN := -1, 0
+		for label, n := range counts {
+			if n > bestN || (n == bestN && best != -1 && label < best) {
+				best, bestN = label, n
+			}
+		}
+		out[rec] = best
+	}
+	return out
+}
+
+// expireWorkers drops workers that stopped heartbeating and requeues their
+// assignments. Callers must hold mu.
+func (s *Server) expireWorkers() {
+	cutoff := s.cfg.Now().Add(-s.cfg.WorkerTimeout)
+	for id, pw := range s.workers {
+		if pw.lastSeen.Before(cutoff) {
+			s.removeWorker(id)
+		}
+	}
+}
+
+func intField(r *http.Request, field string) (int, error) {
+	var body map[string]int
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		return 0, fmt.Errorf("decoding body: %w", err)
+	}
+	v, ok := body[field]
+	if !ok {
+		return 0, fmt.Errorf("missing field %q", field)
+	}
+	return v, nil
+}
+
+func intQuery(r *http.Request, key string) (int, error) {
+	var v int
+	if _, err := fmt.Sscanf(r.URL.Query().Get(key), "%d", &v); err != nil {
+		return 0, fmt.Errorf("missing or bad query parameter %q", key)
+	}
+	return v, nil
+}

@@ -1,0 +1,166 @@
+// Package simclock provides virtual and wall clocks plus a discrete-event
+// scheduler. All CLAMShell components are programmed against the Clock
+// interface so identical logic runs inside the fast, deterministic simulator
+// and in live deployments.
+package simclock
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Clock exposes the current time. Implementations are Sim (virtual time,
+// advanced by the event loop) and Wall (the machine clock).
+type Clock interface {
+	Now() time.Time
+}
+
+// Wall is a Clock backed by the real machine clock.
+type Wall struct{}
+
+// Now returns the current wall-clock time.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Epoch is the instant at which every simulation starts. A fixed epoch keeps
+// simulated timestamps reproducible across runs.
+var Epoch = time.Date(2015, 9, 20, 0, 0, 0, 0, time.UTC)
+
+// Event is a scheduled callback. Cancel prevents a pending event from firing.
+type Event struct {
+	at       time.Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once fired or cancelled
+	canceled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// At returns the time at which the event is (or was) scheduled to fire.
+func (e *Event) At() time.Time { return e.at }
+
+// Sim is a discrete-event simulator: a priority queue of events ordered by
+// virtual time (ties broken by scheduling order). It is not safe for
+// concurrent use; simulation runs are single-goroutine by design so that they
+// are deterministic.
+type Sim struct {
+	now time.Time
+	pq  eventHeap
+	seq uint64
+}
+
+// NewSim returns a simulator whose virtual clock starts at Epoch.
+func NewSim() *Sim {
+	return &Sim{now: Epoch}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Elapsed returns how much virtual time has passed since the epoch.
+func (s *Sim) Elapsed() time.Duration { return s.now.Sub(Epoch) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past runs the
+// event at the current time (time never moves backwards).
+func (s *Sim) At(t time.Time, fn func()) *Event {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.pq, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (s *Sim) Pending() int { return s.pq.Len() }
+
+// Step fires the next event, advancing the virtual clock to its timestamp.
+// It returns false when no runnable event remains.
+func (s *Sim) Step() bool {
+	for s.pq.Len() > 0 {
+		e := heap.Pop(&s.pq).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to t.
+func (s *Sim) RunUntil(t time.Time) {
+	for s.pq.Len() > 0 {
+		e := s.pq[0]
+		if e.at.After(t) {
+			break
+		}
+		s.Step()
+	}
+	if t.After(s.now) {
+		s.now = t
+	}
+}
+
+// RunFor is RunUntil(Now().Add(d)).
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// eventHeap implements container/heap over pending events.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

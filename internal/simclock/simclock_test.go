@@ -1,0 +1,195 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimStartsAtEpoch(t *testing.T) {
+	s := NewSim()
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), Epoch)
+	}
+	if s.Elapsed() != 0 {
+		t.Fatalf("Elapsed() = %v, want 0", s.Elapsed())
+	}
+}
+
+func TestAfterOrdering(t *testing.T) {
+	s := NewSim()
+	var got []int
+	s.After(3*time.Second, func() { got = append(got, 3) })
+	s.After(1*time.Second, func() { got = append(got, 1) })
+	s.After(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Elapsed() != 3*time.Second {
+		t.Fatalf("Elapsed = %v, want 3s", s.Elapsed())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	s := NewSim()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewSim()
+	fired := false
+	e := s.After(time.Second, func() { fired = true })
+	e.Cancel()
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelNilSafe(t *testing.T) {
+	var e *Event
+	e.Cancel() // must not panic
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	s := NewSim()
+	s.After(10*time.Second, func() {})
+	s.Run()
+	var at time.Time
+	s.At(Epoch, func() { at = s.Now() })
+	s.Run()
+	if at.Before(Epoch.Add(10 * time.Second)) {
+		t.Fatalf("past event ran at %v; clock went backwards", at)
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	s := NewSim()
+	ran := false
+	s.After(-time.Hour, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if s.Elapsed() != 0 {
+		t.Fatalf("Elapsed = %v, want 0", s.Elapsed())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 5 * time.Second, 10 * time.Second} {
+		d := d
+		s.After(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(Epoch.Add(5 * time.Second))
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != Epoch.Add(5*time.Second) {
+		t.Fatalf("Now = %v, want epoch+5s", s.Now())
+	}
+	s.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after Run, want 3", len(fired))
+	}
+}
+
+func TestRunForAdvancesIdleClock(t *testing.T) {
+	s := NewSim()
+	s.RunFor(time.Minute)
+	if s.Elapsed() != time.Minute {
+		t.Fatalf("Elapsed = %v, want 1m", s.Elapsed())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSim()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(time.Second, tick)
+		}
+	}
+	s.After(time.Second, tick)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Elapsed() != 5*time.Second {
+		t.Fatalf("Elapsed = %v, want 5s", s.Elapsed())
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	w := Wall{}
+	before := time.Now()
+	got := w.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Wall.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of the
+// order in which they were scheduled.
+func TestPropertyEventsFireInOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := NewSim()
+		var fired []time.Time
+		for _, d := range delays {
+			s.After(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, s.Now())
+			})
+		}
+		s.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i].Before(fired[j]) })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pending never goes negative and Run drains the queue.
+func TestPropertyRunDrains(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSim()
+		for i := 0; i < int(n); i++ {
+			s.After(time.Duration(rng.Intn(1000))*time.Millisecond, func() {})
+		}
+		s.Run()
+		return s.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

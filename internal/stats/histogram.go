@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over [Min, Max) with overflow and
+// underflow buckets, used for latency reporting in the routing server and
+// experiment harness.
+type Histogram struct {
+	Min, Max float64
+	counts   []int
+	under    int
+	over     int
+	total    int
+}
+
+// NewHistogram creates a histogram with n buckets over [min, max). n < 1 or
+// max <= min panics: both are programming errors.
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n < 1 || max <= min {
+		panic(fmt.Sprintf("stats: bad histogram spec [%v, %v) x%d", min, max, n))
+	}
+	return &Histogram{Min: min, Max: max, counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Min:
+		h.under++
+	case x >= h.Max:
+		h.over++
+	default:
+		i := int(float64(len(h.counts)) * (x - h.Min) / (h.Max - h.Min))
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Bucket returns the count of bucket i.
+func (h *Histogram) Bucket(i int) int { return h.counts[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) by linear
+// scan of bucket boundaries; under/overflow clamp to Min/Max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if cum >= target {
+		return h.Min
+	}
+	width := (h.Max - h.Min) / float64(len(h.counts))
+	for i, c := range h.counts {
+		cum += float64(c)
+		if cum >= target {
+			return h.Min + width*float64(i+1)
+		}
+	}
+	return h.Max
+}
+
+// String renders a compact bar view for logs.
+func (h *Histogram) String() string {
+	maxC := 1
+	for _, c := range h.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	width := (h.Max - h.Min) / float64(len(h.counts))
+	for i, c := range h.counts {
+		bars := int(math.Round(20 * float64(c) / float64(maxC)))
+		fmt.Fprintf(&b, "[%6.2f) %-20s %d\n", h.Min+width*float64(i+1),
+			strings.Repeat("#", bars), c)
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&b, "under=%d over=%d\n", h.under, h.over)
+	}
+	return b.String()
+}
+
+// EWMA is an exponentially weighted moving average — a recency-weighted
+// latency estimator for workers whose speed drifts over time (the paper
+// notes "workers may not maintain consistent speed over time").
+type EWMA struct {
+	// Alpha is the smoothing factor in (0, 1]; higher = more reactive.
+	Alpha float64
+
+	value float64
+	n     int
+}
+
+// Add incorporates one observation.
+func (e *EWMA) Add(x float64) {
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.2
+	}
+	if e.n == 0 {
+		e.value = x
+	} else {
+		e.value = a*x + (1-a)*e.value
+	}
+	e.n++
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// N returns the number of observations.
+func (e *EWMA) N() int { return e.n }

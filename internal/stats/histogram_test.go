@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // under
+	h.Add(11) // over
+	if h.Total() != 12 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Fatalf("bucket %d = %d", i, h.Bucket(i))
+		}
+	}
+	if h.Buckets() != 10 {
+		t.Fatalf("Buckets = %d", h.Buckets())
+	}
+	if !strings.Contains(h.String(), "under=1 over=1") {
+		t.Fatal("under/over not reported")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 2 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(0.99); math.Abs(q-99) > 2 {
+		t.Fatalf("p99 = %v", q)
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Fatal("empty quantile != 0")
+	}
+}
+
+func TestHistogramEdgeAtMax(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(1) // exactly max -> overflow
+	if h.Bucket(3) != 0 {
+		t.Fatal("max landed in a bucket")
+	}
+	h.Add(math.Nextafter(1, 0)) // just under max -> last bucket
+	if h.Bucket(3) != 1 {
+		t.Fatal("just-under-max missed the last bucket")
+	}
+}
+
+func TestHistogramBadSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := EWMA{Alpha: 0.3}
+	for i := 0; i < 100; i++ {
+		e.Add(7)
+	}
+	if math.Abs(e.Value()-7) > 1e-9 {
+		t.Fatalf("Value = %v", e.Value())
+	}
+	if e.N() != 100 {
+		t.Fatalf("N = %d", e.N())
+	}
+}
+
+func TestEWMAReactsToShift(t *testing.T) {
+	slow := EWMA{Alpha: 0.1}
+	fast := EWMA{Alpha: 0.8}
+	for i := 0; i < 20; i++ {
+		slow.Add(1)
+		fast.Add(1)
+	}
+	for i := 0; i < 3; i++ {
+		slow.Add(10)
+		fast.Add(10)
+	}
+	if fast.Value() <= slow.Value() {
+		t.Fatalf("high alpha should react faster: fast=%v slow=%v", fast.Value(), slow.Value())
+	}
+}
+
+func TestEWMADefaultAlpha(t *testing.T) {
+	var e EWMA // Alpha 0 -> default
+	e.Add(4)
+	e.Add(8)
+	if v := e.Value(); v <= 4 || v >= 8 {
+		t.Fatalf("Value = %v, want between first and last", v)
+	}
+}
+
+// Property: histogram totals always equal observations, and quantiles are
+// monotone in q.
+func TestPropertyHistogramQuantileMonotone(t *testing.T) {
+	f := func(raw []uint8, q1, q2 uint8) bool {
+		h := NewHistogram(0, 256, 16)
+		for _, x := range raw {
+			h.Add(float64(x))
+		}
+		if h.Total() != len(raw) {
+			return false
+		}
+		a := float64(q1%101) / 100
+		b := float64(q2%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		return h.Quantile(a) <= h.Quantile(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EWMA stays within the observed range.
+func TestPropertyEWMABounded(t *testing.T) {
+	f := func(raw []uint8, alpha uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := EWMA{Alpha: float64(alpha%100+1) / 100}
+		lo, hi := float64(raw[0]), float64(raw[0])
+		for _, x := range raw {
+			v := float64(x)
+			e.Add(v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return e.Value() >= lo-1e-9 && e.Value() <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

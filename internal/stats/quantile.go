@@ -1,0 +1,168 @@
+package stats
+
+import "sort"
+
+// P2Quantile is the Jain–Chlamtac P² streaming quantile estimator: it
+// tracks one quantile of an unbounded stream in O(1) space by maintaining
+// five markers whose heights are adjusted with piecewise-parabolic
+// interpolation. The routing server uses it to report live latency
+// percentiles (p50/p95/p99 of task round-trips) without retaining every
+// observation — the measurement the paper's batch-predictability argument
+// (§4.1) says crowd query optimizers need.
+type P2Quantile struct {
+	p float64 // target quantile in (0, 1)
+
+	n       int        // observations so far
+	heights [5]float64 // marker heights (estimates)
+	pos     [5]float64 // actual marker positions
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired-position increments per observation
+	initial []float64  // first five observations, pre-initialization
+}
+
+// NewP2Quantile creates an estimator for quantile p in (0, 1), e.g. 0.95.
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 {
+		p = 0.5
+	}
+	if p >= 1 {
+		p = 0.99
+	}
+	return &P2Quantile{p: p}
+}
+
+// P returns the target quantile.
+func (q *P2Quantile) P() float64 { return q.p }
+
+// N returns the number of observations so far.
+func (q *P2Quantile) N() int { return q.n }
+
+// Add feeds one observation into the estimator.
+func (q *P2Quantile) Add(x float64) {
+	q.n++
+	if len(q.initial) < 5 {
+		q.initial = append(q.initial, x)
+		if len(q.initial) == 5 {
+			sort.Float64s(q.initial)
+			for i := 0; i < 5; i++ {
+				q.heights[i] = q.initial[i]
+				q.pos[i] = float64(i + 1)
+			}
+			p := q.p
+			q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+			q.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+		}
+		return
+	}
+
+	// Find the cell containing x and update the extremes.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+
+	// Shift positions of markers above the cell, advance desired positions.
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		q.want[i] += q.inc[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for marker i
+// moved by sign (±1):
+//
+//	h'_i = h_i + s/(p_{i+1}−p_{i−1}) · [ (p_i−p_{i−1}+s)·(h_{i+1}−h_i)/(p_{i+1}−p_i)
+//	                                   + (p_{i+1}−p_i−s)·(h_i−h_{i−1})/(p_i−p_{i−1}) ]
+func (q *P2Quantile) parabolic(i int, sign float64) float64 {
+	below := q.pos[i] - q.pos[i-1] + sign
+	above := q.pos[i+1] - q.pos[i] - sign
+	den := q.pos[i+1] - q.pos[i-1]
+	slopeUp := (q.heights[i+1] - q.heights[i]) / (q.pos[i+1] - q.pos[i])
+	slopeDown := (q.heights[i] - q.heights[i-1]) / (q.pos[i] - q.pos[i-1])
+	return q.heights[i] + sign/den*(below*slopeUp+above*slopeDown)
+}
+
+// linear is the fallback linear height prediction.
+func (q *P2Quantile) linear(i int, sign float64) float64 {
+	j := i + int(sign)
+	return q.heights[i] + sign*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Value returns the current quantile estimate. Before five observations it
+// returns the exact sample quantile of what has been seen (0 when empty).
+func (q *P2Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if len(q.initial) < 5 {
+		s := append([]float64(nil), q.initial...)
+		sort.Float64s(s)
+		return percentileSorted(s, q.p*100)
+	}
+	return q.heights[2]
+}
+
+// Min returns the smallest observation seen (0 when empty).
+func (q *P2Quantile) Min() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if len(q.initial) < 5 {
+		m := q.initial[0]
+		for _, v := range q.initial[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	return q.heights[0]
+}
+
+// Max returns the largest observation seen (0 when empty).
+func (q *P2Quantile) Max() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if len(q.initial) < 5 {
+		m := q.initial[0]
+		for _, v := range q.initial[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	return q.heights[4]
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestP2MedianUniform(t *testing.T) {
+	rng := NewRand(1)
+	q := NewP2Quantile(0.5)
+	for i := 0; i < 20000; i++ {
+		q.Add(rng.Float64())
+	}
+	if got := q.Value(); math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("p50 of U(0,1) = %v, want ~0.5", got)
+	}
+}
+
+func TestP2TailQuantilesNormal(t *testing.T) {
+	rng := NewRand(2)
+	cases := []struct {
+		p    float64
+		want float64 // standard normal quantile
+		tol  float64
+	}{
+		{0.5, 0, 0.05},
+		{0.95, 1.6449, 0.1},
+		{0.99, 2.3263, 0.2},
+	}
+	for _, c := range cases {
+		q := NewP2Quantile(c.p)
+		for i := 0; i < 50000; i++ {
+			q.Add(rng.NormFloat64())
+		}
+		if got := q.Value(); math.Abs(got-c.want) > c.tol {
+			t.Errorf("p%.0f of N(0,1) = %v, want ~%v", c.p*100, got, c.want)
+		}
+	}
+}
+
+func TestP2MatchesExactPercentileOnLognormal(t *testing.T) {
+	// Heavy-tailed input — the latency shape the estimator is used on.
+	rng := NewRand(3)
+	q := NewP2Quantile(0.95)
+	var xs []float64
+	for i := 0; i < 30000; i++ {
+		x := LogNormal(rng, 0, 1)
+		xs = append(xs, x)
+		q.Add(x)
+	}
+	exact := Percentile(xs, 95)
+	if got := q.Value(); math.Abs(got-exact)/exact > 0.1 {
+		t.Fatalf("streaming p95 = %v, exact = %v (>10%% off)", got, exact)
+	}
+}
+
+func TestP2SmallStreamsExact(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	if q.Value() != 0 || q.Min() != 0 || q.Max() != 0 {
+		t.Fatal("empty estimator should report zeros")
+	}
+	for _, x := range []float64{3, 1, 2} {
+		q.Add(x)
+	}
+	if got := q.Value(); got != 2 {
+		t.Fatalf("median of {3,1,2} = %v, want 2 (exact before 5 obs)", got)
+	}
+	if q.Min() != 1 || q.Max() != 3 {
+		t.Fatalf("min/max = %v/%v, want 1/3", q.Min(), q.Max())
+	}
+	if q.N() != 3 {
+		t.Fatalf("N = %d, want 3", q.N())
+	}
+}
+
+func TestP2BoundedByMinMaxProperty(t *testing.T) {
+	// Invariant: for any stream, the estimate stays within [min, max] and
+	// marker heights remain sorted.
+	f := func(seed int64, n uint8) bool {
+		rng := NewRand(seed)
+		q := NewP2Quantile(0.9)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < int(n)+10; i++ {
+			x := rng.NormFloat64() * 100
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			q.Add(x)
+		}
+		v := q.Value()
+		return v >= lo-1e-9 && v <= hi+1e-9 && q.Min() >= lo-1e-9 && q.Max() <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestP2MonotoneAcrossQuantilesProperty(t *testing.T) {
+	// p50 <= p90 <= p99 on the same stream.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q50, q90, q99 := NewP2Quantile(0.5), NewP2Quantile(0.9), NewP2Quantile(0.99)
+		for i := 0; i < 2000; i++ {
+			x := math.Exp(rng.NormFloat64())
+			q50.Add(x)
+			q90.Add(x)
+			q99.Add(x)
+		}
+		return q50.Value() <= q90.Value()+1e-9 && q90.Value() <= q99.Value()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestP2DegenerateConstantStream(t *testing.T) {
+	q := NewP2Quantile(0.95)
+	for i := 0; i < 100; i++ {
+		q.Add(7)
+	}
+	if got := q.Value(); got != 7 {
+		t.Fatalf("p95 of constant stream = %v, want 7", got)
+	}
+}
+
+func TestNewP2QuantileClampsP(t *testing.T) {
+	if p := NewP2Quantile(-1).P(); p != 0.5 {
+		t.Fatalf("p for -1 = %v, want 0.5", p)
+	}
+	if p := NewP2Quantile(1.5).P(); p != 0.99 {
+		t.Fatalf("p for 1.5 = %v, want 0.99", p)
+	}
+}

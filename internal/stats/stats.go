@@ -1,0 +1,246 @@
+// Package stats provides the probability and summary-statistics machinery
+// shared by the CLAMShell simulator: random sampling from the distributions
+// used to model crowd workers, percentile/CDF summaries for reporting, online
+// moment tracking, and the one-sided significance test used by the pool
+// maintainer's eviction rule.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRand returns a seeded PRNG. Every experiment threads an explicit seed so
+// runs are reproducible bit-for-bit.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Normal draws from N(mean, std²). std must be non-negative.
+func Normal(rng *rand.Rand, mean, std float64) float64 {
+	return mean + std*rng.NormFloat64()
+}
+
+// TruncNormal draws from N(mean, std²) truncated below at lo, by rejection
+// with a hard fallback to lo so the function always terminates.
+func TruncNormal(rng *rand.Rand, mean, std, lo float64) float64 {
+	for i := 0; i < 64; i++ {
+		if v := Normal(rng, mean, std); v >= lo {
+			return v
+		}
+	}
+	return lo
+}
+
+// LogNormal draws from a lognormal distribution with the given parameters of
+// the underlying normal (mu, sigma). Its median is exp(mu).
+func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}
+
+// LogNormalFromMoments converts a desired mean m and standard deviation s of
+// the lognormal itself into the (mu, sigma) parameters of the underlying
+// normal. m must be positive.
+func LogNormalFromMoments(m, s float64) (mu, sigma float64) {
+	if m <= 0 {
+		panic(fmt.Sprintf("stats: lognormal mean must be positive, got %v", m))
+	}
+	v := s * s
+	sigma2 := math.Log(1 + v/(m*m))
+	mu = math.Log(m) - sigma2/2
+	return mu, math.Sqrt(sigma2)
+}
+
+// Exponential draws from Exp(rate). rate must be positive.
+func Exponential(rng *rand.Rand, rate float64) float64 {
+	return rng.ExpFloat64() / rate
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 if len < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// Std returns the sample standard deviation of xs.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between order statistics. It copies xs; the input is not
+// modified. Returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary holds the descriptive statistics reported throughout the
+// experiment harness.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Median float64
+	P90    float64
+	P95    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return Summary{
+		N:      len(s),
+		Mean:   Mean(s),
+		Std:    Std(s),
+		Min:    s[0],
+		Median: percentileSorted(s, 50),
+		P90:    percentileSorted(s, 90),
+		P95:    percentileSorted(s, 95),
+		P99:    percentileSorted(s, 99),
+		Max:    s[len(s)-1],
+	}
+}
+
+// String renders the summary in one line for experiment tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.P90, s.P99, s.Max)
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // fraction of samples <= X
+}
+
+// CDF returns the empirical CDF of xs as a sorted list of points.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	pts := make([]CDFPoint, len(s))
+	for i, x := range s {
+		pts[i] = CDFPoint{X: x, P: float64(i+1) / float64(len(s))}
+	}
+	return pts
+}
+
+// Welford tracks running mean and variance without storing samples
+// (Welford's online algorithm). The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased running sample variance (0 if n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the running sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// normalCDF is Φ(z), the standard normal CDF.
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// SignificantlyAbove reports whether the sample (n observations with the
+// given mean and standard deviation) is significantly above the threshold at
+// significance level alpha, using a one-sided z-test (a good approximation of
+// the t-test for the sample sizes the maintainer sees, and exactly the
+// "one-sided significance test" the paper's pool maintenance algorithm
+// calls for). With fewer than 2 observations it falls back to a plain
+// comparison of the mean against the threshold.
+func SignificantlyAbove(mean, std float64, n int, threshold, alpha float64) bool {
+	if n < 2 || std == 0 {
+		return n >= 1 && mean > threshold
+	}
+	z := (mean - threshold) / (std / math.Sqrt(float64(n)))
+	p := 1 - normalCDF(z)
+	return p < alpha
+}

@@ -1,0 +1,259 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := NewRand(1)
+	var w Welford
+	for i := 0; i < 50000; i++ {
+		w.Add(Normal(rng, 10, 3))
+	}
+	if math.Abs(w.Mean()-10) > 0.1 {
+		t.Fatalf("mean = %v, want ~10", w.Mean())
+	}
+	if math.Abs(w.Std()-3) > 0.1 {
+		t.Fatalf("std = %v, want ~3", w.Std())
+	}
+}
+
+func TestTruncNormalRespectsFloor(t *testing.T) {
+	rng := NewRand(2)
+	for i := 0; i < 10000; i++ {
+		if v := TruncNormal(rng, 1, 5, 0.5); v < 0.5 {
+			t.Fatalf("TruncNormal returned %v < floor", v)
+		}
+	}
+}
+
+func TestTruncNormalHardFallback(t *testing.T) {
+	rng := NewRand(3)
+	// Mean far below the floor: rejection will fail, fallback must kick in.
+	if v := TruncNormal(rng, -1000, 0.001, 5); v != 5 {
+		t.Fatalf("fallback = %v, want 5", v)
+	}
+}
+
+func TestLogNormalFromMoments(t *testing.T) {
+	rng := NewRand(4)
+	mu, sigma := LogNormalFromMoments(60, 120)
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(LogNormal(rng, mu, sigma))
+	}
+	if math.Abs(w.Mean()-60)/60 > 0.05 {
+		t.Fatalf("mean = %v, want ~60", w.Mean())
+	}
+	if math.Abs(w.Std()-120)/120 > 0.10 {
+		t.Fatalf("std = %v, want ~120", w.Std())
+	}
+}
+
+func TestLogNormalFromMomentsPanicsOnNonPositiveMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mean <= 0")
+		}
+	}()
+	LogNormalFromMoments(0, 1)
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := NewRand(5)
+	var w Welford
+	for i := 0; i < 50000; i++ {
+		w.Add(Exponential(rng, 0.5)) // mean 2
+	}
+	if math.Abs(w.Mean()-2) > 0.05 {
+		t.Fatalf("mean = %v, want ~2", w.Mean())
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	rng := NewRand(6)
+	if Bernoulli(rng, 0) {
+		t.Fatal("Bernoulli(0) = true")
+	}
+	if !Bernoulli(rng, 1) {
+		t.Fatal("Bernoulli(1) = false")
+	}
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if Bernoulli(rng, 0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / 10000; math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("empirical p = %v, want ~0.3", p)
+	}
+}
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Fatalf("Variance = %v, want 32/7", v)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Std([]float64{1}) != 0 {
+		t.Fatal("empty/short-slice edge cases wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {-5, 1}, {105, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile(nil) != 0")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	s := Summarize(xs)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("Summarize(nil).N != 0")
+	}
+	if Summarize(xs).String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].X != 1 || pts[2].X != 3 {
+		t.Fatalf("not sorted: %v", pts)
+	}
+	if pts[2].P != 1 {
+		t.Fatalf("last P = %v, want 1", pts[2].P)
+	}
+	if CDF(nil) != nil {
+		t.Fatal("CDF(nil) != nil")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := NewRand(7)
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 17
+		w.Add(xs[i])
+	}
+	if math.Abs(w.Mean()-Mean(xs)) > 1e-9 {
+		t.Fatalf("Welford mean %v != batch %v", w.Mean(), Mean(xs))
+	}
+	if math.Abs(w.Variance()-Variance(xs)) > 1e-6 {
+		t.Fatalf("Welford var %v != batch %v", w.Variance(), Variance(xs))
+	}
+}
+
+func TestSignificantlyAbove(t *testing.T) {
+	// Clearly above: mean 20 vs threshold 8 with tight std and many samples.
+	if !SignificantlyAbove(20, 2, 30, 8, 0.05) {
+		t.Fatal("clear outlier not flagged")
+	}
+	// Below the threshold: never significant.
+	if SignificantlyAbove(5, 2, 30, 8, 0.05) {
+		t.Fatal("below-threshold mean flagged")
+	}
+	// Above but noisy with tiny n: not significant.
+	if SignificantlyAbove(9, 20, 3, 8, 0.05) {
+		t.Fatal("noisy small sample flagged")
+	}
+	// n < 2 falls back to plain comparison.
+	if !SignificantlyAbove(10, 0, 1, 8, 0.05) {
+		t.Fatal("n=1 fallback should compare means")
+	}
+	if SignificantlyAbove(10, 0, 0, 8, 0.05) {
+		t.Fatal("n=0 should never be significant")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotoneBounded(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := Percentile(xs, p1), Percentile(xs, p2)
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		return v1 <= v2 && v1 >= sorted[0] && v2 <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Welford mean always lies within [min, max] of inputs.
+func TestPropertyWelfordMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		var w Welford
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			w.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		return w.Mean() >= lo-1e-6 && w.Mean() <= hi+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+// Package straggler implements CLAMShell's straggler mitigation (paper §4.1):
+// the crowd analogue of speculative execution in Hadoop/Spark. When every
+// task in a batch is active or complete, available workers are immediately
+// assigned to in-flight ("straggling") tasks, creating duplicate assignments.
+// The first completed assignment wins; the platform terminates the rest and
+// their workers are rerouted (and still paid for partial work).
+//
+// The Mitigator also implements the paper's decoupling of straggler
+// mitigation from redundancy-based quality control: a task requiring a
+// quorum of Q answers stays active until Q answers arrive, and mitigation
+// adds only one speculative worker at a time, rather than naively doubling
+// every outstanding assignment.
+package straggler
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/crowd"
+	"github.com/clamshell/clamshell/internal/task"
+)
+
+// Policy selects which active task a speculative worker is routed to. The
+// paper's simulations found the choice does not matter (random performs as
+// well as an oracle); all four studied policies are provided so the Routing
+// ablation can reproduce that result.
+type Policy int
+
+// Routing policies.
+const (
+	Random         Policy = iota // uniformly random active task
+	LongestRunning               // task whose oldest assignment started earliest
+	FewestActive                 // task with fewest active assignments
+	Oracle                       // task whose earliest completion is farthest away
+)
+
+// String renders the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Random:
+		return "random"
+	case LongestRunning:
+		return "longest-running"
+	case FewestActive:
+		return "fewest-active"
+	case Oracle:
+		return "oracle"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a Mitigator.
+type Config struct {
+	Enabled bool   // straggler mitigation on/off (SM vs NoSM)
+	Policy  Policy // routing policy for speculative assignments
+
+	// SpeculationLimit caps speculative assignments per outstanding answer.
+	// 0 means unlimited (plain mitigation, quorum 1). The paper's decoupled
+	// quality-control integration corresponds to 1.
+	SpeculationLimit int
+
+	// Coupled enables the naive quality-control combination the paper warns
+	// about (§4.1): duplicating a quorum-Q task creates up to 2Q
+	// assignments instead of Q+limit. For the QCDecouple ablation only.
+	Coupled bool
+}
+
+// Mitigator routes available workers to tasks and terminates straggling
+// duplicates when a task completes.
+type Mitigator struct {
+	cfg      Config
+	platform *crowd.Platform
+	rng      *rand.Rand
+
+	set    *task.Set
+	active map[task.ID][]*crowd.Slot // slots currently working on each task
+
+	speculated int // speculative assignments issued (cost diagnostics)
+}
+
+// New creates a Mitigator over the platform.
+func New(cfg Config, platform *crowd.Platform, rng *rand.Rand) *Mitigator {
+	return &Mitigator{
+		cfg:      cfg,
+		platform: platform,
+		rng:      rng,
+		active:   make(map[task.ID][]*crowd.Slot),
+	}
+}
+
+// SetBatch points the Mitigator at the current batch of tasks. Pending
+// active bookkeeping is preserved (tasks can straddle batches when the
+// batch size exceeds the pool).
+func (m *Mitigator) SetBatch(set *task.Set) { m.set = set }
+
+// Speculated returns how many speculative (duplicate) assignments were made.
+func (m *Mitigator) Speculated() int { return m.speculated }
+
+// maxActive returns the assignment cap for a task given its outstanding
+// answer count.
+func (m *Mitigator) maxActive(t *task.Task) int {
+	needed := t.AnswersNeeded()
+	if needed == 0 {
+		return 0
+	}
+	if m.cfg.Coupled {
+		return 2 * needed
+	}
+	if m.cfg.SpeculationLimit <= 0 {
+		return 1 << 30 // effectively unlimited
+	}
+	return needed + m.cfg.SpeculationLimit
+}
+
+// RouteIdle assigns the available slot to the best next task: first a task
+// that still needs primary assignments (active < answers needed), then — if
+// mitigation is enabled — a speculative duplicate on an active incomplete
+// task chosen by the routing policy. It returns the started assignment, or
+// nil if there is no work for the slot.
+func (m *Mitigator) RouteIdle(s *crowd.Slot) *task.Assignment {
+	if m.set == nil || s.Busy() || s.Evicted() {
+		return nil
+	}
+	if t := m.pickStarved(); t != nil {
+		return m.assign(s, t, false)
+	}
+	if !m.cfg.Enabled {
+		return nil
+	}
+	if t := m.pickSpeculative(); t != nil {
+		return m.assign(s, t, true)
+	}
+	return nil
+}
+
+// pickStarved returns an incomplete task with fewer active assignments than
+// outstanding answers, preferring unassigned tasks (in order) for cache-
+// friendly FIFO behaviour.
+func (m *Mitigator) pickStarved() *task.Task {
+	for _, t := range m.set.All() {
+		if t.State() != task.Complete && t.ActiveAssignments() < t.AnswersNeeded() {
+			return t
+		}
+	}
+	return nil
+}
+
+// pickSpeculative chooses an active incomplete task below its assignment cap
+// according to the configured policy.
+func (m *Mitigator) pickSpeculative() *task.Task {
+	var candidates []*task.Task
+	for _, t := range m.set.All() {
+		if t.State() == task.Active && t.ActiveAssignments() < m.maxActive(t) {
+			candidates = append(candidates, t)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	switch m.cfg.Policy {
+	case Random:
+		return candidates[m.rng.Intn(len(candidates))]
+	case LongestRunning:
+		return m.argmax(candidates, func(t *task.Task) float64 {
+			return -m.oldestStart(t)
+		})
+	case FewestActive:
+		return m.argmax(candidates, func(t *task.Task) float64 {
+			return -float64(t.ActiveAssignments())
+		})
+	case Oracle:
+		return m.argmax(candidates, func(t *task.Task) float64 {
+			return m.earliestExpectedEnd(t)
+		})
+	default:
+		return candidates[m.rng.Intn(len(candidates))]
+	}
+}
+
+// argmax returns the candidate maximizing score, first-wins on ties.
+func (m *Mitigator) argmax(ts []*task.Task, score func(*task.Task) float64) *task.Task {
+	best := ts[0]
+	bestScore := score(best)
+	for _, t := range ts[1:] {
+		if sc := score(t); sc > bestScore {
+			best, bestScore = t, sc
+		}
+	}
+	return best
+}
+
+// oldestStart returns the epoch-seconds of the earliest-started active
+// assignment on t (+inf if unknown).
+func (m *Mitigator) oldestStart(t *task.Task) float64 {
+	slots := m.active[t.ID]
+	if len(slots) == 0 {
+		return 0
+	}
+	oldest := slots[0].Current().Start
+	for _, s := range slots[1:] {
+		if st := s.Current().Start; st.Before(oldest) {
+			oldest = st
+		}
+	}
+	return float64(oldest.UnixNano()) / 1e9
+}
+
+// earliestExpectedEnd returns the epoch-seconds at which the task's fastest
+// in-flight assignment will complete — information only an oracle has.
+func (m *Mitigator) earliestExpectedEnd(t *task.Task) float64 {
+	slots := m.active[t.ID]
+	if len(slots) == 0 {
+		return 0
+	}
+	earliest := slots[0].ExpectedCompletion()
+	for _, s := range slots[1:] {
+		if e := s.ExpectedCompletion(); e.Before(earliest) {
+			earliest = e
+		}
+	}
+	return float64(earliest.UnixNano()) / 1e9
+}
+
+// assign starts the slot on the task and tracks the in-flight set.
+func (m *Mitigator) assign(s *crowd.Slot, t *task.Task, speculative bool) *task.Assignment {
+	if speculative {
+		m.speculated++
+	}
+	a := m.platform.Assign(s, t)
+	m.active[t.ID] = append(m.active[t.ID], s)
+	return a
+}
+
+// HandleCompletion processes a finished assignment: records the answer into
+// the task, terminates now-redundant duplicates if the task completed (or
+// trims over-cap speculation for quorum tasks), and returns the slots freed
+// by those terminations so the caller can reroute them. completed reports
+// whether this answer completed the task.
+func (m *Mitigator) HandleCompletion(s *crowd.Slot, a *task.Assignment, ans task.Answer) (freed []*crowd.Slot, completed bool) {
+	t := a.Task
+	m.removeActive(t.ID, s)
+	completed = t.AssignmentEnded(&ans)
+
+	if completed {
+		// First answer(s) in: everyone else still working on this task is a
+		// redundant straggler. Terminate and free them.
+		for _, dup := range m.active[t.ID] {
+			if m.platform.Terminate(dup) {
+				freed = append(freed, dup)
+			}
+		}
+		delete(m.active, t.ID)
+		return freed, true
+	}
+
+	// Quorum task still outstanding: trim any speculation above the cap,
+	// slowest-expected-first is unnecessary (paper: choice doesn't matter),
+	// so trim from the back.
+	limit := m.maxActive(t)
+	for t.ActiveAssignments() > limit {
+		slots := m.active[t.ID]
+		if len(slots) == 0 {
+			break
+		}
+		dup := slots[len(slots)-1]
+		m.removeActive(t.ID, dup)
+		if m.platform.Terminate(dup) {
+			freed = append(freed, dup)
+		}
+	}
+	return freed, false
+}
+
+// HandleEviction removes a slot from in-flight bookkeeping after the pool
+// maintainer evicted it (the platform already terminated its assignment).
+func (m *Mitigator) HandleEviction(s *crowd.Slot) {
+	for id := range m.active {
+		m.removeActive(id, s)
+	}
+}
+
+// removeActive deletes the slot from a task's in-flight list.
+func (m *Mitigator) removeActive(id task.ID, s *crowd.Slot) {
+	slots := m.active[id]
+	for i, x := range slots {
+		if x == s {
+			m.active[id] = append(slots[:i], slots[i+1:]...)
+			if len(m.active[id]) == 0 {
+				delete(m.active, id)
+			}
+			return
+		}
+	}
+}
+
+// ActiveOn returns how many slots are working on the given task according to
+// the Mitigator's bookkeeping (test hook; must agree with the task's own
+// counter).
+func (m *Mitigator) ActiveOn(id task.ID) int { return len(m.active[id]) }
+
+// expectedCompletionSlot is implemented by crowd.Slot.
+var _ interface{ ExpectedCompletion() time.Time } = (*crowd.Slot)(nil)

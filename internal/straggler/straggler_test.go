@@ -1,0 +1,270 @@
+package straggler
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/crowd"
+	"github.com/clamshell/clamshell/internal/simclock"
+	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/task"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// harness wires a platform + mitigator with the standard reroute loop so
+// tests exercise the real control flow.
+type harness struct {
+	sim *simclock.Sim
+	p   *crowd.Platform
+	m   *Mitigator
+	set *task.Set
+}
+
+func newHarness(t *testing.T, cfg Config, pop worker.Population, np int, tasks []*task.Task) *harness {
+	t.Helper()
+	sim := simclock.NewSim()
+	p := crowd.New(crowd.Config{
+		Sim: sim, RNG: stats.NewRand(42), Population: pop, Seed: 42,
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	m := New(cfg, p, stats.NewRand(43))
+	set := task.NewSet(tasks)
+	m.SetBatch(set)
+	h := &harness{sim: sim, p: p, m: m, set: set}
+	p.OnAssignmentFinished = func(s *crowd.Slot, a *task.Assignment, ans task.Answer) {
+		freed, _ := m.HandleCompletion(s, a, ans)
+		for _, f := range freed {
+			m.RouteIdle(f)
+		}
+		m.RouteIdle(s)
+	}
+	p.RecruitN(np, func(s *crowd.Slot) { m.RouteIdle(s) })
+	return h
+}
+
+func mkTasks(n, ng, quorum int) []*task.Task {
+	ts := make([]*task.Task, n)
+	for i := range ts {
+		truth := make([]int, ng)
+		ts[i] = task.New(task.ID(i+1), ng, truth, 2, quorum)
+	}
+	return ts
+}
+
+// slowFastPop yields one very slow worker first, then fast ones.
+func slowFastPop(slow, fast time.Duration) worker.Population {
+	n := 0
+	return worker.PopulationFunc(func() worker.Params {
+		n++
+		mean := fast
+		if n == 1 {
+			mean = slow
+		}
+		return worker.Params{ID: worker.ID(n), Mean: mean, Std: 0, Accuracy: 1}
+	})
+}
+
+func TestMitigationHidesStraggler(t *testing.T) {
+	// 2 tasks, 2 workers: worker1 needs 100s/task, worker2 needs 2s/task.
+	// Without mitigation the batch waits for the slow worker (100s). With
+	// mitigation, the fast worker finishes its task, speculates on the slow
+	// worker's task, and the batch completes in ~4s.
+	run := func(enabled bool) time.Duration {
+		h := newHarness(t, Config{Enabled: enabled, Policy: Random},
+			slowFastPop(100*time.Second, 2*time.Second), 2, mkTasks(2, 1, 1))
+		h.sim.Run()
+		if !h.set.Complete() {
+			t.Fatal("batch did not complete")
+		}
+		return h.sim.Elapsed()
+	}
+	without := run(false)
+	with := run(true)
+	if without < 100*time.Second {
+		t.Fatalf("NoSM finished in %v, expected to block on straggler", without)
+	}
+	if with > 10*time.Second {
+		t.Fatalf("SM finished in %v, expected ~4s", with)
+	}
+}
+
+func TestTerminatedStragglersAreRerouted(t *testing.T) {
+	// 3 tasks, 2 workers: when the fast worker's duplicate completes the
+	// slow worker's task, the slow worker must be terminated and rerouted.
+	h := newHarness(t, Config{Enabled: true, Policy: Random},
+		slowFastPop(100*time.Second, 2*time.Second), 2, mkTasks(3, 1, 1))
+	h.sim.Run()
+	if !h.set.Complete() {
+		t.Fatal("batch did not complete")
+	}
+	if h.p.Trace().TerminatedCount() == 0 {
+		t.Fatal("no terminations recorded; straggler never killed")
+	}
+	if h.sim.Elapsed() > 20*time.Second {
+		t.Fatalf("elapsed %v, fast worker should have done nearly everything", h.sim.Elapsed())
+	}
+}
+
+func TestNoSpeculationWhenDisabled(t *testing.T) {
+	h := newHarness(t, Config{Enabled: false},
+		slowFastPop(50*time.Second, time.Second), 4, mkTasks(2, 1, 1))
+	h.sim.Run()
+	if h.m.Speculated() != 0 {
+		t.Fatalf("speculated %d with mitigation disabled", h.m.Speculated())
+	}
+	if h.p.Trace().TerminatedCount() != 0 {
+		t.Fatal("terminations without mitigation")
+	}
+}
+
+func TestQuorumDecoupledCapsSpeculation(t *testing.T) {
+	// One task, quorum 3, SpeculationLimit 1, 6 workers: active assignments
+	// must never exceed needed+1 = 4.
+	tasks := mkTasks(1, 1, 3)
+	h := newHarness(t, Config{Enabled: true, Policy: Random, SpeculationLimit: 1},
+		worker.Uniform(5*time.Second, 2*time.Second, 1), 6, tasks)
+	maxActive := 0
+	for h.sim.Step() {
+		if a := tasks[0].ActiveAssignments(); a > maxActive {
+			maxActive = a
+		}
+	}
+	if !h.set.Complete() {
+		t.Fatal("task did not complete")
+	}
+	if len(tasks[0].Answers()) != 3 {
+		t.Fatalf("answers = %d, want 3", len(tasks[0].Answers()))
+	}
+	if maxActive > 4 {
+		t.Fatalf("active peaked at %d, decoupled cap is 4", maxActive)
+	}
+}
+
+func TestCoupledModeOverAssigns(t *testing.T) {
+	// Naive coupling allows 2×quorum assignments: with 6 workers and quorum
+	// 3, all 6 should be assigned at once.
+	tasks := mkTasks(1, 1, 3)
+	h := newHarness(t, Config{Enabled: true, Policy: Random, Coupled: true},
+		worker.Uniform(5*time.Second, 2*time.Second, 1), 6, tasks)
+	maxActive := 0
+	for h.sim.Step() {
+		if a := tasks[0].ActiveAssignments(); a > maxActive {
+			maxActive = a
+		}
+	}
+	if maxActive != 6 {
+		t.Fatalf("active peaked at %d, coupled mode should reach 6", maxActive)
+	}
+}
+
+func TestAllPoliciesComplete(t *testing.T) {
+	for _, pol := range []Policy{Random, LongestRunning, FewestActive, Oracle} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			rng := stats.NewRand(7)
+			pop := worker.Live(rng)
+			h := newHarness(t, Config{Enabled: true, Policy: pol}, pop, 10, mkTasks(20, 5, 1))
+			h.sim.Run()
+			if !h.set.Complete() {
+				t.Fatalf("policy %v did not complete the batch", pol)
+			}
+		})
+	}
+}
+
+func TestPolicyStringUnknown(t *testing.T) {
+	if Policy(42).String() == "" {
+		t.Fatal("unknown policy must render")
+	}
+}
+
+func TestRouteIdleNoBatch(t *testing.T) {
+	sim := simclock.NewSim()
+	p := crowd.New(crowd.Config{
+		Sim: sim, RNG: stats.NewRand(1), Population: worker.Uniform(time.Second, 0, 1),
+		RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+	})
+	m := New(Config{Enabled: true}, p, stats.NewRand(2))
+	var slot *crowd.Slot
+	p.RecruitN(1, func(s *crowd.Slot) { slot = s })
+	sim.Run()
+	if m.RouteIdle(slot) != nil {
+		t.Fatal("RouteIdle with no batch should return nil")
+	}
+}
+
+func TestRouteIdleBusySlotNil(t *testing.T) {
+	tasks := mkTasks(2, 1, 1)
+	h := newHarness(t, Config{Enabled: true}, worker.Uniform(10*time.Second, 0, 1), 1, tasks)
+	h.sim.RunUntil(h.sim.Now()) // fire the instant recruitment events
+	// The slot was routed on join; routing it again while busy must be nil.
+	slot := h.p.Slots()[0]
+	if !slot.Busy() {
+		t.Fatal("slot should be busy")
+	}
+	if h.m.RouteIdle(slot) != nil {
+		t.Fatal("RouteIdle on busy slot should return nil")
+	}
+	h.sim.Run()
+}
+
+func TestBookkeepingMatchesTaskCounters(t *testing.T) {
+	rng := stats.NewRand(99)
+	tasks := mkTasks(10, 2, 1)
+	h := newHarness(t, Config{Enabled: true, Policy: FewestActive}, worker.Live(rng), 8, tasks)
+	for h.sim.Step() {
+		for _, tk := range tasks {
+			if h.m.ActiveOn(tk.ID) != tk.ActiveAssignments() {
+				t.Fatalf("task %d: mitigator sees %d active, task has %d",
+					tk.ID, h.m.ActiveOn(tk.ID), tk.ActiveAssignments())
+			}
+		}
+	}
+}
+
+func TestBatchStdDevReduction(t *testing.T) {
+	// The headline Figure 9 effect: per-task completion latencies within a
+	// batch have much lower spread with mitigation on. Run the same batch
+	// with and without SM on a long-tail population and compare stddevs of
+	// task completion times.
+	run := func(enabled bool, seed int64) float64 {
+		sim := simclock.NewSim()
+		rng := stats.NewRand(seed)
+		p := crowd.New(crowd.Config{
+			Sim: sim, RNG: rng, Population: worker.Live(stats.NewRand(seed + 1)), Seed: seed,
+			RecruitLatency: func(_ *rand.Rand) time.Duration { return 0 },
+		})
+		m := New(Config{Enabled: enabled, Policy: Random}, p, stats.NewRand(seed+2))
+		tasks := mkTasks(15, 5, 1)
+		set := task.NewSet(tasks)
+		m.SetBatch(set)
+		var latencies []float64
+		p.OnAssignmentFinished = func(s *crowd.Slot, a *task.Assignment, ans task.Answer) {
+			freed, completed := m.HandleCompletion(s, a, ans)
+			if completed {
+				latencies = append(latencies, ans.End.Sub(ans.Start).Seconds())
+			}
+			for _, f := range freed {
+				m.RouteIdle(f)
+			}
+			m.RouteIdle(s)
+		}
+		p.RecruitN(15, func(s *crowd.Slot) { m.RouteIdle(s) })
+		sim.Run()
+		if !set.Complete() {
+			t.Fatal("batch incomplete")
+		}
+		return stats.Std(latencies)
+	}
+	var smBetter int
+	const trials = 10
+	for i := int64(0); i < trials; i++ {
+		if run(true, 100+i) < run(false, 100+i) {
+			smBetter++
+		}
+	}
+	if smBetter < 7 {
+		t.Fatalf("mitigation reduced task-latency stddev in only %d/%d trials", smBetter, trials)
+	}
+}

@@ -1,0 +1,240 @@
+// Package task defines the labeling-task lifecycle shared by the simulator,
+// the live routing server, and the CLAMShell engine: tasks (HITs grouping Ng
+// records), assignments (one worker working on one task), and answers.
+//
+// State machine (paper §4.1): a task is unassigned, active (at least one
+// worker on it), or complete (its quorum of answers arrived). An assignment
+// is active, completed, or terminated — terminated when another worker beat
+// it to the answer (straggler mitigation) or its worker was evicted.
+package task
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// ID identifies a task within a run.
+type ID int
+
+// AssignmentID identifies an assignment within a run.
+type AssignmentID int
+
+// State is the lifecycle state of a task.
+type State int
+
+// Task states.
+const (
+	Unassigned State = iota
+	Active
+	Complete
+)
+
+// String renders the state for logs and traces.
+func (s State) String() string {
+	switch s {
+	case Unassigned:
+		return "unassigned"
+	case Active:
+		return "active"
+	case Complete:
+		return "complete"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Answer is one worker's completed pass over a task's records.
+type Answer struct {
+	Worker worker.ID
+	Labels []int // one label per record
+	Start  time.Time
+	End    time.Time
+}
+
+// Latency is the wall time the worker spent on the task.
+func (a Answer) Latency() time.Duration { return a.End.Sub(a.Start) }
+
+// Task is a unit of crowd work: Ng records labeled together in one HIT.
+type Task struct {
+	ID      ID
+	Records int   // Ng, number of records grouped into the task
+	Truth   []int // ground-truth class per record (simulation only; may be nil)
+	Classes int   // number of label classes
+	Quorum  int   // answers required before the task completes (>=1)
+	Batch   int   // index of the batch this task was issued in
+
+	state   State
+	answers []Answer
+	active  int // number of in-flight assignments
+}
+
+// New creates a task with ng records and the given ground truth. quorum < 1
+// is clamped to 1.
+func New(id ID, ng int, truth []int, classes, quorum int) *Task {
+	if ng < 1 {
+		ng = 1
+	}
+	if quorum < 1 {
+		quorum = 1
+	}
+	if classes < 2 {
+		classes = 2
+	}
+	return &Task{ID: id, Records: ng, Truth: truth, Classes: classes, Quorum: quorum}
+}
+
+// State returns the task's lifecycle state.
+func (t *Task) State() State { return t.state }
+
+// Answers returns the recorded answers (shared slice; callers must not
+// mutate).
+func (t *Task) Answers() []Answer { return t.answers }
+
+// ActiveAssignments returns the number of in-flight assignments.
+func (t *Task) ActiveAssignments() int { return t.active }
+
+// AnswersNeeded returns how many more answers the task requires to complete.
+func (t *Task) AnswersNeeded() int {
+	n := t.Quorum - len(t.answers)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// AssignmentStarted transitions the task when a worker begins an assignment.
+// Starting work on a complete task is a programming error.
+func (t *Task) AssignmentStarted() {
+	if t.state == Complete {
+		panic(fmt.Sprintf("task %d: assignment started on complete task", t.ID))
+	}
+	t.active++
+	t.state = Active
+}
+
+// AssignmentEnded transitions the task when an in-flight assignment stops
+// (completed or terminated). If the assignment completed, answer carries the
+// result and is recorded; completion of the quorum marks the task Complete.
+// It returns true if this call completed the task.
+func (t *Task) AssignmentEnded(answer *Answer) bool {
+	if t.active <= 0 {
+		panic(fmt.Sprintf("task %d: assignment ended with none active", t.ID))
+	}
+	t.active--
+	if answer != nil && t.state != Complete {
+		t.answers = append(t.answers, *answer)
+		if len(t.answers) >= t.Quorum {
+			t.state = Complete
+			return true
+		}
+	}
+	if t.state != Complete && t.active == 0 {
+		t.state = Unassigned
+	}
+	return false
+}
+
+// AssignmentState is the lifecycle state of an assignment.
+type AssignmentState int
+
+// Assignment states.
+const (
+	AssignmentActive AssignmentState = iota
+	AssignmentCompleted
+	AssignmentTerminated
+)
+
+// String renders the assignment state.
+func (s AssignmentState) String() string {
+	switch s {
+	case AssignmentActive:
+		return "active"
+	case AssignmentCompleted:
+		return "completed"
+	case AssignmentTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("AssignmentState(%d)", int(s))
+	}
+}
+
+// Assignment is one worker actively working (or having worked) on one task.
+type Assignment struct {
+	ID     AssignmentID
+	Task   *Task
+	Worker worker.ID
+	Start  time.Time
+	End    time.Time // zero while active
+	State  AssignmentState
+}
+
+// Latency returns End-Start for finished assignments and 0 while active.
+func (a *Assignment) Latency() time.Duration {
+	if a.State == AssignmentActive {
+		return 0
+	}
+	return a.End.Sub(a.Start)
+}
+
+// Set is an ordered collection of tasks with by-state indexing, used by the
+// Batcher and the straggler Mitigator to route work.
+type Set struct {
+	tasks []*Task
+}
+
+// NewSet returns a Set over the given tasks.
+func NewSet(tasks []*Task) *Set {
+	return &Set{tasks: tasks}
+}
+
+// All returns the underlying tasks (shared slice; callers must not mutate).
+func (s *Set) All() []*Task { return s.tasks }
+
+// Len returns the number of tasks.
+func (s *Set) Len() int { return len(s.tasks) }
+
+// Unassigned returns tasks with no active assignment that still need answers.
+func (s *Set) Unassigned() []*Task {
+	var out []*Task
+	for _, t := range s.tasks {
+		if t.State() == Unassigned {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ActiveIncomplete returns tasks that are being worked on but not complete —
+// the straggler-mitigation candidates.
+func (s *Set) ActiveIncomplete() []*Task {
+	var out []*Task
+	for _, t := range s.tasks {
+		if t.State() == Active {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Complete reports whether every task in the set is complete.
+func (s *Set) Complete() bool {
+	for _, t := range s.tasks {
+		if t.State() != Complete {
+			return false
+		}
+	}
+	return true
+}
+
+// CompletedCount returns the number of complete tasks.
+func (s *Set) CompletedCount() int {
+	n := 0
+	for _, t := range s.tasks {
+		if t.State() == Complete {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,211 @@
+package task
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewClamps(t *testing.T) {
+	tk := New(1, 0, nil, 0, 0)
+	if tk.Records != 1 || tk.Quorum != 1 || tk.Classes != 2 {
+		t.Fatalf("clamps wrong: %+v", tk)
+	}
+}
+
+func TestLifecycleSingleQuorum(t *testing.T) {
+	tk := New(1, 5, []int{0, 1, 0, 1, 0}, 2, 1)
+	if tk.State() != Unassigned {
+		t.Fatal("new task must be unassigned")
+	}
+	tk.AssignmentStarted()
+	if tk.State() != Active || tk.ActiveAssignments() != 1 {
+		t.Fatalf("state = %v active = %d", tk.State(), tk.ActiveAssignments())
+	}
+	done := tk.AssignmentEnded(&Answer{Worker: 1, Labels: []int{0, 1, 0, 1, 0}})
+	if !done || tk.State() != Complete {
+		t.Fatalf("done=%v state=%v", done, tk.State())
+	}
+	if len(tk.Answers()) != 1 {
+		t.Fatalf("answers = %d", len(tk.Answers()))
+	}
+}
+
+func TestLifecycleTerminationRevertsToUnassigned(t *testing.T) {
+	tk := New(1, 1, []int{0}, 2, 1)
+	tk.AssignmentStarted()
+	done := tk.AssignmentEnded(nil) // terminated, no answer
+	if done || tk.State() != Unassigned {
+		t.Fatalf("done=%v state=%v, want unassigned", done, tk.State())
+	}
+}
+
+func TestLifecycleQuorum3(t *testing.T) {
+	tk := New(1, 1, []int{1}, 2, 3)
+	for i := 0; i < 2; i++ {
+		tk.AssignmentStarted()
+		if tk.AssignmentEnded(&Answer{Worker: 1, Labels: []int{1}}) {
+			t.Fatal("completed before quorum")
+		}
+		if tk.State() != Unassigned {
+			t.Fatalf("state = %v between answers", tk.State())
+		}
+	}
+	if tk.AnswersNeeded() != 1 {
+		t.Fatalf("AnswersNeeded = %d, want 1", tk.AnswersNeeded())
+	}
+	tk.AssignmentStarted()
+	if !tk.AssignmentEnded(&Answer{Worker: 2, Labels: []int{1}}) {
+		t.Fatal("quorum answer did not complete task")
+	}
+	if tk.AnswersNeeded() != 0 {
+		t.Fatalf("AnswersNeeded = %d after completion", tk.AnswersNeeded())
+	}
+}
+
+func TestDuplicateAssignmentsRaceOnlyFirstAnswers(t *testing.T) {
+	tk := New(1, 1, []int{0}, 2, 1)
+	tk.AssignmentStarted()
+	tk.AssignmentStarted() // speculative duplicate
+	if tk.ActiveAssignments() != 2 {
+		t.Fatalf("active = %d", tk.ActiveAssignments())
+	}
+	if !tk.AssignmentEnded(&Answer{Worker: 1, Labels: []int{0}}) {
+		t.Fatal("first answer should complete")
+	}
+	// Loser's answer arrives after completion: must be dropped.
+	tk.AssignmentEnded(&Answer{Worker: 2, Labels: []int{1}})
+	if len(tk.Answers()) != 1 {
+		t.Fatalf("answers = %d, want 1 (late answer dropped)", len(tk.Answers()))
+	}
+	if tk.State() != Complete {
+		t.Fatalf("state = %v", tk.State())
+	}
+}
+
+func TestStartOnCompletePanics(t *testing.T) {
+	tk := New(1, 1, []int{0}, 2, 1)
+	tk.AssignmentStarted()
+	tk.AssignmentEnded(&Answer{Worker: 1, Labels: []int{0}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tk.AssignmentStarted()
+}
+
+func TestEndWithNoneActivePanics(t *testing.T) {
+	tk := New(1, 1, []int{0}, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tk.AssignmentEnded(nil)
+}
+
+func TestAnswerLatency(t *testing.T) {
+	start := time.Date(2015, 9, 20, 0, 0, 0, 0, time.UTC)
+	a := Answer{Start: start, End: start.Add(3 * time.Second)}
+	if a.Latency() != 3*time.Second {
+		t.Fatalf("latency = %v", a.Latency())
+	}
+}
+
+func TestAssignmentLatency(t *testing.T) {
+	start := time.Date(2015, 9, 20, 0, 0, 0, 0, time.UTC)
+	a := &Assignment{Start: start, State: AssignmentActive}
+	if a.Latency() != 0 {
+		t.Fatal("active assignment latency must be 0")
+	}
+	a.End = start.Add(2 * time.Second)
+	a.State = AssignmentCompleted
+	if a.Latency() != 2*time.Second {
+		t.Fatalf("latency = %v", a.Latency())
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if Unassigned.String() != "unassigned" || Active.String() != "active" || Complete.String() != "complete" {
+		t.Fatal("task state strings wrong")
+	}
+	if State(99).String() == "" || AssignmentState(99).String() == "" {
+		t.Fatal("unknown states must still render")
+	}
+	if AssignmentActive.String() != "active" || AssignmentCompleted.String() != "completed" || AssignmentTerminated.String() != "terminated" {
+		t.Fatal("assignment state strings wrong")
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	tasks := []*Task{
+		New(1, 1, []int{0}, 2, 1),
+		New(2, 1, []int{0}, 2, 1),
+		New(3, 1, []int{0}, 2, 1),
+	}
+	s := NewSet(tasks)
+	if s.Len() != 3 || len(s.All()) != 3 {
+		t.Fatal("set size wrong")
+	}
+	tasks[0].AssignmentStarted()
+	tasks[1].AssignmentStarted()
+	tasks[1].AssignmentEnded(&Answer{Worker: 1, Labels: []int{0}})
+
+	if got := len(s.Unassigned()); got != 1 {
+		t.Fatalf("unassigned = %d, want 1", got)
+	}
+	if got := len(s.ActiveIncomplete()); got != 1 {
+		t.Fatalf("active = %d, want 1", got)
+	}
+	if s.Complete() {
+		t.Fatal("set should not be complete")
+	}
+	if s.CompletedCount() != 1 {
+		t.Fatalf("completed = %d", s.CompletedCount())
+	}
+	tasks[0].AssignmentEnded(&Answer{Worker: 2, Labels: []int{0}})
+	tasks[2].AssignmentStarted()
+	tasks[2].AssignmentEnded(&Answer{Worker: 3, Labels: []int{0}})
+	if !s.Complete() {
+		t.Fatal("set should be complete")
+	}
+}
+
+// Property: for any interleaving of starts and ends, the invariants hold:
+// active >= 0, answers never exceed quorum, and once Complete the task stays
+// Complete.
+func TestPropertyLifecycleInvariants(t *testing.T) {
+	f := func(ops []bool, quorum uint8) bool {
+		q := int(quorum%5) + 1
+		tk := New(1, 1, []int{0}, 2, q)
+		wasComplete := false
+		for _, start := range ops {
+			if start {
+				if tk.State() != Complete {
+					tk.AssignmentStarted()
+				}
+			} else {
+				if tk.ActiveAssignments() > 0 {
+					tk.AssignmentEnded(&Answer{Worker: 1, Labels: []int{0}})
+				}
+			}
+			if tk.ActiveAssignments() < 0 {
+				return false
+			}
+			if len(tk.Answers()) > q {
+				return false
+			}
+			if wasComplete && tk.State() != Complete {
+				return false
+			}
+			if tk.State() == Complete {
+				wasComplete = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package worker
+
+import "time"
+
+// Nonstationary worker dynamics. The paper's latency taxonomy (§2.1) notes
+// that work time "can vary depending on the worker competency, the time of
+// day, fatigue, and numerous other factors", and its live results observe
+// that "workers may not maintain consistent speed over time" (§6.2) — which
+// is why pool maintenance keeps re-estimating empirical speed instead of
+// trusting a one-shot measurement. These fields make the simulated workers
+// drift the same way so that claim can be exercised:
+//
+//   - Warmup: a worker's first tasks are slower while they learn the task
+//     interface (the qualification-and-training phase of §2.1 shortens but
+//     does not eliminate this).
+//   - Fatigue: sustained work slows workers down (§2.1's fatigue factor,
+//     after Krueger's sustained-work review, the paper's [32]).
+//
+// Both scale the drawn latency multiplicatively; accuracy is untouched.
+
+// WarmupFactor is the latency multiplier for a worker's very first task
+// (declining linearly to 1 across the warmup window).
+const WarmupFactor = 2.0
+
+// FatigueCap bounds the cumulative fatigue slowdown: beyond 3x, real
+// workers stop instead of grinding ever slower.
+const FatigueCap = 3.0
+
+// dynamicFactor returns the latency multiplier for the worker's next task,
+// given how many tasks they have drawn so far.
+func (w *Worker) dynamicFactor() float64 {
+	f := 1.0
+	if w.Warmup > 0 && w.drawn < w.Warmup {
+		// Linear decay from WarmupFactor on task 0 to 1 at the window end.
+		f *= WarmupFactor - (WarmupFactor-1)*float64(w.drawn)/float64(w.Warmup)
+	}
+	if w.Fatigue > 0 {
+		g := 1 + w.Fatigue*float64(w.drawn)
+		if g > FatigueCap {
+			g = FatigueCap
+		}
+		f *= g
+	}
+	return f
+}
+
+// TasksDrawn returns how many task latencies the worker has drawn (the
+// dynamics clock: terminated assignments count — the effort was spent).
+func (w *Worker) TasksDrawn() int { return w.drawn }
+
+// WithDynamics wraps a population so every drawn worker carries the given
+// fatigue rate (fractional slowdown per completed task, e.g. 0.02 = +2%
+// per task, capped at FatigueCap) and warmup window (tasks). Zero values
+// leave the corresponding dynamic off.
+func WithDynamics(pop Population, fatigue float64, warmup int) Population {
+	return PopulationFunc(func() Params {
+		p := pop.Draw()
+		p.Fatigue = fatigue
+		p.Warmup = warmup
+		return p
+	})
+}
+
+// dynamicLatency applies the drift factor to a base latency and advances
+// the dynamics clock.
+func (w *Worker) dynamicLatency(base time.Duration) time.Duration {
+	f := w.dynamicFactor()
+	w.drawn++
+	if f == 1 {
+		return base
+	}
+	return time.Duration(float64(base) * f)
+}

@@ -1,0 +1,121 @@
+package worker
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// det builds a deterministic worker (Std 0, no distraction) with dynamics.
+func det(mean time.Duration, fatigue float64, warmup int) *Worker {
+	return New(Params{
+		ID: 1, Mean: mean, Accuracy: 1,
+		Fatigue: fatigue, Warmup: warmup,
+	}, 42)
+}
+
+func TestNoDynamicsIsStationary(t *testing.T) {
+	w := det(10*time.Second, 0, 0)
+	for i := 0; i < 5; i++ {
+		if got := w.Latency(1); got != 10*time.Second {
+			t.Fatalf("draw %d: latency %v, want 10s exactly", i, got)
+		}
+	}
+}
+
+func TestFatigueSlowsWorkerDown(t *testing.T) {
+	w := det(10*time.Second, 0.1, 0)
+	first := w.Latency(1)
+	var last time.Duration
+	for i := 0; i < 9; i++ {
+		last = w.Latency(1)
+	}
+	if first != 10*time.Second {
+		t.Fatalf("first draw %v, want 10s (no fatigue yet)", first)
+	}
+	// After 9 completed tasks the multiplier is 1 + 0.1*9 = 1.9.
+	want := time.Duration(float64(10*time.Second) * 1.9)
+	if last != want {
+		t.Fatalf("10th draw %v, want %v", last, want)
+	}
+}
+
+func TestFatigueCapped(t *testing.T) {
+	w := det(10*time.Second, 0.5, 0)
+	var last time.Duration
+	for i := 0; i < 50; i++ {
+		last = w.Latency(1)
+	}
+	want := time.Duration(float64(10*time.Second) * FatigueCap)
+	if last != want {
+		t.Fatalf("latency after 50 tasks = %v, want capped at %v", last, want)
+	}
+}
+
+func TestWarmupDecaysToBase(t *testing.T) {
+	w := det(10*time.Second, 0, 4)
+	seq := make([]time.Duration, 6)
+	for i := range seq {
+		seq[i] = w.Latency(1)
+	}
+	if seq[0] != 20*time.Second {
+		t.Fatalf("first task %v, want %v (WarmupFactor 2x)", seq[0], 20*time.Second)
+	}
+	for i := 1; i < 4; i++ {
+		if seq[i] >= seq[i-1] {
+			t.Fatalf("warmup not monotone decreasing: %v", seq)
+		}
+	}
+	if seq[4] != 10*time.Second || seq[5] != 10*time.Second {
+		t.Fatalf("post-warmup latency %v/%v, want 10s", seq[4], seq[5])
+	}
+}
+
+func TestWarmupAndFatigueCompose(t *testing.T) {
+	w := det(10*time.Second, 0.1, 2)
+	// Task 0: warmup factor 2.0, fatigue 1.0 -> 20s.
+	if got := w.Latency(1); got != 20*time.Second {
+		t.Fatalf("task 0: %v, want 20s", got)
+	}
+	// Task 1: warmup 1.5, fatigue 1.1 -> 16.5s.
+	want := 16.5 * float64(time.Second)
+	if got := w.Latency(1); math.Abs(float64(got)-want) > float64(time.Millisecond) {
+		t.Fatalf("task 1: %v, want ~16.5s", got)
+	}
+}
+
+func TestTasksDrawnCountsEveryDraw(t *testing.T) {
+	w := det(time.Second, 0, 0)
+	for i := 0; i < 3; i++ {
+		w.Latency(2)
+	}
+	if got := w.TasksDrawn(); got != 3 {
+		t.Fatalf("TasksDrawn = %d, want 3", got)
+	}
+}
+
+func TestWithDynamicsWrapsPopulation(t *testing.T) {
+	base := Uniform(5*time.Second, 0, 0.9)
+	pop := WithDynamics(base, 0.05, 3)
+	for i := 0; i < 4; i++ {
+		p := pop.Draw()
+		if p.Fatigue != 0.05 || p.Warmup != 3 {
+			t.Fatalf("draw %d: dynamics not applied: %+v", i, p)
+		}
+		if p.Mean != 5*time.Second || math.Abs(p.Accuracy-0.9) > 1e-12 {
+			t.Fatalf("draw %d: base params clobbered: %+v", i, p)
+		}
+	}
+}
+
+func TestDynamicsPreserveGrouping(t *testing.T) {
+	// A grouped task is one draw: fatigue advances once per task, not per
+	// record, and the whole group shares the task's factor.
+	w := det(10*time.Second, 1.0, 0) // +100% per task, capped at 3x
+	if got := w.Latency(5); got != 50*time.Second {
+		t.Fatalf("first grouped task %v, want 50s", got)
+	}
+	if got := w.Latency(5); got != 100*time.Second {
+		t.Fatalf("second grouped task %v, want 100s (2x fatigue)", got)
+	}
+}

@@ -1,0 +1,78 @@
+package worker
+
+import (
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/stats"
+)
+
+func TestDistractionCreatesHeavyTail(t *testing.T) {
+	base := Params{ID: 1, Mean: 5 * time.Second, Std: time.Second}
+	distracted := base
+	distracted.ID = 2
+	distracted.Distraction = 0.05
+
+	sample := func(p Params) []float64 {
+		w := New(p, 7)
+		out := make([]float64, 20000)
+		for i := range out {
+			out[i] = w.Latency(1).Seconds()
+		}
+		return out
+	}
+	plain := stats.Summarize(sample(base))
+	heavy := stats.Summarize(sample(distracted))
+
+	// Medians barely move; the tail explodes.
+	if heavy.Median > plain.Median*1.3 {
+		t.Fatalf("distraction moved the median too much: %v vs %v", heavy.Median, plain.Median)
+	}
+	if heavy.P99 < 3*plain.P99 {
+		t.Fatalf("distraction did not fatten the tail: p99 %v vs %v", heavy.P99, plain.P99)
+	}
+	// Outliers are bounded by the 5-15x multiplier on the drawn latency.
+	if heavy.Max > 40*plain.Median*15 {
+		t.Fatalf("outlier beyond physical bound: %v", heavy.Max)
+	}
+}
+
+func TestZeroStdIsDeterministic(t *testing.T) {
+	w := New(Params{ID: 3, Mean: 4 * time.Second, Std: 0}, 9)
+	for i := 0; i < 100; i++ {
+		if got := w.Latency(1); got != 4*time.Second {
+			t.Fatalf("latency = %v, want exactly 4s", got)
+		}
+	}
+	if got := w.Latency(3); got != 12*time.Second {
+		t.Fatalf("3-record latency = %v, want exactly 12s", got)
+	}
+}
+
+func TestLognormalLatencyMatchesMoments(t *testing.T) {
+	w := New(Params{ID: 4, Mean: 6 * time.Second, Std: 5 * time.Second}, 11)
+	var wf stats.Welford
+	for i := 0; i < 100000; i++ {
+		wf.Add(w.Latency(1).Seconds())
+	}
+	if m := wf.Mean(); m < 5.7 || m > 6.3 {
+		t.Fatalf("mean = %v, want ~6", m)
+	}
+	if s := wf.Std(); s < 4.4 || s > 5.6 {
+		t.Fatalf("std = %v, want ~5", s)
+	}
+}
+
+func TestLatencySkewedRight(t *testing.T) {
+	// Lognormal latencies: median below mean (right skew), unlike the old
+	// truncated-normal model.
+	w := New(Params{ID: 5, Mean: 10 * time.Second, Std: 8 * time.Second}, 13)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = w.Latency(1).Seconds()
+	}
+	s := stats.Summarize(xs)
+	if s.Median >= s.Mean {
+		t.Fatalf("median %v >= mean %v; latencies must be right-skewed", s.Median, s.Mean)
+	}
+}

@@ -1,0 +1,322 @@
+// Package worker models crowd workers: per-worker latency and accuracy
+// parameters, latency sampling, and population generators calibrated to the
+// deployments studied in the CLAMShell paper. The simulator consumes only
+// each worker's (mean, std, accuracy) triple — exactly what the paper's own
+// simulator extracts from its MTurk traces — so real traces can be dropped in
+// through the CSV loader without touching any other code.
+package worker
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/stats"
+)
+
+// ID identifies a worker within a run.
+type ID int
+
+// Params are the latent parameters of one crowd worker. Latencies are per
+// task; a task groups Ng records, and empirically (paper §6.2) per-task time
+// scales roughly linearly in Ng, which Worker.Latency reproduces.
+type Params struct {
+	ID       ID
+	Mean     time.Duration // mean per-record work latency
+	Std      time.Duration // std of per-record work latency
+	Accuracy float64       // probability of answering a record correctly
+
+	// Distraction is the per-record probability of an outlier pause 5-15x
+	// the drawn latency — the walked-away-from-the-keyboard events behind
+	// the paper's observation that even ~1-minute workers occasionally take
+	// an hour (§4, Figure 2). Zero for deterministic test populations.
+	Distraction float64
+
+	// Fatigue is the fractional latency slowdown per completed task
+	// (nonstationary drift; see dynamics.go). Zero disables fatigue.
+	Fatigue float64
+
+	// Warmup is the number of initial tasks over which a newly recruited
+	// worker is slower while learning the interface. Zero disables warmup.
+	Warmup int
+}
+
+// Worker is a live worker instance with its own deterministic RNG stream, so
+// that worker behaviour is reproducible independent of scheduling order.
+type Worker struct {
+	Params
+	rng       *rand.Rand
+	mu, sigma float64 // lognormal parameters matching (Mean, Std)
+	drawn     int     // tasks drawn so far (the dynamics clock)
+}
+
+// New instantiates a worker from parameters with its own RNG seeded from
+// seed and the worker ID.
+func New(p Params, seed int64) *Worker {
+	w := &Worker{Params: p, rng: stats.NewRand(seed ^ (int64(p.ID)+1)*0x5851f42d4c957f2d)}
+	if p.Std > 0 && p.Mean > 0 {
+		w.mu, w.sigma = stats.LogNormalFromMoments(p.Mean.Seconds(), p.Std.Seconds())
+	}
+	return w
+}
+
+// Latency draws the time the worker needs to finish one task of ng records.
+// Per-record latencies are lognormal with the worker's (Mean, Std) moments —
+// the heavy-tailed shape microtask deployments exhibit — plus rare
+// distraction outliers, with a 250ms floor, summed over the group. A worker
+// with Std 0 is exactly deterministic.
+func (w *Worker) Latency(ng int) time.Duration {
+	if ng < 1 {
+		ng = 1
+	}
+	total := 0.0
+	for i := 0; i < ng; i++ {
+		l := w.Mean.Seconds()
+		if w.sigma > 0 {
+			l = stats.LogNormal(w.rng, w.mu, w.sigma)
+		}
+		if w.Distraction > 0 && w.rng.Float64() < w.Distraction {
+			l *= 5 + 10*w.rng.Float64()
+		}
+		if l < 0.25 {
+			l = 0.25
+		}
+		total += l
+	}
+	return w.dynamicLatency(time.Duration(total * float64(time.Second)))
+}
+
+// Correct reports whether the worker labels one record correctly.
+func (w *Worker) Correct() bool {
+	return stats.Bernoulli(w.rng, w.Accuracy)
+}
+
+// Answer returns the worker's label for a record whose true class is truth,
+// out of numClasses classes. Wrong answers are uniform over the remaining
+// classes.
+func (w *Worker) Answer(truth, numClasses int) int {
+	if numClasses <= 1 || w.Correct() {
+		return truth
+	}
+	a := w.rng.Intn(numClasses - 1)
+	if a >= truth {
+		a++
+	}
+	return a
+}
+
+// Population is a distribution over worker parameters from which the
+// platform recruits.
+type Population interface {
+	// Draw samples the parameters of a newly recruited worker.
+	Draw() Params
+}
+
+// fnPopulation adapts a closure to Population.
+type fnPopulation struct {
+	next func() Params
+}
+
+func (p *fnPopulation) Draw() Params { return p.next() }
+
+// PopulationFunc wraps a sampling closure as a Population.
+func PopulationFunc(next func() Params) Population {
+	return &fnPopulation{next: next}
+}
+
+// counterID hands out sequential worker IDs.
+type counterID struct{ n ID }
+
+func (c *counterID) next() ID {
+	c.n++
+	return c.n
+}
+
+// Medical returns a population calibrated to the paper's medical-abstract
+// deployment (§2.1, Figure 2): per-HIT worker mean latencies spread from
+// tens of seconds to hours with a heavy lognormal tail (median ≈ 4 minutes),
+// per-worker stds themselves lognormal (the most consistent worker ≈ 4 min,
+// the least ≈ 2.7 h), accuracy ~ N(0.85, 0.08) truncated to [0.5, 1].
+func Medical(rng *rand.Rand) Population {
+	ids := &counterID{}
+	muM, sigM := stats.LogNormalFromMoments(6*60, 10*60) // mean 6 min, heavy tail (seconds)
+	muS, sigS := stats.LogNormalFromMoments(4*60, 12*60) // stds from minutes to hours
+	return PopulationFunc(func() Params {
+		mean := stats.LogNormal(rng, muM, sigM)
+		if mean < 20 {
+			mean = 20
+		}
+		std := stats.LogNormal(rng, muS, sigS)
+		meanD := time.Duration(mean * float64(time.Second))
+		stdD := time.Duration(std * float64(time.Second))
+		if stdD > 4*meanD { // keep per-worker variation physical
+			stdD = 4 * meanD
+		}
+		return Params{
+			ID:          ids.next(),
+			Mean:        meanD,
+			Std:         stdD,
+			Accuracy:    clamp(stats.Normal(rng, 0.85, 0.08), 0.5, 1),
+			Distraction: 0.02,
+		}
+	})
+}
+
+// Live returns a population matching the paper's live MTurk experiments
+// (§6.2, Figures 5 and 8), where per-record latencies are seconds-scale:
+// fast workers label a record in < 4 s, slow ones take ≥ 8 s, with a
+// lognormal tail out to tens of seconds.
+func Live(rng *rand.Rand) Population {
+	ids := &counterID{}
+	muM, sigM := stats.LogNormalFromMoments(6, 5) // per-record mean ≈ 6 s
+	return PopulationFunc(func() Params {
+		mean := stats.LogNormal(rng, muM, sigM)
+		if mean < 1.5 {
+			mean = 1.5
+		}
+		std := mean * (0.3 + rng.Float64()*0.9) // inconsistency scales with slowness
+		return Params{
+			ID:          ids.next(),
+			Mean:        time.Duration(mean * float64(time.Second)),
+			Std:         time.Duration(std * float64(time.Second)),
+			Accuracy:    clamp(stats.Normal(rng, 0.9, 0.05), 0.6, 1),
+			Distraction: 0.03,
+		}
+	})
+}
+
+// Bimodal returns a population that is a mixture of fast and slow workers —
+// the two-worker abstraction the paper's TermEst model (§4.3) reasons about.
+// fracFast of the workers have per-record mean fastMean, the rest slowMean,
+// each with 30% relative std.
+func Bimodal(rng *rand.Rand, fracFast float64, fastMean, slowMean time.Duration) Population {
+	ids := &counterID{}
+	return PopulationFunc(func() Params {
+		m := slowMean
+		if stats.Bernoulli(rng, fracFast) {
+			m = fastMean
+		}
+		mean := stats.TruncNormal(rng, m.Seconds(), 0.15*m.Seconds(), 0.25)
+		return Params{
+			ID:          ids.next(),
+			Mean:        time.Duration(mean * float64(time.Second)),
+			Std:         time.Duration(0.3 * mean * float64(time.Second)),
+			Accuracy:    clamp(stats.Normal(rng, 0.9, 0.05), 0.6, 1),
+			Distraction: 0.01,
+		}
+	})
+}
+
+// Uniform returns a degenerate population where every worker has identical
+// parameters — useful for tests that need exact expectations.
+func Uniform(mean, std time.Duration, accuracy float64) Population {
+	ids := &counterID{}
+	return PopulationFunc(func() Params {
+		return Params{ID: ids.next(), Mean: mean, Std: std, Accuracy: accuracy}
+	})
+}
+
+// FromParams returns a population that cycles through a fixed parameter list
+// (reassigning fresh IDs), e.g. one loaded from a trace file.
+func FromParams(ps []Params) Population {
+	if len(ps) == 0 {
+		panic("worker: FromParams requires at least one worker")
+	}
+	ids := &counterID{}
+	i := 0
+	return PopulationFunc(func() Params {
+		p := ps[i%len(ps)]
+		i++
+		p.ID = ids.next()
+		return p
+	})
+}
+
+// DrawN samples n parameter sets from a population.
+func DrawN(p Population, n int) []Params {
+	out := make([]Params, n)
+	for i := range out {
+		out[i] = p.Draw()
+	}
+	return out
+}
+
+// WriteCSV writes worker parameters as "id,mean_seconds,std_seconds,accuracy"
+// rows with a header, the interchange format for real trace imports.
+func WriteCSV(w io.Writer, ps []Params) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "mean_seconds", "std_seconds", "accuracy"}); err != nil {
+		return err
+	}
+	for _, p := range ps {
+		rec := []string{
+			strconv.Itoa(int(p.ID)),
+			strconv.FormatFloat(p.Mean.Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(p.Std.Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(p.Accuracy, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses worker parameters written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Params, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("worker: reading trace csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("worker: empty trace csv")
+	}
+	var ps []Params
+	for i, row := range rows[1:] {
+		if len(row) != 4 {
+			return nil, fmt.Errorf("worker: row %d: want 4 fields, got %d", i+2, len(row))
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("worker: row %d id: %w", i+2, err)
+		}
+		mean, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("worker: row %d mean: %w", i+2, err)
+		}
+		std, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("worker: row %d std: %w", i+2, err)
+		}
+		acc, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("worker: row %d accuracy: %w", i+2, err)
+		}
+		if mean <= 0 || std < 0 || acc < 0 || acc > 1 {
+			return nil, fmt.Errorf("worker: row %d: parameters out of range", i+2)
+		}
+		ps = append(ps, Params{
+			ID:       ID(id),
+			Mean:     time.Duration(math.Round(mean * float64(time.Second))),
+			Std:      time.Duration(math.Round(std * float64(time.Second))),
+			Accuracy: acc,
+		})
+	}
+	return ps, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,273 @@
+package worker
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/stats"
+)
+
+func TestWorkerLatencyMoments(t *testing.T) {
+	w := New(Params{ID: 1, Mean: 5 * time.Second, Std: time.Second, Accuracy: 1}, 42)
+	var wf stats.Welford
+	for i := 0; i < 20000; i++ {
+		wf.Add(w.Latency(1).Seconds())
+	}
+	if math.Abs(wf.Mean()-5) > 0.1 {
+		t.Fatalf("mean = %v, want ~5", wf.Mean())
+	}
+	if math.Abs(wf.Std()-1) > 0.1 {
+		t.Fatalf("std = %v, want ~1", wf.Std())
+	}
+}
+
+func TestWorkerLatencyScalesWithGroupSize(t *testing.T) {
+	w := New(Params{ID: 1, Mean: 4 * time.Second, Std: 500 * time.Millisecond}, 1)
+	var one, ten stats.Welford
+	for i := 0; i < 5000; i++ {
+		one.Add(w.Latency(1).Seconds())
+		ten.Add(w.Latency(10).Seconds())
+	}
+	ratio := ten.Mean() / one.Mean()
+	if ratio < 9 || ratio > 11 {
+		t.Fatalf("Ng=10 / Ng=1 latency ratio = %v, want ~10", ratio)
+	}
+}
+
+func TestWorkerLatencyFloor(t *testing.T) {
+	w := New(Params{ID: 1, Mean: time.Millisecond, Std: time.Second}, 2)
+	for i := 0; i < 1000; i++ {
+		if l := w.Latency(1); l < 250*time.Millisecond {
+			t.Fatalf("latency %v below floor", l)
+		}
+	}
+	if l := w.Latency(0); l < 250*time.Millisecond {
+		t.Fatalf("Ng=0 clamps to 1 record; got %v", l)
+	}
+}
+
+func TestWorkerDeterministicStream(t *testing.T) {
+	p := Params{ID: 7, Mean: 3 * time.Second, Std: time.Second, Accuracy: 0.8}
+	a, b := New(p, 99), New(p, 99)
+	for i := 0; i < 100; i++ {
+		if a.Latency(1) != b.Latency(1) {
+			t.Fatal("same seed+ID produced different latency streams")
+		}
+	}
+}
+
+func TestAnswerAccuracy(t *testing.T) {
+	w := New(Params{ID: 1, Accuracy: 0.7}, 3)
+	correct := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if w.Answer(2, 10) == 2 {
+			correct++
+		}
+	}
+	got := float64(correct) / float64(n)
+	// Wrong answers land on 2 with probability 0 (they're redistributed).
+	if math.Abs(got-0.7) > 0.02 {
+		t.Fatalf("accuracy = %v, want ~0.7", got)
+	}
+}
+
+func TestAnswerWrongNeverEqualsTruth(t *testing.T) {
+	w := New(Params{ID: 1, Accuracy: 0}, 4)
+	for i := 0; i < 1000; i++ {
+		if w.Answer(3, 5) == 3 {
+			t.Fatal("0-accuracy worker answered correctly")
+		}
+	}
+}
+
+func TestAnswerSingleClass(t *testing.T) {
+	w := New(Params{ID: 1, Accuracy: 0}, 5)
+	if w.Answer(0, 1) != 0 {
+		t.Fatal("single-class answer must be the class")
+	}
+}
+
+func TestMedicalPopulationShape(t *testing.T) {
+	rng := stats.NewRand(10)
+	pop := Medical(rng)
+	ps := DrawN(pop, 2000)
+	means := make([]float64, len(ps))
+	for i, p := range ps {
+		means[i] = p.Mean.Seconds()
+		if p.Accuracy < 0.5 || p.Accuracy > 1 {
+			t.Fatalf("accuracy %v out of range", p.Accuracy)
+		}
+		if p.Mean < 20*time.Second {
+			t.Fatalf("mean %v below floor", p.Mean)
+		}
+		if p.Std > 4*p.Mean {
+			t.Fatalf("std %v > 4x mean %v", p.Std, p.Mean)
+		}
+	}
+	s := stats.Summarize(means)
+	// Heavy tail: p99 should dwarf the median; median should be minutes-scale.
+	if s.Median < 60 || s.Median > 900 {
+		t.Fatalf("median worker mean = %vs, want minutes-scale", s.Median)
+	}
+	if s.P99 < 4*s.Median {
+		t.Fatalf("tail too light: p99=%v median=%v", s.P99, s.Median)
+	}
+}
+
+func TestLivePopulationShape(t *testing.T) {
+	rng := stats.NewRand(11)
+	ps := DrawN(Live(rng), 2000)
+	fast, slow := 0, 0
+	for _, p := range ps {
+		if p.Mean < 4*time.Second {
+			fast++
+		}
+		if p.Mean >= 8*time.Second {
+			slow++
+		}
+	}
+	// The live MTurk pool has both sub-4s workers and >=8s stragglers.
+	if fast < 100 {
+		t.Fatalf("only %d fast workers of 2000", fast)
+	}
+	if slow < 100 {
+		t.Fatalf("only %d slow workers of 2000", slow)
+	}
+}
+
+func TestBimodalPopulation(t *testing.T) {
+	rng := stats.NewRand(12)
+	pop := Bimodal(rng, 0.7, 2*time.Second, 20*time.Second)
+	nFast := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		p := pop.Draw()
+		if p.Mean < 10*time.Second {
+			nFast++
+		}
+	}
+	frac := float64(nFast) / float64(n)
+	if math.Abs(frac-0.7) > 0.03 {
+		t.Fatalf("fast fraction = %v, want ~0.7", frac)
+	}
+}
+
+func TestUniformPopulation(t *testing.T) {
+	pop := Uniform(5*time.Second, time.Second, 0.9)
+	a, b := pop.Draw(), pop.Draw()
+	if a.ID == b.ID {
+		t.Fatal("IDs must be unique")
+	}
+	if a.Mean != b.Mean || a.Std != b.Std || a.Accuracy != b.Accuracy {
+		t.Fatal("uniform population must produce identical parameters")
+	}
+}
+
+func TestFromParamsCyclesAndRenumbers(t *testing.T) {
+	src := []Params{
+		{ID: 100, Mean: time.Second, Accuracy: 0.8},
+		{ID: 200, Mean: 2 * time.Second, Accuracy: 0.9},
+	}
+	pop := FromParams(src)
+	got := DrawN(pop, 4)
+	if got[0].Mean != time.Second || got[1].Mean != 2*time.Second || got[2].Mean != time.Second {
+		t.Fatalf("cycle broken: %v", got)
+	}
+	seen := map[ID]bool{}
+	for _, p := range got {
+		if seen[p.ID] {
+			t.Fatal("duplicate reassigned ID")
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestFromParamsEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromParams(nil)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ps := []Params{
+		{ID: 1, Mean: 1500 * time.Millisecond, Std: 300 * time.Millisecond, Accuracy: 0.95},
+		{ID: 2, Mean: 42 * time.Second, Std: 10 * time.Second, Accuracy: 0.75},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ps) {
+		t.Fatalf("got %d rows, want %d", len(got), len(ps))
+	}
+	for i := range ps {
+		if got[i] != ps[i] {
+			t.Fatalf("row %d: got %+v, want %+v", i, got[i], ps[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"id,mean_seconds,std_seconds,accuracy\n1,2,3\n",
+		"id,mean_seconds,std_seconds,accuracy\nx,2,3,0.5\n",
+		"id,mean_seconds,std_seconds,accuracy\n1,x,3,0.5\n",
+		"id,mean_seconds,std_seconds,accuracy\n1,2,x,0.5\n",
+		"id,mean_seconds,std_seconds,accuracy\n1,2,3,x\n",
+		"id,mean_seconds,std_seconds,accuracy\n1,-5,3,0.5\n",
+		"id,mean_seconds,std_seconds,accuracy\n1,2,3,1.5\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+// Property: CSV round-trips arbitrary valid parameter sets.
+func TestPropertyCSVRoundTrip(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		ps := make([]Params, len(seeds))
+		for i, s := range seeds {
+			ps[i] = Params{
+				ID:       ID(i + 1),
+				Mean:     time.Duration(int(s)+1) * time.Millisecond,
+				Std:      time.Duration(s) * time.Microsecond,
+				Accuracy: float64(s%101) / 100,
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ps); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(ps) {
+			return false
+		}
+		for i := range ps {
+			if got[i] != ps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
