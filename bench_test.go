@@ -1,12 +1,19 @@
 package clamshell
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/clamshell/clamshell/internal/experiments"
+	"github.com/clamshell/clamshell/internal/fabric"
+	"github.com/clamshell/clamshell/internal/server"
 )
 
 // benchExperiment runs one paper experiment per iteration. On the first
@@ -111,6 +118,115 @@ func BenchmarkLogisticTrain(b *testing.B) {
 		if lr.FinalAccuracy == 0 {
 			b.Fatal("degenerate run")
 		}
+	}
+}
+
+// benchDo drives one request through the fabric handler without sockets.
+func benchDo(fab *fabric.Fabric, method, path, body string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	var r io.Reader
+	if body != "" {
+		r = strings.NewReader(body)
+	}
+	fab.ServeHTTP(rec, httptest.NewRequest(method, path, r))
+	return rec
+}
+
+// BenchmarkFabricThroughput measures the live routing plane's submit/poll
+// hot path through the full HTTP handler (no sockets): each parallel
+// worker submits a task, polls for an assignment and answers it — under a
+// standing backlog of in-flight assignments, the steady state of a loaded
+// pool. Every hand-out decision scans the shard's pending queue under the
+// shard lock, so one shard means one mutex convoying every poll over the
+// whole backlog, while 8 shards means 8 independent locks each scanning
+// an eighth of it. shards=8 should beat shards=1 well beyond 2× on a
+// multi-core runner (the queue-scan split alone delivers ~2× even on one
+// core).
+func benchmarkFabricThroughput(b *testing.B, shards int) {
+	fab := fabric.New(server.Config{WorkerTimeout: time.Hour}, shards)
+
+	// Standing backlog: quorum-1 tasks each held by one primary assignee
+	// plus one speculative duplicate, so they are neither starved nor
+	// speculation candidates — every poll scans past them, none ever
+	// completes or is handed out.
+	const backlog = 2048
+	for i := 0; i < backlog; i++ {
+		rec := benchDo(fab, "POST", "/api/tasks",
+			fmt.Sprintf(`{"tasks":[{"records":["backlog-%d"],"classes":2,"quorum":1}]}`, i))
+		if rec.Code != 200 {
+			b.Fatalf("backlog submit: %s", rec.Body.String())
+		}
+	}
+	for i := 0; i < 2*backlog; i++ {
+		rec := benchDo(fab, "POST", "/api/join", fmt.Sprintf(`{"name":"phantom-%d"}`, i))
+		var join struct {
+			WorkerID int `json:"worker_id"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &join); err != nil || join.WorkerID == 0 {
+			b.Fatalf("phantom join: %s", rec.Body.String())
+		}
+		if rec := benchDo(fab, "GET", fmt.Sprintf("/api/task?worker_id=%d", join.WorkerID), ""); rec.Code != 200 {
+			b.Fatalf("phantom fetch %d: %d", i, rec.Code)
+		}
+	}
+
+	var goroutineSeq atomic.Int64
+	// Several workers per core keep every shard's queue populated and make
+	// lock contention visible — the single-shard mutex convoys, the
+	// 8-shard fabric mostly doesn't.
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		seq := goroutineSeq.Add(1)
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/api/join",
+			strings.NewReader(fmt.Sprintf(`{"name":"bench-%d"}`, seq)))
+		fab.ServeHTTP(rec, req)
+		var join struct {
+			WorkerID int `json:"worker_id"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &join); err != nil || join.WorkerID == 0 {
+			b.Errorf("join failed: %s", rec.Body.String())
+			return
+		}
+		fetchPath := fmt.Sprintf("/api/task?worker_id=%d", join.WorkerID)
+		i := 0
+		for pb.Next() {
+			i++
+			rec := httptest.NewRecorder()
+			fab.ServeHTTP(rec, httptest.NewRequest("POST", "/api/tasks",
+				strings.NewReader(fmt.Sprintf(
+					`{"tasks":[{"records":["g%d-i%d"],"classes":2,"quorum":1}]}`, seq, i))))
+			if rec.Code != 200 {
+				b.Errorf("submit tasks: %s", rec.Body.String())
+				return
+			}
+			rec = httptest.NewRecorder()
+			fab.ServeHTTP(rec, httptest.NewRequest("GET", fetchPath, nil))
+			if rec.Code == 200 {
+				var a server.Assignment
+				if err := json.Unmarshal(rec.Body.Bytes(), &a); err != nil {
+					b.Errorf("assignment: %v", err)
+					return
+				}
+				rec = httptest.NewRecorder()
+				fab.ServeHTTP(rec, httptest.NewRequest("POST", "/api/submit",
+					strings.NewReader(fmt.Sprintf(
+						`{"worker_id":%d,"task_id":%d,"labels":[0]}`, join.WorkerID, a.TaskID))))
+				if rec.Code != 200 {
+					b.Errorf("submit answer: %s", rec.Body.String())
+					return
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkFabricThroughput(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkFabricThroughput(b, shards)
+		})
 	}
 }
 

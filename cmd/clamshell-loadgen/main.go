@@ -1,0 +1,170 @@
+// Command clamshell-loadgen hammers a retainer-pool fabric with a mixed
+// live workload: concurrent clients submitting labeling tasks and
+// concurrent workers joining, heartbeating, polling and answering — the
+// traffic shape the sharded fabric exists to absorb. Point it at a running
+// clamshell-server with -url, or let it spin up an in-process fabric
+// (-shards) to measure raw routing throughput without network noise.
+//
+// Usage:
+//
+//	clamshell-loadgen -shards 8 -workers 64 -clients 8 -tasks 5000
+//	clamshell-loadgen -url http://localhost:8080 -workers 32 -duration 30s
+//
+// The run ends when every submitted task has a full quorum of answers (or
+// -duration elapses) and prints the achieved op throughput and the
+// server-side cost accounting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/fabric"
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+func main() {
+	url := flag.String("url", "", "target server (empty = in-process fabric)")
+	shards := flag.Int("shards", 4, "shards for the in-process fabric")
+	workers := flag.Int("workers", 32, "concurrent pool workers")
+	clients := flag.Int("clients", 4, "concurrent task submitters")
+	tasks := flag.Int("tasks", 2000, "total tasks to submit")
+	records := flag.Int("records", 3, "records per task")
+	classes := flag.Int("classes", 2, "label classes")
+	quorum := flag.Int("quorum", 1, "answers required per task")
+	duration := flag.Duration("duration", time.Minute, "hard deadline for the run")
+	flag.Parse()
+	if *clients < 1 {
+		*clients = 1
+	}
+	if *workers < 1 {
+		*workers = 1
+	}
+
+	base := *url
+	if base == "" {
+		ts := httptest.NewServer(fabric.New(server.Config{WorkerTimeout: time.Hour}, *shards))
+		defer ts.Close()
+		base = ts.URL
+		log.Printf("in-process fabric: %d shard(s) at %s", *shards, base)
+	}
+
+	var (
+		submitted, accepted, terminated, fetches, empties atomic.Int64
+		done                                              atomic.Bool
+	)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+
+	// Clients: split the task budget and submit in batches.
+	var cg sync.WaitGroup
+	perClient := *tasks / *clients
+	for c := 0; c < *clients; c++ {
+		cg.Add(1)
+		go func(c int) {
+			defer cg.Done()
+			cl := server.NewClient(base)
+			budget := perClient
+			if c == 0 {
+				budget += *tasks % *clients
+			}
+			for n := 0; n < budget && !done.Load(); {
+				batch := min(50, budget-n)
+				specs := make([]server.TaskSpec, batch)
+				for i := range specs {
+					recs := make([]string, *records)
+					for j := range recs {
+						recs[j] = "c" + strconv.Itoa(c) + "-t" + strconv.Itoa(n+i) + "-r" + strconv.Itoa(j)
+					}
+					specs[i] = server.TaskSpec{Records: recs, Classes: *classes, Quorum: *quorum, Priority: (n + i) % 3}
+				}
+				if _, err := cl.SubmitTasks(specs); err != nil {
+					log.Printf("client %d: %v", c, err)
+					return
+				}
+				submitted.Add(int64(batch))
+				n += batch
+			}
+		}(c)
+	}
+
+	// Workers: join, then poll/answer until the run ends.
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < *workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			cl := server.NewClient(base)
+			id, err := cl.Join(fmt.Sprintf("loadgen-%d", wkr))
+			if err != nil {
+				log.Printf("worker %d join: %v", wkr, err)
+				return
+			}
+			defer cl.Leave(id)
+			idle := 0
+			for !done.Load() {
+				a, ok, err := cl.FetchTask(id)
+				fetches.Add(1)
+				if err != nil {
+					return // retired or server gone
+				}
+				if !ok {
+					empties.Add(1)
+					idle++
+					if idle%100 == 0 {
+						cl.Heartbeat(id)
+					}
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				idle = 0
+				labels := make([]int, len(a.Records))
+				for i := range labels {
+					labels[i] = (id + a.TaskID + i) % *classes
+				}
+				acc, term, err := cl.Submit(id, a.TaskID, labels)
+				if err != nil {
+					return
+				}
+				if acc {
+					accepted.Add(1)
+				}
+				if term {
+					terminated.Add(1)
+				}
+			}
+		}(wkr)
+	}
+
+	// Watch for completion: all tasks submitted and complete.
+	status := server.NewClient(base)
+	for time.Now().Before(deadline) {
+		st, err := status.Status()
+		if err == nil && st["tasks"] >= *tasks && st["complete"] >= *tasks {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	done.Store(true)
+	cg.Wait()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st, _ := status.Status()
+	costs, _ := status.Costs()
+	fmt.Printf("elapsed            %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("tasks submitted    %d\n", submitted.Load())
+	fmt.Printf("tasks complete     %d\n", st["complete"])
+	fmt.Printf("answers accepted   %d\n", accepted.Load())
+	fmt.Printf("answers terminated %d\n", terminated.Load())
+	fmt.Printf("fetches (empty)    %d (%d)\n", fetches.Load(), empties.Load())
+	ops := float64(submitted.Load()+fetches.Load()+accepted.Load()+terminated.Load()) / elapsed.Seconds()
+	fmt.Printf("throughput         %.0f ops/s\n", ops)
+	fmt.Printf("total cost         $%.4f\n", costs["total_dollars"])
+}

@@ -2,9 +2,16 @@
 // live crowd deployments. Workers join, heartbeat, poll for tasks and
 // submit labels; clients enqueue tasks and read consensus results.
 //
+// With -shards N > 1 the server runs as a fabric of N independently-locked
+// pool shards behind one router (see internal/fabric): tasks are placed by
+// consistent hashing of their content, workers are pinned to shards on
+// join, and idle shards steal work across the fabric so straggler
+// mitigation stays global. -shards 1 (the default) speaks byte-for-byte
+// the same protocol as the historical single-mutex server.
+//
 // Usage:
 //
-//	clamshell-server -addr :8080 -speculation 1 -worker-timeout 2m
+//	clamshell-server -addr :8080 -shards 8 -speculation 1 -worker-timeout 2m
 //
 // API (JSON over HTTP):
 //
@@ -24,21 +31,23 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/clamshell/clamshell/internal/fabric"
 	"github.com/clamshell/clamshell/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 1, "independently-locked pool shards")
 	spec := flag.Int("speculation", 1, "speculative duplicates per outstanding answer")
 	timeout := flag.Duration("worker-timeout", 2*time.Minute, "expire workers after this heartbeat silence")
 	maintenance := flag.Duration("maintenance-threshold", 0, "retire workers slower than this per record (0 = off)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	fab := fabric.New(server.Config{
 		SpeculationLimit:     *spec,
 		WorkerTimeout:        *timeout,
 		MaintenanceThreshold: *maintenance,
-	})
-	log.Printf("clamshell-server listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	}, *shards)
+	log.Printf("clamshell-server listening on %s (%d shard(s))", *addr, fab.NumShards())
+	log.Fatal(http.ListenAndServe(*addr, fab))
 }

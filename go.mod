@@ -1,0 +1,3 @@
+module github.com/clamshell/clamshell
+
+go 1.22

@@ -1,0 +1,220 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"github.com/clamshell/clamshell/internal/metrics"
+	"github.com/clamshell/clamshell/internal/quality"
+	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/stats"
+)
+
+// Aggregation endpoints: fabric-wide views assembled from per-shard
+// contributions. Counters sum; worker lists merge and sort; the consensus
+// vote graph pools every answer on every shard into one estimation problem
+// so worker reliability is judged on fabric-wide evidence.
+
+// handleStatus sums pool and queue health across shards.
+func (f *Fabric) handleStatus(w http.ResponseWriter, r *http.Request) {
+	var total server.Counters
+	for _, sh := range f.shards {
+		c := sh.CountersNow()
+		f.release(sh)
+		total.Tasks += c.Tasks
+		total.Complete += c.Complete
+		total.Workers += c.Workers
+		total.Idle += c.Idle
+		total.Terminated += c.Terminated
+		total.Retired += c.Retired
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"tasks":      total.Tasks,
+		"complete":   total.Complete,
+		"workers":    total.Workers,
+		"idle":       total.Idle,
+		"terminated": total.Terminated,
+		"retired":    total.Retired,
+	})
+}
+
+// handleWorkers merges per-worker statistics across shards in id order.
+func (f *Fabric) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	out := make([]server.WorkerStats, 0)
+	for _, sh := range f.shards {
+		out = append(out, sh.WorkerList()...)
+		f.release(sh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCosts sums the accumulated spend across shards, including wait pay
+// accrued up to now for currently idle workers.
+func (f *Fabric) handleCosts(w http.ResponseWriter, r *http.Request) {
+	var acct metrics.Accounting
+	for _, sh := range f.shards {
+		acct = acct.Add(sh.AccruedCosts())
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{
+		"wait_pay_dollars":       acct.WaitPay.Dollars(),
+		"work_pay_dollars":       acct.WorkPay.Dollars(),
+		"terminated_pay_dollars": acct.TerminatedPay.Dollars(),
+		"total_dollars":          acct.Total().Dollars(),
+	})
+}
+
+// handleConsensus pools every answer on every shard into one vote graph
+// and runs the requested estimator over it — a worker who disagrees with
+// consensus on one shard is down-weighted on all of them.
+func (f *Fabric) handleConsensus(w http.ResponseWriter, r *http.Request) {
+	estimator := r.URL.Query().Get("estimator")
+	if estimator == "" {
+		estimator = "majority"
+	}
+
+	stride, classes, lastTask := 1, 2, 0
+	for _, sh := range f.shards {
+		mr, mc, lt := sh.Dims()
+		if mr > stride {
+			stride = mr
+		}
+		if mc > classes {
+			classes = mc
+		}
+		if lt > lastTask {
+			lastTask = lt
+		}
+	}
+	var votes []quality.Vote
+	var order []int
+	records := make(map[int]int)
+	for _, sh := range f.shards {
+		votes = append(votes, sh.Votes(stride)...)
+		o, rec := sh.TaskMeta()
+		order = append(order, o...)
+		for id, n := range rec {
+			records[id] = n
+		}
+	}
+	sort.Ints(order)
+	seed := int64(lastTask)*1e6 + int64(len(votes))
+
+	var labels map[int]int
+	scores := map[int]float64{}
+	switch estimator {
+	case "majority":
+		labels = quality.MajorityLabels(votes)
+	case "em":
+		res := quality.EstimateAccuracy(votes, classes, 20)
+		labels = res.Labels
+		for id, a := range res.Accuracies {
+			scores[int(id)] = a
+		}
+	case "kos":
+		if classes > 2 {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("kos estimator requires binary tasks; server has %d classes", classes))
+			return
+		}
+		res := quality.KOS(votes, 10, stats.NewRand(seed))
+		labels = res.Labels
+		for id, rel := range res.Reliability {
+			scores[int(id)] = rel
+		}
+	default:
+		writeErr(w, http.StatusBadRequest,
+			errors.New("unknown estimator (want majority, em or kos)"))
+		return
+	}
+
+	resp := server.ConsensusResponse{Estimator: estimator, Labels: make(map[int][]int, len(order))}
+	for _, tid := range order {
+		n := records[tid]
+		out := make([]int, n)
+		any := false
+		for rec := 0; rec < n; rec++ {
+			if l, ok := labels[tid*stride+rec]; ok {
+				out[rec] = l
+				any = true
+			} else {
+				out[rec] = -1
+			}
+		}
+		if any {
+			resp.Labels[tid] = out
+		}
+	}
+	if estimator != "majority" {
+		resp.WorkerScores = scores
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is the liveness probe.
+func (f *Fabric) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"uptime_ms": f.now().Sub(f.startedAt).Milliseconds(),
+	})
+}
+
+// handleMetricsz renders fabric-wide counters in the Prometheus text
+// exposition format. Gauges sum across shards; the P² latency quantiles
+// cannot be merged exactly, so a multi-shard fabric exposes them per shard
+// with a shard label (a 1-shard fabric matches the server's output
+// exactly).
+func (f *Fabric) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	var total server.Counters
+	var costs metrics.Accounting
+	for _, sh := range f.shards {
+		c := sh.CountersNow()
+		f.release(sh)
+		total.Tasks += c.Tasks
+		total.Complete += c.Complete
+		total.Workers += c.Workers
+		total.Idle += c.Idle
+		total.Terminated += c.Terminated
+		total.Retired += c.Retired
+		costs = costs.Add(sh.SettledCosts())
+	}
+
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		fmt.Fprintf(&b, "%s %g\n", name, v)
+	}
+	gauge("clamshell_tasks_total", "Tasks submitted.", float64(total.Tasks))
+	gauge("clamshell_tasks_complete", "Tasks with a full quorum of answers.", float64(total.Complete))
+	gauge("clamshell_workers", "Workers currently in the retainer pool.", float64(total.Workers))
+	gauge("clamshell_workers_idle", "Pool workers waiting for work.", float64(total.Idle))
+	gauge("clamshell_terminated_total", "Straggler submissions discarded (still paid).", float64(total.Terminated))
+	gauge("clamshell_retired_total", "Workers retired by pool maintenance.", float64(total.Retired))
+	gauge("clamshell_cost_total_dollars", "Total spend.", costs.Total().Dollars())
+
+	fmt.Fprintf(&b, "# HELP clamshell_latency_per_record_seconds Streaming per-record latency quantiles (P2).\n")
+	fmt.Fprintf(&b, "# TYPE clamshell_latency_per_record_seconds summary\n")
+	count := 0
+	for i, sh := range f.shards {
+		qs := sh.LatencyQuantiles()
+		for _, q := range qs {
+			if len(f.shards) == 1 {
+				fmt.Fprintf(&b, "clamshell_latency_per_record_seconds{quantile=%q} %g\n",
+					fmt.Sprintf("%g", q.Q), q.Value)
+			} else {
+				fmt.Fprintf(&b, "clamshell_latency_per_record_seconds{shard=\"%d\",quantile=%q} %g\n",
+					i, fmt.Sprintf("%g", q.Q), q.Value)
+			}
+		}
+		if len(qs) > 0 {
+			count += qs[0].N
+		}
+	}
+	fmt.Fprintf(&b, "clamshell_latency_per_record_seconds_count %d\n", count)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,209 @@
+package fabric
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+// A 1-shard fabric must speak byte-for-byte the same protocol as the
+// historical single-mutex server: same status codes, same bodies, same
+// error strings, same snapshot wire format. This test drives an identical
+// scripted conversation — covering every endpoint, the straggler
+// termination race, pool maintenance retirement and snapshot/restore —
+// through both handlers under a shared fake clock and diffs every
+// response.
+
+type compatStep struct {
+	name    string
+	method  string
+	path    string
+	body    string
+	advance time.Duration // clock advance before the request
+}
+
+func TestFabricSingleShardByteCompat(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	cfg := server.Config{
+		SpeculationLimit:     1,
+		WorkerTimeout:        10 * time.Minute,
+		MaintenanceThreshold: 2 * time.Second,
+		Now:                  clock,
+	}
+	srv := server.New(cfg)
+	fab := New(cfg, 1)
+
+	steps := []compatStep{
+		{name: "healthz", method: "GET", path: "/api/healthz"},
+		{name: "ui", method: "GET", path: "/"},
+		{name: "status empty", method: "GET", path: "/api/status"},
+		{name: "join alice", method: "POST", path: "/api/join", body: `{"name":"alice"}`},
+		{name: "join bob", method: "POST", path: "/api/join", body: `{"name":"bob"}`},
+		{name: "join carol", method: "POST", path: "/api/join", body: `{"name":"carol"}`},
+		{name: "join bad body", method: "POST", path: "/api/join", body: `{`},
+		{name: "heartbeat", method: "POST", path: "/api/heartbeat", body: `{"worker_id":1}`},
+		{name: "heartbeat unknown", method: "POST", path: "/api/heartbeat", body: `{"worker_id":99}`},
+		{name: "heartbeat missing field", method: "POST", path: "/api/heartbeat", body: `{"nope":1}`},
+		{name: "fetch no tasks", method: "GET", path: "/api/task?worker_id=1"},
+		{name: "fetch bad query", method: "GET", path: "/api/task"},
+		{name: "tasks empty batch", method: "POST", path: "/api/tasks", body: `{"tasks":[]}`},
+		{name: "tasks no records", method: "POST", path: "/api/tasks", body: `{"tasks":[{"records":[]}]}`},
+		{name: "tasks bad body", method: "POST", path: "/api/tasks", body: `}`},
+		{name: "submit batch", method: "POST", path: "/api/tasks",
+			body: `{"tasks":[{"records":["r1a","r1b"],"classes":2,"quorum":1},{"records":["r2a"],"classes":3,"quorum":2,"priority":5},{"records":["r3a"],"classes":2,"quorum":1}]}`},
+		{name: "result unassigned", method: "GET", path: "/api/result?task_id=1"},
+		{name: "result unknown", method: "GET", path: "/api/result?task_id=77"},
+		// Priority 5 task (id 2) is handed out first.
+		{name: "fetch alice priority", method: "GET", path: "/api/task?worker_id=1", advance: time.Second},
+		{name: "fetch alice redeliver", method: "GET", path: "/api/task?worker_id=1"},
+		// Quorum 2: bob gets the same task as a primary answer slot.
+		{name: "fetch bob quorum", method: "GET", path: "/api/task?worker_id=2"},
+		{name: "fetch carol fifo", method: "GET", path: "/api/task?worker_id=3"},
+		{name: "submit alice", method: "POST", path: "/api/submit", advance: time.Second,
+			body: `{"worker_id":1,"task_id":2,"labels":[2]}`},
+		{name: "submit bad label count", method: "POST", path: "/api/submit",
+			body: `{"worker_id":2,"task_id":2,"labels":[1,1]}`},
+		{name: "submit label out of range", method: "POST", path: "/api/submit",
+			body: `{"worker_id":2,"task_id":2,"labels":[3]}`},
+		{name: "submit unknown task", method: "POST", path: "/api/submit",
+			body: `{"worker_id":2,"task_id":66,"labels":[0]}`},
+		{name: "submit unknown worker", method: "POST", path: "/api/submit",
+			body: `{"worker_id":55,"task_id":2,"labels":[0]}`},
+		{name: "submit bob", method: "POST", path: "/api/submit", advance: time.Second,
+			body: `{"worker_id":2,"task_id":2,"labels":[2]}`},
+		{name: "result complete", method: "GET", path: "/api/result?task_id=2"},
+		// Alice takes task 1; carol (on task 3) finishes; bob speculates on
+		// task 1, then loses the race to alice — a paid termination.
+		{name: "fetch alice task1", method: "GET", path: "/api/task?worker_id=1"},
+		{name: "submit carol", method: "POST", path: "/api/submit", advance: time.Second,
+			body: `{"worker_id":3,"task_id":3,"labels":[1]}`},
+		{name: "fetch bob speculative", method: "GET", path: "/api/task?worker_id=2"},
+		{name: "submit alice task1", method: "POST", path: "/api/submit", advance: time.Second,
+			body: `{"worker_id":1,"task_id":1,"labels":[0,1]}`},
+		{name: "submit bob terminated", method: "POST", path: "/api/submit",
+			body: `{"worker_id":2,"task_id":1,"labels":[1,1]}`},
+		{name: "status mid", method: "GET", path: "/api/status"},
+		{name: "workers mid", method: "GET", path: "/api/workers"},
+		{name: "costs mid", method: "GET", path: "/api/costs", advance: 30 * time.Second},
+		{name: "consensus majority", method: "GET", path: "/api/consensus"},
+		{name: "consensus em", method: "GET", path: "/api/consensus?estimator=em"},
+		{name: "consensus bad", method: "GET", path: "/api/consensus?estimator=wat"},
+		// KOS needs binary tasks; task 2 has 3 classes.
+		{name: "consensus kos rejected", method: "GET", path: "/api/consensus?estimator=kos"},
+		{name: "metricsz", method: "GET", path: "/api/metricsz"},
+		// Retire carol: three slow completions (2s threshold, 3 records
+		// each fetched-to-submitted over 30s).
+		{name: "retire tasks", method: "POST", path: "/api/tasks",
+			body: `{"tasks":[{"records":["s1"],"quorum":1},{"records":["s2"],"quorum":1},{"records":["s3"],"quorum":1}]}`},
+		{name: "retire fetch 1", method: "GET", path: "/api/task?worker_id=3"},
+		{name: "retire submit 1", method: "POST", path: "/api/submit", advance: 30 * time.Second,
+			body: `{"worker_id":3,"task_id":4,"labels":[0]}`},
+		{name: "retire fetch 2", method: "GET", path: "/api/task?worker_id=3"},
+		{name: "retire submit 2", method: "POST", path: "/api/submit", advance: 30 * time.Second,
+			body: `{"worker_id":3,"task_id":5,"labels":[0]}`},
+		{name: "retire fetch 3", method: "GET", path: "/api/task?worker_id=3"},
+		{name: "retire submit 3", method: "POST", path: "/api/submit", advance: 30 * time.Second,
+			body: `{"worker_id":3,"task_id":6,"labels":[0]}`},
+		{name: "fetch retired gone", method: "GET", path: "/api/task?worker_id=3"},
+		{name: "status retired", method: "GET", path: "/api/status"},
+		{name: "snapshot", method: "GET", path: "/api/snapshot"},
+		{name: "leave bob", method: "POST", path: "/api/leave", body: `{"worker_id":2}`},
+		{name: "leave unknown ok", method: "POST", path: "/api/leave", body: `{"worker_id":42}`},
+		{name: "workers after leave", method: "GET", path: "/api/workers"},
+		{name: "restore bad body", method: "POST", path: "/api/restore", body: `nope`},
+		{name: "restore bad version", method: "POST", path: "/api/restore", body: `{"version":9}`},
+	}
+
+	var snapshots [2][]byte
+	for _, st := range steps {
+		now = now.Add(st.advance)
+		var got [2]*httptest.ResponseRecorder
+		for i, h := range []http.Handler{srv, fab} {
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest(st.method, st.path, strings.NewReader(st.body))
+			h.ServeHTTP(rec, req)
+			got[i] = rec
+		}
+		if got[0].Code != got[1].Code {
+			t.Fatalf("%s: status %d (server) != %d (fabric)", st.name, got[0].Code, got[1].Code)
+		}
+		if s, f := got[0].Body.String(), got[1].Body.String(); s != f {
+			t.Fatalf("%s: body diverged\nserver: %q\nfabric: %q", st.name, s, f)
+		}
+		if s, f := got[0].Header().Get("Content-Type"), got[1].Header().Get("Content-Type"); s != f {
+			t.Fatalf("%s: content-type %q != %q", st.name, s, f)
+		}
+		if st.name == "snapshot" {
+			snapshots[0] = got[0].Body.Bytes()
+			snapshots[1] = got[1].Body.Bytes()
+		}
+	}
+
+	// Cross-restore: the server's snapshot loads into the fabric and vice
+	// versa, and both then report identical state.
+	for i, h := range []http.Handler{srv, fab} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/api/restore", strings.NewReader(string(snapshots[1-i])))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("cross-restore into handler %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	for _, path := range []string{"/api/status", "/api/consensus", "/api/result?task_id=1", "/api/costs"} {
+		var bodies [2]string
+		for i, h := range []http.Handler{srv, fab} {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+			bodies[i] = rec.Body.String()
+		}
+		if bodies[0] != bodies[1] {
+			t.Errorf("after cross-restore, %s diverged\nserver: %q\nfabric: %q", path, bodies[0], bodies[1])
+		}
+	}
+}
+
+// The fabric's 410 for retired workers and 204 for empty queues must
+// survive a restore (workers drop, queue state stays).
+func TestFabricRestoreDropsWorkers(t *testing.T) {
+	fab := New(server.Config{WorkerTimeout: time.Hour}, 4)
+	ts := httptest.NewServer(fab)
+	defer ts.Close()
+	cl := server.NewClient(ts.URL)
+
+	id, err := cl.Join("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SubmitTasks([]server.TaskSpec{{Records: []string{"a"}, Quorum: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.FetchTask(id); err == nil {
+		t.Fatal("fetch after restore should fail: workers are dropped")
+	}
+	id2, err := cl.Join("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatalf("restored fabric reissued worker id %d", id)
+	}
+	a, ok, err := cl.FetchTask(id2)
+	if err != nil || !ok {
+		t.Fatalf("restored task not routable: ok=%v err=%v", ok, err)
+	}
+	if len(a.Records) != 1 || a.Records[0] != "a" {
+		t.Fatalf("restored task payload %+v", a)
+	}
+}

@@ -1,0 +1,135 @@
+// Package fabric runs N independent retainer-pool shards behind a single
+// HTTP router, scaling the live server past its one global mutex. Each
+// shard (internal/server.Shard) owns its own lock, task queue, worker set,
+// accounting and maintenance state; the router
+//
+//   - places tasks on shards by consistent hashing of their record content
+//     (jump hashing, so a resize relocates the minimum number of keys),
+//     with explicit priorities preserved within each shard's queue;
+//   - pins workers to shards round-robin on join, so the poll/submit hot
+//     path contends only on the worker's home shard;
+//   - steals work across shards when the home shard's queue drains —
+//     starved tasks anywhere in the fabric are exhausted before any shard
+//     hands out a speculative straggler duplicate, so the paper's
+//     straggler mitigation operates fabric-wide, not per-shard;
+//   - aggregates status, worker stats, accounting, cross-task consensus
+//     and snapshot persistence across shards.
+//
+// Ids are globally unique and shard-addressable: shard s of n allocates
+// ids ≡ s+1 (mod n), so routing an id to its shard is (id-1) mod n with no
+// shared state. A 1-shard fabric speaks byte-for-byte the same protocol as
+// internal/server (pinned by this package's compat test).
+//
+// Shard methods never call across shards, so the router sequences
+// cross-shard operations (a stolen fetch, a submit whose worker and task
+// live apart) as independent lock acquisitions with explicit rollback —
+// there is no lock ordering to violate and no path holds two shard locks.
+package fabric
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/hashring"
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+// Fabric is a sharded retainer-pool router. It implements http.Handler
+// with the same API surface as internal/server.
+type Fabric struct {
+	cfg       server.Config
+	shards    []*server.Shard
+	mux       *http.ServeMux
+	now       func() time.Time
+	startedAt time.Time
+	nextHome  atomic.Uint64 // round-robin worker pinning
+}
+
+// New creates a fabric of n shards (n < 1 is treated as 1). All shards
+// share one Config.
+func New(cfg server.Config, n int) *Fabric {
+	if n < 1 {
+		n = 1
+	}
+	f := &Fabric{cfg: cfg}
+	for i := 0; i < n; i++ {
+		f.shards = append(f.shards, server.NewShard(cfg, i, n))
+	}
+	f.now = time.Now
+	if cfg.Now != nil {
+		f.now = cfg.Now
+	}
+	f.startedAt = f.now()
+	f.mux = http.NewServeMux()
+	f.mux.HandleFunc("POST /api/join", f.handleJoin)
+	f.mux.HandleFunc("POST /api/heartbeat", f.handleHeartbeat)
+	f.mux.HandleFunc("POST /api/leave", f.handleLeave)
+	f.mux.HandleFunc("POST /api/tasks", f.handleSubmitTasks)
+	f.mux.HandleFunc("GET /api/task", f.handleFetchTask)
+	f.mux.HandleFunc("POST /api/submit", f.handleSubmitAnswer)
+	f.mux.HandleFunc("GET /api/status", f.handleStatus)
+	f.mux.HandleFunc("GET /api/workers", f.handleWorkers)
+	f.mux.HandleFunc("GET /api/costs", f.handleCosts)
+	f.mux.HandleFunc("GET /api/result", f.handleResult)
+	f.mux.HandleFunc("GET /api/consensus", f.handleConsensus)
+	f.mux.HandleFunc("GET /api/snapshot", f.handleSnapshot)
+	f.mux.HandleFunc("POST /api/restore", f.handleRestore)
+	f.mux.HandleFunc("GET /api/healthz", f.handleHealthz)
+	f.mux.HandleFunc("GET /api/metricsz", f.handleMetricsz)
+	f.mux.HandleFunc("GET /{$}", server.WorkerUI)
+	return f
+}
+
+// ServeHTTP dispatches to the API mux.
+func (f *Fabric) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mux.ServeHTTP(w, r)
+}
+
+// NumShards returns the shard count.
+func (f *Fabric) NumShards() int { return len(f.shards) }
+
+// shardOf maps a globally-unique id (worker or task) to its owning shard,
+// or nil for ids outside the allocated space.
+func (f *Fabric) shardOf(id int) *server.Shard {
+	if id < 1 {
+		return nil
+	}
+	return f.shards[(id-1)%len(f.shards)]
+}
+
+// placeShard chooses the shard for a new task by consistent-hashing its
+// record content.
+func (f *Fabric) placeShard(spec server.TaskSpec) *server.Shard {
+	return f.shards[hashring.Jump(hashring.HashStrings(spec.Records), len(f.shards))]
+}
+
+// homeShard picks the next shard for a joining worker (round-robin).
+func (f *Fabric) homeShard() *server.Shard {
+	return f.shards[int((f.nextHome.Add(1)-1)%uint64(len(f.shards)))]
+}
+
+// release resolves any cross-shard assignments orphaned by worker removal
+// on sh: the active slot is cleared on the task's owning shard so the task
+// returns to that shard's queue. Called after any shard operation that can
+// expire or remove workers.
+func (f *Fabric) release(sh *server.Shard) {
+	for _, o := range sh.DrainOrphans() {
+		if t := f.shardOf(o.Task); t != nil && t != sh {
+			t.ReleaseActive(o.Task, o.Worker)
+		}
+	}
+}
+
+// writeJSON and writeErr mirror internal/server's encoders exactly —
+// responses must be byte-identical for a 1-shard fabric.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

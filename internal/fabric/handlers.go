@@ -1,0 +1,240 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+// Protocol endpoints. Each handler routes by the id→shard mapping and
+// composes exported Shard operations; error precedence and response bodies
+// match internal/server exactly.
+
+func intField(r *http.Request, field string) (int, error) {
+	var body map[string]int
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		return 0, fmt.Errorf("decoding body: %w", err)
+	}
+	v, ok := body[field]
+	if !ok {
+		return 0, fmt.Errorf("missing field %q", field)
+	}
+	return v, nil
+}
+
+func intQuery(r *http.Request, key string) (int, error) {
+	var v int
+	if _, err := fmt.Sscanf(r.URL.Query().Get(key), "%d", &v); err != nil {
+		return 0, fmt.Errorf("missing or bad query parameter %q", key)
+	}
+	return v, nil
+}
+
+// handleJoin pins the worker to a home shard (round-robin) and admits it.
+func (f *Fabric) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding join request: %w", err))
+		return
+	}
+	id := f.homeShard().Join(req.Name)
+	writeJSON(w, http.StatusOK, map[string]int{"worker_id": id})
+}
+
+// handleHeartbeat keeps a waiting worker alive on its home shard.
+func (f *Fabric) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id, err := intField(r, "worker_id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sh := f.shardOf(id)
+	if sh == nil || !sh.Heartbeat(id) {
+		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleLeave removes a worker; a local assignment returns to the queue
+// directly and a stolen one is released on the task's shard.
+func (f *Fabric) handleLeave(w http.ResponseWriter, r *http.Request) {
+	id, err := intField(r, "worker_id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if sh := f.shardOf(id); sh != nil {
+		sh.Leave(id)
+		f.release(sh)
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleSubmitTasks places each task on a shard by consistent-hashing its
+// records; ids are returned in request order.
+func (f *Fabric) handleSubmitTasks(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Tasks []server.TaskSpec `json:"tasks"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding tasks: %w", err))
+		return
+	}
+	if len(req.Tasks) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no tasks given"))
+		return
+	}
+	ids := make([]int, 0, len(req.Tasks))
+	for _, spec := range req.Tasks {
+		if len(spec.Records) == 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("task with no records"))
+			return
+		}
+		ids = append(ids, f.placeShard(spec).Enqueue(spec))
+	}
+	writeJSON(w, http.StatusOK, map[string][]int{"task_ids": ids})
+}
+
+// handleFetchTask hands the next task to a polling worker: the home
+// shard's own queue first, then — stealing across the fabric — starved
+// tasks on any shard before speculative duplicates on any shard. 204 means
+// "keep waiting".
+func (f *Fabric) handleFetchTask(w http.ResponseWriter, r *http.Request) {
+	id, err := intQuery(r, "worker_id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	home := f.shardOf(id)
+	if home == nil {
+		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
+		return
+	}
+	current, st := home.BeginFetch(id)
+	f.release(home)
+	switch st {
+	case server.FetchRetired:
+		writeErr(w, http.StatusGone, errors.New("no more tasks available"))
+		return
+	case server.FetchUnknown:
+		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
+		return
+	case server.FetchCurrent:
+		// Re-deliver the in-flight assignment (lost response tolerance) —
+		// possibly from another shard if it was stolen.
+		if owner := f.shardOf(current); owner != nil {
+			if payload, ok := owner.TaskPayload(current); ok {
+				writeJSON(w, http.StatusOK, payload)
+				return
+			}
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+
+	// Starved work anywhere in the fabric beats speculation anywhere:
+	// local starved, stolen starved, then (local first) speculative.
+	for _, starvedOnly := range []bool{true, false} {
+		if payload, ok := home.PickLocal(id, starvedOnly); ok {
+			writeJSON(w, http.StatusOK, payload)
+			return
+		}
+		if payload, ok := f.steal(home, id, starvedOnly); ok {
+			writeJSON(w, http.StatusOK, payload)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// steal runs one ring pass over the other shards for an idle worker homed
+// on home. A successful pick is recorded on the home shard; if the worker
+// vanished or got work concurrently, the steal rolls back.
+func (f *Fabric) steal(home *server.Shard, workerID int, starvedOnly bool) (map[string]any, bool) {
+	n := len(f.shards)
+	if n == 1 {
+		return nil, false
+	}
+	homeIdx := (workerID - 1) % n // the same stripe rule shardOf uses
+	for off := 1; off < n; off++ {
+		sh := f.shards[(homeIdx+off)%n]
+		tid, payload, ok := sh.PickSteal(workerID, starvedOnly)
+		if !ok {
+			continue
+		}
+		if home.AssignStolen(workerID, tid) {
+			return payload, true
+		}
+		sh.ReleaseActive(tid, workerID)
+		return nil, false
+	}
+	return nil, false
+}
+
+// handleSubmitAnswer ingests a completed assignment: the task-side half on
+// the task's shard (validation, termination race, pay, quorum), then the
+// worker-side half on the worker's home shard (latency, maintenance,
+// restart of the paid-wait span).
+func (f *Fabric) handleSubmitAnswer(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		WorkerID int   `json:"worker_id"`
+		TaskID   int   `json:"task_id"`
+		Labels   []int `json:"labels"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding answer: %w", err))
+		return
+	}
+	home := f.shardOf(req.WorkerID)
+	if home == nil || !home.WorkerKnown(req.WorkerID) {
+		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
+		return
+	}
+	owner := f.shardOf(req.TaskID)
+	if owner == nil {
+		writeErr(w, http.StatusNotFound, errors.New("unknown task"))
+		return
+	}
+	outcome, records, err := owner.AcceptAnswer(req.TaskID, req.WorkerID, req.Labels)
+	switch outcome {
+	case server.SubmitUnknownTask:
+		writeErr(w, http.StatusNotFound, err)
+	case server.SubmitBadLabels:
+		writeErr(w, http.StatusBadRequest, err)
+	case server.SubmitTerminated:
+		// A straggler losing the race: acknowledged, paid, discarded.
+		home.FinishAssignment(req.WorkerID, req.TaskID, records)
+		f.release(home) // maintenance may have retired the worker mid-steal
+		writeJSON(w, http.StatusOK, map[string]bool{"accepted": false, "terminated": true})
+	case server.SubmitAccepted:
+		home.FinishAssignment(req.WorkerID, req.TaskID, records)
+		f.release(home)
+		writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "terminated": false})
+	}
+}
+
+// handleResult returns a task's status from its owning shard.
+func (f *Fabric) handleResult(w http.ResponseWriter, r *http.Request) {
+	id, err := intQuery(r, "task_id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	owner := f.shardOf(id)
+	if owner == nil {
+		writeErr(w, http.StatusNotFound, errors.New("unknown task"))
+		return
+	}
+	st, ok := owner.ResultStatus(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("unknown task"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

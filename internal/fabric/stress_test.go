@@ -1,0 +1,202 @@
+package fabric
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/hashring"
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+// The stress test hammers 1-shard and 8-shard fabrics with the same mixed
+// workload — parallel joins, polls, submits, heartbeats and leaves — and
+// asserts that no task is ever lost and that the consensus both fabrics
+// reach is identical (and equal to the deterministic labels the workers
+// were scripted to give). Run under -race this doubles as the concurrency
+// soundness check for the shard fabric.
+
+const (
+	stressClients       = 4
+	stressTasksPerEach  = 40
+	stressWorkers       = 12
+	stressRecordsPer    = 2
+	stressClasses       = 3
+	stressQuorum        = 2
+	stressChurnInterval = 25 // a worker leaves and rejoins every N answers
+)
+
+// stressLabel is the deterministic label every worker gives a record, so
+// any quorum of answers yields the same consensus.
+func stressLabel(record string) int {
+	return int(hashring.HashStrings([]string{record}) % stressClasses)
+}
+
+func runStress(t *testing.T, shards int) map[string][]int {
+	t.Helper()
+	fab := New(server.Config{WorkerTimeout: time.Hour, SpeculationLimit: 1}, shards)
+	ts := httptest.NewServer(fab)
+	defer ts.Close()
+
+	totalTasks := stressClients * stressTasksPerEach
+	var submitted sync.Map // task id -> first record (for cross-run matching)
+	var accepted atomic.Int64
+
+	// Clients submit unique-content tasks in parallel.
+	var cg sync.WaitGroup
+	for c := 0; c < stressClients; c++ {
+		cg.Add(1)
+		go func(c int) {
+			defer cg.Done()
+			cl := server.NewClient(ts.URL)
+			for i := 0; i < stressTasksPerEach; i++ {
+				records := make([]string, stressRecordsPer)
+				for j := range records {
+					records[j] = fmt.Sprintf("c%d-t%d-r%d", c, i, j)
+				}
+				ids, err := cl.SubmitTasks([]server.TaskSpec{{
+					Records:  records,
+					Classes:  stressClasses,
+					Quorum:   stressQuorum,
+					Priority: i % 2,
+				}})
+				if err != nil {
+					t.Errorf("client %d submit: %v", c, err)
+					return
+				}
+				submitted.Store(ids[0], records[0])
+			}
+		}(c)
+	}
+
+	// Workers join, poll, answer deterministically, heartbeat, and churn.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < stressWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := server.NewClient(ts.URL)
+			id, err := cl.Join(fmt.Sprintf("stress-%d", w))
+			if err != nil {
+				t.Errorf("worker %d join: %v", w, err)
+				return
+			}
+			answers := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a, ok, err := cl.FetchTask(id)
+				if err != nil {
+					t.Errorf("worker %d fetch: %v", w, err)
+					return
+				}
+				if !ok {
+					cl.Heartbeat(id)
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				labels := make([]int, len(a.Records))
+				for i, rec := range a.Records {
+					labels[i] = stressLabel(rec)
+				}
+				acc, _, err := cl.Submit(id, a.TaskID, labels)
+				if err != nil {
+					t.Errorf("worker %d submit: %v", w, err)
+					return
+				}
+				if acc {
+					accepted.Add(1)
+				}
+				answers++
+				if answers%stressChurnInterval == 0 {
+					// Churn: leave mid-run and rejoin as a fresh worker.
+					cl.Leave(id)
+					id, err = cl.Join(fmt.Sprintf("stress-%d-re", w))
+					if err != nil {
+						t.Errorf("worker %d rejoin: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	cg.Wait()
+	// Drive until every task completes: zero lost tasks is the invariant.
+	status := server.NewClient(ts.URL)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := status.Status()
+		if err == nil && st["tasks"] == totalTasks && st["complete"] == totalTasks {
+			break
+		}
+		if time.Now().After(deadline) {
+			st, _ := status.Status()
+			close(stop)
+			wg.Wait()
+			t.Fatalf("shards=%d: tasks lost or stuck: %v (want %d complete)", shards, st, totalTasks)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := accepted.Load(); got < int64(totalTasks*stressQuorum) {
+		t.Fatalf("shards=%d: %d accepted answers, want ≥ %d", shards, got, totalTasks*stressQuorum)
+	}
+
+	// Collect consensus keyed by task content (ids differ across runs).
+	resp, err := status.Consensus("majority")
+	if err != nil {
+		t.Fatalf("shards=%d consensus: %v", shards, err)
+	}
+	byContent := make(map[string][]int, totalTasks)
+	submitted.Range(func(k, v any) bool {
+		id, rec := k.(int), v.(string)
+		labels, ok := resp.Labels[id]
+		if !ok {
+			t.Errorf("shards=%d: task %d (%s) missing from consensus", shards, id, rec)
+			return true
+		}
+		byContent[rec] = labels
+		return true
+	})
+	if len(byContent) != totalTasks {
+		t.Fatalf("shards=%d: consensus covers %d tasks, want %d", shards, len(byContent), totalTasks)
+	}
+	return byContent
+}
+
+func TestFabricStressParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	one := runStress(t, 1)
+	eight := runStress(t, 8)
+	if t.Failed() {
+		t.FailNow()
+	}
+	for rec, labels := range one {
+		got, ok := eight[rec]
+		if !ok {
+			t.Fatalf("task %q missing from 8-shard run", rec)
+		}
+		for i := range labels {
+			if labels[i] != got[i] {
+				t.Fatalf("task %q: consensus diverged: 1-shard %v, 8-shard %v", rec, labels, got)
+			}
+			// Both runs must also equal the scripted rule: record i of the
+			// task keyed by "…-r0" is named "…-r<i>".
+			if want := stressLabel(rec[:len(rec)-1] + fmt.Sprint(i)); labels[i] != want {
+				t.Fatalf("task %q record %d: consensus %d != scripted label %d", rec, i, labels[i], want)
+			}
+		}
+	}
+}

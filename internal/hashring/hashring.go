@@ -1,0 +1,44 @@
+// Package hashring provides the consistent-hash placement primitive the
+// fabric uses to spread tasks across pool shards: FNV-1a content hashing
+// combined with Lamping–Veach jump consistent hashing. Jump hashing maps a
+// 64-bit key to one of n buckets with no lookup table and the consistency
+// property that growing n from k to k+1 moves only ~1/(k+1) of the keys —
+// so resizing a fabric relocates the minimum amount of queue state.
+package hashring
+
+// Jump maps key to a bucket in [0, n) using jump consistent hashing
+// (Lamping & Veach, 2014). n must be positive; n <= 1 always yields 0.
+func Jump(key uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// fnvOffset and fnvPrime are the 64-bit FNV-1a parameters.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// HashStrings hashes a sequence of strings into one 64-bit FNV-1a key.
+// Each element is terminated with a 0 byte so ["ab","c"] and ["a","bc"]
+// hash differently.
+func HashStrings(parts []string) uint64 {
+	h := fnvOffset
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= fnvPrime
+		}
+		h ^= 0
+		h *= fnvPrime
+	}
+	return h
+}

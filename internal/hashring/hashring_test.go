@@ -1,0 +1,76 @@
+package hashring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestJumpRange(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		for key := uint64(0); key < 1000; key++ {
+			b := Jump(key*2654435761, n)
+			if b < 0 || b >= n {
+				t.Fatalf("Jump(%d, %d) = %d out of range", key, n, b)
+			}
+		}
+	}
+	if got := Jump(42, 0); got != 0 {
+		t.Errorf("Jump(_, 0) = %d, want 0", got)
+	}
+	if got := Jump(42, -3); got != 0 {
+		t.Errorf("Jump(_, -3) = %d, want 0", got)
+	}
+}
+
+// TestJumpConsistency verifies the defining property: growing the bucket
+// count only ever moves keys into the new bucket, never between old ones.
+func TestJumpConsistency(t *testing.T) {
+	const keys = 20000
+	for n := 1; n < 12; n++ {
+		moved, movedElsewhere := 0, 0
+		for k := 0; k < keys; k++ {
+			key := uint64(k) * 11400714819323198485
+			a, b := Jump(key, n), Jump(key, n+1)
+			if a != b {
+				moved++
+				if b != n {
+					movedElsewhere++
+				}
+			}
+		}
+		if movedElsewhere != 0 {
+			t.Errorf("n=%d->%d: %d keys moved between pre-existing buckets", n, n+1, movedElsewhere)
+		}
+		// Expect ~keys/(n+1) keys to move; allow a wide tolerance.
+		want := keys / (n + 1)
+		if moved < want/2 || moved > want*2 {
+			t.Errorf("n=%d->%d: %d keys moved, want ≈%d", n, n+1, moved, want)
+		}
+	}
+}
+
+func TestJumpBalance(t *testing.T) {
+	const n, keys = 8, 40000
+	counts := make([]int, n)
+	for k := 0; k < keys; k++ {
+		counts[Jump(HashStrings([]string{fmt.Sprintf("record-%d", k)}), n)]++
+	}
+	want := keys / n
+	for b, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d holds %d keys, want %d ±20%%", b, c, want)
+		}
+	}
+}
+
+func TestHashStringsBoundaries(t *testing.T) {
+	if HashStrings([]string{"ab", "c"}) == HashStrings([]string{"a", "bc"}) {
+		t.Error("element boundaries not separated")
+	}
+	if HashStrings([]string{"a"}) == HashStrings([]string{"a", ""}) {
+		t.Error("trailing empty element not distinguished")
+	}
+	if HashStrings(nil) != HashStrings([]string{}) {
+		t.Error("nil and empty should hash equally")
+	}
+}

@@ -101,7 +101,7 @@ func (s *Server) handleConsensus(w http.ResponseWriter, r *http.Request) {
 
 // voteGraph flattens every answer on the server into per-record votes.
 // Record rec of task tid becomes item tid*stride + rec. Callers hold mu.
-func (s *Server) voteGraph() (votes []quality.Vote, stride, classes int) {
+func (s *Shard) voteGraph() (votes []quality.Vote, stride, classes int) {
 	stride = 1
 	classes = 2
 	for _, u := range s.tasks {

@@ -33,7 +33,7 @@ func (c *CostConfig) fillDefaults() {
 // settleWait accrues wait pay for a worker's idle span ending now. Callers
 // hold mu. Wait starts at join and restarts at each submit; fetching a task
 // ends the waiting span.
-func (s *Server) settleWait(pw *poolWorker) {
+func (s *Shard) settleWait(pw *poolWorker) {
 	now := s.cfg.Now()
 	if !pw.waitStart.IsZero() && now.After(pw.waitStart) {
 		s.costs.WaitPay += metrics.PerMinute(s.cfg.Costs.WaitPayPerMin, now.Sub(pw.waitStart))
@@ -42,13 +42,13 @@ func (s *Server) settleWait(pw *poolWorker) {
 }
 
 // startWait begins an idle span for the worker. Callers hold mu.
-func (s *Server) startWait(pw *poolWorker) {
+func (s *Shard) startWait(pw *poolWorker) {
 	pw.waitStart = s.cfg.Now()
 }
 
 // payWork credits record pay for a submission (terminated submissions are
 // paid under TerminatedPay). Callers hold mu.
-func (s *Server) payWork(records int, terminated bool) {
+func (s *Shard) payWork(records int, terminated bool) {
 	amount := s.cfg.Costs.RecordPay * metrics.Cost(records)
 	if terminated {
 		s.costs.TerminatedPay += amount

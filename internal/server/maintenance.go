@@ -24,7 +24,7 @@ type WorkerStats struct {
 
 // observeLatency records a completed assignment's per-record latency for a
 // worker. Callers hold mu.
-func (s *Server) observeLatency(pw *poolWorker, records int, elapsed time.Duration) {
+func (s *Shard) observeLatency(pw *poolWorker, records int, elapsed time.Duration) {
 	if records < 1 {
 		records = 1
 	}
@@ -39,7 +39,7 @@ func (s *Server) observeLatency(pw *poolWorker, records int, elapsed time.Durati
 // maintenanceCheck retires the worker if maintenance is enabled and their
 // empirical mean is above the threshold with enough evidence. Callers hold
 // mu. Returns true if the worker was retired.
-func (s *Server) maintenanceCheck(pw *poolWorker) bool {
+func (s *Shard) maintenanceCheck(pw *poolWorker) bool {
 	if s.cfg.MaintenanceThreshold <= 0 || pw.latN < s.cfg.MaintenanceMinObs {
 		return false
 	}

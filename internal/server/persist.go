@@ -15,12 +15,17 @@ import (
 // to them. In-flight assignments at snapshot time are likewise dropped back
 // to the queue (the same thing that happens when a worker times out), so a
 // restore never loses a task and never double-counts an answer.
+//
+// The state types are exported so the fabric can merge per-shard snapshots
+// into the same wire format a single server produces, and split one back
+// across shards on restore.
 
-// snapshotVersion guards against loading snapshots from incompatible
+// SnapshotVersion guards against loading snapshots from incompatible
 // builds.
-const snapshotVersion = 1
+const SnapshotVersion = 1
 
-type taskSnapshot struct {
+// TaskState is one task's durable state.
+type TaskState struct {
 	ID      int      `json:"id"`
 	Spec    TaskSpec `json:"spec"`
 	Answers [][]int  `json:"answers,omitempty"`
@@ -28,7 +33,9 @@ type taskSnapshot struct {
 	Done    bool     `json:"done"`
 }
 
-type snapshot struct {
+// SnapshotState is the full durable state of one pool (a standalone server
+// or one fabric shard).
+type SnapshotState struct {
 	Version      int                `json:"version"`
 	NextTask     int                `json:"next_task"`
 	NextWorker   int                `json:"next_worker"`
@@ -37,16 +44,60 @@ type snapshot struct {
 	Retired      []int              `json:"retired,omitempty"`
 	Costs        metrics.Accounting `json:"costs"`
 	Order        []int              `json:"order,omitempty"`
-	Tasks        []taskSnapshot     `json:"tasks,omitempty"`
+	Tasks        []TaskState        `json:"tasks,omitempty"`
 }
 
-// Snapshot serializes the server's durable state (tasks, answers, counters,
-// accounting) as JSON.
-func (s *Server) Snapshot() ([]byte, error) {
+// EncodeSnapshot serializes a snapshot state in the wire format.
+func EncodeSnapshot(st SnapshotState) ([]byte, error) {
+	return json.MarshalIndent(st, "", "  ")
+}
+
+// DecodeSnapshot parses and validates snapshot JSON. Every structural
+// invariant is checked here so importing a validated state cannot fail
+// halfway (the fabric imports one state per shard and must not end up
+// partially restored).
+func DecodeSnapshot(data []byte) (SnapshotState, error) {
+	var st SnapshotState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("server: decoding snapshot: %w", err)
+	}
+	if st.Version != SnapshotVersion {
+		return st, fmt.Errorf("server: snapshot version %d, want %d", st.Version, SnapshotVersion)
+	}
+	seen := make(map[int]bool, len(st.Tasks))
+	for _, ts := range st.Tasks {
+		if ts.ID < 1 {
+			return st, fmt.Errorf("server: snapshot task id %d out of range", ts.ID)
+		}
+		if len(ts.Spec.Records) == 0 {
+			return st, fmt.Errorf("server: snapshot task %d has no records", ts.ID)
+		}
+		if len(ts.Answers) != len(ts.Voters) {
+			return st, fmt.Errorf("server: snapshot task %d: %d answers but %d voters",
+				ts.ID, len(ts.Answers), len(ts.Voters))
+		}
+		seen[ts.ID] = true
+	}
+	for _, tid := range st.Order {
+		if !seen[tid] {
+			return st, fmt.Errorf("server: snapshot order references unknown task %d", tid)
+		}
+	}
+	for _, id := range st.Retired {
+		if id < 1 {
+			return st, fmt.Errorf("server: snapshot retired worker id %d out of range", id)
+		}
+	}
+	return st, nil
+}
+
+// ExportState captures the shard's durable state (tasks, answers, counters,
+// accounting).
+func (s *Shard) ExportState() SnapshotState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	snap := snapshot{
-		Version:      snapshotVersion,
+	st := SnapshotState{
+		Version:      SnapshotVersion,
 		NextTask:     s.nextTask,
 		NextWorker:   s.nextWorker,
 		Terminated:   s.terminated,
@@ -55,11 +106,11 @@ func (s *Server) Snapshot() ([]byte, error) {
 		Order:        append([]int(nil), s.order...),
 	}
 	for id := range s.retired {
-		snap.Retired = append(snap.Retired, id)
+		st.Retired = append(st.Retired, id)
 	}
 	for _, tid := range s.order {
 		u := s.tasks[tid]
-		snap.Tasks = append(snap.Tasks, taskSnapshot{
+		st.Tasks = append(st.Tasks, TaskState{
 			ID:      u.id,
 			Spec:    u.spec,
 			Answers: u.answers,
@@ -67,29 +118,17 @@ func (s *Server) Snapshot() ([]byte, error) {
 			Done:    u.done,
 		})
 	}
-	return json.MarshalIndent(snap, "", "  ")
+	return st
 }
 
-// Restore replaces the server's durable state with a snapshot produced by
-// Snapshot. All connected workers are dropped (they rejoin); unfinished
-// tasks return to the queue.
-func (s *Server) Restore(data []byte) error {
-	var snap snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return fmt.Errorf("server: decoding snapshot: %w", err)
-	}
-	if snap.Version != snapshotVersion {
-		return fmt.Errorf("server: snapshot version %d, want %d", snap.Version, snapshotVersion)
-	}
-	tasks := make(map[int]*workUnit, len(snap.Tasks))
-	for _, ts := range snap.Tasks {
-		if len(ts.Spec.Records) == 0 {
-			return fmt.Errorf("server: snapshot task %d has no records", ts.ID)
-		}
-		if len(ts.Answers) != len(ts.Voters) {
-			return fmt.Errorf("server: snapshot task %d: %d answers but %d voters",
-				ts.ID, len(ts.Answers), len(ts.Voters))
-		}
+// ImportState replaces the shard's durable state with a validated snapshot
+// state (see DecodeSnapshot). All connected workers are dropped (they
+// rejoin); unfinished tasks return to the queue. The id counters realign to
+// this shard's stripe on the next allocation, so restoring a snapshot from
+// a differently-sharded fabric never collides.
+func (s *Shard) ImportState(st SnapshotState) {
+	tasks := make(map[int]*workUnit, len(st.Tasks))
+	for _, ts := range st.Tasks {
 		tasks[ts.ID] = &workUnit{
 			id:      ts.ID,
 			spec:    ts.Spec,
@@ -99,26 +138,43 @@ func (s *Server) Restore(data []byte) error {
 			done:    ts.Done,
 		}
 	}
-	for _, tid := range snap.Order {
-		if _, ok := tasks[tid]; !ok {
-			return fmt.Errorf("server: snapshot order references unknown task %d", tid)
-		}
-	}
-
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tasks = tasks
-	s.order = append([]int(nil), snap.Order...)
+	s.order = append([]int(nil), st.Order...)
+	s.queue = s.queue[:0]
+	for _, tid := range s.order {
+		if !tasks[tid].done {
+			s.queue = append(s.queue, tid)
+		}
+	}
 	s.workers = make(map[int]*poolWorker)
-	s.nextTask = snap.NextTask
-	s.nextWorker = snap.NextWorker
-	s.terminated = snap.Terminated
-	s.retiredCount = snap.RetiredCount
-	s.retired = make(map[int]bool, len(snap.Retired))
-	for _, id := range snap.Retired {
+	s.nextTask = st.NextTask
+	s.nextWorker = st.NextWorker
+	s.terminated = st.Terminated
+	s.retiredCount = st.RetiredCount
+	s.retired = make(map[int]bool, len(st.Retired))
+	for _, id := range st.Retired {
 		s.retired[id] = true
 	}
-	s.costs = snap.Costs
+	s.costs = st.Costs
+	s.orphans = nil
+	s.orphanCount.Store(0)
+}
+
+// Snapshot serializes the pool's durable state as JSON.
+func (s *Shard) Snapshot() ([]byte, error) {
+	return EncodeSnapshot(s.ExportState())
+}
+
+// Restore replaces the pool's durable state with a snapshot produced by
+// Snapshot.
+func (s *Shard) Restore(data []byte) error {
+	st, err := DecodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	s.ImportState(st)
 	return nil
 }
 

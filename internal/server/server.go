@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/clamshell/clamshell/internal/stats"
@@ -106,14 +107,25 @@ type Config struct {
 	Costs CostConfig
 }
 
-// Server is the retainer-pool routing server. It implements http.Handler.
-type Server struct {
+// Shard is one independently-locked retainer pool: tasks, queue order,
+// workers, consensus inputs, accounting and maintenance state. A Server is
+// a single Shard behind the HTTP mux; the fabric package runs N of them
+// behind one router, each covering a stripe of the global id space (shard
+// s of n allocates ids ≡ s+1 mod n), so an id deterministically names its
+// owning shard.
+type Shard struct {
 	cfg Config
 
+	// index/count describe this shard's id stripe. A standalone Server is
+	// shard 0 of 1 — the stripe is all of ℕ and ids are 1,2,3,… exactly as
+	// before sharding existed.
+	index int
+	count int
+
 	mu           sync.Mutex
-	mux          *http.ServeMux
 	tasks        map[int]*workUnit
-	order        []int // task ids in submission order
+	order        []int // task ids in submission order (consensus, snapshots)
+	queue        []int // pending task ids in submission order; compacted lazily
 	workers      map[int]*poolWorker
 	nextTask     int
 	nextWorker   int
@@ -123,13 +135,32 @@ type Server struct {
 	costs        metricsAccounting
 	startedAt    time.Time
 	latQ         []*stats.P2Quantile // streaming p50/p95/p99 of per-record latency
+
+	// orphans are assignments whose worker was removed while holding a task
+	// that lives on another shard (work stealing). The fabric drains them
+	// and releases the active slots on the owning shards; a standalone
+	// Server never produces any (every assignment is local). orphanCount
+	// mirrors len(orphans) so DrainOrphans can skip the lock when empty.
+	orphans     []Orphan
+	orphanCount atomic.Int32
+}
+
+// Orphan is a cross-shard assignment left dangling by a removed worker.
+type Orphan struct {
+	Worker int
+	Task   int
+}
+
+// Server is the retainer-pool routing server. It implements http.Handler.
+type Server struct {
+	mux *http.ServeMux
+	Shard
 }
 
 // metricsAccounting aliases metrics.Accounting for field brevity.
 type metricsAccounting = accountingT
 
-// New creates a Server.
-func New(cfg Config) *Server {
+func normalize(cfg Config) Config {
 	if cfg.SpeculationLimit <= 0 {
 		cfg.SpeculationLimit = 1
 	}
@@ -143,18 +174,44 @@ func New(cfg Config) *Server {
 		cfg.MaintenanceMinObs = 3
 	}
 	cfg.Costs.fillDefaults()
-	s := &Server{
-		cfg:       cfg,
-		tasks:     make(map[int]*workUnit),
-		workers:   make(map[int]*poolWorker),
-		retired:   make(map[int]bool),
-		startedAt: cfg.Now(),
-		latQ: []*stats.P2Quantile{
-			stats.NewP2Quantile(0.5),
-			stats.NewP2Quantile(0.95),
-			stats.NewP2Quantile(0.99),
-		},
+	return cfg
+}
+
+func initShard(sh *Shard, cfg Config, index, count int) {
+	cfg = normalize(cfg)
+	sh.cfg = cfg
+	sh.index = index
+	sh.count = count
+	sh.tasks = make(map[int]*workUnit)
+	sh.workers = make(map[int]*poolWorker)
+	sh.retired = make(map[int]bool)
+	sh.startedAt = cfg.Now()
+	sh.latQ = []*stats.P2Quantile{
+		stats.NewP2Quantile(0.5),
+		stats.NewP2Quantile(0.95),
+		stats.NewP2Quantile(0.99),
 	}
+}
+
+// NewShard creates shard index of count for a fabric. Ids allocated by the
+// shard are ≡ index+1 (mod count), so they never collide across the fabric
+// and routing an id back to its shard is (id-1) mod count.
+func NewShard(cfg Config, index, count int) *Shard {
+	if count < 1 {
+		count = 1
+	}
+	if index < 0 || index >= count {
+		index = 0
+	}
+	sh := &Shard{}
+	initShard(sh, cfg, index, count)
+	return sh
+}
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	s := &Server{}
+	initShard(&s.Shard, cfg, 0, 1)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /api/join", s.handleJoin)
 	s.mux.HandleFunc("POST /api/heartbeat", s.handleHeartbeat)
@@ -199,18 +256,36 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding join request: %w", err))
 		return
 	}
+	id := s.join(req.Name)
+	writeJSON(w, http.StatusOK, map[string]int{"worker_id": id})
+}
+
+// stripeNext returns the smallest id in this shard's stripe strictly
+// greater than cur. For a standalone server (stripe 1,2,3,…) this is
+// cur+1; after a restore it realigns the counter past any restored id.
+func (s *Shard) stripeNext(cur int) int {
+	base, stride := s.index+1, s.count
+	if cur < base {
+		return base
+	}
+	k := (cur - base) / stride
+	return base + (k+1)*stride
+}
+
+// join admits a worker and returns its id.
+func (s *Shard) join(name string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextWorker++
+	s.nextWorker = s.stripeNext(s.nextWorker)
 	pw := &poolWorker{
 		id:       s.nextWorker,
-		name:     req.Name,
+		name:     name,
 		joinedAt: s.cfg.Now(),
 		lastSeen: s.cfg.Now(),
 	}
 	s.workers[pw.id] = pw
 	s.startWait(pw)
-	writeJSON(w, http.StatusOK, map[string]int{"worker_id": pw.id})
+	return pw.id
 }
 
 // handleHeartbeat keeps a waiting worker alive.
@@ -244,7 +319,7 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-func (s *Server) removeWorker(id int) {
+func (s *Shard) removeWorker(id int) {
 	pw, ok := s.workers[id]
 	if !ok {
 		return
@@ -253,6 +328,11 @@ func (s *Server) removeWorker(id int) {
 	if pw.current != 0 {
 		if u, ok := s.tasks[pw.current]; ok {
 			delete(u.active, id)
+		} else {
+			// The assignment lives on another shard (stolen work); the
+			// fabric releases it after this call returns.
+			s.orphans = append(s.orphans, Orphan{Worker: id, Task: pw.current})
+			s.orphanCount.Store(int32(len(s.orphans)))
 		}
 	}
 	delete(s.workers, id)
@@ -279,19 +359,26 @@ func (s *Server) handleSubmitTasks(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, errors.New("task with no records"))
 			return
 		}
-		if spec.Quorum < 1 {
-			spec.Quorum = 1
-		}
-		if spec.Classes < 2 {
-			spec.Classes = 2
-		}
-		s.nextTask++
-		u := &workUnit{id: s.nextTask, spec: spec, active: make(map[int]bool)}
-		s.tasks[u.id] = u
-		s.order = append(s.order, u.id)
-		ids = append(ids, u.id)
+		ids = append(ids, s.enqueueLocked(spec))
 	}
 	writeJSON(w, http.StatusOK, map[string][]int{"task_ids": ids})
+}
+
+// enqueueLocked admits one validated task spec, applying the quorum/classes
+// defaults. Callers hold mu and have checked the spec has records.
+func (s *Shard) enqueueLocked(spec TaskSpec) int {
+	if spec.Quorum < 1 {
+		spec.Quorum = 1
+	}
+	if spec.Classes < 2 {
+		spec.Classes = 2
+	}
+	s.nextTask = s.stripeNext(s.nextTask)
+	u := &workUnit{id: s.nextTask, spec: spec, active: make(map[int]bool)}
+	s.tasks[u.id] = u
+	s.order = append(s.order, u.id)
+	s.queue = append(s.queue, u.id)
+	return u.id
 }
 
 // handleFetchTask hands the next task to a polling worker: first a task
@@ -334,7 +421,7 @@ func (s *Server) handleFetchTask(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.assignmentPayload(u))
 }
 
-func (s *Server) assignmentPayload(u *workUnit) map[string]any {
+func (s *Shard) assignmentPayload(u *workUnit) map[string]any {
 	return map[string]any{
 		"task_id": u.id,
 		"records": u.spec.Records,
@@ -342,15 +429,23 @@ func (s *Server) assignmentPayload(u *workUnit) map[string]any {
 	}
 }
 
-// pick chooses a task for the worker: starved tasks first, then speculative
-// duplicates under the cap — each pass in priority order (higher first,
-// FIFO within a priority). The worker never duplicates a task it already
-// answered or is working on.
-func (s *Server) pick(workerID int) *workUnit {
-	var starved, speculative *workUnit
-	for _, tid := range s.order {
+// pickCandidates scans the pending queue for the best starved task and the
+// best speculative duplicate for the worker — each in priority order
+// (higher first, FIFO within a priority). Completed tasks are compacted
+// out of the queue as the scan passes them, so the hand-out hot path stays
+// proportional to the live queue, not to everything ever submitted. The
+// worker never duplicates a task it already answered or is working on.
+// Callers hold mu.
+func (s *Shard) pickCandidates(workerID int) (starved, speculative *workUnit) {
+	kept := 0
+	for _, tid := range s.queue {
 		u := s.tasks[tid]
-		if u.done || u.active[workerID] || s.answered(u, workerID) {
+		if u.done {
+			continue // drop from the pending queue; order keeps the record
+		}
+		s.queue[kept] = tid
+		kept++
+		if u.active[workerID] || s.answered(u, workerID) {
 			continue
 		}
 		switch {
@@ -364,13 +459,21 @@ func (s *Server) pick(workerID int) *workUnit {
 			}
 		}
 	}
+	s.queue = s.queue[:kept]
+	return starved, speculative
+}
+
+// pick chooses a task for the worker: starved tasks first, then speculative
+// duplicates under the cap. Callers hold mu.
+func (s *Shard) pick(workerID int) *workUnit {
+	starved, speculative := s.pickCandidates(workerID)
 	if starved != nil {
 		return starved
 	}
 	return speculative
 }
 
-func (s *Server) answered(u *workUnit, workerID int) bool {
+func (s *Shard) answered(u *workUnit, workerID int) bool {
 	for _, v := range u.voters {
 		if v == workerID {
 			return true
@@ -506,7 +609,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // majority computes per-record plurality labels over a unit's answers,
 // ties breaking to the lowest class.
-func (s *Server) majority(u *workUnit) []int {
+func (s *Shard) majority(u *workUnit) []int {
 	out := make([]int, len(u.spec.Records))
 	for rec := range u.spec.Records {
 		counts := make(map[int]int)
@@ -526,7 +629,7 @@ func (s *Server) majority(u *workUnit) []int {
 
 // expireWorkers drops workers that stopped heartbeating and requeues their
 // assignments. Callers must hold mu.
-func (s *Server) expireWorkers() {
+func (s *Shard) expireWorkers() {
 	cutoff := s.cfg.Now().Add(-s.cfg.WorkerTimeout)
 	for id, pw := range s.workers {
 		if pw.lastSeen.Before(cutoff) {

@@ -1,0 +1,461 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/clamshell/clamshell/internal/metrics"
+	"github.com/clamshell/clamshell/internal/quality"
+	"github.com/clamshell/clamshell/internal/worker"
+)
+
+// The exported Shard API: the building blocks the fabric router composes
+// into the retainer-pool protocol. Every method takes the shard's own lock
+// and returns — a method never calls into another shard, so the fabric can
+// sequence calls across shards without any lock-ordering hazard. The
+// Server's HTTP handlers in this package use the same internals under a
+// single lock acquisition; for one shard the two paths produce identical
+// protocol behavior (internal/fabric's compat test pins this byte-for-byte).
+
+// Join admits a worker into this shard's retainer pool and returns its
+// globally-unique id (the id encodes the shard: (id-1) mod count == index).
+func (s *Shard) Join(name string) int {
+	return s.join(name)
+}
+
+// Heartbeat refreshes a worker's liveness. It reports false for a worker
+// this shard does not know.
+func (s *Shard) Heartbeat(workerID int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pw, ok := s.workers[workerID]
+	if !ok {
+		return false
+	}
+	pw.lastSeen = s.cfg.Now()
+	return true
+}
+
+// Leave removes a worker; any local assignment returns to the queue, and a
+// stolen assignment is left for the fabric to release via DrainOrphans.
+func (s *Shard) Leave(workerID int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeWorker(workerID)
+}
+
+// Enqueue admits one task spec (records already validated non-empty) and
+// returns its globally-unique id.
+func (s *Shard) Enqueue(spec TaskSpec) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enqueueLocked(spec)
+}
+
+// FetchState classifies a worker's situation at the start of a fetch.
+type FetchState int
+
+const (
+	// FetchUnknown: the worker is not in this shard's pool.
+	FetchUnknown FetchState = iota
+	// FetchRetired: the worker was retired by pool maintenance.
+	FetchRetired
+	// FetchCurrent: the worker has an in-flight assignment to re-deliver.
+	FetchCurrent
+	// FetchIdle: the worker is waiting and can be handed new work.
+	FetchIdle
+)
+
+// BeginFetch expires stale workers, refreshes the polling worker's
+// liveness and classifies it. When the state is FetchCurrent, current is
+// the in-flight task id (which may live on another shard if the work was
+// stolen).
+func (s *Shard) BeginFetch(workerID int) (current int, st FetchState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireWorkers()
+	if s.retired[workerID] {
+		return 0, FetchRetired
+	}
+	pw, ok := s.workers[workerID]
+	if !ok {
+		return 0, FetchUnknown
+	}
+	pw.lastSeen = s.cfg.Now()
+	if pw.current != 0 {
+		return pw.current, FetchCurrent
+	}
+	return 0, FetchIdle
+}
+
+// TaskPayload returns the assignment payload for a task on this shard
+// (re-delivery of an in-flight assignment).
+func (s *Shard) TaskPayload(taskID int) (map[string]any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.tasks[taskID]
+	if !ok {
+		return nil, false
+	}
+	return s.assignmentPayload(u), true
+}
+
+// PickLocal picks a task on this shard for one of its own idle workers and
+// assigns it (ends the paid-wait span, marks the unit active). starvedOnly
+// restricts the pass to tasks still missing primary answers, so the fabric
+// can order local starved → stolen starved → speculative. It reports
+// false when the shard has nothing for this worker.
+func (s *Shard) PickLocal(workerID int, starvedOnly bool) (map[string]any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pw, ok := s.workers[workerID]
+	if !ok || pw.current != 0 {
+		return nil, false
+	}
+	var u *workUnit
+	if starvedOnly {
+		u, _ = s.pickCandidates(workerID)
+	} else {
+		u = s.pick(workerID)
+	}
+	if u == nil {
+		return nil, false
+	}
+	s.settleWait(pw)
+	u.active[workerID] = true
+	pw.current = u.id
+	pw.fetchedAt = s.cfg.Now()
+	return s.assignmentPayload(u), true
+}
+
+// PickSteal picks a task on this shard for a worker homed on another shard
+// (work stealing) and marks it active for that worker. starvedOnly
+// restricts the pass to tasks still missing primary answers, so the fabric
+// can exhaust starved work everywhere before handing out speculative
+// straggler duplicates — keeping the paper's starved-before-speculative
+// ordering fabric-wide. The caller completes the assignment on the
+// worker's home shard with AssignStolen, or rolls back with ReleaseActive.
+func (s *Shard) PickSteal(workerID int, starvedOnly bool) (taskID int, payload map[string]any, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	starved, speculative := s.pickCandidates(workerID)
+	u := starved
+	if u == nil && !starvedOnly {
+		u = speculative
+	}
+	if u == nil {
+		return 0, nil, false
+	}
+	u.active[workerID] = true
+	return u.id, s.assignmentPayload(u), true
+}
+
+// AssignStolen records a stolen assignment on the worker's home shard. It
+// reports false if the worker vanished or picked up other work in the
+// meantime — the caller must then roll the steal back with ReleaseActive on
+// the task's shard.
+func (s *Shard) AssignStolen(workerID, taskID int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pw, ok := s.workers[workerID]
+	if !ok || pw.current != 0 {
+		return false
+	}
+	s.settleWait(pw)
+	pw.current = taskID
+	pw.fetchedAt = s.cfg.Now()
+	return true
+}
+
+// ReleaseActive clears a worker's active mark on a task: the rollback half
+// of a failed steal, and the release path for orphaned cross-shard
+// assignments.
+func (s *Shard) ReleaseActive(taskID, workerID int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u, ok := s.tasks[taskID]; ok {
+		delete(u.active, workerID)
+	}
+}
+
+// DrainOrphans returns and clears the cross-shard assignments left dangling
+// by removed workers. The fabric releases each on the task's shard. The
+// atomic emptiness check keeps the (overwhelmingly common) no-orphan case
+// off the shard lock: the fabric calls this on the poll hot path.
+func (s *Shard) DrainOrphans() []Orphan {
+	if s.orphanCount.Load() == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.orphans
+	s.orphans = nil
+	s.orphanCount.Store(0)
+	return out
+}
+
+// WorkerKnown reports whether the worker is in this shard's pool.
+func (s *Shard) WorkerKnown(workerID int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.workers[workerID]
+	return ok
+}
+
+// SubmitOutcome classifies the task-side result of an answer submission.
+type SubmitOutcome int
+
+const (
+	// SubmitUnknownTask: no such task on this shard.
+	SubmitUnknownTask SubmitOutcome = iota
+	// SubmitBadLabels: the label vector does not match the task.
+	SubmitBadLabels
+	// SubmitAccepted: the answer was recorded toward the quorum.
+	SubmitAccepted
+	// SubmitTerminated: a straggler lost the race — paid but discarded.
+	SubmitTerminated
+)
+
+// AcceptAnswer applies the task-side half of an answer submission on the
+// task's shard: validation, the straggler-termination race, pay accrual
+// and quorum accounting. records is the task's record count (needed by the
+// worker-side half for latency accounting). The worker-side half —
+// FinishAssignment on the worker's home shard — must follow on the success
+// outcomes.
+func (s *Shard) AcceptAnswer(taskID, workerID int, labels []int) (outcome SubmitOutcome, records int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.tasks[taskID]
+	if !ok {
+		return SubmitUnknownTask, 0, errors.New("unknown task")
+	}
+	if len(labels) != len(u.spec.Records) {
+		return SubmitBadLabels, 0,
+			fmt.Errorf("want %d labels, got %d", len(u.spec.Records), len(labels))
+	}
+	for _, l := range labels {
+		if l < 0 || l >= u.spec.Classes {
+			return SubmitBadLabels, 0, fmt.Errorf("label %d out of range", l)
+		}
+	}
+	delete(u.active, workerID)
+	records = len(u.spec.Records)
+	if u.done {
+		s.terminated++
+		s.payWork(records, true)
+		return SubmitTerminated, records, nil
+	}
+	s.payWork(records, false)
+	u.answers = append(u.answers, labels)
+	u.voters = append(u.voters, workerID)
+	if len(u.answers) >= u.spec.Quorum {
+		u.done = true
+	}
+	return SubmitAccepted, records, nil
+}
+
+// FinishAssignment applies the worker-side half of an answer submission on
+// the worker's home shard: clears the in-flight assignment, records the
+// latency observation, refreshes liveness and runs pool maintenance (or
+// restarts the paid-wait span).
+func (s *Shard) FinishAssignment(workerID, taskID, records int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pw, ok := s.workers[workerID]
+	if !ok {
+		return
+	}
+	if pw.current == taskID {
+		pw.current = 0
+		if !pw.fetchedAt.IsZero() {
+			s.observeLatency(pw, records, s.cfg.Now().Sub(pw.fetchedAt))
+		}
+	}
+	pw.done++
+	pw.lastSeen = s.cfg.Now()
+	if !s.maintenanceCheck(pw) {
+		s.startWait(pw)
+	}
+}
+
+// Counters is one shard's contribution to GET /api/status.
+type Counters struct {
+	Tasks      int
+	Complete   int
+	Workers    int
+	Idle       int
+	Terminated int
+	Retired    int
+}
+
+// CountersNow expires stale workers and reports the shard's health
+// counters.
+func (s *Shard) CountersNow() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireWorkers()
+	c := Counters{
+		Tasks:      len(s.tasks),
+		Workers:    len(s.workers),
+		Terminated: s.terminated,
+		Retired:    s.retiredCount,
+	}
+	for _, u := range s.tasks {
+		if u.done {
+			c.Complete++
+		}
+	}
+	for _, pw := range s.workers {
+		if pw.current == 0 {
+			c.Idle++
+		}
+	}
+	return c
+}
+
+// WorkerList expires stale workers and reports per-worker statistics
+// (unsorted; the fabric merges and sorts across shards).
+func (s *Shard) WorkerList() []WorkerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireWorkers()
+	now := s.cfg.Now()
+	out := make([]WorkerStats, 0, len(s.workers))
+	for _, pw := range s.workers {
+		ws := WorkerStats{
+			ID:          pw.id,
+			Name:        pw.name,
+			Completed:   pw.done,
+			Working:     pw.current != 0,
+			JoinedAgoMS: now.Sub(pw.joinedAt).Milliseconds(),
+		}
+		if pw.latN > 0 {
+			ws.MeanPerRec = pw.latSum / float64(pw.latN)
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// SettledCosts returns the accounting booked so far (no accrual for
+// currently idle workers) — the metricsz view.
+func (s *Shard) SettledCosts() metrics.Accounting {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.costs
+}
+
+// AccruedCosts returns the accounting including wait pay accrued up to now
+// for currently idle workers — the /api/costs view.
+func (s *Shard) AccruedCosts() metrics.Accounting {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acct := s.costs
+	now := s.cfg.Now()
+	for _, pw := range s.workers {
+		if !pw.waitStart.IsZero() && now.After(pw.waitStart) {
+			acct.WaitPay += metrics.PerMinute(s.cfg.Costs.WaitPayPerMin, now.Sub(pw.waitStart))
+		}
+	}
+	return acct
+}
+
+// ResultStatus reports a task's progress and, when complete, its
+// per-record majority consensus.
+func (s *Shard) ResultStatus(taskID int) (TaskStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.tasks[taskID]
+	if !ok {
+		return TaskStatus{}, false
+	}
+	st := TaskStatus{
+		ID:      u.id,
+		Answers: len(u.answers),
+		Active:  len(u.active),
+		Records: u.spec.Records,
+	}
+	switch {
+	case u.done:
+		st.State = "complete"
+		st.Consensus = s.majority(u)
+	case len(u.active) > 0:
+		st.State = "active"
+	default:
+		st.State = "unassigned"
+	}
+	return st, true
+}
+
+// Dims reports the shard's vote-graph dimensions: the widest task (record
+// count), the largest class count, and the task id counter — the fabric
+// takes maxima across shards to build one globally consistent graph.
+func (s *Shard) Dims() (maxRecords, maxClasses, lastTask int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	maxRecords, maxClasses = 1, 2
+	for _, u := range s.tasks {
+		if len(u.spec.Records) > maxRecords {
+			maxRecords = len(u.spec.Records)
+		}
+		if u.spec.Classes > maxClasses {
+			maxClasses = u.spec.Classes
+		}
+	}
+	return maxRecords, maxClasses, s.nextTask
+}
+
+// Votes flattens every answer on this shard into per-record votes using
+// the given global stride (record rec of task tid becomes item
+// tid*stride+rec).
+func (s *Shard) Votes(stride int) []quality.Vote {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var votes []quality.Vote
+	for _, tid := range s.order {
+		u := s.tasks[tid]
+		for i, ans := range u.answers {
+			voter := u.voters[i]
+			for rec, label := range ans {
+				votes = append(votes, quality.Vote{
+					Item:   tid*stride + rec,
+					Worker: worker.ID(voter),
+					Label:  label,
+				})
+			}
+		}
+	}
+	return votes
+}
+
+// TaskMeta reports the shard's task ids in submission order and each
+// task's record count (for assembling cross-shard consensus responses).
+func (s *Shard) TaskMeta() (order []int, records map[int]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	order = append([]int(nil), s.order...)
+	records = make(map[int]int, len(s.tasks))
+	for id, u := range s.tasks {
+		records[id] = len(u.spec.Records)
+	}
+	return order, records
+}
+
+// QuantileStat is one streaming latency quantile's state.
+type QuantileStat struct {
+	Q     float64 // the quantile, e.g. 0.95
+	Value float64 // current estimate (seconds per record)
+	N     int     // observations
+}
+
+// LatencyQuantiles reports the shard's streaming per-record latency
+// quantiles.
+func (s *Shard) LatencyQuantiles() []QuantileStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QuantileStat, 0, len(s.latQ))
+	for _, q := range s.latQ {
+		out = append(out, QuantileStat{Q: q.P(), Value: q.Value(), N: q.N()})
+	}
+	return out
+}

@@ -11,6 +11,12 @@ import "net/http"
 
 // handleUI serves the worker page.
 func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	WorkerUI(w, r)
+}
+
+// WorkerUI serves the built-in worker page. Exported so the fabric router
+// can serve the identical UI.
+func WorkerUI(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.Write([]byte(workerPage))
 }
