@@ -136,12 +136,11 @@ func benchDo(fab *fabric.Fabric, method, path, body string) *httptest.ResponseRe
 // hot path through the full HTTP handler (no sockets): each parallel
 // worker submits a task, polls for an assignment and answers it — under a
 // standing backlog of in-flight assignments, the steady state of a loaded
-// pool. Every hand-out decision scans the shard's pending queue under the
-// shard lock, so one shard means one mutex convoying every poll over the
-// whole backlog, while 8 shards means 8 independent locks each scanning
-// an eighth of it. shards=8 should beat shards=1 well beyond 2× on a
-// multi-core runner (the queue-scan split alone delivers ~2× even on one
-// core).
+// pool. Hand-out decisions read the shard's dispatch index under the shard
+// lock (saturated backlog tasks are not indexed at all), so one shard
+// means one mutex convoying every poll while 8 shards means 8 independent
+// locks; shards=8 should still beat shards=1 on a multi-core runner, now
+// purely on lock spread rather than on splitting a queue scan.
 func benchmarkFabricThroughput(b *testing.B, shards int) {
 	fab := fabric.New(server.Config{WorkerTimeout: time.Hour}, shards)
 
@@ -226,6 +225,102 @@ func BenchmarkFabricThroughput(b *testing.B) {
 	for _, shards := range []int{1, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			benchmarkFabricThroughput(b, shards)
+		})
+	}
+}
+
+// benchmarkDispatchHandOut measures single-shard hand-out latency on a pool
+// with real history and a standing backlog: `history` completed tasks on
+// the books and `backlog` pending priority-0 tasks that never drain
+// (measured traffic outranks them at priority 1). Each iteration is one
+// full task lifetime through the HTTP handlers — submit, poll (the hand-out
+// decision), answer. With the linear pending-queue scan this degraded with
+// the size of the backlog; with the dispatch index the pick reads the front
+// of the priority-1 bucket and the backlog (and all completed history) is
+// never touched, so ns/op must stay flat as history grows 10× over a 50k
+// backlog.
+func benchmarkDispatchHandOut(b *testing.B, history, backlog int) {
+	fab := fabric.New(server.Config{WorkerTimeout: time.Hour}, 1)
+	rec := benchDo(fab, "POST", "/api/join", `{"name":"bench"}`)
+	var join struct {
+		WorkerID int `json:"worker_id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &join); err != nil || join.WorkerID == 0 {
+		b.Fatalf("join: %s", rec.Body.String())
+	}
+	fetchPath := fmt.Sprintf("/api/task?worker_id=%d", join.WorkerID)
+
+	submitBatch := func(n int, prefix string, priority int) {
+		for done := 0; done < n; {
+			batch := min(1000, n-done)
+			var sb strings.Builder
+			sb.WriteString(`{"tasks":[`)
+			for i := 0; i < batch; i++ {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, `{"records":["%s-%d"],"classes":2,"quorum":1,"priority":%d}`,
+					prefix, done+i, priority)
+			}
+			sb.WriteString(`]}`)
+			if rec := benchDo(fab, "POST", "/api/tasks", sb.String()); rec.Code != 200 {
+				b.Fatalf("%s submit: %s", prefix, rec.Body.String())
+			}
+			done += batch
+		}
+	}
+
+	// Completed history: fetch and answer every task so it is done and off
+	// the pending set — only the books (order, answers, costs) grow.
+	submitBatch(history, "history", 1)
+	for i := 0; i < history; i++ {
+		rec := benchDo(fab, "GET", fetchPath, "")
+		if rec.Code != 200 {
+			b.Fatalf("history fetch %d: %d", i, rec.Code)
+		}
+		var a server.Assignment
+		if err := json.Unmarshal(rec.Body.Bytes(), &a); err != nil {
+			b.Fatal(err)
+		}
+		rec = benchDo(fab, "POST", "/api/submit",
+			fmt.Sprintf(`{"worker_id":%d,"task_id":%d,"labels":[0]}`, join.WorkerID, a.TaskID))
+		if rec.Code != 200 {
+			b.Fatalf("history submit %d: %s", i, rec.Body.String())
+		}
+	}
+	// Standing backlog: pending passive fill the measured traffic outranks.
+	submitBatch(backlog, "backlog", 0)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := benchDo(fab, "POST", "/api/tasks",
+			fmt.Sprintf(`{"tasks":[{"records":["live-%d"],"classes":2,"quorum":1,"priority":1}]}`, i))
+		if rec.Code != 200 {
+			b.Fatalf("submit: %s", rec.Body.String())
+		}
+		rec = benchDo(fab, "GET", fetchPath, "")
+		if rec.Code != 200 {
+			b.Fatalf("fetch: %d %s", rec.Code, rec.Body.String())
+		}
+		var a server.Assignment
+		if err := json.Unmarshal(rec.Body.Bytes(), &a); err != nil {
+			b.Fatal(err)
+		}
+		rec = benchDo(fab, "POST", "/api/submit",
+			fmt.Sprintf(`{"worker_id":%d,"task_id":%d,"labels":[0]}`, join.WorkerID, a.TaskID))
+		if rec.Code != 200 {
+			b.Fatalf("answer: %s", rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkDispatchHandOut pins the dispatch index's acceptance criteria:
+// ns/op flat (within noise) from history=5k to history=50k over the same
+// 50k-task standing backlog.
+func BenchmarkDispatchHandOut(b *testing.B) {
+	for _, history := range []int{5_000, 50_000} {
+		b.Run(fmt.Sprintf("history=%d/backlog=50000", history), func(b *testing.B) {
+			benchmarkDispatchHandOut(b, history, 50_000)
 		})
 	}
 }

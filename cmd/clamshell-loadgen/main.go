@@ -35,6 +35,7 @@ func main() {
 	workers := flag.Int("workers", 32, "concurrent pool workers")
 	clients := flag.Int("clients", 4, "concurrent task submitters")
 	tasks := flag.Int("tasks", 2000, "total tasks to submit")
+	backlog := flag.Int("backlog", 0, "priority-0 fill tasks pre-loaded as a standing backlog")
 	records := flag.Int("records", 3, "records per task")
 	classes := flag.Int("classes", 2, "label classes")
 	quorum := flag.Int("quorum", 1, "answers required per task")
@@ -55,12 +56,45 @@ func main() {
 		log.Printf("in-process fabric: %d shard(s) at %s", *shards, base)
 	}
 
+	// Standing backlog: passive priority-0 fill pre-loaded before the run.
+	// The run's tasks are submitted at priority ≥ 1 and outrank it, so the
+	// backlog stresses the dispatch index on every hand-out decision and is
+	// only drained once the foreground work is exhausted.
+	if *backlog > 0 {
+		pre := server.NewClient(base)
+		for n := 0; n < *backlog; {
+			batch := min(200, *backlog-n)
+			specs := make([]server.TaskSpec, batch)
+			for i := range specs {
+				recs := make([]string, *records)
+				for j := range recs {
+					recs[j] = "backlog-t" + strconv.Itoa(n+i) + "-r" + strconv.Itoa(j)
+				}
+				specs[i] = server.TaskSpec{Records: recs, Classes: *classes, Quorum: *quorum}
+			}
+			if _, err := pre.SubmitTasks(specs); err != nil {
+				log.Fatalf("backlog submit: %v", err)
+			}
+			n += batch
+		}
+		log.Printf("standing backlog: %d priority-0 tasks", *backlog)
+	}
+
 	var (
 		submitted, accepted, terminated, fetches, empties atomic.Int64
 		done                                              atomic.Bool
 	)
 	deadline := time.Now().Add(*duration)
 	start := time.Now()
+
+	// Foreground task ids, appended by clients as batches land. The
+	// completion watcher checks these individually — the status endpoint's
+	// complete counter also counts opportunistically drained backlog tasks,
+	// so it cannot tell when the foreground budget itself is done.
+	var (
+		fgMu sync.Mutex
+		fg   []int
+	)
 
 	// Clients: split the task budget and submit in batches.
 	var cg sync.WaitGroup
@@ -82,12 +116,18 @@ func main() {
 					for j := range recs {
 						recs[j] = "c" + strconv.Itoa(c) + "-t" + strconv.Itoa(n+i) + "-r" + strconv.Itoa(j)
 					}
-					specs[i] = server.TaskSpec{Records: recs, Classes: *classes, Quorum: *quorum, Priority: (n + i) % 3}
+					// Priority ≥ 1: foreground work always outranks the
+					// standing backlog's priority-0 fill.
+					specs[i] = server.TaskSpec{Records: recs, Classes: *classes, Quorum: *quorum, Priority: 1 + (n+i)%3}
 				}
-				if _, err := cl.SubmitTasks(specs); err != nil {
+				ids, err := cl.SubmitTasks(specs)
+				if err != nil {
 					log.Printf("client %d: %v", c, err)
 					return
 				}
+				fgMu.Lock()
+				fg = append(fg, ids...)
+				fgMu.Unlock()
 				submitted.Add(int64(batch))
 				n += batch
 			}
@@ -142,11 +182,25 @@ func main() {
 		}(wkr)
 	}
 
-	// Watch for completion: all tasks submitted and complete.
+	// Watch for completion: every foreground task individually complete
+	// (the backlog, when present, drains opportunistically after the
+	// foreground by priority order and is not awaited). The cursor only
+	// advances, so each task is polled until complete and then never again.
 	status := server.NewClient(base)
+	cursor := 0
 	for time.Now().Before(deadline) {
-		st, err := status.Status()
-		if err == nil && st["tasks"] >= *tasks && st["complete"] >= *tasks {
+		fgMu.Lock()
+		pending := append([]int(nil), fg[cursor:]...)
+		total := len(fg)
+		fgMu.Unlock()
+		for _, id := range pending {
+			st, err := status.Result(id)
+			if err != nil || st.State != "complete" {
+				break
+			}
+			cursor++
+		}
+		if total >= *tasks && cursor >= total {
 			break
 		}
 		time.Sleep(50 * time.Millisecond)

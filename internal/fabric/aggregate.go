@@ -58,6 +58,7 @@ func (f *Fabric) handleCosts(w http.ResponseWriter, r *http.Request) {
 	var acct metrics.Accounting
 	for _, sh := range f.shards {
 		acct = acct.Add(sh.AccruedCosts())
+		f.release(sh) // AccruedCosts expires stale workers, which can orphan steals
 	}
 	writeJSON(w, http.StatusOK, map[string]float64{
 		"wait_pay_dollars":       acct.WaitPay.Dollars(),

@@ -51,6 +51,7 @@ func TestFabricSingleShardByteCompat(t *testing.T) {
 		{name: "heartbeat missing field", method: "POST", path: "/api/heartbeat", body: `{"nope":1}`},
 		{name: "fetch no tasks", method: "GET", path: "/api/task?worker_id=1"},
 		{name: "fetch bad query", method: "GET", path: "/api/task"},
+		{name: "fetch trailing garbage", method: "GET", path: "/api/task?worker_id=1abc"},
 		{name: "tasks empty batch", method: "POST", path: "/api/tasks", body: `{"tasks":[]}`},
 		{name: "tasks no records", method: "POST", path: "/api/tasks", body: `{"tasks":[{"records":[]}]}`},
 		{name: "tasks bad body", method: "POST", path: "/api/tasks", body: `}`},
@@ -58,6 +59,7 @@ func TestFabricSingleShardByteCompat(t *testing.T) {
 			body: `{"tasks":[{"records":["r1a","r1b"],"classes":2,"quorum":1},{"records":["r2a"],"classes":3,"quorum":2,"priority":5},{"records":["r3a"],"classes":2,"quorum":1}]}`},
 		{name: "result unassigned", method: "GET", path: "/api/result?task_id=1"},
 		{name: "result unknown", method: "GET", path: "/api/result?task_id=77"},
+		{name: "result trailing garbage", method: "GET", path: "/api/result?task_id=1x"},
 		// Priority 5 task (id 2) is handed out first.
 		{name: "fetch alice priority", method: "GET", path: "/api/task?worker_id=1", advance: time.Second},
 		{name: "fetch alice redeliver", method: "GET", path: "/api/task?worker_id=1"},
@@ -65,6 +67,10 @@ func TestFabricSingleShardByteCompat(t *testing.T) {
 		{name: "fetch bob quorum", method: "GET", path: "/api/task?worker_id=2"},
 		{name: "fetch carol fifo", method: "GET", path: "/api/task?worker_id=3"},
 		{name: "submit alice", method: "POST", path: "/api/submit", advance: time.Second,
+			body: `{"worker_id":1,"task_id":2,"labels":[2]}`},
+		// A client retry after a lost response: re-acknowledged, nothing
+		// recounted (the costs and status steps below pin that).
+		{name: "submit alice replay", method: "POST", path: "/api/submit",
 			body: `{"worker_id":1,"task_id":2,"labels":[2]}`},
 		{name: "submit bad label count", method: "POST", path: "/api/submit",
 			body: `{"worker_id":2,"task_id":2,"labels":[1,1]}`},
@@ -86,6 +92,8 @@ func TestFabricSingleShardByteCompat(t *testing.T) {
 		{name: "submit alice task1", method: "POST", path: "/api/submit", advance: time.Second,
 			body: `{"worker_id":1,"task_id":1,"labels":[0,1]}`},
 		{name: "submit bob terminated", method: "POST", path: "/api/submit",
+			body: `{"worker_id":2,"task_id":1,"labels":[1,1]}`},
+		{name: "submit bob terminated replay", method: "POST", path: "/api/submit",
 			body: `{"worker_id":2,"task_id":1,"labels":[1,1]}`},
 		{name: "status mid", method: "GET", path: "/api/status"},
 		{name: "workers mid", method: "GET", path: "/api/workers"},

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"github.com/clamshell/clamshell/internal/server"
 )
@@ -26,8 +27,10 @@ func intField(r *http.Request, field string) (int, error) {
 }
 
 func intQuery(r *http.Request, key string) (int, error) {
-	var v int
-	if _, err := fmt.Sscanf(r.URL.Query().Get(key), "%d", &v); err != nil {
+	// strconv.Atoi rejects trailing garbage ("12abc"), which fmt.Sscanf
+	// silently accepted as 12 — must stay identical to internal/server's.
+	v, err := strconv.Atoi(r.URL.Query().Get(key))
+	if err != nil {
 		return 0, fmt.Errorf("missing or bad query parameter %q", key)
 	}
 	return v, nil
@@ -134,8 +137,11 @@ func (f *Fabric) handleFetchTask(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		w.WriteHeader(http.StatusNoContent)
-		return
+		// The stolen task's payload is gone (e.g. the owning shard was
+		// restored away from under the assignment). Answering 204 while the
+		// assignment stands would wedge the worker into empty polls forever:
+		// clear the dangling assignment and fall through to a fresh pick.
+		home.ClearAssignment(id, current)
 	}
 
 	// Starved work anywhere in the fabric beats speculation anywhere:
@@ -207,6 +213,15 @@ func (f *Fabric) handleSubmitAnswer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, err)
 	case server.SubmitBadLabels:
 		writeErr(w, http.StatusBadRequest, err)
+	case server.SubmitDuplicate:
+		// A replayed submission (client retry after a lost response): the
+		// answer is already on the books. Re-acknowledge without paying
+		// again or double-counting the worker's completion stats.
+		writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "terminated": false})
+	case server.SubmitDuplicateTerminated:
+		// Same, for a replayed straggler submission that already lost the
+		// race: the original termination was acknowledged and paid once.
+		writeJSON(w, http.StatusOK, map[string]bool{"accepted": false, "terminated": true})
 	case server.SubmitTerminated:
 		// A straggler losing the race: acknowledged, paid, discarded.
 		home.FinishAssignment(req.WorkerID, req.TaskID, records)

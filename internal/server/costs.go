@@ -58,17 +58,11 @@ func (s *Shard) payWork(records int, terminated bool) {
 }
 
 // handleCosts reports the accumulated spend, including wait pay accrued up
-// to now for currently idle workers.
+// to now for currently idle workers — Shard.AccruedCosts, which also
+// expires stale workers first so they stop billing. A standalone server
+// never produces orphans, so there is nothing to drain afterwards.
 func (s *Server) handleCosts(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	acct := s.costs
-	now := s.cfg.Now()
-	for _, pw := range s.workers {
-		if !pw.waitStart.IsZero() && now.After(pw.waitStart) {
-			acct.WaitPay += metrics.PerMinute(s.cfg.Costs.WaitPayPerMin, now.Sub(pw.waitStart))
-		}
-	}
+	acct := s.AccruedCosts()
 	writeJSON(w, http.StatusOK, map[string]float64{
 		"wait_pay_dollars":       acct.WaitPay.Dollars(),
 		"work_pay_dollars":       acct.WorkPay.Dollars(),

@@ -25,12 +25,42 @@ func TestCostsWaitPayAccrues(t *testing.T) {
 	now := time.Date(2015, 9, 20, 12, 0, 0, 0, time.UTC)
 	clock := func() time.Time { return now }
 	c, _ := newTestServer(t, Config{Now: clock})
-	c.Join("idler")
-	now = now.Add(10 * time.Minute)
+	id, _ := c.Join("idler")
+	// A live idler heartbeats; ten one-minute waits accrue in full.
+	for i := 0; i < 10; i++ {
+		now = now.Add(time.Minute)
+		if err := c.Heartbeat(id); err != nil {
+			t.Fatal(err)
+		}
+	}
 	costs := fetchCosts(t, c)
 	// $.05/min x 10 min = $0.50.
 	if math.Abs(costs["wait_pay_dollars"]-0.5) > 1e-6 {
 		t.Fatalf("wait pay = %v, want 0.5", costs["wait_pay_dollars"])
+	}
+}
+
+// A worker that stops heartbeating must stop billing wait pay: /api/costs
+// expires stale workers before accruing, and a dead worker's wait span is
+// clipped at the moment its liveness lapsed (last heartbeat + timeout) —
+// not at whenever the expiry happened to be noticed.
+func TestCostsDeadWorkerWaitPayCutoff(t *testing.T) {
+	now := time.Date(2015, 9, 20, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	c, _ := newTestServer(t, Config{Now: clock, WorkerTimeout: 2 * time.Minute})
+	c.Join("ghost")
+	// The ghost never heartbeats again. An hour later, the first costs call
+	// must bill only the 2 minutes of provable liveness, not the hour.
+	now = now.Add(time.Hour)
+	costs := fetchCosts(t, c)
+	if math.Abs(costs["wait_pay_dollars"]-0.10) > 1e-6 {
+		t.Fatalf("wait pay = %v, want 0.10 (join to liveness lapse only)", costs["wait_pay_dollars"])
+	}
+	// The accrual is settled, not per-view: asking again later adds nothing.
+	now = now.Add(time.Hour)
+	costs = fetchCosts(t, c)
+	if math.Abs(costs["wait_pay_dollars"]-0.10) > 1e-6 {
+		t.Fatalf("wait pay after second view = %v, want 0.10", costs["wait_pay_dollars"])
 	}
 }
 

@@ -1,0 +1,236 @@
+package server
+
+// The dispatch index: the shard's pending work, pre-sorted for the hand-out
+// hot path. Where the server once rescanned a flat pending queue on every
+// poll — O(everything pending) under the shard lock — the index keeps each
+// pickable task filed under (partition, priority) so a pick reads the front
+// of the highest-priority bucket: O(1) in the common case.
+//
+// Two partitions mirror the protocol's hand-out order:
+//
+//   - starved: tasks still missing primary answers (fewer active
+//     assignments than answers needed). Handed out first, everywhere.
+//   - speculative: tasks whose primary slots are covered but which may
+//     still receive straggler duplicates under SpeculationLimit.
+//
+// Tasks that are neither (saturated with assignments, or complete) are not
+// indexed at all — a standing backlog of covered tasks and any amount of
+// completed history cost the hand-out path nothing, which is exactly where
+// the old scan melted down.
+//
+// Within a partition, buckets are keyed by the task's (immutable) priority;
+// across buckets picks go in descending priority; within a bucket tasks are
+// ordered by submission sequence (FIFO), matching the historical scan's
+// "higher priority first, FIFO within a priority" order exactly.
+//
+// Migration is eager. reindex recomputes a task's partition after every
+// mutation of its active set, answer count or done flag; when the partition
+// changes, the task's entry is removed from its old bucket (each workUnit
+// tracks its heap position, so removal is O(log bucket)) and pushed into
+// the new one. A task therefore has exactly one index entry while pickable
+// and none otherwise — the index holds no garbage and its memory is
+// bounded by the live pickable set.
+
+// dispatchState names the partition a task currently belongs to.
+type dispatchState int8
+
+const (
+	// dispatchNone: not pickable (complete, or saturated with active
+	// assignments). Deliberately the zero value: a freshly created workUnit
+	// is unindexed until the first reindex files it.
+	dispatchNone dispatchState = iota
+	dispatchStarved
+	dispatchSpeculative
+)
+
+// dispatchPart is one partition: per-priority FIFO buckets plus the list of
+// priorities present, kept sorted descending so picks walk best-first.
+// Buckets emptied by migrations linger until the next pick over the
+// partition sweeps them out.
+type dispatchPart struct {
+	buckets map[int]*dispatchBucket
+	prios   []int
+}
+
+// dispatchBucket is the pending set for one (partition, priority): a
+// min-heap on submission sequence, so the front is the oldest task — FIFO.
+// Heap positions are mirrored into workUnit.heapPos so a migrating task
+// can be removed from the middle without a scan.
+type dispatchBucket struct {
+	h []*workUnit
+}
+
+func (b *dispatchBucket) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if b.h[parent].seq <= b.h[i].seq {
+			return
+		}
+		b.swap(parent, i)
+		i = parent
+	}
+}
+
+func (b *dispatchBucket) down(i int) {
+	for {
+		small := i
+		if l := 2*i + 1; l < len(b.h) && b.h[l].seq < b.h[small].seq {
+			small = l
+		}
+		if r := 2*i + 2; r < len(b.h) && b.h[r].seq < b.h[small].seq {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		b.swap(i, small)
+		i = small
+	}
+}
+
+func (b *dispatchBucket) swap(i, j int) {
+	b.h[i], b.h[j] = b.h[j], b.h[i]
+	b.h[i].heapPos = i
+	b.h[j].heapPos = j
+}
+
+func (b *dispatchBucket) push(u *workUnit) {
+	u.heapPos = len(b.h)
+	b.h = append(b.h, u)
+	b.up(u.heapPos)
+}
+
+// removeAt deletes and returns the entry at heap index i.
+func (b *dispatchBucket) removeAt(i int) *workUnit {
+	u := b.h[i]
+	last := len(b.h) - 1
+	if i != last {
+		b.h[i] = b.h[last]
+		b.h[i].heapPos = i
+	}
+	b.h[last] = nil
+	b.h = b.h[:last]
+	if i < last {
+		b.down(i)
+		b.up(i)
+	}
+	u.heapPos = -1
+	return u
+}
+
+// push files a task under its priority bucket, creating the bucket (and
+// registering its priority in descending order) on first use.
+func (p *dispatchPart) push(u *workUnit) {
+	if p.buckets == nil {
+		p.buckets = make(map[int]*dispatchBucket)
+	}
+	prio := u.spec.Priority
+	b := p.buckets[prio]
+	if b == nil {
+		b = &dispatchBucket{}
+		p.buckets[prio] = b
+		i := 0
+		for i < len(p.prios) && p.prios[i] > prio {
+			i++
+		}
+		p.prios = append(p.prios, 0)
+		copy(p.prios[i+1:], p.prios[i:])
+		p.prios[i] = prio
+	}
+	b.push(u)
+}
+
+// remove deletes a task's entry from its priority bucket.
+func (p *dispatchPart) remove(u *workUnit) {
+	p.buckets[u.spec.Priority].removeAt(u.heapPos)
+}
+
+// dispatchStateOf classifies a task for the index, mirroring the historical
+// scan's cases exactly: starved while active assignments are fewer than
+// answers still needed; speculative while at least one assignment is out
+// and the straggler-duplicate cap has room; otherwise unindexed.
+func (s *Shard) dispatchStateOf(u *workUnit) dispatchState {
+	if u.done {
+		return dispatchNone
+	}
+	need := u.needed()
+	switch a := len(u.active); {
+	case a < need:
+		return dispatchStarved
+	case a > 0 && a < need+s.cfg.SpeculationLimit:
+		return dispatchSpeculative
+	}
+	return dispatchNone
+}
+
+// reindex refiles a task after any change to its done flag, answer count or
+// active set, migrating its single index entry between partitions (or in
+// and out of the index) as its classification moves.
+func (s *Shard) reindex(u *workUnit) {
+	st := s.dispatchStateOf(u)
+	if st == u.dstate {
+		return
+	}
+	if u.dstate != dispatchNone {
+		s.dispatch[u.dstate-1].remove(u)
+	}
+	u.dstate = st
+	if st != dispatchNone {
+		s.dispatch[st-1].push(u)
+	}
+}
+
+// pickPart returns the best task in the given partition a worker may take:
+// highest priority, oldest submission first, excluding tasks the worker is
+// already assigned or has already answered. Excluded tasks are set aside
+// and restored, so the cost of a pick is O(1) plus the handful of tasks
+// this worker is personally attached to. Buckets emptied by migrations are
+// swept out in passing. Callers hold mu.
+func (s *Shard) pickPart(st dispatchState, workerID int) *workUnit {
+	part := &s.dispatch[st-1]
+	for i := 0; i < len(part.prios); {
+		prio := part.prios[i]
+		b := part.buckets[prio]
+		if len(b.h) == 0 {
+			delete(part.buckets, prio)
+			part.prios = append(part.prios[:i], part.prios[i+1:]...)
+			continue
+		}
+		var skipped []*workUnit
+		var found *workUnit
+		for len(b.h) > 0 {
+			top := b.h[0]
+			if top.active[workerID] || s.answered(top, workerID) {
+				skipped = append(skipped, b.removeAt(0))
+				continue
+			}
+			found = top
+			break
+		}
+		for _, u := range skipped {
+			b.push(u)
+		}
+		if found != nil {
+			return found
+		}
+		i++
+	}
+	return nil
+}
+
+// pick chooses a task for the worker: starved tasks first, then speculative
+// duplicates under the cap. Callers hold mu.
+func (s *Shard) pick(workerID int) *workUnit {
+	if u := s.pickPart(dispatchStarved, workerID); u != nil {
+		return u
+	}
+	return s.pickPart(dispatchSpeculative, workerID)
+}
+
+// assign marks a picked task active for the worker and refiles it (an
+// assignment can move a task starved→speculative or out of the index
+// entirely). Callers hold mu.
+func (s *Shard) assign(u *workUnit, workerID int) {
+	u.active[workerID] = true
+	s.reindex(u)
+}

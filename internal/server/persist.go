@@ -142,11 +142,16 @@ func (s *Shard) ImportState(st SnapshotState) {
 	defer s.mu.Unlock()
 	s.tasks = tasks
 	s.order = append([]int(nil), st.Order...)
-	s.queue = s.queue[:0]
+	// Rebuild the dispatch index from scratch: sequence numbers follow the
+	// restored submission order, so FIFO-within-priority hand-out order
+	// survives the round trip.
+	s.dispatch = [2]dispatchPart{}
+	s.nextSeq = 0
 	for _, tid := range s.order {
-		if !tasks[tid].done {
-			s.queue = append(s.queue, tid)
-		}
+		u := tasks[tid]
+		s.nextSeq++
+		u.seq = s.nextSeq
+		s.reindex(u)
 	}
 	s.workers = make(map[int]*poolWorker)
 	s.nextTask = st.NextTask

@@ -16,10 +16,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/clamshell/clamshell/internal/metrics"
 	"github.com/clamshell/clamshell/internal/stats"
 )
 
@@ -49,12 +51,19 @@ type TaskStatus struct {
 
 // workUnit is the server's internal task state.
 type workUnit struct {
-	id      int
-	spec    TaskSpec
-	answers [][]int      // one label vector per completed assignment
-	voters  []int        // worker id per answer
-	active  map[int]bool // worker ids currently assigned
-	done    bool
+	id        int
+	seq       int // submission sequence on this shard (FIFO dispatch order)
+	spec      TaskSpec
+	answers   [][]int      // one label vector per completed assignment
+	voters    []int        // worker id per answer
+	active    map[int]bool // worker ids currently assigned
+	done      bool
+	termAcked map[int]bool // workers whose terminated submission was acknowledged (replay dedup)
+
+	// Dispatch-index bookkeeping (see dispatch.go): the partition the task
+	// currently belongs to and its position in that partition's heap.
+	dstate  dispatchState
+	heapPos int
 }
 
 func (u *workUnit) needed() int {
@@ -125,7 +134,8 @@ type Shard struct {
 	mu           sync.Mutex
 	tasks        map[int]*workUnit
 	order        []int // task ids in submission order (consensus, snapshots)
-	queue        []int // pending task ids in submission order; compacted lazily
+	nextSeq      int   // submission sequence counter (dispatch FIFO order)
+	dispatch     [2]dispatchPart // indexed pending queues: [starved, speculative]
 	workers      map[int]*poolWorker
 	nextTask     int
 	nextWorker   int
@@ -328,6 +338,7 @@ func (s *Shard) removeWorker(id int) {
 	if pw.current != 0 {
 		if u, ok := s.tasks[pw.current]; ok {
 			delete(u.active, id)
+			s.reindex(u)
 		} else {
 			// The assignment lives on another shard (stolen work); the
 			// fabric releases it after this call returns.
@@ -374,10 +385,11 @@ func (s *Shard) enqueueLocked(spec TaskSpec) int {
 		spec.Classes = 2
 	}
 	s.nextTask = s.stripeNext(s.nextTask)
-	u := &workUnit{id: s.nextTask, spec: spec, active: make(map[int]bool)}
+	s.nextSeq++
+	u := &workUnit{id: s.nextTask, seq: s.nextSeq, spec: spec, active: make(map[int]bool)}
 	s.tasks[u.id] = u
 	s.order = append(s.order, u.id)
-	s.queue = append(s.queue, u.id)
+	s.reindex(u)
 	return u.id
 }
 
@@ -404,10 +416,16 @@ func (s *Server) handleFetchTask(w http.ResponseWriter, r *http.Request) {
 	}
 	pw.lastSeen = s.cfg.Now()
 	if pw.current != 0 {
-		// Re-deliver the in-flight assignment (lost response tolerance).
-		u := s.tasks[pw.current]
-		writeJSON(w, http.StatusOK, s.assignmentPayload(u))
-		return
+		if u, ok := s.tasks[pw.current]; ok {
+			// Re-deliver the in-flight assignment (lost response tolerance).
+			writeJSON(w, http.StatusOK, s.assignmentPayload(u))
+			return
+		}
+		// The assignment's payload is gone (the task was restored away).
+		// Clear it and fall through to a fresh pick rather than wedging the
+		// worker on empty responses forever.
+		pw.current = 0
+		s.startWait(pw)
 	}
 	u := s.pick(id)
 	if u == nil {
@@ -415,7 +433,7 @@ func (s *Server) handleFetchTask(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.settleWait(pw)
-	u.active[id] = true
+	s.assign(u, id)
 	pw.current = u.id
 	pw.fetchedAt = s.cfg.Now()
 	writeJSON(w, http.StatusOK, s.assignmentPayload(u))
@@ -427,50 +445,6 @@ func (s *Shard) assignmentPayload(u *workUnit) map[string]any {
 		"records": u.spec.Records,
 		"classes": u.spec.Classes,
 	}
-}
-
-// pickCandidates scans the pending queue for the best starved task and the
-// best speculative duplicate for the worker — each in priority order
-// (higher first, FIFO within a priority). Completed tasks are compacted
-// out of the queue as the scan passes them, so the hand-out hot path stays
-// proportional to the live queue, not to everything ever submitted. The
-// worker never duplicates a task it already answered or is working on.
-// Callers hold mu.
-func (s *Shard) pickCandidates(workerID int) (starved, speculative *workUnit) {
-	kept := 0
-	for _, tid := range s.queue {
-		u := s.tasks[tid]
-		if u.done {
-			continue // drop from the pending queue; order keeps the record
-		}
-		s.queue[kept] = tid
-		kept++
-		if u.active[workerID] || s.answered(u, workerID) {
-			continue
-		}
-		switch {
-		case len(u.active) < u.needed():
-			if starved == nil || u.spec.Priority > starved.spec.Priority {
-				starved = u
-			}
-		case len(u.active) > 0 && len(u.active) < u.needed()+s.cfg.SpeculationLimit:
-			if speculative == nil || u.spec.Priority > speculative.spec.Priority {
-				speculative = u
-			}
-		}
-	}
-	s.queue = s.queue[:kept]
-	return starved, speculative
-}
-
-// pick chooses a task for the worker: starved tasks first, then speculative
-// duplicates under the cap. Callers hold mu.
-func (s *Shard) pick(workerID int) *workUnit {
-	starved, speculative := s.pickCandidates(workerID)
-	if starved != nil {
-		return starved
-	}
-	return speculative
 }
 
 func (s *Shard) answered(u *workUnit, workerID int) bool {
@@ -518,6 +492,19 @@ func (s *Server) handleSubmitAnswer(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if s.answered(u, req.WorkerID) {
+		// A replayed submission (client retry after a lost response): this
+		// worker's answer is already on the books. Re-acknowledge without
+		// paying again or appending a second vote toward the quorum.
+		writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "terminated": false})
+		return
+	}
+	if u.done && u.termAcked[req.WorkerID] {
+		// Likewise for a replayed straggler submission that already lost the
+		// race: the original termination was acknowledged and paid once.
+		writeJSON(w, http.StatusOK, map[string]bool{"accepted": false, "terminated": true})
+		return
+	}
 	delete(u.active, req.WorkerID)
 	if pw.current == u.id {
 		pw.current = 0
@@ -532,9 +519,14 @@ func (s *Server) handleSubmitAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if u.done {
-		// A straggler losing the race: acknowledged, paid, discarded.
+		// A straggler losing the race: acknowledged, paid, discarded. The
+		// acknowledgement is remembered so a replay is not paid again.
 		s.terminated++
 		s.payWork(len(u.spec.Records), true)
+		if u.termAcked == nil {
+			u.termAcked = make(map[int]bool)
+		}
+		u.termAcked[req.WorkerID] = true
 		writeJSON(w, http.StatusOK, map[string]bool{"accepted": false, "terminated": true})
 		return
 	}
@@ -544,6 +536,7 @@ func (s *Server) handleSubmitAnswer(w http.ResponseWriter, r *http.Request) {
 	if len(u.answers) >= u.spec.Quorum {
 		u.done = true
 	}
+	s.reindex(u)
 	writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "terminated": false})
 }
 
@@ -628,11 +621,20 @@ func (s *Shard) majority(u *workUnit) []int {
 }
 
 // expireWorkers drops workers that stopped heartbeating and requeues their
-// assignments. Callers must hold mu.
+// assignments. A dead worker's paid-wait span is clipped at the moment its
+// liveness lapsed (last heartbeat + timeout): however late the expiry is
+// noticed, a worker that disappeared does not keep billing wait pay for the
+// time nobody was looking. Callers must hold mu.
 func (s *Shard) expireWorkers() {
 	cutoff := s.cfg.Now().Add(-s.cfg.WorkerTimeout)
 	for id, pw := range s.workers {
 		if pw.lastSeen.Before(cutoff) {
+			if !pw.waitStart.IsZero() {
+				if end := pw.lastSeen.Add(s.cfg.WorkerTimeout); end.After(pw.waitStart) {
+					s.costs.WaitPay += metrics.PerMinute(s.cfg.Costs.WaitPayPerMin, end.Sub(pw.waitStart))
+				}
+				pw.waitStart = time.Time{}
+			}
 			s.removeWorker(id)
 		}
 	}
@@ -651,8 +653,10 @@ func intField(r *http.Request, field string) (int, error) {
 }
 
 func intQuery(r *http.Request, key string) (int, error) {
-	var v int
-	if _, err := fmt.Sscanf(r.URL.Query().Get(key), "%d", &v); err != nil {
+	// strconv.Atoi rejects trailing garbage ("12abc"), which fmt.Sscanf
+	// silently accepted as 12.
+	v, err := strconv.Atoi(r.URL.Query().Get(key))
+	if err != nil {
 		return 0, fmt.Errorf("missing or bad query parameter %q", key)
 	}
 	return v, nil

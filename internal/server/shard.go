@@ -114,7 +114,7 @@ func (s *Shard) PickLocal(workerID int, starvedOnly bool) (map[string]any, bool)
 	}
 	var u *workUnit
 	if starvedOnly {
-		u, _ = s.pickCandidates(workerID)
+		u = s.pickPart(dispatchStarved, workerID)
 	} else {
 		u = s.pick(workerID)
 	}
@@ -122,7 +122,7 @@ func (s *Shard) PickLocal(workerID int, starvedOnly bool) (map[string]any, bool)
 		return nil, false
 	}
 	s.settleWait(pw)
-	u.active[workerID] = true
+	s.assign(u, workerID)
 	pw.current = u.id
 	pw.fetchedAt = s.cfg.Now()
 	return s.assignmentPayload(u), true
@@ -138,15 +138,14 @@ func (s *Shard) PickLocal(workerID int, starvedOnly bool) (map[string]any, bool)
 func (s *Shard) PickSteal(workerID int, starvedOnly bool) (taskID int, payload map[string]any, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	starved, speculative := s.pickCandidates(workerID)
-	u := starved
+	u := s.pickPart(dispatchStarved, workerID)
 	if u == nil && !starvedOnly {
-		u = speculative
+		u = s.pickPart(dispatchSpeculative, workerID)
 	}
 	if u == nil {
 		return 0, nil, false
 	}
-	u.active[workerID] = true
+	s.assign(u, workerID)
 	return u.id, s.assignmentPayload(u), true
 }
 
@@ -175,7 +174,24 @@ func (s *Shard) ReleaseActive(taskID, workerID int) {
 	defer s.mu.Unlock()
 	if u, ok := s.tasks[taskID]; ok {
 		delete(u.active, workerID)
+		s.reindex(u)
 	}
+}
+
+// ClearAssignment drops a worker's in-flight assignment if it still points
+// at taskID — the recovery path for a dangling assignment whose payload can
+// no longer be served (e.g. the owning shard was restored away from under a
+// stolen task). The worker returns to the paid-wait state so the caller can
+// hand it fresh work.
+func (s *Shard) ClearAssignment(workerID, taskID int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pw, ok := s.workers[workerID]
+	if !ok || pw.current != taskID {
+		return
+	}
+	pw.current = 0
+	s.startWait(pw)
 }
 
 // DrainOrphans returns and clears the cross-shard assignments left dangling
@@ -214,6 +230,14 @@ const (
 	SubmitAccepted
 	// SubmitTerminated: a straggler lost the race — paid but discarded.
 	SubmitTerminated
+	// SubmitDuplicate: a replayed submission (client retry after a lost
+	// response) — the worker's answer is already on the books, so the
+	// caller re-acknowledges it without paying or counting it again.
+	SubmitDuplicate
+	// SubmitDuplicateTerminated: a replayed straggler submission whose
+	// termination was already acknowledged and paid — re-acknowledged
+	// without paying or counting it again.
+	SubmitDuplicateTerminated
 )
 
 // AcceptAnswer applies the task-side half of an answer submission on the
@@ -238,11 +262,21 @@ func (s *Shard) AcceptAnswer(taskID, workerID int, labels []int) (outcome Submit
 			return SubmitBadLabels, 0, fmt.Errorf("label %d out of range", l)
 		}
 	}
-	delete(u.active, workerID)
 	records = len(u.spec.Records)
+	if s.answered(u, workerID) {
+		return SubmitDuplicate, records, nil
+	}
+	if u.done && u.termAcked[workerID] {
+		return SubmitDuplicateTerminated, records, nil
+	}
+	delete(u.active, workerID)
 	if u.done {
 		s.terminated++
 		s.payWork(records, true)
+		if u.termAcked == nil {
+			u.termAcked = make(map[int]bool)
+		}
+		u.termAcked[workerID] = true
 		return SubmitTerminated, records, nil
 	}
 	s.payWork(records, false)
@@ -251,6 +285,7 @@ func (s *Shard) AcceptAnswer(taskID, workerID int, labels []int) (outcome Submit
 	if len(u.answers) >= u.spec.Quorum {
 		u.done = true
 	}
+	s.reindex(u)
 	return SubmitAccepted, records, nil
 }
 
@@ -346,10 +381,15 @@ func (s *Shard) SettledCosts() metrics.Accounting {
 }
 
 // AccruedCosts returns the accounting including wait pay accrued up to now
-// for currently idle workers — the /api/costs view.
+// for currently idle workers — the /api/costs view. Stale workers are
+// expired first (with their wait pay clipped at the moment liveness
+// lapsed), so workers that stopped heartbeating long ago do not keep
+// billing. The caller must drain orphans afterwards (expiry can strand
+// stolen assignments).
 func (s *Shard) AccruedCosts() metrics.Accounting {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.expireWorkers()
 	acct := s.costs
 	now := s.cfg.Now()
 	for _, pw := range s.workers {
