@@ -6,6 +6,8 @@ import (
 	"io"
 	"math/rand"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -13,6 +15,7 @@ import (
 
 	"github.com/clamshell/clamshell/internal/experiments"
 	"github.com/clamshell/clamshell/internal/fabric"
+	"github.com/clamshell/clamshell/internal/journal"
 	"github.com/clamshell/clamshell/internal/server"
 )
 
@@ -322,6 +325,72 @@ func BenchmarkDispatchHandOut(b *testing.B) {
 		b.Run(fmt.Sprintf("history=%d/backlog=50000", history), func(b *testing.B) {
 			benchmarkDispatchHandOut(b, history, 50_000)
 		})
+	}
+}
+
+// BenchmarkSnapshotCompaction pins the durability engine's acceptance
+// criteria: with a retention window, the per-compaction snapshot is
+// O(live tasks) — its size and write time stay flat as completed history
+// grows 10×, because demoted history lives once in the append-only
+// retained-tally log instead of being re-serialized every cycle. The
+// full-history mode (retention off) is the contrast: there every
+// compaction re-serializes the whole past, and the snapshot grows ~10×
+// with history — the old monolithic-snapshot cost model.
+func BenchmarkSnapshotCompaction(b *testing.B) {
+	const liveBacklog = 400
+	payload := strings.Repeat("x", 160)
+	modes := []struct {
+		name      string
+		retention time.Duration
+	}{
+		{"retained", time.Minute},
+		{"full-history", 0},
+	}
+	for _, mode := range modes {
+		for _, history := range []int{2_500, 25_000} {
+			b.Run(fmt.Sprintf("%s/history=%d", mode.name, history), func(b *testing.B) {
+				now := time.Date(2015, 9, 20, 12, 0, 0, 0, time.UTC)
+				cfg := server.Config{WorkerTimeout: 24 * time.Hour, Now: func() time.Time { return now }}
+				sh := server.NewShard(cfg, 0, 1)
+				dir := b.TempDir()
+				st, rec, err := journal.Open(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close()
+				if err := sh.RecoverFrom(st, rec); err != nil {
+					b.Fatal(err)
+				}
+				w := sh.Join("bench")
+				for i := 0; i < history; i++ {
+					id := sh.Enqueue(server.TaskSpec{Records: []string{payload}, Classes: 2, Quorum: 1})
+					if outcome, _, err := sh.AcceptAnswer(id, w, []int{1}); outcome != server.SubmitAccepted {
+						b.Fatalf("history answer: %v %v", outcome, err)
+					}
+				}
+				for i := 0; i < liveBacklog; i++ {
+					sh.Enqueue(server.TaskSpec{Records: []string{payload}, Classes: 2, Quorum: 2})
+				}
+				// Age the history past the window; the first compaction
+				// demotes it (or, with retention off, carries it forever).
+				now = now.Add(2 * time.Hour)
+				if err := sh.CompactInto(st, mode.retention); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sh.CompactInto(st, mode.retention); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				fi, err := os.Stat(filepath.Join(dir, journal.SnapName(st.Gen())))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(fi.Size()), "snap-bytes")
+			})
+		}
 	}
 }
 

@@ -9,9 +9,20 @@
 // mitigation stays global. -shards 1 (the default) speaks byte-for-byte
 // the same protocol as the historical single-mutex server.
 //
+// With -persist-dir the fabric journals every durable mutation through a
+// per-shard append-only op log and periodically compacts it into per-shard
+// snapshots, so a restart (or crash) recovers the standing backlog and the
+// pay/quality ledger instead of losing them. -retention demotes completed
+// tasks older than the window to compact vote tallies (consensus keeps its
+// full history; the record payloads are dropped); -compact-interval sets
+// the compaction cadence. Restarting with a different -shards value over
+// the same directory re-places every task onto the new layout without
+// losing any.
+//
 // Usage:
 //
-//	clamshell-server -addr :8080 -shards 8 -speculation 1 -worker-timeout 2m
+//	clamshell-server -addr :8080 -shards 8 -speculation 1 -worker-timeout 2m \
+//	    -persist-dir /var/lib/clamshell -retention 24h -compact-interval 1m
 //
 // API (JSON over HTTP):
 //
@@ -41,6 +52,9 @@ func main() {
 	spec := flag.Int("speculation", 1, "speculative duplicates per outstanding answer")
 	timeout := flag.Duration("worker-timeout", 2*time.Minute, "expire workers after this heartbeat silence")
 	maintenance := flag.Duration("maintenance-threshold", 0, "retire workers slower than this per record (0 = off)")
+	persistDir := flag.String("persist-dir", "", "journal + snapshot directory for durable state (empty = in-memory only)")
+	retention := flag.Duration("retention", 0, "demote completed tasks older than this to vote tallies at compaction (0 = keep full history)")
+	compactInterval := flag.Duration("compact-interval", time.Minute, "how often to compact the op journal into a snapshot (with -persist-dir)")
 	flag.Parse()
 
 	fab := fabric.New(server.Config{
@@ -48,6 +62,17 @@ func main() {
 		WorkerTimeout:        *timeout,
 		MaintenanceThreshold: *maintenance,
 	}, *shards)
+	if *persistDir != "" {
+		if err := fab.OpenPersist(fabric.PersistOptions{
+			Dir:             *persistDir,
+			Retention:       *retention,
+			CompactInterval: *compactInterval,
+		}); err != nil {
+			log.Fatalf("opening persistence: %v", err)
+		}
+		log.Printf("durable state in %s (retention %v, compaction every %v)",
+			*persistDir, *retention, *compactInterval)
+	}
 	log.Printf("clamshell-server listening on %s (%d shard(s))", *addr, fab.NumShards())
 	log.Fatal(http.ListenAndServe(*addr, fab))
 }

@@ -155,12 +155,18 @@ func (f *Fabric) handleConsensus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz is the liveness probe.
+// handleHealthz is the liveness probe. With the journal engine enabled it
+// also reports durability health (the response stays byte-identical to the
+// single server's when persistence is off).
 func (f *Fabric) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"ok":        true,
 		"uptime_ms": f.now().Sub(f.startedAt).Milliseconds(),
-	})
+	}
+	if f.persist.Load() != nil {
+		resp["persist_ok"] = f.PersistErr() == nil
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetricsz renders fabric-wide counters in the Prometheus text

@@ -45,6 +45,11 @@ type Fabric struct {
 	now       func() time.Time
 	startedAt time.Time
 	nextHome  atomic.Uint64 // round-robin worker pinning
+
+	// persist is the journal engine (nil until OpenPersist); atomic so
+	// handlers can read it while a restore rebuilds or a close tears it
+	// down.
+	persist atomic.Pointer[persistState]
 }
 
 // New creates a fabric of n shards (n < 1 is treated as 1). All shards

@@ -9,23 +9,23 @@ import (
 	"github.com/clamshell/clamshell/internal/server"
 )
 
-// Fabric-wide persistence. The wire format is exactly the single server's
-// snapshot: per-shard states merge into one document on the way out and
-// split back across shards on the way in. Because restore routes each task
-// by the universal (id-1) mod n rule and shard id counters realign to
-// their stripe past any restored id, a snapshot taken on an n-shard fabric
-// restores cleanly onto an m-shard fabric (or a plain server) for any n
-// and m — resizing the fabric is a snapshot/restore away.
+// Fabric-wide persistence facade. The wire format is exactly the single
+// server's snapshot: per-shard states merge into one document on the way
+// out and split back across shards on the way in. Because restore routes
+// each task by the universal (id-1) mod n rule and shard id counters
+// realign to their stripe past any restored id, a snapshot taken on an
+// n-shard fabric restores cleanly onto an m-shard fabric (or a plain
+// server) for any n and m — resizing the fabric is a snapshot/restore
+// away. The journal engine's resize-on-restore path (persist.go) rides the
+// same merge/split helpers.
 
-// Snapshot merges every shard's durable state into one document in the
-// single-server wire format.
-func (f *Fabric) Snapshot() ([]byte, error) {
-	if len(f.shards) == 1 {
-		return f.shards[0].Snapshot()
-	}
+// mergeStates folds per-shard durable states into one document in the
+// single-server wire format. Global submission order is not tracked across
+// shards; id order is the best-effort merge (per-shard FIFO is preserved
+// because each shard allocates monotonically within its stripe).
+func mergeStates(states []server.SnapshotState) server.SnapshotState {
 	merged := server.SnapshotState{Version: server.SnapshotVersion}
-	for _, sh := range f.shards {
-		st := sh.ExportState()
+	for _, st := range states {
 		if st.NextTask > merged.NextTask {
 			merged.NextTask = st.NextTask
 		}
@@ -38,30 +38,19 @@ func (f *Fabric) Snapshot() ([]byte, error) {
 		merged.Costs = merged.Costs.Add(st.Costs)
 		merged.Order = append(merged.Order, st.Order...)
 		merged.Tasks = append(merged.Tasks, st.Tasks...)
+		merged.Retained = append(merged.Retained, st.Retained...)
 	}
-	// Global submission order is not tracked across shards; id order is the
-	// best-effort merge (per-shard FIFO is preserved because each shard
-	// allocates monotonically within its stripe).
 	sort.Ints(merged.Order)
 	sort.Ints(merged.Retired)
 	sort.Slice(merged.Tasks, func(i, j int) bool { return merged.Tasks[i].ID < merged.Tasks[j].ID })
-	return server.EncodeSnapshot(merged)
+	sort.Slice(merged.Retained, func(i, j int) bool { return merged.Retained[i].ID < merged.Retained[j].ID })
+	return merged
 }
 
-// Restore replaces the fabric's durable state with a snapshot, routing
-// every task and retired-worker record to the shard its id maps to. All
-// connected workers are dropped (they rejoin); unfinished tasks return to
-// their shard's queue.
-func (f *Fabric) Restore(data []byte) error {
-	st, err := server.DecodeSnapshot(data)
-	if err != nil {
-		return err
-	}
-	n := len(f.shards)
-	if n == 1 {
-		f.shards[0].ImportState(st)
-		return nil
-	}
+// splitState routes a merged durable state across n shards by the
+// universal (id-1) mod n rule — the same rule the router uses to find an
+// id's owning shard, so every restored task remains addressable.
+func splitState(st server.SnapshotState, n int) []server.SnapshotState {
 	per := make([]server.SnapshotState, n)
 	for i := range per {
 		per[i].Version = server.SnapshotVersion
@@ -78,14 +67,55 @@ func (f *Fabric) Restore(data []byte) error {
 		i := (ts.ID - 1) % n
 		per[i].Tasks = append(per[i].Tasks, ts)
 	}
+	for _, rt := range st.Retained {
+		i := (rt.ID - 1) % n
+		per[i].Retained = append(per[i].Retained, rt)
+	}
 	for _, tid := range st.Order {
 		per[(tid-1)%n].Order = append(per[(tid-1)%n].Order, tid)
 	}
 	for _, wid := range st.Retired {
 		per[(wid-1)%n].Retired = append(per[(wid-1)%n].Retired, wid)
 	}
+	return per
+}
+
+// Snapshot merges every shard's durable state into one document in the
+// single-server wire format.
+func (f *Fabric) Snapshot() ([]byte, error) {
+	if len(f.shards) == 1 {
+		return f.shards[0].Snapshot()
+	}
+	states := make([]server.SnapshotState, len(f.shards))
 	for i, sh := range f.shards {
-		sh.ImportState(per[i])
+		states[i] = sh.ExportState()
+	}
+	return server.EncodeSnapshot(mergeStates(states))
+}
+
+// Restore replaces the fabric's durable state with a snapshot, routing
+// every task and retired-worker record to the shard its id maps to. All
+// connected workers are dropped (they rejoin); unfinished tasks return to
+// their shard's queue. With the journal engine enabled, the imported state
+// is compacted to disk before Restore returns, so the restore is durable
+// at the moment it is acknowledged.
+func (f *Fabric) Restore(data []byte) error {
+	st, err := server.DecodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	if f.persist.Load() != nil {
+		// Wholesale replacement goes through the RESIZE checkpoint: the
+		// shard stores are rebuilt so stale journals and stale retained
+		// tallies cannot resurrect replaced state at the next boot.
+		return f.replaceState(st)
+	}
+	if n := len(f.shards); n == 1 {
+		f.shards[0].ImportState(st)
+	} else {
+		for i, per := range splitState(st, n) {
+			f.shards[i].ImportState(per)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,58 @@
+package journal
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzScanner feeds arbitrary bytes to the record reader: truncated,
+// bit-flipped and oversized-length inputs must error cleanly — never
+// panic, never trust a length prefix with an allocation beyond MaxRecord.
+func FuzzScanner(f *testing.F) {
+	var seed bytes.Buffer
+	WriteHeader(&seed, MagicWAL)
+	for _, op := range []Op{
+		{T: OpSubmit, Task: 1, Records: []string{"r"}, Classes: 2, Quorum: 1},
+		{T: OpAnswer, Task: 1, Worker: 2, Labels: []int{0}, Pay: 20000},
+	} {
+		p, _ := EncodeOp(op)
+		AppendRecord(&seed, p)
+	}
+	full := seed.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)-3]) // torn tail
+	f.Add([]byte(MagicWAL))
+	f.Add([]byte("CLAMWAL\x02garbage"))
+	flipped := append([]byte(nil), full...)
+	flipped[len(full)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte(MagicWAL + "\xf0\xff\xff\xff\x00\x00\x00\x00")) // oversized length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := NewScanner(bytes.NewReader(data), MagicWAL)
+		if err != nil {
+			return
+		}
+		records := 0
+		for {
+			p, err := sc.Scan()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// A corrupt tail must leave the offset at a boundary within
+				// the input.
+				if off := sc.Offset(); off < int64(headerLen) || off > int64(len(data)) {
+					t.Fatalf("offset %d outside input of %d bytes", off, len(data))
+				}
+				break
+			}
+			DecodeOp(p) // must not panic on any checksummed payload
+			records++
+			if records > len(data) {
+				t.Fatalf("scanned %d records from %d bytes", records, len(data))
+			}
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Op is one journaled shard mutation. The set mirrors the retainer-pool
+// protocol's durable events; ops that only touch live worker sessions
+// (assign, leave, expire) are recorded for the audit trail but have no
+// effect on replay, because worker sessions never survive a restart —
+// exactly as with snapshots, their in-flight assignments fall back to the
+// queue.
+//
+// Pay deltas are journaled in raw metrics.Cost units (int64 micro-dollars)
+// as computed at emission time, so replay reconstructs the ledger
+// bit-exactly even if pay rates change between the run and the recovery.
+type Op struct {
+	T  string `json:"t"`            // op type, one of the Op* constants
+	At int64  `json:"at,omitempty"` // emission time, unix nanoseconds
+
+	Task   int    `json:"task,omitempty"`
+	Worker int    `json:"worker,omitempty"`
+	Name   string `json:"name,omitempty"`   // join: worker name
+	Reason string `json:"reason,omitempty"` // leave: "leave" | "expire" | "retire"
+
+	// submit: the task spec (defaults already applied).
+	Records  []string `json:"records,omitempty"`
+	Classes  int      `json:"classes,omitempty"`
+	Quorum   int      `json:"quorum,omitempty"`
+	Priority int      `json:"priority,omitempty"`
+
+	// answer: the label vector, the termination flag and the pay delta.
+	Labels     []int `json:"labels,omitempty"`
+	Terminated bool  `json:"terminated,omitempty"`
+	Pay        int64 `json:"pay,omitempty"` // micro-dollars; also used by waitpay
+}
+
+// Op types.
+const (
+	OpSubmit  = "submit"  // task accepted into the queue
+	OpJoin    = "join"    // worker admitted (advances the id high-water mark)
+	OpAssign  = "assign"  // task handed to a worker (audit only)
+	OpAnswer  = "answer"  // answer accepted or terminated; carries work pay
+	OpLeave   = "leave"   // worker removed (audit only; Reason says why)
+	OpRetire  = "retire"  // worker retired by maintenance (durable blocklist)
+	OpWaitPay = "waitpay" // wait-pay accrual settled onto the ledger
+)
+
+// EncodeOp serializes an op as a journal record payload.
+func EncodeOp(op Op) ([]byte, error) {
+	return json.Marshal(op)
+}
+
+// DecodeOp parses a journal record payload. An op with an empty type field
+// is rejected; unknown types are preserved (forward compatibility is the
+// replayer's call).
+func DecodeOp(payload []byte) (Op, error) {
+	var op Op
+	if err := json.Unmarshal(payload, &op); err != nil {
+		return op, fmt.Errorf("journal: decoding op: %w", err)
+	}
+	if op.T == "" {
+		return op, fmt.Errorf("journal: op missing type")
+	}
+	return op, nil
+}

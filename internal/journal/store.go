@@ -1,0 +1,463 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is one shard's durability directory:
+//
+//	MANIFEST      {"version":1,"gen":G} — snap-G is the committed base
+//	snap-<G>      compacted snapshot of the live state at wal-<G>'s birth
+//	wal-<G>...    op logs; wal-<G> holds every op since snap-<G>
+//	retained.log  append-only tallies of demoted completed tasks
+//
+// Recovery is load snap-<G>, replay wal-<G> (and any wal-<G+k> left by a
+// compaction that rotated but crashed before committing), then overlay the
+// retained tallies. Compaction is two-phase so a crash at any byte leaves a
+// recoverable prefix: Rotate (under the shard lock) atomically starts a new
+// wal at the moment the snapshot state is captured; Commit (off the lock)
+// makes the snapshot durable, moves the manifest forward with an atomic
+// rename, and only then deletes the superseded generation. Until the
+// manifest rename lands, recovery uses the previous snapshot plus both wal
+// generations — the same state, one generation less compact.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	gen    uint64 // committed (manifest) generation
+	cur    uint64 // generation receiving appends (>= gen)
+	wal    *os.File
+	ret    *os.File
+	walOps uint64 // records in the current wal
+	err    error  // first write-path error since the last healing commit (see Err)
+	errGen uint64 // generation current when err was recorded
+}
+
+// Recovered is the durable state Open found: the committed snapshot (nil if
+// none was ever committed), the op suffix to replay over it, and the
+// retained-tally payloads to overlay last.
+type Recovered struct {
+	Snapshot  []byte
+	Ops       []Op
+	Retained  [][]byte
+	Truncated bool // a torn tail was dropped from a log
+}
+
+// manifest is the store's commit point, replaced by atomic rename.
+type manifest struct {
+	Version int    `json:"version"`
+	Gen     uint64 `json:"gen"`
+}
+
+const manifestVersion = 1
+
+// File names within a store directory.
+const (
+	ManifestName = "MANIFEST"
+	RetainedName = "retained.log"
+)
+
+// WALName returns the op-log file name for a generation.
+func WALName(gen uint64) string { return fmt.Sprintf("wal-%d", gen) }
+
+// SnapName returns the snapshot file name for a generation.
+func SnapName(gen uint64) string { return fmt.Sprintf("snap-%d", gen) }
+
+// Open opens (creating if needed) a shard store and recovers its durable
+// state. The returned store is ready for Append; the caller is expected to
+// have applied the Recovered state before the first new op lands.
+func Open(dir string) (*Store, Recovered, error) {
+	var rec Recovered
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rec, err
+	}
+	s := &Store{dir: dir}
+
+	m, err := s.readManifest()
+	if err != nil {
+		return nil, rec, err
+	}
+	s.gen, s.cur = m.Gen, m.Gen
+
+	if data, err := os.ReadFile(s.path(SnapName(s.gen))); err == nil {
+		rec.Snapshot = data
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, rec, err
+	}
+
+	// Replay wal generations from the committed base upward. Generations
+	// are contiguous (Rotate allocates them one at a time); a generation
+	// above gen exists only when a compaction rotated and then crashed
+	// before committing.
+	for g := s.gen; ; g++ {
+		payloads, truncated, err := s.recoverLog(s.path(WALName(g)), MagicWAL)
+		if errors.Is(err, os.ErrNotExist) {
+			if g == s.gen {
+				// Fresh generation: create its wal now.
+				if err := s.createLog(s.path(WALName(g)), MagicWAL); err != nil {
+					return nil, rec, err
+				}
+				payloads, truncated = nil, false
+			} else {
+				s.cur = g - 1
+				break
+			}
+		} else if err != nil {
+			return nil, rec, err
+		}
+		s.cur = g
+		s.walOps = uint64(len(payloads))
+		for _, p := range payloads {
+			op, err := DecodeOp(p)
+			if err != nil {
+				// An undecodable but checksummed record: written by a
+				// newer build. Refuse to half-recover.
+				return nil, rec, err
+			}
+			rec.Ops = append(rec.Ops, op)
+		}
+		if truncated {
+			rec.Truncated = true
+			// Everything after a tear is garbage from an interrupted
+			// write; later generations cannot legitimately exist.
+			for gg := g + 1; ; gg++ {
+				if os.Remove(s.path(WALName(gg))) != nil {
+					break
+				}
+			}
+			break
+		}
+	}
+
+	// Retained tallies overlay last (they are immutable once written).
+	if payloads, truncated, err := s.recoverLog(s.path(RetainedName), MagicRetained); err == nil {
+		rec.Retained = payloads
+		rec.Truncated = rec.Truncated || truncated
+	} else if errors.Is(err, os.ErrNotExist) {
+		if err := s.createLog(s.path(RetainedName), MagicRetained); err != nil {
+			return nil, rec, err
+		}
+	} else {
+		return nil, rec, err
+	}
+
+	if s.wal, err = os.OpenFile(s.path(WALName(s.cur)), os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+		return nil, rec, err
+	}
+	if s.ret, err = os.OpenFile(s.path(RetainedName), os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+		s.wal.Close()
+		return nil, rec, err
+	}
+	s.sweepBelow(s.gen)
+	return s, rec, nil
+}
+
+// sweepBelow removes wal/snap files of generations below the committed
+// one. Commit deletes the generation it supersedes, but a crash between
+// its manifest rename and its removal loop strands the old files; without
+// this sweep they would accumulate forever.
+func (s *Store) sweepBelow(gen uint64) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		var g uint64
+		if n, err := fmt.Sscanf(e.Name(), "wal-%d", &g); n == 1 && err == nil && g < gen {
+			os.Remove(s.path(e.Name()))
+			continue
+		}
+		if n, err := fmt.Sscanf(e.Name(), "snap-%d", &g); n == 1 && err == nil && g < gen {
+			os.Remove(s.path(e.Name()))
+		}
+	}
+}
+
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name) }
+
+func (s *Store) readManifest() (manifest, error) {
+	m := manifest{Version: manifestVersion, Gen: 1}
+	data, err := os.ReadFile(s.path(ManifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return m, s.writeManifest(m)
+	}
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("journal: decoding manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return m, fmt.Errorf("journal: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Gen < 1 {
+		return m, fmt.Errorf("journal: manifest generation %d out of range", m.Gen)
+	}
+	return m, nil
+}
+
+// writeManifest replaces the manifest via write-to-temp + fsync + rename.
+func (s *Store) writeManifest(m manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(s.path(ManifestName), data)
+}
+
+// createLog creates a fresh log file holding only its header.
+func (s *Store) createLog(path, magic string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := WriteHeader(f, magic); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// recoverLog scans a log file, truncates any torn tail in place, and
+// returns the intact record payloads.
+func (s *Store) recoverLog(path, magic string) (payloads [][]byte, truncated bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	sc, err := NewScanner(f, magic)
+	if err != nil {
+		f.Close()
+		return nil, false, err
+	}
+	for {
+		p, err := sc.Scan()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			truncated = true
+			break
+		}
+		payloads = append(payloads, p)
+	}
+	off := sc.Offset()
+	f.Close()
+	if truncated {
+		if err := os.Truncate(path, off); err != nil {
+			return nil, true, err
+		}
+	}
+	return payloads, truncated, nil
+}
+
+// Append journals one op. It is called on the mutation path while the
+// owning shard's lock is held, so records land in mutation order. An I/O
+// failure cannot un-apply the mutation; it is recorded sticky (Err) for
+// the operator instead of being silently dropped.
+func (s *Store) Append(op Op) error {
+	payload, err := EncodeOp(op)
+	if err == nil {
+		s.mu.Lock()
+		err = AppendRecord(s.wal, payload)
+		if err == nil {
+			s.walOps++
+		}
+		s.mu.Unlock()
+	}
+	if err != nil {
+		s.fail(err)
+	}
+	return err
+}
+
+// AppendRetained journals demoted-task tallies and syncs them to disk.
+func (s *Store) AppendRetained(payloads [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range payloads {
+		if err := AppendRecord(s.ret, p); err != nil {
+			s.failLocked(err)
+			return err
+		}
+	}
+	if len(payloads) > 0 {
+		if err := s.ret.Sync(); err != nil {
+			s.failLocked(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// Rotate starts generation cur+1: subsequent Appends land in the new wal.
+// The caller must hold its shard lock across the state capture and this
+// call, so the new wal holds exactly the ops after the captured state. The
+// returned generation is passed to Commit.
+func (s *Store) Rotate() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.cur + 1
+	if err := s.createLog(s.path(WALName(next)), MagicWAL); err != nil {
+		s.failLocked(err)
+		return 0, err
+	}
+	f, err := os.OpenFile(s.path(WALName(next)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.failLocked(err)
+		return 0, err
+	}
+	old := s.wal
+	s.wal = f
+	prev := s.cur
+	s.cur = next
+	s.walOps = 0
+	if err := old.Sync(); err != nil {
+		// The rotated-out wal's tail may not be durable. Record it against
+		// the previous generation: the commit that follows folds that
+		// generation's ops into a snapshot, healing the gap.
+		s.failGenLocked(err, prev)
+	}
+	old.Close()
+	return next, nil
+}
+
+// Commit makes generation gen's snapshot durable and retires everything
+// older. newTallies are the tallies of tasks demoted when the snapshot was
+// captured; they are made durable before the manifest moves, so a recovery
+// from either side of the commit point sees each task exactly once (the
+// overlay step deduplicates a task that is still live in the older
+// snapshot).
+func (s *Store) Commit(gen uint64, snapshot []byte, newTallies [][]byte) error {
+	if err := s.AppendRetained(newTallies); err != nil {
+		return err
+	}
+	if err := WriteFileAtomic(s.path(SnapName(gen)), snapshot); err != nil {
+		s.fail(err)
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.gen
+	if gen < old {
+		// A stale cycle must never move the manifest backwards past a
+		// generation whose wal was already deleted. Compaction cycles are
+		// serialized by the caller; this is the backstop.
+		err := fmt.Errorf("journal: stale compaction generation %d (committed %d)", gen, old)
+		s.failLocked(err)
+		return err
+	}
+	if err := s.writeManifest(manifest{Version: manifestVersion, Gen: gen}); err != nil {
+		s.failLocked(err)
+		return err
+	}
+	s.gen = gen
+	if s.err != nil && s.errGen < gen {
+		// The committed snapshot was captured at this generation's birth,
+		// after the failed write's mutation was applied in memory — the
+		// lost record's effect is durable again, so the error has healed.
+		s.err = nil
+	}
+	for g := old; g < gen; g++ {
+		os.Remove(s.path(WALName(g)))
+		os.Remove(s.path(SnapName(g)))
+	}
+	return nil
+}
+
+// Sync flushes the op log to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.wal.Sync(); err != nil {
+		s.failLocked(err)
+		return err
+	}
+	return nil
+}
+
+// Close syncs and closes the store's files.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.wal.Sync()
+	if e := s.wal.Close(); err == nil {
+		err = e
+	}
+	if e := s.ret.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// Gen returns the generation currently receiving appends.
+func (s *Store) Gen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// WALOps returns how many ops the current wal generation holds.
+func (s *Store) WALOps() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walOps
+}
+
+// Err returns the store's standing write-path error, or nil. A non-nil
+// value means the journal may be missing ops since the last committed
+// snapshot; it clears when a later compaction commits (the new snapshot
+// re-captures the full live state, so nothing is missing anymore).
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Store) fail(err error) {
+	s.mu.Lock()
+	s.failLocked(err)
+	s.mu.Unlock()
+}
+
+func (s *Store) failLocked(err error) {
+	s.failGenLocked(err, s.cur)
+}
+
+func (s *Store) failGenLocked(err error, gen uint64) {
+	if s.err == nil {
+		s.err = err
+		s.errGen = gen
+	}
+}
+
+// WriteFileAtomic replaces path with data via temp file + fsync + rename,
+// so readers observe either the old content or the new, never a torn mix.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -30,7 +30,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	s.expireWorkers()
 
-	complete, idle := 0, 0
+	complete, idle := len(s.tallies), 0
 	for _, u := range s.tasks {
 		if u.done {
 			complete++
@@ -47,7 +47,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
 		fmt.Fprintf(&b, "%s %g\n", name, v)
 	}
-	gauge("clamshell_tasks_total", "Tasks submitted.", float64(len(s.tasks)))
+	gauge("clamshell_tasks_total", "Tasks submitted.", float64(len(s.tasks)+len(s.tallies)))
 	gauge("clamshell_tasks_complete", "Tasks with a full quorum of answers.", float64(complete))
 	gauge("clamshell_workers", "Workers currently in the retainer pool.", float64(len(s.workers)))
 	gauge("clamshell_workers_idle", "Pool workers waiting for work.", float64(idle))

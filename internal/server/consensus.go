@@ -8,7 +8,6 @@ import (
 
 	"github.com/clamshell/clamshell/internal/quality"
 	"github.com/clamshell/clamshell/internal/stats"
-	"github.com/clamshell/clamshell/internal/worker"
 )
 
 // Cross-task consensus: GET /api/consensus?estimator=majority|em|kos
@@ -41,9 +40,12 @@ func (s *Server) handleConsensus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	votes, stride, classes := s.voteGraph()
 	order := append([]int(nil), s.order...)
-	records := make(map[int]int, len(s.tasks))
+	records := make(map[int]int, len(s.tasks)+len(s.tallies))
 	for id, u := range s.tasks {
 		records[id] = len(u.spec.Records)
+	}
+	for id, t := range s.tallies {
+		records[id] = t.Records
 	}
 	seed := int64(s.nextTask)*1e6 + int64(len(votes))
 	s.mu.Unlock()
@@ -99,8 +101,9 @@ func (s *Server) handleConsensus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// voteGraph flattens every answer on the server into per-record votes.
-// Record rec of task tid becomes item tid*stride + rec. Callers hold mu.
+// voteGraph flattens every answer on the server — live tasks and retained
+// tallies alike — into per-record votes. Record rec of task tid becomes
+// item tid*stride + rec. Callers hold mu.
 func (s *Shard) voteGraph() (votes []quality.Vote, stride, classes int) {
 	stride = 1
 	classes = 2
@@ -112,20 +115,15 @@ func (s *Shard) voteGraph() (votes []quality.Vote, stride, classes int) {
 			classes = u.spec.Classes
 		}
 	}
-	for _, tid := range s.order {
-		u := s.tasks[tid]
-		for i, ans := range u.answers {
-			voter := u.voters[i]
-			for rec, label := range ans {
-				votes = append(votes, quality.Vote{
-					Item:   tid*stride + rec,
-					Worker: worker.ID(voter),
-					Label:  label,
-				})
-			}
+	for _, t := range s.tallies {
+		if t.Records > stride {
+			stride = t.Records
+		}
+		if t.Classes > classes {
+			classes = t.Classes
 		}
 	}
-	return votes, stride, classes
+	return s.flattenVotes(stride), stride, classes
 }
 
 // Consensus fetches cross-task consensus labels from the server under the

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/clamshell/clamshell/internal/journal"
 	"github.com/clamshell/clamshell/internal/metrics"
 )
 
@@ -36,7 +37,11 @@ func (c *CostConfig) fillDefaults() {
 func (s *Shard) settleWait(pw *poolWorker) {
 	now := s.cfg.Now()
 	if !pw.waitStart.IsZero() && now.After(pw.waitStart) {
-		s.costs.WaitPay += metrics.PerMinute(s.cfg.Costs.WaitPayPerMin, now.Sub(pw.waitStart))
+		pay := metrics.PerMinute(s.cfg.Costs.WaitPayPerMin, now.Sub(pw.waitStart))
+		s.costs.WaitPay += pay
+		if pay != 0 {
+			s.logOp(journal.Op{T: journal.OpWaitPay, Worker: pw.id, Pay: int64(pay)})
+		}
 	}
 	pw.waitStart = time.Time{}
 }
@@ -47,14 +52,17 @@ func (s *Shard) startWait(pw *poolWorker) {
 }
 
 // payWork credits record pay for a submission (terminated submissions are
-// paid under TerminatedPay). Callers hold mu.
-func (s *Shard) payWork(records int, terminated bool) {
+// paid under TerminatedPay) and returns the amount, which the caller
+// journals on its answer op so replay reproduces the ledger bit-exactly.
+// Callers hold mu.
+func (s *Shard) payWork(records int, terminated bool) metrics.Cost {
 	amount := s.cfg.Costs.RecordPay * metrics.Cost(records)
 	if terminated {
 		s.costs.TerminatedPay += amount
 	} else {
 		s.costs.WorkPay += amount
 	}
+	return amount
 }
 
 // handleCosts reports the accumulated spend, including wait pay accrued up

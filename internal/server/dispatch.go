@@ -1,5 +1,7 @@
 package server
 
+import "github.com/clamshell/clamshell/internal/journal"
+
 // The dispatch index: the shard's pending work, pre-sorted for the hand-out
 // hot path. Where the server once rescanned a flat pending queue on every
 // poll — O(everything pending) under the shard lock — the index keeps each
@@ -229,8 +231,10 @@ func (s *Shard) pick(workerID int) *workUnit {
 
 // assign marks a picked task active for the worker and refiles it (an
 // assignment can move a task starved→speculative or out of the index
-// entirely). Callers hold mu.
+// entirely). The assignment is journaled for the audit trail only —
+// in-flight assignments do not survive a restart. Callers hold mu.
 func (s *Shard) assign(u *workUnit, workerID int) {
 	u.active[workerID] = true
+	s.logOp(journal.Op{T: journal.OpAssign, Task: u.id, Worker: workerID})
 	s.reindex(u)
 }

@@ -1,0 +1,302 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/journal"
+	"github.com/clamshell/clamshell/internal/metrics"
+)
+
+// Write-through journaling and recovery. A shard with an attached
+// journal.Store appends one op per durable mutation while still holding its
+// own lock, so the log is exactly the shard's serialization order. Recovery
+// is the reverse: import the last compacted snapshot, replay the journal
+// suffix, overlay the retained tallies. Compaction folds the two together
+// periodically — it demotes completed tasks past the retention window to
+// vote tallies, snapshots the remaining live state, and rotates the
+// journal, so both the snapshot and the replay suffix stay O(live state)
+// no matter how much history the shard has processed.
+
+// logOp journals one durable mutation. Callers hold mu; the emission
+// timestamp is stamped here unless the caller already pinned one (paths
+// that also store the time in shard state pass the same instant, so replay
+// reproduces timestamps bit-exactly).
+func (s *Shard) logOp(op journal.Op) {
+	if s.logf == nil {
+		return
+	}
+	if op.At == 0 {
+		op.At = s.cfg.Now().UnixNano()
+	}
+	s.logf(op)
+}
+
+// AttachJournal starts write-through journaling into the store. Attach
+// after recovery, before the first live mutation.
+func (s *Shard) AttachJournal(st *journal.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st == nil {
+		s.logf = nil
+		return
+	}
+	s.logf = func(op journal.Op) { st.Append(op) }
+}
+
+// RecoverFrom rebuilds the shard from a store's recovered state —
+// snapshot, then journal suffix, then retained-tally overlay — and attaches
+// the store for write-through journaling of everything that follows.
+func (s *Shard) RecoverFrom(st *journal.Store, rec journal.Recovered) error {
+	state := SnapshotState{Version: SnapshotVersion}
+	if rec.Snapshot != nil {
+		var err error
+		if state, err = DecodeSnapshot(rec.Snapshot); err != nil {
+			return err
+		}
+	}
+	s.ImportState(state)
+	for _, op := range rec.Ops {
+		s.applyOp(op)
+	}
+	tallies := make([]RetainedTask, 0, len(rec.Retained))
+	for _, p := range rec.Retained {
+		var t RetainedTask
+		if err := json.Unmarshal(p, &t); err != nil {
+			return fmt.Errorf("server: decoding retained tally: %w", err)
+		}
+		// The same shape invariants DecodeSnapshot enforces for the facade:
+		// a checksummed-but-malformed tally (newer build, hand edit) must
+		// fail recovery loudly, not panic a consensus read later.
+		if err := validateTally(t); err != nil {
+			return err
+		}
+		tallies = append(tallies, t)
+	}
+	s.absorbTallies(tallies)
+	s.AttachJournal(st)
+	return nil
+}
+
+// validateTally checks a retained tally's structural invariants.
+func validateTally(t RetainedTask) error {
+	if t.ID < 1 {
+		return fmt.Errorf("server: retained tally id %d out of range", t.ID)
+	}
+	if t.Records < 1 {
+		return fmt.Errorf("server: retained tally %d has no records", t.ID)
+	}
+	if len(t.Answers) != len(t.Voters) {
+		return fmt.Errorf("server: retained tally %d: %d answers but %d voters",
+			t.ID, len(t.Answers), len(t.Voters))
+	}
+	for _, a := range t.Answers {
+		if len(a) != t.Records {
+			return fmt.Errorf("server: retained tally %d: answer with %d labels, want %d",
+				t.ID, len(a), t.Records)
+		}
+	}
+	return nil
+}
+
+// applyOp replays one journaled op onto the shard's durable state. Replay
+// touches only what snapshots persist: tasks, answers, counters, the
+// retired set and the ledger. Session-scoped ops (assign, leave) are
+// audit-only — worker sessions never survive a restart, so their
+// assignments fall back to the queue exactly as on snapshot restore. Ops
+// referencing state the snapshot does not know (a corrupt or hand-edited
+// journal) are skipped rather than trusted.
+func (s *Shard) applyOp(op journal.Op) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch op.T {
+	case journal.OpSubmit:
+		if op.Task < 1 || len(op.Records) == 0 {
+			return
+		}
+		if _, ok := s.tasks[op.Task]; ok {
+			return
+		}
+		if _, ok := s.tallies[op.Task]; ok {
+			return
+		}
+		spec := TaskSpec{Records: op.Records, Classes: op.Classes, Quorum: op.Quorum, Priority: op.Priority}
+		if spec.Quorum < 1 {
+			spec.Quorum = 1
+		}
+		if spec.Classes < 2 {
+			spec.Classes = 2
+		}
+		s.nextSeq++
+		u := &workUnit{id: op.Task, seq: s.nextSeq, spec: spec, active: make(map[int]bool)}
+		s.tasks[u.id] = u
+		s.order = append(s.order, u.id)
+		if op.Task > s.nextTask {
+			s.nextTask = op.Task
+		}
+		s.reindex(u)
+	case journal.OpJoin:
+		if op.Worker > s.nextWorker {
+			s.nextWorker = op.Worker
+		}
+	case journal.OpAnswer:
+		if op.Terminated {
+			s.terminated++
+			s.costs.TerminatedPay += metrics.Cost(op.Pay)
+			return
+		}
+		u, ok := s.tasks[op.Task]
+		if !ok || u.done || s.answered(u, op.Worker) || len(op.Labels) != len(u.spec.Records) {
+			return
+		}
+		s.costs.WorkPay += metrics.Cost(op.Pay)
+		u.answers = append(u.answers, op.Labels)
+		u.voters = append(u.voters, op.Worker)
+		if len(u.answers) >= u.spec.Quorum {
+			u.done = true
+			u.doneAt = time.Unix(0, op.At)
+		}
+		s.reindex(u)
+	case journal.OpRetire:
+		if op.Worker >= 1 && !s.retired[op.Worker] {
+			s.retired[op.Worker] = true
+			s.retiredCount++
+		}
+	case journal.OpWaitPay:
+		s.costs.WaitPay += metrics.Cost(op.Pay)
+	}
+}
+
+// absorbTallies overlays retained tallies recovered from the store. A
+// tally is the frozen, durable record of a demoted task: if a snapshot/
+// journal rewind resurrected the same task in full (a crash landed between
+// the tally write and the manifest commit), the tally supersedes it, so a
+// task is never counted twice. Ids missing from the order slice are merged
+// in with one linear pass — per-shard ids are allocated monotonically, so
+// id order is submission order — keeping recovery O(order + tallies) even
+// with a long retained history.
+func (s *Shard) absorbTallies(tallies []RetainedTask) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var inserts []int
+	for i := range tallies {
+		t := &tallies[i]
+		if u, ok := s.tasks[t.ID]; ok {
+			if u.dstate != dispatchNone {
+				s.dispatch[u.dstate-1].remove(u)
+				u.dstate = dispatchNone
+			}
+			delete(s.tasks, t.ID)
+		} else if _, ok := s.tallies[t.ID]; !ok {
+			inserts = append(inserts, t.ID)
+		}
+		s.tallies[t.ID] = t
+		if t.ID > s.nextTask {
+			s.nextTask = t.ID
+		}
+	}
+	if len(inserts) == 0 {
+		return
+	}
+	sort.Ints(inserts)
+	merged := make([]int, 0, len(s.order)+len(inserts))
+	j := 0
+	for _, tid := range s.order {
+		for j < len(inserts) && inserts[j] < tid {
+			merged = append(merged, inserts[j])
+			j++
+		}
+		if j < len(inserts) && inserts[j] == tid {
+			j++ // already present
+		}
+		merged = append(merged, tid)
+	}
+	merged = append(merged, inserts[j:]...)
+	s.order = merged
+}
+
+// demoteLocked moves completed tasks older than the retention window from
+// the live task table to the tally map, marking each tally dirty — not yet
+// in a store's retained log. Tasks with straggler assignments still in
+// flight are left for a later pass. Callers hold mu.
+func (s *Shard) demoteLocked(retention time.Duration) {
+	if retention <= 0 {
+		return
+	}
+	cutoff := s.cfg.Now().Add(-retention)
+	// Scan the live map, not the order slice: once history is demoted the
+	// pass is O(live tasks) no matter how long the shard has run.
+	for tid, u := range s.tasks {
+		if !u.done || len(u.active) > 0 {
+			continue
+		}
+		if u.doneAt.IsZero() || u.doneAt.After(cutoff) {
+			continue
+		}
+		t := &RetainedTask{
+			ID:      u.id,
+			Records: len(u.spec.Records),
+			Classes: u.spec.Classes,
+			Answers: u.answers,
+			Voters:  u.voters,
+			DoneAt:  u.doneAt.UnixNano(),
+		}
+		s.tallies[tid] = t
+		s.talliesDirty[tid] = t
+		delete(s.tasks, tid)
+	}
+}
+
+// CompactInto runs one compaction cycle against the store: demote
+// completed tasks past the retention window, snapshot the live state, and
+// rotate the journal — all captured atomically under the shard lock — then
+// commit the snapshot off the lock. The commit carries every dirty tally —
+// newly demoted ones plus any left over from a failed cycle or brought in
+// by ImportState — and the dirty marks clear only on success, so a tally
+// can never fall between a failed commit and the next generation's
+// cleanup. After a successful commit the previous generation's journal is
+// gone and recovery cost is O(live state + new ops). retention <= 0 keeps
+// full task history (only the journal is truncated). Cycles against one
+// store must not overlap; the fabric serializes them.
+func (s *Shard) CompactInto(st *journal.Store, retention time.Duration) error {
+	s.mu.Lock()
+	s.demoteLocked(retention)
+	dirty := make([]*RetainedTask, 0, len(s.talliesDirty))
+	for _, t := range s.talliesDirty {
+		dirty = append(dirty, t)
+	}
+	// Deterministic retained-log append order (ids are submission order).
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].ID < dirty[j].ID })
+	live := s.exportLocked(false)
+	gen, err := st.Rotate()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	data, err := EncodeSnapshot(live)
+	if err != nil {
+		return err
+	}
+	payloads := make([][]byte, len(dirty))
+	for i, t := range dirty {
+		if payloads[i], err = json.Marshal(t); err != nil {
+			return err
+		}
+	}
+	if err := st.Commit(gen, data, payloads); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	for _, t := range dirty {
+		// Clear only the exact tally that was persisted; an import that
+		// replaced it mid-commit stays dirty for the next cycle (a
+		// re-appended tally is harmless — the recovery overlay dedups).
+		if s.talliesDirty[t.ID] == t {
+			delete(s.talliesDirty, t.ID)
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}

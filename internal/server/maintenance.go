@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"sort"
 	"time"
+
+	"github.com/clamshell/clamshell/internal/journal"
 )
 
 // Server-side pool maintenance: the live counterpart of the simulator's
@@ -48,7 +50,8 @@ func (s *Shard) maintenanceCheck(pw *poolWorker) bool {
 	}
 	pw.retired = true
 	s.retired[pw.id] = true
-	s.removeWorker(pw.id)
+	s.logOp(journal.Op{T: journal.OpRetire, Worker: pw.id})
+	s.removeWorker(pw.id, "retire")
 	s.retiredCount++
 	return true
 }

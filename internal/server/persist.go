@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"time"
 
 	"github.com/clamshell/clamshell/internal/metrics"
 )
@@ -16,21 +18,49 @@ import (
 // to the queue (the same thing that happens when a worker times out), so a
 // restore never loses a task and never double-counts an answer.
 //
+// Durable state splits into two tiers. Live tasks carry everything: the
+// record payloads, the answer set, the dispatch metadata. Completed tasks
+// past the retention window are demoted to RetainedTask vote tallies —
+// just the per-worker label vectors /api/consensus needs to keep judging
+// worker reliability on full history — and their record payloads are
+// dropped. The JSON snapshot here carries both tiers and remains the
+// compatibility wire format for /api/snapshot and /api/restore; the
+// journal.Store engine (see journal.go) persists the live tier per
+// compaction and the tally tier append-only.
+//
 // The state types are exported so the fabric can merge per-shard snapshots
 // into the same wire format a single server produces, and split one back
 // across shards on restore.
 
 // SnapshotVersion guards against loading snapshots from incompatible
-// builds.
+// builds. Version 1 has grown two additive, omitempty fields since its
+// introduction (TaskState.DoneAt and SnapshotState.Retained); decoders
+// tolerate their absence, so every version-1 document ever written still
+// loads. Anything that would change the meaning of existing fields must
+// bump the version.
 const SnapshotVersion = 1
 
-// TaskState is one task's durable state.
+// TaskState is one live task's durable state.
 type TaskState struct {
 	ID      int      `json:"id"`
 	Spec    TaskSpec `json:"spec"`
 	Answers [][]int  `json:"answers,omitempty"`
 	Voters  []int    `json:"voters,omitempty"`
 	Done    bool     `json:"done"`
+	DoneAt  int64    `json:"done_at,omitempty"` // unix nanoseconds; 0 when unknown
+}
+
+// RetainedTask is the compacted tally of a completed task past the
+// retention window: the vote graph rows /api/consensus needs (who labeled
+// what), the task's dimensions, and nothing else — the record payloads,
+// the dominant share of a task's bytes, are gone.
+type RetainedTask struct {
+	ID      int     `json:"id"`
+	Records int     `json:"records"` // record count (payloads dropped)
+	Classes int     `json:"classes"`
+	Answers [][]int `json:"answers,omitempty"`
+	Voters  []int   `json:"voters,omitempty"`
+	DoneAt  int64   `json:"done_at,omitempty"`
 }
 
 // SnapshotState is the full durable state of one pool (a standalone server
@@ -45,9 +75,12 @@ type SnapshotState struct {
 	Costs        metrics.Accounting `json:"costs"`
 	Order        []int              `json:"order,omitempty"`
 	Tasks        []TaskState        `json:"tasks,omitempty"`
+	Retained     []RetainedTask     `json:"retained,omitempty"`
 }
 
-// EncodeSnapshot serializes a snapshot state in the wire format.
+// EncodeSnapshot serializes a snapshot state in the wire format. The
+// output is deterministic (struct field order, no maps), which the golden
+// compatibility tests rely on.
 func EncodeSnapshot(st SnapshotState) ([]byte, error) {
 	return json.MarshalIndent(st, "", "  ")
 }
@@ -64,10 +97,13 @@ func DecodeSnapshot(data []byte) (SnapshotState, error) {
 	if st.Version != SnapshotVersion {
 		return st, fmt.Errorf("server: snapshot version %d, want %d", st.Version, SnapshotVersion)
 	}
-	seen := make(map[int]bool, len(st.Tasks))
+	seen := make(map[int]bool, len(st.Tasks)+len(st.Retained))
 	for _, ts := range st.Tasks {
 		if ts.ID < 1 {
 			return st, fmt.Errorf("server: snapshot task id %d out of range", ts.ID)
+		}
+		if seen[ts.ID] {
+			return st, fmt.Errorf("server: snapshot task %d appears twice", ts.ID)
 		}
 		if len(ts.Spec.Records) == 0 {
 			return st, fmt.Errorf("server: snapshot task %d has no records", ts.ID)
@@ -76,7 +112,24 @@ func DecodeSnapshot(data []byte) (SnapshotState, error) {
 			return st, fmt.Errorf("server: snapshot task %d: %d answers but %d voters",
 				ts.ID, len(ts.Answers), len(ts.Voters))
 		}
+		for _, a := range ts.Answers {
+			if len(a) != len(ts.Spec.Records) {
+				return st, fmt.Errorf("server: snapshot task %d: answer with %d labels, want %d",
+					ts.ID, len(a), len(ts.Spec.Records))
+			}
+		}
 		seen[ts.ID] = true
+	}
+	for _, rt := range st.Retained {
+		// validateTally enforces the shared shape invariants; only the
+		// cross-tier duplicate check is snapshot-specific.
+		if err := validateTally(rt); err != nil {
+			return st, err
+		}
+		if seen[rt.ID] {
+			return st, fmt.Errorf("server: snapshot task %d is both live and retained", rt.ID)
+		}
+		seen[rt.ID] = true
 	}
 	for _, tid := range st.Order {
 		if !seen[tid] {
@@ -91,11 +144,20 @@ func DecodeSnapshot(data []byte) (SnapshotState, error) {
 	return st, nil
 }
 
-// ExportState captures the shard's durable state (tasks, answers, counters,
-// accounting).
+// ExportState captures the shard's full durable state: live tasks,
+// retained tallies, counters and accounting.
 func (s *Shard) ExportState() SnapshotState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.exportLocked(true)
+}
+
+// exportLocked builds the durable state. full includes the retained
+// tallies (the wire-format facade); the journal engine passes false
+// because tallies are persisted once, append-only, in the store's
+// retained log rather than re-serialized into every compaction snapshot —
+// that is what keeps per-compaction cost O(live state). Callers hold mu.
+func (s *Shard) exportLocked(full bool) SnapshotState {
 	st := SnapshotState{
 		Version:      SnapshotVersion,
 		NextTask:     s.nextTask,
@@ -103,20 +165,44 @@ func (s *Shard) ExportState() SnapshotState {
 		Terminated:   s.terminated,
 		RetiredCount: s.retiredCount,
 		Costs:        s.costs,
-		Order:        append([]int(nil), s.order...),
 	}
 	for id := range s.retired {
 		st.Retired = append(st.Retired, id)
 	}
-	for _, tid := range s.order {
-		u := s.tasks[tid]
-		st.Tasks = append(st.Tasks, TaskState{
-			ID:      u.id,
-			Spec:    u.spec,
-			Answers: u.answers,
-			Voters:  u.voters,
-			Done:    u.done,
-		})
+	sort.Ints(st.Retired)
+	// The order slice is ascending (per-shard ids are allocated
+	// monotonically, and the tally overlay inserts in id position), so a
+	// live-only export can walk the small live map and sort instead of
+	// scanning the full history order — O(live), which is what keeps each
+	// compaction's snapshot cost independent of how long the shard has run.
+	walk := s.order
+	if !full {
+		walk = make([]int, 0, len(s.tasks))
+		for tid := range s.tasks {
+			walk = append(walk, tid)
+		}
+		sort.Ints(walk)
+	}
+	for _, tid := range walk {
+		if u, ok := s.tasks[tid]; ok {
+			ts := TaskState{
+				ID:      u.id,
+				Spec:    u.spec,
+				Answers: u.answers,
+				Voters:  u.voters,
+				Done:    u.done,
+			}
+			if !u.doneAt.IsZero() {
+				ts.DoneAt = u.doneAt.UnixNano()
+			}
+			st.Tasks = append(st.Tasks, ts)
+			st.Order = append(st.Order, tid)
+			continue
+		}
+		if t, ok := s.tallies[tid]; ok && full {
+			st.Retained = append(st.Retained, *t)
+			st.Order = append(st.Order, tid)
+		}
 	}
 	return st
 }
@@ -136,21 +222,45 @@ func (s *Shard) ImportState(st SnapshotState) {
 			voters:  ts.Voters,
 			active:  make(map[int]bool),
 			done:    ts.Done,
+			doneAt:  time.Unix(0, ts.DoneAt),
 		}
+	}
+	tallies := make(map[int]*RetainedTask, len(st.Retained))
+	dirty := make(map[int]*RetainedTask, len(st.Retained))
+	for i := range st.Retained {
+		t := st.Retained[i]
+		tallies[t.ID] = &t
+		// Imported tallies are not in any store's retained log yet; they
+		// stay dirty until a compaction commit persists them.
+		dirty[t.ID] = &t
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := s.cfg.Now()
 	s.tasks = tasks
+	s.tallies = tallies
+	s.talliesDirty = dirty
 	s.order = append([]int(nil), st.Order...)
 	// Rebuild the dispatch index from scratch: sequence numbers follow the
 	// restored submission order, so FIFO-within-priority hand-out order
-	// survives the round trip.
+	// survives the round trip. Retained ids stay in the order slice (the
+	// consensus views walk it) but are never indexed — they are done.
 	s.dispatch = [2]dispatchPart{}
 	s.nextSeq = 0
 	for _, tid := range s.order {
-		u := tasks[tid]
+		u, ok := tasks[tid]
+		if !ok {
+			continue
+		}
 		s.nextSeq++
 		u.seq = s.nextSeq
+		if u.done && u.doneAt.UnixNano() == 0 {
+			// Legacy snapshot without completion times: age from now, so
+			// retention starts counting at restore.
+			u.doneAt = now
+		} else if !u.done {
+			u.doneAt = time.Time{}
+		}
 		s.reindex(u)
 	}
 	s.workers = make(map[int]*poolWorker)

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/metrics"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenState is a fixed version-1 snapshot exercising every field,
+// including the additive ones (done_at, retained).
+func goldenState() SnapshotState {
+	return SnapshotState{
+		Version:      SnapshotVersion,
+		NextTask:     5,
+		NextWorker:   3,
+		Terminated:   1,
+		RetiredCount: 1,
+		Retired:      []int{2},
+		Costs: metrics.Accounting{
+			WaitPay: 12_500, WorkPay: 80_000, TerminatedPay: 20_000,
+		},
+		Order: []int{1, 3, 5},
+		Tasks: []TaskState{
+			{
+				ID:      3,
+				Spec:    TaskSpec{Records: []string{"a", "b"}, Classes: 2, Quorum: 2, Priority: 1},
+				Answers: [][]int{{0, 1}},
+				Voters:  []int{1},
+			},
+			{
+				ID:      5,
+				Spec:    TaskSpec{Records: []string{"c"}, Classes: 3, Quorum: 1},
+				Answers: [][]int{{2}},
+				Voters:  []int{3},
+				Done:    true,
+				DoneAt:  1442750400000000000,
+			},
+		},
+		Retained: []RetainedTask{
+			{
+				ID: 1, Records: 2, Classes: 2,
+				Answers: [][]int{{1, 0}, {1, 1}},
+				Voters:  []int{1, 2},
+				DoneAt:  1442750000000000000,
+			},
+		},
+	}
+}
+
+// TestGoldenSnapshot pins the snapshot wire format: the checked-in fixture
+// must decode to exactly the golden state forever, and re-encoding must
+// reproduce it byte for byte. A failure here means the format changed out
+// from under deployed snapshots — bump SnapshotVersion instead.
+func TestGoldenSnapshot(t *testing.T) {
+	path := filepath.Join("testdata", "snapshot_v1.golden.json")
+	want, err := EncodeSnapshot(goldenState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("snapshot golden drifted from the current encoding:\n got: %s\nwant: %s", got, want)
+	}
+	st, err := DecodeSnapshot(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, goldenState()) {
+		t.Fatalf("golden snapshot decoded to %+v", st)
+	}
+
+	// The golden state must survive an import/export round trip intact.
+	s := NewShard(Config{Now: func() time.Time { return time.Unix(0, 1442751000000000000) }}, 0, 1)
+	s.ImportState(st)
+	again, err := EncodeSnapshot(s.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Fatalf("import/export round trip drifted:\n got: %s\nwant: %s", again, want)
+	}
+}
+
+// Unknown snapshot versions must be rejected with a clear error instead of
+// silently misread.
+func TestUnknownSnapshotVersionRejected(t *testing.T) {
+	data, _ := EncodeSnapshot(goldenState())
+	bad := bytes.Replace(data, []byte(`"version": 1`), []byte(`"version": 99`), 1)
+	if bytes.Equal(bad, data) {
+		t.Fatal("fixture surgery failed")
+	}
+	_, err := DecodeSnapshot(bad)
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("version-99 snapshot: err = %v, want a clear version error", err)
+	}
+}
+
+// A legacy version-1 snapshot written before the additive fields existed
+// (no done_at, no retained) must still decode and import.
+func TestLegacySnapshotStillLoads(t *testing.T) {
+	legacy := []byte(`{
+  "version": 1,
+  "next_task": 2,
+  "next_worker": 1,
+  "terminated": 0,
+  "retired_count": 0,
+  "costs": {"WaitPay": 0, "WorkPay": 20000, "TerminatedPay": 0, "RecruitmentPay": 0},
+  "order": [1, 2],
+  "tasks": [
+    {"id": 1, "spec": {"records": ["x"], "classes": 2, "quorum": 1}, "answers": [[1]], "voters": [7], "done": true},
+    {"id": 2, "spec": {"records": ["y"], "classes": 2, "quorum": 1}, "done": false}
+  ]
+}`)
+	st, err := DecodeSnapshot(legacy)
+	if err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
+	}
+	now := time.Date(2015, 9, 20, 12, 0, 0, 0, time.UTC)
+	s := NewShard(Config{Now: func() time.Time { return now }}, 0, 1)
+	s.ImportState(st)
+	out := s.ExportState()
+	if len(out.Tasks) != 2 || !out.Tasks[0].Done {
+		t.Fatalf("legacy import lost tasks: %+v", out.Tasks)
+	}
+	// A done task without a completion time ages from import, so retention
+	// does not immediately demote history of unknown age.
+	if out.Tasks[0].DoneAt != now.UnixNano() {
+		t.Fatalf("legacy done task aged from %d, want import time %d", out.Tasks[0].DoneAt, now.UnixNano())
+	}
+}
+
+// FuzzDecodeSnapshot: arbitrary snapshot bytes must never panic the
+// decoder, and anything the validator accepts must import and re-export
+// cleanly (the fabric relies on validated states importing atomically).
+func FuzzDecodeSnapshot(f *testing.F) {
+	golden, _ := EncodeSnapshot(goldenState())
+	f.Add(golden)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version": 1}`))
+	f.Add([]byte(`{"version": 1, "order": [7]}`))
+	f.Add([]byte(`{"version": 1, "tasks": [{"id": -4, "spec": {"records": ["x"]}}]}`))
+	f.Add([]byte(`{"version": 1, "retained": [{"id": 1, "records": 1, "answers": [[0, 0]], "voters": [1]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		s := NewShard(Config{Now: func() time.Time { return time.Unix(1, 0) }}, 0, 1)
+		s.ImportState(st)
+		if _, err := EncodeSnapshot(s.ExportState()); err != nil {
+			t.Fatalf("validated state failed to re-export: %v", err)
+		}
+	})
+}

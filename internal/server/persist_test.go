@@ -4,6 +4,9 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/journal"
 )
 
 // startServer spins up a test server + client pair.
@@ -131,6 +134,99 @@ func TestRestoreDropsInFlightAssignments(t *testing.T) {
 	}
 	if res.State != "unassigned" {
 		t.Fatalf("in-flight task restored as %q, want unassigned", res.State)
+	}
+}
+
+// Retention compaction must demote old completed tasks to vote tallies —
+// dropping their payloads from the compacted snapshot — while /api/result,
+// /api/consensus and the status counters keep answering for them, and a
+// snapshot/restore round trip carries the tallies along.
+func TestRetentionDemotion(t *testing.T) {
+	now := time.Date(2015, 9, 20, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	s, c := startServer(t, Config{Now: clock, WorkerTimeout: time.Hour})
+	st, rec, err := journal.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := s.RecoverFrom(st, rec); err != nil {
+		t.Fatal(err)
+	}
+
+	wid, _ := c.Join("w")
+	ids, _ := c.SubmitTasks([]TaskSpec{
+		{Records: []string{"old payload, long and heavy"}, Classes: 2, Quorum: 1},
+		{Records: []string{"pending"}, Classes: 2, Quorum: 1},
+	})
+	if _, ok, _ := c.FetchTask(wid); !ok {
+		t.Fatal("no assignment")
+	}
+	if acc, _, _ := c.Submit(wid, ids[0], []int{1}); !acc {
+		t.Fatal("submit rejected")
+	}
+
+	// Age the completed task past the window and compact.
+	now = now.Add(time.Hour)
+	if err := s.CompactInto(st, 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	_, live := s.tasks[ids[0]]
+	_, tallied := s.tallies[ids[0]]
+	s.mu.Unlock()
+	if live || !tallied {
+		t.Fatalf("task %d after compaction: live=%v tallied=%v, want demoted", ids[0], live, tallied)
+	}
+
+	// The demoted task still answers as complete with its consensus.
+	res, err := c.Result(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "complete" || len(res.Consensus) != 1 || res.Consensus[0] != 1 {
+		t.Fatalf("retained result = %+v, want complete with consensus [1]", res)
+	}
+	if len(res.Records) != 0 {
+		t.Fatalf("retained result still carries payloads: %v", res.Records)
+	}
+	// Consensus still pools the retained votes.
+	cons, err := NewClient(c.BaseURL).Consensus("majority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cons.Labels[ids[0]]; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("consensus for retained task = %v, want [1]", got)
+	}
+	// Counters keep counting demoted tasks.
+	status, _ := c.Status()
+	if status["tasks"] != 2 || status["complete"] != 1 {
+		t.Fatalf("status after demotion = %v, want 2 tasks / 1 complete", status)
+	}
+	// A late submission against a demoted task is an unknown task: the
+	// retention window is the replay horizon.
+	if _, _, err := c.Submit(wid, ids[0], []int{0}); err == nil {
+		t.Fatal("submit against a demoted task succeeded")
+	}
+
+	// The facade snapshot carries the tally and restores it.
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(snap), `"retained"`) {
+		t.Fatalf("facade snapshot lost the retained tier:\n%s", snap)
+	}
+	_, c2 := startServer(t, Config{Now: clock})
+	if err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c2.Result(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.State != "complete" || len(res2.Consensus) != 1 {
+		t.Fatalf("restored retained result = %+v", res2)
 	}
 }
 

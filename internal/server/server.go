@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/clamshell/clamshell/internal/journal"
 	"github.com/clamshell/clamshell/internal/metrics"
 	"github.com/clamshell/clamshell/internal/stats"
 )
@@ -58,6 +59,7 @@ type workUnit struct {
 	voters    []int        // worker id per answer
 	active    map[int]bool // worker ids currently assigned
 	done      bool
+	doneAt    time.Time    // when the quorum filled (drives retention demotion)
 	termAcked map[int]bool // workers whose terminated submission was acknowledged (replay dedup)
 
 	// Dispatch-index bookkeeping (see dispatch.go): the partition the task
@@ -133,9 +135,11 @@ type Shard struct {
 
 	mu           sync.Mutex
 	tasks        map[int]*workUnit
-	order        []int // task ids in submission order (consensus, snapshots)
-	nextSeq      int   // submission sequence counter (dispatch FIFO order)
-	dispatch     [2]dispatchPart // indexed pending queues: [starved, speculative]
+	tallies      map[int]*RetainedTask // completed tasks demoted to vote tallies (see journal.go)
+	talliesDirty map[int]*RetainedTask // tallies not yet durable in a store's retained log
+	order        []int                 // task ids (live and retained) in submission order (consensus, snapshots)
+	nextSeq      int                   // submission sequence counter (dispatch FIFO order)
+	dispatch     [2]dispatchPart       // indexed pending queues: [starved, speculative]
 	workers      map[int]*poolWorker
 	nextTask     int
 	nextWorker   int
@@ -145,6 +149,11 @@ type Shard struct {
 	costs        metricsAccounting
 	startedAt    time.Time
 	latQ         []*stats.P2Quantile // streaming p50/p95/p99 of per-record latency
+
+	// logf, when set, journals one op per durable mutation (write-through;
+	// see AttachJournal). Called with mu held, so ops land in the shard's
+	// serialization order.
+	logf func(journal.Op)
 
 	// orphans are assignments whose worker was removed while holding a task
 	// that lives on another shard (work stealing). The fabric drains them
@@ -193,6 +202,8 @@ func initShard(sh *Shard, cfg Config, index, count int) {
 	sh.index = index
 	sh.count = count
 	sh.tasks = make(map[int]*workUnit)
+	sh.tallies = make(map[int]*RetainedTask)
+	sh.talliesDirty = make(map[int]*RetainedTask)
 	sh.workers = make(map[int]*poolWorker)
 	sh.retired = make(map[int]bool)
 	sh.startedAt = cfg.Now()
@@ -294,6 +305,7 @@ func (s *Shard) join(name string) int {
 		lastSeen: s.cfg.Now(),
 	}
 	s.workers[pw.id] = pw
+	s.logOp(journal.Op{T: journal.OpJoin, Worker: pw.id, Name: name})
 	s.startWait(pw)
 	return pw.id
 }
@@ -325,11 +337,11 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.removeWorker(id)
+	s.removeWorker(id, "leave")
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-func (s *Shard) removeWorker(id int) {
+func (s *Shard) removeWorker(id int, reason string) {
 	pw, ok := s.workers[id]
 	if !ok {
 		return
@@ -347,6 +359,7 @@ func (s *Shard) removeWorker(id int) {
 		}
 	}
 	delete(s.workers, id)
+	s.logOp(journal.Op{T: journal.OpLeave, Worker: id, Reason: reason})
 }
 
 // handleSubmitTasks enqueues labeling tasks.
@@ -389,6 +402,10 @@ func (s *Shard) enqueueLocked(spec TaskSpec) int {
 	u := &workUnit{id: s.nextTask, seq: s.nextSeq, spec: spec, active: make(map[int]bool)}
 	s.tasks[u.id] = u
 	s.order = append(s.order, u.id)
+	s.logOp(journal.Op{
+		T: journal.OpSubmit, Task: u.id,
+		Records: spec.Records, Classes: spec.Classes, Quorum: spec.Quorum, Priority: spec.Priority,
+	})
 	s.reindex(u)
 	return u.id
 }
@@ -458,7 +475,10 @@ func (s *Shard) answered(u *workUnit, workerID int) bool {
 
 // handleSubmitAnswer ingests a completed assignment. A submission for an
 // already-complete task is acknowledged as terminated: the worker is not at
-// fault and is paid, but the labels are discarded.
+// fault and is paid, but the labels are discarded. The handler composes the
+// same exported halves the fabric router uses — AcceptAnswer (task side)
+// then FinishAssignment (worker side) — so the single-server path cannot
+// drift from the fabric-routed one (pay, journaling, replay idempotency).
 func (s *Server) handleSubmitAnswer(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		WorkerID int   `json:"worker_id"`
@@ -469,75 +489,32 @@ func (s *Server) handleSubmitAnswer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding answer: %w", err))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pw, ok := s.workers[req.WorkerID]
-	if !ok {
+	if !s.WorkerKnown(req.WorkerID) {
 		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
 		return
 	}
-	u, ok := s.tasks[req.TaskID]
-	if !ok {
-		writeErr(w, http.StatusNotFound, errors.New("unknown task"))
-		return
-	}
-	if len(req.Labels) != len(u.spec.Records) {
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("want %d labels, got %d", len(u.spec.Records), len(req.Labels)))
-		return
-	}
-	for _, l := range req.Labels {
-		if l < 0 || l >= u.spec.Classes {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("label %d out of range", l))
-			return
-		}
-	}
-	if s.answered(u, req.WorkerID) {
-		// A replayed submission (client retry after a lost response): this
-		// worker's answer is already on the books. Re-acknowledge without
-		// paying again or appending a second vote toward the quorum.
+	outcome, records, err := s.AcceptAnswer(req.TaskID, req.WorkerID, req.Labels)
+	switch outcome {
+	case SubmitUnknownTask:
+		writeErr(w, http.StatusNotFound, err)
+	case SubmitBadLabels:
+		writeErr(w, http.StatusBadRequest, err)
+	case SubmitDuplicate:
+		// A replayed submission (client retry after a lost response): the
+		// answer is already on the books. Re-acknowledge without paying
+		// again or double-counting the worker's completion stats.
 		writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "terminated": false})
-		return
-	}
-	if u.done && u.termAcked[req.WorkerID] {
-		// Likewise for a replayed straggler submission that already lost the
+	case SubmitDuplicateTerminated:
+		// Same, for a replayed straggler submission that already lost the
 		// race: the original termination was acknowledged and paid once.
 		writeJSON(w, http.StatusOK, map[string]bool{"accepted": false, "terminated": true})
-		return
-	}
-	delete(u.active, req.WorkerID)
-	if pw.current == u.id {
-		pw.current = 0
-		if !pw.fetchedAt.IsZero() {
-			s.observeLatency(pw, len(u.spec.Records), s.cfg.Now().Sub(pw.fetchedAt))
-		}
-	}
-	pw.done++
-	pw.lastSeen = s.cfg.Now()
-	if !s.maintenanceCheck(pw) {
-		s.startWait(pw)
-	}
-
-	if u.done {
-		// A straggler losing the race: acknowledged, paid, discarded. The
-		// acknowledgement is remembered so a replay is not paid again.
-		s.terminated++
-		s.payWork(len(u.spec.Records), true)
-		if u.termAcked == nil {
-			u.termAcked = make(map[int]bool)
-		}
-		u.termAcked[req.WorkerID] = true
+	case SubmitTerminated:
+		s.FinishAssignment(req.WorkerID, req.TaskID, records)
 		writeJSON(w, http.StatusOK, map[string]bool{"accepted": false, "terminated": true})
-		return
+	case SubmitAccepted:
+		s.FinishAssignment(req.WorkerID, req.TaskID, records)
+		writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "terminated": false})
 	}
-	s.payWork(len(u.spec.Records), false)
-	u.answers = append(u.answers, req.Labels)
-	u.voters = append(u.voters, req.WorkerID)
-	if len(u.answers) >= u.spec.Quorum {
-		u.done = true
-	}
-	s.reindex(u)
-	writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "terminated": false})
 }
 
 // handleStatus reports pool and queue health.
@@ -545,7 +522,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expireWorkers()
-	complete := 0
+	// Retained tallies still count: demotion compacts a completed task's
+	// representation, it does not forget the task.
+	complete := len(s.tallies)
 	for _, u := range s.tasks {
 		if u.done {
 			complete++
@@ -558,7 +537,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]int{
-		"tasks":      len(s.tasks),
+		"tasks":      len(s.tasks) + len(s.tallies),
 		"complete":   complete,
 		"workers":    len(s.workers),
 		"idle":       idle,
@@ -579,6 +558,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	u, ok := s.tasks[id]
 	if !ok {
+		if t, ok := s.tallies[id]; ok {
+			// A retained task: complete, consensus preserved in the tally;
+			// the record payloads were dropped by retention compaction.
+			writeJSON(w, http.StatusOK, retainedStatus(t))
+			return
+		}
 		writeErr(w, http.StatusNotFound, errors.New("unknown task"))
 		return
 	}
@@ -600,13 +585,29 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// retainedStatus builds the /api/result view of a demoted task.
+func retainedStatus(t *RetainedTask) TaskStatus {
+	return TaskStatus{
+		ID:        t.ID,
+		State:     "complete",
+		Answers:   len(t.Answers),
+		Consensus: majorityOf(t.Answers, t.Records),
+	}
+}
+
 // majority computes per-record plurality labels over a unit's answers,
 // ties breaking to the lowest class.
 func (s *Shard) majority(u *workUnit) []int {
-	out := make([]int, len(u.spec.Records))
-	for rec := range u.spec.Records {
+	return majorityOf(u.answers, len(u.spec.Records))
+}
+
+// majorityOf computes per-record plurality labels over answer vectors,
+// ties breaking to the lowest class.
+func majorityOf(answers [][]int, records int) []int {
+	out := make([]int, records)
+	for rec := 0; rec < records; rec++ {
 		counts := make(map[int]int)
-		for _, labels := range u.answers {
+		for _, labels := range answers {
 			counts[labels[rec]]++
 		}
 		best, bestN := -1, 0
@@ -631,11 +632,15 @@ func (s *Shard) expireWorkers() {
 		if pw.lastSeen.Before(cutoff) {
 			if !pw.waitStart.IsZero() {
 				if end := pw.lastSeen.Add(s.cfg.WorkerTimeout); end.After(pw.waitStart) {
-					s.costs.WaitPay += metrics.PerMinute(s.cfg.Costs.WaitPayPerMin, end.Sub(pw.waitStart))
+					pay := metrics.PerMinute(s.cfg.Costs.WaitPayPerMin, end.Sub(pw.waitStart))
+					s.costs.WaitPay += pay
+					if pay != 0 {
+						s.logOp(journal.Op{T: journal.OpWaitPay, Worker: id, Pay: int64(pay)})
+					}
 				}
 				pw.waitStart = time.Time{}
 			}
-			s.removeWorker(id)
+			s.removeWorker(id, "expire")
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/clamshell/clamshell/internal/journal"
 	"github.com/clamshell/clamshell/internal/metrics"
 	"github.com/clamshell/clamshell/internal/quality"
 	"github.com/clamshell/clamshell/internal/worker"
@@ -41,7 +42,7 @@ func (s *Shard) Heartbeat(workerID int) bool {
 func (s *Shard) Leave(workerID int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.removeWorker(workerID)
+	s.removeWorker(workerID, "leave")
 }
 
 // Enqueue admits one task spec (records already validated non-empty) and
@@ -272,19 +273,25 @@ func (s *Shard) AcceptAnswer(taskID, workerID int, labels []int) (outcome Submit
 	delete(u.active, workerID)
 	if u.done {
 		s.terminated++
-		s.payWork(records, true)
+		pay := s.payWork(records, true)
+		s.logOp(journal.Op{T: journal.OpAnswer, Task: u.id, Worker: workerID,
+			Terminated: true, Pay: int64(pay)})
 		if u.termAcked == nil {
 			u.termAcked = make(map[int]bool)
 		}
 		u.termAcked[workerID] = true
 		return SubmitTerminated, records, nil
 	}
-	s.payWork(records, false)
+	pay := s.payWork(records, false)
 	u.answers = append(u.answers, labels)
 	u.voters = append(u.voters, workerID)
+	now := s.cfg.Now()
 	if len(u.answers) >= u.spec.Quorum {
 		u.done = true
+		u.doneAt = now
 	}
+	s.logOp(journal.Op{T: journal.OpAnswer, Task: u.id, Worker: workerID,
+		Labels: labels, Pay: int64(pay), At: now.UnixNano()})
 	s.reindex(u)
 	return SubmitAccepted, records, nil
 }
@@ -329,8 +336,11 @@ func (s *Shard) CountersNow() Counters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expireWorkers()
+	// Retained tallies count as complete tasks: retention compaction
+	// shrinks a task's representation, it does not forget the task.
 	c := Counters{
-		Tasks:      len(s.tasks),
+		Tasks:      len(s.tasks) + len(s.tallies),
+		Complete:   len(s.tallies),
 		Workers:    len(s.workers),
 		Terminated: s.terminated,
 		Retired:    s.retiredCount,
@@ -407,6 +417,9 @@ func (s *Shard) ResultStatus(taskID int) (TaskStatus, bool) {
 	defer s.mu.Unlock()
 	u, ok := s.tasks[taskID]
 	if !ok {
+		if t, ok := s.tallies[taskID]; ok {
+			return retainedStatus(t), true
+		}
 		return TaskStatus{}, false
 	}
 	st := TaskStatus{
@@ -442,20 +455,36 @@ func (s *Shard) Dims() (maxRecords, maxClasses, lastTask int) {
 			maxClasses = u.spec.Classes
 		}
 	}
+	for _, t := range s.tallies {
+		if t.Records > maxRecords {
+			maxRecords = t.Records
+		}
+		if t.Classes > maxClasses {
+			maxClasses = t.Classes
+		}
+	}
 	return maxRecords, maxClasses, s.nextTask
 }
 
-// Votes flattens every answer on this shard into per-record votes using
-// the given global stride (record rec of task tid becomes item
-// tid*stride+rec).
+// Votes flattens every answer on this shard — live tasks and retained
+// tallies alike — into per-record votes using the given global stride
+// (record rec of task tid becomes item tid*stride+rec). This is exactly
+// why demotion keeps the tally rows: consensus estimators keep judging
+// worker reliability on full history after the payloads are gone.
 func (s *Shard) Votes(stride int) []quality.Vote {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.flattenVotes(stride)
+}
+
+// flattenVotes walks the submission order — live tasks and retained
+// tallies alike — turning every answer into per-record votes under the
+// given stride. Callers hold mu.
+func (s *Shard) flattenVotes(stride int) []quality.Vote {
 	var votes []quality.Vote
-	for _, tid := range s.order {
-		u := s.tasks[tid]
-		for i, ans := range u.answers {
-			voter := u.voters[i]
+	appendVotes := func(tid int, answers [][]int, voters []int) {
+		for i, ans := range answers {
+			voter := voters[i]
 			for rec, label := range ans {
 				votes = append(votes, quality.Vote{
 					Item:   tid*stride + rec,
@@ -463,6 +492,13 @@ func (s *Shard) Votes(stride int) []quality.Vote {
 					Label:  label,
 				})
 			}
+		}
+	}
+	for _, tid := range s.order {
+		if u, ok := s.tasks[tid]; ok {
+			appendVotes(tid, u.answers, u.voters)
+		} else if t, ok := s.tallies[tid]; ok {
+			appendVotes(tid, t.Answers, t.Voters)
 		}
 	}
 	return votes
@@ -474,9 +510,12 @@ func (s *Shard) TaskMeta() (order []int, records map[int]int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	order = append([]int(nil), s.order...)
-	records = make(map[int]int, len(s.tasks))
+	records = make(map[int]int, len(s.tasks)+len(s.tallies))
 	for id, u := range s.tasks {
 		records[id] = len(u.spec.Records)
+	}
+	for id, t := range s.tallies {
+		records[id] = t.Records
 	}
 	return order, records
 }
