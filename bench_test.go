@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"github.com/clamshell/clamshell/internal/fabric"
 	"github.com/clamshell/clamshell/internal/journal"
 	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/wire"
 )
 
 // benchExperiment runs one paper experiment per iteration. On the first
@@ -228,6 +231,166 @@ func BenchmarkFabricThroughput(b *testing.B) {
 	for _, shards := range []int{1, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			benchmarkFabricThroughput(b, shards)
+		})
+	}
+}
+
+// memHalf is one direction of an in-memory duplex connection: a buffered
+// byte stream. Unlike net.Pipe — whose unbuffered rendezvous makes every
+// Write block until the peer reads, a cost real sockets do not have — this
+// behaves like a loopback socket with kernel buffers: writers never block,
+// readers block only when the stream is empty. The wire benchmark uses it
+// so the measured cost is framing + codec + dispatch, not synthetic
+// synchronization (net.Pipe remains in the correctness tests).
+type memHalf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	off    int
+	closed bool
+}
+
+func newMemHalf() *memHalf {
+	h := &memHalf{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *memHalf) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, io.ErrClosedPipe
+	}
+	h.buf = append(h.buf, p...)
+	h.cond.Signal()
+	return len(p), nil
+}
+
+func (h *memHalf) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.off == len(h.buf) && !h.closed {
+		h.cond.Wait()
+	}
+	if h.off == len(h.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.buf[h.off:])
+	h.off += n
+	if h.off == len(h.buf) {
+		h.buf, h.off = h.buf[:0], 0
+	}
+	return n, nil
+}
+
+func (h *memHalf) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+type memConn struct{ r, w *memHalf }
+
+func memPipe() (net.Conn, net.Conn) {
+	a, b := newMemHalf(), newMemHalf()
+	return &memConn{r: a, w: b}, &memConn{r: b, w: a}
+}
+
+func (c *memConn) Read(p []byte) (int, error)  { return c.r.read(p) }
+func (c *memConn) Write(p []byte) (int, error) { return c.w.write(p) }
+func (c *memConn) Close() error                { c.r.close(); c.w.close(); return nil }
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+func (c *memConn) LocalAddr() net.Addr              { return memAddr{} }
+func (c *memConn) RemoteAddr() net.Addr             { return memAddr{} }
+func (c *memConn) SetDeadline(time.Time) error      { return nil }
+func (c *memConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *memConn) SetWriteDeadline(time.Time) error { return nil }
+
+// BenchmarkWireThroughput mirrors BenchmarkFabricThroughput — the same
+// standing-backlog workload against the same fabric — but over the binary
+// wire transport instead of the JSON/HTTP handlers: each parallel worker
+// holds one buffered in-memory connection and runs the identical
+// submit/poll/answer loop through the full wire server (handshake,
+// framing, codec, core dispatch). The acceptance bar for the wire path is
+// ≥ 3× the ops/sec of the HTTP path at shards=1 with ≥ 5× fewer B/op —
+// the encode/decode and per-request allocation overhead is the
+// difference, the dispatch work is shared.
+func benchmarkWireThroughput(b *testing.B, shards int) {
+	fab := fabric.New(server.Config{WorkerTimeout: time.Hour}, shards)
+
+	// Standing backlog, identical to benchmarkFabricThroughput: quorum-1
+	// tasks each held by a primary assignee plus one speculative duplicate,
+	// so they are neither starved nor speculation candidates.
+	const backlog = 2048
+	for i := 0; i < backlog; i++ {
+		if _, err := fab.CoreEnqueue([]server.TaskSpec{
+			{Records: []string{fmt.Sprintf("backlog-%d", i)}, Classes: 2, Quorum: 1},
+		}); err != nil {
+			b.Fatalf("backlog submit: %v", err)
+		}
+	}
+	for i := 0; i < 2*backlog; i++ {
+		id := fab.CoreJoin(fmt.Sprintf("phantom-%d", i))
+		if _, disp := fab.CoreFetch(id); disp != server.FetchAssigned {
+			b.Fatalf("phantom fetch %d: %v", i, disp)
+		}
+	}
+
+	ws := wire.NewServer(fab)
+	var goroutineSeq atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		seq := goroutineSeq.Add(1)
+		cliConn, srvConn := memPipe()
+		go ws.ServeConn(srvConn)
+		cl, err := wire.NewClient(cliConn)
+		if err != nil {
+			b.Errorf("handshake: %v", err)
+			return
+		}
+		defer cl.Close()
+		workerID, err := cl.Join(fmt.Sprintf("bench-%d", seq))
+		if err != nil {
+			b.Errorf("join failed: %v", err)
+			return
+		}
+		spec := []server.TaskSpec{{Classes: 2, Quorum: 1}}
+		labels := []int{0}
+		i := 0
+		for pb.Next() {
+			i++
+			spec[0].Records = []string{fmt.Sprintf("g%d-i%d", seq, i)}
+			if _, err := cl.SubmitTasks(spec); err != nil {
+				b.Errorf("submit tasks: %v", err)
+				return
+			}
+			a, ok, err := cl.FetchTask(workerID)
+			if err != nil {
+				b.Errorf("fetch: %v", err)
+				return
+			}
+			if ok {
+				if _, _, err := cl.Submit(workerID, a.TaskID, labels); err != nil {
+					b.Errorf("submit answer: %v", err)
+					return
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkWireThroughput(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkWireThroughput(b, shards)
 		})
 	}
 }

@@ -8,7 +8,17 @@
 // Usage:
 //
 //	clamshell-loadgen -shards 8 -workers 64 -clients 8 -tasks 5000
+//	clamshell-loadgen -shards 8 -transport wire -workers 64 -tasks 5000
 //	clamshell-loadgen -url http://localhost:8080 -workers 32 -duration 30s
+//	clamshell-loadgen -url http://localhost:8080 -transport wire \
+//	    -wire-addr localhost:9090 -workers 64 -tasks 10000
+//
+// With -transport wire the hot ops (join, enqueue, fetch, submit,
+// heartbeat, leave) ride the binary wire protocol — one persistent TCP
+// connection per simulated worker — while completion watching and the
+// final accounting stay on JSON/HTTP, mirroring a production split. The
+// in-process mode spins up both listeners itself; against a remote server
+// point -wire-addr at its -listen-wire address.
 //
 // The run ends when every submitted task has a full quorum of answers (or
 // -duration elapses) and prints the achieved op throughput and the
@@ -19,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http/httptest"
 	"strconv"
 	"sync"
@@ -27,10 +38,24 @@ import (
 
 	"github.com/clamshell/clamshell/internal/fabric"
 	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/wire"
 )
+
+// hotClient is the op surface the generators drive; *server.Client (HTTP)
+// and *wire.Client both satisfy it.
+type hotClient interface {
+	Join(name string) (int, error)
+	Heartbeat(workerID int) error
+	Leave(workerID int) error
+	SubmitTasks(tasks []server.TaskSpec) ([]int, error)
+	FetchTask(workerID int) (server.Assignment, bool, error)
+	Submit(workerID, taskID int, labels []int) (accepted, terminated bool, err error)
+}
 
 func main() {
 	url := flag.String("url", "", "target server (empty = in-process fabric)")
+	transport := flag.String("transport", "http", "hot-op transport: http or wire")
+	wireAddr := flag.String("wire-addr", "", "wire-protocol address of the target server (with -url and -transport wire)")
 	shards := flag.Int("shards", 4, "shards for the in-process fabric")
 	workers := flag.Int("workers", 32, "concurrent pool workers")
 	clients := flag.Int("clients", 4, "concurrent task submitters")
@@ -50,10 +75,43 @@ func main() {
 
 	base := *url
 	if base == "" {
-		ts := httptest.NewServer(fabric.New(server.Config{WorkerTimeout: time.Hour}, *shards))
+		fab := fabric.New(server.Config{WorkerTimeout: time.Hour}, *shards)
+		ts := httptest.NewServer(fab)
 		defer ts.Close()
 		base = ts.URL
 		log.Printf("in-process fabric: %d shard(s) at %s", *shards, base)
+		if *transport == "wire" {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatalf("wire listener: %v", err)
+			}
+			defer l.Close()
+			go wire.NewServer(fab).Serve(l)
+			*wireAddr = l.Addr().String()
+			log.Printf("in-process wire listener at %s", *wireAddr)
+		}
+	}
+
+	// newHotClient opens one hot-op connection per generator goroutine:
+	// HTTP clients share the default transport's pool; wire clients each
+	// hold a persistent connection.
+	newHotClient := func() hotClient {
+		switch *transport {
+		case "http":
+			return server.NewClient(base)
+		case "wire":
+			if *wireAddr == "" {
+				log.Fatal("-transport wire needs -wire-addr (or the in-process fabric)")
+			}
+			cl, err := wire.Dial(*wireAddr)
+			if err != nil {
+				log.Fatalf("wire dial: %v", err)
+			}
+			return cl
+		default:
+			log.Fatalf("unknown -transport %q (want http or wire)", *transport)
+			return nil
+		}
 	}
 
 	// Standing backlog: passive priority-0 fill pre-loaded before the run.
@@ -61,7 +119,7 @@ func main() {
 	// backlog stresses the dispatch index on every hand-out decision and is
 	// only drained once the foreground work is exhausted.
 	if *backlog > 0 {
-		pre := server.NewClient(base)
+		pre := newHotClient()
 		for n := 0; n < *backlog; {
 			batch := min(200, *backlog-n)
 			specs := make([]server.TaskSpec, batch)
@@ -103,7 +161,7 @@ func main() {
 		cg.Add(1)
 		go func(c int) {
 			defer cg.Done()
-			cl := server.NewClient(base)
+			cl := newHotClient()
 			budget := perClient
 			if c == 0 {
 				budget += *tasks % *clients
@@ -140,7 +198,7 @@ func main() {
 		wg.Add(1)
 		go func(wkr int) {
 			defer wg.Done()
-			cl := server.NewClient(base)
+			cl := newHotClient()
 			id, err := cl.Join(fmt.Sprintf("loadgen-%d", wkr))
 			if err != nil {
 				log.Printf("worker %d join: %v", wkr, err)

@@ -19,10 +19,19 @@
 // the same directory re-places every task onto the new layout without
 // losing any.
 //
+// With -listen-wire the server additionally speaks the binary wire
+// protocol (internal/wire) on a second listener: the same five hot ops
+// (join, enqueue, fetch, submit, leave/heartbeat) over persistent TCP
+// connections with varint+CRC framing, for worker fleets whose poll rates
+// make JSON/HTTP encode/decode the bottleneck. Both transports route into
+// the same fabric; JSON/HTTP remains the control and compatibility
+// surface.
+//
 // Usage:
 //
-//	clamshell-server -addr :8080 -shards 8 -speculation 1 -worker-timeout 2m \
-//	    -persist-dir /var/lib/clamshell -retention 24h -compact-interval 1m
+//	clamshell-server -addr :8080 -listen-wire :9090 -shards 8 -speculation 1 \
+//	    -worker-timeout 2m -persist-dir /var/lib/clamshell -retention 24h \
+//	    -compact-interval 1m -fsync group
 //
 // API (JSON over HTTP):
 //
@@ -39,15 +48,18 @@ package main
 import (
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"time"
 
 	"github.com/clamshell/clamshell/internal/fabric"
 	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	wireAddr := flag.String("listen-wire", "", "binary wire-protocol listen address, e.g. :9090 (empty = disabled)")
 	shards := flag.Int("shards", 1, "independently-locked pool shards")
 	spec := flag.Int("speculation", 1, "speculative duplicates per outstanding answer")
 	timeout := flag.Duration("worker-timeout", 2*time.Minute, "expire workers after this heartbeat silence")
@@ -55,6 +67,8 @@ func main() {
 	persistDir := flag.String("persist-dir", "", "journal + snapshot directory for durable state (empty = in-memory only)")
 	retention := flag.Duration("retention", 0, "demote completed tasks older than this to vote tallies at compaction (0 = keep full history)")
 	compactInterval := flag.Duration("compact-interval", time.Minute, "how often to compact the op journal into a snapshot (with -persist-dir)")
+	fsync := flag.String("fsync", "group", "op-journal fsync policy: commit (every op), group (batched on a short ticker) or off")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "group-commit batching interval (0 = the journal default)")
 	flag.Parse()
 
 	fab := fabric.New(server.Config{
@@ -67,11 +81,28 @@ func main() {
 			Dir:             *persistDir,
 			Retention:       *retention,
 			CompactInterval: *compactInterval,
+			Fsync:           *fsync,
+			FsyncInterval:   *fsyncInterval,
 		}); err != nil {
 			log.Fatalf("opening persistence: %v", err)
 		}
-		log.Printf("durable state in %s (retention %v, compaction every %v)",
-			*persistDir, *retention, *compactInterval)
+		log.Printf("durable state in %s (retention %v, compaction every %v, fsync %s)",
+			*persistDir, *retention, *compactInterval, *fsync)
+	}
+	if *wireAddr != "" {
+		l, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatalf("wire listener: %v", err)
+		}
+		log.Printf("wire protocol listening on %s", *wireAddr)
+		go func() {
+			// A permanently broken wire listener degrades the server to
+			// HTTP-only rather than killing the live shard state with it
+			// (Serve already retries transient accept errors internally).
+			if err := wire.NewServer(fab).Serve(l); err != nil && !wire.IsClosed(err) {
+				log.Printf("wire server stopped (continuing HTTP-only): %v", err)
+			}
+		}()
 	}
 	log.Printf("clamshell-server listening on %s (%d shard(s))", *addr, fab.NumShards())
 	log.Fatal(http.ListenAndServe(*addr, fab))

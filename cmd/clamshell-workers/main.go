@@ -7,6 +7,12 @@
 //	clamshell-server -addr :8080 &
 //	clamshell-workers -server http://localhost:8080 -n 10 -mean 2s
 //
+// With -wire the workers speak the binary wire protocol instead of
+// JSON/HTTP — one persistent TCP connection per worker:
+//
+//	clamshell-server -addr :8080 -listen-wire :9090 &
+//	clamshell-workers -wire localhost:9090 -n 50 -mean 500ms
+//
 // Workers run until interrupted. A fraction of them can be made stragglers
 // to exercise straggler mitigation.
 package main
@@ -23,11 +29,23 @@ import (
 	"time"
 
 	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/wire"
 )
+
+// workerClient is the protocol surface one simulated worker drives;
+// *server.Client (HTTP) and *wire.Client both satisfy it.
+type workerClient interface {
+	Join(name string) (int, error)
+	Heartbeat(workerID int) error
+	Leave(workerID int) error
+	FetchTask(workerID int) (server.Assignment, bool, error)
+	Submit(workerID, taskID int, labels []int) (accepted, terminated bool, err error)
+}
 
 func main() {
 	var (
 		base     = flag.String("server", "http://localhost:8080", "clamshell-server base URL")
+		wireAddr = flag.String("wire", "", "wire-protocol address (e.g. localhost:9090); empty = JSON/HTTP via -server")
 		n        = flag.Int("n", 10, "number of simulated workers")
 		mean     = flag.Duration("mean", 2*time.Second, "mean per-record work time")
 		accuracy = flag.Float64("accuracy", 0.9, "per-record answer accuracy")
@@ -56,17 +74,32 @@ func main() {
 			if slow {
 				myMean *= 5
 			}
-			runWorker(id, *base, myMean, *accuracy, *poll, rng, stop)
+			var c workerClient
+			if *wireAddr != "" {
+				wc, err := wire.Dial(*wireAddr)
+				if err != nil {
+					log.Printf("sim-%d: wire dial: %v", id, err)
+					return
+				}
+				defer wc.Close()
+				c = wc
+			} else {
+				c = server.NewClient(*base)
+			}
+			runWorker(c, id, myMean, *accuracy, *poll, rng, stop)
 		}(i)
 	}
-	log.Printf("%d simulated workers polling %s (ctrl-c to stop)", *n, *base)
+	target := *base
+	if *wireAddr != "" {
+		target = "wire://" + *wireAddr
+	}
+	log.Printf("%d simulated workers polling %s (ctrl-c to stop)", *n, target)
 	wg.Wait()
 }
 
 // runWorker is one simulated worker's loop: join, poll, work, submit.
-func runWorker(id int, base string, mean time.Duration, accuracy float64,
+func runWorker(c workerClient, id int, mean time.Duration, accuracy float64,
 	poll time.Duration, rng *rand.Rand, stop <-chan struct{}) {
-	c := server.NewClient(base)
 	name := fmt.Sprintf("sim-%d", id)
 	wid, err := c.Join(name)
 	if err != nil {

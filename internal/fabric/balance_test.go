@@ -1,0 +1,105 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+// Sustained asymmetric churn must no longer skew pool sizes across shards.
+// Historically workers were pinned round-robin at join: if departures
+// concentrate on a few shards (a crowd platform draining one worker
+// cohort), those shards' pools starve while joins keep landing evenly and
+// the untouched shards grow without bound. Power-of-two-choices placement
+// steers each join toward the smaller of two candidate shards, which pulls
+// drained shards back up.
+func TestJoinBalanceUnderAsymmetricChurn(t *testing.T) {
+	const n = 8
+	fab := New(server.Config{WorkerTimeout: time.Hour}, n)
+
+	// byShard tracks live worker ids per home shard ((id-1) mod n).
+	byShard := make([][]int, n)
+	seq := 0
+	join := func() {
+		seq++
+		id := fab.CoreJoin(fmt.Sprintf("w%d", seq))
+		s := (id - 1) % n
+		byShard[s] = append(byShard[s], id)
+	}
+	// leaveFrom removes one worker homed on shard s; it reports whether one
+	// was there to remove.
+	leaveFrom := func(s int) bool {
+		k := len(byShard[s])
+		if k == 0 {
+			return false
+		}
+		fab.CoreLeave(byShard[s][k-1])
+		byShard[s] = byShard[s][:k-1]
+		return true
+	}
+
+	const perShard = 20
+	for i := 0; i < perShard*n; i++ {
+		join()
+	}
+
+	// Churn: session turnover at constant volume (one leave, one join per
+	// step), with departures biased toward the cohort homed on shards 0–3 —
+	// those shards lose workers at ~3/16 per step each, the rest at ~1/16.
+	// Blind round-robin refills every shard at a fixed 1/8 < 3/16: the
+	// targeted half drains toward zero while the untouched half absorbs the
+	// surplus, and the skew never heals. Power-of-two-choices compares pool
+	// sizes at join time, so the drained shards win placements until the
+	// fabric levels out. The generator is seeded: the run is reproducible.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		s := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			s = rng.Intn(4)
+		}
+		if leaveFrom(s) {
+			join()
+		}
+	}
+
+	sizes := fab.PoolSizes()
+	total, minSz, maxSz := 0, 1<<30, 0
+	for s, sz := range sizes {
+		if sz != len(byShard[s]) {
+			t.Fatalf("shard %d PoolSize %d != tracked %d", s, sz, len(byShard[s]))
+		}
+		total += sz
+		if sz < minSz {
+			minSz = sz
+		}
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if total != perShard*n {
+		t.Fatalf("total pool size %d, want %d", total, perShard*n)
+	}
+	mean := total / n
+	if minSz == 0 {
+		t.Fatalf("a shard drained to zero under churn: %v", sizes)
+	}
+	if maxSz > 2*mean || minSz < mean/3 {
+		t.Fatalf("pool sizes skewed under churn: %v (mean %d)", sizes, mean)
+	}
+}
+
+// On a balanced fabric with no churn, placement degrades to the historical
+// deterministic round-robin: sequential joins stripe ids 1,2,3,… (ties in
+// the two-choice comparison go to the rotation candidate). This pins the
+// compatibility property the other protocol tests rely on.
+func TestJoinBalancedFallsBackToRoundRobin(t *testing.T) {
+	fab := New(server.Config{WorkerTimeout: time.Hour}, 4)
+	for want := 1; want <= 32; want++ {
+		if got := fab.CoreJoin(fmt.Sprintf("w%d", want)); got != want {
+			t.Fatalf("join #%d got id %d (round-robin tie-break broken)", want, got)
+		}
+	}
+}

@@ -44,7 +44,8 @@ type Fabric struct {
 	mux       *http.ServeMux
 	now       func() time.Time
 	startedAt time.Time
-	nextHome  atomic.Uint64 // round-robin worker pinning
+	nextHome  atomic.Uint64 // rotation candidate for worker pinning
+	probe     atomic.Uint64 // counter behind the second join-placement probe
 
 	// persist is the journal engine (nil until OpenPersist); atomic so
 	// handlers can read it while a restore rebuilds or a close tears it
@@ -68,16 +69,10 @@ func New(cfg server.Config, n int) *Fabric {
 	}
 	f.startedAt = f.now()
 	f.mux = http.NewServeMux()
-	f.mux.HandleFunc("POST /api/join", f.handleJoin)
-	f.mux.HandleFunc("POST /api/heartbeat", f.handleHeartbeat)
-	f.mux.HandleFunc("POST /api/leave", f.handleLeave)
-	f.mux.HandleFunc("POST /api/tasks", f.handleSubmitTasks)
-	f.mux.HandleFunc("GET /api/task", f.handleFetchTask)
-	f.mux.HandleFunc("POST /api/submit", f.handleSubmitAnswer)
+	server.RegisterCoreRoutes(f.mux, f)
 	f.mux.HandleFunc("GET /api/status", f.handleStatus)
 	f.mux.HandleFunc("GET /api/workers", f.handleWorkers)
 	f.mux.HandleFunc("GET /api/costs", f.handleCosts)
-	f.mux.HandleFunc("GET /api/result", f.handleResult)
 	f.mux.HandleFunc("GET /api/consensus", f.handleConsensus)
 	f.mux.HandleFunc("GET /api/snapshot", f.handleSnapshot)
 	f.mux.HandleFunc("POST /api/restore", f.handleRestore)
@@ -110,9 +105,38 @@ func (f *Fabric) placeShard(spec server.TaskSpec) *server.Shard {
 	return f.shards[hashring.Jump(hashring.HashStrings(spec.Records), len(f.shards))]
 }
 
-// homeShard picks the next shard for a joining worker (round-robin).
+// homeShard picks the shard for a joining worker: power-of-two-choices on
+// current pool size. Candidate A rotates round-robin; candidate B is a
+// pseudo-random probe (a counter mixed through splitmix64 — cheap,
+// lock-free, and deterministic across runs so protocol tests stay
+// reproducible). The smaller pool wins; ties go to the rotation, so on a
+// balanced fabric placement is exactly the historical round-robin.
 func (f *Fabric) homeShard() *server.Shard {
-	return f.shards[int((f.nextHome.Add(1)-1)%uint64(len(f.shards)))]
+	n := uint64(len(f.shards))
+	a := f.shards[int((f.nextHome.Add(1)-1)%n)]
+	if n == 1 {
+		return a
+	}
+	x := f.probe.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if b := f.shards[int(x%n)]; b != a && b.PoolSize() < a.PoolSize() {
+		return b
+	}
+	return a
+}
+
+// PoolSizes reports the current worker-pool size of every shard (ops
+// visibility and the churn-balance regression test).
+func (f *Fabric) PoolSizes() []int {
+	out := make([]int, len(f.shards))
+	for i, sh := range f.shards {
+		out[i] = sh.PoolSize()
+	}
+	return out
 }
 
 // release resolves any cross-shard assignments orphaned by worker removal

@@ -1,171 +1,110 @@
 package fabric
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
-	"net/http"
-	"strconv"
-
 	"github.com/clamshell/clamshell/internal/server"
 )
 
-// Protocol endpoints. Each handler routes by the id→shard mapping and
-// composes exported Shard operations; error precedence and response bodies
-// match internal/server exactly.
+// The fabric's server.Core implementation: the transport-agnostic routing
+// layer behind both the JSON/HTTP shim (server.RegisterCoreRoutes) and the
+// binary wire transport (internal/wire). Each op routes by the id→shard
+// mapping and composes exported Shard operations; error precedence and
+// outcomes match the single-shard Core exactly (internal/fabric's compat
+// test pins the HTTP surface byte-for-byte).
 
-func intField(r *http.Request, field string) (int, error) {
-	var body map[string]int
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		return 0, fmt.Errorf("decoding body: %w", err)
-	}
-	v, ok := body[field]
-	if !ok {
-		return 0, fmt.Errorf("missing field %q", field)
-	}
-	return v, nil
+// CoreJoin pins the worker to a home shard and admits it. Placement is
+// power-of-two-choices on current pool size: the round-robin candidate is
+// compared against one pseudo-randomly probed shard and the smaller pool
+// wins (ties go to the round-robin pick, so a balanced fabric degrades to
+// the historical deterministic rotation). Under sustained asymmetric churn
+// this steers joins toward drained shards instead of letting pool sizes
+// skew (see balance_test.go).
+func (f *Fabric) CoreJoin(name string) int {
+	return f.homeShard().Join(name)
 }
 
-func intQuery(r *http.Request, key string) (int, error) {
-	// strconv.Atoi rejects trailing garbage ("12abc"), which fmt.Sscanf
-	// silently accepted as 12 — must stay identical to internal/server's.
-	v, err := strconv.Atoi(r.URL.Query().Get(key))
-	if err != nil {
-		return 0, fmt.Errorf("missing or bad query parameter %q", key)
-	}
-	return v, nil
+// CoreHeartbeat keeps a waiting worker alive on its home shard.
+func (f *Fabric) CoreHeartbeat(workerID int) bool {
+	sh := f.shardOf(workerID)
+	return sh != nil && sh.Heartbeat(workerID)
 }
 
-// handleJoin pins the worker to a home shard (round-robin) and admits it.
-func (f *Fabric) handleJoin(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Name string `json:"name"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding join request: %w", err))
-		return
-	}
-	id := f.homeShard().Join(req.Name)
-	writeJSON(w, http.StatusOK, map[string]int{"worker_id": id})
-}
-
-// handleHeartbeat keeps a waiting worker alive on its home shard.
-func (f *Fabric) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
-	id, err := intField(r, "worker_id")
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	sh := f.shardOf(id)
-	if sh == nil || !sh.Heartbeat(id) {
-		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-}
-
-// handleLeave removes a worker; a local assignment returns to the queue
+// CoreLeave removes a worker; a local assignment returns to the queue
 // directly and a stolen one is released on the task's shard.
-func (f *Fabric) handleLeave(w http.ResponseWriter, r *http.Request) {
-	id, err := intField(r, "worker_id")
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if sh := f.shardOf(id); sh != nil {
-		sh.Leave(id)
+func (f *Fabric) CoreLeave(workerID int) {
+	if sh := f.shardOf(workerID); sh != nil {
+		sh.Leave(workerID)
 		f.release(sh)
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-// handleSubmitTasks places each task on a shard by consistent-hashing its
+// CoreEnqueue places each task on a shard by consistent-hashing its
 // records; ids are returned in request order.
-func (f *Fabric) handleSubmitTasks(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Tasks []server.TaskSpec `json:"tasks"`
+func (f *Fabric) CoreEnqueue(specs []server.TaskSpec) ([]int, error) {
+	if len(specs) == 0 {
+		return nil, server.ErrNoTasksGiven
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding tasks: %w", err))
-		return
-	}
-	if len(req.Tasks) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("no tasks given"))
-		return
-	}
-	ids := make([]int, 0, len(req.Tasks))
-	for _, spec := range req.Tasks {
+	ids := make([]int, 0, len(specs))
+	for _, spec := range specs {
 		if len(spec.Records) == 0 {
-			writeErr(w, http.StatusBadRequest, errors.New("task with no records"))
-			return
+			return nil, server.ErrTaskNoRecords
 		}
 		ids = append(ids, f.placeShard(spec).Enqueue(spec))
 	}
-	writeJSON(w, http.StatusOK, map[string][]int{"task_ids": ids})
+	return ids, nil
 }
 
-// handleFetchTask hands the next task to a polling worker: the home
-// shard's own queue first, then — stealing across the fabric — starved
-// tasks on any shard before speculative duplicates on any shard. 204 means
+// CoreFetch hands the next task to a polling worker: the home shard's own
+// queue first, then — stealing across the fabric — starved tasks on any
+// shard before speculative duplicates on any shard. FetchNoWork means
 // "keep waiting".
-func (f *Fabric) handleFetchTask(w http.ResponseWriter, r *http.Request) {
-	id, err := intQuery(r, "worker_id")
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	home := f.shardOf(id)
+func (f *Fabric) CoreFetch(workerID int) (server.Assignment, server.FetchDisposition) {
+	home := f.shardOf(workerID)
 	if home == nil {
-		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
-		return
+		return server.Assignment{}, server.FetchNoWorker
 	}
-	current, st := home.BeginFetch(id)
+	current, st := home.BeginFetch(workerID)
 	f.release(home)
 	switch st {
 	case server.FetchRetired:
-		writeErr(w, http.StatusGone, errors.New("no more tasks available"))
-		return
+		return server.Assignment{}, server.FetchGoneRetired
 	case server.FetchUnknown:
-		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
-		return
+		return server.Assignment{}, server.FetchNoWorker
 	case server.FetchCurrent:
 		// Re-deliver the in-flight assignment (lost response tolerance) —
 		// possibly from another shard if it was stolen.
 		if owner := f.shardOf(current); owner != nil {
 			if payload, ok := owner.TaskPayload(current); ok {
-				writeJSON(w, http.StatusOK, payload)
-				return
+				return payload, server.FetchAssigned
 			}
 		}
 		// The stolen task's payload is gone (e.g. the owning shard was
-		// restored away from under the assignment). Answering 204 while the
-		// assignment stands would wedge the worker into empty polls forever:
-		// clear the dangling assignment and fall through to a fresh pick.
-		home.ClearAssignment(id, current)
+		// restored away from under the assignment). Answering "no work"
+		// while the assignment stands would wedge the worker into empty
+		// polls forever: clear the dangling assignment and fall through to a
+		// fresh pick.
+		home.ClearAssignment(workerID, current)
 	}
 
 	// Starved work anywhere in the fabric beats speculation anywhere:
 	// local starved, stolen starved, then (local first) speculative.
 	for _, starvedOnly := range []bool{true, false} {
-		if payload, ok := home.PickLocal(id, starvedOnly); ok {
-			writeJSON(w, http.StatusOK, payload)
-			return
+		if payload, ok := home.PickLocal(workerID, starvedOnly); ok {
+			return payload, server.FetchAssigned
 		}
-		if payload, ok := f.steal(home, id, starvedOnly); ok {
-			writeJSON(w, http.StatusOK, payload)
-			return
+		if payload, ok := f.steal(home, workerID, starvedOnly); ok {
+			return payload, server.FetchAssigned
 		}
 	}
-	w.WriteHeader(http.StatusNoContent)
+	return server.Assignment{}, server.FetchNoWork
 }
 
 // steal runs one ring pass over the other shards for an idle worker homed
 // on home. A successful pick is recorded on the home shard; if the worker
 // vanished or got work concurrently, the steal rolls back.
-func (f *Fabric) steal(home *server.Shard, workerID int, starvedOnly bool) (map[string]any, bool) {
+func (f *Fabric) steal(home *server.Shard, workerID int, starvedOnly bool) (server.Assignment, bool) {
 	n := len(f.shards)
 	if n == 1 {
-		return nil, false
+		return server.Assignment{}, false
 	}
 	homeIdx := (workerID - 1) % n // the same stripe rule shardOf uses
 	for off := 1; off < n; off++ {
@@ -178,78 +117,56 @@ func (f *Fabric) steal(home *server.Shard, workerID int, starvedOnly bool) (map[
 			return payload, true
 		}
 		sh.ReleaseActive(tid, workerID)
-		return nil, false
+		return server.Assignment{}, false
 	}
-	return nil, false
+	return server.Assignment{}, false
 }
 
-// handleSubmitAnswer ingests a completed assignment: the task-side half on
-// the task's shard (validation, termination race, pay, quorum), then the
+// CoreSubmit ingests a completed assignment: the task-side half on the
+// task's shard (validation, termination race, pay, quorum), then the
 // worker-side half on the worker's home shard (latency, maintenance,
 // restart of the paid-wait span).
-func (f *Fabric) handleSubmitAnswer(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		WorkerID int   `json:"worker_id"`
-		TaskID   int   `json:"task_id"`
-		Labels   []int `json:"labels"`
+func (f *Fabric) CoreSubmit(workerID, taskID int, labels []int) (server.SubmitReply, *server.CoreError) {
+	home := f.shardOf(workerID)
+	if home == nil || !home.WorkerKnown(workerID) {
+		return server.SubmitReply{}, &server.CoreError{NotFound: true, Err: server.ErrUnknownWorker}
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding answer: %w", err))
-		return
-	}
-	home := f.shardOf(req.WorkerID)
-	if home == nil || !home.WorkerKnown(req.WorkerID) {
-		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
-		return
-	}
-	owner := f.shardOf(req.TaskID)
+	owner := f.shardOf(taskID)
 	if owner == nil {
-		writeErr(w, http.StatusNotFound, errors.New("unknown task"))
-		return
+		return server.SubmitReply{}, &server.CoreError{NotFound: true, Err: server.ErrUnknownTask}
 	}
-	outcome, records, err := owner.AcceptAnswer(req.TaskID, req.WorkerID, req.Labels)
+	outcome, records, err := owner.AcceptAnswer(taskID, workerID, labels)
 	switch outcome {
 	case server.SubmitUnknownTask:
-		writeErr(w, http.StatusNotFound, err)
+		return server.SubmitReply{}, &server.CoreError{NotFound: true, Err: err}
 	case server.SubmitBadLabels:
-		writeErr(w, http.StatusBadRequest, err)
+		return server.SubmitReply{}, &server.CoreError{Err: err}
 	case server.SubmitDuplicate:
 		// A replayed submission (client retry after a lost response): the
 		// answer is already on the books. Re-acknowledge without paying
 		// again or double-counting the worker's completion stats.
-		writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "terminated": false})
+		return server.SubmitReply{Accepted: true}, nil
 	case server.SubmitDuplicateTerminated:
 		// Same, for a replayed straggler submission that already lost the
 		// race: the original termination was acknowledged and paid once.
-		writeJSON(w, http.StatusOK, map[string]bool{"accepted": false, "terminated": true})
+		return server.SubmitReply{Terminated: true}, nil
 	case server.SubmitTerminated:
 		// A straggler losing the race: acknowledged, paid, discarded.
-		home.FinishAssignment(req.WorkerID, req.TaskID, records)
+		home.FinishAssignment(workerID, taskID, records)
 		f.release(home) // maintenance may have retired the worker mid-steal
-		writeJSON(w, http.StatusOK, map[string]bool{"accepted": false, "terminated": true})
-	case server.SubmitAccepted:
-		home.FinishAssignment(req.WorkerID, req.TaskID, records)
+		return server.SubmitReply{Terminated: true}, nil
+	default: // server.SubmitAccepted
+		home.FinishAssignment(workerID, taskID, records)
 		f.release(home)
-		writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "terminated": false})
+		return server.SubmitReply{Accepted: true}, nil
 	}
 }
 
-// handleResult returns a task's status from its owning shard.
-func (f *Fabric) handleResult(w http.ResponseWriter, r *http.Request) {
-	id, err := intQuery(r, "task_id")
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	owner := f.shardOf(id)
+// CoreResult returns a task's status from its owning shard.
+func (f *Fabric) CoreResult(taskID int) (server.TaskStatus, bool) {
+	owner := f.shardOf(taskID)
 	if owner == nil {
-		writeErr(w, http.StatusNotFound, errors.New("unknown task"))
-		return
+		return server.TaskStatus{}, false
 	}
-	st, ok := owner.ResultStatus(id)
-	if !ok {
-		writeErr(w, http.StatusNotFound, errors.New("unknown task"))
-		return
-	}
-	writeJSON(w, http.StatusOK, st)
+	return owner.ResultStatus(taskID)
 }

@@ -40,6 +40,16 @@ type PersistOptions struct {
 	// disables the background pass; compaction then only happens via
 	// CompactAll (tests, or an explicit restore).
 	CompactInterval time.Duration
+
+	// Fsync selects the op-journal fsync policy: "group" (the default —
+	// appends are batched onto a short ticker, so wire-speed submit rates
+	// never serialize on the disk), "commit" (fsync every op before
+	// acknowledging) or "off" (journal reaches disk at compaction only).
+	Fsync string
+
+	// FsyncInterval is the group-commit batching interval (<= 0 selects
+	// journal.DefaultGroupInterval).
+	FsyncInterval time.Duration
 }
 
 // fabricManifest pins the shard count a persist directory was written
@@ -57,8 +67,9 @@ const fabricManifestVersion = 1
 const resizeName = "RESIZE"
 
 type persistState struct {
-	opts   PersistOptions
-	stores []*journal.Store
+	opts     PersistOptions
+	syncMode journal.SyncMode
+	stores   []*journal.Store
 
 	// compactMu serializes whole compaction cycles (and store rebuilds):
 	// two interleaved Rotate/Commit cycles on one store could move the
@@ -88,6 +99,10 @@ func (f *Fabric) OpenPersist(opts PersistOptions) error {
 	}
 	if opts.Dir == "" {
 		return errors.New("fabric: persist dir required")
+	}
+	syncMode, err := journal.ParseSyncMode(opts.Fsync)
+	if err != nil {
+		return err
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return err
@@ -139,7 +154,7 @@ func (f *Fabric) OpenPersist(opts PersistOptions) error {
 		return err
 	}
 
-	p := &persistState{opts: opts, stores: make([]*journal.Store, n)}
+	p := &persistState{opts: opts, syncMode: syncMode, stores: make([]*journal.Store, n)}
 	f.persist.Store(p)
 	if haveMerged {
 		// Recommit the checkpointed state under the current layout. A boot
@@ -164,6 +179,7 @@ func (f *Fabric) OpenPersist(opts PersistOptions) error {
 				f.persist.Store(nil)
 				return fmt.Errorf("fabric: recovering shard %d: %w", i, err)
 			}
+			st.SetSync(p.syncMode, opts.FsyncInterval)
 			p.stores[i] = st
 		}
 	}
@@ -233,6 +249,7 @@ func (f *Fabric) recommitLocked(st server.SnapshotState) (err error) {
 		if err != nil {
 			return fmt.Errorf("fabric: rebuilding shard %d store: %w", i, err)
 		}
+		store.SetSync(p.syncMode, p.opts.FsyncInterval)
 		// ImportState marks the imported tallies dirty, so the compaction
 		// below writes them into the fresh retained log.
 		sh.ImportState(per[i])

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Store is one shard's durability directory:
@@ -37,6 +38,124 @@ type Store struct {
 	walOps uint64 // records in the current wal
 	err    error  // first write-path error since the last healing commit (see Err)
 	errGen uint64 // generation current when err was recorded
+
+	// Fsync policy (see SetSync). dirty marks appended-but-unsynced wal
+	// bytes in group mode; syncs counts wal fsyncs (observability + tests).
+	mode      SyncMode
+	dirty     bool
+	syncs     uint64
+	groupStop chan struct{}
+	groupDone chan struct{}
+}
+
+// SyncMode selects when the op log is fsynced. The zero value is SyncOff —
+// the historical behavior, where the wal reaches the disk at rotation and
+// commit only. Callers that want power-loss durability for individual ops
+// pick SyncCommit (one fsync per append, serializing wire-speed submit
+// rates on the disk) or SyncGroup (appends mark the log dirty and a short
+// ticker batches the fsyncs — bounded data loss, no per-op disk stall).
+type SyncMode int
+
+const (
+	// SyncOff: no per-op fsync; rotation and commit still sync.
+	SyncOff SyncMode = iota
+	// SyncCommit: fsync on every appended op before Append returns.
+	SyncCommit
+	// SyncGroup: batch fsyncs on the group ticker (the default interval is
+	// DefaultGroupInterval); an op is durable once the next tick fires.
+	SyncGroup
+)
+
+// DefaultGroupInterval is the group-commit ticker period when the caller
+// does not choose one.
+const DefaultGroupInterval = 5 * time.Millisecond
+
+// ParseSyncMode maps the operator-facing -fsync flag values. The empty
+// string selects group commit (the recommended default).
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "", "group":
+		return SyncGroup, nil
+	case "commit":
+		return SyncCommit, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return SyncOff, fmt.Errorf("journal: unknown fsync mode %q (want commit, group or off)", s)
+}
+
+// SetSync sets the store's fsync policy. interval applies to SyncGroup
+// (<= 0 selects DefaultGroupInterval). Call it before serving traffic;
+// switching modes stops any previous group ticker.
+func (s *Store) SetSync(mode SyncMode, interval time.Duration) {
+	s.mu.Lock()
+	stop, done := s.groupStop, s.groupDone
+	s.groupStop, s.groupDone = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mode = mode
+	if mode != SyncGroup {
+		return
+	}
+	if interval <= 0 {
+		interval = DefaultGroupInterval
+	}
+	s.groupStop = make(chan struct{})
+	s.groupDone = make(chan struct{})
+	go s.groupLoop(s.groupStop, s.groupDone, interval)
+}
+
+// groupLoop is the group-commit ticker: it fsyncs the wal whenever ops
+// accumulated since the previous tick.
+func (s *Store) groupLoop(stop, done chan struct{}, interval time.Duration) {
+	defer close(done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			// Drain once on shutdown so the last batch is not lost to a
+			// clean Close racing the ticker.
+			s.syncDirty()
+			return
+		case <-t.C:
+			s.syncDirty()
+		}
+	}
+}
+
+// syncDirty fsyncs the wal if group-mode appends are pending.
+func (s *Store) syncDirty() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty {
+		return
+	}
+	s.dirty = false
+	s.syncs++
+	if err := s.wal.Sync(); err != nil {
+		s.failLocked(err)
+	}
+}
+
+// SyncPending reports whether group-mode appends are awaiting their batch
+// fsync.
+func (s *Store) SyncPending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dirty
+}
+
+// WALSyncs returns how many wal fsyncs the store has issued (all modes).
+func (s *Store) WALSyncs() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs
 }
 
 // Recovered is the durable state Open found: the committed snapshot (nil if
@@ -268,6 +387,13 @@ func (s *Store) Append(op Op) error {
 		err = AppendRecord(s.wal, payload)
 		if err == nil {
 			s.walOps++
+			switch s.mode {
+			case SyncCommit:
+				s.syncs++
+				err = s.wal.Sync()
+			case SyncGroup:
+				s.dirty = true
+			}
 		}
 		s.mu.Unlock()
 	}
@@ -375,6 +501,8 @@ func (s *Store) Commit(gen uint64, snapshot []byte, newTallies [][]byte) error {
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.dirty = false
+	s.syncs++
 	if err := s.wal.Sync(); err != nil {
 		s.failLocked(err)
 		return err
@@ -382,8 +510,17 @@ func (s *Store) Sync() error {
 	return nil
 }
 
-// Close syncs and closes the store's files.
+// Close stops the group-commit ticker (flushing any pending batch), then
+// syncs and closes the store's files.
 func (s *Store) Close() error {
+	s.mu.Lock()
+	stop, done := s.groupStop, s.groupDone
+	s.groupStop, s.groupDone = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := s.wal.Sync()

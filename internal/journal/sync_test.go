@@ -1,0 +1,142 @@
+package journal
+
+import (
+	"testing"
+	"time"
+)
+
+// Group commit — the default fsync policy the fabric opens stores with —
+// must make every acknowledged op durable within one ticker interval
+// without issuing one fsync per op: appends mark the wal dirty, the ticker
+// batches the sync, and a reopened store recovers everything that was
+// acknowledged.
+func TestGroupCommitDurability(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode, err := ParseSyncMode(""); err != nil || mode != SyncGroup {
+		t.Fatalf("default fsync mode = %v, %v; want group", mode, err)
+	}
+	st.SetSync(SyncGroup, time.Millisecond)
+
+	const ops = 100
+	for i := 1; i <= ops; i++ {
+		if err := st.Append(Op{T: OpJoin, Worker: i}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// The batch drains within a few ticks, not one fsync per op.
+	deadline := time.Now().Add(2 * time.Second)
+	for st.SyncPending() {
+		if time.Now().After(deadline) {
+			t.Fatal("group commit never synced the pending batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := st.WALSyncs(); n == 0 || n >= ops {
+		t.Fatalf("group mode issued %d fsyncs for %d ops; want batched (0 < n < ops)", n, ops)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(rec.Ops) != ops {
+		t.Fatalf("recovered %d ops, want %d", len(rec.Ops), ops)
+	}
+	for i, op := range rec.Ops {
+		if op.T != OpJoin || op.Worker != i+1 {
+			t.Fatalf("op %d recovered as %+v", i, op)
+		}
+	}
+}
+
+// Commit mode fsyncs before Append returns: nothing is ever pending and
+// every op pays a sync.
+func TestCommitModeSyncsEveryAppend(t *testing.T) {
+	st, _, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetSync(SyncCommit, 0)
+	for i := 1; i <= 10; i++ {
+		if err := st.Append(Op{T: OpJoin, Worker: i}); err != nil {
+			t.Fatal(err)
+		}
+		if st.SyncPending() {
+			t.Fatal("commit mode left a pending batch")
+		}
+		if n := st.WALSyncs(); n != uint64(i) {
+			t.Fatalf("after %d ops: %d fsyncs, want one per op", i, n)
+		}
+	}
+}
+
+// Off mode never syncs on the append path (rotation and commit still do) —
+// the historical zero-value behavior.
+func TestOffModeNeverSyncsOnAppend(t *testing.T) {
+	st, _, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetSync(SyncOff, 0)
+	for i := 1; i <= 10; i++ {
+		if err := st.Append(Op{T: OpJoin, Worker: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := st.WALSyncs(); n != 0 {
+		t.Fatalf("off mode issued %d append-path fsyncs", n)
+	}
+}
+
+// Switching policies stops the previous group ticker and flushes its
+// pending batch, so no acknowledged op is stranded un-synced.
+func TestSetSyncSwitchFlushesPending(t *testing.T) {
+	st, _, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetSync(SyncGroup, time.Hour) // a tick that will never fire
+	if err := st.Append(Op{T: OpJoin, Worker: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.SyncPending() {
+		t.Fatal("append did not mark the wal dirty in group mode")
+	}
+	st.SetSync(SyncOff, 0)
+	if st.SyncPending() {
+		t.Fatal("switching policies stranded a pending batch")
+	}
+	if st.WALSyncs() == 0 {
+		t.Fatal("pending batch was dropped instead of flushed")
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncMode
+		ok   bool
+	}{
+		{"", SyncGroup, true},
+		{"group", SyncGroup, true},
+		{"commit", SyncCommit, true},
+		{"off", SyncOff, true},
+		{"always", SyncOff, false},
+	} {
+		got, err := ParseSyncMode(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParseSyncMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}

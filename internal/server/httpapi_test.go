@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The strict single-field decoder replaced the map[string]int unmarshal:
+// same tolerance for unknown fields, but no per-request map allocation and
+// duplicate occurrences of the wanted field are rejected instead of
+// silently last-wins.
+func TestDecodeIntFieldStrict(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+		ok   bool
+	}{
+		{"plain", `{"worker_id":7}`, 7, true},
+		{"whitespace", ` { "worker_id" : 42 } `, 42, true},
+		{"negative", `{"worker_id":-3}`, -3, true},
+		{"unknown fields skipped", `{"x":"s","nested":{"worker_id":1},"arr":[1,{"a":2}],"worker_id":9,"b":true}`, 9, true},
+		{"trailing content ignored", `{"worker_id":5} garbage`, 5, true},
+		{"missing", `{"nope":1}`, 0, false},
+		{"empty object", `{}`, 0, false},
+		{"duplicate rejected", `{"worker_id":1,"worker_id":2}`, 0, false},
+		{"float rejected", `{"worker_id":1.5}`, 0, false},
+		{"exponent rejected", `{"worker_id":1e3}`, 0, false},
+		{"string rejected", `{"worker_id":"7"}`, 0, false},
+		{"truncated", `{"worker_id":`, 0, false},
+		{"not an object", `[1,2]`, 0, false},
+		{"empty body", ``, 0, false},
+	} {
+		got, err := decodeIntField([]byte(tc.body), "worker_id")
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("%s: decodeIntField(%q) = %d, %v; want %d, ok=%v", tc.name, tc.body, got, err, tc.want, tc.ok)
+		}
+	}
+	if _, err := decodeIntField([]byte(`{"nope":1}`), "worker_id"); err == nil ||
+		!strings.Contains(err.Error(), `missing field "worker_id"`) {
+		t.Errorf("missing-field error = %v", err)
+	}
+}
+
+// encoding/json treated null as "leave the zero value" at every position;
+// JS-style clients that serialize absent fields as null depend on it, so
+// the hand-rolled decoders must keep that tolerance.
+func TestDecodersAcceptNull(t *testing.T) {
+	if v, err := decodeIntField([]byte(`{"worker_id":null}`), "worker_id"); err != nil || v != 0 {
+		t.Errorf("null int field = %d, %v", v, err)
+	}
+	if _, err := decodeIntField([]byte(`null`), "worker_id"); err == nil ||
+		!strings.Contains(err.Error(), `missing field`) {
+		t.Errorf("null body should read as empty object, got %v", err)
+	}
+	if v, err := decodeStringField([]byte(`{"name":null}`), "name"); err != nil || v != "" {
+		t.Errorf("null string field = %q, %v", v, err)
+	}
+	if v, err := decodeStringField([]byte(`null`), "name"); err != nil || v != "" {
+		t.Errorf("null join body = %q, %v", v, err)
+	}
+	w, task, labels, err := decodeSubmitBody([]byte(`{"worker_id":null,"task_id":null,"labels":null}`))
+	if err != nil || w != 0 || task != 0 || labels != nil {
+		t.Errorf("null submit fields = %d %d %v %v", w, task, labels, err)
+	}
+	if _, _, labels, err := decodeSubmitBody([]byte(`{"labels":[1,null,2]}`)); err != nil ||
+		!reflect.DeepEqual(labels, []int{1, 0, 2}) {
+		t.Errorf("null label element = %v, %v", labels, err)
+	}
+	if specs, err := decodeTaskSpecs([]byte(`{"tasks":null}`)); err != nil || specs != nil {
+		t.Errorf("null tasks = %+v, %v", specs, err)
+	}
+	specs, err := decodeTaskSpecs([]byte(`{"tasks":[{"records":["a",null],"classes":null,"quorum":null,"priority":null}]}`))
+	if err != nil || !reflect.DeepEqual(specs, []TaskSpec{{Records: []string{"a", ""}}}) {
+		t.Errorf("null spec fields = %+v, %v", specs, err)
+	}
+	// "nullx" is not the null literal.
+	if _, err := decodeIntField([]byte(`{"worker_id":nullx}`), "worker_id"); err == nil {
+		t.Error("nullx accepted as null")
+	}
+}
+
+func TestDecodeSubmitBodyStrict(t *testing.T) {
+	w, task, labels, err := decodeSubmitBody([]byte(`{"worker_id":3,"task_id":9,"labels":[0,2,1]}`))
+	if err != nil || w != 3 || task != 9 || !reflect.DeepEqual(labels, []int{0, 2, 1}) {
+		t.Fatalf("decodeSubmitBody = %d %d %v %v", w, task, labels, err)
+	}
+	// Absent fields default to zero values, matching the historical struct
+	// decode (the core then answers unknown-worker / bad-labels).
+	if w, task, labels, err := decodeSubmitBody([]byte(`{}`)); err != nil || w != 0 || task != 0 || labels != nil {
+		t.Fatalf("empty submit = %d %d %v %v", w, task, labels, err)
+	}
+	for _, bad := range []string{
+		`{"worker_id":1,"worker_id":2,"task_id":3,"labels":[0]}`,
+		`{"labels":[0],"labels":[1]}`,
+		`{"labels":[0.5]}`,
+		`{"labels":1}`,
+		`{"worker_id":}`,
+		`nope`,
+	} {
+		if _, _, _, err := decodeSubmitBody([]byte(bad)); err == nil {
+			t.Errorf("decodeSubmitBody(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDecodeTaskSpecs(t *testing.T) {
+	specs, err := decodeTaskSpecs([]byte(
+		`{"tasks":[{"records":["a","b\nA"],"classes":3,"quorum":2,"priority":-1},{"records":[]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TaskSpec{
+		{Records: []string{"a", "b\nA"}, Classes: 3, Quorum: 2, Priority: -1},
+		{Records: []string{}},
+	}
+	if !reflect.DeepEqual(specs, want) {
+		t.Fatalf("decodeTaskSpecs = %+v, want %+v", specs, want)
+	}
+	if specs, err := decodeTaskSpecs([]byte(`{"tasks":[]}`)); err != nil || len(specs) != 0 {
+		t.Fatalf("empty tasks = %+v, %v", specs, err)
+	}
+	for _, bad := range []string{`{"tasks":1}`, `{"tasks":[{"records":1}]}`, `{`, `{"tasks":[{]}`} {
+		if _, err := decodeTaskSpecs([]byte(bad)); err == nil {
+			t.Errorf("decodeTaskSpecs(%q) accepted", bad)
+		}
+	}
+}
+
+// The hand-rolled response encoder must emit exactly what encoding/json's
+// HTML-escaping encoder would for any string, since error bodies and
+// assignment records pass arbitrary user text through it.
+func TestAppendJSONStringMatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		"", "plain", `quo"te`, `back\slash`, "new\nline", "tab\tcr\r",
+		"ctl\x01\x1f", "<script>&amp;</script>", "unicode ☺ 你好",
+		"line sep ", "invalid\xffutf8", "high \U0001F600 plane",
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONString(nil, s)
+		if string(got) != string(want) {
+			t.Errorf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}

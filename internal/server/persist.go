@@ -264,6 +264,8 @@ func (s *Shard) ImportState(st SnapshotState) {
 		s.reindex(u)
 	}
 	s.workers = make(map[int]*poolWorker)
+	s.poolSize.Store(0)
+	s.nextExpiry = time.Time{}
 	s.nextTask = st.NextTask
 	s.nextWorker = st.NextWorker
 	s.terminated = st.Terminated

@@ -13,7 +13,6 @@ package server
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -162,6 +161,19 @@ type Shard struct {
 	// mirrors len(orphans) so DrainOrphans can skip the lock when empty.
 	orphans     []Orphan
 	orphanCount atomic.Int32
+
+	// poolSize mirrors len(workers) so the fabric's join-time
+	// power-of-two-choices placement can compare pool sizes without taking
+	// shard locks.
+	poolSize atomic.Int32
+
+	// nextExpiry is a lower bound on the earliest instant any worker can
+	// expire: min(lastSeen) + WorkerTimeout as of the last full expiry
+	// scan. lastSeen only moves forward and joins start at now, so until
+	// this instant an expiry scan cannot find anything — expireWorkers
+	// returns in O(1) instead of walking every worker on every poll (the
+	// scan was the routing hot path's dominant cost on large pools).
+	nextExpiry time.Time
 }
 
 // Orphan is a cross-shard assignment left dangling by a removed worker.
@@ -234,16 +246,10 @@ func New(cfg Config) *Server {
 	s := &Server{}
 	initShard(&s.Shard, cfg, 0, 1)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /api/join", s.handleJoin)
-	s.mux.HandleFunc("POST /api/heartbeat", s.handleHeartbeat)
-	s.mux.HandleFunc("POST /api/leave", s.handleLeave)
-	s.mux.HandleFunc("POST /api/tasks", s.handleSubmitTasks)
-	s.mux.HandleFunc("GET /api/task", s.handleFetchTask)
-	s.mux.HandleFunc("POST /api/submit", s.handleSubmitAnswer)
+	RegisterCoreRoutes(s.mux, &s.Shard)
 	s.mux.HandleFunc("GET /api/status", s.handleStatus)
 	s.mux.HandleFunc("GET /api/workers", s.handleWorkers)
 	s.mux.HandleFunc("GET /api/costs", s.handleCosts)
-	s.mux.HandleFunc("GET /api/result", s.handleResult)
 	s.mux.HandleFunc("GET /api/consensus", s.handleConsensus)
 	s.mux.HandleFunc("GET /api/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /api/restore", s.handleRestore)
@@ -266,19 +272,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-// handleJoin admits a worker into the retainer pool.
-func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Name string `json:"name"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding join request: %w", err))
-		return
-	}
-	id := s.join(req.Name)
-	writeJSON(w, http.StatusOK, map[string]int{"worker_id": id})
 }
 
 // stripeNext returns the smallest id in this shard's stripe strictly
@@ -305,40 +298,10 @@ func (s *Shard) join(name string) int {
 		lastSeen: s.cfg.Now(),
 	}
 	s.workers[pw.id] = pw
+	s.poolSize.Store(int32(len(s.workers)))
 	s.logOp(journal.Op{T: journal.OpJoin, Worker: pw.id, Name: name})
 	s.startWait(pw)
 	return pw.id
-}
-
-// handleHeartbeat keeps a waiting worker alive.
-func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
-	id, err := intField(r, "worker_id")
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pw, ok := s.workers[id]
-	if !ok {
-		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
-		return
-	}
-	pw.lastSeen = s.cfg.Now()
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-}
-
-// handleLeave removes a worker; any assignment returns to the queue.
-func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
-	id, err := intField(r, "worker_id")
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.removeWorker(id, "leave")
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 func (s *Shard) removeWorker(id int, reason string) {
@@ -359,33 +322,8 @@ func (s *Shard) removeWorker(id int, reason string) {
 		}
 	}
 	delete(s.workers, id)
+	s.poolSize.Store(int32(len(s.workers)))
 	s.logOp(journal.Op{T: journal.OpLeave, Worker: id, Reason: reason})
-}
-
-// handleSubmitTasks enqueues labeling tasks.
-func (s *Server) handleSubmitTasks(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Tasks []TaskSpec `json:"tasks"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding tasks: %w", err))
-		return
-	}
-	if len(req.Tasks) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("no tasks given"))
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ids := make([]int, 0, len(req.Tasks))
-	for _, spec := range req.Tasks {
-		if len(spec.Records) == 0 {
-			writeErr(w, http.StatusBadRequest, errors.New("task with no records"))
-			return
-		}
-		ids = append(ids, s.enqueueLocked(spec))
-	}
-	writeJSON(w, http.StatusOK, map[string][]int{"task_ids": ids})
 }
 
 // enqueueLocked admits one validated task spec, applying the quorum/classes
@@ -410,58 +348,10 @@ func (s *Shard) enqueueLocked(spec TaskSpec) int {
 	return u.id
 }
 
-// handleFetchTask hands the next task to a polling worker: first a task
-// still needing primary answers, then a speculative duplicate (straggler
-// mitigation). 204 means "keep waiting".
-func (s *Server) handleFetchTask(w http.ResponseWriter, r *http.Request) {
-	id, err := intQuery(r, "worker_id")
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.expireWorkers()
-	if s.retired[id] {
-		writeErr(w, http.StatusGone, errors.New("no more tasks available"))
-		return
-	}
-	pw, ok := s.workers[id]
-	if !ok {
-		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
-		return
-	}
-	pw.lastSeen = s.cfg.Now()
-	if pw.current != 0 {
-		if u, ok := s.tasks[pw.current]; ok {
-			// Re-deliver the in-flight assignment (lost response tolerance).
-			writeJSON(w, http.StatusOK, s.assignmentPayload(u))
-			return
-		}
-		// The assignment's payload is gone (the task was restored away).
-		// Clear it and fall through to a fresh pick rather than wedging the
-		// worker on empty responses forever.
-		pw.current = 0
-		s.startWait(pw)
-	}
-	u := s.pick(id)
-	if u == nil {
-		w.WriteHeader(http.StatusNoContent)
-		return
-	}
-	s.settleWait(pw)
-	s.assign(u, id)
-	pw.current = u.id
-	pw.fetchedAt = s.cfg.Now()
-	writeJSON(w, http.StatusOK, s.assignmentPayload(u))
-}
-
-func (s *Shard) assignmentPayload(u *workUnit) map[string]any {
-	return map[string]any{
-		"task_id": u.id,
-		"records": u.spec.Records,
-		"classes": u.spec.Classes,
-	}
+// assignmentOf builds the typed assignment payload for a task. The Records
+// slice aliases the task's spec — transports encode it without mutating.
+func (s *Shard) assignmentOf(u *workUnit) Assignment {
+	return Assignment{TaskID: u.id, Records: u.spec.Records, Classes: u.spec.Classes}
 }
 
 func (s *Shard) answered(u *workUnit, workerID int) bool {
@@ -471,50 +361,6 @@ func (s *Shard) answered(u *workUnit, workerID int) bool {
 		}
 	}
 	return false
-}
-
-// handleSubmitAnswer ingests a completed assignment. A submission for an
-// already-complete task is acknowledged as terminated: the worker is not at
-// fault and is paid, but the labels are discarded. The handler composes the
-// same exported halves the fabric router uses — AcceptAnswer (task side)
-// then FinishAssignment (worker side) — so the single-server path cannot
-// drift from the fabric-routed one (pay, journaling, replay idempotency).
-func (s *Server) handleSubmitAnswer(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		WorkerID int   `json:"worker_id"`
-		TaskID   int   `json:"task_id"`
-		Labels   []int `json:"labels"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding answer: %w", err))
-		return
-	}
-	if !s.WorkerKnown(req.WorkerID) {
-		writeErr(w, http.StatusNotFound, errors.New("unknown worker"))
-		return
-	}
-	outcome, records, err := s.AcceptAnswer(req.TaskID, req.WorkerID, req.Labels)
-	switch outcome {
-	case SubmitUnknownTask:
-		writeErr(w, http.StatusNotFound, err)
-	case SubmitBadLabels:
-		writeErr(w, http.StatusBadRequest, err)
-	case SubmitDuplicate:
-		// A replayed submission (client retry after a lost response): the
-		// answer is already on the books. Re-acknowledge without paying
-		// again or double-counting the worker's completion stats.
-		writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "terminated": false})
-	case SubmitDuplicateTerminated:
-		// Same, for a replayed straggler submission that already lost the
-		// race: the original termination was acknowledged and paid once.
-		writeJSON(w, http.StatusOK, map[string]bool{"accepted": false, "terminated": true})
-	case SubmitTerminated:
-		s.FinishAssignment(req.WorkerID, req.TaskID, records)
-		writeJSON(w, http.StatusOK, map[string]bool{"accepted": false, "terminated": true})
-	case SubmitAccepted:
-		s.FinishAssignment(req.WorkerID, req.TaskID, records)
-		writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "terminated": false})
-	}
 }
 
 // handleStatus reports pool and queue health.
@@ -544,45 +390,6 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"terminated": s.terminated,
 		"retired":    s.retiredCount,
 	})
-}
-
-// handleResult returns a task's status and, when complete, its per-record
-// majority-vote consensus labels.
-func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	id, err := intQuery(r, "task_id")
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	u, ok := s.tasks[id]
-	if !ok {
-		if t, ok := s.tallies[id]; ok {
-			// A retained task: complete, consensus preserved in the tally;
-			// the record payloads were dropped by retention compaction.
-			writeJSON(w, http.StatusOK, retainedStatus(t))
-			return
-		}
-		writeErr(w, http.StatusNotFound, errors.New("unknown task"))
-		return
-	}
-	st := TaskStatus{
-		ID:      u.id,
-		Answers: len(u.answers),
-		Active:  len(u.active),
-		Records: u.spec.Records,
-	}
-	switch {
-	case u.done:
-		st.State = "complete"
-		st.Consensus = s.majority(u)
-	case len(u.active) > 0:
-		st.State = "active"
-	default:
-		st.State = "unassigned"
-	}
-	writeJSON(w, http.StatusOK, st)
 }
 
 // retainedStatus builds the /api/result view of a demoted task.
@@ -625,9 +432,21 @@ func majorityOf(answers [][]int, records int) []int {
 // assignments. A dead worker's paid-wait span is clipped at the moment its
 // liveness lapsed (last heartbeat + timeout): however late the expiry is
 // noticed, a worker that disappeared does not keep billing wait pay for the
-// time nobody was looking. Callers must hold mu.
+// time nobody was looking.
+//
+// The scan is skipped entirely while nothing can possibly expire: each full
+// pass records min(lastSeen) + timeout as the earliest next expiry, and
+// since liveness timestamps only move forward (and joins start live), no
+// scan before that instant can find a victim. This keeps the common case
+// O(1) — the full walk happens at most once per timeout window, not once
+// per poll. Callers must hold mu.
 func (s *Shard) expireWorkers() {
-	cutoff := s.cfg.Now().Add(-s.cfg.WorkerTimeout)
+	now := s.cfg.Now()
+	if !s.nextExpiry.IsZero() && now.Before(s.nextExpiry) {
+		return
+	}
+	cutoff := now.Add(-s.cfg.WorkerTimeout)
+	var minSeen time.Time
 	for id, pw := range s.workers {
 		if pw.lastSeen.Before(cutoff) {
 			if !pw.waitStart.IsZero() {
@@ -641,20 +460,19 @@ func (s *Shard) expireWorkers() {
 				pw.waitStart = time.Time{}
 			}
 			s.removeWorker(id, "expire")
+			continue
+		}
+		if minSeen.IsZero() || pw.lastSeen.Before(minSeen) {
+			minSeen = pw.lastSeen
 		}
 	}
-}
-
-func intField(r *http.Request, field string) (int, error) {
-	var body map[string]int
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		return 0, fmt.Errorf("decoding body: %w", err)
+	if minSeen.IsZero() {
+		// Empty pool: any future worker joins live (lastSeen ≥ now), so
+		// nothing can expire for a full timeout from now.
+		s.nextExpiry = now.Add(s.cfg.WorkerTimeout)
+	} else {
+		s.nextExpiry = minSeen.Add(s.cfg.WorkerTimeout)
 	}
-	v, ok := body[field]
-	if !ok {
-		return 0, fmt.Errorf("missing field %q", field)
-	}
-	return v, nil
 }
 
 func intQuery(r *http.Request, key string) (int, error) {

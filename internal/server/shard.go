@@ -91,27 +91,31 @@ func (s *Shard) BeginFetch(workerID int) (current int, st FetchState) {
 
 // TaskPayload returns the assignment payload for a task on this shard
 // (re-delivery of an in-flight assignment).
-func (s *Shard) TaskPayload(taskID int) (map[string]any, bool) {
+func (s *Shard) TaskPayload(taskID int) (Assignment, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	u, ok := s.tasks[taskID]
 	if !ok {
-		return nil, false
+		return Assignment{}, false
 	}
-	return s.assignmentPayload(u), true
+	return s.assignmentOf(u), true
 }
+
+// PoolSize reports the shard's current worker-pool size without taking the
+// shard lock (join-time placement reads it on every join).
+func (s *Shard) PoolSize() int { return int(s.poolSize.Load()) }
 
 // PickLocal picks a task on this shard for one of its own idle workers and
 // assigns it (ends the paid-wait span, marks the unit active). starvedOnly
 // restricts the pass to tasks still missing primary answers, so the fabric
 // can order local starved → stolen starved → speculative. It reports
 // false when the shard has nothing for this worker.
-func (s *Shard) PickLocal(workerID int, starvedOnly bool) (map[string]any, bool) {
+func (s *Shard) PickLocal(workerID int, starvedOnly bool) (Assignment, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	pw, ok := s.workers[workerID]
 	if !ok || pw.current != 0 {
-		return nil, false
+		return Assignment{}, false
 	}
 	var u *workUnit
 	if starvedOnly {
@@ -120,13 +124,13 @@ func (s *Shard) PickLocal(workerID int, starvedOnly bool) (map[string]any, bool)
 		u = s.pick(workerID)
 	}
 	if u == nil {
-		return nil, false
+		return Assignment{}, false
 	}
 	s.settleWait(pw)
 	s.assign(u, workerID)
 	pw.current = u.id
 	pw.fetchedAt = s.cfg.Now()
-	return s.assignmentPayload(u), true
+	return s.assignmentOf(u), true
 }
 
 // PickSteal picks a task on this shard for a worker homed on another shard
@@ -136,7 +140,7 @@ func (s *Shard) PickLocal(workerID int, starvedOnly bool) (map[string]any, bool)
 // straggler duplicates — keeping the paper's starved-before-speculative
 // ordering fabric-wide. The caller completes the assignment on the
 // worker's home shard with AssignStolen, or rolls back with ReleaseActive.
-func (s *Shard) PickSteal(workerID int, starvedOnly bool) (taskID int, payload map[string]any, ok bool) {
+func (s *Shard) PickSteal(workerID int, starvedOnly bool) (taskID int, payload Assignment, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	u := s.pickPart(dispatchStarved, workerID)
@@ -144,10 +148,10 @@ func (s *Shard) PickSteal(workerID int, starvedOnly bool) (taskID int, payload m
 		u = s.pickPart(dispatchSpeculative, workerID)
 	}
 	if u == nil {
-		return 0, nil, false
+		return 0, Assignment{}, false
 	}
 	s.assign(u, workerID)
-	return u.id, s.assignmentPayload(u), true
+	return u.id, s.assignmentOf(u), true
 }
 
 // AssignStolen records a stolen assignment on the worker's home shard. It

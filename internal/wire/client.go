@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+// Client is a Go client for the wire transport, with the same method
+// shapes as server.Client so worker drivers can switch transports behind
+// one interface. A Client owns one persistent connection; methods are
+// serialized by an internal mutex (the protocol is strict
+// request/response), so give each concurrent worker goroutine its own
+// Client for parallelism.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	wbuf []byte // request encoding buffer
+	rbuf []byte // response frame buffer
+}
+
+// Dial connects to a wire server and performs the version handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection (TCP, net.Pipe, ...) and
+// performs the version handshake.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 8<<10),
+		bw:   bufio.NewWriterSize(conn, 8<<10),
+	}
+	if err := handshake(c.br, c.bw, true); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends req and returns the response payload. The returned
+// reader's buffer is valid until the next call. Callers hold mu.
+func (c *Client) roundTrip(req request) (reader, byte, error) {
+	c.wbuf = encodeRequest(c.wbuf[:0], req)
+	if err := writeFrame(c.bw, c.wbuf); err != nil {
+		return reader{}, 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return reader{}, 0, err
+	}
+	payload, err := readFrame(c.br, c.rbuf)
+	if err != nil {
+		return reader{}, 0, err
+	}
+	c.rbuf = payload[:0:cap(payload)]
+	r := reader{b: payload}
+	status, err := r.byte()
+	if err != nil {
+		return r, 0, err
+	}
+	return r, status, nil
+}
+
+// statusErr turns an error response into a Go error named after the op.
+func statusErr(op string, r *reader) error {
+	return fmt.Errorf("%s: %s", op, r.rest())
+}
+
+// Join admits a worker and returns its id.
+func (c *Client) Join(name string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, status, err := c.roundTrip(request{op: opJoin, name: name})
+	if err != nil {
+		return 0, err
+	}
+	if status != stOK {
+		return 0, statusErr("join", &r)
+	}
+	id, err := r.uint()
+	if err != nil {
+		return 0, err
+	}
+	return id, r.done()
+}
+
+// Heartbeat keeps the worker alive while waiting.
+func (c *Client) Heartbeat(workerID int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, status, err := c.roundTrip(request{op: opHeartbeat, worker: workerID})
+	if err != nil {
+		return err
+	}
+	if status != stOK {
+		return statusErr("heartbeat", &r)
+	}
+	return r.done()
+}
+
+// Leave removes the worker from the pool.
+func (c *Client) Leave(workerID int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, status, err := c.roundTrip(request{op: opLeave, worker: workerID})
+	if err != nil {
+		return err
+	}
+	if status != stOK {
+		return statusErr("leave", &r)
+	}
+	return r.done()
+}
+
+// SubmitTasks enqueues tasks and returns their ids.
+func (c *Client) SubmitTasks(tasks []server.TaskSpec) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, status, err := c.roundTrip(request{op: opEnqueue, specs: tasks})
+	if err != nil {
+		return nil, err
+	}
+	if status != stOK {
+		return nil, statusErr("tasks", &r)
+	}
+	return decodeIDs(&r)
+}
+
+// FetchTask polls for work. ok is false when no work is available yet.
+func (c *Client) FetchTask(workerID int) (a server.Assignment, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, status, err := c.roundTrip(request{op: opFetch, worker: workerID})
+	if err != nil {
+		return a, false, err
+	}
+	switch status {
+	case stNoWork:
+		return a, false, r.done()
+	case stOK:
+		a, err = decodeAssignment(&r)
+		return a, err == nil, err
+	default:
+		return a, false, statusErr("fetch task", &r)
+	}
+}
+
+// Submit sends a completed assignment. terminated reports that the task
+// had already been completed by a faster worker (the work is still paid).
+func (c *Client) Submit(workerID, taskID int, labels []int) (accepted, terminated bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, status, err := c.roundTrip(request{op: opSubmit, worker: workerID, task: taskID, labels: labels})
+	if err != nil {
+		return false, false, err
+	}
+	if status != stOK {
+		return false, false, statusErr("submit", &r)
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return false, false, err
+	}
+	return flags&flagAccepted != 0, flags&flagTerminated != 0, r.done()
+}
+
+// Result fetches a task's status and consensus labels.
+func (c *Client) Result(taskID int) (server.TaskStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, status, err := c.roundTrip(request{op: opResult, task: taskID})
+	if err != nil {
+		return server.TaskStatus{}, err
+	}
+	if status != stOK {
+		return server.TaskStatus{}, statusErr("result", &r)
+	}
+	return decodeTaskStatus(&r)
+}

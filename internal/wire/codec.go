@@ -1,0 +1,435 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+// Typed codecs for the protocol's messages. Requests are one opcode byte
+// followed by op-specific fields; responses are one status byte followed by
+// an op-specific body (error statuses carry a message string in the frame
+// remainder). Integers are varints — unsigned for ids and counts, zigzag
+// for values that may be negative (priority, labels, consensus). Strings
+// are uvarint length + raw bytes.
+//
+// Every decoder is strict: counts are validated against the remaining
+// payload before any allocation, trailing garbage is rejected, and no
+// input can cause a panic or an oversized allocation (FuzzWireCodec pins
+// this).
+
+// Request opcodes.
+const (
+	opJoin byte = iota + 1
+	opHeartbeat
+	opLeave
+	opEnqueue
+	opFetch
+	opSubmit
+	opResult
+)
+
+// Response statuses, mirroring the HTTP shim's status mapping.
+const (
+	stOK         byte = iota // op-specific body follows
+	stNoWork                 // fetch only: keep waiting (HTTP 204)
+	stGone                   // retired worker (HTTP 410); message follows
+	stNotFound               // unknown worker/task (HTTP 404); message follows
+	stBadRequest             // malformed or invalid request (HTTP 400); message follows
+)
+
+// Submit response flags.
+const (
+	flagAccepted   byte = 1 << 0
+	flagTerminated byte = 1 << 1
+)
+
+// TaskStatus state bytes.
+const (
+	stateUnassigned byte = iota
+	stateActive
+	stateComplete
+)
+
+var (
+	errTruncated = errors.New("wire: truncated message")
+	errTrailing  = errors.New("wire: trailing bytes after message")
+	errCount     = errors.New("wire: count exceeds payload")
+	errOverflow  = errors.New("wire: varint overflows int")
+)
+
+// request is one decoded client request (the union of every op's fields).
+type request struct {
+	op     byte
+	worker int
+	task   int
+	name   string
+	labels []int
+	specs  []server.TaskSpec
+}
+
+// --- encoding primitives ---
+
+func appendUint(b []byte, v int) []byte {
+	return binary.AppendUvarint(b, uint64(v))
+}
+
+func appendInt(b []byte, v int) []byte {
+	return binary.AppendVarint(b, int64(v))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// --- decoding primitives ---
+
+type reader struct {
+	b []byte
+	i int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.i:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	r.i += n
+	return v, nil
+}
+
+func (r *reader) uint() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt {
+		return 0, errOverflow
+	}
+	return int(v), nil
+}
+
+func (r *reader) int() (int, error) {
+	v, n := binary.Varint(r.b[r.i:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	if v > math.MaxInt || v < math.MinInt {
+		return 0, errOverflow
+	}
+	r.i += n
+	return int(v), nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.i >= len(r.b) {
+		return 0, errTruncated
+	}
+	c := r.b[r.i]
+	r.i++
+	return c, nil
+}
+
+func (r *reader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.b)-r.i) {
+		return "", errCount
+	}
+	s := string(r.b[r.i : r.i+int(n)])
+	r.i += int(n)
+	return s, nil
+}
+
+// count reads an element count and sanity-checks it against the remaining
+// bytes (each element takes at least one byte), so a hostile count cannot
+// drive an oversized preallocation.
+func (r *reader) count() (int, error) {
+	n, err := r.uint()
+	if err != nil {
+		return 0, err
+	}
+	if n > len(r.b)-r.i {
+		return 0, errCount
+	}
+	return n, nil
+}
+
+func (r *reader) rest() string { return string(r.b[r.i:]) }
+
+func (r *reader) done() error {
+	if r.i != len(r.b) {
+		return errTrailing
+	}
+	return nil
+}
+
+// --- requests ---
+
+// encodeRequest appends req's encoding to buf.
+func encodeRequest(buf []byte, req request) []byte {
+	buf = append(buf, req.op)
+	switch req.op {
+	case opJoin:
+		buf = appendString(buf, req.name)
+	case opHeartbeat, opLeave, opFetch:
+		buf = appendUint(buf, req.worker)
+	case opEnqueue:
+		buf = appendUint(buf, len(req.specs))
+		for _, spec := range req.specs {
+			buf = appendUint(buf, len(spec.Records))
+			for _, rec := range spec.Records {
+				buf = appendString(buf, rec)
+			}
+			buf = appendInt(buf, spec.Classes)
+			buf = appendInt(buf, spec.Quorum)
+			buf = appendInt(buf, spec.Priority)
+		}
+	case opSubmit:
+		buf = appendUint(buf, req.worker)
+		buf = appendUint(buf, req.task)
+		buf = appendUint(buf, len(req.labels))
+		for _, l := range req.labels {
+			buf = appendInt(buf, l)
+		}
+	case opResult:
+		buf = appendUint(buf, req.task)
+	}
+	return buf
+}
+
+// decodeRequest parses one request payload.
+func decodeRequest(payload []byte) (request, error) {
+	var req request
+	r := reader{b: payload}
+	op, err := r.byte()
+	if err != nil {
+		return req, err
+	}
+	req.op = op
+	switch op {
+	case opJoin:
+		if req.name, err = r.string(); err != nil {
+			return req, err
+		}
+	case opHeartbeat, opLeave, opFetch:
+		if req.worker, err = r.uint(); err != nil {
+			return req, err
+		}
+	case opEnqueue:
+		n, err := r.count()
+		if err != nil {
+			return req, err
+		}
+		req.specs = make([]server.TaskSpec, 0, n)
+		for range n {
+			var spec server.TaskSpec
+			nrec, err := r.count()
+			if err != nil {
+				return req, err
+			}
+			spec.Records = make([]string, 0, nrec)
+			for range nrec {
+				rec, err := r.string()
+				if err != nil {
+					return req, err
+				}
+				spec.Records = append(spec.Records, rec)
+			}
+			if spec.Classes, err = r.int(); err != nil {
+				return req, err
+			}
+			if spec.Quorum, err = r.int(); err != nil {
+				return req, err
+			}
+			if spec.Priority, err = r.int(); err != nil {
+				return req, err
+			}
+			req.specs = append(req.specs, spec)
+		}
+	case opSubmit:
+		if req.worker, err = r.uint(); err != nil {
+			return req, err
+		}
+		if req.task, err = r.uint(); err != nil {
+			return req, err
+		}
+		n, err := r.count()
+		if err != nil {
+			return req, err
+		}
+		req.labels = make([]int, 0, n)
+		for range n {
+			l, err := r.int()
+			if err != nil {
+				return req, err
+			}
+			req.labels = append(req.labels, l)
+		}
+	case opResult:
+		if req.task, err = r.uint(); err != nil {
+			return req, err
+		}
+	default:
+		return req, fmt.Errorf("wire: unknown opcode %d", op)
+	}
+	return req, r.done()
+}
+
+// --- responses ---
+
+// appendError encodes an error response: status byte + message.
+func appendError(buf []byte, status byte, msg string) []byte {
+	return append(append(buf, status), msg...)
+}
+
+// appendAssignment encodes a fetch success.
+func appendAssignment(buf []byte, a server.Assignment) []byte {
+	buf = append(buf, stOK)
+	buf = appendUint(buf, a.TaskID)
+	buf = appendUint(buf, len(a.Records))
+	for _, rec := range a.Records {
+		buf = appendString(buf, rec)
+	}
+	return appendUint(buf, a.Classes)
+}
+
+// decodeAssignment parses a fetch success body (after the status byte).
+func decodeAssignment(r *reader) (server.Assignment, error) {
+	var a server.Assignment
+	var err error
+	if a.TaskID, err = r.uint(); err != nil {
+		return a, err
+	}
+	n, err := r.count()
+	if err != nil {
+		return a, err
+	}
+	a.Records = make([]string, 0, n)
+	for range n {
+		rec, err := r.string()
+		if err != nil {
+			return a, err
+		}
+		a.Records = append(a.Records, rec)
+	}
+	if a.Classes, err = r.uint(); err != nil {
+		return a, err
+	}
+	return a, r.done()
+}
+
+// appendTaskStatus encodes a result success.
+func appendTaskStatus(buf []byte, st server.TaskStatus) []byte {
+	buf = append(buf, stOK)
+	buf = appendUint(buf, st.ID)
+	switch st.State {
+	case "active":
+		buf = append(buf, stateActive)
+	case "complete":
+		buf = append(buf, stateComplete)
+	default:
+		buf = append(buf, stateUnassigned)
+	}
+	buf = appendUint(buf, st.Answers)
+	buf = appendUint(buf, st.Active)
+	buf = appendUint(buf, len(st.Consensus))
+	for _, l := range st.Consensus {
+		buf = appendInt(buf, l)
+	}
+	buf = appendUint(buf, len(st.Records))
+	for _, rec := range st.Records {
+		buf = appendString(buf, rec)
+	}
+	return buf
+}
+
+// decodeTaskStatus parses a result success body (after the status byte).
+func decodeTaskStatus(r *reader) (server.TaskStatus, error) {
+	var st server.TaskStatus
+	var err error
+	if st.ID, err = r.uint(); err != nil {
+		return st, err
+	}
+	state, err := r.byte()
+	if err != nil {
+		return st, err
+	}
+	switch state {
+	case stateUnassigned:
+		st.State = "unassigned"
+	case stateActive:
+		st.State = "active"
+	case stateComplete:
+		st.State = "complete"
+	default:
+		return st, fmt.Errorf("wire: unknown task state %d", state)
+	}
+	if st.Answers, err = r.uint(); err != nil {
+		return st, err
+	}
+	if st.Active, err = r.uint(); err != nil {
+		return st, err
+	}
+	n, err := r.count()
+	if err != nil {
+		return st, err
+	}
+	if n > 0 {
+		st.Consensus = make([]int, 0, n)
+		for range n {
+			l, err := r.int()
+			if err != nil {
+				return st, err
+			}
+			st.Consensus = append(st.Consensus, l)
+		}
+	}
+	if n, err = r.count(); err != nil {
+		return st, err
+	}
+	if n > 0 {
+		st.Records = make([]string, 0, n)
+		for range n {
+			rec, err := r.string()
+			if err != nil {
+				return st, err
+			}
+			st.Records = append(st.Records, rec)
+		}
+	}
+	return st, r.done()
+}
+
+// appendIDs encodes an enqueue success.
+func appendIDs(buf []byte, ids []int) []byte {
+	buf = append(buf, stOK)
+	buf = appendUint(buf, len(ids))
+	for _, id := range ids {
+		buf = appendUint(buf, id)
+	}
+	return buf
+}
+
+// decodeIDs parses an enqueue success body (after the status byte).
+func decodeIDs(r *reader) ([]int, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, 0, n)
+	for range n {
+		id, err := r.uint()
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, r.done()
+}

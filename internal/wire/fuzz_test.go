@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+// FuzzWireFrame feeds arbitrary bytes to the frame reader: malformed
+// lengths, truncated frames and bit flips must never panic or over-read,
+// and any frame it does accept must round-trip through writeFrame.
+func FuzzWireFrame(f *testing.F) {
+	var seed bytes.Buffer
+	bw := bufio.NewWriter(&seed)
+	writeFrame(bw, []byte("hello"))
+	writeFrame(bw, nil)
+	writeFrame(bw, bytes.Repeat([]byte{7}, 300))
+	bw.Flush()
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		for i := 0; i < 64; i++ {
+			payload, err := readFrame(br, buf)
+			if err != nil {
+				return
+			}
+			// An accepted frame re-encodes to something the reader accepts
+			// again with the same payload.
+			var out bytes.Buffer
+			obw := bufio.NewWriter(&out)
+			if err := writeFrame(obw, payload); err != nil {
+				t.Fatalf("re-encode accepted frame: %v", err)
+			}
+			obw.Flush()
+			back, err := readFrame(bufio.NewReader(bytes.NewReader(out.Bytes())), nil)
+			if err != nil {
+				t.Fatalf("re-read re-encoded frame: %v", err)
+			}
+			if !bytes.Equal(back, payload) {
+				t.Fatalf("frame roundtrip changed payload")
+			}
+			buf = payload[:0:cap(payload)]
+		}
+	})
+}
+
+// FuzzWireCodec feeds arbitrary payloads to the message decoders: no input
+// may panic or cause an oversized allocation, and any request that decodes
+// must re-encode byte-identically (canonical encoding).
+func FuzzWireCodec(f *testing.F) {
+	f.Add(encodeRequest(nil, request{op: opJoin, name: "alice"}))
+	f.Add(encodeRequest(nil, request{op: opFetch, worker: 3}))
+	f.Add(encodeRequest(nil, request{op: opSubmit, worker: 1, task: 2, labels: []int{0, 1}}))
+	f.Add(encodeRequest(nil, request{op: opEnqueue, specs: []server.TaskSpec{
+		{Records: []string{"a"}, Classes: 2, Quorum: 1, Priority: -1},
+	}}))
+	f.Add(encodeRequest(nil, request{op: opResult, task: 9}))
+	f.Add([]byte{opEnqueue, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeRequest(data)
+		if err == nil {
+			// Whatever decodes must survive an encode/decode round trip
+			// unchanged (the input itself may use non-minimal varints, so
+			// byte equality with data is not required).
+			enc := encodeRequest(nil, req)
+			req2, err := decodeRequest(enc)
+			if err != nil || !reflect.DeepEqual(req, req2) {
+				t.Fatalf("request roundtrip: %+v -> %+v (err=%v)", req, req2, err)
+			}
+		}
+		// Response decoders must be equally robust (the client runs them on
+		// whatever the network delivers).
+		r := reader{b: data}
+		decodeAssignment(&r)
+		r = reader{b: data}
+		decodeTaskStatus(&r)
+		r = reader{b: data}
+		decodeIDs(&r)
+	})
+}

@@ -1,0 +1,198 @@
+package wire_test
+
+import (
+	"net"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/fabric"
+	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/wire"
+)
+
+// hotAPI is the op surface both transports expose to worker drivers.
+type hotAPI interface {
+	Join(name string) (int, error)
+	Heartbeat(workerID int) error
+	Leave(workerID int) error
+	SubmitTasks(tasks []server.TaskSpec) ([]int, error)
+	FetchTask(workerID int) (server.Assignment, bool, error)
+	Submit(workerID, taskID int, labels []int) (accepted, terminated bool, err error)
+	Result(taskID int) (server.TaskStatus, error)
+}
+
+var (
+	_ hotAPI = (*server.Client)(nil)
+	_ hotAPI = (*wire.Client)(nil)
+)
+
+// TestWireHTTPParity drives an identical op sequence through two
+// identically-configured fabrics — one over the JSON/HTTP transport, one
+// over the wire transport — under a shared fake clock, comparing every
+// response pair, and finally proves the two fabrics hold byte-identical
+// durable state via /api/snapshot. Both transports are thin shims over the
+// same server.Core, and this is the test that keeps them that way.
+func TestWireHTTPParity(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	cfg := server.Config{
+		SpeculationLimit: 1,
+		WorkerTimeout:    10 * time.Minute,
+		Now:              func() time.Time { return now },
+	}
+	const shards = 4
+	httpFab := fabric.New(cfg, shards)
+	wireFab := fabric.New(cfg, shards)
+
+	ts := httptest.NewServer(httpFab)
+	defer ts.Close()
+	httpCl := server.NewClient(ts.URL)
+
+	cliConn, srvConn := net.Pipe()
+	go wire.NewServer(wireFab).ServeConn(srvConn)
+	wireCl, err := wire.NewClient(cliConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wireCl.Close()
+
+	both := []hotAPI{httpCl, wireCl}
+
+	join := func(name string) int {
+		t.Helper()
+		ids := [2]int{}
+		for i, cl := range both {
+			id, err := cl.Join(name)
+			if err != nil {
+				t.Fatalf("join(%s) on transport %d: %v", name, i, err)
+			}
+			ids[i] = id
+		}
+		if ids[0] != ids[1] {
+			t.Fatalf("join(%s): http id %d != wire id %d", name, ids[0], ids[1])
+		}
+		return ids[0]
+	}
+	enqueue := func(specs []server.TaskSpec) []int {
+		t.Helper()
+		var got [2][]int
+		for i, cl := range both {
+			ids, err := cl.SubmitTasks(specs)
+			if err != nil {
+				t.Fatalf("enqueue on transport %d: %v", i, err)
+			}
+			got[i] = ids
+		}
+		if !reflect.DeepEqual(got[0], got[1]) {
+			t.Fatalf("enqueue: http ids %v != wire ids %v", got[0], got[1])
+		}
+		return got[0]
+	}
+	fetch := func(worker int) (server.Assignment, bool) {
+		t.Helper()
+		var as [2]server.Assignment
+		var oks [2]bool
+		for i, cl := range both {
+			a, ok, err := cl.FetchTask(worker)
+			if err != nil {
+				t.Fatalf("fetch(%d) on transport %d: %v", worker, i, err)
+			}
+			as[i], oks[i] = a, ok
+		}
+		if oks[0] != oks[1] || !reflect.DeepEqual(as[0], as[1]) {
+			t.Fatalf("fetch(%d): http %+v/%v != wire %+v/%v", worker, as[0], oks[0], as[1], oks[1])
+		}
+		return as[0], oks[0]
+	}
+	submit := func(worker, task int, labels []int) (bool, bool) {
+		t.Helper()
+		var acc, term [2]bool
+		for i, cl := range both {
+			a, tm, err := cl.Submit(worker, task, labels)
+			if err != nil {
+				t.Fatalf("submit(%d,%d) on transport %d: %v", worker, task, i, err)
+			}
+			acc[i], term[i] = a, tm
+		}
+		if acc[0] != acc[1] || term[0] != term[1] {
+			t.Fatalf("submit(%d,%d): http %v/%v != wire %v/%v", worker, task, acc[0], term[0], acc[1], term[1])
+		}
+		return acc[0], term[0]
+	}
+
+	w1 := join("alice")
+	w2 := join("bob")
+	w3 := join("carol")
+
+	specs := []server.TaskSpec{
+		{Records: []string{"p0", "p0b"}, Classes: 2, Quorum: 2},
+		{Records: []string{"hot"}, Classes: 3, Quorum: 1, Priority: 5},
+		{Records: []string{"fill-a"}, Quorum: 1},
+		{Records: []string{"fill-b"}, Quorum: 1},
+		{Records: []string{"fill-c"}, Quorum: 1},
+	}
+	ids := enqueue(specs)
+
+	now = now.Add(time.Second)
+	// Drain the queue with all three workers, answering everything; the
+	// straggler race and cross-shard steals exercise the same paths on both
+	// transports.
+	for i := 0; i < 12; i++ {
+		w := []int{w1, w2, w3}[i%3]
+		a, ok := fetch(w)
+		if !ok {
+			continue
+		}
+		now = now.Add(time.Second)
+		labels := make([]int, len(a.Records))
+		for j := range labels {
+			labels[j] = (w + a.TaskID + j) % 2
+		}
+		submit(w, a.TaskID, labels)
+		now = now.Add(time.Second)
+	}
+
+	// A late submission against the completed quorum-1 task exercises the
+	// terminated/duplicate paths; the helper asserts both transports agree
+	// on the outcome.
+	submit(w1, ids[1], []int{1})
+
+	for i, cl := range both {
+		if err := cl.Heartbeat(w2); err != nil {
+			t.Fatalf("heartbeat on transport %d: %v", i, err)
+		}
+		if err := cl.Leave(w3); err != nil {
+			t.Fatalf("leave on transport %d: %v", i, err)
+		}
+	}
+
+	// Results agree per task.
+	for _, id := range ids {
+		var got [2]server.TaskStatus
+		for i, cl := range both {
+			st, err := cl.Result(id)
+			if err != nil {
+				t.Fatalf("result(%d) on transport %d: %v", id, i, err)
+			}
+			got[i] = st
+		}
+		if !reflect.DeepEqual(got[0], got[1]) {
+			t.Fatalf("result(%d): http %+v != wire %+v", id, got[0], got[1])
+		}
+	}
+
+	// The acceptance check: byte-identical durable state.
+	var snaps [2][]byte
+	for i, fab := range []*fabric.Fabric{httpFab, wireFab} {
+		rec := httptest.NewRecorder()
+		fab.ServeHTTP(rec, httptest.NewRequest("GET", "/api/snapshot", nil))
+		if rec.Code != 200 {
+			t.Fatalf("snapshot on fabric %d: %d", i, rec.Code)
+		}
+		snaps[i] = rec.Body.Bytes()
+	}
+	if string(snaps[0]) != string(snaps[1]) {
+		t.Fatalf("snapshots diverged:\nhttp: %s\nwire: %s", snaps[0], snaps[1])
+	}
+}

@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+// Server speaks the wire protocol over persistent connections, dispatching
+// every request to a transport-agnostic server.Core — the same core the
+// HTTP shim fronts, so the two transports cannot diverge. One goroutine
+// serves each connection; requests on a connection are handled strictly in
+// order (workers hold one connection each, and the protocol is
+// request/response, so per-connection pipelining buys nothing on this
+// workload).
+type Server struct {
+	core server.Core
+}
+
+// NewServer returns a wire server over core (a *fabric.Fabric or a
+// standalone shard).
+func NewServer(core server.Core) *Server {
+	return &Server{core: core}
+}
+
+// Serve accepts connections on l, serving each on its own goroutine.
+// Transient accept failures (fd exhaustion, aborted handshakes) are retried
+// with the same capped backoff net/http uses, so one recoverable error
+// cannot kill the listener; Serve returns only when the listener is closed
+// or permanently broken.
+func (s *Server) Serve(l net.Listener) error {
+	var delay time.Duration
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else {
+					delay *= 2
+				}
+				if delay > time.Second {
+					delay = time.Second
+				}
+				time.Sleep(delay)
+				continue
+			}
+			return err
+		}
+		delay = 0
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn serves one connection until the peer disconnects or breaks
+// framing. All per-request state lives in buffers reused across the
+// connection's lifetime, so a settled connection allocates only what the
+// core retains (task records, label vectors).
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 8<<10)
+	bw := bufio.NewWriterSize(conn, 8<<10)
+	if err := handshake(br, bw, false); err != nil {
+		return
+	}
+	var reqBuf, respBuf []byte
+	for {
+		payload, err := readFrame(br, reqBuf)
+		if err != nil {
+			// A clean disconnect ends the loop; framing corruption (bad CRC,
+			// oversized length) cannot be resynchronized, so the connection
+			// is dropped either way.
+			return
+		}
+		reqBuf = payload[:0:cap(payload)]
+		respBuf = respBuf[:0]
+		if req, err := decodeRequest(payload); err != nil {
+			// The frame was intact (CRC passed) but the payload is not a
+			// well-formed request: answer the error in-band; framing is
+			// still synchronized.
+			respBuf = appendError(respBuf, stBadRequest, err.Error())
+		} else {
+			respBuf = s.handle(req, respBuf)
+		}
+		if len(respBuf) > MaxFrame {
+			// The core produced a response too large to frame (e.g. an
+			// assignment whose records were enqueued over HTTP, which has no
+			// size cap). Answer in-band rather than dropping the connection:
+			// a drop would re-deliver the same in-flight assignment on
+			// reconnect and wedge the worker on it forever.
+			respBuf = appendError(respBuf[:0], stBadRequest, ErrTooLarge.Error())
+		}
+		if err := writeFrame(bw, respBuf); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one decoded request to the core and appends the
+// response encoding to buf.
+func (s *Server) handle(req request, buf []byte) []byte {
+	switch req.op {
+	case opJoin:
+		id := s.core.CoreJoin(req.name)
+		buf = append(buf, stOK)
+		return appendUint(buf, id)
+	case opHeartbeat:
+		if !s.core.CoreHeartbeat(req.worker) {
+			return appendError(buf, stNotFound, server.ErrUnknownWorker.Error())
+		}
+		return append(buf, stOK)
+	case opLeave:
+		s.core.CoreLeave(req.worker)
+		return append(buf, stOK)
+	case opEnqueue:
+		ids, err := s.core.CoreEnqueue(req.specs)
+		if err != nil {
+			return appendError(buf, stBadRequest, err.Error())
+		}
+		return appendIDs(buf, ids)
+	case opFetch:
+		a, disp := s.core.CoreFetch(req.worker)
+		switch disp {
+		case server.FetchNoWork:
+			return append(buf, stNoWork)
+		case server.FetchGoneRetired:
+			return appendError(buf, stGone, server.ErrNoMoreTasks.Error())
+		case server.FetchNoWorker:
+			return appendError(buf, stNotFound, server.ErrUnknownWorker.Error())
+		default:
+			return appendAssignment(buf, a)
+		}
+	case opSubmit:
+		reply, cerr := s.core.CoreSubmit(req.worker, req.task, req.labels)
+		switch {
+		case cerr != nil && cerr.NotFound:
+			return appendError(buf, stNotFound, cerr.Err.Error())
+		case cerr != nil:
+			return appendError(buf, stBadRequest, cerr.Err.Error())
+		default:
+			buf = append(buf, stOK)
+			var flags byte
+			if reply.Accepted {
+				flags |= flagAccepted
+			}
+			if reply.Terminated {
+				flags |= flagTerminated
+			}
+			return append(buf, flags)
+		}
+	case opResult:
+		st, ok := s.core.CoreResult(req.task)
+		if !ok {
+			return appendError(buf, stNotFound, server.ErrUnknownTask.Error())
+		}
+		return appendTaskStatus(buf, st)
+	default:
+		return appendError(buf, stBadRequest, "wire: unknown opcode")
+	}
+}
+
+// IsClosed reports whether err is the benign end of a Serve loop (listener
+// closed) rather than a real accept failure.
+func IsClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF)
+}

@@ -1,0 +1,165 @@
+// Package wire implements the retainer-pool protocol's binary transport:
+// a zero-dependency, length-prefixed framing (varint length + CRC-32C, in
+// the style of internal/journal's record framing) carrying typed codecs
+// for the hot ops — join, enqueue tasks, fetch assignment, submit answer,
+// heartbeat/leave, and result — over persistent TCP connections.
+//
+// JSON over HTTP remains the compatibility and control surface (any crowd
+// frontend can speak it); the wire transport exists for the high-rate
+// worker path, where per-op HTTP routing and JSON encode/decode dominate
+// routing latency. Both transports are thin shims over the same
+// transport-agnostic server.Core, so an identical op sequence over either
+// produces identical shard state (pinned by this package's parity test).
+//
+// Connection lifecycle:
+//
+//	client → server: 8-byte magic "CLAMWIR\x01"
+//	server → client: the same magic (version check both ways)
+//	then alternating request/response frames, strictly in order.
+//
+// Frame layout (everything little-endian):
+//
+//	[uvarint payload length][4-byte CRC-32C of payload][payload]
+//
+// The version byte at the end of the magic pins the framing and codec: a
+// reader that sees any other value must refuse the connection rather than
+// misread frames. Additive protocol evolution (new opcodes, new trailing
+// response fields) keeps the byte; anything that changes the meaning of
+// existing bytes bumps it.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic is the connection preamble. The trailing byte is the protocol
+// version.
+const Magic = "CLAMWIR\x01"
+
+// MaxFrame caps a frame's payload, mirroring journal.MaxRecord: the length
+// prefix of a corrupt or hostile peer is checked against it before any
+// allocation, so a bad frame cannot balloon memory.
+const MaxFrame = 1 << 24 // 16 MiB
+
+var (
+	// ErrChecksum reports a frame whose payload does not match its CRC.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
+	// ErrTooLarge reports a length prefix above MaxFrame.
+	ErrTooLarge = errors.New("wire: frame length exceeds limit")
+	// ErrBadMagic reports a connection preamble from an incompatible peer.
+	ErrBadMagic = errors.New("wire: bad protocol magic (incompatible version?)")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// readFrame reads one frame, reusing buf when it is large enough. The
+// returned slice is valid until the next readFrame with the same buffer.
+//
+// The header (uvarint length + CRC) is decoded from the reader's buffered
+// bytes when possible: a well-formed peer writes each frame in one flush,
+// so after the first blocking read the whole header is already buffered
+// and the per-byte ReadUvarint interface calls — measurable at wire op
+// rates — are skipped.
+func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	var n uint64
+	var crc uint32
+	if _, err := br.Peek(1); err != nil {
+		return nil, err
+	}
+	if peeked, _ := br.Peek(min(br.Buffered(), binary.MaxVarintLen64+4)); len(peeked) > 0 {
+		v, used := binary.Uvarint(peeked)
+		if used > 0 && len(peeked) >= used+4 {
+			n = v
+			if n > MaxFrame {
+				return nil, ErrTooLarge
+			}
+			crc = binary.LittleEndian.Uint32(peeked[used:])
+			br.Discard(used + 4)
+			goto payload
+		}
+	}
+	// Slow path: the header straddles a buffer refill boundary.
+	{
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		n = v
+		if n > MaxFrame {
+			return nil, ErrTooLarge
+		}
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		crc = binary.LittleEndian.Uint32(hdr[:])
+	}
+payload:
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, ErrChecksum
+	}
+	return payload, nil
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// writeFrame frames and writes one payload (the caller flushes).
+func writeFrame(bw *bufio.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrTooLarge
+	}
+	var hdr [binary.MaxVarintLen64 + 4]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[n:], crc32.Checksum(payload, crcTable))
+	if _, err := bw.Write(hdr[:n+4]); err != nil {
+		return err
+	}
+	_, err := bw.Write(payload)
+	return err
+}
+
+// handshake exchanges and verifies the magic from this side of conn.
+// initiate selects who writes first (the client initiates).
+func handshake(br *bufio.Reader, bw *bufio.Writer, initiate bool) error {
+	if initiate {
+		if _, err := bw.WriteString(Magic); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	var m [len(Magic)]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return fmt.Errorf("wire: reading handshake: %w", err)
+	}
+	if string(m[:]) != Magic {
+		return ErrBadMagic
+	}
+	if !initiate {
+		if _, err := bw.WriteString(Magic); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+// pipeClient starts a server goroutine over a net.Pipe and returns a
+// handshaken client.
+func pipeClient(t *testing.T, core server.Core) *Client {
+	t.Helper()
+	cliConn, srvConn := net.Pipe()
+	go NewServer(core).ServeConn(srvConn)
+	cl, err := NewClient(cliConn)
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// The full worker lifecycle over the wire transport against a standalone
+// shard core: join, enqueue, fetch, redeliver, submit, straggler
+// termination, result, heartbeat, leave, and the protocol's error cases.
+func TestWireEndToEnd(t *testing.T) {
+	sh := server.NewShard(server.Config{WorkerTimeout: time.Hour, SpeculationLimit: 1}, 0, 1)
+	cl := pipeClient(t, sh)
+
+	w1, err := cl.Join("alice")
+	if err != nil || w1 != 1 {
+		t.Fatalf("join: id=%d err=%v", w1, err)
+	}
+	w2, err := cl.Join("bob")
+	if err != nil || w2 != 2 {
+		t.Fatalf("join: id=%d err=%v", w2, err)
+	}
+
+	if _, _, err := cl.FetchTask(w1); err != nil {
+		t.Fatalf("fetch empty queue: %v", err)
+	}
+
+	ids, err := cl.SubmitTasks([]server.TaskSpec{
+		{Records: []string{"r1a", "r1b"}, Classes: 3, Quorum: 1},
+	})
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("enqueue: ids=%v err=%v", ids, err)
+	}
+
+	// Empty batch and empty records are rejected with the protocol errors.
+	if _, err := cl.SubmitTasks(nil); err == nil || !strings.Contains(err.Error(), "no tasks given") {
+		t.Fatalf("empty batch error = %v", err)
+	}
+	if _, err := cl.SubmitTasks([]server.TaskSpec{{Quorum: 1}}); err == nil ||
+		!strings.Contains(err.Error(), "task with no records") {
+		t.Fatalf("no records error = %v", err)
+	}
+
+	a, ok, err := cl.FetchTask(w1)
+	if err != nil || !ok || a.TaskID != ids[0] {
+		t.Fatalf("fetch: %+v ok=%v err=%v", a, ok, err)
+	}
+	// Redelivery of the in-flight assignment.
+	a2, ok, err := cl.FetchTask(w1)
+	if err != nil || !ok || a2.TaskID != a.TaskID || !reflect.DeepEqual(a2.Records, a.Records) {
+		t.Fatalf("redeliver: %+v ok=%v err=%v", a2, ok, err)
+	}
+
+	// w2 speculates on the same task and loses the race.
+	b, ok, err := cl.FetchTask(w2)
+	if err != nil || !ok || b.TaskID != a.TaskID {
+		t.Fatalf("speculative fetch: %+v ok=%v err=%v", b, ok, err)
+	}
+	if acc, term, err := cl.Submit(w1, a.TaskID, []int{1, 2}); err != nil || !acc || term {
+		t.Fatalf("primary submit: acc=%v term=%v err=%v", acc, term, err)
+	}
+	if acc, term, err := cl.Submit(w2, b.TaskID, []int{0, 0}); err != nil || acc || !term {
+		t.Fatalf("straggler submit: acc=%v term=%v err=%v", acc, term, err)
+	}
+	// Replay of the straggler's submission is re-acknowledged idempotently.
+	if acc, term, err := cl.Submit(w2, b.TaskID, []int{0, 0}); err != nil || acc || !term {
+		t.Fatalf("straggler replay: acc=%v term=%v err=%v", acc, term, err)
+	}
+
+	st, err := cl.Result(a.TaskID)
+	if err != nil || st.State != "complete" || !reflect.DeepEqual(st.Consensus, []int{1, 2}) {
+		t.Fatalf("result: %+v err=%v", st, err)
+	}
+
+	// Error cases carry the canonical protocol messages.
+	if _, _, err := cl.Submit(99, ids[0], []int{0, 0}); err == nil || !strings.Contains(err.Error(), "unknown worker") {
+		t.Fatalf("unknown worker submit error = %v", err)
+	}
+	if _, _, err := cl.Submit(w1, 999, []int{0, 0}); err == nil || !strings.Contains(err.Error(), "unknown task") {
+		t.Fatalf("unknown task submit error = %v", err)
+	}
+	if _, _, err := cl.Submit(w1, ids[0], []int{0}); err == nil || !strings.Contains(err.Error(), "labels") {
+		t.Fatalf("bad labels submit error = %v", err)
+	}
+	if _, err := cl.Result(999); err == nil || !strings.Contains(err.Error(), "unknown task") {
+		t.Fatalf("unknown result error = %v", err)
+	}
+	if err := cl.Heartbeat(99); err == nil || !strings.Contains(err.Error(), "unknown worker") {
+		t.Fatalf("unknown heartbeat error = %v", err)
+	}
+	if err := cl.Heartbeat(w1); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if err := cl.Leave(w1); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if _, _, err := cl.FetchTask(w1); err == nil || !strings.Contains(err.Error(), "unknown worker") {
+		t.Fatalf("fetch after leave error = %v", err)
+	}
+}
+
+// The wire transport works over real TCP sockets, and one server handles
+// several concurrent client connections.
+func TestWireTCP(t *testing.T) {
+	sh := server.NewShard(server.Config{WorkerTimeout: time.Hour}, 0, 1)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go NewServer(sh).Serve(l)
+
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			cl, err := Dial(l.Addr().String())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer cl.Close()
+			id, err := cl.Join("tcp-worker")
+			if err != nil {
+				done <- err
+				return
+			}
+			for i := 0; i < 20; i++ {
+				if _, err := cl.SubmitTasks([]server.TaskSpec{{Records: []string{"t"}, Quorum: 1}}); err != nil {
+					done <- err
+					return
+				}
+				if a, ok, err := cl.FetchTask(id); err != nil {
+					done <- err
+					return
+				} else if ok {
+					if _, _, err := cl.Submit(id, a.TaskID, []int{0}); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- cl.Leave(id)
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatalf("worker %d: %v", g, err)
+		}
+	}
+}
+
+// A client with the wrong magic is refused before any frame is exchanged.
+func TestWireHandshakeRejectsBadMagic(t *testing.T) {
+	sh := server.NewShard(server.Config{}, 0, 1)
+	cliConn, srvConn := net.Pipe()
+	srvDone := make(chan struct{})
+	go func() { NewServer(sh).ServeConn(srvConn); close(srvDone) }()
+	cliConn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := cliConn.Write([]byte("CLAMWIR\x02")); err != nil {
+		t.Fatal(err)
+	}
+	// The server drops the connection without answering.
+	buf := make([]byte, 1)
+	if n, err := cliConn.Read(buf); err == nil {
+		t.Fatalf("server answered %d bytes to a bad handshake", n)
+	}
+	<-srvDone
+}
+
+// A malformed payload inside an intact frame is answered in-band and the
+// connection keeps working; framing-level corruption drops the connection.
+func TestWireMalformedPayloadKeepsConnection(t *testing.T) {
+	sh := server.NewShard(server.Config{WorkerTimeout: time.Hour}, 0, 1)
+	cliConn, srvConn := net.Pipe()
+	go NewServer(sh).ServeConn(srvConn)
+
+	br := bufio.NewReader(cliConn)
+	bw := bufio.NewWriter(cliConn)
+	if err := handshake(br, bw, true); err != nil {
+		t.Fatal(err)
+	}
+	// Opcode 0 is unknown: expect a stBadRequest response.
+	if err := writeFrame(bw, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readFrame(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) == 0 || resp[0] != stBadRequest {
+		t.Fatalf("malformed payload response = %v", resp)
+	}
+	// A truncated join (name length past the payload) also answers in-band.
+	if err := writeFrame(bw, []byte{opJoin, 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = readFrame(br, nil); err != nil || resp[0] != stBadRequest {
+		t.Fatalf("truncated join response = %v err=%v", resp, err)
+	}
+	// The connection still serves well-formed requests afterwards.
+	if err := writeFrame(bw, encodeRequest(nil, request{op: opJoin, name: "ok"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = readFrame(br, nil); err != nil || resp[0] != stOK {
+		t.Fatalf("join after malformed payload = %v err=%v", resp, err)
+	}
+}
+
+// Frame round-trips, CRC detection, and the length cap.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{{}, {0}, []byte("hello"), bytes.Repeat([]byte{0xAB}, 70000)}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	for _, p := range payloads {
+		if err := writeFrame(bw, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(bytes.NewReader(buf.Bytes()))
+	var scratch []byte
+	for i, want := range payloads {
+		got, err := readFrame(br, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+		scratch = got[:0:cap(got)]
+	}
+
+	// Flip one payload byte: the CRC must catch it.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[len(raw)-1] ^= 0x40
+	br = bufio.NewReader(bytes.NewReader(raw))
+	var err error
+	for i := 0; i <= len(payloads); i++ {
+		if _, err = readFrame(br, nil); err != nil {
+			break
+		}
+	}
+	if err != ErrChecksum {
+		t.Fatalf("bit flip error = %v, want ErrChecksum", err)
+	}
+
+	// An oversized length prefix is rejected before allocation.
+	var big bytes.Buffer
+	bigw := bufio.NewWriter(&big)
+	bigw.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // uvarint ≫ MaxFrame
+	bigw.Flush()
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(big.Bytes())), nil); err != ErrTooLarge {
+		t.Fatalf("oversized frame error = %v, want ErrTooLarge", err)
+	}
+}
+
+// Codec round-trips for every request shape.
+func TestRequestCodecRoundTrip(t *testing.T) {
+	reqs := []request{
+		{op: opJoin, name: "alice ☺"},
+		{op: opJoin, name: ""},
+		{op: opHeartbeat, worker: 7},
+		{op: opLeave, worker: 1 << 40},
+		{op: opFetch, worker: 3},
+		{op: opResult, task: 12},
+		{op: opSubmit, worker: 2, task: 9, labels: []int{0, -1, 5}},
+		{op: opSubmit, worker: 2, task: 9, labels: []int{}},
+		{op: opEnqueue, specs: []server.TaskSpec{
+			{Records: []string{"a", "b"}, Classes: 3, Quorum: 2, Priority: -4},
+			{Records: []string{""}, Classes: 0, Quorum: 0, Priority: 0},
+		}},
+	}
+	for _, req := range reqs {
+		enc := encodeRequest(nil, req)
+		dec, err := decodeRequest(enc)
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", req, err)
+		}
+		if dec.op != req.op || dec.worker != req.worker || dec.task != req.task || dec.name != req.name {
+			t.Fatalf("roundtrip %+v -> %+v", req, dec)
+		}
+		if len(req.labels) != len(dec.labels) || (len(req.labels) > 0 && !reflect.DeepEqual(req.labels, dec.labels)) {
+			t.Fatalf("labels roundtrip %v -> %v", req.labels, dec.labels)
+		}
+		if len(req.specs) > 0 && !reflect.DeepEqual(req.specs, dec.specs) {
+			t.Fatalf("specs roundtrip %+v -> %+v", req.specs, dec.specs)
+		}
+		// Trailing garbage after a valid request is rejected.
+		if _, err := decodeRequest(append(enc, 0)); err == nil {
+			t.Fatalf("trailing byte accepted for %+v", req)
+		}
+	}
+}
