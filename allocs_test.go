@@ -1,0 +1,63 @@
+package clamshell
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/fabric"
+	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/wire"
+)
+
+// The wire transport's pitch is an allocation-flat hot path; the metrics
+// plane records per-op sketches on that same path, so this guard pins the
+// whole-loop allocation count (client encode + server decode + core
+// dispatch + sketch recording) near the benchmarked baseline of ~22
+// allocs per submit/fetch/answer round. A per-op allocation sneaking into
+// framing, dispatch or recording moves the average by whole units —
+// well past the headroom.
+func TestWireHotPathAllocationFlat(t *testing.T) {
+	fab := fabric.New(server.Config{WorkerTimeout: time.Hour}, 1)
+	ws := wire.NewServer(fab)
+	cliConn, srvConn := memPipe()
+	go ws.ServeConn(srvConn)
+	cl, err := wire.NewClient(cliConn)
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	defer cl.Close()
+	wid, err := cl.Join("alloc-guard")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := []server.TaskSpec{{Classes: 2, Quorum: 1}}
+	labels := []int{0}
+	i := 0
+	round := func() {
+		i++
+		spec[0].Records = []string{fmt.Sprintf("alloc-%d", i)}
+		if _, err := cl.SubmitTasks(spec); err != nil {
+			t.Fatalf("submit tasks: %v", err)
+		}
+		a, ok, err := cl.FetchTask(wid)
+		if err != nil {
+			t.Fatalf("fetch: %v", err)
+		}
+		if ok {
+			if _, _, err := cl.Submit(wid, a.TaskID, labels); err != nil {
+				t.Fatalf("submit answer: %v", err)
+			}
+		}
+	}
+	// Warm the connection buffers, sketch stripes and core maps before
+	// measuring, as the throughput benchmark's steady state does.
+	for j := 0; j < 200; j++ {
+		round()
+	}
+	avg := testing.AllocsPerRun(500, round)
+	if avg > 30 {
+		t.Errorf("wire round averaged %.1f allocs, want <= 30 (baseline ~22)", avg)
+	}
+}

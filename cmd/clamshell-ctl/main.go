@@ -13,6 +13,7 @@
 //	workers                        per-worker latency and throughput
 //	costs                          accumulated spend by component
 //	metrics                        Prometheus-format metrics page
+//	top [-watch 2s]                live fabric dashboard (latency, backlog, lag)
 //	result -task <id>              task state and consensus labels
 //	consensus [-estimator E]       cross-task consensus (majority | em | kos)
 //	submit -records a,b,c [-classes N] [-quorum K]
@@ -51,6 +52,8 @@ func main() {
 		err = runCosts(c)
 	case "metrics":
 		err = runMetrics(c)
+	case "top":
+		err = runTop(c, args)
 	case "result":
 		err = runResult(c, args)
 	case "consensus":
@@ -80,6 +83,7 @@ commands:
   workers                                 per-worker latency and throughput
   costs                                   accumulated spend by component
   metrics                                 Prometheus-format metrics page
+  top      [-watch 2s]                    live fabric dashboard (latency, backlog, lag)
   result   -task <id>                     task state and consensus labels
   consensus [-estimator majority|em|kos]  cross-task consensus + worker scores
   submit   -records a,b,c [-classes N] [-quorum K]

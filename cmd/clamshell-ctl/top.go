@@ -1,0 +1,236 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/server"
+)
+
+// The top command renders an operator dashboard from one /metrics scrape:
+// queue backlog, hand-out wait and per-record latency quantiles, journal
+// commit lag and steal rate — the numbers that say whether the fabric is
+// keeping up. With -watch it re-scrapes on an interval and redraws in
+// place, computing rates (ops/s, steals/s) from consecutive scrapes.
+
+// sample is one parsed exposition series: name, label set, value.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition parses the Prometheus text format far enough for our own
+// scrape surface: comments are skipped, series split into name, optional
+// {k="v",...} label block, and a float value. Lines that do not parse are
+// ignored (forward compatibility beats strictness in a display tool).
+func parseExposition(text string) []sample {
+	var out []sample
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		s := sample{name: line[:sp], value: v}
+		if open := strings.IndexByte(s.name, '{'); open >= 0 {
+			if !strings.HasSuffix(s.name, "}") {
+				continue
+			}
+			body := s.name[open+1 : len(s.name)-1]
+			s.labels = map[string]string{}
+			for _, pair := range strings.Split(body, ",") {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 {
+					continue
+				}
+				s.labels[pair[:eq]] = strings.Trim(pair[eq+1:], `"`)
+			}
+			s.name = s.name[:open]
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// metricsView indexes a scrape for the renderer.
+type metricsView struct {
+	samples []sample
+}
+
+// get returns the first series matching name and every given label pair,
+// with ok=false when absent.
+func (m *metricsView) get(name string, labels ...string) (float64, bool) {
+	for _, s := range m.samples {
+		if s.name != name {
+			continue
+		}
+		match := true
+		for i := 0; i+1 < len(labels); i += 2 {
+			if s.labels[labels[i]] != labels[i+1] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.value, true
+		}
+	}
+	return 0, false
+}
+
+// quantiles returns the q->value map of a summary family (optionally
+// filtered by extra label pairs).
+func (m *metricsView) quantiles(name string, labels ...string) map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range m.samples {
+		if s.name != name || s.labels["quantile"] == "" {
+			continue
+		}
+		match := true
+		for i := 0; i+1 < len(labels); i += 2 {
+			if s.labels[labels[i]] != labels[i+1] {
+				match = false
+				break
+			}
+		}
+		if match {
+			out[s.labels["quantile"]] = s.value
+		}
+	}
+	return out
+}
+
+func runTop(c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	watch := fs.Duration("watch", 0, "re-scrape interval (0 = print once and exit)")
+	fs.Parse(args)
+
+	var prev *metricsView
+	var prevAt time.Time
+	for {
+		body, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		view := &metricsView{samples: parseExposition(body)}
+		if *watch > 0 {
+			fmt.Print("\033[H\033[2J") // home + clear: redraw in place
+		}
+		renderTop(view, prev, now.Sub(prevAt))
+		if *watch <= 0 {
+			return nil
+		}
+		prev, prevAt = view, now
+		time.Sleep(*watch)
+	}
+}
+
+func renderTop(m, prev *metricsView, sincePrev time.Duration) {
+	get := func(name string, labels ...string) float64 {
+		v, _ := m.get(name, labels...)
+		return v
+	}
+	// rate computes a per-second delta against the previous scrape; before
+	// the second scrape there is no interval, so it reports -1 (hidden).
+	rate := func(name string, labels ...string) float64 {
+		if prev == nil || sincePrev <= 0 {
+			return -1
+		}
+		pv, ok := prev.get(name, labels...)
+		if !ok {
+			return -1
+		}
+		v, _ := m.get(name, labels...)
+		return (v - pv) / sincePrev.Seconds()
+	}
+	withRate := func(v, r float64, unit string) string {
+		if r < 0 {
+			return fmt.Sprintf("%g", v)
+		}
+		return fmt.Sprintf("%g (%.1f/%s)", v, r, unit)
+	}
+
+	fmt.Printf("tasks     %g total, %g complete\n",
+		get("clamshell_tasks_total"), get("clamshell_tasks_complete"))
+	fmt.Printf("workers   %g in pool, %g idle, %g expired\n",
+		get("clamshell_workers"), get("clamshell_workers_idle"),
+		get("clamshell_expired_workers_total"))
+	fmt.Printf("cost      $%.4f\n", get("clamshell_cost_total_dollars"))
+
+	var backlog []string
+	for _, s := range m.samples {
+		if s.name == "clamshell_backlog_depth" {
+			backlog = append(backlog, fmt.Sprintf("p%s:%g", s.labels["priority"], s.value))
+		}
+	}
+	sort.Strings(backlog)
+	if len(backlog) == 0 {
+		backlog = append(backlog, "empty")
+	}
+	fmt.Printf("backlog   %s\n", strings.Join(backlog, "  "))
+	fmt.Printf("steals    %s\n",
+		withRate(get("clamshell_steals_total"), rate("clamshell_steals_total"), "s"))
+
+	summary := func(label, family string) {
+		qs := m.quantiles(family)
+		n := get(family + "_count")
+		if n == 0 {
+			fmt.Printf("%-9s (no samples)\n", label)
+			return
+		}
+		fmt.Printf("%-9s p50 %-10s p95 %-10s p99 %-10s n=%g\n", label,
+			fmtSeconds(qs["0.5"]), fmtSeconds(qs["0.95"]), fmtSeconds(qs["0.99"]), n)
+	}
+	summary("hand-out", "clamshell_handout_wait_seconds")
+	summary("per-rec", "clamshell_latency_per_record_seconds")
+
+	if _, ok := m.get("clamshell_journal_commit_lag_seconds_count"); ok {
+		lag := m.quantiles("clamshell_journal_commit_lag_seconds")
+		batch := m.quantiles("clamshell_journal_batch_ops")
+		fmt.Printf("journal   commit lag p99 %s, batch p50 %g ops, dirty %s, retained %g\n",
+			fmtSeconds(lag["0.99"]), batch["0.5"],
+			fmtSeconds(get("clamshell_journal_dirty_age_seconds")),
+			get("clamshell_journal_retained_records"))
+	}
+
+	for _, transport := range []string{"http", "wire"} {
+		var parts []string
+		for op := server.Op(0); op < server.NumOps; op++ {
+			n, ok := m.get("clamshell_ops_total", "transport", transport, "op", op.String())
+			if !ok || n == 0 {
+				continue
+			}
+			parts = append(parts, fmt.Sprintf("%s %g", op.String(), n))
+		}
+		if len(parts) > 0 {
+			fmt.Printf("%-9s %s\n", transport+" ops", strings.Join(parts, "  "))
+		}
+	}
+}
+
+// fmtSeconds renders a duration-in-seconds with a unit fit for its scale.
+func fmtSeconds(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 1e-3:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.1fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}

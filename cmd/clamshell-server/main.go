@@ -14,8 +14,10 @@
 // snapshots, so a restart (or crash) recovers the standing backlog and the
 // pay/quality ledger instead of losing them. -retention demotes completed
 // tasks older than the window to compact vote tallies (consensus keeps its
-// full history; the record payloads are dropped); -compact-interval sets
-// the compaction cadence. Restarting with a different -shards value over
+// full history; the record payloads are dropped); -tally-horizon further
+// ages tallies older than its window down to count-only consensus
+// aggregates, bounding retained-log growth on long-lived deployments;
+// -compact-interval sets the compaction cadence. Restarting with a different -shards value over
 // the same directory re-places every task onto the new layout without
 // losing any.
 //
@@ -66,6 +68,7 @@ func main() {
 	maintenance := flag.Duration("maintenance-threshold", 0, "retire workers slower than this per record (0 = off)")
 	persistDir := flag.String("persist-dir", "", "journal + snapshot directory for durable state (empty = in-memory only)")
 	retention := flag.Duration("retention", 0, "demote completed tasks older than this to vote tallies at compaction (0 = keep full history)")
+	tallyHorizon := flag.Duration("tally-horizon", 0, "age retained vote tallies older than this to count-only aggregates at compaction (0 = keep full tallies forever)")
 	compactInterval := flag.Duration("compact-interval", time.Minute, "how often to compact the op journal into a snapshot (with -persist-dir)")
 	fsync := flag.String("fsync", "group", "op-journal fsync policy: commit (every op), group (batched on a short ticker) or off")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "group-commit batching interval (0 = the journal default)")
@@ -75,6 +78,7 @@ func main() {
 		SpeculationLimit:     *spec,
 		WorkerTimeout:        *timeout,
 		MaintenanceThreshold: *maintenance,
+		TallyHorizon:         *tallyHorizon,
 	}, *shards)
 	if *persistDir != "" {
 		if err := fab.OpenPersist(fabric.PersistOptions{

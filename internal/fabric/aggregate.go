@@ -5,11 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strings"
 
+	"github.com/clamshell/clamshell/internal/journal"
 	"github.com/clamshell/clamshell/internal/metrics"
 	"github.com/clamshell/clamshell/internal/quality"
 	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/sketch"
 	"github.com/clamshell/clamshell/internal/stats"
 )
 
@@ -169,59 +170,47 @@ func (f *Fabric) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleMetricsz renders fabric-wide counters in the Prometheus text
-// exposition format. Gauges sum across shards; the P² latency quantiles
-// cannot be merged exactly, so a multi-shard fabric exposes them per shard
-// with a shard label (a 1-shard fabric matches the server's output
-// exactly).
+// handleMetricsz renders the fabric-wide metrics page (served at both
+// /metrics and the /api/metricsz alias). Counters sum across shards;
+// latency sketches are mergeable t-digests, so the fabric serves one true
+// fabric-wide quantile summary per family — each HELP/TYPE header appears
+// exactly once and no series carries a shard label. When the journal
+// engine is attached, durability telemetry (commit lag, group-commit batch
+// size, dirty age, retained-log size) is merged in the same way.
 func (f *Fabric) handleMetricsz(w http.ResponseWriter, r *http.Request) {
-	var total server.Counters
-	var costs metrics.Accounting
+	shards := make([]server.ShardMetrics, 0, len(f.shards))
 	for _, sh := range f.shards {
-		c := sh.CountersNow()
-		f.release(sh)
-		total.Tasks += c.Tasks
-		total.Complete += c.Complete
-		total.Workers += c.Workers
-		total.Idle += c.Idle
-		total.Terminated += c.Terminated
-		total.Retired += c.Retired
-		costs = costs.Add(sh.SettledCosts())
+		shards = append(shards, sh.MetricsState())
+		f.release(sh) // MetricsState expires stale workers, which can orphan steals
 	}
+	page := server.BuildMetricsPage(shards, f.obs, f.journalSnapshot())
+	server.WriteMetricsPage(w, page)
+}
 
-	var b strings.Builder
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
-		fmt.Fprintf(&b, "%s %g\n", name, v)
+// journalSnapshot merges per-store durability telemetry into one fabric
+// view, or nil when the journal engine is detached.
+func (f *Fabric) journalSnapshot() *server.JournalSnapshot {
+	p := f.persist.Load()
+	if p == nil {
+		return nil
 	}
-	gauge("clamshell_tasks_total", "Tasks submitted.", float64(total.Tasks))
-	gauge("clamshell_tasks_complete", "Tasks with a full quorum of answers.", float64(total.Complete))
-	gauge("clamshell_workers", "Workers currently in the retainer pool.", float64(total.Workers))
-	gauge("clamshell_workers_idle", "Pool workers waiting for work.", float64(total.Idle))
-	gauge("clamshell_terminated_total", "Straggler submissions discarded (still paid).", float64(total.Terminated))
-	gauge("clamshell_retired_total", "Workers retired by pool maintenance.", float64(total.Retired))
-	gauge("clamshell_cost_total_dollars", "Total spend.", costs.Total().Dollars())
-
-	fmt.Fprintf(&b, "# HELP clamshell_latency_per_record_seconds Streaming per-record latency quantiles (P2).\n")
-	fmt.Fprintf(&b, "# TYPE clamshell_latency_per_record_seconds summary\n")
-	count := 0
-	for i, sh := range f.shards {
-		qs := sh.LatencyQuantiles()
-		for _, q := range qs {
-			if len(f.shards) == 1 {
-				fmt.Fprintf(&b, "clamshell_latency_per_record_seconds{quantile=%q} %g\n",
-					fmt.Sprintf("%g", q.Q), q.Value)
-			} else {
-				fmt.Fprintf(&b, "clamshell_latency_per_record_seconds{shard=\"%d\",quantile=%q} %g\n",
-					i, fmt.Sprintf("%g", q.Q), q.Value)
-			}
+	p.mu.Lock()
+	stores := append([]*journal.Store(nil), p.stores...)
+	p.mu.Unlock()
+	js := &server.JournalSnapshot{
+		CommitLag: sketch.New(sketch.DefaultCompression),
+		BatchOps:  sketch.New(sketch.DefaultCompression),
+	}
+	for _, st := range stores {
+		if st == nil {
+			continue
 		}
-		if len(qs) > 0 {
-			count += qs[0].N
+		js.CommitLag.Merge(st.CommitLagSnapshot())
+		js.BatchOps.Merge(st.BatchSnapshot())
+		if age := st.DirtyAge().Seconds(); age > js.DirtyAgeSeconds {
+			js.DirtyAgeSeconds = age
 		}
+		js.RetainedRecords += uint64(st.RetainedRecords())
 	}
-	fmt.Fprintf(&b, "clamshell_latency_per_record_seconds_count %d\n", count)
-
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	w.Write([]byte(b.String()))
+	return js
 }

@@ -44,6 +44,7 @@ type Fabric struct {
 	mux       *http.ServeMux
 	now       func() time.Time
 	startedAt time.Time
+	obs       *server.Obs
 	nextHome  atomic.Uint64 // rotation candidate for worker pinning
 	probe     atomic.Uint64 // counter behind the second join-placement probe
 
@@ -68,6 +69,7 @@ func New(cfg server.Config, n int) *Fabric {
 		f.now = cfg.Now
 	}
 	f.startedAt = f.now()
+	f.obs = server.NewObs(cfg.Now)
 	f.mux = http.NewServeMux()
 	server.RegisterCoreRoutes(f.mux, f)
 	f.mux.HandleFunc("GET /api/status", f.handleStatus)
@@ -78,6 +80,7 @@ func New(cfg server.Config, n int) *Fabric {
 	f.mux.HandleFunc("POST /api/restore", f.handleRestore)
 	f.mux.HandleFunc("GET /api/healthz", f.handleHealthz)
 	f.mux.HandleFunc("GET /api/metricsz", f.handleMetricsz)
+	f.mux.HandleFunc("GET /metrics", f.handleMetricsz)
 	f.mux.HandleFunc("GET /{$}", server.WorkerUI)
 	return f
 }
@@ -89,6 +92,11 @@ func (f *Fabric) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // NumShards returns the shard count.
 func (f *Fabric) NumShards() int { return len(f.shards) }
+
+// Obs returns the fabric's transport observability state. It satisfies the
+// same interface sniffed by RegisterCoreRoutes and the wire server, so both
+// transports record per-op latencies into one place.
+func (f *Fabric) Obs() *server.Obs { return f.obs }
 
 // shardOf maps a globally-unique id (worker or task) to its owning shard,
 // or nil for ids outside the allocated space.

@@ -114,6 +114,7 @@ func (f *Fabric) steal(home *server.Shard, workerID int, starvedOnly bool) (serv
 			continue
 		}
 		if home.AssignStolen(workerID, tid) {
+			f.obs.Steals.Add(1)
 			return payload, true
 		}
 		sh.ReleaseActive(tid, workerID)

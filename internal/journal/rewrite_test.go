@@ -1,0 +1,57 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// RewriteRetained swaps a compacted retained log in by rename: the record
+// count resets to the new payload set, the append handle follows the new
+// file, and a reopen recovers exactly rewrite-then-append order.
+func TestRewriteRetained(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := st.AppendRetained([][]byte{[]byte("a"), []byte("b"), []byte("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.RetainedRecords(); got != 3 {
+		t.Fatalf("RetainedRecords = %d, want 3", got)
+	}
+
+	if err := st.RewriteRetained([][]byte{[]byte("b2"), []byte("c2")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.RetainedRecords(); got != 2 {
+		t.Fatalf("RetainedRecords after rewrite = %d, want 2", got)
+	}
+
+	// The append handle must follow the swapped file.
+	if err := st.AppendRetained([][]byte{[]byte("d")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	want := [][]byte{[]byte("b2"), []byte("c2"), []byte("d")}
+	if len(rec.Retained) != len(want) {
+		t.Fatalf("recovered %d retained records, want %d", len(rec.Retained), len(want))
+	}
+	for i, p := range want {
+		if !bytes.Equal(rec.Retained[i], p) {
+			t.Errorf("retained[%d] = %q, want %q", i, rec.Retained[i], p)
+		}
+	}
+	if got := st2.RetainedRecords(); got != 3 {
+		t.Fatalf("RetainedRecords after reopen = %d, want 3", got)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"github.com/clamshell/clamshell/internal/sketch"
 )
 
 // Store is one shard's durability directory:
@@ -46,6 +48,16 @@ type Store struct {
 	syncs     uint64
 	groupStop chan struct{}
 	groupDone chan struct{}
+
+	// Observability: commit lag (first buffered op → durable fsync) and
+	// group-commit batch size, recorded into striped sketches outside mu;
+	// pendingOps/dirtySince track the open batch, retRecords the
+	// retained-log record count (the aging rewrite trigger).
+	lagRec     *sketch.Recorder
+	batchRec   *sketch.Recorder
+	pendingOps uint64
+	dirtySince time.Time
+	retRecords int
 }
 
 // SyncMode selects when the op log is fsynced. The zero value is SyncOff —
@@ -132,15 +144,30 @@ func (s *Store) groupLoop(stop, done chan struct{}, interval time.Duration) {
 // syncDirty fsyncs the wal if group-mode appends are pending.
 func (s *Store) syncDirty() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if !s.dirty {
+		s.mu.Unlock()
 		return
 	}
-	s.dirty = false
+	lag := time.Since(s.dirtySince).Seconds()
+	batch := s.pendingOps
+	s.clearPendingLocked()
 	s.syncs++
-	if err := s.wal.Sync(); err != nil {
+	err := s.wal.Sync()
+	if err != nil {
 		s.failLocked(err)
 	}
+	s.mu.Unlock()
+	if err == nil {
+		s.lagRec.Record(lag)
+		s.batchRec.Record(float64(batch))
+	}
+}
+
+// clearPendingLocked resets the open group-commit batch bookkeeping.
+func (s *Store) clearPendingLocked() {
+	s.dirty = false
+	s.pendingOps = 0
+	s.dirtySince = time.Time{}
 }
 
 // SyncPending reports whether group-mode appends are awaiting their batch
@@ -196,7 +223,11 @@ func Open(dir string) (*Store, Recovered, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, rec, err
 	}
-	s := &Store{dir: dir}
+	s := &Store{
+		dir:      dir,
+		lagRec:   sketch.NewRecorder(sketch.DefaultCompression),
+		batchRec: sketch.NewRecorder(sketch.DefaultCompression),
+	}
 
 	m, err := s.readManifest()
 	if err != nil {
@@ -258,6 +289,7 @@ func Open(dir string) (*Store, Recovered, error) {
 	if payloads, truncated, err := s.recoverLog(s.path(RetainedName), MagicRetained); err == nil {
 		rec.Retained = payloads
 		rec.Truncated = rec.Truncated || truncated
+		s.retRecords = len(payloads)
 	} else if errors.Is(err, os.ErrNotExist) {
 		if err := s.createLog(s.path(RetainedName), MagicRetained); err != nil {
 			return nil, rec, err
@@ -382,6 +414,8 @@ func (s *Store) recoverLog(path, magic string) (payloads [][]byte, truncated boo
 // the operator instead of being silently dropped.
 func (s *Store) Append(op Op) error {
 	payload, err := EncodeOp(op)
+	var lag float64
+	committed := false
 	if err == nil {
 		s.mu.Lock()
 		err = AppendRecord(s.wal, payload)
@@ -390,12 +424,24 @@ func (s *Store) Append(op Op) error {
 			switch s.mode {
 			case SyncCommit:
 				s.syncs++
-				err = s.wal.Sync()
+				t0 := time.Now()
+				if err = s.wal.Sync(); err == nil {
+					lag = time.Since(t0).Seconds()
+					committed = true
+				}
 			case SyncGroup:
-				s.dirty = true
+				s.pendingOps++
+				if !s.dirty {
+					s.dirty = true
+					s.dirtySince = time.Now()
+				}
 			}
 		}
 		s.mu.Unlock()
+	}
+	if committed {
+		s.lagRec.Record(lag)
+		s.batchRec.Record(1)
 	}
 	if err != nil {
 		s.fail(err)
@@ -412,6 +458,7 @@ func (s *Store) AppendRetained(payloads [][]byte) error {
 			s.failLocked(err)
 			return err
 		}
+		s.retRecords++
 	}
 	if len(payloads) > 0 {
 		if err := s.ret.Sync(); err != nil {
@@ -419,6 +466,61 @@ func (s *Store) AppendRetained(payloads [][]byte) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// RetainedRecords returns how many records the retained log holds,
+// including superseded versions of re-written tallies. The caller compares
+// it against the live tally count to decide when a rewrite pays off.
+func (s *Store) RetainedRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retRecords
+}
+
+// RewriteRetained atomically replaces the retained log with exactly the
+// given payloads, discarding superseded versions that the append-only log
+// accumulated (tally aging re-appends a task's record each time its shape
+// changes). The new log is built beside the old one and swapped in by
+// rename, so a crash at any byte leaves a complete log — old or new.
+func (s *Store) RewriteRetained(payloads [][]byte) error {
+	tmp := s.path(RetainedName + ".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		s.fail(err)
+		return err
+	}
+	werr := WriteHeader(f, MagicRetained)
+	for _, p := range payloads {
+		if werr != nil {
+			break
+		}
+		werr = AppendRecord(f, p)
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		s.fail(werr)
+		return werr
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Rename(tmp, s.path(RetainedName)); err != nil {
+		os.Remove(tmp)
+		s.failLocked(err)
+		return err
+	}
+	s.ret.Close()
+	if s.ret, err = os.OpenFile(s.path(RetainedName), os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+		s.failLocked(err)
+		return err
+	}
+	s.retRecords = len(payloads)
 	return nil
 }
 
@@ -444,6 +546,13 @@ func (s *Store) Rotate() (uint64, error) {
 	prev := s.cur
 	s.cur = next
 	s.walOps = 0
+	// The old.Sync below makes any open group batch durable; fold it into
+	// the sketches rather than letting it straddle the generation swap.
+	if s.dirty {
+		s.lagRec.Record(time.Since(s.dirtySince).Seconds())
+		s.batchRec.Record(float64(s.pendingOps))
+		s.clearPendingLocked()
+	}
 	if err := old.Sync(); err != nil {
 		// The rotated-out wal's tail may not be durable. Record it against
 		// the previous generation: the commit that follows folds that
@@ -500,14 +609,45 @@ func (s *Store) Commit(gen uint64, snapshot []byte, newTallies [][]byte) error {
 // Sync flushes the op log to stable storage.
 func (s *Store) Sync() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.dirty = false
-	s.syncs++
-	if err := s.wal.Sync(); err != nil {
-		s.failLocked(err)
-		return err
+	wasDirty := s.dirty
+	var lag float64
+	var batch uint64
+	if wasDirty {
+		lag = time.Since(s.dirtySince).Seconds()
+		batch = s.pendingOps
+		s.clearPendingLocked()
 	}
-	return nil
+	s.syncs++
+	err := s.wal.Sync()
+	if err != nil {
+		s.failLocked(err)
+	}
+	s.mu.Unlock()
+	if err == nil && wasDirty {
+		s.lagRec.Record(lag)
+		s.batchRec.Record(float64(batch))
+	}
+	return err
+}
+
+// CommitLagSnapshot returns a merged sketch of commit lag: the seconds
+// between an op entering the journal and the fsync that made it durable
+// (per-op sync time in commit mode, batch age in group mode).
+func (s *Store) CommitLagSnapshot() *sketch.TDigest { return s.lagRec.Snapshot() }
+
+// BatchSnapshot returns a merged sketch of group-commit batch sizes (ops
+// made durable per fsync; always 1 in commit mode).
+func (s *Store) BatchSnapshot() *sketch.TDigest { return s.batchRec.Snapshot() }
+
+// DirtyAge returns how long the oldest unsynced group-mode op has been
+// waiting for its batch fsync, or 0 when the wal is clean.
+func (s *Store) DirtyAge() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty {
+		return 0
+	}
+	return time.Since(s.dirtySince)
 }
 
 // Close stops the group-commit ticker (flushing any pending batch), then

@@ -1,16 +1,15 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
-	"strings"
 )
 
-// Operational endpoints: a liveness probe and a Prometheus-style text
-// metrics page. Latency quantiles are computed with the O(1)-space P²
-// streaming estimator over per-record round-trip latencies — the live
-// measurement a crowd query optimizer needs to predict batch completion
-// times (the paper's predictability argument, §4.1).
+// Operational endpoints: a liveness probe and the Prometheus scrape
+// surface. Latency quantiles come from mergeable t-digest sketches over
+// per-record round-trip latencies — the live measurement a crowd query
+// optimizer needs to predict batch completion times (the paper's
+// predictability argument, §4.1). GET /metrics is the canonical endpoint;
+// /api/metricsz is the historical alias and serves the same page.
 
 // handleHealthz is the liveness probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -23,47 +22,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetricsz renders counters and latency quantiles in the Prometheus
-// text exposition format.
+// handleMetricsz renders the metrics page (served at both /metrics and the
+// /api/metricsz back-compat alias): merged t-digest latency summaries plus
+// the counters and gauges, via the exposition renderer the fabric shares.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.expireWorkers()
+	page := BuildMetricsPage([]ShardMetrics{s.MetricsState()}, s.obs, nil)
+	WriteMetricsPage(w, page)
+}
 
-	complete, idle := len(s.tallies), 0
-	for _, u := range s.tasks {
-		if u.done {
-			complete++
-		}
-	}
-	for _, pw := range s.workers {
-		if pw.current == 0 {
-			idle++
-		}
-	}
-
-	var b strings.Builder
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
-		fmt.Fprintf(&b, "%s %g\n", name, v)
-	}
-	gauge("clamshell_tasks_total", "Tasks submitted.", float64(len(s.tasks)+len(s.tallies)))
-	gauge("clamshell_tasks_complete", "Tasks with a full quorum of answers.", float64(complete))
-	gauge("clamshell_workers", "Workers currently in the retainer pool.", float64(len(s.workers)))
-	gauge("clamshell_workers_idle", "Pool workers waiting for work.", float64(idle))
-	gauge("clamshell_terminated_total", "Straggler submissions discarded (still paid).", float64(s.terminated))
-	gauge("clamshell_retired_total", "Workers retired by pool maintenance.", float64(s.retiredCount))
-	gauge("clamshell_cost_total_dollars", "Total spend.", s.costs.Total().Dollars())
-
-	fmt.Fprintf(&b, "# HELP clamshell_latency_per_record_seconds Streaming per-record latency quantiles (P2).\n")
-	fmt.Fprintf(&b, "# TYPE clamshell_latency_per_record_seconds summary\n")
-	for _, q := range s.latQ {
-		fmt.Fprintf(&b, "clamshell_latency_per_record_seconds{quantile=%q} %g\n", fmt.Sprintf("%g", q.P()), q.Value())
-	}
-	if len(s.latQ) > 0 {
-		fmt.Fprintf(&b, "clamshell_latency_per_record_seconds_count %d\n", s.latQ[0].N())
-	}
-
+// WriteMetricsPage renders a metrics page with the exposition content type.
+func WriteMetricsPage(w http.ResponseWriter, p *MetricsPage) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	w.Write([]byte(b.String()))
+	w.Write(p.RenderPrometheus())
 }

@@ -186,15 +186,26 @@ func (c *Client) Restore(data []byte) error {
 	return nil
 }
 
-// Metricsz fetches the Prometheus-format metrics page.
+// Metricsz fetches the Prometheus-format metrics page from the historical
+// /api/metricsz alias.
 func (c *Client) Metricsz() (string, error) {
-	r, err := c.HTTP.Get(c.BaseURL + "/api/metricsz")
+	return c.scrape("/api/metricsz")
+}
+
+// Metrics fetches the Prometheus-format metrics page from the canonical
+// /metrics endpoint (the same page Metricsz serves).
+func (c *Client) Metrics() (string, error) {
+	return c.scrape("/metrics")
+}
+
+func (c *Client) scrape(path string) (string, error) {
+	r, err := c.HTTP.Get(c.BaseURL + path)
 	if err != nil {
 		return "", err
 	}
 	defer r.Body.Close()
 	if r.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("metricsz: %s", r.Status)
+		return "", fmt.Errorf("%s: %s", path, r.Status)
 	}
 	b, err := io.ReadAll(r.Body)
 	return string(b), err

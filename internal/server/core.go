@@ -108,20 +108,23 @@ func (s *Shard) CoreEnqueue(specs []TaskSpec) ([]int, error) {
 // then a speculative duplicate (straggler mitigation).
 func (s *Shard) CoreFetch(workerID int) (Assignment, FetchDisposition) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.expireWorkers()
 	if s.retired[workerID] {
+		s.mu.Unlock()
 		return Assignment{}, FetchGoneRetired
 	}
 	pw, ok := s.workers[workerID]
 	if !ok {
+		s.mu.Unlock()
 		return Assignment{}, FetchNoWorker
 	}
 	pw.lastSeen = s.cfg.Now()
 	if pw.current != 0 {
 		if u, ok := s.tasks[pw.current]; ok {
 			// Re-deliver the in-flight assignment (lost response tolerance).
-			return s.assignmentOf(u), FetchAssigned
+			a := s.assignmentOf(u)
+			s.mu.Unlock()
+			return a, FetchAssigned
 		}
 		// The assignment's payload is gone (the task was restored away).
 		// Clear it and fall through to a fresh pick rather than wedging the
@@ -131,13 +134,20 @@ func (s *Shard) CoreFetch(workerID int) (Assignment, FetchDisposition) {
 	}
 	u := s.pick(workerID)
 	if u == nil {
+		s.mu.Unlock()
 		return Assignment{}, FetchNoWork
 	}
 	s.settleWait(pw)
 	s.assign(u, workerID)
 	pw.current = u.id
 	pw.fetchedAt = s.cfg.Now()
-	return s.assignmentOf(u), FetchAssigned
+	a := s.assignmentOf(u)
+	wait, hasWait := handoutWait(u, pw.fetchedAt)
+	s.mu.Unlock()
+	if hasWait {
+		s.handoutRec.Record(wait)
+	}
+	return a, FetchAssigned
 }
 
 // CoreSubmit implements Core, composing the same exported halves the fabric

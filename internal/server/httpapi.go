@@ -21,15 +21,28 @@ import (
 // preallocated), and the hot query strings are parsed without url.Values.
 
 // RegisterCoreRoutes mounts the hot protocol endpoints for a Core
-// implementation on mux.
+// implementation on mux. Cores that expose an observation plane (Obs) get
+// per-op service-time sketches recorded around each handler; the clock is
+// the Core's own, so fake-clock tests see deterministic (zero) durations.
 func RegisterCoreRoutes(mux *http.ServeMux, c Core) {
-	mux.HandleFunc("POST /api/join", func(w http.ResponseWriter, r *http.Request) { handleCoreJoin(w, r, c) })
-	mux.HandleFunc("POST /api/heartbeat", func(w http.ResponseWriter, r *http.Request) { handleCoreHeartbeat(w, r, c) })
-	mux.HandleFunc("POST /api/leave", func(w http.ResponseWriter, r *http.Request) { handleCoreLeave(w, r, c) })
-	mux.HandleFunc("POST /api/tasks", func(w http.ResponseWriter, r *http.Request) { handleCoreEnqueue(w, r, c) })
-	mux.HandleFunc("GET /api/task", func(w http.ResponseWriter, r *http.Request) { handleCoreFetch(w, r, c) })
-	mux.HandleFunc("POST /api/submit", func(w http.ResponseWriter, r *http.Request) { handleCoreSubmit(w, r, c) })
-	mux.HandleFunc("GET /api/result", func(w http.ResponseWriter, r *http.Request) { handleCoreResult(w, r, c) })
+	obs := coreObs(c)
+	wrap := func(op Op, h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+		if obs == nil {
+			return h
+		}
+		return func(w http.ResponseWriter, r *http.Request) {
+			t0 := obs.now()
+			h(w, r)
+			obs.HTTP.Observe(op, obs.now().Sub(t0).Seconds())
+		}
+	}
+	mux.HandleFunc("POST /api/join", wrap(OpKindJoin, func(w http.ResponseWriter, r *http.Request) { handleCoreJoin(w, r, c) }))
+	mux.HandleFunc("POST /api/heartbeat", wrap(OpKindHeartbeat, func(w http.ResponseWriter, r *http.Request) { handleCoreHeartbeat(w, r, c) }))
+	mux.HandleFunc("POST /api/leave", wrap(OpKindLeave, func(w http.ResponseWriter, r *http.Request) { handleCoreLeave(w, r, c) }))
+	mux.HandleFunc("POST /api/tasks", wrap(OpKindEnqueue, func(w http.ResponseWriter, r *http.Request) { handleCoreEnqueue(w, r, c) }))
+	mux.HandleFunc("GET /api/task", wrap(OpKindFetch, func(w http.ResponseWriter, r *http.Request) { handleCoreFetch(w, r, c) }))
+	mux.HandleFunc("POST /api/submit", wrap(OpKindSubmit, func(w http.ResponseWriter, r *http.Request) { handleCoreSubmit(w, r, c) }))
+	mux.HandleFunc("GET /api/result", wrap(OpKindResult, func(w http.ResponseWriter, r *http.Request) { handleCoreResult(w, r, c) }))
 }
 
 // bufPool recycles request-body and response-encoding buffers across

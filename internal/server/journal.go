@@ -80,13 +80,28 @@ func (s *Shard) RecoverFrom(st *journal.Store, rec journal.Recovered) error {
 	return nil
 }
 
-// validateTally checks a retained tally's structural invariants.
+// validateTally checks a retained tally's structural invariants (both
+// shapes: full vote tallies and aged count-only aggregates).
 func validateTally(t RetainedTask) error {
 	if t.ID < 1 {
 		return fmt.Errorf("server: retained tally id %d out of range", t.ID)
 	}
 	if t.Records < 1 {
 		return fmt.Errorf("server: retained tally %d has no records", t.ID)
+	}
+	if t.Aged {
+		if len(t.Answers) != 0 || len(t.Voters) != 0 {
+			return fmt.Errorf("server: aged tally %d still carries %d answers",
+				t.ID, len(t.Answers))
+		}
+		if t.AnswerCount < 1 {
+			return fmt.Errorf("server: aged tally %d has no answer count", t.ID)
+		}
+		if len(t.Consensus) != t.Records {
+			return fmt.Errorf("server: aged tally %d: consensus with %d labels, want %d",
+				t.ID, len(t.Consensus), t.Records)
+		}
+		return nil
 	}
 	if len(t.Answers) != len(t.Voters) {
 		return fmt.Errorf("server: retained tally %d: %d answers but %d voters",
@@ -193,6 +208,7 @@ func (s *Shard) absorbTallies(tallies []RetainedTask) {
 			inserts = append(inserts, t.ID)
 		}
 		s.tallies[t.ID] = t
+		s.enqueueForAging(t)
 		if t.ID > s.nextTask {
 			s.nextTask = t.ID
 		}
@@ -245,8 +261,54 @@ func (s *Shard) demoteLocked(retention time.Duration) {
 		}
 		s.tallies[tid] = t
 		s.talliesDirty[tid] = t
+		s.enqueueForAging(t)
 		delete(s.tasks, tid)
 	}
+}
+
+// enqueueForAging files a freshly retained tally for the aging pass. Only
+// tallies that can ever age are queued: aging must be enabled and the tally
+// must carry a completion time (legacy tallies without one never age).
+// Callers hold mu.
+func (s *Shard) enqueueForAging(t *RetainedTask) {
+	if s.cfg.TallyHorizon <= 0 || t.Aged || t.DoneAt == 0 {
+		return
+	}
+	s.agePending = append(s.agePending, t)
+}
+
+// ageTalliesLocked ages retained tallies whose completion is past the
+// horizon into count-only aggregates: consensus and answer count frozen,
+// per-voter vectors dropped, tally re-marked dirty so the next commit
+// appends the aged record (recovery's last-wins overlay supersedes the full
+// one). The pass scans only the pending queue — tallies inside the horizon
+// window — keeping it O(recent), not O(history). Callers hold mu.
+func (s *Shard) ageTalliesLocked() {
+	if s.cfg.TallyHorizon <= 0 || len(s.agePending) == 0 {
+		return
+	}
+	cutoff := s.cfg.Now().Add(-s.cfg.TallyHorizon).UnixNano()
+	keep := s.agePending[:0]
+	for _, t := range s.agePending {
+		if s.tallies[t.ID] != t || t.Aged {
+			continue // superseded by an import or overlay; drop from the queue
+		}
+		if t.DoneAt > cutoff {
+			keep = append(keep, t)
+			continue
+		}
+		t.Consensus = majorityOf(t.Answers, t.Records)
+		t.AnswerCount = len(t.Answers)
+		t.Answers = nil
+		t.Voters = nil
+		t.Aged = true
+		s.talliesAged++
+		s.talliesDirty[t.ID] = t
+	}
+	for i := len(keep); i < len(s.agePending); i++ {
+		s.agePending[i] = nil
+	}
+	s.agePending = keep
 }
 
 // CompactInto runs one compaction cycle against the store: demote
@@ -263,6 +325,8 @@ func (s *Shard) demoteLocked(retention time.Duration) {
 func (s *Shard) CompactInto(st *journal.Store, retention time.Duration) error {
 	s.mu.Lock()
 	s.demoteLocked(retention)
+	s.ageTalliesLocked()
+	nTallies := len(s.tallies)
 	dirty := make([]*RetainedTask, 0, len(s.talliesDirty))
 	for _, t := range s.talliesDirty {
 		dirty = append(dirty, t)
@@ -298,5 +362,28 @@ func (s *Shard) CompactInto(st *journal.Store, retention time.Duration) error {
 		}
 	}
 	s.mu.Unlock()
+
+	// Aging appends superseding records, so the retained log accumulates
+	// dead versions. Once it holds more than ~2 records per live tally,
+	// rewrite it to one record each — the visible bound on retained-log
+	// growth that aging exists to provide.
+	if st.RetainedRecords() > 2*nTallies+16 {
+		s.mu.Lock()
+		all := make([]*RetainedTask, 0, len(s.tallies))
+		for _, t := range s.tallies {
+			all = append(all, t)
+		}
+		s.mu.Unlock()
+		sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+		rewritten := make([][]byte, len(all))
+		for i, t := range all {
+			if rewritten[i], err = json.Marshal(t); err != nil {
+				return err
+			}
+		}
+		if err := st.RewriteRetained(rewritten); err != nil {
+			return err
+		}
+	}
 	return nil
 }

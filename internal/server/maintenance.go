@@ -25,17 +25,16 @@ type WorkerStats struct {
 }
 
 // observeLatency records a completed assignment's per-record latency for a
-// worker. Callers hold mu.
-func (s *Shard) observeLatency(pw *poolWorker, records int, elapsed time.Duration) {
+// worker and returns it. The caller records the value into the shard's
+// latency sketch after releasing mu. Callers hold mu.
+func (s *Shard) observeLatency(pw *poolWorker, records int, elapsed time.Duration) float64 {
 	if records < 1 {
 		records = 1
 	}
 	perRec := elapsed.Seconds() / float64(records)
 	pw.latN++
 	pw.latSum += perRec
-	for _, q := range s.latQ {
-		q.Add(perRec)
-	}
+	return perRec
 }
 
 // maintenanceCheck retires the worker if maintenance is enabled and their

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/sketch"
+)
+
+// Op identifies one of the seven core operations. The order matches the
+// wire protocol's opcode order (wire opcode = Op + 1), so the transport can
+// map a frame's opcode to its Op with one subtraction.
+type Op int
+
+const (
+	OpKindJoin Op = iota
+	OpKindHeartbeat
+	OpKindLeave
+	OpKindEnqueue
+	OpKindFetch
+	OpKindSubmit
+	OpKindResult
+	NumOps
+)
+
+// String returns the op's metric-label spelling.
+func (o Op) String() string {
+	switch o {
+	case OpKindJoin:
+		return "join"
+	case OpKindHeartbeat:
+		return "heartbeat"
+	case OpKindLeave:
+		return "leave"
+	case OpKindEnqueue:
+		return "enqueue"
+	case OpKindFetch:
+		return "fetch"
+	case OpKindSubmit:
+		return "submit"
+	case OpKindResult:
+		return "result"
+	}
+	return "unknown"
+}
+
+// TransportStats tracks per-op service time and op counts for one
+// transport surface (HTTP shim or binary wire).
+type TransportStats struct {
+	lat [NumOps]*sketch.Recorder
+	n   [NumOps]atomic.Uint64
+}
+
+func (ts *TransportStats) init() {
+	for i := range ts.lat {
+		ts.lat[i] = sketch.NewRecorder(sketch.DefaultCompression)
+	}
+}
+
+// Observe records one completed op with its server-side service time.
+func (ts *TransportStats) Observe(op Op, seconds float64) {
+	if op < 0 || op >= NumOps {
+		return
+	}
+	ts.n[op].Add(1)
+	ts.lat[op].Record(seconds)
+}
+
+// Tick counts one completed op without a latency observation. Transports
+// that sample their clock reads (the wire hot path) call Tick for the
+// unsampled ops so counts stay exact while the sketch sees a uniform
+// subsample.
+func (ts *TransportStats) Tick(op Op) {
+	if op < 0 || op >= NumOps {
+		return
+	}
+	ts.n[op].Add(1)
+}
+
+// Count returns the number of ops observed for op.
+func (ts *TransportStats) Count(op Op) uint64 {
+	if op < 0 || op >= NumOps {
+		return 0
+	}
+	return ts.n[op].Load()
+}
+
+// Snapshot returns a merged point-in-time digest of op's service times.
+func (ts *TransportStats) Snapshot(op Op) *sketch.TDigest {
+	if op < 0 || op >= NumOps {
+		return sketch.New(sketch.DefaultCompression)
+	}
+	return ts.lat[op].Snapshot()
+}
+
+// Obs is the observability plane shared by whatever transports front a
+// Core: per-op service-time sketches for the JSON shim and the binary wire
+// protocol, wire frame-decode time, and the fabric's steal counter. The
+// clock is injected from the Core's own (possibly fake) clock so timings
+// are deterministic under test clocks and consistent with the Core's view
+// of time.
+type Obs struct {
+	HTTP       TransportStats
+	Wire       TransportStats
+	WireDecode *sketch.Recorder
+	Steals     atomic.Uint64
+
+	now func() time.Time
+}
+
+// NewObs builds an observability plane on the given clock (nil selects
+// time.Now).
+func NewObs(now func() time.Time) *Obs {
+	if now == nil {
+		now = time.Now
+	}
+	o := &Obs{WireDecode: sketch.NewRecorder(sketch.DefaultCompression), now: now}
+	o.HTTP.init()
+	o.Wire.init()
+	return o
+}
+
+// Now returns the plane's clock reading; transports use it to bracket op
+// handling.
+func (o *Obs) Now() time.Time { return o.now() }
+
+// obsProvider is the interface transports sniff on a Core to find its
+// observability plane; Cores without one simply are not instrumented.
+type obsProvider interface {
+	Obs() *Obs
+}
+
+// coreObs returns c's observability plane, or nil.
+func coreObs(c Core) *Obs {
+	if p, ok := c.(obsProvider); ok {
+		return p.Obs()
+	}
+	return nil
+}

@@ -54,6 +54,13 @@ type TaskState struct {
 // retention window: the vote graph rows /api/consensus needs (who labeled
 // what), the task's dimensions, and nothing else — the record payloads,
 // the dominant share of a task's bytes, are gone.
+//
+// A tally past the (optional) aging horizon compacts once more, into a
+// count-only aggregate: the consensus labels and answer count are frozen
+// and the per-voter vectors dropped. Aged tallies still answer /api/result
+// and still count toward the task totals; they no longer contribute votes
+// to consensus re-estimation. All three aging fields are omitempty, so
+// snapshots written before aging existed are byte-identical.
 type RetainedTask struct {
 	ID      int     `json:"id"`
 	Records int     `json:"records"` // record count (payloads dropped)
@@ -61,6 +68,10 @@ type RetainedTask struct {
 	Answers [][]int `json:"answers,omitempty"`
 	Voters  []int   `json:"voters,omitempty"`
 	DoneAt  int64   `json:"done_at,omitempty"`
+
+	Aged        bool  `json:"aged,omitempty"`
+	AnswerCount int   `json:"answer_count,omitempty"` // answers at aging time
+	Consensus   []int `json:"consensus,omitempty"`    // majority labels at aging time
 }
 
 // SnapshotState is the full durable state of one pool (a standalone server
@@ -240,6 +251,10 @@ func (s *Shard) ImportState(st SnapshotState) {
 	s.tasks = tasks
 	s.tallies = tallies
 	s.talliesDirty = dirty
+	s.agePending = nil
+	for _, t := range tallies {
+		s.enqueueForAging(t)
+	}
 	s.order = append([]int(nil), st.Order...)
 	// Rebuild the dispatch index from scratch: sequence numbers follow the
 	// restored submission order, so FIFO-within-priority hand-out order

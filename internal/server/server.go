@@ -22,7 +22,7 @@ import (
 
 	"github.com/clamshell/clamshell/internal/journal"
 	"github.com/clamshell/clamshell/internal/metrics"
-	"github.com/clamshell/clamshell/internal/stats"
+	"github.com/clamshell/clamshell/internal/sketch"
 )
 
 // TaskSpec is a labeling task submitted by a client.
@@ -51,15 +51,16 @@ type TaskStatus struct {
 
 // workUnit is the server's internal task state.
 type workUnit struct {
-	id        int
-	seq       int // submission sequence on this shard (FIFO dispatch order)
-	spec      TaskSpec
-	answers   [][]int      // one label vector per completed assignment
-	voters    []int        // worker id per answer
-	active    map[int]bool // worker ids currently assigned
-	done      bool
-	doneAt    time.Time    // when the quorum filled (drives retention demotion)
-	termAcked map[int]bool // workers whose terminated submission was acknowledged (replay dedup)
+	id         int
+	seq        int // submission sequence on this shard (FIFO dispatch order)
+	spec       TaskSpec
+	answers    [][]int      // one label vector per completed assignment
+	voters     []int        // worker id per answer
+	active     map[int]bool // worker ids currently assigned
+	done       bool
+	doneAt     time.Time    // when the quorum filled (drives retention demotion)
+	enqueuedAt int64        // UnixNano when the task entered the queue (hand-out wait metric; zero after replay)
+	termAcked  map[int]bool // workers whose terminated submission was acknowledged (replay dedup)
 
 	// Dispatch-index bookkeeping (see dispatch.go): the partition the task
 	// currently belongs to and its position in that partition's heap.
@@ -115,6 +116,13 @@ type Config struct {
 
 	// Costs sets pay rates for the live accounting endpoint.
 	Costs CostConfig
+
+	// TallyHorizon, when positive, ages retained vote tallies that
+	// completed more than this long ago into count-only aggregates
+	// (consensus labels and answer count kept, per-voter vectors dropped)
+	// during retention compaction, bounding retained-log growth. Zero
+	// keeps full tallies forever.
+	TallyHorizon time.Duration
 }
 
 // Shard is one independently-locked retainer pool: tasks, queue order,
@@ -145,9 +153,25 @@ type Shard struct {
 	terminated   int          // duplicate answers discarded (stragglers that lost)
 	retired      map[int]bool // workers retired by server-side maintenance
 	retiredCount int
+	expired      int // workers expired for missing heartbeats
+	talliesAged  int // tallies aged into count-only aggregates
 	costs        metricsAccounting
 	startedAt    time.Time
-	latQ         []*stats.P2Quantile // streaming p50/p95/p99 of per-record latency
+
+	// agePending holds retained tallies not yet past the aging horizon, in
+	// demotion order, so the compaction-time aging pass scans only the
+	// recent window instead of every tally ever retained.
+	agePending []*RetainedTask
+
+	// latRec/handoutRec are the shard's latency sketches (per-record
+	// round-trip, dispatch-index hand-out wait). Observations are computed
+	// under mu but recorded after it is released — the recorder has its own
+	// striped locks and must stay off the routing hot path's critical
+	// section. obs carries the transport-level sketches (per-op service
+	// time) shared by the HTTP shim and the wire protocol.
+	latRec     *sketch.Recorder
+	handoutRec *sketch.Recorder
+	obs        *Obs
 
 	// logf, when set, journals one op per durable mutation (write-through;
 	// see AttachJournal). Called with mu held, so ops land in the shard's
@@ -219,11 +243,9 @@ func initShard(sh *Shard, cfg Config, index, count int) {
 	sh.workers = make(map[int]*poolWorker)
 	sh.retired = make(map[int]bool)
 	sh.startedAt = cfg.Now()
-	sh.latQ = []*stats.P2Quantile{
-		stats.NewP2Quantile(0.5),
-		stats.NewP2Quantile(0.95),
-		stats.NewP2Quantile(0.99),
-	}
+	sh.latRec = sketch.NewRecorder(sketch.DefaultCompression)
+	sh.handoutRec = sketch.NewRecorder(sketch.DefaultCompression)
+	sh.obs = NewObs(cfg.Now)
 }
 
 // NewShard creates shard index of count for a fabric. Ids allocated by the
@@ -255,6 +277,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /api/restore", s.handleRestore)
 	s.mux.HandleFunc("GET /api/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /api/metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetricsz)
 	s.mux.HandleFunc("GET /{$}", s.handleUI)
 	return s
 }
@@ -337,7 +360,8 @@ func (s *Shard) enqueueLocked(spec TaskSpec) int {
 	}
 	s.nextTask = s.stripeNext(s.nextTask)
 	s.nextSeq++
-	u := &workUnit{id: s.nextTask, seq: s.nextSeq, spec: spec, active: make(map[int]bool)}
+	u := &workUnit{id: s.nextTask, seq: s.nextSeq, spec: spec, active: make(map[int]bool),
+		enqueuedAt: s.cfg.Now().UnixNano()}
 	s.tasks[u.id] = u
 	s.order = append(s.order, u.id)
 	s.logOp(journal.Op{
@@ -392,8 +416,18 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// retainedStatus builds the /api/result view of a demoted task.
+// retainedStatus builds the /api/result view of a demoted task. An aged
+// tally no longer holds per-voter answers; its consensus and answer count
+// were captured when it aged.
 func retainedStatus(t *RetainedTask) TaskStatus {
+	if t.Aged {
+		return TaskStatus{
+			ID:        t.ID,
+			State:     "complete",
+			Answers:   t.AnswerCount,
+			Consensus: t.Consensus,
+		}
+	}
 	return TaskStatus{
 		ID:        t.ID,
 		State:     "complete",
@@ -459,6 +493,7 @@ func (s *Shard) expireWorkers() {
 				}
 				pw.waitStart = time.Time{}
 			}
+			s.expired++
 			s.removeWorker(id, "expire")
 			continue
 		}

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/clamshell/clamshell/internal/journal"
 	"github.com/clamshell/clamshell/internal/metrics"
@@ -112,9 +113,9 @@ func (s *Shard) PoolSize() int { return int(s.poolSize.Load()) }
 // false when the shard has nothing for this worker.
 func (s *Shard) PickLocal(workerID int, starvedOnly bool) (Assignment, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	pw, ok := s.workers[workerID]
 	if !ok || pw.current != 0 {
+		s.mu.Unlock()
 		return Assignment{}, false
 	}
 	var u *workUnit
@@ -124,13 +125,20 @@ func (s *Shard) PickLocal(workerID int, starvedOnly bool) (Assignment, bool) {
 		u = s.pick(workerID)
 	}
 	if u == nil {
+		s.mu.Unlock()
 		return Assignment{}, false
 	}
 	s.settleWait(pw)
 	s.assign(u, workerID)
 	pw.current = u.id
 	pw.fetchedAt = s.cfg.Now()
-	return s.assignmentOf(u), true
+	a := s.assignmentOf(u)
+	wait, hasWait := handoutWait(u, pw.fetchedAt)
+	s.mu.Unlock()
+	if hasWait {
+		s.handoutRec.Record(wait)
+	}
+	return a, true
 }
 
 // PickSteal picks a task on this shard for a worker homed on another shard
@@ -142,16 +150,36 @@ func (s *Shard) PickLocal(workerID int, starvedOnly bool) (Assignment, bool) {
 // worker's home shard with AssignStolen, or rolls back with ReleaseActive.
 func (s *Shard) PickSteal(workerID int, starvedOnly bool) (taskID int, payload Assignment, ok bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	u := s.pickPart(dispatchStarved, workerID)
 	if u == nil && !starvedOnly {
 		u = s.pickPart(dispatchSpeculative, workerID)
 	}
 	if u == nil {
+		s.mu.Unlock()
 		return 0, Assignment{}, false
 	}
 	s.assign(u, workerID)
-	return u.id, s.assignmentOf(u), true
+	id, a := u.id, s.assignmentOf(u)
+	wait, hasWait := handoutWait(u, s.cfg.Now())
+	s.mu.Unlock()
+	if hasWait {
+		s.handoutRec.Record(wait)
+	}
+	return id, a, true
+}
+
+// handoutWait computes the task's time-in-queue at hand-out. Tasks whose
+// enqueue time did not survive (journal replay) report nothing rather than
+// a bogus epoch-sized wait.
+func handoutWait(u *workUnit, at time.Time) (float64, bool) {
+	if u.enqueuedAt == 0 {
+		return 0, false
+	}
+	d := float64(at.UnixNano()-u.enqueuedAt) / 1e9
+	if d < 0 {
+		d = 0
+	}
+	return d, true
 }
 
 // AssignStolen records a stolen assignment on the worker's home shard. It
@@ -306,15 +334,18 @@ func (s *Shard) AcceptAnswer(taskID, workerID int, labels []int) (outcome Submit
 // restarts the paid-wait span).
 func (s *Shard) FinishAssignment(workerID, taskID, records int) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	pw, ok := s.workers[workerID]
 	if !ok {
+		s.mu.Unlock()
 		return
 	}
+	var perRec float64
+	hasLat := false
 	if pw.current == taskID {
 		pw.current = 0
 		if !pw.fetchedAt.IsZero() {
-			s.observeLatency(pw, records, s.cfg.Now().Sub(pw.fetchedAt))
+			perRec = s.observeLatency(pw, records, s.cfg.Now().Sub(pw.fetchedAt))
+			hasLat = true
 		}
 	}
 	pw.done++
@@ -322,16 +353,22 @@ func (s *Shard) FinishAssignment(workerID, taskID, records int) {
 	if !s.maintenanceCheck(pw) {
 		s.startWait(pw)
 	}
+	s.mu.Unlock()
+	if hasLat {
+		s.latRec.Record(perRec)
+	}
 }
 
 // Counters is one shard's contribution to GET /api/status.
 type Counters struct {
-	Tasks      int
-	Complete   int
-	Workers    int
-	Idle       int
-	Terminated int
-	Retired    int
+	Tasks       int
+	Complete    int
+	Workers     int
+	Idle        int
+	Terminated  int
+	Retired     int
+	Expired     int
+	TalliesAged int
 }
 
 // CountersNow expires stale workers and reports the shard's health
@@ -340,14 +377,21 @@ func (s *Shard) CountersNow() Counters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expireWorkers()
+	return s.countersLocked()
+}
+
+// countersLocked reports the shard's health counters. Callers hold mu.
+func (s *Shard) countersLocked() Counters {
 	// Retained tallies count as complete tasks: retention compaction
 	// shrinks a task's representation, it does not forget the task.
 	c := Counters{
-		Tasks:      len(s.tasks) + len(s.tallies),
-		Complete:   len(s.tallies),
-		Workers:    len(s.workers),
-		Terminated: s.terminated,
-		Retired:    s.retiredCount,
+		Tasks:       len(s.tasks) + len(s.tallies),
+		Complete:    len(s.tallies),
+		Workers:     len(s.workers),
+		Terminated:  s.terminated,
+		Retired:     s.retiredCount,
+		Expired:     s.expired,
+		TalliesAged: s.talliesAged,
 	}
 	for _, u := range s.tasks {
 		if u.done {
@@ -524,21 +568,48 @@ func (s *Shard) TaskMeta() (order []int, records map[int]int) {
 	return order, records
 }
 
-// QuantileStat is one streaming latency quantile's state.
-type QuantileStat struct {
-	Q     float64 // the quantile, e.g. 0.95
-	Value float64 // current estimate (seconds per record)
-	N     int     // observations
+// Obs returns the shard's transport observation plane. The HTTP shim and
+// wire transport sniff this off any Core to record per-op service times.
+func (s *Shard) Obs() *Obs { return s.obs }
+
+// RecordLatencySample feeds one per-record latency observation directly
+// into the shard's sketch — the injection point for tests that prove
+// merged fabric-wide quantiles against exact sample quantiles.
+func (s *Shard) RecordLatencySample(seconds float64) { s.latRec.Record(seconds) }
+
+// MetricsState snapshots this shard's contribution to a metrics page:
+// health counters, settled cost, latency sketches and backlog depths. The
+// fabric merges these across shards; the standalone Server renders one.
+func (s *Shard) MetricsState() ShardMetrics {
+	s.mu.Lock()
+	s.expireWorkers()
+	c := s.countersLocked()
+	cost := s.costs.Total().Dollars()
+	backlog := s.backlogLocked()
+	s.mu.Unlock()
+	return ShardMetrics{
+		Counters:    c,
+		CostDollars: cost,
+		PerRecord:   s.latRec.Snapshot(),
+		Handout:     s.handoutRec.Snapshot(),
+		Backlog:     backlog,
+	}
 }
 
-// LatencyQuantiles reports the shard's streaming per-record latency
-// quantiles.
-func (s *Shard) LatencyQuantiles() []QuantileStat {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]QuantileStat, 0, len(s.latQ))
-	for _, q := range s.latQ {
-		out = append(out, QuantileStat{Q: q.P(), Value: q.Value(), N: q.N()})
+// backlogLocked reports pending tasks per priority bucket across both
+// dispatch partitions (starved + speculative). Callers hold mu.
+func (s *Shard) backlogLocked() []BacklogDepth {
+	depth := map[int]int{}
+	for p := range s.dispatch {
+		for prio, b := range s.dispatch[p].buckets {
+			if len(b.h) > 0 {
+				depth[prio] += len(b.h)
+			}
+		}
+	}
+	out := make([]BacklogDepth, 0, len(depth))
+	for prio, d := range depth {
+		out = append(out, BacklogDepth{Priority: prio, Depth: d})
 	}
 	return out
 }

@@ -1,0 +1,168 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary codec: a compact, versioned encoding so digests can ship over the
+// wire protocol or persist in a snapshot. Layout (little-endian):
+//
+//	[1]  version
+//	[8]  compression (float64 bits)
+//	[uv] count (uvarint)
+//	[8]  sum, [8] min, [8] max   (present only when count > 0)
+//	[uv] centroid count
+//	[16]·n  (mean, weight) float64 pairs, means ascending
+//
+// Decoding is strict: every structural invariant a decoded digest relies
+// on (sorted means, positive finite weights, weight total matching count)
+// is validated, so a corrupt or hostile payload cannot poison quantile
+// reads later.
+
+// codecVersion pins the encoding; additive evolution bumps it.
+const codecVersion = 1
+
+// ErrCodec reports a malformed digest encoding.
+var ErrCodec = errors.New("sketch: malformed digest encoding")
+
+// AppendBinary appends the digest's encoding to b and returns the extended
+// slice. The buffer is flushed first.
+func (t *TDigest) AppendBinary(b []byte) []byte {
+	t.flush()
+	b = append(b, codecVersion)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.compression))
+	b = binary.AppendUvarint(b, uint64(t.count))
+	if t.count > 0 {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.sum))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.min))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.max))
+	}
+	b = binary.AppendUvarint(b, uint64(len(t.means)))
+	for i := range t.means {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.means[i]))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.weights[i]))
+	}
+	return b
+}
+
+// Decode parses an encoding produced by AppendBinary, consuming the whole
+// input (trailing bytes are rejected).
+func Decode(data []byte) (*TDigest, error) {
+	d := decoder{b: data}
+	v, err := d.byte1()
+	if err != nil {
+		return nil, err
+	}
+	if v != codecVersion {
+		return nil, fmt.Errorf("sketch: digest encoding version %d, want %d", v, codecVersion)
+	}
+	comp, err := d.f64()
+	if err != nil {
+		return nil, err
+	}
+	if math.IsNaN(comp) || comp < 10 || comp > 1e6 {
+		return nil, fmt.Errorf("%w: compression %g out of range", ErrCodec, comp)
+	}
+	count, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	t := New(comp)
+	t.count = int64(count)
+	if count > 0 {
+		if t.sum, err = d.f64(); err != nil {
+			return nil, err
+		}
+		if t.min, err = d.f64(); err != nil {
+			return nil, err
+		}
+		if t.max, err = d.f64(); err != nil {
+			return nil, err
+		}
+		if math.IsNaN(t.sum) || math.IsNaN(t.min) || math.IsNaN(t.max) || t.min > t.max {
+			return nil, fmt.Errorf("%w: bad summary stats", ErrCodec)
+		}
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if (count == 0) != (n == 0) {
+		return nil, fmt.Errorf("%w: count %d with %d centroids", ErrCodec, count, n)
+	}
+	// Each encoded centroid is 16 bytes: bound the allocation by the
+	// remaining payload before trusting the count.
+	if n > uint64(len(d.b)-d.i)/16 {
+		return nil, fmt.Errorf("%w: centroid count exceeds payload", ErrCodec)
+	}
+	t.means = make([]float64, n)
+	t.weights = make([]float64, n)
+	var wsum float64
+	for i := uint64(0); i < n; i++ {
+		m, err := d.f64()
+		if err != nil {
+			return nil, err
+		}
+		w, err := d.f64()
+		if err != nil {
+			return nil, err
+		}
+		if math.IsNaN(m) || math.IsInf(m, 0) || math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+			return nil, fmt.Errorf("%w: bad centroid", ErrCodec)
+		}
+		if i > 0 && m < t.means[i-1] {
+			return nil, fmt.Errorf("%w: centroid means out of order", ErrCodec)
+		}
+		t.means[i] = m
+		t.weights[i] = w
+		wsum += w
+	}
+	if n > 0 {
+		if math.Abs(wsum-float64(count)) > 1e-6*float64(count)+1e-9 {
+			return nil, fmt.Errorf("%w: centroid weight %g does not match count %d", ErrCodec, wsum, count)
+		}
+		if t.means[0] < t.min || t.means[n-1] > t.max {
+			return nil, fmt.Errorf("%w: centroids outside [min, max]", ErrCodec)
+		}
+	}
+	t.wsum = wsum
+	if d.i != len(d.b) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCodec)
+	}
+	return t, nil
+}
+
+type decoder struct {
+	b []byte
+	i int
+}
+
+func (d *decoder) byte1() (byte, error) {
+	if d.i >= len(d.b) {
+		return 0, fmt.Errorf("%w: truncated", ErrCodec)
+	}
+	v := d.b[d.i]
+	d.i++
+	return v, nil
+}
+
+func (d *decoder) f64() (float64, error) {
+	if len(d.b)-d.i < 8 {
+		return 0, fmt.Errorf("%w: truncated", ErrCodec)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.i:]))
+	d.i += 8
+	return v, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.i:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated", ErrCodec)
+	}
+	d.i += n
+	return v, nil
+}

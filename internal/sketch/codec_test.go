@@ -1,0 +1,99 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	d := New(DefaultCompression)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 25000; i++ {
+		d.Add(rng.ExpFloat64())
+	}
+	got, err := Decode(d.AppendBinary(nil))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Count() != d.Count() || got.Sum() != d.Sum() || got.Min() != d.Min() || got.Max() != d.Max() {
+		t.Fatalf("summary stats changed across round trip")
+	}
+	// The codec carries centroids verbatim, so quantiles are bit-identical.
+	for _, q := range []float64{0, 0.01, 0.5, 0.95, 0.99, 1} {
+		if got.Quantile(q) != d.Quantile(q) {
+			t.Errorf("q=%g: %g != %g after round trip", q, got.Quantile(q), d.Quantile(q))
+		}
+	}
+	// A decoded digest must keep working as a live sketch.
+	got.Add(3)
+	other := New(DefaultCompression)
+	other.Add(1)
+	got.Merge(other)
+	if got.Count() != d.Count()+2 {
+		t.Fatalf("decoded digest not usable: count %d", got.Count())
+	}
+}
+
+func TestCodecEmptyDigest(t *testing.T) {
+	d := New(DefaultCompression)
+	got, err := Decode(d.AppendBinary(nil))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if got.Count() != 0 || got.Quantile(0.5) != 0 {
+		t.Fatalf("empty digest round trip changed state")
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	d := New(DefaultCompression)
+	for i := 0; i < 1000; i++ {
+		d.Add(float64(i))
+	}
+	enc := d.AppendBinary(nil)
+
+	// Every truncation must fail cleanly, never panic or half-decode.
+	for n := 0; n < len(enc); n++ {
+		if _, err := Decode(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+
+	bad := append([]byte(nil), enc...)
+	bad[0] = codecVersion + 1
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+
+	// Corrupt the compression to an absurd value.
+	bad = append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint64(bad[1:], math.Float64bits(-5))
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("negative compression accepted")
+	}
+
+	// Zero out a centroid weight (weights must be positive, and the total
+	// must match the count).
+	bad = append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint64(bad[len(bad)-8:], math.Float64bits(0))
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("zero centroid weight accepted")
+	}
+
+	// Swap the last two centroid means out of order.
+	bad = append([]byte(nil), enc...)
+	lastMean := bad[len(bad)-16:]
+	prevMean := bad[len(bad)-32:]
+	m1 := binary.LittleEndian.Uint64(prevMean)
+	m2 := binary.LittleEndian.Uint64(lastMean)
+	binary.LittleEndian.PutUint64(prevMean, m2)
+	binary.LittleEndian.PutUint64(lastMean, m1)
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("unsorted centroid means accepted")
+	}
+}

@@ -19,12 +19,19 @@ import (
 // workload).
 type Server struct {
 	core server.Core
+	obs  *server.Obs
 }
 
 // NewServer returns a wire server over core (a *fabric.Fabric or a
-// standalone shard).
+// standalone shard). If the core exposes an observability plane, per-op
+// service time and frame-decode time are recorded into it; cores without
+// one are served uninstrumented.
 func NewServer(core server.Core) *Server {
-	return &Server{core: core}
+	s := &Server{core: core}
+	if p, ok := core.(interface{ Obs() *server.Obs }); ok {
+		s.obs = p.Obs()
+	}
+	return s
 }
 
 // Serve accepts connections on l, serving each on its own goroutine.
@@ -68,6 +75,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		return
 	}
 	var reqBuf, respBuf []byte
+	var reqSeq uint
 	for {
 		payload, err := readFrame(br, reqBuf)
 		if err != nil {
@@ -78,13 +86,47 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		reqBuf = payload[:0:cap(payload)]
 		respBuf = respBuf[:0]
-		if req, err := decodeRequest(payload); err != nil {
-			// The frame was intact (CRC passed) but the payload is not a
-			// well-formed request: answer the error in-band; framing is
-			// still synchronized.
-			respBuf = appendError(respBuf, stBadRequest, err.Error())
+		if s.obs == nil {
+			if req, err := decodeRequest(payload); err != nil {
+				// The frame was intact (CRC passed) but the payload is not a
+				// well-formed request: answer the error in-band; framing is
+				// still synchronized.
+				respBuf = appendError(respBuf, stBadRequest, err.Error())
+			} else {
+				respBuf = s.handle(req, respBuf)
+			}
 		} else {
-			respBuf = s.handle(req, respBuf)
+			// Op counts are exact; the latency sketches see a 1-in-8
+			// uniform sample (and the decode split 1-in-64, a subset of
+			// it), starting with the connection's first request so
+			// low-traffic surfaces still get observations. Sampling keeps
+			// the hot path at zero clock reads for 7 of 8 requests — on a
+			// machine without a vDSO clock, bracketing every request with
+			// three reads costs several percent of the op budget, which is
+			// exactly the regression this plane must not introduce.
+			reqSeq++
+			sampled := reqSeq&7 == 1
+			var t0 time.Time
+			if sampled {
+				t0 = s.obs.Now()
+			}
+			req, err := decodeRequest(payload)
+			start := t0
+			if sampled && reqSeq&63 == 1 {
+				start = s.obs.Now()
+				s.obs.WireDecode.Record(start.Sub(t0).Seconds())
+			}
+			if err != nil {
+				respBuf = appendError(respBuf, stBadRequest, err.Error())
+			} else {
+				respBuf = s.handle(req, respBuf)
+				// Wire opcodes are Op+1 by construction (see server.Op).
+				if op := server.Op(req.op) - 1; sampled {
+					s.obs.Wire.Observe(op, s.obs.Now().Sub(start).Seconds())
+				} else {
+					s.obs.Wire.Tick(op)
+				}
+			}
 		}
 		if len(respBuf) > MaxFrame {
 			// The core produced a response too large to frame (e.g. an
