@@ -1,0 +1,18 @@
+// Command clamshell-vet is the project's static-analysis suite, usable as
+// a `go vet -vettool` or standalone:
+//
+//	go build -o bin/clamshell-vet ./cmd/clamshell-vet
+//	go vet -vettool=bin/clamshell-vet ./...
+//
+//	# or, equivalently:
+//	bin/clamshell-vet ./...
+//
+// See internal/analyzers for the checkers and README.md ("Static
+// analysis") for what each enforces.
+package main
+
+import "github.com/clamshell/clamshell/internal/analyzers"
+
+func main() {
+	analyzers.Main()
+}

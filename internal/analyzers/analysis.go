@@ -1,0 +1,204 @@
+// Package analyzers holds the project's static-analysis suite: five
+// checkers that turn the fabric's unwritten invariants — journal emits
+// happen under the shard lock, the wire hot path stays allocation-free,
+// every opcode has a matched codec pair and fuzz seed, metric families are
+// registered in the exposition catalog, atomically-accessed fields are
+// never touched plainly — into compile-time diagnostics.
+//
+// The suite is built directly on go/ast, go/types and go/importer (export
+// data produced by `go list -export`), with no dependency on
+// golang.org/x/tools, and is driven through the `go vet -vettool`
+// unitchecker protocol by cmd/clamshell-vet. See driver.go for the
+// protocol half and README.md ("Static analysis") for usage.
+//
+// # Directives
+//
+// Source comments steer the analyzers:
+//
+//	//clamshell:hotpath               marks a function as a hot-path root
+//	//clamshell:coldpath              excludes a function from hot-set propagation
+//	//clamshell:locked <reason>       this function/closure runs with the shard lock held
+//	//clamshell:blocking-ok <reason>  waives a locksafe blocking-I/O finding
+//	//clamshell:hotpath-ok <reason>   waives a hotpath finding
+//	//clamshell:atomic-ok <reason>    waives an atomicfield finding
+//
+// Waiver directives require a non-empty reason and apply to findings on
+// the same line or the line directly below the comment.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named checker. Run inspects a single package via its
+// Pass and reports findings through pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// All is the suite, in reporting order.
+var All = []*Analyzer{
+	Locksafe,
+	Hotpath,
+	Codecpair,
+	Metriclint,
+	Atomicfield,
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Facts carries analyzer facts imported from the package's
+	// dependencies and collects facts this package exports (see facts.go).
+	Facts *Facts
+
+	// report receives each finding; the driver aggregates across analyzers.
+	report func(Diagnostic)
+
+	directives map[string][]directive // filename -> line-sorted directives
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A directive is one parsed //clamshell:NAME comment.
+type directive struct {
+	line int
+	name string // "hotpath", "blocking-ok", ...
+	args string // trailing text after the name
+}
+
+const directivePrefix = "//clamshell:"
+
+// parseDirectives indexes every //clamshell: comment in the pass's files
+// by file and line. Called once by the driver before analyzers run.
+func (p *Pass) parseDirectives() {
+	p.directives = map[string][]directive{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				name, args, _ := strings.Cut(rest, " ")
+				pos := p.Fset.Position(c.Pos())
+				p.directives[pos.Filename] = append(p.directives[pos.Filename], directive{
+					line: pos.Line,
+					name: name,
+					args: strings.TrimSpace(args),
+				})
+			}
+		}
+	}
+}
+
+// directiveAt reports whether a //clamshell:<name> directive covers pos:
+// on the same line, or on the line directly above it.
+func (p *Pass) directiveAt(pos token.Pos, name string) (directive, bool) {
+	at := p.Fset.Position(pos)
+	for _, d := range p.directives[at.Filename] {
+		if d.name == name && (d.line == at.Line || d.line == at.Line-1) {
+			return d, true
+		}
+	}
+	return directive{}, false
+}
+
+// waivedBy reports whether a waiver directive with a non-empty reason
+// covers pos. Waivers without a reason do not waive: the reason is the
+// reviewable artifact.
+func (p *Pass) waivedBy(pos token.Pos, name string) bool {
+	d, ok := p.directiveAt(pos, name)
+	return ok && d.args != ""
+}
+
+// funcDirective reports whether fn (a FuncDecl) carries the directive in
+// its doc comment or on the line above its declaration.
+func (p *Pass) funcDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if strings.HasPrefix(c.Text, directivePrefix+name) {
+				rest := strings.TrimPrefix(c.Text, directivePrefix+name)
+				if rest == "" || strings.HasPrefix(rest, " ") {
+					return true
+				}
+			}
+		}
+	}
+	_, ok := p.directiveAt(fn.Pos(), name)
+	return ok
+}
+
+// exprString renders a (small) expression for diagnostics and lock keys,
+// e.g. "s.mu" or "c.conn".
+func (p *Pass) exprString(e ast.Expr) string {
+	var b strings.Builder
+	printer.Fprint(&b, p.Fset, e)
+	return b.String()
+}
+
+// calleeObj resolves the object a call expression invokes: a package
+// function, a method, or nil for indirect/builtin calls.
+func (p *Pass) calleeObj(call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// objPkgPath returns the import path of the package declaring obj, or "".
+func objPkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// namedOrPtr unwraps one pointer level and returns the named type beneath,
+// if any.
+func namedOrPtr(t types.Type) *types.Named {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isTypeFrom reports whether t (possibly behind one pointer) is the named
+// type pkgPath.name.
+func isTypeFrom(t types.Type, pkgPath, name string) bool {
+	n := namedOrPtr(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}

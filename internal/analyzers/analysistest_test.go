@@ -1,0 +1,177 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A miniature analysistest: fixtures live under testdata/src/<analyzer>/,
+// carry `// want "regexp"` comments on the lines where diagnostics are
+// expected (multiple quoted or backquoted patterns per comment for
+// multiple diagnostics on one line), and are typechecked against real
+// standard-library export data produced by `go list -export`.
+
+var (
+	exportOnce sync.Once
+	exportMap  map[string]string // import path -> export data file
+	exportErr  error
+)
+
+// stdExports returns export-data files for the whole transitive std
+// dependency set the fixtures use, resolved once per test process.
+func stdExports(t *testing.T) map[string]string {
+	exportOnce.Do(func() {
+		out, err := exec.Command("go", "list", "-export", "-deps",
+			"-json=ImportPath,Export", "std").Output()
+		if err != nil {
+			exportErr = fmt.Errorf("go list -export std: %v", err)
+			return
+		}
+		exportMap = map[string]string{}
+		dec := json.NewDecoder(strings.NewReader(string(out)))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				exportErr = err
+				return
+			}
+			if p.Export != "" {
+				exportMap[p.ImportPath] = p.Export
+			}
+		}
+	})
+	if exportErr != nil {
+		t.Fatal(exportErr)
+	}
+	return exportMap
+}
+
+type expectation struct {
+	file     string
+	line     int
+	patterns []*regexp.Regexp
+	matched  []bool
+}
+
+var wantTokenRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// runFixture analyzes testdata/src/<name> with one analyzer and compares
+// diagnostics against the fixture's want comments. It returns the
+// diagnostics for tests that assert beyond positions.
+func runFixture(t *testing.T, a *Analyzer, name string, facts *Facts) []Diagnostic {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	exports := stdExports(t)
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("fixture imports non-std package %q", path)
+		}
+		return os.Open(file)
+	})
+	if facts == nil {
+		facts = NewFacts(nil)
+	}
+	diags, err := CheckPackage(fset, name, files, imp, "go1.22", facts, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("checking fixture %s: %v", name, err)
+	}
+
+	// Collect want expectations.
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				exp := &expectation{file: pos.Filename, line: pos.Line}
+				for _, tok := range wantTokenRE.FindAllString(text, -1) {
+					pat, err := strconv.Unquote(tok)
+					if err != nil {
+						t.Fatalf("%s: bad want token %s: %v", pos, tok, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					exp.patterns = append(exp.patterns, re)
+				}
+				if len(exp.patterns) == 0 {
+					t.Fatalf("%s: want comment with no patterns", pos)
+				}
+				exp.matched = make([]bool, len(exp.patterns))
+				wants = append(wants, exp)
+			}
+		}
+	}
+
+	// Match diagnostics to expectations.
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			for i, re := range w.patterns {
+				if !w.matched[i] && re.MatchString(d.Message) {
+					w.matched[i] = true
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		for i, ok := range w.matched {
+			if !ok {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+					w.file, w.line, w.patterns[i].String())
+			}
+		}
+	}
+	return diags
+}

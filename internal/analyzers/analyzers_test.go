@@ -1,0 +1,23 @@
+package analyzers
+
+import "testing"
+
+func TestLocksafeFixture(t *testing.T) {
+	runFixture(t, Locksafe, "locksafe", nil)
+}
+
+func TestHotpathFixture(t *testing.T) {
+	runFixture(t, Hotpath, "hotpath", nil)
+}
+
+func TestCodecpairFixture(t *testing.T) {
+	runFixture(t, Codecpair, "codecpair", nil)
+}
+
+func TestMetriclintFixture(t *testing.T) {
+	runFixture(t, Metriclint, "metriclint", nil)
+}
+
+func TestAtomicfieldFixture(t *testing.T) {
+	runFixture(t, Atomicfield, "atomicfield", nil)
+}

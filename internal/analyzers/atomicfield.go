@@ -1,0 +1,108 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Atomicfield enforces all-or-nothing atomicity per field: a struct field
+// whose address is ever passed to a sync/atomic function (atomic.AddInt64,
+// atomic.LoadUint64, ...) may not be read or written plainly anywhere else
+// in the package — a plain access next to atomic ones is a data race the
+// race detector only catches if a test happens to interleave it. Typed
+// atomics (atomic.Int64 & friends) are immune by construction and are what
+// the tree itself uses; this analyzer guards the legacy address-based API.
+// //clamshell:atomic-ok <reason> waives a single access (e.g. a
+// constructor writing before the value is shared).
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "forbid plain access to struct fields that are accessed via sync/atomic",
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) error {
+	// Pass 1: fields used atomically — arguments of the form &x.f to
+	// sync/atomic calls. Record both the field objects and the positions
+	// of the sanctioned selector uses.
+	atomicFields := map[types.Object]token.Pos{} // field -> first atomic use
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.calleeObj(call)
+			if objPkgPath(obj) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				fieldObj := selectedField(pass, sel)
+				if fieldObj == nil {
+					continue
+				}
+				sanctioned[sel] = true
+				if _, seen := atomicFields[fieldObj]; !seen {
+					atomicFields[fieldObj] = sel.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector resolving to an atomic field is a
+	// plain access.
+	type finding struct {
+		pos  token.Pos
+		name string
+		at   token.Pos
+	}
+	var findings []finding
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			fieldObj := selectedField(pass, sel)
+			if fieldObj == nil {
+				return true
+			}
+			at, isAtomic := atomicFields[fieldObj]
+			if !isAtomic || pass.waivedBy(sel.Pos(), "atomic-ok") {
+				return true
+			}
+			findings = append(findings, finding{sel.Pos(), fieldObj.Name(), at})
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, fd := range findings {
+		pass.Reportf(fd.pos, "plain access to field %s, which is accessed atomically at %s",
+			fd.name, pass.Fset.Position(fd.at))
+	}
+	return nil
+}
+
+// selectedField resolves sel to the struct field it selects, or nil for
+// methods, package qualifiers and non-field selections.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) types.Object {
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}

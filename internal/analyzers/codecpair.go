@@ -1,0 +1,125 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Codecpair keeps the wire protocol's opcode table closed under the
+// codec: every opcode constant (`opXxx byte`) must be referenced by an
+// encoder (a function named encode*/append*), a decoder (decode*), and —
+// when the unit includes the package's test files — by a fuzz function's
+// seed list, so the round-trip fuzzer exercises every op the protocol can
+// carry. A new opcode that compiles but is missing from any of the three
+// is exactly the silent skew this check exists to catch.
+//
+// The analyzer arms itself only in packages that look like a wire codec:
+// at least one op* byte constant and at least one encode*/decode*
+// function.
+var Codecpair = &Analyzer{
+	Name: "codecpair",
+	Doc:  "require every wire opcode constant to appear in an encoder, a decoder, and the fuzz seed corpus",
+	Run:  runCodecpair,
+}
+
+func runCodecpair(pass *Pass) error {
+	// Opcode constants: package-level consts named op<Upper>... with a
+	// byte underlying type.
+	opcodes := map[types.Object]*ast.Ident{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !isOpcodeName(name.Name) {
+						continue
+					}
+					obj, _ := pass.Info.Defs[name].(*types.Const)
+					if obj == nil {
+						continue
+					}
+					if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+						opcodes[obj] = name
+					}
+				}
+			}
+		}
+	}
+	if len(opcodes) == 0 {
+		return nil
+	}
+
+	// Classify every use of each opcode by the name of its enclosing
+	// function.
+	type usage struct{ encoder, decoder, fuzz bool }
+	uses := map[types.Object]*usage{}
+	for obj := range opcodes {
+		uses[obj] = &usage{}
+	}
+	haveCodec, haveFuzz := false, false
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			isEnc := strings.HasPrefix(name, "encode") || strings.HasPrefix(name, "append")
+			isDec := strings.HasPrefix(name, "decode")
+			isFuzz := strings.HasPrefix(name, "Fuzz")
+			if isEnc || isDec {
+				haveCodec = true
+			}
+			if isFuzz {
+				haveFuzz = true
+			}
+			if !isEnc && !isDec && !isFuzz {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if u, tracked := uses[pass.Info.Uses[id]]; tracked {
+					u.encoder = u.encoder || isEnc
+					u.decoder = u.decoder || isDec
+					u.fuzz = u.fuzz || isFuzz
+				}
+				return true
+			})
+		}
+	}
+	if !haveCodec {
+		return nil
+	}
+
+	for obj, id := range opcodes {
+		u := uses[obj]
+		if !u.encoder {
+			pass.Reportf(id.Pos(), "opcode %s has no encoder: no encode*/append* function references it", id.Name)
+		}
+		if !u.decoder {
+			pass.Reportf(id.Pos(), "opcode %s has no decoder: no decode* function references it", id.Name)
+		}
+		if haveFuzz && !u.fuzz {
+			pass.Reportf(id.Pos(), "opcode %s is missing from the fuzz seed corpus: no Fuzz* function references it", id.Name)
+		}
+	}
+	return nil
+}
+
+// isOpcodeName matches the wire codec's opcode spelling: "op" followed by
+// an exported-style camel-case tail (opJoin, opFetch, ...).
+func isOpcodeName(name string) bool {
+	return len(name) > 2 && strings.HasPrefix(name, "op") &&
+		name[2] >= 'A' && name[2] <= 'Z'
+}

@@ -1,0 +1,272 @@
+package analyzers
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+// This file is the suite's driver: a hand-rolled implementation of the
+// `go vet -vettool` unitchecker protocol (the same one
+// golang.org/x/tools/go/analysis/unitchecker speaks, reimplemented here on
+// the standard library alone). go vet invokes the tool three ways:
+//
+//	tool -V=full      print a content-addressed version for vet's cache
+//	tool -flags       print the tool's flag schema (we have none: "[]")
+//	tool <unit>.cfg   analyze one package unit described by the cfg JSON
+//
+// Each cfg names the unit's Go files, its module, export-data files for
+// typechecking (produced by the go command's build cache), .vetx fact
+// files for its direct imports, and the .vetx path this unit must write.
+// Facts written by a unit include its imports' facts, so consumers see the
+// transitive closure.
+
+// unitConfig mirrors the JSON the go command writes for each vet unit.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the vettool entry point (see cmd/clamshell-vet). With no
+// protocol argument it re-executes itself under `go vet -vettool`, so
+// `clamshell-vet ./...` works as a standalone command.
+func Main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case a == "-V=full":
+			fmt.Printf("clamshell-vet version devel buildID=%s\n", selfID())
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(a, ".cfg"):
+			os.Exit(runUnitFile(a))
+		}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clamshell-vet:", err)
+		os.Exit(1)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout, cmd.Stderr, cmd.Stdin = os.Stdout, os.Stderr, os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "clamshell-vet:", err)
+		os.Exit(1)
+	}
+}
+
+// selfID hashes the executable so go vet's result cache keys on the exact
+// tool build.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// runUnitFile analyzes one vet unit and returns the process exit code.
+func runUnitFile(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clamshell-vet:", err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "clamshell-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Dependency units outside any module (the standard library) carry no
+	// clamshell invariants: publish an empty fact set and move on. This
+	// keeps `go vet ./...` fast — the tool typechecks only module code.
+	if cfg.Standard[cfg.ImportPath] || cfg.ModulePath == "" {
+		writeVetx(cfg.VetxOutput, map[string]map[string]json.RawMessage{})
+		return 0
+	}
+
+	diags, facts, err := checkUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "clamshell-vet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	writeVetx(cfg.VetxOutput, facts.Output())
+	// Dependency units run only to produce facts; the unit is reported
+	// when vet visits it as a target.
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+func writeVetx(path string, facts map[string]map[string]json.RawMessage) {
+	if path == "" {
+		return
+	}
+	data, err := json.Marshal(facts)
+	if err != nil {
+		return
+	}
+	os.WriteFile(path, data, 0o666)
+}
+
+// checkUnit parses and typechecks the unit against its export data, loads
+// imported facts, and runs the suite.
+func checkUnit(cfg *unitConfig) ([]Diagnostic, *Facts, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	imported := map[string]map[string]json.RawMessage{}
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // a dependency may legitimately have written no facts
+		}
+		var m map[string]map[string]json.RawMessage
+		if err := json.Unmarshal(data, &m); err != nil {
+			continue
+		}
+		for analyzer, pkgs := range m {
+			dst := imported[analyzer]
+			if dst == nil {
+				dst = map[string]json.RawMessage{}
+				imported[analyzer] = dst
+			}
+			for p, v := range pkgs {
+				dst[p] = v
+			}
+		}
+	}
+	facts := NewFacts(imported)
+
+	diags, err := CheckPackage(fset, cfg.ImportPath, files,
+		mappedImporter{cfg.ImportMap, imp}, cfg.GoVersion, facts, All)
+	return diags, facts, err
+}
+
+// mappedImporter applies the unit's import-path aliasing (vendoring, test
+// variants) before consulting the export-data importer.
+type mappedImporter struct {
+	m   map[string]string
+	imp types.Importer
+}
+
+func (mi mappedImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.m[path]; ok {
+		path = p
+	}
+	return mi.imp.Import(path)
+}
+
+// CheckPackage typechecks one package's files and runs the given analyzers
+// over it, returning position-sorted diagnostics. It is shared by the
+// vettool protocol above and the analysistest harness.
+func CheckPackage(fset *token.FileSet, pkgPath string, files []*ast.File,
+	imp types.Importer, goVersion string, facts *Facts, analyzers []*Analyzer) ([]Diagnostic, error) {
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			Facts:    facts,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		pass.parseDirectives()
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}

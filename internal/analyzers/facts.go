@@ -1,0 +1,78 @@
+package analyzers
+
+import "encoding/json"
+
+// Facts is the cross-package side channel of the suite. Each unit's
+// analysis exports a map of analyzer -> package path -> payload; the
+// driver writes it to the unit's .vetx file, and units that import the
+// package read it back. Because every unit re-exports its imports' facts
+// merged with its own, a package sees the transitive closure of its
+// dependencies' facts by construction (metriclint uses this to carry the
+// expo.go metric catalog from internal/server into every consumer).
+type Facts struct {
+	imported map[string]map[string]json.RawMessage
+	exported map[string]map[string]json.RawMessage
+}
+
+// NewFacts builds an empty fact store seeded with imported facts (may be
+// nil).
+func NewFacts(imported map[string]map[string]json.RawMessage) *Facts {
+	if imported == nil {
+		imported = map[string]map[string]json.RawMessage{}
+	}
+	return &Facts{
+		imported: imported,
+		exported: map[string]map[string]json.RawMessage{},
+	}
+}
+
+// Imported returns the payloads for one analyzer keyed by the package path
+// that exported them.
+func (f *Facts) Imported(analyzer string) map[string]json.RawMessage {
+	return f.imported[analyzer]
+}
+
+// Export records v as the analyzer's fact payload for pkgPath. Payloads
+// must round-trip through JSON.
+func (f *Facts) Export(analyzer, pkgPath string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	m := f.exported[analyzer]
+	if m == nil {
+		m = map[string]json.RawMessage{}
+		f.exported[analyzer] = m
+	}
+	m[pkgPath] = data
+	return nil
+}
+
+// unmarshalFact decodes one imported payload.
+func unmarshalFact(raw json.RawMessage, v any) error {
+	return json.Unmarshal(raw, v)
+}
+
+// Output merges imported and freshly-exported facts into the map the
+// driver serializes to the unit's .vetx file.
+func (f *Facts) Output() map[string]map[string]json.RawMessage {
+	out := map[string]map[string]json.RawMessage{}
+	for a, pkgs := range f.imported {
+		m := map[string]json.RawMessage{}
+		for p, v := range pkgs {
+			m[p] = v
+		}
+		out[a] = m
+	}
+	for a, pkgs := range f.exported {
+		m := out[a]
+		if m == nil {
+			m = map[string]json.RawMessage{}
+			out[a] = m
+		}
+		for p, v := range pkgs {
+			m[p] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hotpath turns the allocation-flat wire-path guarantee into a
+// compile-time check. Functions marked //clamshell:hotpath are roots; the
+// analyzer walks the package's static call graph (direct function and
+// concrete method calls — interface dispatch does not propagate, which is
+// why each transport layer annotates its own roots) and forbids, anywhere
+// in the hot set:
+//
+//   - calls into fmt, reflect, encoding/json, or log
+//   - map allocations (make or composite literal)
+//   - escaping closures (a func literal that is not immediately invoked)
+//
+// //clamshell:coldpath excludes a function from propagation (e.g. the
+// once-per-connection handshake); //clamshell:hotpath-ok <reason> waives a
+// single finding on cold branches of hot functions.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid fmt/reflect/json/log calls, map allocations and escaping closures in //clamshell:hotpath code",
+	Run:  runHotpath,
+}
+
+// hotForbiddenPkgs are the import paths hot code may not call into.
+var hotForbiddenPkgs = map[string]bool{
+	"fmt":           true,
+	"reflect":       true,
+	"encoding/json": true,
+	"log":           true,
+}
+
+type hpFinding struct {
+	pos token.Pos
+	msg string
+}
+
+type hpFunc struct {
+	name     string
+	root     bool
+	cold     bool
+	calls    []*types.Func
+	findings []hpFinding
+}
+
+func runHotpath(pass *Pass) error {
+	funcs := map[*types.Func]*hpFunc{}
+	var roots []*types.Func
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			hf := &hpFunc{
+				name: funcDisplayName(pass, fn),
+				root: pass.funcDirective(fn, "hotpath"),
+				cold: pass.funcDirective(fn, "coldpath"),
+			}
+			scanHotBody(pass, fn.Body, hf)
+			funcs[obj] = hf
+			if hf.root {
+				roots = append(roots, obj)
+			}
+		}
+	}
+
+	// BFS over the package call graph from the annotated roots.
+	parent := map[*types.Func]*types.Func{}
+	rootOf := map[*types.Func]*types.Func{}
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		rootOf[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, callee := range funcs[cur].calls {
+			hf := funcs[callee]
+			if hf == nil || hf.cold {
+				continue
+			}
+			if _, seen := rootOf[callee]; seen {
+				continue
+			}
+			rootOf[callee] = rootOf[cur]
+			parent[callee] = cur
+			queue = append(queue, callee)
+		}
+	}
+
+	for obj, hf := range funcs {
+		root, hot := rootOf[obj]
+		if !hot {
+			continue
+		}
+		for _, fd := range hf.findings {
+			if pass.waivedBy(fd.pos, "hotpath-ok") {
+				continue
+			}
+			chain := hpChain(funcs, parent, obj)
+			if obj == root {
+				pass.Reportf(fd.pos, "%s in hotpath root %s", fd.msg, hf.name)
+			} else {
+				pass.Reportf(fd.pos, "%s in %s, reachable from hotpath root %s (%s)",
+					fd.msg, hf.name, funcs[root].name, chain)
+			}
+		}
+	}
+	return nil
+}
+
+// hpChain renders the BFS path root -> ... -> fn for diagnostics.
+func hpChain(funcs map[*types.Func]*hpFunc, parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var names []string
+	for cur := fn; cur != nil; cur = parent[cur] {
+		names = append(names, funcs[cur].name)
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+func funcDisplayName(pass *Pass, fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		return "(" + pass.exprString(fn.Recv.List[0].Type) + ")." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// scanHotBody records same-package callees and forbidden operations in one
+// walk. Immediately-invoked literals are scanned inline; any other func
+// literal is an escaping-closure finding and its body is skipped.
+func scanHotBody(pass *Pass, body *ast.BlockStmt, hf *hpFunc) {
+	invoked := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !invoked[n] {
+				hf.findings = append(hf.findings, hpFinding{n.Pos(), "escaping closure"})
+				return false
+			}
+		case *ast.CompositeLit:
+			if t, ok := pass.Info.Types[n]; ok {
+				if _, isMap := t.Type.Underlying().(*types.Map); isMap {
+					hf.findings = append(hf.findings, hpFinding{n.Pos(), "map literal allocation"})
+				}
+			}
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				invoked[lit] = true
+			}
+			obj := pass.calleeObj(n)
+			switch {
+			case obj == nil:
+			case objPkgPath(obj) == "" && obj.Name() == "make":
+				if t, ok := pass.Info.Types[n]; ok {
+					if _, isMap := t.Type.Underlying().(*types.Map); isMap {
+						hf.findings = append(hf.findings, hpFinding{n.Pos(), "map allocation (make)"})
+					}
+				}
+			case hotForbiddenPkgs[objPkgPath(obj)]:
+				hf.findings = append(hf.findings, hpFinding{n.Pos(),
+					"call to " + pass.exprString(n.Fun)})
+			case obj.Pkg() == pass.Pkg:
+				if fobj, ok := obj.(*types.Func); ok {
+					hf.calls = append(hf.calls, fobj)
+				}
+			}
+		}
+		return true
+	})
+}

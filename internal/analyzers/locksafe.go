@@ -1,0 +1,332 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Locksafe enforces the fabric's two lock-discipline invariants:
+//
+//  1. No blocking I/O while a sync.Mutex/RWMutex is held — time.Sleep,
+//     (*os.File).Sync, net dialing, and net.Conn reads/writes inside a
+//     critical section stall every goroutine queued on the lock. The
+//     journal's group-commit WAL fsyncs under its own lock by design;
+//     those sites carry //clamshell:blocking-ok waivers.
+//
+//  2. Journal emits happen under the shard lock — calls to (*Shard).logOp
+//     and to (*journal.Store).Append/AppendRetained from outside the
+//     journal package must be dominated by a held lock, or live in a
+//     locked-context function (name ending in "Locked", or carrying a
+//     //clamshell:locked directive).
+//
+// The analysis is a per-function linear scan over lock events and calls in
+// source order. An Unlock nested deeper than its Lock and followed by a
+// terminating statement (the `if bad { mu.Unlock(); return }` early-exit
+// idiom) does not end the critical section on the fall-through path.
+var Locksafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flag blocking I/O under a held mutex and journal emits outside the shard critical section",
+	Run:  runLocksafe,
+}
+
+type lsKind int
+
+const (
+	lsLock lsKind = iota
+	lsUnlock
+	lsDeferUnlock
+	lsBlocking
+	lsEmit
+)
+
+type lsEvent struct {
+	pos       token.Pos
+	kind      lsKind
+	key       string // lock receiver rendering, e.g. "s.mu"
+	desc      string // blocking/emit call rendering
+	depth     int    // block nesting depth within the function
+	earlyExit bool   // unlock directly followed by return/break/continue/goto
+}
+
+// lsLit is a function literal queued for its own independent scan.
+type lsLit struct {
+	lit *ast.FuncLit
+}
+
+type locksafeScan struct {
+	pass   *Pass
+	events []lsEvent
+	lits   []lsLit
+}
+
+func runLocksafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			locked := strings.HasSuffix(fn.Name.Name, "Locked") || pass.funcDirective(fn, "locked")
+			lits := scanOneFunc(pass, fn.Body, locked)
+			// Literals get their own scans: a closure does not inherit its
+			// creator's lock state (it may run on any goroutine), so it
+			// starts unlocked unless a //clamshell:locked directive says
+			// the call context holds the lock.
+			for len(lits) > 0 {
+				l := lits[0]
+				lits = lits[1:]
+				_, ctxLocked := pass.directiveAt(l.lit.Pos(), "locked")
+				lits = append(lits, scanOneFunc(pass, l.lit.Body, ctxLocked)...)
+			}
+		}
+	}
+	return nil
+}
+
+// scanOneFunc collects events from body (excluding nested literals),
+// simulates the lock state, reports findings, and returns the nested
+// literals for independent scanning.
+func scanOneFunc(pass *Pass, body *ast.BlockStmt, lockedCtx bool) []lsLit {
+	s := &locksafeScan{pass: pass}
+	s.stmtList(body.List, 1)
+	sort.Slice(s.events, func(i, j int) bool { return s.events[i].pos < s.events[j].pos })
+
+	holds := map[string]int{} // lock key -> depth it was taken at
+	for _, e := range s.events {
+		switch e.kind {
+		case lsLock:
+			holds[e.key] = e.depth
+		case lsDeferUnlock:
+			// Deferred release: the lock stays held to function end.
+		case lsUnlock:
+			if d, ok := holds[e.key]; ok {
+				if e.earlyExit && e.depth > d {
+					// Early-exit branch releases and leaves; the
+					// fall-through path still holds the lock.
+					continue
+				}
+				delete(holds, e.key)
+			}
+		case lsBlocking:
+			if len(holds) == 0 && !lockedCtx {
+				continue
+			}
+			if pass.waivedBy(e.pos, "blocking-ok") {
+				continue
+			}
+			pass.Reportf(e.pos, "blocking call %s while holding %s", e.desc, holdNames(holds, lockedCtx))
+		case lsEmit:
+			if len(holds) > 0 || lockedCtx {
+				continue
+			}
+			if pass.waivedBy(e.pos, "locked") {
+				continue
+			}
+			pass.Reportf(e.pos, "journal emit %s outside the shard critical section (take the lock, or mark the context //clamshell:locked <reason>)", e.desc)
+		}
+	}
+	return s.lits
+}
+
+func holdNames(holds map[string]int, lockedCtx bool) string {
+	if len(holds) == 0 && lockedCtx {
+		return "the caller's lock (locked context)"
+	}
+	keys := make([]string, 0, len(holds))
+	for k := range holds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// stmtList walks statements in order, tracking nesting depth and marking
+// unlocks that sit directly before a terminating statement.
+func (s *locksafeScan) stmtList(list []ast.Stmt, depth int) {
+	for i, st := range list {
+		early := i+1 < len(list) && isTerminator(list[i+1])
+		s.stmt(st, depth, early)
+	}
+}
+
+func isTerminator(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *locksafeScan) stmt(st ast.Stmt, depth int, early bool) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		s.stmtList(st.List, depth+1)
+	case *ast.IfStmt:
+		s.stmt(st.Init, depth, false)
+		s.expr(st.Cond, depth, false)
+		s.stmtList(st.Body.List, depth+1)
+		s.stmt(st.Else, depth, false)
+	case *ast.ForStmt:
+		s.stmt(st.Init, depth, false)
+		s.expr(st.Cond, depth, false)
+		s.stmt(st.Post, depth, false)
+		s.stmtList(st.Body.List, depth+1)
+	case *ast.RangeStmt:
+		s.expr(st.X, depth, false)
+		s.stmtList(st.Body.List, depth+1)
+	case *ast.SwitchStmt:
+		s.stmt(st.Init, depth, false)
+		s.expr(st.Tag, depth, false)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmtList(cc.Body, depth+1)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		s.stmt(st.Init, depth, false)
+		s.stmt(st.Assign, depth, false)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmtList(cc.Body, depth+1)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.stmt(cc.Comm, depth+1, false)
+				s.stmtList(cc.Body, depth+1)
+			}
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, depth, early)
+	case *ast.DeferStmt:
+		s.call(st.Call, depth, true, false)
+		for _, a := range st.Call.Args {
+			s.expr(a, depth, false)
+		}
+	case *ast.GoStmt:
+		// The spawned call runs on another goroutine with its own lock
+		// state; only its argument expressions evaluate here.
+		for _, a := range st.Call.Args {
+			s.expr(a, depth, false)
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.lits = append(s.lits, lsLit{lit})
+		}
+	case *ast.ExprStmt:
+		s.expr(st.X, depth, early)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e, depth, false)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e, depth, false)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, depth, false)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				s.lits = append(s.lits, lsLit{n})
+				return false
+			case *ast.CallExpr:
+				s.call(n, depth, false, false)
+			}
+			return true
+		})
+	case *ast.SendStmt:
+		s.expr(st.Chan, depth, false)
+		s.expr(st.Value, depth, false)
+	case *ast.IncDecStmt:
+		s.expr(st.X, depth, false)
+	}
+}
+
+// expr scans an expression subtree for calls, queuing nested function
+// literals instead of descending into them. early marks the expression
+// statement's position directly before a terminator (for unlock events).
+func (s *locksafeScan) expr(e ast.Expr, depth int, early bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.lits = append(s.lits, lsLit{n})
+			return false
+		case *ast.CallExpr:
+			s.call(n, depth, false, early)
+		}
+		return true
+	})
+}
+
+// call classifies one call expression into an event, if it is
+// lock-relevant.
+func (s *locksafeScan) call(call *ast.CallExpr, depth int, deferred, early bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, _ := s.pass.Info.Uses[sel.Sel].(*types.Func)
+	if obj == nil {
+		return
+	}
+	name := obj.Name()
+	pkg := objPkgPath(obj)
+	sig, _ := obj.Type().(*types.Signature)
+	recv := sig != nil && sig.Recv() != nil
+
+	// Lock/unlock events on sync.Mutex / sync.RWMutex (including promoted
+	// methods of embedded mutexes).
+	if pkg == "sync" && recv {
+		if rt := sig.Recv().Type(); isTypeFrom(rt, "sync", "Mutex") || isTypeFrom(rt, "sync", "RWMutex") {
+			key := s.pass.exprString(sel.X)
+			switch name {
+			case "Lock", "RLock":
+				s.events = append(s.events, lsEvent{pos: call.Pos(), kind: lsLock, key: key, depth: depth})
+			case "Unlock", "RUnlock":
+				kind := lsUnlock
+				if deferred {
+					kind = lsDeferUnlock
+				}
+				s.events = append(s.events, lsEvent{pos: call.Pos(), kind: kind, key: key, depth: depth, earlyExit: early})
+			}
+			return
+		}
+	}
+
+	desc := s.pass.exprString(call.Fun)
+	switch {
+	// Blocking calls: sleeping, fsyncing, dialing, or conn I/O.
+	case pkg == "time" && name == "Sleep" && !recv,
+		pkg == "os" && name == "Sync" && recv,
+		pkg == "net" && strings.HasPrefix(name, "Dial") && !recv,
+		pkg == "net" && recv && (name == "Read" || name == "Write"):
+		if !deferred {
+			s.events = append(s.events, lsEvent{pos: call.Pos(), kind: lsBlocking, desc: desc, depth: depth})
+		}
+
+	// Journal emits: (*Shard).logOp in the current package, or direct
+	// journal.Store appends from outside the journal package.
+	case name == "logOp" && recv && obj.Pkg() == s.pass.Pkg,
+		(name == "Append" || name == "AppendRetained") && recv &&
+			strings.HasSuffix(pkg, "internal/journal") &&
+			!strings.HasSuffix(s.pass.Pkg.Path(), "internal/journal") &&
+			isTypeFrom(sig.Recv().Type(), pkg, "Store"):
+		s.events = append(s.events, lsEvent{pos: call.Pos(), kind: lsEmit, desc: desc, depth: depth})
+	}
+}

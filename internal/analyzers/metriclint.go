@@ -1,0 +1,158 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Metriclint promotes the metrics plane's runtime exposition lint to
+// static analysis. The catalog is the set of families declared through the
+// renderer's header(name, help, typ) and gauge(name, help, v) helpers
+// (internal/server/expo.go); declarations must be `clamshell_`-prefixed
+// snake_case, counters must end in `_total`, and a family may be declared
+// only once. Every other `clamshell_*` string literal in the module — the
+// renderer's sample lines, clamshell-ctl's scrape tables, test
+// expectations — is a usage and must resolve against a declared family
+// (own package or, via analyzer facts, any dependency's catalog), so a
+// renamed family breaks the build everywhere it is still spelled.
+var Metriclint = &Analyzer{
+	Name: metriclintName,
+	Doc:  "enforce clamshell_ metric family naming and catalog registration",
+	Run:  runMetriclint,
+}
+
+const metricPrefix = "clamshell_"
+
+const metriclintName = "metriclint"
+
+var metricNameRE = regexp.MustCompile(`^clamshell_[a-z][a-z0-9_]*[a-z0-9]$`)
+
+// metricCatalog is the fact payload: family name -> TYPE.
+type metricCatalog map[string]string
+
+func runMetriclint(pass *Pass) error {
+	catalog := metricCatalog{}
+	declPos := map[string]token.Pos{}
+	declArgs := map[*ast.BasicLit]bool{} // literals that ARE declarations
+
+	// Pass 1: collect declarations — calls to a local `header` or `gauge`
+	// func value whose first argument is a string literal.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || (id.Name != "header" && id.Name != "gauge") || len(call.Args) < 3 {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			sig, _ := obj.Type().(*types.Signature)
+			if sig == nil || sig.Params().Len() < 3 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			typ := "gauge"
+			if id.Name == "header" {
+				tl, ok := ast.Unparen(call.Args[2]).(*ast.BasicLit)
+				if !ok || tl.Kind != token.STRING {
+					return true
+				}
+				typ, _ = strconv.Unquote(tl.Value)
+			}
+			declArgs[lit] = true
+
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(lit.Pos(), "metric family %q is not clamshell_-prefixed snake_case", name)
+			}
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				pass.Reportf(lit.Pos(), "counter family %q must end in _total", name)
+			}
+			if prev, dup := declPos[name]; dup {
+				pass.Reportf(lit.Pos(), "metric family %q declared twice (previous at %s)", name, pass.Fset.Position(prev))
+			} else {
+				declPos[name] = lit.Pos()
+				catalog[name] = typ
+			}
+			return true
+		})
+	}
+
+	// Visible catalog: own declarations plus every dependency's exported
+	// catalog.
+	visible := map[string]bool{}
+	for name := range catalog {
+		visible[name] = true
+	}
+	for _, raw := range pass.Facts.Imported(metriclintName) {
+		var dep metricCatalog
+		if err := unmarshalFact(raw, &dep); err != nil {
+			continue
+		}
+		for name := range dep {
+			visible[name] = true
+		}
+	}
+
+	// Pass 2: every other clamshell_* literal is a usage; its family must
+	// be in the visible catalog.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || declArgs[lit] {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.HasPrefix(s, metricPrefix) {
+				return true
+			}
+			family := metricFamily(s)
+			// A bare "clamshell_" (e.g. a prefix constant) names no family.
+			if family == metricPrefix || visible[family] {
+				return true
+			}
+			// Summary families are scraped through their _sum/_count
+			// (and, for histograms, _bucket) series.
+			for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+				if base, ok := strings.CutSuffix(family, suffix); ok && visible[base] {
+					return true
+				}
+			}
+			pass.Reportf(lit.Pos(), "metric family %q is not declared in any visible exposition catalog", family)
+			return true
+		})
+	}
+
+	if len(catalog) > 0 {
+		return pass.Facts.Export(metriclintName, pass.Pkg.Path(), catalog)
+	}
+	return nil
+}
+
+// metricFamily extracts the family name from a sample-line literal:
+// the maximal [a-z0-9_] run from the start (stops at '{', '%', space, ...).
+func metricFamily(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' {
+			continue
+		}
+		return s[:i]
+	}
+	return s
+}

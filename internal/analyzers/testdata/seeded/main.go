@@ -1,0 +1,27 @@
+// Package main is a deliberately-violating module: CI runs clamshell-vet
+// against it and asserts the build FAILS, proving the vet step has teeth.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+//clamshell:hotpath
+func serve(n int) {
+	fmt.Println(n) // hotpath: fmt call in a hot root
+}
+
+func hold() {
+	mu.Lock()
+	defer mu.Unlock()
+	time.Sleep(time.Millisecond) // locksafe: sleeping while holding mu
+}
+
+func main() {
+	serve(1)
+	hold()
+}

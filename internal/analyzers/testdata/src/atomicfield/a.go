@@ -1,0 +1,35 @@
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits uint64
+	name string
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) bad() int64 {
+	return c.n // want `plain access to field n, which is accessed atomically`
+}
+
+func (c *counter) badWrite() {
+	c.hits = 0 // want `plain access to field hits, which is accessed atomically`
+}
+
+func (c *counter) plainFieldOK() string {
+	return c.name
+}
+
+func (c *counter) waived() int64 {
+	//clamshell:atomic-ok snapshot under external synchronization (all writers stopped)
+	return c.n
+}

@@ -1,0 +1,37 @@
+package codecpair
+
+import "testing"
+
+// A miniature wire codec: opJoin is fully paired, opLeave is missing from
+// the fuzz seed corpus, opPing is declared but wired to nothing.
+const (
+	opJoin  byte = iota + 1
+	opLeave      // want `opcode opLeave is missing from the fuzz seed corpus`
+	opPing       // want `opcode opPing has no encoder` `opcode opPing has no decoder` `opcode opPing is missing from the fuzz seed corpus`
+)
+
+func encodeReq(buf []byte, op byte) []byte {
+	switch op {
+	case opJoin, opLeave:
+		buf = append(buf, op)
+	}
+	return buf
+}
+
+func decodeReq(b []byte) (byte, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	switch b[0] {
+	case opJoin, opLeave:
+		return b[0], true
+	}
+	return 0, false
+}
+
+func FuzzCodec(f *testing.F) {
+	f.Add(encodeReq(nil, opJoin))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		decodeReq(b)
+	})
+}

@@ -1,0 +1,45 @@
+package hotpath
+
+import "fmt"
+
+//clamshell:hotpath
+func serve(n int) {
+	step(n)
+	helper(n)
+	fmt.Println(n)         // want `call to fmt\.Println in hotpath root serve`
+	m := make(map[int]int) // want `map allocation \(make\) in hotpath root serve`
+	_ = m
+	_ = map[string]int{} // want `map literal allocation in hotpath root serve`
+	f := func() {}       // want `escaping closure in hotpath root serve`
+	f()
+	func() { _ = n }() // immediately invoked: scanned inline, not escaping
+}
+
+func step(n int) {
+	_ = fmt.Sprint(n) // want `call to fmt\.Sprint in step, reachable from hotpath root serve \(serve -> step\)`
+}
+
+func helper(n int) {
+	deep(n)
+}
+
+func deep(n int) {
+	_ = fmt.Sprint(n) // want `call to fmt\.Sprint in deep, reachable from hotpath root serve \(serve -> helper -> deep\)`
+}
+
+//clamshell:coldpath
+func cold() {
+	fmt.Println("cold once-per-connection work is fine")
+}
+
+//clamshell:hotpath
+func withWaiver() {
+	cold()
+	//clamshell:hotpath-ok cold error branch, never taken by well-behaved peers
+	fmt.Println("waived")
+}
+
+func unmarked() {
+	fmt.Println("not reachable from any hotpath root")
+	_ = map[int]int{}
+}

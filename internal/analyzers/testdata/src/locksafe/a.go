@@ -1,0 +1,95 @@
+package locksafe
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu  sync.Mutex
+	wal *os.File
+}
+
+func (s *store) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking call time\.Sleep while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *store) badSync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.wal.Sync() // want `blocking call s\.wal\.Sync while holding s\.mu`
+}
+
+func (s *store) waivedSync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//clamshell:blocking-ok fsync under the store lock is the group-commit design
+	_ = s.wal.Sync()
+}
+
+func (s *store) afterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func (s *store) earlyExit(bad bool) {
+	s.mu.Lock()
+	if bad {
+		s.mu.Unlock()
+		return
+	}
+	time.Sleep(time.Millisecond) // want `blocking call time\.Sleep while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *store) connWrite(c net.Conn, b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = c.Write(b) // want `blocking call c\.Write while holding s\.mu`
+}
+
+func (s *store) dial() {
+	var rw sync.RWMutex
+	rw.RLock()
+	_, _ = net.Dial("tcp", "localhost:0") // want `blocking call net\.Dial while holding rw`
+	rw.RUnlock()
+}
+
+type shard struct {
+	mu sync.Mutex
+}
+
+func (s *shard) logOp(op int) { _ = op }
+
+func (s *shard) goodEmit() {
+	s.mu.Lock()
+	s.logOp(1)
+	s.mu.Unlock()
+}
+
+func (s *shard) badEmit() {
+	s.logOp(2) // want `journal emit s\.logOp outside the shard critical section`
+}
+
+//clamshell:locked callers hold mu
+func (s *shard) emitDirective() {
+	s.logOp(3)
+}
+
+func (s *shard) emitHelperLocked() {
+	s.logOp(4)
+}
+
+func (s *shard) emitClosure() func() {
+	//clamshell:locked only invoked by locked callers
+	return func() { s.logOp(5) }
+}
+
+func (s *shard) emitEscaping() func() {
+	return func() { s.logOp(6) } // want `journal emit s\.logOp outside the shard critical section`
+}

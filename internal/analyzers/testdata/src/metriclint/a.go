@@ -1,0 +1,24 @@
+package metriclint
+
+// A miniature exposition renderer in the shape of expo.go: header/gauge
+// declare families, everything else that spells a clamshell_ literal is a
+// usage checked against the declared catalog.
+func render() string {
+	out := ""
+	header := func(name, help, typ string) { out += name + help + typ }
+	gauge := func(name, help string, v float64) { out += name }
+
+	header("clamshell_ops_total", "Ops served.", "counter")
+	gauge("clamshell_backlog_depth", "Pending tasks.", 1)
+	header("clamshell_latency_seconds", "Latency.", "summary")
+
+	header("clamshell_Bad-Name", "Bad.", "gauge")      // want `metric family "clamshell_Bad-Name" is not clamshell_-prefixed snake_case`
+	header("node_up", "Foreign prefix.", "gauge")      // want `metric family "node_up" is not clamshell_-prefixed snake_case`
+	header("clamshell_steals", "Steals.", "counter")   // want `counter family "clamshell_steals" must end in _total`
+	header("clamshell_ops_total", "Again.", "counter") // want `metric family "clamshell_ops_total" declared twice`
+
+	out += "clamshell_ops_total{op=\"join\"} 1\n"
+	out += "clamshell_latency_seconds_count 3\n"
+	out += "clamshell_ghost_total 9\n" // want `metric family "clamshell_ghost_total" is not declared in any visible exposition catalog`
+	return out
+}

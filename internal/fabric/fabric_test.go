@@ -8,6 +8,7 @@ import (
 
 	"github.com/clamshell/clamshell/internal/hashring"
 	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/server/servertest"
 )
 
 // recordFor finds a record string whose content hash places a task on the
@@ -26,6 +27,7 @@ func recordFor(t *testing.T, shard, n int) string {
 
 func newTestFabric(t *testing.T, cfg server.Config, n int) (*Fabric, *server.Client) {
 	t.Helper()
+	t.Cleanup(servertest.VerifyNone(t))
 	if cfg.WorkerTimeout == 0 {
 		cfg.WorkerTimeout = time.Hour
 	}

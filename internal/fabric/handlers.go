@@ -18,11 +18,15 @@ import (
 // the historical deterministic rotation). Under sustained asymmetric churn
 // this steers joins toward drained shards instead of letting pool sizes
 // skew (see balance_test.go).
+//
+//clamshell:hotpath
 func (f *Fabric) CoreJoin(name string) int {
 	return f.homeShard().Join(name)
 }
 
 // CoreHeartbeat keeps a waiting worker alive on its home shard.
+//
+//clamshell:hotpath
 func (f *Fabric) CoreHeartbeat(workerID int) bool {
 	sh := f.shardOf(workerID)
 	return sh != nil && sh.Heartbeat(workerID)
@@ -30,6 +34,8 @@ func (f *Fabric) CoreHeartbeat(workerID int) bool {
 
 // CoreLeave removes a worker; a local assignment returns to the queue
 // directly and a stolen one is released on the task's shard.
+//
+//clamshell:hotpath
 func (f *Fabric) CoreLeave(workerID int) {
 	if sh := f.shardOf(workerID); sh != nil {
 		sh.Leave(workerID)
@@ -39,6 +45,8 @@ func (f *Fabric) CoreLeave(workerID int) {
 
 // CoreEnqueue places each task on a shard by consistent-hashing its
 // records; ids are returned in request order.
+//
+//clamshell:hotpath
 func (f *Fabric) CoreEnqueue(specs []server.TaskSpec) ([]int, error) {
 	if len(specs) == 0 {
 		return nil, server.ErrNoTasksGiven
@@ -57,6 +65,8 @@ func (f *Fabric) CoreEnqueue(specs []server.TaskSpec) ([]int, error) {
 // queue first, then — stealing across the fabric — starved tasks on any
 // shard before speculative duplicates on any shard. FetchNoWork means
 // "keep waiting".
+//
+//clamshell:hotpath
 func (f *Fabric) CoreFetch(workerID int) (server.Assignment, server.FetchDisposition) {
 	home := f.shardOf(workerID)
 	if home == nil {
@@ -127,6 +137,8 @@ func (f *Fabric) steal(home *server.Shard, workerID int, starvedOnly bool) (serv
 // task's shard (validation, termination race, pay, quorum), then the
 // worker-side half on the worker's home shard (latency, maintenance,
 // restart of the paid-wait span).
+//
+//clamshell:hotpath
 func (f *Fabric) CoreSubmit(workerID, taskID int, labels []int) (server.SubmitReply, *server.CoreError) {
 	home := f.shardOf(workerID)
 	if home == nil || !home.WorkerKnown(workerID) {
@@ -164,6 +176,8 @@ func (f *Fabric) CoreSubmit(workerID, taskID int, labels []int) (server.SubmitRe
 }
 
 // CoreResult returns a task's status from its owning shard.
+//
+//clamshell:hotpath
 func (f *Fabric) CoreResult(taskID int) (server.TaskStatus, bool) {
 	owner := f.shardOf(taskID)
 	if owner == nil {

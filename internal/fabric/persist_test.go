@@ -10,11 +10,15 @@ import (
 	"time"
 
 	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/server/servertest"
 )
 
 // persistFabric builds a fabric with the journal engine open over dir.
+// The leak sentinel covers the background compactor and the journal
+// group-commit tickers: ClosePersist must join them all.
 func persistFabric(t *testing.T, cfg server.Config, n int, dir string, opts PersistOptions) *Fabric {
 	t.Helper()
+	t.Cleanup(servertest.VerifyNone(t))
 	fab := New(cfg, n)
 	opts.Dir = dir
 	if err := fab.OpenPersist(opts); err != nil {

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"github.com/clamshell/clamshell/internal/server/servertest"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -176,6 +178,7 @@ func scanTornOps(t *testing.T, data []byte) []Op {
 // the committed snapshot plus the post-rotation op suffix plus the
 // retained payloads.
 func TestStoreRoundTrip(t *testing.T) {
+	t.Cleanup(servertest.VerifyNone(t))
 	dir := t.TempDir()
 	st, rec, err := Open(dir)
 	if err != nil {

@@ -152,6 +152,7 @@ func (s *Store) syncDirty() {
 	batch := s.pendingOps
 	s.clearPendingLocked()
 	s.syncs++
+	//clamshell:blocking-ok group-commit design: the batch fsync holds the store lock so appends order against it
 	err := s.wal.Sync()
 	if err != nil {
 		s.failLocked(err)
@@ -302,7 +303,9 @@ func Open(dir string) (*Store, Recovered, error) {
 		return nil, rec, err
 	}
 	if s.ret, err = os.OpenFile(s.path(RetainedName), os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
-		s.wal.Close()
+		// Best-effort: the open itself failed, so there is no store to
+		// record a sticky error against; the open error is what surfaces.
+		_ = s.wal.Close()
 		return nil, rec, err
 	}
 	s.sweepBelow(s.gen)
@@ -425,6 +428,7 @@ func (s *Store) Append(op Op) error {
 			case SyncCommit:
 				s.syncs++
 				t0 := time.Now()
+				//clamshell:blocking-ok commit mode acknowledges only durable ops; the fsync must precede the unlock
 				if err = s.wal.Sync(); err == nil {
 					lag = time.Since(t0).Seconds()
 					committed = true
@@ -461,6 +465,7 @@ func (s *Store) AppendRetained(payloads [][]byte) error {
 		s.retRecords++
 	}
 	if len(payloads) > 0 {
+		//clamshell:blocking-ok retained tallies must be durable before the commit's manifest rename
 		if err := s.ret.Sync(); err != nil {
 			s.failLocked(err)
 			return err
@@ -515,7 +520,12 @@ func (s *Store) RewriteRetained(payloads [][]byte) error {
 		s.failLocked(err)
 		return err
 	}
-	s.ret.Close()
+	if cerr := s.ret.Close(); cerr != nil {
+		// The rewritten log is already durable and renamed into place; a
+		// close failure on the superseded handle still signals fd-level
+		// trouble, so record it without failing the rewrite.
+		s.failLocked(cerr)
+	}
 	if s.ret, err = os.OpenFile(s.path(RetainedName), os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
 		s.failLocked(err)
 		return err
@@ -553,13 +563,16 @@ func (s *Store) Rotate() (uint64, error) {
 		s.batchRec.Record(float64(s.pendingOps))
 		s.clearPendingLocked()
 	}
+	//clamshell:blocking-ok the rotated-out wal must be durable before the generation swap is visible
 	if err := old.Sync(); err != nil {
 		// The rotated-out wal's tail may not be durable. Record it against
 		// the previous generation: the commit that follows folds that
 		// generation's ops into a snapshot, healing the gap.
 		s.failGenLocked(err, prev)
 	}
-	old.Close()
+	if err := old.Close(); err != nil {
+		s.failGenLocked(err, prev)
+	}
 	return next, nil
 }
 
@@ -618,6 +631,7 @@ func (s *Store) Sync() error {
 		s.clearPendingLocked()
 	}
 	s.syncs++
+	//clamshell:blocking-ok explicit Sync drains the open batch; the fsync orders against appends via the lock
 	err := s.wal.Sync()
 	if err != nil {
 		s.failLocked(err)
@@ -663,6 +677,7 @@ func (s *Store) Close() error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//clamshell:blocking-ok final flush on Close; the store is quiescing
 	err := s.wal.Sync()
 	if e := s.wal.Close(); err == nil {
 		err = e

@@ -3,6 +3,8 @@ package journal
 import (
 	"testing"
 	"time"
+
+	"github.com/clamshell/clamshell/internal/server/servertest"
 )
 
 // Group commit — the default fsync policy the fabric opens stores with —
@@ -11,6 +13,7 @@ import (
 // batches the sync, and a reopened store recovers everything that was
 // acknowledged.
 func TestGroupCommitDurability(t *testing.T) {
+	t.Cleanup(servertest.VerifyNone(t))
 	dir := t.TempDir()
 	st, _, err := Open(dir)
 	if err != nil {

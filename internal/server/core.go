@@ -79,15 +79,23 @@ var (
 // acquisitions.
 
 // CoreJoin implements Core.
+//
+//clamshell:hotpath
 func (s *Shard) CoreJoin(name string) int { return s.join(name) }
 
 // CoreHeartbeat implements Core.
+//
+//clamshell:hotpath
 func (s *Shard) CoreHeartbeat(workerID int) bool { return s.Heartbeat(workerID) }
 
 // CoreLeave implements Core.
+//
+//clamshell:hotpath
 func (s *Shard) CoreLeave(workerID int) { s.Leave(workerID) }
 
 // CoreEnqueue implements Core.
+//
+//clamshell:hotpath
 func (s *Shard) CoreEnqueue(specs []TaskSpec) ([]int, error) {
 	if len(specs) == 0 {
 		return nil, ErrNoTasksGiven
@@ -106,6 +114,8 @@ func (s *Shard) CoreEnqueue(specs []TaskSpec) ([]int, error) {
 
 // CoreFetch implements Core: first a task still needing primary answers,
 // then a speculative duplicate (straggler mitigation).
+//
+//clamshell:hotpath
 func (s *Shard) CoreFetch(workerID int) (Assignment, FetchDisposition) {
 	s.mu.Lock()
 	s.expireWorkers()
@@ -154,6 +164,8 @@ func (s *Shard) CoreFetch(workerID int) (Assignment, FetchDisposition) {
 // router uses — AcceptAnswer (task side) then FinishAssignment (worker
 // side) — so the single-server path cannot drift from the fabric-routed one
 // (pay, journaling, replay idempotency).
+//
+//clamshell:hotpath
 func (s *Shard) CoreSubmit(workerID, taskID int, labels []int) (SubmitReply, *CoreError) {
 	if !s.WorkerKnown(workerID) {
 		return SubmitReply{}, &CoreError{NotFound: true, Err: ErrUnknownWorker}
@@ -184,4 +196,6 @@ func (s *Shard) CoreSubmit(workerID, taskID int, labels []int) (SubmitReply, *Co
 }
 
 // CoreResult implements Core.
+//
+//clamshell:hotpath
 func (s *Shard) CoreResult(taskID int) (TaskStatus, bool) { return s.ResultStatus(taskID) }

@@ -34,6 +34,8 @@ func (c *CostConfig) fillDefaults() {
 // settleWait accrues wait pay for a worker's idle span ending now. Callers
 // hold mu. Wait starts at join and restarts at each submit; fetching a task
 // ends the waiting span.
+//
+//clamshell:locked callers hold mu
 func (s *Shard) settleWait(pw *poolWorker) {
 	now := s.cfg.Now()
 	if !pw.waitStart.IsZero() && now.After(pw.waitStart) {

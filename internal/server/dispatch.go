@@ -124,6 +124,7 @@ func (b *dispatchBucket) removeAt(i int) *workUnit {
 // registering its priority in descending order) on first use.
 func (p *dispatchPart) push(u *workUnit) {
 	if p.buckets == nil {
+		//clamshell:hotpath-ok lazy bucket map, allocated once per dispatch part
 		p.buckets = make(map[int]*dispatchBucket)
 	}
 	prio := u.spec.Priority
@@ -233,6 +234,8 @@ func (s *Shard) pick(workerID int) *workUnit {
 // assignment can move a task starved→speculative or out of the index
 // entirely). The assignment is journaled for the audit trail only —
 // in-flight assignments do not survive a restart. Callers hold mu.
+//
+//clamshell:locked callers hold mu
 func (s *Shard) assign(u *workUnit, workerID int) {
 	u.active[workerID] = true
 	s.logOp(journal.Op{T: journal.OpAssign, Task: u.id, Worker: workerID})

@@ -43,7 +43,10 @@ func (s *Shard) AttachJournal(st *journal.Store) {
 		s.logf = nil
 		return
 	}
-	s.logf = func(op journal.Op) { st.Append(op) }
+	// The closure only ever runs via logOp, whose callers hold mu. Append
+	// errors surface through the store's sticky Err, not per-op.
+	//clamshell:locked logOp runs with the shard mutex held
+	s.logf = func(op journal.Op) { _ = st.Append(op) }
 }
 
 // RecoverFrom rebuilds the shard from a store's recovered state —

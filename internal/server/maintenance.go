@@ -40,6 +40,8 @@ func (s *Shard) observeLatency(pw *poolWorker, records int, elapsed time.Duratio
 // maintenanceCheck retires the worker if maintenance is enabled and their
 // empirical mean is above the threshold with enough evidence. Callers hold
 // mu. Returns true if the worker was retired.
+//
+//clamshell:locked callers hold mu
 func (s *Shard) maintenanceCheck(pw *poolWorker) bool {
 	if s.cfg.MaintenanceThreshold <= 0 || pw.latN < s.cfg.MaintenanceMinObs {
 		return false

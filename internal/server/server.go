@@ -327,6 +327,10 @@ func (s *Shard) join(name string) int {
 	return pw.id
 }
 
+// removeWorker drops the worker from the pool, settling their wait pay
+// and orphaning any stolen in-flight assignment. Callers hold mu.
+//
+//clamshell:locked callers hold mu
 func (s *Shard) removeWorker(id int, reason string) {
 	pw, ok := s.workers[id]
 	if !ok {
@@ -360,6 +364,7 @@ func (s *Shard) enqueueLocked(spec TaskSpec) int {
 	}
 	s.nextTask = s.stripeNext(s.nextTask)
 	s.nextSeq++
+	//clamshell:hotpath-ok one active-set allocation per admitted task, amortized across its lifetime
 	u := &workUnit{id: s.nextTask, seq: s.nextSeq, spec: spec, active: make(map[int]bool),
 		enqueuedAt: s.cfg.Now().UnixNano()}
 	s.tasks[u.id] = u
@@ -447,6 +452,7 @@ func (s *Shard) majority(u *workUnit) []int {
 func majorityOf(answers [][]int, records int) []int {
 	out := make([]int, records)
 	for rec := 0; rec < records; rec++ {
+		//clamshell:hotpath-ok vote tallying needs a per-record count map; Result is a polling op, not the submit path
 		counts := make(map[int]int)
 		for _, labels := range answers {
 			counts[labels[rec]]++
@@ -474,6 +480,8 @@ func majorityOf(answers [][]int, records int) []int {
 // scan before that instant can find a victim. This keeps the common case
 // O(1) — the full walk happens at most once per timeout window, not once
 // per poll. Callers must hold mu.
+//
+//clamshell:locked callers hold mu
 func (s *Shard) expireWorkers() {
 	now := s.cfg.Now()
 	if !s.nextExpiry.IsZero() && now.Before(s.nextExpiry) {

@@ -1,0 +1,152 @@
+// Package servertest holds zero-dependency test utilities shared by the
+// fabric, wire, journal, and server test suites.
+package servertest
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyNone snapshots the live goroutines and registers a cleanup that
+// fails the test if new, non-benign goroutines are still running when the
+// test ends. Shut-down races are absorbed by polling: a goroutine only
+// counts as leaked if it survives the full grace window.
+//
+// Usage, first line of a lifecycle test:
+//
+//	defer servertest.VerifyNone(t)()
+//
+// or via t.Cleanup semantics by just calling servertest.VerifyNone(t) and
+// invoking the returned func at the end.
+func VerifyNone(t testing.TB) func() {
+	t.Helper()
+	baseline := goroutineIDs()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []goroutineInfo
+		for {
+			leaked = leakedSince(baseline)
+			if len(leaked) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		for _, g := range leaked {
+			t.Errorf("leaked goroutine %d:\n%s", g.id, g.stack)
+		}
+	}
+}
+
+type goroutineInfo struct {
+	id    int
+	stack string
+}
+
+// benignFrames marks goroutines owned by the runtime, the testing harness,
+// or long-lived stdlib machinery that is not ours to join.
+var benignFrames = []string{
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.tRunner",
+	"testing.runTests",
+	"testing.runFuzzing",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.ReadTrace",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"net/http.(*persistConn).readLoop",
+	"net/http.(*persistConn).writeLoop",
+	"net/http.(*Transport)",
+	"net/http.(*Server).Serve", // httptest servers are closed by their own cleanup
+	"database/sql.(*DB)",
+	"go.opencensus",
+	"created by runtime",
+}
+
+func leakedSince(baseline map[int]bool) []goroutineInfo {
+	var out []goroutineInfo
+	self := currentGoroutineID()
+	for _, g := range snapshot() {
+		if g.id == self || baseline[g.id] || benign(g.stack) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func benign(stack string) bool {
+	for _, f := range benignFrames {
+		if strings.Contains(stack, f) {
+			return true
+		}
+	}
+	return false
+}
+
+func goroutineIDs() map[int]bool {
+	ids := make(map[int]bool)
+	for _, g := range snapshot() {
+		ids[g.id] = true
+	}
+	return ids
+}
+
+// snapshot captures all goroutine stacks via runtime.Stack and splits them
+// into per-goroutine records. The text format is stable: blocks separated by
+// blank lines, each starting "goroutine N [state]:".
+func snapshot() []goroutineInfo {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutineInfo
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		id, ok := parseGoroutineID(block)
+		if !ok {
+			continue
+		}
+		out = append(out, goroutineInfo{id: id, stack: block})
+	}
+	return out
+}
+
+func parseGoroutineID(block string) (int, bool) {
+	rest, ok := strings.CutPrefix(block, "goroutine ")
+	if !ok {
+		return 0, false
+	}
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return 0, false
+	}
+	id, err := strconv.Atoi(rest[:sp])
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+func currentGoroutineID() int {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	id, ok := parseGoroutineID(string(buf))
+	if !ok {
+		panic(fmt.Sprintf("servertest: unparseable stack header %q", buf))
+	}
+	return id
+}

@@ -1,0 +1,45 @@
+package servertest
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordingTB captures Errorf calls so VerifyNone's failure path can be
+// exercised without failing the real test.
+type recordingTB struct {
+	testing.TB
+	failures []string
+}
+
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, format)
+}
+func (r *recordingTB) Helper() {}
+
+func TestVerifyNoneCleanPass(t *testing.T) {
+	done := make(chan struct{})
+	check := VerifyNone(t)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+	check() // the goroutine exits within the grace window: no failure
+}
+
+func TestVerifyNoneCatchesLeak(t *testing.T) {
+	rec := &recordingTB{TB: t}
+	check := VerifyNone(rec)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { <-stop }()
+	check()
+	if len(rec.failures) == 0 {
+		t.Fatal("VerifyNone missed a deliberately leaked goroutine")
+	}
+	if !strings.Contains(rec.failures[0], "leaked goroutine") {
+		t.Fatalf("unexpected failure message %q", rec.failures[0])
+	}
+}

@@ -287,11 +287,12 @@ func (s *Shard) AcceptAnswer(taskID, workerID int, labels []int) (outcome Submit
 		return SubmitUnknownTask, 0, errors.New("unknown task")
 	}
 	if len(labels) != len(u.spec.Records) {
-		return SubmitBadLabels, 0,
-			fmt.Errorf("want %d labels, got %d", len(u.spec.Records), len(labels))
+		//clamshell:hotpath-ok cold validation branch; well-behaved clients never take it
+		return SubmitBadLabels, 0, fmt.Errorf("want %d labels, got %d", len(u.spec.Records), len(labels))
 	}
 	for _, l := range labels {
 		if l < 0 || l >= u.spec.Classes {
+			//clamshell:hotpath-ok cold validation branch; well-behaved clients never take it
 			return SubmitBadLabels, 0, fmt.Errorf("label %d out of range", l)
 		}
 	}
@@ -309,6 +310,7 @@ func (s *Shard) AcceptAnswer(taskID, workerID int, labels []int) (outcome Submit
 		s.logOp(journal.Op{T: journal.OpAnswer, Task: u.id, Worker: workerID,
 			Terminated: true, Pay: int64(pay)})
 		if u.termAcked == nil {
+			//clamshell:hotpath-ok allocated once per terminated task, only on the straggler branch
 			u.termAcked = make(map[int]bool)
 		}
 		u.termAcked[workerID] = true

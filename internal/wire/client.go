@@ -32,7 +32,8 @@ func Dial(addr string) (*Client, error) {
 	}
 	c, err := NewClient(conn)
 	if err != nil {
-		conn.Close()
+		// Best-effort: the handshake error is what surfaces.
+		_ = conn.Close()
 		return nil, err
 	}
 	return c, nil

@@ -59,6 +59,7 @@ var (
 	errTrailing  = errors.New("wire: trailing bytes after message")
 	errCount     = errors.New("wire: count exceeds payload")
 	errOverflow  = errors.New("wire: varint overflows int")
+	errBadOpcode = errors.New("wire: unknown opcode")
 )
 
 // request is one decoded client request (the union of every op's fields).
@@ -277,7 +278,9 @@ func decodeRequest(payload []byte) (request, error) {
 			return req, err
 		}
 	default:
-		return req, fmt.Errorf("wire: unknown opcode %d", op)
+		// A static error keeps the server's decode path allocation-free on
+		// garbage frames (the opcode byte adds nothing actionable).
+		return req, errBadOpcode
 	}
 	return req, r.done()
 }

@@ -56,6 +56,8 @@ func FuzzWireFrame(f *testing.F) {
 // must re-encode byte-identically (canonical encoding).
 func FuzzWireCodec(f *testing.F) {
 	f.Add(encodeRequest(nil, request{op: opJoin, name: "alice"}))
+	f.Add(encodeRequest(nil, request{op: opHeartbeat, worker: 7}))
+	f.Add(encodeRequest(nil, request{op: opLeave, worker: 5}))
 	f.Add(encodeRequest(nil, request{op: opFetch, worker: 3}))
 	f.Add(encodeRequest(nil, request{op: opSubmit, worker: 1, task: 2, labels: []int{0, 1}}))
 	f.Add(encodeRequest(nil, request{op: opEnqueue, specs: []server.TaskSpec{

@@ -67,6 +67,8 @@ func (s *Server) Serve(l net.Listener) error {
 // framing. All per-request state lives in buffers reused across the
 // connection's lifetime, so a settled connection allocates only what the
 // core retains (task records, label vectors).
+//
+//clamshell:hotpath
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 8<<10)

@@ -137,6 +137,8 @@ func writeFrame(bw *bufio.Writer, payload []byte) error {
 
 // handshake exchanges and verifies the magic from this side of conn.
 // initiate selects who writes first (the client initiates).
+//
+//clamshell:coldpath once per connection, before the request loop
 func handshake(br *bufio.Reader, bw *bufio.Writer, initiate bool) error {
 	if initiate {
 		if _, err := bw.WriteString(Magic); err != nil {

@@ -10,12 +10,14 @@ import (
 	"time"
 
 	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/server/servertest"
 )
 
 // pipeClient starts a server goroutine over a net.Pipe and returns a
 // handshaken client.
 func pipeClient(t *testing.T, core server.Core) *Client {
 	t.Helper()
+	t.Cleanup(servertest.VerifyNone(t))
 	cliConn, srvConn := net.Pipe()
 	go NewServer(core).ServeConn(srvConn)
 	cl, err := NewClient(cliConn)
@@ -123,6 +125,7 @@ func TestWireEndToEnd(t *testing.T) {
 // The wire transport works over real TCP sockets, and one server handles
 // several concurrent client connections.
 func TestWireTCP(t *testing.T) {
+	t.Cleanup(servertest.VerifyNone(t))
 	sh := server.NewShard(server.Config{WorkerTimeout: time.Hour}, 0, 1)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -191,9 +194,11 @@ func TestWireHandshakeRejectsBadMagic(t *testing.T) {
 // A malformed payload inside an intact frame is answered in-band and the
 // connection keeps working; framing-level corruption drops the connection.
 func TestWireMalformedPayloadKeepsConnection(t *testing.T) {
+	t.Cleanup(servertest.VerifyNone(t))
 	sh := server.NewShard(server.Config{WorkerTimeout: time.Hour}, 0, 1)
 	cliConn, srvConn := net.Pipe()
 	go NewServer(sh).ServeConn(srvConn)
+	t.Cleanup(func() { cliConn.Close() })
 
 	br := bufio.NewReader(cliConn)
 	bw := bufio.NewWriter(cliConn)
