@@ -197,6 +197,17 @@ func renderTop(m, prev *metricsView, sincePrev time.Duration) {
 	summary("hand-out", "clamshell_handout_wait_seconds")
 	summary("per-rec", "clamshell_latency_per_record_seconds")
 
+	if _, ok := m.get("clamshell_hybrid_labels_total", "source", "human"); ok {
+		human := get("clamshell_hybrid_labels_total", "source", "human")
+		model := get("clamshell_hybrid_labels_total", "source", "model")
+		line := fmt.Sprintf("human %s  model %s",
+			withRate(human, rate("clamshell_hybrid_labels_total", "source", "human"), "s"),
+			withRate(model, rate("clamshell_hybrid_labels_total", "source", "model"), "s"))
+		if acc, ok := m.get("clamshell_hybrid_model_accuracy"); ok {
+			line += fmt.Sprintf("  acc %.1f%%", acc*100)
+		}
+		fmt.Printf("labels    %s  pending %g\n", line, get("clamshell_hybrid_pending_candidates"))
+	}
 	if _, ok := m.get("clamshell_journal_commit_lag_seconds_count"); ok {
 		lag := m.quantiles("clamshell_journal_commit_lag_seconds")
 		batch := m.quantiles("clamshell_journal_batch_ops")

@@ -28,7 +28,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
+	"math/rand"
 	"net"
 	"net/http/httptest"
 	"strconv"
@@ -37,6 +39,7 @@ import (
 	"time"
 
 	"github.com/clamshell/clamshell/internal/fabric"
+	"github.com/clamshell/clamshell/internal/hybrid"
 	"github.com/clamshell/clamshell/internal/server"
 	"github.com/clamshell/clamshell/internal/wire"
 )
@@ -65,6 +68,7 @@ func main() {
 	classes := flag.Int("classes", 2, "label classes")
 	quorum := flag.Int("quorum", 1, "answers required per task")
 	duration := flag.Duration("duration", time.Minute, "hard deadline for the run")
+	hybridLoad := flag.Bool("hybrid", false, "emit feature-carrying tasks answered by a 90%-accurate simulated crowd (the in-process fabric also runs the learning plane)")
 	flag.Parse()
 	if *clients < 1 {
 		*clients = 1
@@ -80,6 +84,11 @@ func main() {
 		defer ts.Close()
 		base = ts.URL
 		log.Printf("in-process fabric: %d shard(s) at %s", *shards, base)
+		if *hybridLoad {
+			plane := fab.EnableHybrid(hybrid.Config{RelabelInterval: time.Second})
+			defer plane.Close()
+			log.Printf("hybrid learning plane enabled")
+		}
 		if *transport == "wire" {
 			l, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
@@ -162,6 +171,7 @@ func main() {
 		go func(c int) {
 			defer cg.Done()
 			cl := newHotClient()
+			rng := rand.New(rand.NewSource(int64(c)))
 			budget := perClient
 			if c == 0 {
 				budget += *tasks % *clients
@@ -177,6 +187,9 @@ func main() {
 					// Priority ≥ 1: foreground work always outranks the
 					// standing backlog's priority-0 fill.
 					specs[i] = server.TaskSpec{Records: recs, Classes: *classes, Quorum: *quorum, Priority: 1 + (n+i)%3}
+					if *hybridLoad {
+						specs[i].Features = featuresFor(recs, *classes, rng)
+					}
 				}
 				ids, err := cl.SubmitTasks(specs)
 				if err != nil {
@@ -199,6 +212,7 @@ func main() {
 		go func(wkr int) {
 			defer wg.Done()
 			cl := newHotClient()
+			wrng := rand.New(rand.NewSource(1000 + int64(wkr)))
 			id, err := cl.Join(fmt.Sprintf("loadgen-%d", wkr))
 			if err != nil {
 				log.Printf("worker %d join: %v", wkr, err)
@@ -224,7 +238,18 @@ func main() {
 				idle = 0
 				labels := make([]int, len(a.Records))
 				for i := range labels {
-					labels[i] = (id + a.TaskID + i) % *classes
+					if *hybridLoad {
+						// A 90%-accurate crowd member: the ground truth is a
+						// content hash both the submitter and the worker can
+						// compute, so answers are coherent across the pool
+						// and the learning plane has a signal to converge on.
+						labels[i] = trueClass(a.Records[i], *classes)
+						if wrng.Float64() >= 0.9 {
+							labels[i] = (labels[i] + 1) % *classes
+						}
+					} else {
+						labels[i] = (id + a.TaskID + i) % *classes
+					}
 				}
 				acc, term, err := cl.Submit(id, a.TaskID, labels)
 				if err != nil {
@@ -279,4 +304,25 @@ func main() {
 	ops := float64(submitted.Load()+fetches.Load()+accepted.Load()+terminated.Load()) / elapsed.Seconds()
 	fmt.Printf("throughput         %.0f ops/s\n", ops)
 	fmt.Printf("total cost         $%.4f\n", costs["total_dollars"])
+}
+
+// trueClass is a record's ground-truth label: a stable content hash, so
+// submitters (feature generation) and workers (answers) agree on it
+// without sharing state.
+func trueClass(record string, classes int) int {
+	h := fnv.New32a()
+	h.Write([]byte(record))
+	return int(h.Sum32()>>1) % classes
+}
+
+// featuresFor draws one 2-d feature vector per record around its class
+// center — the separable-cluster workload the learning plane converges on
+// quickly, so a -hybrid run exercises the full auto-finalize loop.
+func featuresFor(recs []string, classes int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, len(recs))
+	for i, rec := range recs {
+		y := float64(trueClass(rec, classes))
+		out[i] = []float64{4*y + rng.NormFloat64()*0.5, -4*y + rng.NormFloat64()*0.5}
+	}
+	return out
 }

@@ -29,6 +29,14 @@
 // the same fabric; JSON/HTTP remains the control and compatibility
 // surface.
 //
+// With -hybrid the server runs the live hybrid learning plane
+// (internal/hybrid): finalized labels of feature-carrying tasks train a
+// per-job committee model, tasks the model can call at or above
+// -confidence are auto-finalized without further crowd work (journaled,
+// with model provenance on /api/result and /api/consensus), and every
+// -relabel-interval the pending backlog is re-prioritized by vote entropy
+// so crowd attention flows to the tasks the model is least sure about.
+//
 // Usage:
 //
 //	clamshell-server -addr :8080 -listen-wire :9090 -shards 8 -speculation 1 \
@@ -55,6 +63,7 @@ import (
 	"time"
 
 	"github.com/clamshell/clamshell/internal/fabric"
+	"github.com/clamshell/clamshell/internal/hybrid"
 	"github.com/clamshell/clamshell/internal/server"
 	"github.com/clamshell/clamshell/internal/wire"
 )
@@ -72,6 +81,9 @@ func main() {
 	compactInterval := flag.Duration("compact-interval", time.Minute, "how often to compact the op journal into a snapshot (with -persist-dir)")
 	fsync := flag.String("fsync", "group", "op-journal fsync policy: commit (every op), group (batched on a short ticker) or off")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "group-commit batching interval (0 = the journal default)")
+	hybridOn := flag.Bool("hybrid", false, "enable the live hybrid learning plane: train on finalized labels, auto-finalize confident tasks, re-prioritize uncertain ones")
+	confidence := flag.Float64("confidence", 0.95, "minimum model confidence (soft-vote probability) before a task is auto-finalized (with -hybrid)")
+	relabelInterval := flag.Duration("relabel-interval", 30*time.Second, "uncertainty re-prioritization cadence for the pending backlog (with -hybrid; 0 = off)")
 	flag.Parse()
 
 	fab := fabric.New(server.Config{
@@ -92,6 +104,18 @@ func main() {
 		}
 		log.Printf("durable state in %s (retention %v, compaction every %v, fsync %s)",
 			*persistDir, *retention, *compactInterval, *fsync)
+	}
+	if *hybridOn {
+		// After OpenPersist, so the plane re-seeds from the recovered
+		// backlog; its auto-finalize decisions are journaled like any other
+		// durable mutation and replay byte-exactly on the next recovery.
+		plane := fab.EnableHybrid(hybrid.Config{
+			Confidence:      *confidence,
+			RelabelInterval: *relabelInterval,
+		})
+		defer plane.Close()
+		log.Printf("hybrid learning plane enabled (confidence %.2f, relabel every %v)",
+			*confidence, *relabelInterval)
 	}
 	if *wireAddr != "" {
 		l, err := net.Listen("tcp", *wireAddr)

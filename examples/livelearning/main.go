@@ -1,14 +1,17 @@
-// Livelearning: the full CLAMShell learning loop over the live HTTP
-// routing server, in one process. This is the wall-clock counterpart of
-// the simulator's RunLearning:
+// Livelearning: the full CLAMShell hybrid loop over the live routing
+// server, in one process. The learning no longer happens in the client —
+// the server's hybrid plane (internal/hybrid, -hybrid on clamshell-server)
+// subscribes to the label stream itself:
 //
-//   - an AsyncRetrainer continuously retrains a model in the background
-//     and publishes snapshots (§5.3: decision latency is off the critical
-//     path);
-//   - each round, the batcher scores unlabeled points against the latest
-//     snapshot and submits the uncertain ones at high priority and random
-//     fill at low priority — the hybrid selector expressed through the
-//     server's priority queue;
+//   - every task is submitted with its feature vector; finalized human
+//     answers train a per-job query-by-committee model on the server;
+//   - tasks the committee can call confidently are auto-finalized with the
+//     model's answer — no further crowd spend — with provenance reported
+//     on /api/result and /api/consensus;
+//   - every relabel interval the pending backlog is re-bucketed by vote
+//     entropy, so the crowd's attention flows to the points the model is
+//     least sure about (§5.3's uncertainty batching expressed through the
+//     server's priority queue);
 //   - a swarm of simulated worker clients labels points with human-like
 //     noise over HTTP, exactly the protocol a real crowd frontend speaks.
 //
@@ -19,154 +22,128 @@ package main
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"net/http/httptest"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	clamshell "github.com/clamshell/clamshell"
+	"github.com/clamshell/clamshell/internal/fabric"
+	"github.com/clamshell/clamshell/internal/hybrid"
 	"github.com/clamshell/clamshell/internal/server"
 )
 
 const (
-	poolSize     = 8
-	activeShare  = 0.5 // k = r*p uncertainty-sampled points per round
-	targetLabels = 160
+	poolSize = 8
+	points   = 400
+	quorum   = 3
 )
 
 func main() {
-	// An easy binary dataset: active selection genuinely helps here.
+	// An easy binary dataset: the committee converges quickly, so most of
+	// the budget is saved by the model.
 	data := clamshell.Guyon(rand.New(rand.NewSource(1)), clamshell.GuyonConfig{
-		N: 1200, Features: 12, Informative: 9, Classes: 2, ClassSep: 1.6,
+		N: points, Features: 8, Informative: 6, Classes: 2, ClassSep: 3.0,
 	})
-	train, test := data.Split(rand.New(rand.NewSource(2)), 0.25)
 
-	srv := server.New(server.Config{SpeculationLimit: 1})
-	ts := httptest.NewServer(srv)
+	fab := fabric.New(server.Config{SpeculationLimit: 1}, 1)
+	plane := fab.EnableHybrid(hybrid.Config{
+		Confidence:      0.92,
+		MinTrained:      30,
+		RelabelInterval: 100 * time.Millisecond,
+	})
+	defer plane.Close()
+
+	ts := httptest.NewServer(fab)
 	defer ts.Close()
-	fmt.Printf("routing server at %s; labeling %d points with %d live workers\n",
-		ts.URL, targetLabels, poolSize)
+	fmt.Printf("routing server at %s; hybrid plane on, labeling %d points (quorum %d) with %d live workers\n",
+		ts.URL, points, quorum, poolSize)
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	startWorkers(ts.URL, train.Y, stop, &wg)
+	var humanLabels atomic.Int64
+	startWorkers(ts.URL, data.Y, stop, &wg, &humanLabels)
 
-	retrainer := clamshell.NewAsyncRetrainer(train.Features, train.Classes, 3)
-	defer retrainer.Close()
-
+	// Submit every point up front, feature vectors attached: selection is
+	// the server's job now.
 	client := server.NewClient(ts.URL)
-	rng := rand.New(rand.NewSource(4))
-	labeled := make(map[int]bool)
-	start := time.Now()
-
-	for len(labeled) < targetLabels {
-		k := int(math.Round(poolSize * activeShare))
-		points := selectPoints(rng, retrainer, train, labeled, k, poolSize-k)
-		if len(points) == 0 {
-			break
-		}
-		ids := submitPoints(client, points, k)
-
-		// Collect this round's answers and feed the retrainer.
-		for i, taskID := range ids {
-			idx := points[i]
-			labels := awaitResult(client, taskID)
-			labeled[idx] = true
-			retrainer.Observe(idx, train.X[idx], labels[0])
-		}
-
-		if model, _ := retrainer.Model(); model != nil && len(labeled)%(poolSize*4) == 0 {
-			fmt.Printf("  %3d labels, %5.1fs: held-out accuracy %.3f\n",
-				len(labeled), time.Since(start).Seconds(),
-				model.Accuracy(test.X, test.Y))
-		}
-	}
-
-	// Wait for the final fit over everything observed.
-	for retrainer.Fits() == 0 {
-		time.Sleep(5 * time.Millisecond)
-	}
-	model, version := retrainer.Model()
-	fmt.Printf("done: %d crowd labels in %.1fs, model v%d, final accuracy %.3f\n",
-		len(labeled), time.Since(start).Seconds(), version,
-		model.Accuracy(test.X, test.Y))
-
-	close(stop)
-	wg.Wait()
-}
-
-// selectPoints picks k uncertain points under the latest model snapshot
-// (random before the first fit) plus fill random points.
-func selectPoints(rng *rand.Rand, ar *clamshell.AsyncRetrainer, train *clamshell.Dataset,
-	labeled map[int]bool, k, fill int) []int {
-	var pool []int
-	for i := 0; i < train.Len(); i++ {
-		if !labeled[i] {
-			pool = append(pool, i)
-		}
-	}
-	if len(pool) <= k+fill {
-		return pool
-	}
-	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
-
-	model, _ := ar.Model()
-	if model == nil {
-		return pool[:k+fill]
-	}
-	// Score a candidate sample, take the k most uncertain, fill randomly.
-	cands := pool
-	if len(cands) > 200 {
-		cands = cands[:200]
-	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		return model.Uncertainty(train.X[cands[i]]) > model.Uncertainty(train.X[cands[j]])
-	})
-	return cands[:k+fill]
-}
-
-// submitPoints sends the round to the server: the first k points at high
-// priority (the uncertainty-sampled ones), the rest at priority 0.
-func submitPoints(c *server.Client, points []int, k int) []int {
-	specs := make([]server.TaskSpec, len(points))
-	for i, idx := range points {
-		prio := 0
-		if i < k {
-			prio = 10
-		}
+	specs := make([]server.TaskSpec, points)
+	for i := 0; i < points; i++ {
 		specs[i] = server.TaskSpec{
-			Records:  []string{fmt.Sprintf("point-%d", idx)},
+			Records:  []string{fmt.Sprintf("point-%d", i)},
 			Classes:  2,
-			Quorum:   1,
-			Priority: prio,
+			Quorum:   quorum,
+			Features: [][]float64{data.X[i]},
 		}
 	}
-	ids, err := c.SubmitTasks(specs)
+	ids, err := client.SubmitTasks(specs)
 	if err != nil {
 		panic(err)
 	}
-	return ids
-}
 
-// awaitResult polls until the task completes and returns its consensus.
-func awaitResult(c *server.Client, taskID int) []int {
+	start := time.Now()
 	for {
-		st, err := c.Result(taskID)
-		if err == nil && st.State == "complete" {
-			return st.Consensus
+		st, err := client.Status()
+		if err != nil {
+			panic(err)
 		}
-		time.Sleep(2 * time.Millisecond)
+		if st["complete"] >= points {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Tally provenance and accuracy against the ground truth.
+	modelTasks, correct := 0, 0
+	for i, id := range ids {
+		st, err := client.Result(id)
+		if err != nil {
+			panic(err)
+		}
+		if st.Source == "model" {
+			modelTasks++
+		}
+		if len(st.Consensus) == 1 && st.Consensus[0] == data.Y[i] {
+			correct++
+		}
+	}
+	costs, _ := client.Costs()
+	fmt.Printf("done in %.1fs: %d human labels, %d/%d tasks finalized by the model\n",
+		time.Since(start).Seconds(), humanLabels.Load(), modelTasks, points)
+	fmt.Printf("consensus accuracy %.3f, total spend $%.2f (pure crowd would buy %d labels)\n",
+		float64(correct)/float64(points), costs["total_dollars"], points*quorum)
+
+	// The same numbers are on the operator surface: /metrics carries the
+	// human/model label split, the model-accuracy gauge and the pending
+	// candidate count (see docs/alerts for alerting rules over them).
+	hybridFamilies := []string{
+		"clamshell_hybrid_autofinalized_total",
+		"clamshell_hybrid_labels_total",
+		"clamshell_hybrid_reprioritized_total",
+		"clamshell_hybrid_pending_candidates",
+		"clamshell_hybrid_model_accuracy",
+	}
+	if body, err := client.Metrics(); err == nil {
+		for _, line := range strings.Split(body, "\n") {
+			for _, fam := range hybridFamilies {
+				if strings.HasPrefix(line, fam) {
+					fmt.Printf("  %s\n", line)
+					break
+				}
+			}
+		}
 	}
 }
 
 // startWorkers launches the simulated crowd: each worker polls for tasks,
 // parses the point index from the record payload, and answers the true
 // label with 90% probability after a short human-like delay.
-func startWorkers(baseURL string, truth []int, stop chan struct{}, wg *sync.WaitGroup) {
+func startWorkers(baseURL string, truth []int, stop chan struct{}, wg *sync.WaitGroup, humanLabels *atomic.Int64) {
 	for w := 0; w < poolSize; w++ {
 		wg.Add(1)
 		go func(n int) {
@@ -195,7 +172,9 @@ func startWorkers(baseURL string, truth []int, stop chan struct{}, wg *sync.Wait
 					label = 1 - label
 				}
 				time.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
-				wc.Submit(wid, a.TaskID, []int{label})
+				if accepted, _, err := wc.Submit(wid, a.TaskID, []int{label}); err == nil && accepted {
+					humanLabels.Add(1)
+				}
 			}
 		}(w)
 	}

@@ -153,6 +153,12 @@ func (f *Fabric) handleConsensus(w http.ResponseWriter, r *http.Request) {
 	if estimator != "majority" {
 		resp.WorkerScores = scores
 	}
+	var modelTasks []int
+	for _, sh := range f.shards {
+		modelTasks = append(modelTasks, sh.ModelTasks()...)
+	}
+	sort.Ints(modelTasks)
+	resp.ModelTasks = modelTasks
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -184,7 +190,20 @@ func (f *Fabric) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		f.release(sh) // MetricsState expires stale workers, which can orphan steals
 	}
 	page := server.BuildMetricsPage(shards, f.obs, f.journalSnapshot())
+	page.Hybrid = f.hybridSnapshot()
 	server.WriteMetricsPage(w, page)
+}
+
+// handleMetricsSketch serves the same fabric-wide page's t-digests in the
+// binary sketch-export codec, for lossless off-box merging.
+func (f *Fabric) handleMetricsSketch(w http.ResponseWriter, r *http.Request) {
+	shards := make([]server.ShardMetrics, 0, len(f.shards))
+	for _, sh := range f.shards {
+		shards = append(shards, sh.MetricsState())
+		f.release(sh) // MetricsState expires stale workers, which can orphan steals
+	}
+	page := server.BuildMetricsPage(shards, f.obs, f.journalSnapshot())
+	server.WriteSketchExport(w, page)
 }
 
 // journalSnapshot merges per-store durability telemetry into one fabric

@@ -52,6 +52,9 @@ type Fabric struct {
 	// handlers can read it while a restore rebuilds or a close tears it
 	// down.
 	persist atomic.Pointer[persistState]
+
+	// hybrid is the learning plane (nil until EnableHybrid).
+	hybrid hybridPlane
 }
 
 // New creates a fabric of n shards (n < 1 is treated as 1). All shards
@@ -81,6 +84,7 @@ func New(cfg server.Config, n int) *Fabric {
 	f.mux.HandleFunc("GET /api/healthz", f.handleHealthz)
 	f.mux.HandleFunc("GET /api/metricsz", f.handleMetricsz)
 	f.mux.HandleFunc("GET /metrics", f.handleMetricsz)
+	f.mux.HandleFunc("GET /metrics/sketch", f.handleMetricsSketch)
 	f.mux.HandleFunc("GET /{$}", server.WorkerUI)
 	return f
 }

@@ -53,8 +53,8 @@ func (f *Fabric) CoreEnqueue(specs []server.TaskSpec) ([]int, error) {
 	}
 	ids := make([]int, 0, len(specs))
 	for _, spec := range specs {
-		if len(spec.Records) == 0 {
-			return nil, server.ErrTaskNoRecords
+		if err := server.ValidateSpec(spec); err != nil {
+			return nil, err
 		}
 		ids = append(ids, f.placeShard(spec).Enqueue(spec))
 	}

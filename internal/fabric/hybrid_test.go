@@ -1,0 +1,201 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/hybrid"
+	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/wire"
+)
+
+// drainFeatureTasks submits n quorum-1 feature-carrying tasks and labels
+// every one through the HTTP worker loop, so each finalize emits a label
+// event on its owning shard.
+func drainFeatureTasks(t *testing.T, cl *server.Client, wid, n int) {
+	t.Helper()
+	specs := make([]server.TaskSpec, n)
+	for i := range specs {
+		specs[i] = server.TaskSpec{
+			Records:  []string{fmt.Sprintf("hybrid-task-%d-%d", n, i)},
+			Classes:  2,
+			Quorum:   1,
+			Features: [][]float64{{float64(i), -float64(i)}},
+		}
+	}
+	if _, err := cl.SubmitTasks(specs); err != nil {
+		t.Fatal(err)
+	}
+	for done := 0; done < n; {
+		a, ok, err := cl.FetchTask(wid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("queue dry after %d of %d tasks", done, n)
+		}
+		if _, _, err := cl.Submit(wid, a.TaskID, []int{done % 2}); err != nil {
+			t.Fatal(err)
+		}
+		done++
+	}
+}
+
+// EnableHybrid wires the plane into a multi-shard fabric: the pool's
+// already-finalized tasks are replayed into the model at attach time, live
+// finalizes stream in through every shard's label sink afterwards, and the
+// scrape surface carries the hybrid families plus the per-connection wire
+// counters.
+func TestEnableHybridFabricWiring(t *testing.T) {
+	fab, cl := newTestFabric(t, server.Config{SpeculationLimit: 1}, 2)
+
+	wid, err := cl.Join("crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Finalized before the plane exists: only the seed replay can see these.
+	drainFeatureTasks(t, cl, wid, 4)
+
+	plane := fab.EnableHybrid(hybrid.Config{MinTrained: 100, RelabelInterval: time.Hour})
+	defer plane.Close()
+	if got := plane.Snapshot().HumanLabels; got != 4 {
+		t.Fatalf("seeded human labels = %d, want 4", got)
+	}
+
+	// Finalized after: these arrive through the live sinks on both shards.
+	drainFeatureTasks(t, cl, wid, 3)
+	plane.Pump()
+	if got := plane.Snapshot().HumanLabels; got != 7 {
+		t.Fatalf("human labels after live finalizes = %d, want 7", got)
+	}
+
+	// A model decision routed through the fabric's Decider lands on the
+	// owning shard and surfaces on the aggregated consensus page.
+	ids, err := cl.SubmitTasks([]server.TaskSpec{{
+		Records:  []string{"model-take"},
+		Classes:  2,
+		Quorum:   3,
+		Features: [][]float64{{9, -9}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fab.AutoFinalize(ids[0], []int{1}) {
+		t.Fatalf("AutoFinalize(%d) refused", ids[0])
+	}
+	plane.Pump()
+	var cons server.ConsensusResponse
+	resp, err := http.Get(cl.BaseURL + "/api/consensus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cons); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(cons.ModelTasks) != 1 || cons.ModelTasks[0] != ids[0] {
+		t.Fatalf("consensus model_tasks = %v, want [%d]", cons.ModelTasks, ids[0])
+	}
+
+	// One wire connection, one op: the per-conn families get a row.
+	cliConn, srvConn := net.Pipe()
+	go wire.NewServer(fab).ServeConn(srvConn)
+	wc, err := wire.NewClient(cliConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.Join("wire-crowd"); err != nil {
+		t.Fatal(err)
+	}
+	wc.Close()
+
+	page, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lintExposition(t, page)
+	for _, want := range []string{
+		`clamshell_hybrid_labels_total{source="human"} 7`,
+		`clamshell_hybrid_labels_total{source="model"} 1`,
+		"clamshell_hybrid_autofinalized_total 1",
+		"clamshell_hybrid_reprioritized_total 0",
+		"clamshell_hybrid_pending_candidates 0",
+		`clamshell_wire_conn_ops_total{remote="pipe"} 1`,
+		`clamshell_wire_conn_decode_errors_total{remote="pipe"} 0`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("page:\n%s", page)
+	}
+}
+
+// GET /metrics/sketch exports the scrape page's digests in the binary
+// codec: the decoded sketches carry exact observation counts, and two
+// scrapes merge losslessly — the operation the text exposition's
+// pre-collapsed quantiles cannot support.
+func TestMetricsSketchExportEndpoint(t *testing.T) {
+	_, cl := newTestFabric(t, server.Config{SpeculationLimit: 1}, 2)
+
+	wid, err := cl.Join("crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainFeatureTasks(t, cl, wid, 3)
+
+	scrape := func() []server.NamedSketch {
+		t.Helper()
+		resp, err := http.Get(cl.BaseURL + "/metrics/sketch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := server.DecodeSketchExport(body)
+		if err != nil {
+			t.Fatalf("decode export: %v", err)
+		}
+		return entries
+	}
+	find := func(entries []server.NamedSketch, name string) server.NamedSketch {
+		t.Helper()
+		for _, e := range entries {
+			if e.Name == name {
+				return e
+			}
+		}
+		t.Fatalf("export missing sketch %q", name)
+		return server.NamedSketch{}
+	}
+
+	first := scrape()
+	// 3 hand-outs and 3 finalized records: both pool digests carry exact
+	// counts (unlike the op-latency sketches, they are not sampled).
+	handout := find(first, "clamshell_handout_wait_seconds")
+	if got := handout.Digest.Count(); got != 3 {
+		t.Fatalf("handout digest count = %d, want 3", got)
+	}
+	if got := find(first, "clamshell_latency_per_record_seconds").Digest.Count(); got != 3 {
+		t.Fatalf("per-record digest count = %d, want 3", got)
+	}
+
+	// Off-box aggregation: merging a second scrape's digest doubles the
+	// weight without touching the server.
+	second := scrape()
+	handout.Digest.Merge(find(second, "clamshell_handout_wait_seconds").Digest)
+	if got := handout.Digest.Count(); got != 6 {
+		t.Fatalf("merged handout count = %d, want 6", got)
+	}
+}

@@ -1,0 +1,502 @@
+// Package hybrid is the live learning plane: it subscribes to a pool's
+// label-event stream, trains a query-by-committee model on human-finalized
+// answers, and closes the loop on the crowd in two ways. Confident
+// predictions auto-finalize pending tasks with a model-provided answer
+// (journaled, so crash recovery replays the decision byte-exactly), and
+// vote-entropy scores periodically re-bucket the pending backlog so human
+// attention flows to the tasks the model is least sure about — the paper's
+// hybrid human/machine learner (§6) running against the live retainer pool
+// instead of the simulator.
+//
+// Decisions are deterministic: the committee is fitted in event order from
+// a seeded RNG, candidates are swept in task-id order, and nothing on the
+// decision path reads the clock or an unseeded RNG. The same label sequence
+// therefore produces the same auto-finalize decisions whether it is
+// streamed live or replayed offline (see the equivalence property test).
+// The async retrainer is deliberately kept off that path: it only feeds
+// the shadow accuracy gauge, where timing jitter cannot change behavior.
+package hybrid
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/learn"
+	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/stats"
+)
+
+// Decider is the slice of pool surface the plane drives. Both server.Shard
+// and fabric.Fabric satisfy it; the fabric routes each call to the task's
+// owning shard. Every method takes the target's lock itself — the plane
+// never holds a shard lock.
+type Decider interface {
+	// AutoFinalize terminates a pending task with a model-provided answer,
+	// journaling the decision. False when the task is unknown, already
+	// done, or the labels do not fit its shape.
+	AutoFinalize(taskID int, labels []int) bool
+	// Reprioritize moves a pending task to a new priority bucket,
+	// journaling the move. False when the task is unknown, done, or
+	// already at that priority.
+	Reprioritize(taskID, priority int) bool
+}
+
+// Config tunes the plane.
+type Config struct {
+	// Confidence is the minimum committee soft-vote probability every
+	// record of a task must clear before the plane auto-finalizes it.
+	// Default 0.95.
+	Confidence float64
+	// MinTrained is the number of human-finalized tasks a learner must see
+	// before it may decide anything. Default 20.
+	MinTrained int
+	// RelabelInterval is the uncertainty re-bucketing cadence for the
+	// background loop. Zero disables the timer (Relabel can still be
+	// called directly).
+	RelabelInterval time.Duration
+	// CommitteeSize is the number of committee members. Default 5.
+	CommitteeSize int
+	// MaxPriority is the top of the priority range entropy maps onto:
+	// a task's new priority is round(entropy · MaxPriority). Default 8.
+	MaxPriority int
+	// Seed drives the committee's bootstrap resampling.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Confidence <= 0 || c.Confidence > 1 {
+		c.Confidence = 0.95
+	}
+	if c.MinTrained <= 0 {
+		c.MinTrained = 20
+	}
+	if c.CommitteeSize < 2 {
+		c.CommitteeSize = 5
+	}
+	if c.MaxPriority <= 0 {
+		c.MaxPriority = 8
+	}
+}
+
+// jobKey groups tasks that share one learnable problem shape. One learner
+// (committee + shadow retrainer) exists per shape.
+type jobKey struct {
+	dim     int // feature-vector length
+	classes int
+}
+
+// candidate is a pending feature-carrying task awaiting a model decision.
+type candidate struct {
+	id       int
+	features [][]float64
+	priority int
+}
+
+// learner is the per-shape model state.
+type learner struct {
+	key       jobKey
+	committee *learn.Committee
+	rng       *rand.Rand
+	X         [][]float64 // one row per record of each human-finalized task
+	Y         []int
+	trained   int // human-finalized tasks absorbed
+	cands     map[int]*candidate
+	shadow    *learn.AsyncRetrainer
+}
+
+// decision is one committed model action, executed off the plane mutex.
+type decision struct {
+	taskID   int
+	labels   []int // auto-finalize answer (nil for a re-prioritization)
+	priority int
+}
+
+// Plane is the learning plane for one pool (server or fabric).
+type Plane struct {
+	cfg Config
+	dec Decider
+
+	// qmu guards only the inbound event queue. Ingest is called from
+	// transport goroutines right after a shard releases its lock — and,
+	// reentrantly on the pump goroutine, when executing a decision makes
+	// the shard emit the resulting finalize event — so it must never wait
+	// on mu (which the pump holds while deciding).
+	qmu   sync.Mutex
+	queue []server.LabelEvent
+
+	// mu guards the learner state and counters.
+	mu            sync.Mutex
+	learners      map[jobKey]*learner
+	humanLabels   uint64
+	modelLabels   uint64
+	reprioritized uint64
+	shadowHits    uint64
+	shadowTotal   uint64
+
+	// pumpMu serializes pump passes (the background loop and direct test
+	// calls may otherwise overlap).
+	pumpMu sync.Mutex
+
+	wake chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	startOnce sync.Once
+	closeOnce sync.Once
+}
+
+// New builds a plane driving dec. Start launches the background loop;
+// tests can instead call Pump and Relabel directly for deterministic
+// stepping.
+func New(cfg Config, dec Decider) *Plane {
+	cfg.fillDefaults()
+	return &Plane{
+		cfg:      cfg,
+		dec:      dec,
+		learners: make(map[jobKey]*learner),
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Ingest is the label sink: it enqueues one event and wakes the loop.
+// Safe from any goroutine; never blocks on model work.
+func (p *Plane) Ingest(ev server.LabelEvent) {
+	p.qmu.Lock()
+	p.queue = append(p.queue, ev)
+	p.qmu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default: // a wake-up is already pending
+	}
+}
+
+// Seed replays a pool's current state into the plane (see
+// server.SeedLabelEvents): after a restart the plane relearns from the
+// finalized tasks still live and re-registers the pending ones.
+func (p *Plane) Seed(evs []server.LabelEvent) {
+	p.qmu.Lock()
+	p.queue = append(p.queue, evs...)
+	p.qmu.Unlock()
+	p.Pump()
+}
+
+// Start launches the background loop: it pumps on every ingested event and
+// runs the uncertainty re-bucketing sweep on the configured cadence.
+func (p *Plane) Start() {
+	p.startOnce.Do(func() {
+		p.wg.Add(1)
+		go p.loop()
+	})
+}
+
+// Close stops the background loop and the shadow retrainers. The learner
+// state stays readable (Snapshot) after Close.
+func (p *Plane) Close() {
+	p.closeOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+	p.mu.Lock()
+	ls := make([]*learner, 0, len(p.learners))
+	for _, l := range p.learners {
+		ls = append(ls, l)
+	}
+	p.mu.Unlock()
+	for _, l := range ls {
+		if l.shadow != nil {
+			l.shadow.Close()
+		}
+	}
+}
+
+func (p *Plane) loop() {
+	defer p.wg.Done()
+	var tick <-chan time.Time
+	if p.cfg.RelabelInterval > 0 {
+		t := time.NewTicker(p.cfg.RelabelInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.wake:
+			p.Pump()
+		case <-tick:
+			p.Pump()
+			p.Relabel()
+		}
+	}
+}
+
+// Pump drains the event queue, absorbs the events into the learners, and
+// executes every auto-finalize decision the models now support, repeating
+// until the plane is quiescent (executing a decision feeds the resulting
+// finalize event back through the queue). Returns the number of tasks
+// auto-finalized. Safe to call directly; used by tests for deterministic
+// stepping.
+func (p *Plane) Pump() int {
+	p.pumpMu.Lock()
+	defer p.pumpMu.Unlock()
+	finalized := 0
+	for {
+		evs := p.drain()
+		p.mu.Lock()
+		for _, ev := range evs {
+			p.applyLocked(ev)
+		}
+		decisions := p.autoFinalizeLocked()
+		p.mu.Unlock()
+		for _, d := range decisions {
+			if p.dec.AutoFinalize(d.taskID, d.labels) {
+				finalized++
+			}
+		}
+		if len(evs) == 0 && len(decisions) == 0 {
+			return finalized
+		}
+	}
+}
+
+// Relabel runs one uncertainty sweep: every pending candidate of every
+// decision-ready learner is re-bucketed to round(entropy · MaxPriority).
+// Returns the number of tasks whose priority actually moved.
+func (p *Plane) Relabel() int {
+	p.pumpMu.Lock()
+	defer p.pumpMu.Unlock()
+	p.mu.Lock()
+	var decisions []decision
+	for _, l := range p.sortedLearnersLocked() {
+		if !l.ready(p.cfg.MinTrained) {
+			continue
+		}
+		for _, c := range l.sortedCands() {
+			entropy := 0.0
+			for _, x := range c.features {
+				if e := l.committee.VoteEntropy(x); e > entropy {
+					entropy = e
+				}
+			}
+			prio := int(entropy*float64(p.cfg.MaxPriority) + 0.5)
+			if prio != c.priority {
+				decisions = append(decisions, decision{taskID: c.id, priority: prio})
+			}
+		}
+	}
+	p.mu.Unlock()
+	moved := 0
+	for _, d := range decisions {
+		if p.dec.Reprioritize(d.taskID, d.priority) {
+			moved++
+			p.mu.Lock()
+			p.reprioritized++
+			if l := p.learnerOf(d.taskID); l != nil {
+				l.cands[d.taskID].priority = d.priority
+			}
+			p.mu.Unlock()
+		}
+	}
+	return moved
+}
+
+// drain swaps out the inbound queue.
+func (p *Plane) drain() []server.LabelEvent {
+	p.qmu.Lock()
+	defer p.qmu.Unlock()
+	evs := p.queue
+	p.queue = nil
+	return evs
+}
+
+// applyLocked absorbs one event into the learner state. Callers hold mu.
+func (p *Plane) applyLocked(ev server.LabelEvent) {
+	switch ev.Kind {
+	case server.LabelEnqueued:
+		key, ok := shapeOf(ev)
+		if !ok {
+			return
+		}
+		l := p.learnerLocked(key)
+		l.cands[ev.Task] = &candidate{id: ev.Task, features: ev.Features, priority: ev.Priority}
+	case server.LabelFinalized:
+		key, ok := shapeOf(ev)
+		if !ok {
+			return
+		}
+		l := p.learnerLocked(key)
+		delete(l.cands, ev.Task)
+		if ev.ByModel {
+			p.modelLabels++
+			return
+		}
+		p.humanLabels++
+		if len(ev.Labels) != len(ev.Features) {
+			return
+		}
+		// Shadow accuracy: score the async model's prediction against the
+		// human consensus before training on it. Gauge-only — the async
+		// snapshot is timing-dependent, so it must never gate a decision.
+		if m, _ := l.shadow.Model(); m != nil {
+			for rec, x := range ev.Features {
+				if m.Predict(x) == ev.Labels[rec] {
+					p.shadowHits++
+				}
+				p.shadowTotal++
+			}
+		}
+		for rec, x := range ev.Features {
+			l.shadow.Observe(ev.Task*recStride+rec, x, ev.Labels[rec])
+			l.X = append(l.X, x)
+			l.Y = append(l.Y, ev.Labels[rec])
+		}
+		l.trained++
+		l.committee.Fit(l.X, l.Y, l.rng)
+	}
+	// LabelAnswered carries partial votes; the plane trains only on
+	// finalized consensus, so per-answer events just confirm liveness.
+}
+
+// recStride spaces the shadow retrainer's example ids so a task's records
+// never collide (tasks are far smaller than this).
+const recStride = 1 << 20
+
+// autoFinalizeLocked sweeps every decision-ready learner for candidates
+// whose every record clears the confidence threshold, removes them from
+// the candidate set, and returns the decisions for execution off-lock.
+// Callers hold mu.
+func (p *Plane) autoFinalizeLocked() []decision {
+	var out []decision
+	for _, l := range p.sortedLearnersLocked() {
+		if !l.ready(p.cfg.MinTrained) {
+			continue
+		}
+		for _, c := range l.sortedCands() {
+			labels, ok := l.confidentLabels(c.features, p.cfg.Confidence)
+			if !ok {
+				continue
+			}
+			delete(l.cands, c.id)
+			out = append(out, decision{taskID: c.id, labels: labels})
+		}
+	}
+	return out
+}
+
+// confidentLabels predicts every record of a task, reporting ok only when
+// each record's top soft-vote probability clears the threshold.
+func (l *learner) confidentLabels(features [][]float64, confidence float64) ([]int, bool) {
+	labels := make([]int, len(features))
+	for rec, x := range features {
+		proba := l.committee.Proba(x)
+		best, bestV := 0, proba[0]
+		for i := 1; i < len(proba); i++ {
+			if proba[i] > bestV {
+				best, bestV = i, proba[i]
+			}
+		}
+		if bestV < confidence {
+			return nil, false
+		}
+		labels[rec] = best
+	}
+	return labels, true
+}
+
+func (l *learner) ready(minTrained int) bool {
+	return l.trained >= minTrained && l.committee.Trained() && len(l.cands) > 0
+}
+
+// sortedCands returns the learner's candidates in task-id order — the
+// deterministic sweep order the live==offline equivalence relies on.
+func (l *learner) sortedCands() []*candidate {
+	out := make([]*candidate, 0, len(l.cands))
+	for _, c := range l.cands {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// sortedLearnersLocked returns learners in shape order. Callers hold mu.
+func (p *Plane) sortedLearnersLocked() []*learner {
+	out := make([]*learner, 0, len(p.learners))
+	for _, l := range p.learners {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.dim != out[j].key.dim {
+			return out[i].key.dim < out[j].key.dim
+		}
+		return out[i].key.classes < out[j].key.classes
+	})
+	return out
+}
+
+// learnerLocked returns (creating on first use) the learner for a shape.
+// Callers hold mu.
+func (p *Plane) learnerLocked(key jobKey) *learner {
+	if l, ok := p.learners[key]; ok {
+		return l
+	}
+	// Each learner derives its seed from the plane seed and its shape, so
+	// the committee's RNG stream does not depend on learner creation order.
+	seed := p.cfg.Seed ^ int64(key.dim)<<32 ^ int64(key.classes)
+	l := &learner{
+		key:       key,
+		committee: learn.NewCommittee(key.dim, key.classes, p.cfg.CommitteeSize),
+		rng:       stats.NewRand(seed),
+		cands:     make(map[int]*candidate),
+		shadow:    learn.NewAsyncRetrainer(key.dim, key.classes, seed+1),
+	}
+	p.learners[key] = l
+	return l
+}
+
+// learnerOf finds the learner holding a candidate. Callers hold mu.
+func (p *Plane) learnerOf(taskID int) *learner {
+	for _, l := range p.learners {
+		if _, ok := l.cands[taskID]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+// shapeOf extracts a consistent problem shape from an event; events with
+// ragged feature rows are ignored (the model cannot consume them).
+func shapeOf(ev server.LabelEvent) (jobKey, bool) {
+	if len(ev.Features) == 0 || ev.Classes < 2 {
+		return jobKey{}, false
+	}
+	dim := len(ev.Features[0])
+	if dim == 0 {
+		return jobKey{}, false
+	}
+	for _, row := range ev.Features {
+		if len(row) != dim {
+			return jobKey{}, false
+		}
+	}
+	return jobKey{dim: dim, classes: ev.Classes}, true
+}
+
+// Snapshot reports the plane's counters for the metrics page.
+func (p *Plane) Snapshot() *server.HybridSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := &server.HybridSnapshot{
+		HumanLabels:   p.humanLabels,
+		ModelLabels:   p.modelLabels,
+		Reprioritized: p.reprioritized,
+	}
+	for _, l := range p.learners {
+		h.Pending += len(l.cands)
+	}
+	if p.shadowTotal > 0 {
+		h.Accuracy = float64(p.shadowHits) / float64(p.shadowTotal)
+		h.AccuracyKnown = true
+	}
+	return h
+}

@@ -24,13 +24,18 @@ type Op struct {
 	Name   string `json:"name,omitempty"`   // join: worker name
 	Reason string `json:"reason,omitempty"` // leave: "leave" | "expire" | "retire"
 
-	// submit: the task spec (defaults already applied).
-	Records  []string `json:"records,omitempty"`
-	Classes  int      `json:"classes,omitempty"`
-	Quorum   int      `json:"quorum,omitempty"`
-	Priority int      `json:"priority,omitempty"`
+	// submit: the task spec (defaults already applied). Features, when
+	// present, is one vector per record; float64s survive the JSON round
+	// trip exactly (encoding/json emits the shortest representation that
+	// parses back to the same bits), so replay is byte-deterministic.
+	Records  []string    `json:"records,omitempty"`
+	Classes  int         `json:"classes,omitempty"`
+	Quorum   int         `json:"quorum,omitempty"`
+	Priority int         `json:"priority,omitempty"` // also: repri's new priority
+	Features [][]float64 `json:"features,omitempty"`
 
 	// answer: the label vector, the termination flag and the pay delta.
+	// autofinal reuses Labels for the model-provided answer.
 	Labels     []int `json:"labels,omitempty"`
 	Terminated bool  `json:"terminated,omitempty"`
 	Pay        int64 `json:"pay,omitempty"` // micro-dollars; also used by waitpay
@@ -45,6 +50,13 @@ const (
 	OpLeave   = "leave"   // worker removed (audit only; Reason says why)
 	OpRetire  = "retire"  // worker retired by maintenance (durable blocklist)
 	OpWaitPay = "waitpay" // wait-pay accrual settled onto the ledger
+
+	// Hybrid learning-plane ops. Both are decisions made off the shard lock
+	// by the model plane and journaled on the owning shard, so replay
+	// reconstructs the same finalization and priority state byte-exactly
+	// without re-running any model.
+	OpAutoFinal = "autofinal" // task finalized with a model-provided answer
+	OpRepri     = "repri"     // pending task re-bucketed to a new priority
 )
 
 // EncodeOp serializes an op as a journal record payload.

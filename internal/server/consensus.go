@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 
 	"github.com/clamshell/clamshell/internal/quality"
 	"github.com/clamshell/clamshell/internal/stats"
@@ -28,6 +29,12 @@ type ConsensusResponse struct {
 	// for "em", reliability (negative = adversarial) for "kos". Empty for
 	// "majority".
 	WorkerScores map[int]float64 `json:"worker_scores,omitempty"`
+	// ModelTasks lists (ascending) the tasks auto-finalized by the hybrid
+	// plane's model. Their served consensus (/api/result) is the model's
+	// answer, but model answers never enter the vote graph here — Labels
+	// still reflects human votes only, so the graph estimators keep judging
+	// workers against humans, not against the model's own output.
+	ModelTasks []int `json:"model_tasks,omitempty"`
 }
 
 // handleConsensus aggregates all answers under the requested estimator.
@@ -47,6 +54,18 @@ func (s *Server) handleConsensus(w http.ResponseWriter, r *http.Request) {
 	for id, t := range s.tallies {
 		records[id] = t.Records
 	}
+	var modelTasks []int
+	for id, u := range s.tasks {
+		if u.model {
+			modelTasks = append(modelTasks, id)
+		}
+	}
+	for id, t := range s.tallies {
+		if t.Model {
+			modelTasks = append(modelTasks, id)
+		}
+	}
+	sort.Ints(modelTasks)
 	seed := int64(s.nextTask)*1e6 + int64(len(votes))
 	s.mu.Unlock()
 
@@ -98,6 +117,7 @@ func (s *Server) handleConsensus(w http.ResponseWriter, r *http.Request) {
 	if estimator != "majority" {
 		resp.WorkerScores = scores
 	}
+	resp.ModelTasks = modelTasks
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -64,11 +64,12 @@ func (e *CoreError) Error() string { return e.Err.Error() }
 // Canonical protocol errors. The exact strings are part of the protocol
 // surface (both transports and both Core implementations share them).
 var (
-	ErrUnknownWorker = errors.New("unknown worker")
-	ErrUnknownTask   = errors.New("unknown task")
-	ErrNoMoreTasks   = errors.New("no more tasks available")
-	ErrNoTasksGiven  = errors.New("no tasks given")
-	ErrTaskNoRecords = errors.New("task with no records")
+	ErrUnknownWorker   = errors.New("unknown worker")
+	ErrUnknownTask     = errors.New("unknown task")
+	ErrNoMoreTasks     = errors.New("no more tasks available")
+	ErrNoTasksGiven    = errors.New("no tasks given")
+	ErrTaskNoRecords   = errors.New("task with no records")
+	ErrTaskBadFeatures = errors.New("task features do not match records")
 )
 
 // --- single-shard Core implementation ---
@@ -101,15 +102,54 @@ func (s *Shard) CoreEnqueue(specs []TaskSpec) ([]int, error) {
 		return nil, ErrNoTasksGiven
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	ids := make([]int, 0, len(specs))
+	var evs []LabelEvent
+	sink := s.labelSink
 	for _, spec := range specs {
-		if len(spec.Records) == 0 {
-			return nil, ErrTaskNoRecords
+		if err := ValidateSpec(spec); err != nil {
+			s.mu.Unlock()
+			s.emitAll(sink, evs)
+			return nil, err
 		}
-		ids = append(ids, s.enqueueLocked(spec))
+		id := s.enqueueLocked(spec)
+		ids = append(ids, id)
+		if sink != nil {
+			if ev := enqueuedEvent(s.tasks[id]); ev.Kind != 0 {
+				evs = append(evs, ev)
+			}
+		}
 	}
+	s.mu.Unlock()
+	s.emitAll(sink, evs)
 	return ids, nil
+}
+
+// ValidateSpec applies the Core-level spec checks shared by both Core
+// implementations: a task must carry records, and features (when present)
+// must carry one vector per record.
+//
+//clamshell:hotpath
+func ValidateSpec(spec TaskSpec) error {
+	if len(spec.Records) == 0 {
+		return ErrTaskNoRecords
+	}
+	if len(spec.Features) != 0 && len(spec.Features) != len(spec.Records) {
+		return ErrTaskBadFeatures
+	}
+	return nil
+}
+
+// emitAll delivers collected label events to a sink. Callers must have
+// released mu; a nil sink (the common case) costs one branch.
+//
+//clamshell:hotpath
+func (s *Shard) emitAll(sink func(LabelEvent), evs []LabelEvent) {
+	if sink == nil {
+		return
+	}
+	for _, ev := range evs {
+		sink(ev)
+	}
 }
 
 // CoreFetch implements Core: first a task still needing primary answers,

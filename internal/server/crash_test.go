@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
@@ -169,14 +170,23 @@ func TestCrashRecoveryProperty(t *testing.T) {
 		const steps = 220
 		for step := 0; step < steps; step++ {
 			now = now.Add(time.Duration(rng.Intn(3000)) * time.Millisecond)
-			switch rng.Intn(12) {
+			switch rng.Intn(14) {
 			case 0, 1, 2:
-				s.Enqueue(TaskSpec{
+				spec := TaskSpec{
 					Records:  []string{"r", "s"}[:1+rng.Intn(2)],
 					Classes:  2 + rng.Intn(2),
 					Quorum:   1 + rng.Intn(2),
 					Priority: rng.Intn(3),
-				})
+				}
+				if rng.Intn(2) == 0 {
+					// Feature vectors ride the submit op and must survive the
+					// round trip bit-exactly (arbitrary float64s included).
+					spec.Features = make([][]float64, len(spec.Records))
+					for i := range spec.Features {
+						spec.Features[i] = []float64{rng.NormFloat64(), rng.Float64() * 1e-7}
+					}
+				}
+				s.Enqueue(spec)
 			case 3:
 				join()
 			case 4, 5:
@@ -231,6 +241,44 @@ func TestCrashRecoveryProperty(t *testing.T) {
 				}
 				workers = kept
 				s.mu.Unlock()
+			case 12:
+				// A hybrid-plane auto-finalize: the decision is journaled and
+				// must replay byte-exactly, provenance included.
+				s.mu.Lock()
+				var pend []int
+				for id, u := range s.tasks {
+					if !u.done {
+						pend = append(pend, id)
+					}
+				}
+				s.mu.Unlock()
+				sort.Ints(pend)
+				if len(pend) > 0 {
+					tid := pend[rng.Intn(len(pend))]
+					s.mu.Lock()
+					u := s.tasks[tid]
+					n, cls := len(u.spec.Records), u.spec.Classes
+					s.mu.Unlock()
+					labels := make([]int, n)
+					for i := range labels {
+						labels[i] = rng.Intn(cls)
+					}
+					s.AutoFinalize(tid, labels)
+				}
+			case 13:
+				// A hybrid-plane re-prioritization of a random pending task.
+				s.mu.Lock()
+				var pend []int
+				for id, u := range s.tasks {
+					if !u.done {
+						pend = append(pend, id)
+					}
+				}
+				s.mu.Unlock()
+				sort.Ints(pend)
+				if len(pend) > 0 {
+					s.Reprioritize(pend[rng.Intn(len(pend))], rng.Intn(5))
+				}
 			case 11:
 				if step < steps/2 && compactions < 3 {
 					// Compaction with a short retention window: completed

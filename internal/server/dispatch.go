@@ -20,10 +20,13 @@ import "github.com/clamshell/clamshell/internal/journal"
 // completed history cost the hand-out path nothing, which is exactly where
 // the old scan melted down.
 //
-// Within a partition, buckets are keyed by the task's (immutable) priority;
+// Within a partition, buckets are keyed by the task's current priority;
 // across buckets picks go in descending priority; within a bucket tasks are
 // ordered by submission sequence (FIFO), matching the historical scan's
-// "higher priority first, FIFO within a priority" order exactly.
+// "higher priority first, FIFO within a priority" order exactly. Priority
+// changes only through repriLocked, which pulls the unit out of its bucket
+// before mutating the spec and refiles it after — a unit is always filed
+// under the priority its spec carries.
 //
 // Migration is eager. reindex recomputes a task's partition after every
 // mutation of its active set, answer count or done flag; when the partition

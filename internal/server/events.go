@@ -1,0 +1,103 @@
+package server
+
+// The label-event stream: the shard-side half of the hybrid learning loop
+// (internal/hybrid). A shard with a sink attached reports three kinds of
+// durable label activity — feature-carrying tasks entering the queue,
+// human answers landing, and tasks finalizing (by quorum or by a model
+// decision). Events are assembled under the shard lock but the sink is
+// always invoked after the lock is released (the record-after-unlock
+// pattern the latency sketches use), so a sink can never extend a shard's
+// critical section or deadlock by calling back into the shard.
+//
+// Journal replay never emits events: recovery rebuilds state silently and
+// the learning plane re-seeds itself from SeedLabelEvents, so a crash
+// cannot double-train the model.
+
+// LabelEventKind classifies one label-stream observation.
+type LabelEventKind int
+
+const (
+	// LabelEnqueued: a feature-carrying task entered the queue. Only tasks
+	// with feature vectors are announced — the learning plane has nothing
+	// to learn from payloads it cannot featurize.
+	LabelEnqueued LabelEventKind = iota + 1
+	// LabelAnswered: a human answer was accepted toward a task's quorum.
+	LabelAnswered
+	// LabelFinalized: the task completed — by human quorum (ByModel false,
+	// Labels = the majority consensus) or by a model auto-finalize decision
+	// (ByModel true, Labels = the model's answer).
+	LabelFinalized
+)
+
+// LabelEvent is one observation on a shard's label stream.
+type LabelEvent struct {
+	Kind LabelEventKind
+	Task int
+
+	// The task's shape, on Enqueued and Finalized events both (the plane
+	// keys learners by shape, so finalized events must be self-contained).
+	// Features aliases the spec — consumers must not mutate it.
+	Features [][]float64
+	Classes  int
+	Records  int
+	Priority int
+
+	// Finalized: the consensus labels and provenance; Answers is the human
+	// answers on the books at finalization.
+	Labels  []int
+	ByModel bool
+	Answers int
+}
+
+// SetLabelSink attaches (or, with nil, detaches) the shard's label-stream
+// sink. The sink is called after the shard lock is released, one event at
+// a time, in the shard's serialization order.
+func (s *Shard) SetLabelSink(sink func(LabelEvent)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.labelSink = sink
+}
+
+// SeedLabelEvents re-creates the label stream implied by the shard's
+// current state: an Enqueued event for every live feature-carrying task,
+// followed by a Finalized event when it already completed. A learning
+// plane attached after recovery replays these to rebuild its training set
+// and candidate pool (retained tallies are skipped — their payloads and
+// features are gone, so there is nothing left to learn from).
+func (s *Shard) SeedLabelEvents() []LabelEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []LabelEvent
+	for _, tid := range s.order {
+		u, ok := s.tasks[tid]
+		if !ok || len(u.spec.Features) == 0 {
+			continue
+		}
+		out = append(out, LabelEvent{
+			Kind: LabelEnqueued, Task: u.id,
+			Features: u.spec.Features, Classes: u.spec.Classes,
+			Records: len(u.spec.Records), Priority: u.spec.Priority,
+		})
+		if u.done {
+			out = append(out, s.finalizedEvent(u))
+		}
+	}
+	return out
+}
+
+// finalizedEvent builds the Finalized event for a completed unit. Callers
+// hold mu.
+//
+//clamshell:locked callers hold mu
+func (s *Shard) finalizedEvent(u *workUnit) LabelEvent {
+	labels := u.modelLabels
+	if !u.model {
+		labels = s.majority(u)
+	}
+	return LabelEvent{
+		Kind: LabelFinalized, Task: u.id,
+		Features: u.spec.Features, Classes: u.spec.Classes,
+		Labels: labels, ByModel: u.model, Answers: len(u.answers),
+		Records: len(u.spec.Records),
+	}
+}

@@ -42,6 +42,19 @@ type ShardMetrics struct {
 	Backlog     []BacklogDepth
 }
 
+// HybridSnapshot is the hybrid learning plane's contribution to the page
+// (present only when the plane is attached). Counts come from the plane's
+// event stream; Accuracy is the shadow retrainer's moving agreement with
+// human consensus, meaningful only once AccuracyKnown.
+type HybridSnapshot struct {
+	HumanLabels   uint64  // tasks finalized by human quorum
+	ModelLabels   uint64  // tasks finalized by the model
+	Reprioritized uint64  // pending tasks re-bucketed by uncertainty
+	Pending       int     // feature-carrying tasks awaiting a decision
+	Accuracy      float64 // shadow model agreement with human consensus
+	AccuracyKnown bool
+}
+
 // MetricsPage is everything a scrape renders: merged shard state plus the
 // transport observation plane and the optional journal snapshot.
 type MetricsPage struct {
@@ -52,6 +65,7 @@ type MetricsPage struct {
 	Backlog     []BacklogDepth
 	Obs         *Obs
 	Journal     *JournalSnapshot
+	Hybrid      *HybridSnapshot
 }
 
 // BuildMetricsPage merges per-shard metrics into one fabric-wide page:
@@ -75,6 +89,7 @@ func BuildMetricsPage(shards []ShardMetrics, obs *Obs, j *JournalSnapshot) *Metr
 		p.Counters.Retired += c.Retired
 		p.Counters.Expired += c.Expired
 		p.Counters.TalliesAged += c.TalliesAged
+		p.Counters.AutoFinalized += c.AutoFinalized
 		p.CostDollars += sm.CostDollars
 		p.PerRecord.Merge(sm.PerRecord)
 		p.Handout.Merge(sm.Handout)
@@ -148,6 +163,25 @@ func (p *MetricsPage) RenderPrometheus() []byte {
 	header("clamshell_tallies_aged_total",
 		"Retained vote tallies aged into count-only aggregates.", "counter")
 	fmt.Fprintf(&b, "clamshell_tallies_aged_total %d\n", c.TalliesAged)
+	header("clamshell_hybrid_autofinalized_total",
+		"Tasks finalized by the hybrid plane's model instead of a human quorum.", "counter")
+	fmt.Fprintf(&b, "clamshell_hybrid_autofinalized_total %d\n", c.AutoFinalized)
+
+	if h := p.Hybrid; h != nil {
+		header("clamshell_hybrid_labels_total",
+			"Finalized tasks by label source (human quorum vs model).", "counter")
+		fmt.Fprintf(&b, "clamshell_hybrid_labels_total{source=\"human\"} %d\n", h.HumanLabels)
+		fmt.Fprintf(&b, "clamshell_hybrid_labels_total{source=\"model\"} %d\n", h.ModelLabels)
+		header("clamshell_hybrid_reprioritized_total",
+			"Pending tasks re-bucketed by model uncertainty.", "counter")
+		fmt.Fprintf(&b, "clamshell_hybrid_reprioritized_total %d\n", h.Reprioritized)
+		gauge("clamshell_hybrid_pending_candidates",
+			"Feature-carrying pending tasks awaiting a model decision.", float64(h.Pending))
+		if h.AccuracyKnown {
+			gauge("clamshell_hybrid_model_accuracy",
+				"Shadow model agreement with human consensus (moving rate).", h.Accuracy)
+		}
+	}
 
 	if o := p.Obs; o != nil {
 		header("clamshell_steals_total", "Tasks handed out across shards by work stealing.", "counter")
@@ -182,6 +216,19 @@ func (p *MetricsPage) RenderPrometheus() []byte {
 		header("clamshell_wire_decode_seconds",
 			"Wire-protocol frame decode time (merged t-digest).", "summary")
 		summarySeries("clamshell_wire_decode_seconds", "", o.WireDecode.Snapshot())
+
+		if conns := o.ConnSnapshot(); len(conns) > 0 {
+			header("clamshell_wire_conn_ops_total",
+				"Wire ops served per connection, by remote address.", "counter")
+			for _, cc := range conns {
+				fmt.Fprintf(&b, "clamshell_wire_conn_ops_total{remote=%q} %d\n", cc.Remote, cc.Ops)
+			}
+			header("clamshell_wire_conn_decode_errors_total",
+				"Wire frames rejected by the strict decoder, per connection.", "counter")
+			for _, cc := range conns {
+				fmt.Fprintf(&b, "clamshell_wire_conn_decode_errors_total{remote=%q} %d\n", cc.Remote, cc.DecodeErrors)
+			}
+		}
 	}
 
 	if j := p.Journal; j != nil {

@@ -341,9 +341,10 @@ func handleCoreResult(w http.ResponseWriter, r *http.Request, c Core) {
 // their type (matching the old decoder's tolerance).
 
 var (
-	errBadJSON  = errors.New("malformed JSON body")
-	errNotInt   = errors.New("not an integer")
-	errNotArray = errors.New("not an array")
+	errBadJSON   = errors.New("malformed JSON body")
+	errNotInt    = errors.New("not an integer")
+	errNotNumber = errors.New("not a number")
+	errNotArray  = errors.New("not an array")
 )
 
 type jsonCursor struct {
@@ -521,6 +522,93 @@ func (c *jsonCursor) integer() (int, error) {
 		return 0, errNotInt
 	}
 	return v, nil
+}
+
+// number parses a JSON number as float64 (null = 0). Parsing goes through
+// strconv.ParseFloat, so the shortest-representation values the encoder
+// emits round-trip to the identical bit pattern — the hybrid plane's
+// replay determinism depends on that.
+func (c *jsonCursor) number() (float64, error) {
+	if c.null() {
+		return 0, nil
+	}
+	c.ws()
+	start := c.i
+	for c.i < len(c.b) {
+		switch ch := c.b[c.i]; {
+		case ch >= '0' && ch <= '9',
+			ch == '-', ch == '+', ch == '.', ch == 'e', ch == 'E':
+			c.i++
+		default:
+			goto parsed
+		}
+	}
+parsed:
+	v, err := strconv.ParseFloat(string(c.b[start:c.i]), 64)
+	if err != nil {
+		return 0, errNotNumber
+	}
+	return v, nil
+}
+
+// floatArray parses a JSON array of numbers (null = nil, null element = 0).
+func (c *jsonCursor) floatArray() ([]float64, error) {
+	if c.null() {
+		return nil, nil
+	}
+	ch, ok := c.peek()
+	if !ok || ch != '[' {
+		return nil, errNotArray
+	}
+	c.i++
+	if c.expect(']') {
+		return []float64{}, nil
+	}
+	var out []float64
+	for {
+		v, err := c.number()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		if c.expect(',') {
+			continue
+		}
+		if c.expect(']') {
+			return out, nil
+		}
+		return nil, errBadJSON
+	}
+}
+
+// floatMatrix parses a JSON array of number arrays (null = nil).
+func (c *jsonCursor) floatMatrix() ([][]float64, error) {
+	if c.null() {
+		return nil, nil
+	}
+	ch, ok := c.peek()
+	if !ok || ch != '[' {
+		return nil, errNotArray
+	}
+	c.i++
+	if c.expect(']') {
+		return [][]float64{}, nil
+	}
+	var out [][]float64
+	for {
+		row, err := c.floatArray()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+		if c.expect(',') {
+			continue
+		}
+		if c.expect(']') {
+			return out, nil
+		}
+		return nil, errBadJSON
+	}
 }
 
 // skipValue advances past one JSON value of any type.
@@ -782,7 +870,7 @@ func (c *jsonCursor) stringArray() ([]string, error) {
 }
 
 // decodeTaskSpecs strictly decodes {"tasks":[{records, classes, quorum,
-// priority}, ...]}.
+// priority, features}, ...]}.
 func decodeTaskSpecs(body []byte) ([]TaskSpec, error) {
 	c := jsonCursor{b: body}
 	var specs []TaskSpec
@@ -837,6 +925,13 @@ func decodeTaskSpecs(body []byte) ([]TaskSpec, error) {
 						return fmt.Errorf(`field "priority": %w`, err)
 					}
 					spec.Priority = v
+					return nil
+				case "features":
+					m, err := c.floatMatrix()
+					if err != nil {
+						return fmt.Errorf(`field "features": %w`, err)
+					}
+					spec.Features = m
 					return nil
 				default:
 					return c.skipValue()

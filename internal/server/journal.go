@@ -92,12 +92,18 @@ func validateTally(t RetainedTask) error {
 	if t.Records < 1 {
 		return fmt.Errorf("server: retained tally %d has no records", t.ID)
 	}
+	if t.Model && len(t.Consensus) != t.Records {
+		return fmt.Errorf("server: model tally %d: consensus with %d labels, want %d",
+			t.ID, len(t.Consensus), t.Records)
+	}
 	if t.Aged {
 		if len(t.Answers) != 0 || len(t.Voters) != 0 {
 			return fmt.Errorf("server: aged tally %d still carries %d answers",
 				t.ID, len(t.Answers))
 		}
-		if t.AnswerCount < 1 {
+		// A model-finalized task may have completed with zero human answers;
+		// a human quorum cannot.
+		if t.AnswerCount < 1 && !t.Model {
 			return fmt.Errorf("server: aged tally %d has no answer count", t.ID)
 		}
 		if len(t.Consensus) != t.Records {
@@ -141,6 +147,9 @@ func (s *Shard) applyOp(op journal.Op) {
 			return
 		}
 		spec := TaskSpec{Records: op.Records, Classes: op.Classes, Quorum: op.Quorum, Priority: op.Priority}
+		if len(op.Features) == len(op.Records) {
+			spec.Features = op.Features
+		}
 		if spec.Quorum < 1 {
 			spec.Quorum = 1
 		}
@@ -177,6 +186,28 @@ func (s *Shard) applyOp(op journal.Op) {
 			u.doneAt = time.Unix(0, op.At)
 		}
 		s.reindex(u)
+	case journal.OpAutoFinal:
+		u, ok := s.tasks[op.Task]
+		if !ok || u.done || len(op.Labels) != len(u.spec.Records) {
+			return
+		}
+		for _, l := range op.Labels {
+			if l < 0 || l >= u.spec.Classes {
+				return
+			}
+		}
+		u.done = true
+		u.model = true
+		u.modelLabels = op.Labels
+		u.doneAt = time.Unix(0, op.At)
+		s.autoFinalized++
+		s.reindex(u)
+	case journal.OpRepri:
+		u, ok := s.tasks[op.Task]
+		if !ok || u.done {
+			return
+		}
+		s.repriLocked(u, op.Priority)
 	case journal.OpRetire:
 		if op.Worker >= 1 && !s.retired[op.Worker] {
 			s.retired[op.Worker] = true
@@ -262,6 +293,13 @@ func (s *Shard) demoteLocked(retention time.Duration) {
 			Voters:  u.voters,
 			DoneAt:  u.doneAt.UnixNano(),
 		}
+		if u.model {
+			// A model-finalized task's served consensus is the model's
+			// answer, not a vote majority — store it so the tally keeps the
+			// same /api/result view (and provenance) the live task had.
+			t.Model = true
+			t.Consensus = u.modelLabels
+		}
 		s.tallies[tid] = t
 		s.talliesDirty[tid] = t
 		s.enqueueForAging(t)
@@ -300,7 +338,11 @@ func (s *Shard) ageTalliesLocked() {
 			keep = append(keep, t)
 			continue
 		}
-		t.Consensus = majorityOf(t.Answers, t.Records)
+		// Model tallies already carry their consensus (the model's answer);
+		// aging must not overwrite it with a vote majority.
+		if !t.Model {
+			t.Consensus = majorityOf(t.Answers, t.Records)
+		}
 		t.AnswerCount = len(t.Answers)
 		t.Answers = nil
 		t.Voters = nil

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -105,7 +107,77 @@ type Obs struct {
 	WireDecode *sketch.Recorder
 	Steals     atomic.Uint64
 
+	// Per-connection wire accounting, keyed by remote address. The wire
+	// transport resolves one *ConnStats at handshake and bumps its atomics
+	// per frame, so the per-frame hot path never touches the map or its
+	// lock. Tracking is capped; remotes past the cap aggregate under
+	// connOverflow so a churning client population cannot grow the map
+	// without bound.
+	connMu sync.Mutex
+	conns  map[string]*ConnStats
+
 	now func() time.Time
+}
+
+// ConnStats counts one wire connection's served ops and strict-decoder
+// rejections. Reconnects from the same remote address accumulate into the
+// same entry.
+type ConnStats struct {
+	Ops          atomic.Uint64
+	DecodeErrors atomic.Uint64
+}
+
+// connTrackMax bounds the number of distinct remotes tracked individually.
+const connTrackMax = 256
+
+// connOverflow aggregates remotes past the tracking cap.
+const connOverflow = "other"
+
+// Conn returns the stats cell for a remote address, creating it if the
+// tracking cap allows; past the cap the shared overflow cell is returned.
+// Called once per connection at handshake, never per frame.
+func (o *Obs) Conn(remote string) *ConnStats {
+	o.connMu.Lock()
+	defer o.connMu.Unlock()
+	if o.conns == nil {
+		o.conns = make(map[string]*ConnStats)
+	}
+	if cs, ok := o.conns[remote]; ok {
+		return cs
+	}
+	if len(o.conns) >= connTrackMax {
+		remote = connOverflow
+		if cs, ok := o.conns[remote]; ok {
+			return cs
+		}
+	}
+	cs := &ConnStats{}
+	o.conns[remote] = cs
+	return cs
+}
+
+// ConnCount is one remote's point-in-time wire accounting.
+type ConnCount struct {
+	Remote       string
+	Ops          uint64
+	DecodeErrors uint64
+}
+
+// ConnSnapshot returns per-remote wire counts sorted by remote address
+// (deterministic scrape output).
+func (o *Obs) ConnSnapshot() []ConnCount {
+	o.connMu.Lock()
+	defer o.connMu.Unlock()
+	out := make([]ConnCount, 0, len(o.conns))
+	for remote, cs := range o.conns {
+		out = append(out, ConnCount{
+			Remote:       remote,
+			Ops:          cs.Ops.Load(),
+			DecodeErrors: cs.DecodeErrors.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Remote < out[j].Remote })
+	return out
 }
 
 // NewObs builds an observability plane on the given clock (nil selects

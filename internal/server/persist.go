@@ -48,6 +48,13 @@ type TaskState struct {
 	Voters  []int    `json:"voters,omitempty"`
 	Done    bool     `json:"done"`
 	DoneAt  int64    `json:"done_at,omitempty"` // unix nanoseconds; 0 when unknown
+
+	// Model provenance: a hybrid-plane auto-finalized task serves
+	// ModelLabels as its consensus; Answers/Voters keep the human votes
+	// gathered before the decision. Both omitempty — snapshots without the
+	// hybrid plane are byte-identical to earlier builds.
+	Model       bool  `json:"model,omitempty"`
+	ModelLabels []int `json:"model_labels,omitempty"`
 }
 
 // RetainedTask is the compacted tally of a completed task past the
@@ -71,7 +78,13 @@ type RetainedTask struct {
 
 	Aged        bool  `json:"aged,omitempty"`
 	AnswerCount int   `json:"answer_count,omitempty"` // answers at aging time
-	Consensus   []int `json:"consensus,omitempty"`    // majority labels at aging time
+	Consensus   []int `json:"consensus,omitempty"`    // majority labels at aging time (model answer for Model tallies)
+
+	// Model marks a tally whose task was auto-finalized by the hybrid
+	// plane; its Consensus is the model's answer, stored at demotion time
+	// (aged or not), and its Answers/Voters are the human votes gathered
+	// before the decision.
+	Model bool `json:"model,omitempty"`
 }
 
 // SnapshotState is the full durable state of one pool (a standalone server
@@ -87,6 +100,10 @@ type SnapshotState struct {
 	Order        []int              `json:"order,omitempty"`
 	Tasks        []TaskState        `json:"tasks,omitempty"`
 	Retained     []RetainedTask     `json:"retained,omitempty"`
+
+	// AutoFinalized counts tasks finalized by the hybrid plane's model
+	// (additive, omitempty: plain snapshots are unchanged).
+	AutoFinalized int `json:"auto_finalized,omitempty"`
 }
 
 // EncodeSnapshot serializes a snapshot state in the wire format. The
@@ -128,6 +145,17 @@ func DecodeSnapshot(data []byte) (SnapshotState, error) {
 				return st, fmt.Errorf("server: snapshot task %d: answer with %d labels, want %d",
 					ts.ID, len(a), len(ts.Spec.Records))
 			}
+		}
+		if ts.Model {
+			if !ts.Done {
+				return st, fmt.Errorf("server: snapshot task %d is model-finalized but not done", ts.ID)
+			}
+			if len(ts.ModelLabels) != len(ts.Spec.Records) {
+				return st, fmt.Errorf("server: snapshot task %d: model answer with %d labels, want %d",
+					ts.ID, len(ts.ModelLabels), len(ts.Spec.Records))
+			}
+		} else if len(ts.ModelLabels) != 0 {
+			return st, fmt.Errorf("server: snapshot task %d carries model labels without model provenance", ts.ID)
 		}
 		seen[ts.ID] = true
 	}
@@ -177,6 +205,7 @@ func (s *Shard) exportLocked(full bool) SnapshotState {
 		RetiredCount: s.retiredCount,
 		Costs:        s.costs,
 	}
+	st.AutoFinalized = s.autoFinalized
 	for id := range s.retired {
 		st.Retired = append(st.Retired, id)
 	}
@@ -197,11 +226,13 @@ func (s *Shard) exportLocked(full bool) SnapshotState {
 	for _, tid := range walk {
 		if u, ok := s.tasks[tid]; ok {
 			ts := TaskState{
-				ID:      u.id,
-				Spec:    u.spec,
-				Answers: u.answers,
-				Voters:  u.voters,
-				Done:    u.done,
+				ID:          u.id,
+				Spec:        u.spec,
+				Answers:     u.answers,
+				Voters:      u.voters,
+				Done:        u.done,
+				Model:       u.model,
+				ModelLabels: u.modelLabels,
 			}
 			if !u.doneAt.IsZero() {
 				ts.DoneAt = u.doneAt.UnixNano()
@@ -227,13 +258,15 @@ func (s *Shard) ImportState(st SnapshotState) {
 	tasks := make(map[int]*workUnit, len(st.Tasks))
 	for _, ts := range st.Tasks {
 		tasks[ts.ID] = &workUnit{
-			id:      ts.ID,
-			spec:    ts.Spec,
-			answers: ts.Answers,
-			voters:  ts.Voters,
-			active:  make(map[int]bool),
-			done:    ts.Done,
-			doneAt:  time.Unix(0, ts.DoneAt),
+			id:          ts.ID,
+			spec:        ts.Spec,
+			answers:     ts.Answers,
+			voters:      ts.Voters,
+			active:      make(map[int]bool),
+			done:        ts.Done,
+			doneAt:      time.Unix(0, ts.DoneAt),
+			model:       ts.Model,
+			modelLabels: ts.ModelLabels,
 		}
 	}
 	tallies := make(map[int]*RetainedTask, len(st.Retained))
@@ -290,6 +323,7 @@ func (s *Shard) ImportState(st SnapshotState) {
 		s.retired[id] = true
 	}
 	s.costs = st.Costs
+	s.autoFinalized = st.AutoFinalized
 	s.orphans = nil
 	s.orphanCount.Store(0)
 }

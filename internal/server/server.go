@@ -37,6 +37,13 @@ type TaskSpec struct {
 	// priority 0, reproducing the hybrid selector's ordering on a real
 	// crowd.
 	Priority int `json:"priority,omitempty"`
+
+	// Features, when present, carries one numeric feature vector per
+	// record. A feature-carrying task is visible to the hybrid learning
+	// plane (internal/hybrid): its finalized labels train the model, and a
+	// confident model may auto-finalize it or re-bucket its priority.
+	// Tasks without features flow through the pool untouched.
+	Features [][]float64 `json:"features,omitempty"`
 }
 
 // TaskStatus reports a task's progress.
@@ -47,6 +54,10 @@ type TaskStatus struct {
 	Active    int      `json:"active"`
 	Consensus []int    `json:"consensus,omitempty"` // majority labels when complete
 	Records   []string `json:"records,omitempty"`
+
+	// Source is "model" when the consensus came from a hybrid-plane
+	// auto-finalize decision rather than a human quorum; empty otherwise.
+	Source string `json:"source,omitempty"`
 }
 
 // workUnit is the server's internal task state.
@@ -61,6 +72,13 @@ type workUnit struct {
 	doneAt     time.Time    // when the quorum filled (drives retention demotion)
 	enqueuedAt int64        // UnixNano when the task entered the queue (hand-out wait metric; zero after replay)
 	termAcked  map[int]bool // workers whose terminated submission was acknowledged (replay dedup)
+
+	// Model provenance: a task the hybrid plane auto-finalized carries the
+	// model's answer here; human answers gathered before the decision stay
+	// in answers/voters (and keep feeding the quality estimators), but the
+	// served consensus is modelLabels.
+	model       bool
+	modelLabels []int
 
 	// Dispatch-index bookkeeping (see dispatch.go): the partition the task
 	// currently belongs to and its position in that partition's heap.
@@ -140,23 +158,24 @@ type Shard struct {
 	index int
 	count int
 
-	mu           sync.Mutex
-	tasks        map[int]*workUnit
-	tallies      map[int]*RetainedTask // completed tasks demoted to vote tallies (see journal.go)
-	talliesDirty map[int]*RetainedTask // tallies not yet durable in a store's retained log
-	order        []int                 // task ids (live and retained) in submission order (consensus, snapshots)
-	nextSeq      int                   // submission sequence counter (dispatch FIFO order)
-	dispatch     [2]dispatchPart       // indexed pending queues: [starved, speculative]
-	workers      map[int]*poolWorker
-	nextTask     int
-	nextWorker   int
-	terminated   int          // duplicate answers discarded (stragglers that lost)
-	retired      map[int]bool // workers retired by server-side maintenance
-	retiredCount int
-	expired      int // workers expired for missing heartbeats
-	talliesAged  int // tallies aged into count-only aggregates
-	costs        metricsAccounting
-	startedAt    time.Time
+	mu            sync.Mutex
+	tasks         map[int]*workUnit
+	tallies       map[int]*RetainedTask // completed tasks demoted to vote tallies (see journal.go)
+	talliesDirty  map[int]*RetainedTask // tallies not yet durable in a store's retained log
+	order         []int                 // task ids (live and retained) in submission order (consensus, snapshots)
+	nextSeq       int                   // submission sequence counter (dispatch FIFO order)
+	dispatch      [2]dispatchPart       // indexed pending queues: [starved, speculative]
+	workers       map[int]*poolWorker
+	nextTask      int
+	nextWorker    int
+	terminated    int          // duplicate answers discarded (stragglers that lost)
+	retired       map[int]bool // workers retired by server-side maintenance
+	retiredCount  int
+	expired       int // workers expired for missing heartbeats
+	talliesAged   int // tallies aged into count-only aggregates
+	autoFinalized int // tasks finalized by the hybrid plane's model
+	costs         metricsAccounting
+	startedAt     time.Time
 
 	// agePending holds retained tallies not yet past the aging horizon, in
 	// demotion order, so the compaction-time aging pass scans only the
@@ -177,6 +196,10 @@ type Shard struct {
 	// see AttachJournal). Called with mu held, so ops land in the shard's
 	// serialization order.
 	logf func(journal.Op)
+
+	// labelSink, when set, receives the shard's label-event stream (see
+	// events.go). Read under mu; invoked only after mu is released.
+	labelSink func(LabelEvent)
 
 	// orphans are assignments whose worker was removed while holding a task
 	// that lives on another shard (work stealing). The fabric drains them
@@ -278,6 +301,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /api/metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetricsz)
+	s.mux.HandleFunc("GET /metrics/sketch", s.handleMetricsSketch)
 	s.mux.HandleFunc("GET /{$}", s.handleUI)
 	return s
 }
@@ -372,9 +396,26 @@ func (s *Shard) enqueueLocked(spec TaskSpec) int {
 	s.logOp(journal.Op{
 		T: journal.OpSubmit, Task: u.id,
 		Records: spec.Records, Classes: spec.Classes, Quorum: spec.Quorum, Priority: spec.Priority,
+		Features: spec.Features,
 	})
 	s.reindex(u)
 	return u.id
+}
+
+// enqueuedEvent builds the Enqueued label event for a feature-carrying
+// unit, or a zero event for a plain one. Callers hold mu and emit after
+// unlocking, and only when a sink is attached.
+//
+//clamshell:locked callers hold mu
+func enqueuedEvent(u *workUnit) LabelEvent {
+	if len(u.spec.Features) == 0 {
+		return LabelEvent{}
+	}
+	return LabelEvent{
+		Kind: LabelEnqueued, Task: u.id,
+		Features: u.spec.Features, Classes: u.spec.Classes,
+		Records: len(u.spec.Records), Priority: u.spec.Priority,
+	}
 }
 
 // assignmentOf builds the typed assignment payload for a task. The Records
@@ -425,20 +466,33 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // tally no longer holds per-voter answers; its consensus and answer count
 // were captured when it aged.
 func retainedStatus(t *RetainedTask) TaskStatus {
+	src := ""
+	if t.Model {
+		src = "model"
+	}
 	if t.Aged {
 		return TaskStatus{
 			ID:        t.ID,
 			State:     "complete",
 			Answers:   t.AnswerCount,
 			Consensus: t.Consensus,
+			Source:    src,
 		}
 	}
-	return TaskStatus{
-		ID:        t.ID,
-		State:     "complete",
-		Answers:   len(t.Answers),
-		Consensus: majorityOf(t.Answers, t.Records),
+	st := TaskStatus{
+		ID:      t.ID,
+		State:   "complete",
+		Answers: len(t.Answers),
+		Source:  src,
 	}
+	// A model-finalized tally serves the model's stored answer; a human one
+	// recomputes the majority from its retained votes.
+	if t.Model {
+		st.Consensus = t.Consensus
+	} else {
+		st.Consensus = majorityOf(t.Answers, t.Records)
+	}
+	return st
 }
 
 // majority computes per-record plurality labels over a unit's answers,
@@ -452,7 +506,7 @@ func (s *Shard) majority(u *workUnit) []int {
 func majorityOf(answers [][]int, records int) []int {
 	out := make([]int, records)
 	for rec := 0; rec < records; rec++ {
-		//clamshell:hotpath-ok vote tallying needs a per-record count map; Result is a polling op, not the submit path
+		//clamshell:hotpath-ok vote tallying needs a per-record count map; runs on Result polls and at most once per task at finalization (and only with a label sink attached)
 		counts := make(map[int]int)
 		for _, labels := range answers {
 			counts[labels[rec]]++

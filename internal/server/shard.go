@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/clamshell/clamshell/internal/journal"
@@ -50,8 +51,17 @@ func (s *Shard) Leave(workerID int) {
 // returns its globally-unique id.
 func (s *Shard) Enqueue(spec TaskSpec) int {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.enqueueLocked(spec)
+	id := s.enqueueLocked(spec)
+	var ev LabelEvent
+	sink := s.labelSink
+	if sink != nil {
+		ev = enqueuedEvent(s.tasks[id])
+	}
+	s.mu.Unlock()
+	if sink != nil && ev.Kind != 0 {
+		sink(ev)
+	}
+	return id
 }
 
 // FetchState classifies a worker's situation at the start of a fetch.
@@ -281,27 +291,46 @@ const (
 // outcomes.
 func (s *Shard) AcceptAnswer(taskID, workerID int, labels []int) (outcome SubmitOutcome, records int, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	outcome, records, evs, err := s.acceptAnswerLocked(taskID, workerID, labels)
+	sink := s.labelSink
+	s.mu.Unlock()
+	if sink != nil {
+		for _, ev := range evs {
+			if ev.Kind != 0 {
+				sink(ev)
+			}
+		}
+	}
+	return outcome, records, err
+}
+
+// acceptAnswerLocked is AcceptAnswer's body. It additionally assembles the
+// label events the caller emits after releasing mu (a zero-kind event means
+// nothing to emit); events are only built when a sink is attached, so plain
+// deployments pay nothing for the stream.
+//
+//clamshell:locked callers hold mu
+func (s *Shard) acceptAnswerLocked(taskID, workerID int, labels []int) (outcome SubmitOutcome, records int, evs [2]LabelEvent, err error) {
 	u, ok := s.tasks[taskID]
 	if !ok {
-		return SubmitUnknownTask, 0, errors.New("unknown task")
+		return SubmitUnknownTask, 0, evs, errors.New("unknown task")
 	}
 	if len(labels) != len(u.spec.Records) {
 		//clamshell:hotpath-ok cold validation branch; well-behaved clients never take it
-		return SubmitBadLabels, 0, fmt.Errorf("want %d labels, got %d", len(u.spec.Records), len(labels))
+		return SubmitBadLabels, 0, evs, fmt.Errorf("want %d labels, got %d", len(u.spec.Records), len(labels))
 	}
 	for _, l := range labels {
 		if l < 0 || l >= u.spec.Classes {
 			//clamshell:hotpath-ok cold validation branch; well-behaved clients never take it
-			return SubmitBadLabels, 0, fmt.Errorf("label %d out of range", l)
+			return SubmitBadLabels, 0, evs, fmt.Errorf("label %d out of range", l)
 		}
 	}
 	records = len(u.spec.Records)
 	if s.answered(u, workerID) {
-		return SubmitDuplicate, records, nil
+		return SubmitDuplicate, records, evs, nil
 	}
 	if u.done && u.termAcked[workerID] {
-		return SubmitDuplicateTerminated, records, nil
+		return SubmitDuplicateTerminated, records, evs, nil
 	}
 	delete(u.active, workerID)
 	if u.done {
@@ -314,7 +343,7 @@ func (s *Shard) AcceptAnswer(taskID, workerID int, labels []int) (outcome Submit
 			u.termAcked = make(map[int]bool)
 		}
 		u.termAcked[workerID] = true
-		return SubmitTerminated, records, nil
+		return SubmitTerminated, records, evs, nil
 	}
 	pay := s.payWork(records, false)
 	u.answers = append(u.answers, labels)
@@ -327,7 +356,87 @@ func (s *Shard) AcceptAnswer(taskID, workerID int, labels []int) (outcome Submit
 	s.logOp(journal.Op{T: journal.OpAnswer, Task: u.id, Worker: workerID,
 		Labels: labels, Pay: int64(pay), At: now.UnixNano()})
 	s.reindex(u)
-	return SubmitAccepted, records, nil
+	if s.labelSink != nil {
+		evs[0] = LabelEvent{Kind: LabelAnswered, Task: u.id, Labels: labels,
+			Records: records, Answers: len(u.answers)}
+		if u.done {
+			evs[1] = s.finalizedEvent(u)
+		}
+	}
+	return SubmitAccepted, records, evs, nil
+}
+
+// AutoFinalize terminates a pending task with a model-provided answer: the
+// hybrid plane's confident-decision path. The task completes immediately —
+// in-flight human assignments settle as terminated stragglers exactly as
+// if a quorum had filled — and the decision is journaled as its own op
+// type, so crash recovery replays it byte-exactly without re-running any
+// model. Human answers already on the books stay (they keep feeding the
+// quality estimators); the served consensus becomes the model's answer,
+// with provenance on /api/result and /api/consensus. It reports false when
+// the task is unknown, already complete, or labels do not fit the spec.
+func (s *Shard) AutoFinalize(taskID int, labels []int) bool {
+	s.mu.Lock()
+	u, ok := s.tasks[taskID]
+	if !ok || u.done || len(labels) != len(u.spec.Records) {
+		s.mu.Unlock()
+		return false
+	}
+	for _, l := range labels {
+		if l < 0 || l >= u.spec.Classes {
+			s.mu.Unlock()
+			return false
+		}
+	}
+	now := s.cfg.Now()
+	u.done = true
+	u.model = true
+	u.modelLabels = labels
+	u.doneAt = now
+	s.autoFinalized++
+	s.logOp(journal.Op{T: journal.OpAutoFinal, Task: u.id, Labels: labels, At: now.UnixNano()})
+	s.reindex(u)
+	var ev LabelEvent
+	sink := s.labelSink
+	if sink != nil {
+		ev = s.finalizedEvent(u)
+	}
+	s.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
+	return true
+}
+
+// Reprioritize moves a pending task to a new dispatch priority: the hybrid
+// plane's uncertainty re-bucketing path. The move is journaled so a
+// recovered shard rebuilds the same hand-out order. It reports false when
+// the task is unknown, complete, or already at the given priority.
+func (s *Shard) Reprioritize(taskID, priority int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.tasks[taskID]
+	if !ok || u.done || u.spec.Priority == priority {
+		return false
+	}
+	s.repriLocked(u, priority)
+	s.logOp(journal.Op{T: journal.OpRepri, Task: u.id, Priority: priority})
+	return true
+}
+
+// repriLocked re-buckets a unit to a new priority. The dispatch partitions
+// key their buckets by the unit's current priority, so the unit must leave
+// its bucket before the spec changes and rejoin after. Callers hold mu.
+//
+//clamshell:locked callers hold mu
+func (s *Shard) repriLocked(u *workUnit, priority int) {
+	if u.dstate != dispatchNone {
+		s.dispatch[u.dstate-1].remove(u)
+	}
+	u.spec.Priority = priority
+	if u.dstate != dispatchNone {
+		s.dispatch[u.dstate-1].push(u)
+	}
 }
 
 // FinishAssignment applies the worker-side half of an answer submission on
@@ -363,14 +472,15 @@ func (s *Shard) FinishAssignment(workerID, taskID, records int) {
 
 // Counters is one shard's contribution to GET /api/status.
 type Counters struct {
-	Tasks       int
-	Complete    int
-	Workers     int
-	Idle        int
-	Terminated  int
-	Retired     int
-	Expired     int
-	TalliesAged int
+	Tasks         int
+	Complete      int
+	Workers       int
+	Idle          int
+	Terminated    int
+	Retired       int
+	Expired       int
+	TalliesAged   int
+	AutoFinalized int
 }
 
 // CountersNow expires stale workers and reports the shard's health
@@ -387,13 +497,14 @@ func (s *Shard) countersLocked() Counters {
 	// Retained tallies count as complete tasks: retention compaction
 	// shrinks a task's representation, it does not forget the task.
 	c := Counters{
-		Tasks:       len(s.tasks) + len(s.tallies),
-		Complete:    len(s.tallies),
-		Workers:     len(s.workers),
-		Terminated:  s.terminated,
-		Retired:     s.retiredCount,
-		Expired:     s.expired,
-		TalliesAged: s.talliesAged,
+		Tasks:         len(s.tasks) + len(s.tallies),
+		Complete:      len(s.tallies),
+		Workers:       len(s.workers),
+		Terminated:    s.terminated,
+		Retired:       s.retiredCount,
+		Expired:       s.expired,
+		TalliesAged:   s.talliesAged,
+		AutoFinalized: s.autoFinalized,
 	}
 	for _, u := range s.tasks {
 		if u.done {
@@ -479,6 +590,10 @@ func (s *Shard) ResultStatus(taskID int) (TaskStatus, bool) {
 		Records: u.spec.Records,
 	}
 	switch {
+	case u.done && u.model:
+		st.State = "complete"
+		st.Consensus = u.modelLabels
+		st.Source = "model"
 	case u.done:
 		st.State = "complete"
 		st.Consensus = s.majority(u)
@@ -514,6 +629,28 @@ func (s *Shard) Dims() (maxRecords, maxClasses, lastTask int) {
 		}
 	}
 	return maxRecords, maxClasses, s.nextTask
+}
+
+// ModelTasks returns the ids (ascending) of this shard's tasks finalized
+// by the hybrid plane's model rather than a human quorum — live tasks and
+// retained tallies alike. They carry no votes, so the consensus surface
+// lists them separately instead of running estimators over them.
+func (s *Shard) ModelTasks() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	for id, u := range s.tasks {
+		if u.model {
+			out = append(out, id)
+		}
+	}
+	for id, t := range s.tallies {
+		if t.Model {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Votes flattens every answer on this shard — live tasks and retained

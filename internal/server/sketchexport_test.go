@@ -1,0 +1,119 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/clamshell/clamshell/internal/sketch"
+)
+
+// The binary export round-trips digests exactly, and the strict decoder
+// rejects every malformed shape: wrong version, truncation at each layer,
+// oversized names, inflated entry counts, and trailing bytes.
+func TestSketchExportRoundTripAndRejections(t *testing.T) {
+	d1 := sketch.New(100)
+	d2 := sketch.New(100)
+	for i := 0; i < 1000; i++ {
+		d1.Add(float64(i))
+		d2.Add(float64(i) * 0.001)
+	}
+	in := []NamedSketch{
+		{Name: "clamshell_handout_wait_seconds", Digest: d1},
+		{Name: `clamshell_op_latency_seconds{transport="wire",op="submit"}`, Digest: d2},
+	}
+	data := EncodeSketchExport(in)
+
+	out, err := DecodeSketchExport(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d entries, want %d", len(out), len(in))
+	}
+	for i, e := range out {
+		if e.Name != in[i].Name {
+			t.Fatalf("entry %d name = %q, want %q", i, e.Name, in[i].Name)
+		}
+		if e.Digest.Count() != in[i].Digest.Count() {
+			t.Fatalf("entry %d count = %d, want %d", i, e.Digest.Count(), in[i].Digest.Count())
+		}
+		for _, q := range []float64{0.5, 0.99} {
+			if got, want := e.Digest.Quantile(q), in[i].Digest.Quantile(q); got != want {
+				t.Fatalf("entry %d q%g = %g, want %g", i, q, got, want)
+			}
+		}
+	}
+
+	bad := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "empty"},
+		{"version", append([]byte{99}, data[1:]...), "version"},
+		{"truncated", data[:len(data)-1], ""},
+		{"trailing", append(append([]byte(nil), data...), 0), "trailing"},
+		{"count past payload", []byte{1, 100}, "exceeds payload"},
+	}
+	longName := EncodeSketchExport([]NamedSketch{{Name: strings.Repeat("x", 300), Digest: d1}})
+	bad = append(bad, struct {
+		name string
+		data []byte
+		want string
+	}{"oversized name", longName, "name length"})
+	for _, tc := range bad {
+		if _, err := DecodeSketchExport(tc.data); err == nil {
+			t.Errorf("%s: decode accepted malformed input", tc.name)
+		} else if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// Per-connection wire accounting: reconnects from one remote accumulate
+// into the same cell, tracking caps at connTrackMax distinct remotes with
+// the rest aggregating under "other", and the snapshot is sorted.
+func TestConnStatsCapAndAccumulation(t *testing.T) {
+	o := NewObs(nil)
+	a := o.Conn("10.0.0.1:4000")
+	a.Ops.Add(2)
+	if o.Conn("10.0.0.1:4000") != a {
+		t.Fatal("reconnect from the same remote got a fresh cell")
+	}
+
+	for i := 0; i < connTrackMax+10; i++ {
+		o.Conn(fmt.Sprintf("10.0.0.2:%d", i)).Ops.Add(1)
+	}
+	over := o.Conn("10.0.0.3:1")
+	if over != o.Conn("10.0.0.4:1") {
+		t.Fatal("remotes past the cap did not share the overflow cell")
+	}
+	over.DecodeErrors.Add(5)
+
+	snap := o.ConnSnapshot()
+	if len(snap) != connTrackMax+1 {
+		t.Fatalf("snapshot has %d entries, want %d", len(snap), connTrackMax+1)
+	}
+	var sawOther, sawFirst bool
+	for i, cc := range snap {
+		if i > 0 && snap[i-1].Remote >= cc.Remote {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Remote, cc.Remote)
+		}
+		switch cc.Remote {
+		case connOverflow:
+			sawOther = true
+			if cc.DecodeErrors != 5 {
+				t.Fatalf("overflow decode errors = %d, want 5", cc.DecodeErrors)
+			}
+		case "10.0.0.1:4000":
+			sawFirst = true
+			if cc.Ops != 2 {
+				t.Fatalf("first remote ops = %d, want 2", cc.Ops)
+			}
+		}
+	}
+	if !sawOther || !sawFirst {
+		t.Fatalf("snapshot missing expected remotes (other=%v first=%v)", sawOther, sawFirst)
+	}
+}

@@ -162,6 +162,25 @@ func (r *reader) count() (int, error) {
 	return n, nil
 }
 
+// floats reads a length-prefixed float64 vector (raw little-endian bits,
+// so values round-trip bit-exactly). The length is validated against the
+// remaining payload before allocating.
+func (r *reader) floats() ([]float64, error) {
+	n, err := r.uint()
+	if err != nil {
+		return nil, err
+	}
+	if n > (len(r.b)-r.i)/8 {
+		return nil, errCount
+	}
+	out := make([]float64, 0, n)
+	for range n {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.i:])))
+		r.i += 8
+	}
+	return out, nil
+}
+
 func (r *reader) rest() string { return string(r.b[r.i:]) }
 
 func (r *reader) done() error {
@@ -191,6 +210,16 @@ func encodeRequest(buf []byte, req request) []byte {
 			buf = appendInt(buf, spec.Classes)
 			buf = appendInt(buf, spec.Quorum)
 			buf = appendInt(buf, spec.Priority)
+			// Feature vectors for the hybrid learning plane: row count,
+			// then per row its length and raw float64 bits. Absent features
+			// encode as a zero count.
+			buf = appendUint(buf, len(spec.Features))
+			for _, row := range spec.Features {
+				buf = appendUint(buf, len(row))
+				for _, v := range row {
+					buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+				}
+			}
 		}
 	case opSubmit:
 		buf = appendUint(buf, req.worker)
@@ -251,6 +280,19 @@ func decodeRequest(payload []byte) (request, error) {
 			}
 			if spec.Priority, err = r.int(); err != nil {
 				return req, err
+			}
+			nfeat, err := r.count()
+			if err != nil {
+				return req, err
+			}
+			// A zero row count decodes to nil, so an absent-features spec
+			// re-encodes byte-identically (the fuzz canonical property).
+			for range nfeat {
+				row, err := r.floats()
+				if err != nil {
+					return req, err
+				}
+				spec.Features = append(spec.Features, row)
 			}
 			req.specs = append(req.specs, spec)
 		}
@@ -350,7 +392,12 @@ func appendTaskStatus(buf []byte, st server.TaskStatus) []byte {
 	for _, rec := range st.Records {
 		buf = appendString(buf, rec)
 	}
-	return buf
+	// Consensus provenance: 1 when the hybrid plane's model finalized the
+	// task, 0 for a human quorum.
+	if st.Source == "model" {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
 }
 
 // decodeTaskStatus parses a result success body (after the status byte).
@@ -406,6 +453,17 @@ func decodeTaskStatus(r *reader) (server.TaskStatus, error) {
 			}
 			st.Records = append(st.Records, rec)
 		}
+	}
+	src, err := r.byte()
+	if err != nil {
+		return st, err
+	}
+	switch src {
+	case 0:
+	case 1:
+		st.Source = "model"
+	default:
+		return st, fmt.Errorf("wire: unknown consensus source %d", src)
 	}
 	return st, r.done()
 }

@@ -63,6 +63,10 @@ func FuzzWireCodec(f *testing.F) {
 	f.Add(encodeRequest(nil, request{op: opEnqueue, specs: []server.TaskSpec{
 		{Records: []string{"a"}, Classes: 2, Quorum: 1, Priority: -1},
 	}}))
+	f.Add(encodeRequest(nil, request{op: opEnqueue, specs: []server.TaskSpec{
+		{Records: []string{"a", "b"}, Classes: 3, Quorum: 2,
+			Features: [][]float64{{0.25, -1.5}, {1e-9, 2.5}}},
+	}}))
 	f.Add(encodeRequest(nil, request{op: opResult, task: 9}))
 	f.Add([]byte{opEnqueue, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
 

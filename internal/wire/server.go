@@ -76,6 +76,16 @@ func (s *Server) ServeConn(conn net.Conn) {
 	if err := handshake(br, bw, false); err != nil {
 		return
 	}
+	// Per-connection accounting resolves once at handshake; the per-frame
+	// path only bumps the cell's atomics.
+	var connStats *server.ConnStats
+	if s.obs != nil {
+		remote := ""
+		if addr := conn.RemoteAddr(); addr != nil {
+			remote = addr.String()
+		}
+		connStats = s.obs.Conn(remote)
+	}
 	var reqBuf, respBuf []byte
 	var reqSeq uint
 	for {
@@ -119,8 +129,10 @@ func (s *Server) ServeConn(conn net.Conn) {
 				s.obs.WireDecode.Record(start.Sub(t0).Seconds())
 			}
 			if err != nil {
+				connStats.DecodeErrors.Add(1)
 				respBuf = appendError(respBuf, stBadRequest, err.Error())
 			} else {
+				connStats.Ops.Add(1)
 				respBuf = s.handle(req, respBuf)
 				// Wire opcodes are Op+1 by construction (see server.Op).
 				if op := server.Op(req.op) - 1; sampled {

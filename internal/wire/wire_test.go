@@ -328,3 +328,58 @@ func TestRequestCodecRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// The conn loop keys per-connection accounting by remote address: served
+// ops and strict-decoder rejections land on the connection's cell, and the
+// counts surface through the core's observability plane.
+func TestWireConnStatsAccounting(t *testing.T) {
+	t.Cleanup(servertest.VerifyNone(t))
+	sh := server.NewShard(server.Config{WorkerTimeout: time.Hour}, 0, 1)
+	cliConn, srvConn := net.Pipe()
+	go NewServer(sh).ServeConn(srvConn)
+	t.Cleanup(func() { cliConn.Close() })
+
+	br := bufio.NewReader(cliConn)
+	bw := bufio.NewWriter(cliConn)
+	if err := handshake(br, bw, true); err != nil {
+		t.Fatal(err)
+	}
+	send := func(payload []byte) byte {
+		t.Helper()
+		if err := writeFrame(bw, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := readFrame(br, nil)
+		if err != nil || len(resp) == 0 {
+			t.Fatalf("read response: %v", err)
+		}
+		return resp[0]
+	}
+
+	// Two served ops, then two frames the strict decoder rejects (unknown
+	// opcode, truncated join): the error path must not count as an op.
+	if st := send(encodeRequest(nil, request{op: opJoin, name: "alice"})); st != stOK {
+		t.Fatalf("join status = %d", st)
+	}
+	if st := send(encodeRequest(nil, request{op: opHeartbeat, worker: 1})); st != stOK {
+		t.Fatalf("heartbeat status = %d", st)
+	}
+	if st := send([]byte{0}); st != stBadRequest {
+		t.Fatalf("unknown opcode status = %d", st)
+	}
+	if st := send([]byte{opJoin, 200}); st != stBadRequest {
+		t.Fatalf("truncated join status = %d", st)
+	}
+
+	snap := sh.Obs().ConnSnapshot()
+	if len(snap) != 1 {
+		t.Fatalf("conn snapshot has %d entries, want 1: %+v", len(snap), snap)
+	}
+	cc := snap[0]
+	if cc.Remote != "pipe" || cc.Ops != 2 || cc.DecodeErrors != 2 {
+		t.Fatalf("conn counts = %+v, want remote=pipe ops=2 decodeErrors=2", cc)
+	}
+}
