@@ -55,6 +55,13 @@ type hotClient interface {
 	Submit(workerID, taskID int, labels []int) (accepted, terminated bool, err error)
 }
 
+// pairClient is the optional coalescing surface: *wire.Client batches a
+// submit and the next fetch into one v2 frame, halving round trips on a
+// busy worker; HTTP clients fall back to two requests.
+type pairClient interface {
+	SubmitAndFetch(workerID, taskID int, labels []int) (accepted, terminated bool, next server.Assignment, ok bool, err error)
+}
+
 func main() {
 	url := flag.String("url", "", "target server (empty = in-process fabric)")
 	transport := flag.String("transport", "http", "hot-op transport: http or wire")
@@ -219,21 +226,27 @@ func main() {
 				return
 			}
 			defer cl.Leave(id)
+			pc, coalesce := cl.(pairClient)
 			idle := 0
+			var a server.Assignment
+			var have bool
 			for !done.Load() {
-				a, ok, err := cl.FetchTask(id)
-				fetches.Add(1)
-				if err != nil {
-					return // retired or server gone
-				}
-				if !ok {
-					empties.Add(1)
-					idle++
-					if idle%100 == 0 {
-						cl.Heartbeat(id)
+				if !have {
+					var err error
+					a, have, err = cl.FetchTask(id)
+					fetches.Add(1)
+					if err != nil {
+						return // retired or server gone
 					}
-					time.Sleep(time.Millisecond)
-					continue
+					if !have {
+						empties.Add(1)
+						idle++
+						if idle%100 == 0 {
+							cl.Heartbeat(id)
+						}
+						time.Sleep(time.Millisecond)
+						continue
+					}
 				}
 				idle = 0
 				labels := make([]int, len(a.Records))
@@ -251,7 +264,16 @@ func main() {
 						labels[i] = (id + a.TaskID + i) % *classes
 					}
 				}
-				acc, term, err := cl.Submit(id, a.TaskID, labels)
+				var acc, term bool
+				var err error
+				if coalesce {
+					// One frame carries the answer and the next fetch.
+					acc, term, a, have, err = pc.SubmitAndFetch(id, a.TaskID, labels)
+					fetches.Add(1)
+				} else {
+					acc, term, err = cl.Submit(id, a.TaskID, labels)
+					have = false
+				}
 				if err != nil {
 					return
 				}

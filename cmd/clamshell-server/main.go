@@ -56,6 +56,7 @@
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"log"
 	"net"
@@ -71,6 +72,9 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	wireAddr := flag.String("listen-wire", "", "binary wire-protocol listen address, e.g. :9090 (empty = disabled)")
+	wireRate := flag.Float64("wire-rate", 0, "per-connection wire op rate limit in ops/sec; over-limit ops get an in-band throttle error (0 = unlimited)")
+	wireTLSCert := flag.String("wire-tls-cert", "", "serve the wire listener over TLS with this certificate file (with -wire-tls-key)")
+	wireTLSKey := flag.String("wire-tls-key", "", "TLS private key file for -wire-tls-cert")
 	shards := flag.Int("shards", 1, "independently-locked pool shards")
 	spec := flag.Int("speculation", 1, "speculative duplicates per outstanding answer")
 	timeout := flag.Duration("worker-timeout", 2*time.Minute, "expire workers after this heartbeat silence")
@@ -122,12 +126,23 @@ func main() {
 		if err != nil {
 			log.Fatalf("wire listener: %v", err)
 		}
-		log.Printf("wire protocol listening on %s", *wireAddr)
+		scheme := "wire"
+		if *wireTLSCert != "" || *wireTLSKey != "" {
+			cert, err := tls.LoadX509KeyPair(*wireTLSCert, *wireTLSKey)
+			if err != nil {
+				log.Fatalf("wire TLS keypair: %v", err)
+			}
+			l = tls.NewListener(l, &tls.Config{Certificates: []tls.Certificate{cert}})
+			scheme = "wire+tls"
+		}
+		ws := wire.NewServer(fab)
+		ws.RateLimit = *wireRate
+		log.Printf("%s protocol listening on %s (rate limit %g ops/s/conn)", scheme, *wireAddr, *wireRate)
 		go func() {
 			// A permanently broken wire listener degrades the server to
 			// HTTP-only rather than killing the live shard state with it
 			// (Serve already retries transient accept errors internally).
-			if err := wire.NewServer(fab).Serve(l); err != nil && !wire.IsClosed(err) {
+			if err := ws.Serve(l); err != nil && !wire.IsClosed(err) {
 				log.Printf("wire server stopped (continuing HTTP-only): %v", err)
 			}
 		}()

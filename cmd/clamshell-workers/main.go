@@ -42,6 +42,14 @@ type workerClient interface {
 	Submit(workerID, taskID int, labels []int) (accepted, terminated bool, err error)
 }
 
+// pairClient is the optional coalescing surface: submit an answer and
+// fetch the next assignment in one round trip. *wire.Client batches the
+// pair into a single v2 frame; HTTP clients don't implement it and fall
+// back to two requests.
+type pairClient interface {
+	SubmitAndFetch(workerID, taskID int, labels []int) (accepted, terminated bool, next server.Assignment, ok bool, err error)
+}
+
 func main() {
 	var (
 		base     = flag.String("server", "http://localhost:8080", "clamshell-server base URL")
@@ -98,6 +106,9 @@ func main() {
 }
 
 // runWorker is one simulated worker's loop: join, poll, work, submit.
+// When the transport coalesces (wire v2), each submit also carries the
+// next fetch, so a busy worker costs one round trip per task instead of
+// two and only falls back to the poll ticker when the backlog runs dry.
 func runWorker(c workerClient, id int, mean time.Duration, accuracy float64,
 	poll time.Duration, rng *rand.Rand, stop <-chan struct{}) {
 	name := fmt.Sprintf("sim-%d", id)
@@ -107,23 +118,28 @@ func runWorker(c workerClient, id int, mean time.Duration, accuracy float64,
 		return
 	}
 	log.Printf("%s joined as worker %d (mean %v)", name, wid, mean)
+	pc, coalesce := c.(pairClient)
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
+	var a server.Assignment
+	var have bool
 	for {
-		select {
-		case <-stop:
-			c.Leave(wid)
-			return
-		case <-ticker.C:
-		}
-		a, ok, err := c.FetchTask(wid)
-		if err != nil {
-			log.Printf("%s: retired or server gone: %v", name, err)
-			return
-		}
-		if !ok {
-			c.Heartbeat(wid)
-			continue
+		if !have {
+			select {
+			case <-stop:
+				c.Leave(wid)
+				return
+			case <-ticker.C:
+			}
+			a, have, err = c.FetchTask(wid)
+			if err != nil {
+				log.Printf("%s: retired or server gone: %v", name, err)
+				return
+			}
+			if !have {
+				c.Heartbeat(wid)
+				continue
+			}
 		}
 		// Work: lognormal-ish latency around mean, scaled by record count.
 		perRec := mean.Seconds() * math.Exp(rng.NormFloat64()*0.4)
@@ -142,15 +158,22 @@ func runWorker(c workerClient, id int, mean time.Duration, accuracy float64,
 				labels[i] = rng.Intn(a.Classes)
 			}
 		}
-		accepted, terminated, err := c.Submit(wid, a.TaskID, labels)
+		done := a.TaskID
+		var accepted, terminated bool
+		if coalesce {
+			accepted, terminated, a, have, err = pc.SubmitAndFetch(wid, done, labels)
+		} else {
+			accepted, terminated, err = c.Submit(wid, done, labels)
+			have = false
+		}
 		if err != nil {
 			log.Printf("%s: submit failed: %v", name, err)
 			return
 		}
 		if terminated {
-			log.Printf("%s: task %d was already done (straggled, still paid)", name, a.TaskID)
+			log.Printf("%s: task %d was already done (straggled, still paid)", name, done)
 		} else if accepted {
-			log.Printf("%s: completed task %d", name, a.TaskID)
+			log.Printf("%s: completed task %d", name, done)
 		}
 	}
 }

@@ -228,6 +228,11 @@ func (p *MetricsPage) RenderPrometheus() []byte {
 			for _, cc := range conns {
 				fmt.Fprintf(&b, "clamshell_wire_conn_decode_errors_total{remote=%q} %d\n", cc.Remote, cc.DecodeErrors)
 			}
+			header("clamshell_wire_throttled_total",
+				"Wire ops refused by the per-connection rate limit, per remote.", "counter")
+			for _, cc := range conns {
+				fmt.Fprintf(&b, "clamshell_wire_throttled_total{remote=%q} %d\n", cc.Remote, cc.Throttled)
+			}
 		}
 	}
 

@@ -119,12 +119,13 @@ type Obs struct {
 	now func() time.Time
 }
 
-// ConnStats counts one wire connection's served ops and strict-decoder
-// rejections. Reconnects from the same remote address accumulate into the
-// same entry.
+// ConnStats counts one wire connection's served ops, strict-decoder
+// rejections, and rate-limited refusals. Reconnects from the same remote
+// address accumulate into the same entry.
 type ConnStats struct {
 	Ops          atomic.Uint64
 	DecodeErrors atomic.Uint64
+	Throttled    atomic.Uint64
 }
 
 // connTrackMax bounds the number of distinct remotes tracked individually.
@@ -161,6 +162,7 @@ type ConnCount struct {
 	Remote       string
 	Ops          uint64
 	DecodeErrors uint64
+	Throttled    uint64
 }
 
 // ConnSnapshot returns per-remote wire counts sorted by remote address
@@ -174,6 +176,7 @@ func (o *Obs) ConnSnapshot() []ConnCount {
 			Remote:       remote,
 			Ops:          cs.Ops.Load(),
 			DecodeErrors: cs.DecodeErrors.Load(),
+			Throttled:    cs.Throttled.Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Remote < out[j].Remote })

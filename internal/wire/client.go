@@ -2,6 +2,9 @@ package wire
 
 import (
 	"bufio"
+	"crypto/tls"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -9,28 +12,74 @@ import (
 	"github.com/clamshell/clamshell/internal/server"
 )
 
+// ErrPoisoned reports a client whose connection was torn down after a
+// framing-level failure. After a checksum mismatch, oversized frame, short
+// read, or write error the stream position is undefined — a later reply
+// could be misparsed as belonging to the wrong request — so the client
+// closes the connection and every subsequent call fails fast with an error
+// wrapping this one (and the original failure). Dial a fresh client to
+// continue.
+var ErrPoisoned = errors.New("wire: client poisoned by earlier framing error")
+
+// errDesync reports a response envelope that does not line up with what
+// was sent (count or tag mismatch) — a server bug or stream corruption
+// either way, so it poisons the client like any framing failure.
+var errDesync = errors.New("wire: response does not match request tags")
+
 // Client is a Go client for the wire transport, with the same method
 // shapes as server.Client so worker drivers can switch transports behind
 // one interface. A Client owns one persistent connection; methods are
-// serialized by an internal mutex (the protocol is strict
-// request/response), so give each concurrent worker goroutine its own
-// Client for parallelism.
+// serialized by an internal mutex, so give each concurrent worker
+// goroutine its own Client for parallelism.
+//
+// On a v2 connection (the default against a current server) independent
+// ops can be coalesced into one frame — one write(2), one CRC, one
+// response wake-up for the lot — via NewBatch, or the purpose-built
+// SubmitAndFetch. Against a v1 server the same calls transparently fall
+// back to sequential round trips.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	wbuf []byte // request encoding buffer
-	rbuf []byte // response frame buffer
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	version byte  // negotiated protocol version
+	err     error // sticky poison: set on any framing-level failure
+	nextTag uint64
+	wbuf    []byte // frame payload (request or envelope) encoding buffer
+	sbuf    []byte // v2 sub-request scratch buffer
+	rbuf    []byte // response frame buffer
 }
 
-// Dial connects to a wire server and performs the version handshake.
+// Dial connects to a wire server and performs the version handshake,
+// offering the newest protocol version this package speaks.
 func Dial(addr string) (*Client, error) {
+	return DialVersion(addr, MaxVersion)
+}
+
+// DialTLS connects over TLS and performs the version handshake. cfg may
+// be nil for the default configuration (the usual tls.Config knobs —
+// RootCAs, ServerName, InsecureSkipVerify — all apply).
+func DialTLS(addr string, cfg *tls.Config) (*Client, error) {
+	conn, err := tls.Dial("tcp", addr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClientVersion(conn, MaxVersion)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialVersion connects offering at most the given protocol version. Use
+// it to pin Version1 against servers predating the batch envelope.
+func DialVersion(addr string, version byte) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c, err := NewClient(conn)
+	c, err := NewClientVersion(conn, version)
 	if err != nil {
 		// Best-effort: the handshake error is what surfaces.
 		_ = conn.Close()
@@ -40,17 +89,35 @@ func Dial(addr string) (*Client, error) {
 }
 
 // NewClient wraps an established connection (TCP, net.Pipe, ...) and
-// performs the version handshake.
+// performs the version handshake, offering the newest protocol version.
 func NewClient(conn net.Conn) (*Client, error) {
+	return NewClientVersion(conn, MaxVersion)
+}
+
+// NewClientVersion wraps an established connection offering at most the
+// given protocol version; the server may negotiate down (never up).
+func NewClientVersion(conn net.Conn, version byte) (*Client, error) {
+	if version < Version1 || version > MaxVersion {
+		return nil, ErrBadMagic
+	}
 	c := &Client{
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, 8<<10),
 		bw:   bufio.NewWriterSize(conn, 8<<10),
 	}
-	if err := handshake(c.br, c.bw, true); err != nil {
+	negotiated, err := clientHandshake(c.br, c.bw, version)
+	if err != nil {
 		return nil, err
 	}
+	c.version = negotiated
 	return c, nil
+}
+
+// Version returns the negotiated protocol version.
+func (c *Client) Version() byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
 }
 
 // Close closes the connection.
@@ -60,22 +127,78 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// roundTrip sends req and returns the response payload. The returned
-// reader's buffer is valid until the next call. Callers hold mu.
-func (c *Client) roundTrip(req request) (reader, byte, error) {
-	c.wbuf = encodeRequest(c.wbuf[:0], req)
+// poison records a framing-level failure, tears down the connection, and
+// returns the sticky error every later call will see. Callers hold mu.
+func (c *Client) poison(err error) error {
+	if c.err == nil {
+		c.err = fmt.Errorf("%w: %w", ErrPoisoned, err)
+		_ = c.conn.Close()
+	}
+	return c.err
+}
+
+// exchange writes c.wbuf as one frame and reads the response frame.
+// Any mid-stream failure is framing-level by definition and poisons the
+// client; an oversized payload is rejected before any byte is written, so
+// the connection stays usable. Callers hold mu.
+func (c *Client) exchange() ([]byte, error) {
+	if len(c.wbuf) > MaxFrame {
+		return nil, ErrTooLarge
+	}
 	if err := writeFrame(c.bw, c.wbuf); err != nil {
-		return reader{}, 0, err
+		return nil, c.poison(err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return reader{}, 0, err
+		return nil, c.poison(err)
 	}
 	payload, err := readFrame(c.br, c.rbuf)
 	if err != nil {
-		return reader{}, 0, err
+		return nil, c.poison(err)
 	}
 	c.rbuf = payload[:0:cap(payload)]
-	r := reader{b: payload}
+	return payload, nil
+}
+
+// roundTrip sends req and returns the response payload. The returned
+// reader's buffer is valid until the next call. Callers hold mu.
+func (c *Client) roundTrip(req request) (reader, byte, error) {
+	if c.err != nil {
+		return reader{}, 0, c.err
+	}
+	var body []byte
+	if c.version >= Version2 {
+		// A single op rides a batch-of-one envelope: v2 connections carry
+		// exactly one payload format, so the server never has to guess.
+		c.sbuf = encodeRequest(c.sbuf[:0], req)
+		tag := c.nextTag
+		c.nextTag++
+		c.wbuf = binary.AppendUvarint(c.wbuf[:0], 1)
+		c.wbuf = appendSub(c.wbuf, tag, c.sbuf)
+		payload, err := c.exchange()
+		if err != nil {
+			return reader{}, 0, err
+		}
+		batch, err := newBatchReader(payload)
+		if err != nil {
+			return reader{}, 0, c.poison(err)
+		}
+		rtag, rbody, ok, err := batch.next()
+		if err != nil {
+			return reader{}, 0, c.poison(err)
+		}
+		if !ok || rtag != tag || batch.n != 0 {
+			return reader{}, 0, c.poison(errDesync)
+		}
+		body = rbody
+	} else {
+		c.wbuf = encodeRequest(c.wbuf[:0], req)
+		payload, err := c.exchange()
+		if err != nil {
+			return reader{}, 0, err
+		}
+		body = payload
+	}
+	r := reader{b: body}
 	status, err := r.byte()
 	if err != nil {
 		return r, 0, err
@@ -83,8 +206,13 @@ func (c *Client) roundTrip(req request) (reader, byte, error) {
 	return r, status, nil
 }
 
-// statusErr turns an error response into a Go error named after the op.
-func statusErr(op string, r *reader) error {
+// respError turns a non-OK response into a Go error named after the op.
+// Throttle refusals wrap ErrThrottled so callers can back off on
+// errors.Is rather than string matching.
+func respError(op string, status byte, r *reader) error {
+	if status == stThrottled {
+		return fmt.Errorf("%s: %w", op, ErrThrottled)
+	}
 	return fmt.Errorf("%s: %s", op, r.rest())
 }
 
@@ -97,7 +225,7 @@ func (c *Client) Join(name string) (int, error) {
 		return 0, err
 	}
 	if status != stOK {
-		return 0, statusErr("join", &r)
+		return 0, respError("join", status, &r)
 	}
 	id, err := r.uint()
 	if err != nil {
@@ -115,7 +243,7 @@ func (c *Client) Heartbeat(workerID int) error {
 		return err
 	}
 	if status != stOK {
-		return statusErr("heartbeat", &r)
+		return respError("heartbeat", status, &r)
 	}
 	return r.done()
 }
@@ -129,7 +257,7 @@ func (c *Client) Leave(workerID int) error {
 		return err
 	}
 	if status != stOK {
-		return statusErr("leave", &r)
+		return respError("leave", status, &r)
 	}
 	return r.done()
 }
@@ -143,7 +271,7 @@ func (c *Client) SubmitTasks(tasks []server.TaskSpec) ([]int, error) {
 		return nil, err
 	}
 	if status != stOK {
-		return nil, statusErr("tasks", &r)
+		return nil, respError("tasks", status, &r)
 	}
 	return decodeIDs(&r)
 }
@@ -163,7 +291,7 @@ func (c *Client) FetchTask(workerID int) (a server.Assignment, ok bool, err erro
 		a, err = decodeAssignment(&r)
 		return a, err == nil, err
 	default:
-		return a, false, statusErr("fetch task", &r)
+		return a, false, respError("fetch task", status, &r)
 	}
 }
 
@@ -177,7 +305,7 @@ func (c *Client) Submit(workerID, taskID int, labels []int) (accepted, terminate
 		return false, false, err
 	}
 	if status != stOK {
-		return false, false, statusErr("submit", &r)
+		return false, false, respError("submit", status, &r)
 	}
 	flags, err := r.byte()
 	if err != nil {
@@ -195,7 +323,412 @@ func (c *Client) Result(taskID int) (server.TaskStatus, error) {
 		return server.TaskStatus{}, err
 	}
 	if status != stOK {
-		return server.TaskStatus{}, statusErr("result", &r)
+		return server.TaskStatus{}, respError("result", status, &r)
 	}
 	return decodeTaskStatus(&r)
+}
+
+// SubmitAndFetch coalesces the worker loop's natural op pair — submit the
+// finished assignment, fetch the next one — into a single frame each way
+// on a v2 connection (two sequential round trips on v1). err reports
+// transport failures and the submit's in-band error; a fetch-side in-band
+// error also surfaces through err, after the submit results.
+func (c *Client) SubmitAndFetch(workerID, taskID int, labels []int) (accepted, terminated bool, a server.Assignment, ok bool, err error) {
+	b := c.NewBatch()
+	sr := b.Submit(workerID, taskID, labels)
+	fr := b.FetchTask(workerID)
+	if err := b.Do(); err != nil {
+		return false, false, a, false, err
+	}
+	if sr.Err != nil {
+		return false, false, fr.Assignment, fr.OK, sr.Err
+	}
+	return sr.Accepted, sr.Terminated, fr.Assignment, fr.OK, fr.Err
+}
+
+// --- batches ---
+
+// future is one batched op's result slot, filled from its sub-response.
+type future interface {
+	fill(status byte, r *reader)
+}
+
+// JoinResult is a batched Join's outcome.
+type JoinResult struct {
+	ID  int
+	Err error
+}
+
+func (f *JoinResult) fill(status byte, r *reader) {
+	if status != stOK {
+		f.Err = respError("join", status, r)
+		return
+	}
+	if f.ID, f.Err = r.uint(); f.Err == nil {
+		f.Err = r.done()
+	}
+}
+
+// OpResult is a batched Heartbeat or Leave outcome.
+type OpResult struct {
+	Err error
+}
+
+func (f *OpResult) fill(status byte, r *reader) {
+	if status != stOK {
+		f.Err = respError("op", status, r)
+		return
+	}
+	f.Err = r.done()
+}
+
+// EnqueueResult is a batched SubmitTasks outcome.
+type EnqueueResult struct {
+	IDs []int
+	Err error
+}
+
+func (f *EnqueueResult) fill(status byte, r *reader) {
+	if status != stOK {
+		f.Err = respError("tasks", status, r)
+		return
+	}
+	f.IDs, f.Err = decodeIDs(r)
+}
+
+// FetchResult is a batched FetchTask outcome; OK is false when the server
+// had no work for the worker.
+type FetchResult struct {
+	Assignment server.Assignment
+	OK         bool
+	Err        error
+}
+
+func (f *FetchResult) fill(status byte, r *reader) {
+	switch status {
+	case stNoWork:
+		f.Err = r.done()
+	case stOK:
+		f.Assignment, f.Err = decodeAssignment(r)
+		f.OK = f.Err == nil
+	default:
+		f.Err = respError("fetch task", status, r)
+	}
+}
+
+// SubmitResult is a batched Submit outcome.
+type SubmitResult struct {
+	Accepted   bool
+	Terminated bool
+	Err        error
+}
+
+func (f *SubmitResult) fill(status byte, r *reader) {
+	if status != stOK {
+		f.Err = respError("submit", status, r)
+		return
+	}
+	flags, err := r.byte()
+	if err == nil {
+		err = r.done()
+	}
+	f.Accepted, f.Terminated, f.Err = flags&flagAccepted != 0, flags&flagTerminated != 0, err
+}
+
+// ResultStatus is a batched Result outcome.
+type ResultStatus struct {
+	Status server.TaskStatus
+	Err    error
+}
+
+func (f *ResultStatus) fill(status byte, r *reader) {
+	if status != stOK {
+		f.Err = respError("result", status, r)
+		return
+	}
+	f.Status, f.Err = decodeTaskStatus(r)
+}
+
+// Batch collects independent ops to send as tagged sub-requests in as few
+// frames as possible: one envelope frame per MaxBatch ops (or per
+// MaxFrame of encoding), one write(2) and one response wake-up each. Ops
+// are applied by the server in batch order, exactly as if issued
+// sequentially — batch only ops whose *requests* don't depend on an
+// earlier op's response.
+//
+// Each method returns a result slot that is valid after Do and until the
+// next Reset. A Batch is not safe for concurrent use; build it in one
+// goroutine, then Do. Against a v1 server Do transparently degrades to
+// one round trip per op with identical semantics.
+type Batch struct {
+	c      *Client
+	bodies []byte // concatenated encoded sub-request bodies
+	ends   []int  // bodies end offset per op
+	futs   []future
+
+	// Recycled result slots, one pool per type (see slotPool).
+	joins    slotPool[JoinResult]
+	ops      slotPool[OpResult]
+	enqueues slotPool[EnqueueResult]
+	fetches  slotPool[FetchResult]
+	submits  slotPool[SubmitResult]
+	statuses slotPool[ResultStatus]
+}
+
+// slotPool recycles one result type's slots across Reset rounds, so a
+// steady-state flush-per-round loop allocates nothing per op. Pointers
+// are stable for the round they were handed out in; Reset hands them out
+// again.
+type slotPool[T any] struct {
+	slots []*T
+	used  int
+}
+
+func (p *slotPool[T]) get() *T {
+	if p.used < len(p.slots) {
+		f := p.slots[p.used]
+		p.used++
+		var zero T
+		*f = zero
+		return f
+	}
+	f := new(T)
+	p.slots = append(p.slots, f)
+	p.used++
+	return f
+}
+
+// NewBatch starts an empty batch on c's connection.
+func (c *Client) NewBatch() *Batch {
+	return &Batch{c: c}
+}
+
+// Len returns the number of ops collected so far.
+func (b *Batch) Len() int { return len(b.futs) }
+
+// Reset empties the batch for reuse, keeping its encoding buffers and
+// recycling its result slots — the zero-allocation path for hot loops
+// that flush a batch per round. Slots handed out before the Reset are
+// overwritten by ops added after it: copy anything you still need out of
+// them first.
+func (b *Batch) Reset() {
+	b.bodies = b.bodies[:0]
+	b.ends = b.ends[:0]
+	for i := range b.futs {
+		b.futs[i] = nil
+	}
+	b.futs = b.futs[:0]
+	b.joins.used = 0
+	b.ops.used = 0
+	b.enqueues.used = 0
+	b.fetches.used = 0
+	b.submits.used = 0
+	b.statuses.used = 0
+}
+
+func (b *Batch) add(req request, f future) {
+	b.bodies = encodeRequest(b.bodies, req)
+	b.ends = append(b.ends, len(b.bodies))
+	b.futs = append(b.futs, f)
+}
+
+// Join adds a worker admission to the batch.
+func (b *Batch) Join(name string) *JoinResult {
+	f := b.joins.get()
+	b.add(request{op: opJoin, name: name}, f)
+	return f
+}
+
+// Heartbeat adds a keep-alive to the batch.
+func (b *Batch) Heartbeat(workerID int) *OpResult {
+	f := b.ops.get()
+	b.add(request{op: opHeartbeat, worker: workerID}, f)
+	return f
+}
+
+// Leave adds a pool departure to the batch.
+func (b *Batch) Leave(workerID int) *OpResult {
+	f := b.ops.get()
+	b.add(request{op: opLeave, worker: workerID}, f)
+	return f
+}
+
+// SubmitTasks adds a task enqueue to the batch.
+func (b *Batch) SubmitTasks(tasks []server.TaskSpec) *EnqueueResult {
+	f := b.enqueues.get()
+	b.add(request{op: opEnqueue, specs: tasks}, f)
+	return f
+}
+
+// FetchTask adds a work poll to the batch.
+func (b *Batch) FetchTask(workerID int) *FetchResult {
+	f := b.fetches.get()
+	b.add(request{op: opFetch, worker: workerID}, f)
+	return f
+}
+
+// Submit adds an answer submission to the batch.
+func (b *Batch) Submit(workerID, taskID int, labels []int) *SubmitResult {
+	f := b.submits.get()
+	b.add(request{op: opSubmit, worker: workerID, task: taskID, labels: labels}, f)
+	return f
+}
+
+// Result adds a task-status read to the batch.
+func (b *Batch) Result(taskID int) *ResultStatus {
+	f := b.statuses.get()
+	b.add(request{op: opResult, task: taskID}, f)
+	return f
+}
+
+// Do sends the batch and fills every result slot. The returned error is
+// transport-level (connection poisoned or already dead); per-op outcomes
+// — including in-band errors — land in the slots. On a transport error
+// the slots of unexchanged ops carry the same error. Reset the batch to
+// reuse it after Do; adding more ops without a Reset re-sends the old
+// ones.
+func (b *Batch) Do() error {
+	c := b.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		b.failFrom(0, c.err)
+		return c.err
+	}
+	if len(b.futs) == 0 {
+		return nil
+	}
+	if c.version < Version2 {
+		return b.doSequential()
+	}
+
+	n := len(b.futs)
+	sent := 0
+	for sent < n {
+		// Greedy chunk: as many ops as fit under MaxBatch and MaxFrame.
+		chunk := 0
+		size := binary.MaxVarintLen64 // count header
+		start := b.bodyStart(sent)
+		for sent+chunk < n && chunk < MaxBatch {
+			bodyLen := b.ends[sent+chunk] - b.bodyStart(sent+chunk)
+			subLen := 2*binary.MaxVarintLen64 + bodyLen
+			if chunk > 0 && size+subLen > MaxFrame {
+				break
+			}
+			size += subLen
+			chunk++
+		}
+		baseTag := c.nextTag
+		c.nextTag += uint64(chunk)
+		c.wbuf = binary.AppendUvarint(c.wbuf[:0], uint64(chunk))
+		off := start
+		for i := 0; i < chunk; i++ {
+			end := b.ends[sent+i]
+			c.wbuf = appendSub(c.wbuf, baseTag+uint64(i), b.bodies[off:end])
+			off = end
+		}
+		payload, err := c.exchange()
+		if err != nil {
+			b.failFrom(sent, err)
+			return err
+		}
+		batch, err := newBatchReader(payload)
+		if err != nil || batch.n != chunk {
+			err = c.poison(errDesync)
+			b.failFrom(sent, err)
+			return err
+		}
+		filled := 0
+		for {
+			tag, body, ok, berr := batch.next()
+			if berr != nil {
+				err = c.poison(berr)
+				b.failFrom(sent, err)
+				return err
+			}
+			if !ok {
+				break
+			}
+			idx := int(tag - baseTag)
+			if tag < baseTag || idx >= chunk || b.futs[sent+idx] == nil {
+				err = c.poison(errDesync)
+				b.failFrom(sent, err)
+				return err
+			}
+			r := reader{b: body}
+			status, serr := r.byte()
+			if serr != nil {
+				b.setErr(b.futs[sent+idx], serr)
+			} else {
+				b.futs[sent+idx].fill(status, &r)
+			}
+			b.futs[sent+idx] = nil // filled marker doubles as dup-tag guard
+			filled++
+		}
+		if filled != chunk {
+			err = c.poison(errDesync)
+			b.failFrom(sent, err)
+			return err
+		}
+		sent += chunk
+	}
+	return nil
+}
+
+// doSequential degrades the batch to v1 round trips. Callers hold mu.
+func (b *Batch) doSequential() error {
+	c := b.c
+	off := 0
+	for i, f := range b.futs {
+		c.wbuf = append(c.wbuf[:0], b.bodies[off:b.ends[i]]...)
+		off = b.ends[i]
+		payload, err := c.exchange()
+		if err != nil {
+			b.failFrom(i, err)
+			return err
+		}
+		r := reader{b: payload}
+		status, serr := r.byte()
+		if serr != nil {
+			b.setErr(f, serr)
+			continue
+		}
+		f.fill(status, &r)
+	}
+	return nil
+}
+
+// bodyStart returns the offset where op i's encoded body begins.
+func (b *Batch) bodyStart(i int) int {
+	if i == 0 {
+		return 0
+	}
+	return b.ends[i-1]
+}
+
+// failFrom records err on every not-yet-filled slot from index i on.
+func (b *Batch) failFrom(i int, err error) {
+	for ; i < len(b.futs); i++ {
+		if b.futs[i] != nil {
+			b.setErr(b.futs[i], err)
+		}
+	}
+}
+
+// setErr stores a transport-level error into a result slot.
+func (b *Batch) setErr(f future, err error) {
+	switch f := f.(type) {
+	case *JoinResult:
+		f.Err = err
+	case *OpResult:
+		f.Err = err
+	case *EnqueueResult:
+		f.Err = err
+	case *FetchResult:
+		f.Err = err
+	case *SubmitResult:
+		f.Err = err
+	case *ResultStatus:
+		f.Err = err
+	}
 }

@@ -39,6 +39,7 @@ const (
 	stGone                   // retired worker (HTTP 410); message follows
 	stNotFound               // unknown worker/task (HTTP 404); message follows
 	stBadRequest             // malformed or invalid request (HTTP 400); message follows
+	stThrottled              // per-connection rate limit hit (HTTP 429); message follows
 )
 
 // Submit response flags.

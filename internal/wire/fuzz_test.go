@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"reflect"
 	"testing"
 
@@ -90,5 +91,111 @@ func FuzzWireCodec(f *testing.F) {
 		decodeTaskStatus(&r)
 		r = reader{b: data}
 		decodeIDs(&r)
+	})
+}
+
+// FuzzBatchFrame feeds arbitrary bytes to the v2 batch envelope reader:
+// hostile counts, truncated sub-messages, oversized lengths and trailing
+// garbage must never panic or over-read, and any envelope that decodes in
+// full must survive a canonical re-encode/decode round trip with every
+// tag and body intact.
+func FuzzBatchFrame(f *testing.F) {
+	env := binary.AppendUvarint(nil, 2)
+	env = appendSub(env, 0, encodeRequest(nil, request{op: opHeartbeat, worker: 1}))
+	env = appendSub(env, 1, encodeRequest(nil, request{op: opFetch, worker: 1}))
+	f.Add(env)
+	one := binary.AppendUvarint(nil, 1)
+	one = appendSub(one, 42, encodeRequest(nil, request{op: opJoin, name: "bob"}))
+	f.Add(one)
+	f.Add(binary.AppendUvarint(nil, 0))                // empty batch
+	f.Add(binary.AppendUvarint(nil, MaxBatch+1))       // hostile count
+	f.Add(append(binary.AppendUvarint(nil, 1), 0, 5))  // sub-length past the end
+	f.Add(append(one[:len(one):len(one)], 0xAA))       // trailing garbage
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br, err := newBatchReader(data)
+		if err != nil {
+			return
+		}
+		type sub struct {
+			tag  uint64
+			body []byte
+		}
+		var subs []sub
+		for {
+			tag, body, ok, err := br.next()
+			if err != nil {
+				return
+			}
+			if !ok {
+				break
+			}
+			subs = append(subs, sub{tag, append([]byte(nil), body...)})
+		}
+		// Fully decoded: the canonical re-encode (what the client and
+		// server emit) must decode back to the identical sub-messages.
+		enc := binary.AppendUvarint(nil, uint64(len(subs)))
+		for _, s := range subs {
+			enc = appendSub(enc, s.tag, s.body)
+		}
+		br2, err := newBatchReader(enc)
+		if err != nil {
+			t.Fatalf("re-reading canonical envelope: %v", err)
+		}
+		for i := 0; ; i++ {
+			tag, body, ok, err := br2.next()
+			if err != nil {
+				t.Fatalf("canonical envelope sub %d: %v", i, err)
+			}
+			if !ok {
+				if i != len(subs) {
+					t.Fatalf("canonical envelope lost subs: %d of %d", i, len(subs))
+				}
+				break
+			}
+			if tag != subs[i].tag || !bytes.Equal(body, subs[i].body) {
+				t.Fatalf("sub %d changed in roundtrip: tag %d->%d", i, subs[i].tag, tag)
+			}
+		}
+	})
+}
+
+// FuzzHandshake feeds arbitrary preamble bytes to the server-side version
+// negotiation: it must accept exactly the preambles with the right magic
+// and a version in [1, MaxVersion], echo that same version back, and
+// reject everything else without panicking or over-reading.
+func FuzzHandshake(f *testing.F) {
+	f.Add([]byte(MagicV1))
+	f.Add([]byte(Magic))
+	f.Add([]byte(magicPrefix + "\x00")) // version below the floor
+	f.Add([]byte(magicPrefix + "\x03")) // version beyond MaxVersion
+	f.Add([]byte("XLAMWIR\x01"))        // wrong magic
+	f.Add([]byte(magicPrefix))          // truncated: no version byte
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out bytes.Buffer
+		br := bufio.NewReader(bytes.NewReader(data))
+		bw := bufio.NewWriter(&out)
+		v, err := serverHandshake(br, bw)
+		valid := len(data) >= len(magicPrefix)+1 &&
+			string(data[:len(magicPrefix)]) == magicPrefix &&
+			data[len(magicPrefix)] >= Version1 && data[len(magicPrefix)] <= MaxVersion
+		if !valid {
+			if err == nil {
+				t.Fatalf("accepted invalid preamble %q", data)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("rejected valid preamble %q: %v", data[:len(magicPrefix)+1], err)
+		}
+		if v != data[len(magicPrefix)] {
+			t.Fatalf("negotiated v%d for offered v%d", v, data[len(magicPrefix)])
+		}
+		if out.String() != magicPrefix+string(v) {
+			t.Fatalf("echoed %q, want %q", out.String(), magicPrefix+string(v))
+		}
 	})
 }

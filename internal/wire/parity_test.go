@@ -28,12 +28,14 @@ var (
 	_ hotAPI = (*wire.Client)(nil)
 )
 
-// TestWireHTTPParity drives an identical op sequence through two
+// TestWireHTTPParity drives an identical op sequence through three
 // identically-configured fabrics — one over the JSON/HTTP transport, one
-// over the wire transport — under a shared fake clock, comparing every
-// response pair, and finally proves the two fabrics hold byte-identical
-// durable state via /api/snapshot. Both transports are thin shims over the
-// same server.Core, and this is the test that keeps them that way.
+// over wire protocol v2, one over a client pinned to wire v1 (the
+// v1-client↔v2-server compatibility path) — under a shared fake clock,
+// comparing every response tuple, and finally proves the fabrics hold
+// byte-identical durable state via /api/snapshot. All transports are thin
+// shims over the same server.Core, and this is the test that keeps them
+// that way.
 func TestWireHTTPParity(t *testing.T) {
 	now := time.Unix(1_700_000_000, 0)
 	cfg := server.Config{
@@ -44,6 +46,7 @@ func TestWireHTTPParity(t *testing.T) {
 	const shards = 4
 	httpFab := fabric.New(cfg, shards)
 	wireFab := fabric.New(cfg, shards)
+	wireV1Fab := fabric.New(cfg, shards)
 
 	ts := httptest.NewServer(httpFab)
 	defer ts.Close()
@@ -56,67 +59,84 @@ func TestWireHTTPParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer wireCl.Close()
+	if wireCl.Version() != wire.Version2 {
+		t.Fatalf("default client negotiated v%d, want v2", wireCl.Version())
+	}
 
-	both := []hotAPI{httpCl, wireCl}
+	v1Conn, v1Srv := net.Pipe()
+	go wire.NewServer(wireV1Fab).ServeConn(v1Srv)
+	wireV1Cl, err := wire.NewClientVersion(v1Conn, wire.Version1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wireV1Cl.Close()
+	if wireV1Cl.Version() != wire.Version1 {
+		t.Fatalf("pinned client negotiated v%d, want v1", wireV1Cl.Version())
+	}
+
+	both := []hotAPI{httpCl, wireCl, wireV1Cl}
 
 	join := func(name string) int {
 		t.Helper()
-		ids := [2]int{}
+		ids := make([]int, len(both))
 		for i, cl := range both {
 			id, err := cl.Join(name)
 			if err != nil {
 				t.Fatalf("join(%s) on transport %d: %v", name, i, err)
 			}
 			ids[i] = id
-		}
-		if ids[0] != ids[1] {
-			t.Fatalf("join(%s): http id %d != wire id %d", name, ids[0], ids[1])
+			if ids[i] != ids[0] {
+				t.Fatalf("join(%s): transport %d id %d != transport 0 id %d", name, i, ids[i], ids[0])
+			}
 		}
 		return ids[0]
 	}
 	enqueue := func(specs []server.TaskSpec) []int {
 		t.Helper()
-		var got [2][]int
+		got := make([][]int, len(both))
 		for i, cl := range both {
 			ids, err := cl.SubmitTasks(specs)
 			if err != nil {
 				t.Fatalf("enqueue on transport %d: %v", i, err)
 			}
 			got[i] = ids
-		}
-		if !reflect.DeepEqual(got[0], got[1]) {
-			t.Fatalf("enqueue: http ids %v != wire ids %v", got[0], got[1])
+			if !reflect.DeepEqual(got[i], got[0]) {
+				t.Fatalf("enqueue: transport %d ids %v != transport 0 ids %v", i, got[i], got[0])
+			}
 		}
 		return got[0]
 	}
 	fetch := func(worker int) (server.Assignment, bool) {
 		t.Helper()
-		var as [2]server.Assignment
-		var oks [2]bool
+		as := make([]server.Assignment, len(both))
+		oks := make([]bool, len(both))
 		for i, cl := range both {
 			a, ok, err := cl.FetchTask(worker)
 			if err != nil {
 				t.Fatalf("fetch(%d) on transport %d: %v", worker, i, err)
 			}
 			as[i], oks[i] = a, ok
-		}
-		if oks[0] != oks[1] || !reflect.DeepEqual(as[0], as[1]) {
-			t.Fatalf("fetch(%d): http %+v/%v != wire %+v/%v", worker, as[0], oks[0], as[1], oks[1])
+			if oks[i] != oks[0] || !reflect.DeepEqual(as[i], as[0]) {
+				t.Fatalf("fetch(%d): transport %d %+v/%v != transport 0 %+v/%v",
+					worker, i, as[i], oks[i], as[0], oks[0])
+			}
 		}
 		return as[0], oks[0]
 	}
 	submit := func(worker, task int, labels []int) (bool, bool) {
 		t.Helper()
-		var acc, term [2]bool
+		acc := make([]bool, len(both))
+		term := make([]bool, len(both))
 		for i, cl := range both {
 			a, tm, err := cl.Submit(worker, task, labels)
 			if err != nil {
 				t.Fatalf("submit(%d,%d) on transport %d: %v", worker, task, i, err)
 			}
 			acc[i], term[i] = a, tm
-		}
-		if acc[0] != acc[1] || term[0] != term[1] {
-			t.Fatalf("submit(%d,%d): http %v/%v != wire %v/%v", worker, task, acc[0], term[0], acc[1], term[1])
+			if acc[i] != acc[0] || term[i] != term[0] {
+				t.Fatalf("submit(%d,%d): transport %d %v/%v != transport 0 %v/%v",
+					worker, task, i, acc[i], term[i], acc[0], term[0])
+			}
 		}
 		return acc[0], term[0]
 	}
@@ -169,30 +189,248 @@ func TestWireHTTPParity(t *testing.T) {
 
 	// Results agree per task.
 	for _, id := range ids {
-		var got [2]server.TaskStatus
+		got := make([]server.TaskStatus, len(both))
 		for i, cl := range both {
 			st, err := cl.Result(id)
 			if err != nil {
 				t.Fatalf("result(%d) on transport %d: %v", id, i, err)
 			}
 			got[i] = st
-		}
-		if !reflect.DeepEqual(got[0], got[1]) {
-			t.Fatalf("result(%d): http %+v != wire %+v", id, got[0], got[1])
+			if !reflect.DeepEqual(got[i], got[0]) {
+				t.Fatalf("result(%d): transport %d %+v != transport 0 %+v", id, i, got[i], got[0])
+			}
 		}
 	}
 
-	// The acceptance check: byte-identical durable state.
-	var snaps [2][]byte
-	for i, fab := range []*fabric.Fabric{httpFab, wireFab} {
+	// The acceptance check: byte-identical durable state across HTTP,
+	// wire v2, and wire v1.
+	compareSnapshots(t, []*fabric.Fabric{httpFab, wireFab, wireV1Fab})
+}
+
+// compareSnapshots requires every fabric's /api/snapshot document to be
+// byte-identical to the first one's.
+func compareSnapshots(t *testing.T, fabs []*fabric.Fabric) {
+	t.Helper()
+	var first []byte
+	for i, fab := range fabs {
 		rec := httptest.NewRecorder()
 		fab.ServeHTTP(rec, httptest.NewRequest("GET", "/api/snapshot", nil))
 		if rec.Code != 200 {
 			t.Fatalf("snapshot on fabric %d: %d", i, rec.Code)
 		}
-		snaps[i] = rec.Body.Bytes()
+		if i == 0 {
+			first = append([]byte(nil), rec.Body.Bytes()...)
+			continue
+		}
+		if got := rec.Body.String(); got != string(first) {
+			t.Fatalf("snapshots diverged:\nfabric 0: %s\nfabric %d: %s", first, i, got)
+		}
 	}
-	if string(snaps[0]) != string(snaps[1]) {
-		t.Fatalf("snapshots diverged:\nhttp: %s\nwire: %s", snaps[0], snaps[1])
+}
+
+// TestWireBatchedParity issues one identical op sequence three ways —
+// wire v1 strict request/response, wire v2 single-op envelopes, and wire
+// v2 multi-op batched frames — against three identically-configured
+// fabrics under a fixed clock, comparing per-op results and requiring
+// byte-identical /api/snapshot state. Batching is pure framing: the
+// server applies a batch's sub-requests in order, so coalescing must not
+// be observable in the routing state.
+func TestWireBatchedParity(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	cfg := server.Config{
+		SpeculationLimit: 1,
+		WorkerTimeout:    10 * time.Minute,
+		Now:              func() time.Time { return now },
 	}
+	const shards = 4
+	newWire := func(version byte) (*fabric.Fabric, *wire.Client) {
+		t.Helper()
+		fab := fabric.New(cfg, shards)
+		cliConn, srvConn := net.Pipe()
+		go wire.NewServer(fab).ServeConn(srvConn)
+		cl, err := wire.NewClientVersion(cliConn, version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		return fab, cl
+	}
+	fabV1, clV1 := newWire(wire.Version1)
+	fabV2, clV2 := newWire(wire.Version2)
+	fabBatch, clBatch := newWire(wire.Version2)
+	sequential := []*wire.Client{clV1, clV2}
+
+	workers := []string{"alice", "bob", "carol"}
+	ids := make([]int, len(workers))
+
+	// Joins: one batched frame for all three workers; sequentially on the
+	// other two transports.
+	{
+		b := clBatch.NewBatch()
+		futs := make([]*wire.JoinResult, len(workers))
+		for i, name := range workers {
+			futs[i] = b.Join(name)
+		}
+		if err := b.Do(); err != nil {
+			t.Fatalf("batched joins: %v", err)
+		}
+		for i, name := range workers {
+			if futs[i].Err != nil {
+				t.Fatalf("batched join(%s): %v", name, futs[i].Err)
+			}
+			ids[i] = futs[i].ID
+			for ci, cl := range sequential {
+				id, err := cl.Join(name)
+				if err != nil || id != ids[i] {
+					t.Fatalf("sequential join(%s) on client %d: id=%d err=%v want %d", name, ci, id, err, ids[i])
+				}
+			}
+		}
+	}
+
+	// Enqueues: two spec batches in one frame.
+	specsA := []server.TaskSpec{
+		{Records: []string{"p0", "p0b"}, Classes: 2, Quorum: 2},
+		{Records: []string{"hot"}, Classes: 3, Quorum: 1, Priority: 5},
+	}
+	specsB := []server.TaskSpec{
+		{Records: []string{"fill-a"}, Quorum: 1},
+		{Records: []string{"fill-b"}, Quorum: 1},
+		{Records: []string{"fill-c"}, Quorum: 1},
+	}
+	var taskIDs []int
+	{
+		b := clBatch.NewBatch()
+		fa, fb := b.SubmitTasks(specsA), b.SubmitTasks(specsB)
+		if err := b.Do(); err != nil {
+			t.Fatalf("batched enqueue: %v", err)
+		}
+		if fa.Err != nil || fb.Err != nil {
+			t.Fatalf("batched enqueue: %v / %v", fa.Err, fb.Err)
+		}
+		taskIDs = append(append([]int(nil), fa.IDs...), fb.IDs...)
+		for ci, cl := range sequential {
+			ia, err := cl.SubmitTasks(specsA)
+			if err != nil {
+				t.Fatalf("sequential enqueue A on client %d: %v", ci, err)
+			}
+			ib, err := cl.SubmitTasks(specsB)
+			if err != nil {
+				t.Fatalf("sequential enqueue B on client %d: %v", ci, err)
+			}
+			if got := append(append([]int(nil), ia...), ib...); !reflect.DeepEqual(got, taskIDs) {
+				t.Fatalf("enqueue ids on client %d: %v != %v", ci, got, taskIDs)
+			}
+		}
+	}
+
+	// Drain: per round, one batched frame fetches for all three workers;
+	// then one batched frame submits every received assignment. The
+	// sequential transports issue the identical ops in identical order.
+	for round := 0; round < 5; round++ {
+		b := clBatch.NewBatch()
+		fetches := make([]*wire.FetchResult, len(ids))
+		for i, w := range ids {
+			fetches[i] = b.FetchTask(w)
+		}
+		if err := b.Do(); err != nil {
+			t.Fatalf("batched fetch round %d: %v", round, err)
+		}
+		type gotFetch struct {
+			a  server.Assignment
+			ok bool
+		}
+		batchGot := make([]gotFetch, len(ids))
+		for i, f := range fetches {
+			if f.Err != nil {
+				t.Fatalf("batched fetch(%d) round %d: %v", ids[i], round, f.Err)
+			}
+			batchGot[i] = gotFetch{f.Assignment, f.OK}
+		}
+		for ci, cl := range sequential {
+			for i, w := range ids {
+				a, ok, err := cl.FetchTask(w)
+				if err != nil {
+					t.Fatalf("sequential fetch(%d) on client %d: %v", w, ci, err)
+				}
+				if ok != batchGot[i].ok || !reflect.DeepEqual(a, batchGot[i].a) {
+					t.Fatalf("fetch(%d) round %d: client %d %+v/%v != batch %+v/%v",
+						w, round, ci, a, ok, batchGot[i].a, batchGot[i].ok)
+				}
+			}
+		}
+
+		sb := clBatch.NewBatch()
+		var submits []*wire.SubmitResult
+		var submitArgs [][3]interface{}
+		for i, g := range batchGot {
+			if !g.ok {
+				continue
+			}
+			labels := make([]int, len(g.a.Records))
+			for j := range labels {
+				labels[j] = (ids[i] + g.a.TaskID + j) % 2
+			}
+			submits = append(submits, sb.Submit(ids[i], g.a.TaskID, labels))
+			submitArgs = append(submitArgs, [3]interface{}{ids[i], g.a.TaskID, labels})
+		}
+		if sb.Len() == 0 {
+			continue
+		}
+		if err := sb.Do(); err != nil {
+			t.Fatalf("batched submit round %d: %v", round, err)
+		}
+		for si, f := range submits {
+			if f.Err != nil {
+				t.Fatalf("batched submit round %d #%d: %v", round, si, f.Err)
+			}
+			w, task, labels := submitArgs[si][0].(int), submitArgs[si][1].(int), submitArgs[si][2].([]int)
+			for ci, cl := range sequential {
+				acc, term, err := cl.Submit(w, task, labels)
+				if err != nil {
+					t.Fatalf("sequential submit on client %d: %v", ci, err)
+				}
+				if acc != f.Accepted || term != f.Terminated {
+					t.Fatalf("submit(%d,%d): client %d %v/%v != batch %v/%v",
+						w, task, ci, acc, term, f.Accepted, f.Terminated)
+				}
+			}
+		}
+	}
+
+	// Wind-down ops and result reads, batched in one frame.
+	{
+		b := clBatch.NewBatch()
+		hb := b.Heartbeat(ids[1])
+		lv := b.Leave(ids[2])
+		sts := make([]*wire.ResultStatus, len(taskIDs))
+		for i, id := range taskIDs {
+			sts[i] = b.Result(id)
+		}
+		if err := b.Do(); err != nil {
+			t.Fatalf("batched wind-down: %v", err)
+		}
+		if hb.Err != nil || lv.Err != nil {
+			t.Fatalf("batched heartbeat/leave: %v / %v", hb.Err, lv.Err)
+		}
+		for ci, cl := range sequential {
+			if err := cl.Heartbeat(ids[1]); err != nil {
+				t.Fatalf("sequential heartbeat on client %d: %v", ci, err)
+			}
+			if err := cl.Leave(ids[2]); err != nil {
+				t.Fatalf("sequential leave on client %d: %v", ci, err)
+			}
+			for i, id := range taskIDs {
+				st, err := cl.Result(id)
+				if err != nil {
+					t.Fatalf("sequential result(%d) on client %d: %v", id, ci, err)
+				}
+				if sts[i].Err != nil || !reflect.DeepEqual(st, sts[i].Status) {
+					t.Fatalf("result(%d): client %d %+v != batch %+v (err=%v)", id, ci, st, sts[i].Status, sts[i].Err)
+				}
+			}
+		}
+	}
+
+	compareSnapshots(t, []*fabric.Fabric{fabV1, fabV2, fabBatch})
 }

@@ -2,24 +2,43 @@ package wire
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"io"
 	"net"
+	"syscall"
 	"time"
 
 	"github.com/clamshell/clamshell/internal/server"
 )
 
+// defaultHandshakeTimeout bounds how long a freshly accepted connection
+// may sit silent before its preamble arrives. Without it, a peer that
+// connects and sends nothing pins a server goroutine forever.
+const defaultHandshakeTimeout = 10 * time.Second
+
 // Server speaks the wire protocol over persistent connections, dispatching
 // every request to a transport-agnostic server.Core — the same core the
 // HTTP shim fronts, so the two transports cannot diverge. One goroutine
-// serves each connection; requests on a connection are handled strictly in
-// order (workers hold one connection each, and the protocol is
-// request/response, so per-connection pipelining buys nothing on this
-// workload).
+// serves each connection. A v1 peer is served strict request/response; a
+// v2 peer sends tagged batch envelopes and may keep several frames in
+// flight, which the server answers in arrival order (tags, not order, are
+// the correlation contract).
 type Server struct {
 	core server.Core
 	obs  *server.Obs
+
+	// RateLimit caps each connection's served ops per second (a token
+	// bucket with a one-second burst). Zero means unlimited. Over-limit
+	// requests are answered in-band with a throttle status — the
+	// connection stays healthy — and counted per remote in the
+	// observability plane.
+	RateLimit float64
+
+	// HandshakeTimeout overrides the preamble read deadline (zero selects
+	// the default). The deadline is cleared once the magic exchange
+	// completes.
+	HandshakeTimeout time.Duration
 }
 
 // NewServer returns a wire server over core (a *fabric.Fabric or a
@@ -34,6 +53,28 @@ func NewServer(core server.Core) *Server {
 	return s
 }
 
+// transientAcceptErr reports whether an Accept failure is worth retrying:
+// a timeout, or the transient syscall failures a loaded listener sees
+// (aborted in-handshake peers, fd/buffer exhaustion). This is an explicit
+// allowlist rather than the deprecated net.Error.Temporary(), whose
+// meaning — and therefore this loop's behavior — could shift under a Go
+// upgrade.
+func transientAcceptErr(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.ECONNABORTED, syscall.ECONNRESET,
+		syscall.EMFILE, syscall.ENFILE, syscall.ENOBUFS, syscall.EINTR,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
 // Serve accepts connections on l, serving each on its own goroutine.
 // Transient accept failures (fd exhaustion, aborted handshakes) are retried
 // with the same capped backoff net/http uses, so one recoverable error
@@ -44,7 +85,7 @@ func (s *Server) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+			if transientAcceptErr(err) {
 				if delay == 0 {
 					delay = 5 * time.Millisecond
 				} else {
@@ -63,6 +104,31 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// connState is one connection's accounting and rate-limit state, resolved
+// at handshake so the per-frame path only bumps atomics and bucket floats.
+type connState struct {
+	stats  *server.ConnStats
+	reqSeq uint
+	// Token bucket (enabled when rate > 0): tokens refill at rate/sec up
+	// to burst; each served op spends one.
+	rate, burst, tokens float64
+	last                time.Time
+}
+
+// allow spends one rate-limit token, refilling from the elapsed time.
+func (cs *connState) allow(now time.Time) bool {
+	cs.tokens += now.Sub(cs.last).Seconds() * cs.rate
+	cs.last = now
+	if cs.tokens > cs.burst {
+		cs.tokens = cs.burst
+	}
+	if cs.tokens < 1 {
+		return false
+	}
+	cs.tokens--
+	return true
+}
+
 // ServeConn serves one connection until the peer disconnects or breaks
 // framing. All per-request state lives in buffers reused across the
 // connection's lifetime, so a settled connection allocates only what the
@@ -73,21 +139,53 @@ func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 8<<10)
 	bw := bufio.NewWriterSize(conn, 8<<10)
-	if err := handshake(br, bw, false); err != nil {
+	// A silent peer must not pin this goroutine: the preamble gets a read
+	// deadline, cleared once the version exchange completes (the request
+	// loop's liveness is the peer's business — workers legitimately idle).
+	hsTimeout := s.HandshakeTimeout
+	if hsTimeout <= 0 {
+		hsTimeout = defaultHandshakeTimeout
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(hsTimeout)); err != nil {
+		return
+	}
+	version, err := serverHandshake(br, bw)
+	if err != nil {
+		return
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
 		return
 	}
 	// Per-connection accounting resolves once at handshake; the per-frame
 	// path only bumps the cell's atomics.
-	var connStats *server.ConnStats
+	cs := &connState{}
 	if s.obs != nil {
 		remote := ""
 		if addr := conn.RemoteAddr(); addr != nil {
 			remote = addr.String()
 		}
-		connStats = s.obs.Conn(remote)
+		cs.stats = s.obs.Conn(remote)
 	}
+	if s.RateLimit > 0 {
+		cs.rate = s.RateLimit
+		cs.burst = s.RateLimit
+		if cs.burst < 1 {
+			cs.burst = 1
+		}
+		cs.tokens = cs.burst
+		cs.last = time.Now()
+	}
+	if version >= Version2 {
+		s.serveV2(br, bw, cs)
+		return
+	}
+	s.serveV1(br, bw, cs)
+}
+
+// serveV1 is the legacy strict request/response loop: one request payload
+// per frame, one response frame per request.
+func (s *Server) serveV1(br *bufio.Reader, bw *bufio.Writer, cs *connState) {
 	var reqBuf, respBuf []byte
-	var reqSeq uint
 	for {
 		payload, err := readFrame(br, reqBuf)
 		if err != nil {
@@ -97,51 +195,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 			return
 		}
 		reqBuf = payload[:0:cap(payload)]
-		respBuf = respBuf[:0]
-		if s.obs == nil {
-			if req, err := decodeRequest(payload); err != nil {
-				// The frame was intact (CRC passed) but the payload is not a
-				// well-formed request: answer the error in-band; framing is
-				// still synchronized.
-				respBuf = appendError(respBuf, stBadRequest, err.Error())
-			} else {
-				respBuf = s.handle(req, respBuf)
-			}
-		} else {
-			// Op counts are exact; the latency sketches see a 1-in-8
-			// uniform sample (and the decode split 1-in-64, a subset of
-			// it), starting with the connection's first request so
-			// low-traffic surfaces still get observations. Sampling keeps
-			// the hot path at zero clock reads for 7 of 8 requests — on a
-			// machine without a vDSO clock, bracketing every request with
-			// three reads costs several percent of the op budget, which is
-			// exactly the regression this plane must not introduce.
-			reqSeq++
-			sampled := reqSeq&7 == 1
-			var t0 time.Time
-			if sampled {
-				t0 = s.obs.Now()
-			}
-			req, err := decodeRequest(payload)
-			start := t0
-			if sampled && reqSeq&63 == 1 {
-				start = s.obs.Now()
-				s.obs.WireDecode.Record(start.Sub(t0).Seconds())
-			}
-			if err != nil {
-				connStats.DecodeErrors.Add(1)
-				respBuf = appendError(respBuf, stBadRequest, err.Error())
-			} else {
-				connStats.Ops.Add(1)
-				respBuf = s.handle(req, respBuf)
-				// Wire opcodes are Op+1 by construction (see server.Op).
-				if op := server.Op(req.op) - 1; sampled {
-					s.obs.Wire.Observe(op, s.obs.Now().Sub(start).Seconds())
-				} else {
-					s.obs.Wire.Tick(op)
-				}
-			}
-		}
+		respBuf = s.serveRequest(payload, respBuf[:0], cs)
 		if len(respBuf) > MaxFrame {
 			// The core produced a response too large to frame (e.g. an
 			// assignment whose records were enqueued over HTTP, which has no
@@ -157,6 +211,110 @@ func (s *Server) ServeConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// serveV2 is the batched loop: each frame is an envelope of tagged
+// sub-requests, answered with one envelope of equally tagged
+// sub-responses — one write(2) and one CRC however many ops the client
+// coalesced. Envelope-level violations (hostile count, sub-framing that
+// doesn't add up) cannot be attributed to a tag and drop the connection,
+// exactly like frame-level corruption; malformed sub-request *payloads*
+// are answered in-band under their tag.
+func (s *Server) serveV2(br *bufio.Reader, bw *bufio.Writer, cs *connState) {
+	var reqBuf, envBuf, subBuf []byte
+	for {
+		payload, err := readFrame(br, reqBuf)
+		if err != nil {
+			return
+		}
+		reqBuf = payload[:0:cap(payload)]
+		batch, err := newBatchReader(payload)
+		if err != nil {
+			return
+		}
+		envBuf = binary.AppendUvarint(envBuf[:0], uint64(batch.n))
+		for {
+			tag, body, ok, err := batch.next()
+			if err != nil {
+				return
+			}
+			if !ok {
+				break
+			}
+			subBuf = s.serveRequest(body, subBuf[:0], cs)
+			// Budget guard: a sub-response that would push the envelope past
+			// MaxFrame is replaced with an in-band error under its tag (same
+			// rationale as v1's oversized-response path — dropping would
+			// wedge the worker on a re-delivered assignment). 2×MaxVarintLen64
+			// covers the tag+length headers.
+			if len(envBuf)+2*binary.MaxVarintLen64+len(subBuf) > MaxFrame {
+				subBuf = appendError(subBuf[:0], stBadRequest, ErrTooLarge.Error())
+			}
+			envBuf = appendSub(envBuf, tag, subBuf)
+		}
+		if err := writeFrame(bw, envBuf); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// serveRequest decodes, rate-limits, dispatches, and instruments one
+// request payload, appending the response body to respBuf. Shared by the
+// v1 frame loop and the v2 sub-request loop, so both framings cannot
+// drift in semantics.
+func (s *Server) serveRequest(payload, respBuf []byte, cs *connState) []byte {
+	if cs.rate > 0 && !cs.allow(time.Now()) {
+		if cs.stats != nil {
+			cs.stats.Throttled.Add(1)
+		}
+		return appendError(respBuf, stThrottled, ErrThrottled.Error())
+	}
+	if s.obs == nil {
+		if req, err := decodeRequest(payload); err != nil {
+			// The frame was intact (CRC passed) but the payload is not a
+			// well-formed request: answer the error in-band; framing is
+			// still synchronized.
+			return appendError(respBuf, stBadRequest, err.Error())
+		} else {
+			return s.handle(req, respBuf)
+		}
+	}
+	// Op counts are exact; the latency sketches see a 1-in-8
+	// uniform sample (and the decode split 1-in-64, a subset of
+	// it), starting with the connection's first request so
+	// low-traffic surfaces still get observations. Sampling keeps
+	// the hot path at zero clock reads for 7 of 8 requests — on a
+	// machine without a vDSO clock, bracketing every request with
+	// three reads costs several percent of the op budget, which is
+	// exactly the regression this plane must not introduce.
+	cs.reqSeq++
+	sampled := cs.reqSeq&7 == 1
+	var t0 time.Time
+	if sampled {
+		t0 = s.obs.Now()
+	}
+	req, err := decodeRequest(payload)
+	start := t0
+	if sampled && cs.reqSeq&63 == 1 {
+		start = s.obs.Now()
+		s.obs.WireDecode.Record(start.Sub(t0).Seconds())
+	}
+	if err != nil {
+		cs.stats.DecodeErrors.Add(1)
+		return appendError(respBuf, stBadRequest, err.Error())
+	}
+	cs.stats.Ops.Add(1)
+	respBuf = s.handle(req, respBuf)
+	// Wire opcodes are Op+1 by construction (see server.Op).
+	if op := server.Op(req.op) - 1; sampled {
+		s.obs.Wire.Observe(op, s.obs.Now().Sub(start).Seconds())
+	} else {
+		s.obs.Wire.Tick(op)
+	}
+	return respBuf
 }
 
 // handle dispatches one decoded request to the core and appends the

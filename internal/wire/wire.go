@@ -13,19 +13,33 @@
 //
 // Connection lifecycle:
 //
-//	client → server: 8-byte magic "CLAMWIR\x01"
-//	server → client: the same magic (version check both ways)
-//	then alternating request/response frames, strictly in order.
+//	client → server: 8-byte magic "CLAMWIR" + version byte (\x01 or \x02)
+//	server → client: the same prefix + the negotiated version
+//	then framed messages in the negotiated version's payload format.
 //
-// Frame layout (everything little-endian):
+// The server accepts any version up to MaxVersion and echoes the peer's
+// version back, so a v1 client is served byte-for-byte as before; a
+// client offers its preferred version and accepts any echo at or below
+// it. A peer seeing an unsupported version refuses the connection rather
+// than misreading frames.
+//
+// Frame layout, identical in both versions (everything little-endian):
 //
 //	[uvarint payload length][4-byte CRC-32C of payload][payload]
 //
-// The version byte at the end of the magic pins the framing and codec: a
-// reader that sees any other value must refuse the connection rather than
-// misread frames. Additive protocol evolution (new opcodes, new trailing
-// response fields) keeps the byte; anything that changes the meaning of
-// existing bytes bumps it.
+// Version 1 payloads are exactly one request (client→server) or one
+// response (server→client), strictly alternating. Version 2 payloads are
+// batch envelopes — a vector of tagged sub-messages:
+//
+//	[uvarint count] then per sub-message [uvarint tag][uvarint len][len bytes]
+//
+// so a client coalesces any number of independent ops into one frame (one
+// CRC, one write(2), one read wake-up) and keeps several frames in flight
+// on one connection. The server answers every sub-request with a
+// sub-response carrying the same tag; it currently answers each request
+// frame with one in-order response frame, but tags — not arrival order —
+// are the correlation contract, so a future server may legally reorder.
+// Sub-message bodies reuse the v1 request/response codecs unchanged.
 package wire
 
 import (
@@ -37,14 +51,37 @@ import (
 	"io"
 )
 
-// Magic is the connection preamble. The trailing byte is the protocol
-// version.
-const Magic = "CLAMWIR\x01"
+// magicPrefix is the version-independent part of the connection preamble.
+const magicPrefix = "CLAMWIR"
+
+// Protocol versions. Version1 is the original strict request/response
+// framing; Version2 adds tagged batch envelopes (and with them client
+// pipelining) plus the in-band throttle status.
+const (
+	Version1 byte = 1
+	Version2 byte = 2
+	// MaxVersion is the newest version this implementation speaks.
+	MaxVersion = Version2
+)
+
+// Magic is the preferred (v2) connection preamble; MagicV1 is the legacy
+// one. The trailing byte is the protocol version.
+const (
+	Magic   = magicPrefix + "\x02"
+	MagicV1 = magicPrefix + "\x01"
+)
 
 // MaxFrame caps a frame's payload, mirroring journal.MaxRecord: the length
 // prefix of a corrupt or hostile peer is checked against it before any
 // allocation, so a bad frame cannot balloon memory.
 const MaxFrame = 1 << 24 // 16 MiB
+
+// MaxBatch caps the sub-messages in one v2 envelope. The client splits
+// larger batches across frames; the server drops a connection exceeding
+// it (a protocol violation, like an oversized frame). The cap bounds the
+// worst-case response envelope: MaxBatch tiny error sub-responses still
+// fit comfortably under MaxFrame.
+const MaxBatch = 4096
 
 var (
 	// ErrChecksum reports a frame whose payload does not match its CRC.
@@ -53,6 +90,11 @@ var (
 	ErrTooLarge = errors.New("wire: frame length exceeds limit")
 	// ErrBadMagic reports a connection preamble from an incompatible peer.
 	ErrBadMagic = errors.New("wire: bad protocol magic (incompatible version?)")
+	// ErrBatchCount reports a v2 envelope with a hostile sub-message count.
+	ErrBatchCount = errors.New("wire: batch count exceeds limit")
+	// ErrThrottled reports an op refused by the server's per-connection
+	// rate limit. The connection is still healthy; back off and retry.
+	ErrThrottled = errors.New("wire: rate limited")
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -135,33 +177,116 @@ func writeFrame(bw *bufio.Writer, payload []byte) error {
 	return err
 }
 
-// handshake exchanges and verifies the magic from this side of conn.
-// initiate selects who writes first (the client initiates).
+// --- v2 batch envelope ---
+
+// appendSub appends one tagged sub-message to a batch envelope under
+// construction (the caller has already appended the count).
+func appendSub(buf []byte, tag uint64, body []byte) []byte {
+	buf = binary.AppendUvarint(buf, tag)
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	return append(buf, body...)
+}
+
+// batchReader iterates the sub-messages of a v2 envelope. Decoding is
+// strict: the count is sanity-checked against the remaining payload
+// before iteration (each sub-message takes at least two bytes), every
+// sub-length is validated against the remainder, and trailing garbage
+// after the last sub-message is rejected.
+type batchReader struct {
+	b []byte
+	i int
+	n int // sub-messages remaining
+}
+
+// newBatchReader parses an envelope's count header.
+func newBatchReader(payload []byte) (batchReader, error) {
+	n, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return batchReader{}, errTruncated
+	}
+	if n > MaxBatch {
+		return batchReader{}, ErrBatchCount
+	}
+	if n > uint64(len(payload)-used)/2 {
+		return batchReader{}, errCount
+	}
+	return batchReader{b: payload, i: used, n: int(n)}, nil
+}
+
+// next returns the following sub-message. ok is false when the envelope
+// is exhausted; err reports malformed framing within the envelope.
+func (br *batchReader) next() (tag uint64, body []byte, ok bool, err error) {
+	if br.n == 0 {
+		if br.i != len(br.b) {
+			return 0, nil, false, errTrailing
+		}
+		return 0, nil, false, nil
+	}
+	br.n--
+	tag, used := binary.Uvarint(br.b[br.i:])
+	if used <= 0 {
+		return 0, nil, false, errTruncated
+	}
+	br.i += used
+	ln, used := binary.Uvarint(br.b[br.i:])
+	if used <= 0 {
+		return 0, nil, false, errTruncated
+	}
+	br.i += used
+	if ln > uint64(len(br.b)-br.i) {
+		return 0, nil, false, errCount
+	}
+	body = br.b[br.i : br.i+int(ln)]
+	br.i += int(ln)
+	return tag, body, true, nil
+}
+
+// --- handshake ---
+
+// serverHandshake reads the peer's preamble, validates it, and echoes the
+// negotiated version. It accepts any version in [1, MaxVersion].
 //
 //clamshell:coldpath once per connection, before the request loop
-func handshake(br *bufio.Reader, bw *bufio.Writer, initiate bool) error {
-	if initiate {
-		if _, err := bw.WriteString(Magic); err != nil {
-			return err
-		}
-		if err := bw.Flush(); err != nil {
-			return err
-		}
-	}
-	var m [len(Magic)]byte
+func serverHandshake(br *bufio.Reader, bw *bufio.Writer) (byte, error) {
+	var m [len(magicPrefix) + 1]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return fmt.Errorf("wire: reading handshake: %w", err)
+		return 0, fmt.Errorf("wire: reading handshake: %w", err)
 	}
-	if string(m[:]) != Magic {
-		return ErrBadMagic
+	version := m[len(magicPrefix)]
+	if string(m[:len(magicPrefix)]) != magicPrefix || version < Version1 || version > MaxVersion {
+		return 0, ErrBadMagic
 	}
-	if !initiate {
-		if _, err := bw.WriteString(Magic); err != nil {
-			return err
-		}
-		if err := bw.Flush(); err != nil {
-			return err
-		}
+	if _, err := bw.WriteString(magicPrefix); err != nil {
+		return 0, err
 	}
-	return nil
+	if err := bw.WriteByte(version); err != nil {
+		return 0, err
+	}
+	return version, bw.Flush()
+}
+
+// clientHandshake offers prefer and returns the version the server
+// negotiated (always ≤ prefer; a server that answers with a higher or
+// unknown version is refused).
+//
+//clamshell:coldpath once per connection, before the request loop
+func clientHandshake(br *bufio.Reader, bw *bufio.Writer, prefer byte) (byte, error) {
+	if _, err := bw.WriteString(magicPrefix); err != nil {
+		return 0, err
+	}
+	if err := bw.WriteByte(prefer); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	var m [len(magicPrefix) + 1]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return 0, fmt.Errorf("wire: reading handshake: %w", err)
+	}
+	version := m[len(magicPrefix)]
+	if string(m[:len(magicPrefix)]) != magicPrefix || version < Version1 || version > prefer {
+		return 0, ErrBadMagic
+	}
+	return version, nil
 }

@@ -173,22 +173,25 @@ func TestWireTCP(t *testing.T) {
 	}
 }
 
-// A client with the wrong magic is refused before any frame is exchanged.
+// A client with the wrong magic — bad prefix or a version beyond
+// MaxVersion — is refused before any frame is exchanged.
 func TestWireHandshakeRejectsBadMagic(t *testing.T) {
-	sh := server.NewShard(server.Config{}, 0, 1)
-	cliConn, srvConn := net.Pipe()
-	srvDone := make(chan struct{})
-	go func() { NewServer(sh).ServeConn(srvConn); close(srvDone) }()
-	cliConn.SetDeadline(time.Now().Add(2 * time.Second))
-	if _, err := cliConn.Write([]byte("CLAMWIR\x02")); err != nil {
-		t.Fatal(err)
+	for _, magic := range []string{"XLAMWIR\x01", "CLAMWIR\x00", "CLAMWIR\x03"} {
+		sh := server.NewShard(server.Config{}, 0, 1)
+		cliConn, srvConn := net.Pipe()
+		srvDone := make(chan struct{})
+		go func() { NewServer(sh).ServeConn(srvConn); close(srvDone) }()
+		cliConn.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := cliConn.Write([]byte(magic)); err != nil {
+			t.Fatal(err)
+		}
+		// The server drops the connection without answering.
+		buf := make([]byte, 1)
+		if n, err := cliConn.Read(buf); err == nil {
+			t.Fatalf("server answered %d bytes to bad handshake %q", n, magic)
+		}
+		<-srvDone
 	}
-	// The server drops the connection without answering.
-	buf := make([]byte, 1)
-	if n, err := cliConn.Read(buf); err == nil {
-		t.Fatalf("server answered %d bytes to a bad handshake", n)
-	}
-	<-srvDone
 }
 
 // A malformed payload inside an intact frame is answered in-band and the
@@ -202,8 +205,8 @@ func TestWireMalformedPayloadKeepsConnection(t *testing.T) {
 
 	br := bufio.NewReader(cliConn)
 	bw := bufio.NewWriter(cliConn)
-	if err := handshake(br, bw, true); err != nil {
-		t.Fatal(err)
+	if v, err := clientHandshake(br, bw, Version1); err != nil || v != Version1 {
+		t.Fatalf("v1 handshake: version=%d err=%v", v, err)
 	}
 	// Opcode 0 is unknown: expect a stBadRequest response.
 	if err := writeFrame(bw, []byte{0}); err != nil {
@@ -341,8 +344,8 @@ func TestWireConnStatsAccounting(t *testing.T) {
 
 	br := bufio.NewReader(cliConn)
 	bw := bufio.NewWriter(cliConn)
-	if err := handshake(br, bw, true); err != nil {
-		t.Fatal(err)
+	if v, err := clientHandshake(br, bw, Version1); err != nil || v != Version1 {
+		t.Fatalf("v1 handshake: version=%d err=%v", v, err)
 	}
 	send := func(payload []byte) byte {
 		t.Helper()
