@@ -18,6 +18,7 @@
 //	consensus [-estimator E]       cross-task consensus (majority | em | kos)
 //	submit -records a,b,c [-classes N] [-quorum K]
 //	                               enqueue one task, print its id
+//	promote                        promote a journal-shipping follower to primary
 //	snapshot [-o file]             download durable state (default stdout)
 //	restore -i file                upload durable state
 package main
@@ -60,6 +61,8 @@ func main() {
 		err = runConsensus(c, args)
 	case "submit":
 		err = runSubmit(c, args)
+	case "promote":
+		err = runPromote(c)
 	case "snapshot":
 		err = runSnapshot(c, args)
 	case "restore":
@@ -87,6 +90,7 @@ commands:
   result   -task <id>                     task state and consensus labels
   consensus [-estimator majority|em|kos]  cross-task consensus + worker scores
   submit   -records a,b,c [-classes N] [-quorum K]
+  promote                                 promote a journal-shipping follower to primary
   snapshot [-o file]                      download durable state
   restore  -i file                        upload durable state
 `)
@@ -194,6 +198,15 @@ func runConsensus(c *server.Client, args []string) error {
 			fmt.Printf("  worker %-4d %+.3f\n", id, res.WorkerScores[id])
 		}
 	}
+	return nil
+}
+
+func runPromote(c *server.Client) error {
+	shards, err := c.Promote()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("promoted: now primary over %d shard(s)\n", shards)
 	return nil
 }
 

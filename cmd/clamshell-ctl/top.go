@@ -208,6 +208,29 @@ func renderTop(m, prev *metricsView, sincePrev time.Duration) {
 		}
 		fmt.Printf("labels    %s  pending %g\n", line, get("clamshell_hybrid_pending_candidates"))
 	}
+	if _, ok := m.get("clamshell_repl_lag_ms"); ok {
+		state := "detached"
+		if get("clamshell_repl_follower_attached") > 0 {
+			state = "attached"
+		}
+		line := fmt.Sprintf("follower %s, lag %gms / %gB", state,
+			get("clamshell_repl_lag_ms"), get("clamshell_repl_lag_bytes"))
+		if _, ok := m.get("clamshell_repl_shipped_bytes_total"); ok {
+			// Primary side: shipping rate and the degraded-ack alarm.
+			line += fmt.Sprintf("  shipped %s B",
+				withRate(get("clamshell_repl_shipped_bytes_total"), rate("clamshell_repl_shipped_bytes_total"), "s"))
+			if d := get("clamshell_repl_sync_degraded_total"); d > 0 {
+				line += fmt.Sprintf("  DEGRADED acks %g", d)
+			}
+		}
+		if _, ok := m.get("clamshell_repl_pulled_bytes_total"); ok {
+			// Follower side: pull rate and full re-seeds.
+			line += fmt.Sprintf("  pulled %s B  bootstraps %g",
+				withRate(get("clamshell_repl_pulled_bytes_total"), rate("clamshell_repl_pulled_bytes_total"), "s"),
+				get("clamshell_repl_bootstraps_total"))
+		}
+		fmt.Printf("repl      %s\n", line)
+	}
 	if _, ok := m.get("clamshell_journal_commit_lag_seconds_count"); ok {
 		lag := m.quantiles("clamshell_journal_commit_lag_seconds")
 		batch := m.quantiles("clamshell_journal_batch_ops")

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -40,6 +41,7 @@ import (
 
 	"github.com/clamshell/clamshell/internal/fabric"
 	"github.com/clamshell/clamshell/internal/hybrid"
+	"github.com/clamshell/clamshell/internal/retry"
 	"github.com/clamshell/clamshell/internal/server"
 	"github.com/clamshell/clamshell/internal/wire"
 )
@@ -156,10 +158,36 @@ func main() {
 
 	var (
 		submitted, accepted, terminated, fetches, empties atomic.Int64
+		wireReconnects                                    atomic.Uint64
 		done                                              atomic.Bool
 	)
+	stopCh := make(chan struct{}) // closed with done: aborts reconnect backoff
 	deadline := time.Now().Add(*duration)
 	start := time.Now()
+
+	// redial replaces a poisoned wire connection under backoff (the
+	// clamshell_wire_reconnects_total series, reported in the final stats),
+	// so the generators ride out a server restart or failover mid-run.
+	var redial func(seed int64) (*wire.Client, error)
+	if *transport == "wire" {
+		redial = func(seed int64) (*wire.Client, error) {
+			policy := retry.Policy{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.5, Seed: uint64(seed)}
+			var nc *wire.Client
+			err := policy.Do(stopCh, func() error {
+				cl, err := wire.Dial(*wireAddr)
+				if err != nil {
+					return err
+				}
+				nc = cl
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			wireReconnects.Add(1)
+			return nc, nil
+		}
+	}
 
 	// Foreground task ids, appended by clients as batches land. The
 	// completion watcher checks these individually — the status endpoint's
@@ -179,6 +207,20 @@ func main() {
 			defer cg.Done()
 			cl := newHotClient()
 			rng := rand.New(rand.NewSource(int64(c)))
+			refresh := func(cause error) bool {
+				if redial == nil || !errors.Is(cause, wire.ErrPoisoned) || done.Load() {
+					return false
+				}
+				nc, err := redial(int64(c))
+				if err != nil {
+					return false
+				}
+				if old, ok := cl.(*wire.Client); ok {
+					old.Close()
+				}
+				cl = nc
+				return true
+			}
 			budget := perClient
 			if c == 0 {
 				budget += *tasks % *clients
@@ -198,7 +240,14 @@ func main() {
 						specs[i].Features = featuresFor(recs, *classes, rng)
 					}
 				}
+				// On a poisoned connection the batch is retried after the
+				// re-dial; if the lost ack had in fact applied, the rerun
+				// over-submits — acceptable in a load generator, never in a
+				// production client (the wire transport is at-most-once).
 				ids, err := cl.SubmitTasks(specs)
+				for err != nil && refresh(err) {
+					ids, err = cl.SubmitTasks(specs)
+				}
 				if err != nil {
 					log.Printf("client %d: %v", c, err)
 					return
@@ -225,8 +274,28 @@ func main() {
 				log.Printf("worker %d join: %v", wkr, err)
 				return
 			}
-			defer cl.Leave(id)
+			defer func() { cl.Leave(id) }()
 			pc, coalesce := cl.(pairClient)
+			// refresh replaces a poisoned wire connection and rejoins:
+			// sessions never survive the far side of a reconnect, so the
+			// worker continues under a fresh id and its in-flight
+			// assignment falls back to the queue.
+			refresh := func(cause error) bool {
+				if redial == nil || !errors.Is(cause, wire.ErrPoisoned) || done.Load() {
+					return false
+				}
+				nc, err := redial(1000 + int64(wkr))
+				if err != nil {
+					return false
+				}
+				if old, ok := cl.(*wire.Client); ok {
+					old.Close()
+				}
+				cl = nc
+				pc, coalesce = cl.(pairClient)
+				id, err = cl.Join(fmt.Sprintf("loadgen-%d", wkr))
+				return err == nil
+			}
 			idle := 0
 			var a server.Assignment
 			var have bool
@@ -236,6 +305,9 @@ func main() {
 					a, have, err = cl.FetchTask(id)
 					fetches.Add(1)
 					if err != nil {
+						if refresh(err) {
+							continue
+						}
 						return // retired or server gone
 					}
 					if !have {
@@ -275,6 +347,10 @@ func main() {
 					have = false
 				}
 				if err != nil {
+					if refresh(err) {
+						have = false
+						continue
+					}
 					return
 				}
 				if acc {
@@ -311,6 +387,7 @@ func main() {
 		time.Sleep(50 * time.Millisecond)
 	}
 	done.Store(true)
+	close(stopCh)
 	cg.Wait()
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -323,6 +400,9 @@ func main() {
 	fmt.Printf("answers accepted   %d\n", accepted.Load())
 	fmt.Printf("answers terminated %d\n", terminated.Load())
 	fmt.Printf("fetches (empty)    %d (%d)\n", fetches.Load(), empties.Load())
+	if n := wireReconnects.Load(); n > 0 {
+		fmt.Printf("wire reconnects    %d\n", n)
+	}
 	ops := float64(submitted.Load()+fetches.Load()+accepted.Load()+terminated.Load()) / elapsed.Seconds()
 	fmt.Printf("throughput         %.0f ops/s\n", ops)
 	fmt.Printf("total cost         $%.4f\n", costs["total_dollars"])

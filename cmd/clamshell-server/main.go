@@ -29,6 +29,20 @@
 // the same fabric; JSON/HTTP remains the control and compatibility
 // surface.
 //
+// The same binary runs every role of a multi-node fabric. A node started
+// with -node-index I -node-count N owns the stripe of global shard and
+// task/worker ids congruent to I mod N; a front end started with
+// -route addr1,addr2,... (node wire addresses, in node-index order)
+// forwards every op to the stripe owner over persistent wire connections
+// with retries and per-node circuit breakers, merging fabric-wide reads.
+// A process started with -follow addr mirrors that primary's journals
+// into -persist-dir over the wire protocol's streaming replication pull
+// (resumable by segment offset, CRC-checked end to end) and serves
+// health/metrics until POST /api/promote recovers the mirror through the
+// standard journal path and swaps in the full node API. On a node, -repl
+// exposes the replication feed and gates mutation acknowledgements on
+// follower durability (degrading to local-only after -repl-barrier).
+//
 // With -hybrid the server runs the live hybrid learning plane
 // (internal/hybrid): finalized labels of feature-carrying tasks train a
 // per-job committee model, tasks the model can call at or above
@@ -88,26 +102,58 @@ func main() {
 	hybridOn := flag.Bool("hybrid", false, "enable the live hybrid learning plane: train on finalized labels, auto-finalize confident tasks, re-prioritize uncertain ones")
 	confidence := flag.Float64("confidence", 0.95, "minimum model confidence (soft-vote probability) before a task is auto-finalized (with -hybrid)")
 	relabelInterval := flag.Duration("relabel-interval", 30*time.Second, "uncertainty re-prioritization cadence for the pending backlog (with -hybrid; 0 = off)")
+	nodeIndex := flag.Int("node-index", 0, "this node's index in a multi-node fabric (with -node-count)")
+	nodeCount := flag.Int("node-count", 1, "total nodes in the fabric; this node serves its (node-index mod node-count) stripe of shard and task ids")
+	replOn := flag.Bool("repl", false, "serve journal replication to followers over the wire listener and gate mutation acks on follower durability (needs -persist-dir and -listen-wire)")
+	replBarrier := flag.Duration("repl-barrier", 5*time.Second, "how long a mutation ack waits for the attached follower before degrading to local-only durability (with -repl)")
+	route := flag.String("route", "", "run as a stateless router over these comma-separated node wire addresses, in node-index order (no local shards)")
+	follow := flag.String("follow", "", "run as a journal-shipping follower of the primary at this wire address, mirroring into -persist-dir (POST /api/promote to take over)")
 	flag.Parse()
 
-	fab := fabric.New(server.Config{
+	cfg := server.Config{
 		SpeculationLimit:     *spec,
 		WorkerTimeout:        *timeout,
 		MaintenanceThreshold: *maintenance,
 		TallyHorizon:         *tallyHorizon,
-	}, *shards)
+	}
+	persist := fabric.PersistOptions{
+		Dir:             *persistDir,
+		Retention:       *retention,
+		CompactInterval: *compactInterval,
+		Fsync:           *fsync,
+		FsyncInterval:   *fsyncInterval,
+	}
+	if *route != "" && *follow != "" {
+		log.Fatal("-route and -follow are mutually exclusive roles")
+	}
+	if *nodeIndex < 0 || *nodeCount < 1 || *nodeIndex >= *nodeCount {
+		log.Fatalf("-node-index %d out of range for -node-count %d", *nodeIndex, *nodeCount)
+	}
+	if *route != "" {
+		runRouter(*addr, *wireAddr, *route)
+		return
+	}
+	if *follow != "" {
+		runFollower(*addr, *follow, cfg, persist, *nodeIndex, *nodeCount, *wireAddr, *replOn, *replBarrier)
+		return
+	}
+
+	fab := fabric.NewNode(cfg, *shards, *nodeIndex, *nodeCount)
 	if *persistDir != "" {
-		if err := fab.OpenPersist(fabric.PersistOptions{
-			Dir:             *persistDir,
-			Retention:       *retention,
-			CompactInterval: *compactInterval,
-			Fsync:           *fsync,
-			FsyncInterval:   *fsyncInterval,
-		}); err != nil {
+		if err := fab.OpenPersist(persist); err != nil {
 			log.Fatalf("opening persistence: %v", err)
 		}
 		log.Printf("durable state in %s (retention %v, compaction every %v, fsync %s)",
 			*persistDir, *retention, *compactInterval, *fsync)
+	}
+	if *replOn {
+		if *wireAddr == "" {
+			log.Fatal("-repl needs -listen-wire: followers pull over the wire protocol")
+		}
+		if err := fab.EnableReplication(*replBarrier); err != nil {
+			log.Fatalf("enabling replication: %v", err)
+		}
+		log.Printf("replication enabled (ack barrier %v)", *replBarrier)
 	}
 	if *hybridOn {
 		// After OpenPersist, so the plane re-seeds from the recovered
@@ -137,6 +183,7 @@ func main() {
 		}
 		ws := wire.NewServer(fab)
 		ws.RateLimit = *wireRate
+		ws.Barrier = fab.ReplBarrier()
 		log.Printf("%s protocol listening on %s (rate limit %g ops/s/conn)", scheme, *wireAddr, *wireRate)
 		go func() {
 			// A permanently broken wire listener degrades the server to
@@ -146,6 +193,9 @@ func main() {
 				log.Printf("wire server stopped (continuing HTTP-only): %v", err)
 			}
 		}()
+	}
+	if *nodeCount > 1 {
+		log.Printf("fabric node %d/%d: serving ids congruent to %d mod %d", *nodeIndex, *nodeCount, *nodeIndex, *nodeCount)
 	}
 	log.Printf("clamshell-server listening on %s (%d shard(s))", *addr, fab.NumShards())
 	log.Fatal(http.ListenAndServe(*addr, fab))

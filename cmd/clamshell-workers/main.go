@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,8 +27,10 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/clamshell/clamshell/internal/retry"
 	"github.com/clamshell/clamshell/internal/server"
 	"github.com/clamshell/clamshell/internal/wire"
 )
@@ -49,6 +52,10 @@ type workerClient interface {
 type pairClient interface {
 	SubmitAndFetch(workerID, taskID int, labels []int) (accepted, terminated bool, next server.Assignment, ok bool, err error)
 }
+
+// wireReconnects counts connections re-dialed after poisoning, fleet-wide
+// (the clamshell_wire_reconnects_total series, logged on each reconnect).
+var wireReconnects atomic.Uint64
 
 func main() {
 	var (
@@ -83,6 +90,7 @@ func main() {
 				myMean *= 5
 			}
 			var c workerClient
+			var reconnect func() (workerClient, error)
 			if *wireAddr != "" {
 				wc, err := wire.Dial(*wireAddr)
 				if err != nil {
@@ -91,10 +99,30 @@ func main() {
 				}
 				defer wc.Close()
 				c = wc
+				// Re-dial forever under backoff (bounded only by stop): a
+				// fleet rides out server restarts and failovers instead of
+				// evaporating on the first poisoned connection.
+				policy := retry.Policy{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.5, Seed: uint64(*seed) + uint64(id)}
+				reconnect = func() (workerClient, error) {
+					var nc *wire.Client
+					err := policy.Do(stop, func() error {
+						cl, err := wire.Dial(*wireAddr)
+						if err != nil {
+							return err
+						}
+						nc = cl
+						return nil
+					})
+					if err != nil {
+						return nil, err
+					}
+					wireReconnects.Add(1)
+					return nc, nil
+				}
 			} else {
 				c = server.NewClient(*base)
 			}
-			runWorker(c, id, myMean, *accuracy, *poll, rng, stop)
+			runWorker(c, id, myMean, *accuracy, *poll, rng, stop, reconnect)
 		}(i)
 	}
 	target := *base
@@ -103,6 +131,9 @@ func main() {
 	}
 	log.Printf("%d simulated workers polling %s (ctrl-c to stop)", *n, target)
 	wg.Wait()
+	if r := wireReconnects.Load(); r > 0 {
+		log.Printf("fleet total clamshell_wire_reconnects_total %d", r)
+	}
 }
 
 // runWorker is one simulated worker's loop: join, poll, work, submit.
@@ -110,7 +141,8 @@ func main() {
 // next fetch, so a busy worker costs one round trip per task instead of
 // two and only falls back to the poll ticker when the backlog runs dry.
 func runWorker(c workerClient, id int, mean time.Duration, accuracy float64,
-	poll time.Duration, rng *rand.Rand, stop <-chan struct{}) {
+	poll time.Duration, rng *rand.Rand, stop <-chan struct{},
+	reconnect func() (workerClient, error)) {
 	name := fmt.Sprintf("sim-%d", id)
 	wid, err := c.Join(name)
 	if err != nil {
@@ -119,6 +151,33 @@ func runWorker(c workerClient, id int, mean time.Duration, accuracy float64,
 	}
 	log.Printf("%s joined as worker %d (mean %v)", name, wid, mean)
 	pc, coalesce := c.(pairClient)
+
+	// refresh replaces a poisoned wire connection and rejoins. Worker
+	// sessions never survive the far side of a reconnect (a failover
+	// drops them by design), so the fresh connection means a fresh id and
+	// any in-flight assignment falls back to the queue for someone else.
+	refresh := func(cause error) bool {
+		if reconnect == nil || !errors.Is(cause, wire.ErrPoisoned) {
+			return false
+		}
+		nc, err := reconnect()
+		if err != nil {
+			return false
+		}
+		if old, ok := c.(*wire.Client); ok {
+			old.Close()
+		}
+		c = nc
+		pc, coalesce = c.(pairClient)
+		if wid, err = c.Join(name); err != nil {
+			log.Printf("%s: rejoin after reconnect failed: %v", name, err)
+			return false
+		}
+		log.Printf("%s: reconnected and rejoined as worker %d (clamshell_wire_reconnects_total %d)",
+			name, wid, wireReconnects.Load())
+		return true
+	}
+
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
 	var a server.Assignment
@@ -133,6 +192,9 @@ func runWorker(c workerClient, id int, mean time.Duration, accuracy float64,
 			}
 			a, have, err = c.FetchTask(wid)
 			if err != nil {
+				if refresh(err) {
+					continue
+				}
 				log.Printf("%s: retired or server gone: %v", name, err)
 				return
 			}
@@ -167,6 +229,10 @@ func runWorker(c workerClient, id int, mean time.Duration, accuracy float64,
 			have = false
 		}
 		if err != nil {
+			if refresh(err) {
+				have = false
+				continue
+			}
 			log.Printf("%s: submit failed: %v", name, err)
 			return
 		}

@@ -168,10 +168,14 @@ func (f *Fabric) handleConsensus(w http.ResponseWriter, r *http.Request) {
 func (f *Fabric) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{
 		"ok":        true,
+		"role":      "primary",
 		"uptime_ms": f.now().Sub(f.startedAt).Milliseconds(),
 	}
 	if f.persist.Load() != nil {
 		resp["persist_ok"] = f.PersistErr() == nil
+	}
+	if rp := f.repl.Load(); rp != nil && rp.tracker.Attached() {
+		resp["replication_lag_ms"] = f.replLagMS(rp)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -191,6 +195,7 @@ func (f *Fabric) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	}
 	page := server.BuildMetricsPage(shards, f.obs, f.journalSnapshot())
 	page.Hybrid = f.hybridSnapshot()
+	page.Repl = f.replSnapshot()
 	server.WriteMetricsPage(w, page)
 }
 

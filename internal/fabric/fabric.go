@@ -41,6 +41,8 @@ import (
 type Fabric struct {
 	cfg       server.Config
 	shards    []*server.Shard
+	nodeIndex int // this node's stripe in the fabric-wide id space
+	nodeCount int // total nodes sharing the id space (1 = standalone)
 	mux       *http.ServeMux
 	now       func() time.Time
 	startedAt time.Time
@@ -53,6 +55,9 @@ type Fabric struct {
 	// down.
 	persist atomic.Pointer[persistState]
 
+	// repl is the replication plane (nil until EnableReplication).
+	repl atomic.Pointer[replPlane]
+
 	// hybrid is the learning plane (nil until EnableHybrid).
 	hybrid hybridPlane
 }
@@ -60,12 +65,31 @@ type Fabric struct {
 // New creates a fabric of n shards (n < 1 is treated as 1). All shards
 // share one Config.
 func New(cfg server.Config, n int) *Fabric {
-	if n < 1 {
-		n = 1
+	return NewNode(cfg, n, 0, 1)
+}
+
+// NewNode creates one node's slice of a multi-node fabric: m local shards
+// out of nodeCount×m fabric-wide, where this node (index nodeIndex) owns
+// every global shard g with g ≡ nodeIndex (mod nodeCount). Ids remain
+// globally unique and shard-addressable across the whole fabric — local
+// shard j allocates ids in global stripe nodeIndex + nodeCount·j — so a
+// router holding only nodeCount can address any id's owning node as
+// (id-1) mod nodeCount. A nodeCount of 1 is exactly the historical
+// single-node fabric, byte-for-byte.
+func NewNode(cfg server.Config, m, nodeIndex, nodeCount int) *Fabric {
+	if m < 1 {
+		m = 1
 	}
-	f := &Fabric{cfg: cfg}
-	for i := 0; i < n; i++ {
-		f.shards = append(f.shards, server.NewShard(cfg, i, n))
+	if nodeCount < 1 {
+		nodeCount = 1
+	}
+	if nodeIndex < 0 || nodeIndex >= nodeCount {
+		nodeIndex = 0
+	}
+	f := &Fabric{cfg: cfg, nodeIndex: nodeIndex, nodeCount: nodeCount}
+	total := nodeCount * m
+	for j := 0; j < m; j++ {
+		f.shards = append(f.shards, server.NewShard(cfg, nodeIndex+nodeCount*j, total))
 	}
 	f.now = time.Now
 	if cfg.Now != nil {
@@ -102,13 +126,23 @@ func (f *Fabric) NumShards() int { return len(f.shards) }
 // transports record per-op latencies into one place.
 func (f *Fabric) Obs() *server.Obs { return f.obs }
 
-// shardOf maps a globally-unique id (worker or task) to its owning shard,
-// or nil for ids outside the allocated space.
+// shardOf maps a globally-unique id (worker or task) to its owning shard:
+// nil for ids outside the allocated space or owned by another node.
 func (f *Fabric) shardOf(id int) *server.Shard {
 	if id < 1 {
 		return nil
 	}
-	return f.shards[(id-1)%len(f.shards)]
+	g := (id - 1) % (f.nodeCount * len(f.shards))
+	if g%f.nodeCount != f.nodeIndex {
+		return nil
+	}
+	return f.shards[g/f.nodeCount]
+}
+
+// localIndex returns the position in f.shards of the shard owning id.
+// Callers must have checked shardOf(id) != nil.
+func (f *Fabric) localIndex(id int) int {
+	return ((id - 1) % (f.nodeCount * len(f.shards))) / f.nodeCount
 }
 
 // placeShard chooses the shard for a new task by consistent-hashing its

@@ -116,7 +116,7 @@ func (f *Fabric) steal(home *server.Shard, workerID int, starvedOnly bool) (serv
 	if n == 1 {
 		return server.Assignment{}, false
 	}
-	homeIdx := (workerID - 1) % n // the same stripe rule shardOf uses
+	homeIdx := f.localIndex(workerID) // the same stripe rule shardOf uses
 	for off := 1; off < n; off++ {
 		sh := f.shards[(homeIdx+off)%n]
 		tid, payload, ok := sh.PickSteal(workerID, starvedOnly)

@@ -122,6 +122,9 @@ func (f *Fabric) OpenPersist(opts PersistOptions) error {
 		return err
 	}
 
+	if (haveMerged || (haveManifest && m.Shards != n)) && f.nodeCount > 1 {
+		return errors.New("fabric: resize-on-restore unsupported on a multi-node slice")
+	}
 	if !haveMerged && haveManifest && m.Shards != n {
 		// Shard-count mismatch: recover the old layout read-only and merge
 		// it into one state, checkpoint it, then recommit below.

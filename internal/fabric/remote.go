@@ -1,0 +1,221 @@
+package fabric
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/retry"
+	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/wire"
+)
+
+// RemoteShard fronts one remote clamshell node over the binary wire
+// protocol: the fabric router's shard surface, implemented by persistent
+// wire-v2 connections instead of local method calls. Every call runs
+// under the shared retry discipline (internal/retry) behind a circuit
+// breaker: transport failures reconnect and retry with capped backoff;
+// in-band protocol errors (unknown worker, gone, throttled) are final and
+// count as a healthy peer. When the breaker is open, calls fail fast with
+// server.ErrUnavailable — no goroutine pins on a dead node — and one
+// half-open probe per cooldown re-tests the peer.
+type RemoteShard struct {
+	addr   string
+	dial   func(addr string) (net.Conn, error)
+	policy retry.Policy
+	br     retry.Breaker
+
+	mu sync.Mutex
+	cl *wire.Client
+
+	reconnects atomic.Uint64
+}
+
+// RemoteOptions tunes a RemoteShard; zero values select defaults.
+type RemoteOptions struct {
+	// Dial overrides the transport (fault injection, tests). Nil dials TCP.
+	Dial func(addr string) (net.Conn, error)
+	// Retry governs each call (default retry.DefaultPolicy).
+	Retry retry.Policy
+	// BreakerThreshold and BreakerCooldown tune the circuit breaker
+	// (defaults: 5 consecutive failures, 1s cooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+// NewRemoteShard builds a client for the node at addr.
+func NewRemoteShard(addr string, opts RemoteOptions) *RemoteShard {
+	r := &RemoteShard{addr: addr, dial: opts.Dial, policy: opts.Retry}
+	if r.dial == nil {
+		r.dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	if r.policy.Base == 0 {
+		r.policy = retry.DefaultPolicy()
+	}
+	r.br.Threshold = opts.BreakerThreshold
+	r.br.Cooldown = opts.BreakerCooldown
+	return r
+}
+
+// Addr returns the remote node's address.
+func (r *RemoteShard) Addr() string { return r.addr }
+
+// Reconnects counts connections re-dialed after a transport failure.
+func (r *RemoteShard) Reconnects() uint64 { return r.reconnects.Load() }
+
+// Available reports whether the breaker would admit a call right now.
+func (r *RemoteShard) Available() bool { return !r.br.Open() }
+
+// Close drops the persistent connection (calls re-dial on demand).
+func (r *RemoteShard) Close() {
+	r.mu.Lock()
+	if r.cl != nil {
+		r.cl.Close()
+		r.cl = nil
+	}
+	r.mu.Unlock()
+}
+
+func (r *RemoteShard) client() (*wire.Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cl != nil {
+		return r.cl, nil
+	}
+	conn, err := r.dial(r.addr)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := wire.NewClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r.cl = cl
+	return cl, nil
+}
+
+func (r *RemoteShard) dropConn(cl *wire.Client) {
+	r.mu.Lock()
+	if r.cl == cl {
+		r.cl = nil
+	}
+	r.mu.Unlock()
+	cl.Close()
+	r.reconnects.Add(1)
+}
+
+// call runs f against the live connection under the retry policy and the
+// breaker. In-band status errors are final (the peer answered); transport
+// errors drop the connection, retry, and feed the breaker.
+func (r *RemoteShard) call(f func(cl *wire.Client) error) error {
+	if !r.br.Allow() {
+		return server.ErrUnavailable
+	}
+	err := r.policy.Do(nil, func() error {
+		cl, err := r.client()
+		if err != nil {
+			return err
+		}
+		err = f(cl)
+		if err == nil {
+			return nil
+		}
+		var se *wire.StatusError
+		if errors.As(err, &se) {
+			return retry.Permanent(err)
+		}
+		r.dropConn(cl)
+		return err
+	})
+	if err == nil {
+		r.br.Report(true)
+		return nil
+	}
+	var se *wire.StatusError
+	if errors.As(err, &se) {
+		// The peer is up and answering; only the op failed.
+		r.br.Report(true)
+		return err
+	}
+	r.br.Report(false)
+	return err
+}
+
+// Join admits a worker on the remote node (0 = node unavailable).
+func (r *RemoteShard) Join(name string) (int, error) {
+	var id int
+	err := r.call(func(cl *wire.Client) error {
+		var err error
+		id, err = cl.Join(name)
+		return err
+	})
+	return id, err
+}
+
+// Heartbeat refreshes a worker's liveness on the remote node.
+func (r *RemoteShard) Heartbeat(workerID int) error {
+	return r.call(func(cl *wire.Client) error { return cl.Heartbeat(workerID) })
+}
+
+// Leave removes a worker on the remote node.
+func (r *RemoteShard) Leave(workerID int) error {
+	return r.call(func(cl *wire.Client) error { return cl.Leave(workerID) })
+}
+
+// Enqueue admits task specs on the remote node.
+func (r *RemoteShard) Enqueue(specs []server.TaskSpec) ([]int, error) {
+	var ids []int
+	err := r.call(func(cl *wire.Client) error {
+		var err error
+		ids, err = cl.SubmitTasks(specs)
+		return err
+	})
+	return ids, err
+}
+
+// Fetch polls the remote node for the worker's next assignment.
+func (r *RemoteShard) Fetch(workerID int) (server.Assignment, bool, error) {
+	var a server.Assignment
+	var ok bool
+	err := r.call(func(cl *wire.Client) error {
+		var err error
+		a, ok, err = cl.FetchTask(workerID)
+		return err
+	})
+	return a, ok, err
+}
+
+// Submit delivers a completed assignment to the remote node.
+func (r *RemoteShard) Submit(workerID, taskID int, labels []int) (accepted, terminated bool, err error) {
+	err = r.call(func(cl *wire.Client) error {
+		var err error
+		accepted, terminated, err = cl.Submit(workerID, taskID, labels)
+		return err
+	})
+	return accepted, terminated, err
+}
+
+// Result reports a task's status from the remote node.
+func (r *RemoteShard) Result(taskID int) (server.TaskStatus, error) {
+	var ts server.TaskStatus
+	err := r.call(func(cl *wire.Client) error {
+		var err error
+		ts, err = cl.Result(taskID)
+		return err
+	})
+	return ts, err
+}
+
+// SnapshotJSON fetches the remote node's merged snapshot document.
+func (r *RemoteShard) SnapshotJSON() ([]byte, error) {
+	var data []byte
+	err := r.call(func(cl *wire.Client) error {
+		var err error
+		data, err = cl.SnapshotJSON()
+		return err
+	})
+	return data, err
+}

@@ -1,0 +1,305 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/clamshell/clamshell/internal/repl"
+	"github.com/clamshell/clamshell/internal/retry"
+	"github.com/clamshell/clamshell/internal/server"
+	"github.com/clamshell/clamshell/internal/server/servertest"
+	"github.com/clamshell/clamshell/internal/wire"
+)
+
+// fakeClock is an explicitly advanced clock shared by the fabrics under
+// test: durable timestamps (task completion, retention ages, replication
+// lag) become deterministic instead of racing the wall clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+// startWire serves the fabric over the wire protocol on a loopback
+// listener with the replication ack barrier armed, returning the address
+// and a stop function that drains and joins the server.
+func startWire(t *testing.T, f *Fabric) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := wire.NewServer(f)
+	srv.Barrier = f.ReplBarrier()
+	srv.DrainTimeout = 2 * time.Second
+	done := make(chan struct{})
+	go func() {
+		srv.Serve(ln)
+		close(done)
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			ln.Close()
+			<-done
+		})
+	}
+	t.Cleanup(stop)
+	return ln.Addr().String(), stop
+}
+
+// dialWire connects a wire client to addr.
+func dialWire(t *testing.T, addr string) *wire.Client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	cl, err := wire.NewClient(conn)
+	if err != nil {
+		t.Fatalf("wire handshake: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// waitMatched polls until every shard's follower has fully matched the
+// primary's durable frontier (WAL and retained log both mirrored) at a
+// fabric-clock instant at or after minNs.
+func waitMatched(t *testing.T, f *Fabric, minNs int64) {
+	t.Helper()
+	rp := f.repl.Load()
+	if rp == nil {
+		t.Fatal("replication not enabled")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for i := range rp.lastMatched {
+			if rp.lastMatched[i].Load() < minNs || rp.lastMatched[i].Load() == 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("follower never matched the durable frontier (positions %v)", rp.tracker.Positions())
+}
+
+// workRound drives every worker through one fetch (+submit when assigned)
+// over the wire client, returning how many assignments were completed.
+func workRound(t *testing.T, cl *wire.Client, workers []int, label int) int {
+	t.Helper()
+	done := 0
+	for _, w := range workers {
+		a, ok, err := cl.FetchTask(w)
+		if err != nil {
+			t.Fatalf("fetch(worker %d): %v", w, err)
+		}
+		if !ok {
+			continue
+		}
+		labels := make([]int, len(a.Records))
+		for i := range labels {
+			labels[i] = label
+		}
+		if _, _, err := cl.Submit(w, a.TaskID, labels); err != nil {
+			t.Fatalf("submit(worker %d, task %d): %v", w, a.TaskID, err)
+		}
+		done++
+	}
+	return done
+}
+
+// TestReplicationFailoverPromotion is the replication plane end to end:
+// a persisted primary fabric serves a journal-shipping follower over the
+// wire protocol with the ack barrier armed, survives a compaction rotation
+// (forcing the follower through reset + re-bootstrap), exposes lag and
+// shipping telemetry, and finally the follower's mirror directory is
+// promoted — plain journal recovery, no file surgery — to a fabric whose
+// snapshot is byte-identical to the primary's.
+func TestReplicationFailoverPromotion(t *testing.T) {
+	t.Cleanup(servertest.VerifyNone(t))
+	clk := newFakeClock()
+	cfg := server.Config{WorkerTimeout: time.Hour, SpeculationLimit: 1, Now: clk.Now}
+	dirP, dirF := t.TempDir(), t.TempDir()
+
+	prim := New(cfg, 2)
+	if err := prim.OpenPersist(PersistOptions{Dir: dirP, Fsync: "commit", Retention: 50 * time.Millisecond}); err != nil {
+		t.Fatalf("OpenPersist(primary): %v", err)
+	}
+	t.Cleanup(func() { prim.ClosePersist() })
+	if err := prim.EnableReplication(5 * time.Second); err != nil {
+		t.Fatalf("EnableReplication: %v", err)
+	}
+	if err := prim.EnableReplication(5 * time.Second); err == nil {
+		t.Fatal("double EnableReplication succeeded")
+	}
+
+	addr, stopWire := startWire(t, prim)
+
+	fol, err := repl.NewFollower(repl.FollowerConfig{
+		Addr:     addr,
+		Dir:      dirF,
+		Interval: 2 * time.Millisecond,
+		Retry:    retry.Policy{Base: 2 * time.Millisecond, Cap: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("NewFollower: %v", err)
+	}
+	folDone := make(chan error, 1)
+	go func() { folDone <- fol.Run() }()
+	t.Cleanup(func() { fol.Stop() })
+
+	cl := dialWire(t, addr)
+
+	// Phase 1: tasks across both shards, two workers grinding them down.
+	var specs []server.TaskSpec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, server.TaskSpec{
+			Records: []string{fmt.Sprintf("rec-%d-a", i), fmt.Sprintf("rec-%d-b", i)},
+			Classes: 2, Quorum: 1,
+		})
+	}
+	ids, err := cl.SubmitTasks(specs)
+	if err != nil || len(ids) != 8 {
+		t.Fatalf("enqueue: ids=%v err=%v", ids, err)
+	}
+	var workers []int
+	for _, name := range []string{"alice", "bob"} {
+		w, err := cl.Join(name)
+		if err != nil || w == 0 {
+			t.Fatalf("join %s: id=%d err=%v", name, w, err)
+		}
+		workers = append(workers, w)
+	}
+	for r := 0; r < 4; r++ {
+		workRound(t, cl, workers, 1)
+	}
+	waitMatched(t, prim, 1) // fully mirrored, any fabric-clock instant
+
+	// Phase 2: age the completed tasks past retention and compact. The
+	// rotation deletes the old WAL generation out from under the follower,
+	// which must recover by re-bootstrapping onto the fresh snapshot and
+	// the rewritten retained log.
+	clk.Advance(time.Second)
+	if err := prim.CompactAll(); err != nil {
+		t.Fatalf("CompactAll: %v", err)
+	}
+	after := clk.Advance(time.Millisecond).UnixNano()
+	for r := 0; r < 4; r++ {
+		workRound(t, cl, workers, 0)
+	}
+	waitMatched(t, prim, after)
+	if fol.Bootstraps() < 2 {
+		t.Fatalf("follower bootstraps = %d, want >= 2 (initial seed + post-rotation)", fol.Bootstraps())
+	}
+	if fol.PulledBytes() == 0 || !fol.Attached() {
+		t.Fatalf("follower pulled=%d attached=%v", fol.PulledBytes(), fol.Attached())
+	}
+
+	// Operator surfaces: healthz reports the role and live lag; /metrics
+	// carries the replication families.
+	hrec := httptest.NewRecorder()
+	prim.ServeHTTP(hrec, httptest.NewRequest("GET", "/api/healthz", nil))
+	hb := hrec.Body.String()
+	if !strings.Contains(hb, `"role":"primary"`) || !strings.Contains(hb, "replication_lag_ms") {
+		t.Fatalf("healthz missing replication fields: %s", hb)
+	}
+	mrec := httptest.NewRecorder()
+	prim.ServeHTTP(mrec, httptest.NewRequest("GET", "/metrics", nil))
+	mb := mrec.Body.String()
+	for _, fam := range []string{
+		"clamshell_repl_follower_attached 1",
+		"clamshell_repl_lag_ms",
+		"clamshell_repl_lag_bytes",
+		"clamshell_repl_shipped_bytes_total",
+		"clamshell_repl_sync_degraded_total 0",
+	} {
+		if !strings.Contains(mb, fam) {
+			t.Fatalf("/metrics missing %q:\n%s", fam, mb)
+		}
+	}
+
+	// A stalled follower shows up as growing lag: stop the pulls, advance
+	// the fabric clock, and the gauge reports exactly the stall.
+	fol.Stop()
+	if err := <-folDone; err != nil {
+		t.Fatalf("follower run: %v", err)
+	}
+	clk.Advance(123 * time.Millisecond)
+	lrec := httptest.NewRecorder()
+	prim.ServeHTTP(lrec, httptest.NewRequest("GET", "/metrics", nil))
+	lag := scrapeGauge(t, lrec.Body.String(), "clamshell_repl_lag_ms")
+	if lag < 123 {
+		t.Fatalf("clamshell_repl_lag_ms = %v after 123ms stall, want >= 123", lag)
+	}
+
+	if got := prim.ReplDegraded(); got != 0 {
+		t.Fatalf("degraded acks = %d on a healthy link, want 0", got)
+	}
+
+	want, err := prim.Snapshot()
+	if err != nil {
+		t.Fatalf("primary snapshot: %v", err)
+	}
+
+	// Promote: the mirror directory is a valid persist directory; opening
+	// it with the standard recovery path yields the primary's exact state.
+	cl.Close()
+	stopWire()
+	promoted := New(cfg, 2)
+	if err := promoted.OpenPersist(PersistOptions{Dir: dirF, Fsync: "commit"}); err != nil {
+		t.Fatalf("OpenPersist(promoted mirror): %v", err)
+	}
+	t.Cleanup(func() { promoted.ClosePersist() })
+	got, err := promoted.Snapshot()
+	if err != nil {
+		t.Fatalf("promoted snapshot: %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("promoted snapshot differs from primary:\nprimary:\n%s\npromoted:\n%s", want, got)
+	}
+}
+
+// scrapeGauge pulls one metric's value out of an exposition page.
+func scrapeGauge(t *testing.T, page, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindStringSubmatch(page)
+	if m == nil {
+		t.Fatalf("metric %s not found in page:\n%s", name, page)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %s value %q: %v", name, m[1], err)
+	}
+	return v
+}

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -100,6 +101,12 @@ func (f *Fabric) Snapshot() ([]byte, error) {
 // is compacted to disk before Restore returns, so the restore is durable
 // at the moment it is acknowledged.
 func (f *Fabric) Restore(data []byte) error {
+	if f.nodeCount > 1 {
+		// A node slice cannot re-split a merged document by itself: ids it
+		// does not own would land on local shards and break fabric-wide
+		// routing. Restores go through a full single-node boot.
+		return errors.New("fabric: restore unsupported on a multi-node slice")
+	}
 	st, err := server.DecodeSnapshot(data)
 	if err != nil {
 		return err

@@ -1,0 +1,215 @@
+// Package faultwire is an injectable chaos transport for fabric tests: a
+// dialer that wraps real connections and injects delays, dropped
+// connections, torn writes, duplicated frames, and full partitions, all
+// from a seeded RNG so every failure schedule is reproducible from the
+// test log. Production code never imports this package; the fabric's
+// remote shards and the replication follower accept a dial function, and
+// chaos tests hand them Network.Dial.
+package faultwire
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop is returned from a Write the network decided to kill.
+var ErrInjectedDrop = errors.New("faultwire: injected connection drop")
+
+// ErrInjectedTorn is returned from a Write cut short mid-frame.
+var ErrInjectedTorn = errors.New("faultwire: injected torn write")
+
+// ErrPartitioned is returned from Dial while the network is partitioned.
+var ErrPartitioned = errors.New("faultwire: network partitioned")
+
+// Config sets the per-write fault probabilities. Probabilities are
+// evaluated in order drop, torn, dup — at most one structural fault fires
+// per write — and a delay may additionally precede any outcome.
+type Config struct {
+	// Seed feeds the deterministic RNG; the same seed over the same op
+	// sequence replays the same fault schedule.
+	Seed uint64
+	// DelayProb is the chance a write is held for up to MaxDelay first.
+	DelayProb float64
+	// MaxDelay bounds injected latency (uniform in (0, MaxDelay]).
+	MaxDelay time.Duration
+	// DropProb is the chance a write is discarded and the conn killed,
+	// simulating a connection reset with the frame lost in flight.
+	DropProb float64
+	// TornProb is the chance only a strict prefix of the write lands
+	// before the conn dies — a torn frame for the peer's CRC to catch.
+	TornProb float64
+	// DupProb is the chance the write's bytes are delivered twice,
+	// simulating replayed delivery the protocol must treat idempotently.
+	DupProb float64
+}
+
+// Stats counts faults the network has injected so far.
+type Stats struct {
+	Delays, Drops, Torn, Dups uint64
+	Dials, DialsRefused       uint64
+}
+
+// Network hands out fault-injected connections over a real dialer.
+type Network struct {
+	cfg  Config
+	dial func(addr string) (net.Conn, error)
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	conns       map[*conn]struct{}
+	partitioned bool
+	stats       Stats
+}
+
+// New builds a Network over dial (nil means net.Dial "tcp").
+func New(cfg Config, dial func(addr string) (net.Conn, error)) *Network {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return &Network{
+		cfg:   cfg,
+		dial:  dial,
+		rng:   rand.New(rand.NewSource(int64(cfg.Seed))),
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// Dial opens a fault-injected connection, or refuses if partitioned.
+func (n *Network) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	if n.partitioned {
+		n.stats.DialsRefused++
+		n.mu.Unlock()
+		return nil, ErrPartitioned
+	}
+	n.mu.Unlock()
+	inner, err := n.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &conn{Conn: inner, net: n}
+	n.mu.Lock()
+	// A partition that raced the dial wins: the conn never becomes usable.
+	if n.partitioned {
+		n.stats.DialsRefused++
+		n.mu.Unlock()
+		inner.Close()
+		return nil, ErrPartitioned
+	}
+	n.conns[c] = struct{}{}
+	n.stats.Dials++
+	n.mu.Unlock()
+	return c, nil
+}
+
+// Partition cuts the network: every live connection is killed and new
+// dials fail until Heal.
+func (n *Network) Partition() {
+	n.mu.Lock()
+	n.partitioned = true
+	victims := make([]*conn, 0, len(n.conns))
+	for c := range n.conns {
+		victims = append(victims, c)
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// Heal reopens the network for new dials (killed conns stay dead).
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.partitioned = false
+	n.mu.Unlock()
+}
+
+// Stats returns a snapshot of injected-fault counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// verdict is one decided fault, computed under the lock, executed outside.
+type verdict struct {
+	delay time.Duration
+	drop  bool
+	torn  int // bytes to deliver before the cut; 0 = not torn
+	dup   bool
+}
+
+// decide rolls the seeded dice for one write of n bytes. Pure state
+// mutation under mu; all sleeping and I/O happen in the caller.
+func (n *Network) decide(size int) verdict {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var v verdict
+	if n.cfg.DelayProb > 0 && n.rng.Float64() < n.cfg.DelayProb && n.cfg.MaxDelay > 0 {
+		v.delay = time.Duration(1 + n.rng.Int63n(int64(n.cfg.MaxDelay)))
+		n.stats.Delays++
+	}
+	switch {
+	case n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb:
+		v.drop = true
+		n.stats.Drops++
+	case size > 1 && n.cfg.TornProb > 0 && n.rng.Float64() < n.cfg.TornProb:
+		v.torn = 1 + n.rng.Intn(size-1)
+		n.stats.Torn++
+	case n.cfg.DupProb > 0 && n.rng.Float64() < n.cfg.DupProb:
+		v.dup = true
+		n.stats.Dups++
+	}
+	return v
+}
+
+func (n *Network) forget(c *conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+// conn injects the network's faults into each Write. Reads pass through:
+// every stream corruption this package models is injected at the sender.
+type conn struct {
+	net.Conn
+	net       *Network
+	closeOnce sync.Once
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	v := c.net.decide(len(p))
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	switch {
+	case v.drop:
+		c.Close()
+		return 0, ErrInjectedDrop
+	case v.torn > 0:
+		wrote, _ := c.Conn.Write(p[:v.torn])
+		c.Close()
+		return wrote, ErrInjectedTorn
+	case v.dup:
+		wrote, err := c.Conn.Write(p)
+		if err != nil {
+			return wrote, err
+		}
+		if _, err := c.Conn.Write(p); err != nil {
+			return wrote, err
+		}
+		return wrote, nil
+	default:
+		return c.Conn.Write(p)
+	}
+}
+
+func (c *conn) Close() error {
+	c.net.forget(c)
+	var err error
+	c.closeOnce.Do(func() { err = c.Conn.Close() })
+	return err
+}

@@ -1,0 +1,196 @@
+package faultwire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeDialer returns a dialer whose server halves land on srv.
+func pipeDialer() (dial func(string) (net.Conn, error), srv chan net.Conn) {
+	srv = make(chan net.Conn, 8)
+	dial = func(string) (net.Conn, error) {
+		a, b := net.Pipe()
+		srv <- b
+		return a, nil
+	}
+	return dial, srv
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	dial, srv := pipeDialer()
+	n := New(Config{Seed: 1}, dial)
+	c, err := n.Dial("x")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	peer := <-srv
+	defer peer.Close()
+	go func() { c.Write([]byte("hello")) }()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(peer, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+	if st := n.Stats(); st.Drops+st.Torn+st.Dups != 0 || st.Dials != 1 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+func TestDropKillsConnection(t *testing.T) {
+	dial, srv := pipeDialer()
+	n := New(Config{Seed: 2, DropProb: 1}, dial)
+	c, _ := n.Dial("x")
+	peer := <-srv
+	defer peer.Close()
+	if _, err := c.Write([]byte("doomed")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("write err = %v, want ErrInjectedDrop", err)
+	}
+	// The peer sees a clean close with zero bytes delivered.
+	if nr, err := peer.Read(make([]byte, 8)); nr != 0 || err == nil {
+		t.Fatalf("peer read = %d, %v; want 0, closed", nr, err)
+	}
+}
+
+func TestTornWriteDeliversStrictPrefix(t *testing.T) {
+	dial, srv := pipeDialer()
+	n := New(Config{Seed: 3, TornProb: 1}, dial)
+	c, _ := n.Dial("x")
+	peer := <-srv
+	defer peer.Close()
+	msg := []byte("0123456789")
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, len(msg))
+		nr, _ := io.ReadFull(peer, buf)
+		got <- buf[:nr]
+	}()
+	nw, err := c.Write(msg)
+	if !errors.Is(err, ErrInjectedTorn) {
+		t.Fatalf("write err = %v, want ErrInjectedTorn", err)
+	}
+	if nw <= 0 || nw >= len(msg) {
+		t.Fatalf("torn write delivered %d of %d bytes; want strict prefix", nw, len(msg))
+	}
+	b := <-got
+	if string(b) != string(msg[:nw]) {
+		t.Fatalf("peer got %q, want %q", b, msg[:nw])
+	}
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	dial, srv := pipeDialer()
+	n := New(Config{Seed: 4, DupProb: 1}, dial)
+	c, _ := n.Dial("x")
+	defer c.Close()
+	peer := <-srv
+	defer peer.Close()
+	go c.Write([]byte("ab"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(peer, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != "abab" {
+		t.Fatalf("peer got %q, want duplicated %q", buf, "abab")
+	}
+}
+
+func TestPartitionKillsAndRefuses(t *testing.T) {
+	dial, srv := pipeDialer()
+	n := New(Config{Seed: 5}, dial)
+	c, _ := n.Dial("x")
+	peer := <-srv
+	defer peer.Close()
+	n.Partition()
+	if _, err := peer.Read(make([]byte, 1)); err == nil {
+		t.Fatal("live conn survived partition")
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write succeeded across partition")
+	}
+	if _, err := n.Dial("x"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial err = %v, want ErrPartitioned", err)
+	}
+	n.Heal()
+	c2, err := n.Dial("x")
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c2.Close()
+	(<-srv).Close()
+	if st := n.Stats(); st.DialsRefused != 1 || st.Dials != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	run := func() []string {
+		dial, srv := pipeDialer()
+		go func() {
+			for peer := range srv {
+				go io.Copy(io.Discard, peer)
+			}
+		}()
+		n := New(Config{Seed: 42, DropProb: 0.3, TornProb: 0.3, DupProb: 0.3}, dial)
+		var seq []string
+		for i := 0; i < 32; i++ {
+			c, err := n.Dial("x")
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			_, err = c.Write([]byte("0123456789"))
+			switch {
+			case errors.Is(err, ErrInjectedDrop):
+				seq = append(seq, "drop")
+			case errors.Is(err, ErrInjectedTorn):
+				seq = append(seq, "torn")
+			case err == nil:
+				seq = append(seq, "ok")
+			default:
+				t.Fatalf("write: %v", err)
+			}
+			c.Close()
+		}
+		return seq
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+	var faults int
+	for _, s := range a {
+		if s != "ok" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("seed 42 injected no faults across 32 writes")
+	}
+}
+
+func TestDelayHoldsWrite(t *testing.T) {
+	dial, srv := pipeDialer()
+	n := New(Config{Seed: 6, DelayProb: 1, MaxDelay: 30 * time.Millisecond}, dial)
+	c, _ := n.Dial("x")
+	defer c.Close()
+	peer := <-srv
+	defer peer.Close()
+	go func() {
+		buf := make([]byte, 1)
+		io.ReadFull(peer, buf)
+	}()
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if time.Since(start) == 0 {
+		t.Fatal("no delay observed")
+	}
+	if st := n.Stats(); st.Delays == 0 {
+		t.Fatal("delay not counted")
+	}
+}

@@ -1,0 +1,262 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, _, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, dir
+}
+
+func TestReplStateTracksAppends(t *testing.T) {
+	s, _ := openTestStore(t)
+	st := s.ReplState()
+	if st.Base != 1 || st.Cur != 1 || st.Appended != HeaderSize || st.Durable != HeaderSize {
+		t.Fatalf("fresh state = %+v", st)
+	}
+	op := Op{T: OpSubmit, Task: 1, Records: []string{"a", "b", "c"}}
+	if err := s.Append(op); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	st = s.ReplState()
+	if st.Appended <= HeaderSize {
+		t.Fatalf("appended watermark did not move: %+v", st)
+	}
+	// SyncOff mode: everything appended is shippable.
+	if st.Durable != st.Appended {
+		t.Fatalf("SyncOff durable %d != appended %d", st.Durable, st.Appended)
+	}
+}
+
+func TestReplDurableLagsUntilSync(t *testing.T) {
+	s, _ := openTestStore(t)
+	s.SetSync(SyncGroup, 0)
+	// Pause the ticker race by reading immediately after an append; even if
+	// the ticker fires, the invariant Durable <= Appended must hold, and an
+	// explicit Sync must close the gap.
+	if err := s.Append(Op{T: OpSubmit, Task: 2, Records: []string{"a"}}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	st := s.ReplState()
+	if st.Durable > st.Appended {
+		t.Fatalf("durable %d > appended %d", st.Durable, st.Appended)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	st = s.ReplState()
+	if st.Durable != st.Appended {
+		t.Fatalf("after Sync durable %d != appended %d", st.Durable, st.Appended)
+	}
+}
+
+func TestReadWALChunkMirrorsFile(t *testing.T) {
+	s, dir := openTestStore(t)
+	for i := 0; i < 5; i++ {
+		if err := s.Append(Op{T: OpJoin, Worker: i + 1, Name: "w"}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := s.ReplState()
+	var mirror bytes.Buffer
+	off := int64(HeaderSize)
+	for off < st.Durable {
+		data, durable, cur, err := s.ReadWALChunk(st.Cur, off, 32)
+		if err != nil {
+			t.Fatalf("ReadWALChunk(%d): %v", off, err)
+		}
+		if cur != st.Cur || durable != st.Durable {
+			t.Fatalf("watermarks moved: %d/%d", cur, durable)
+		}
+		if len(data) == 0 {
+			t.Fatalf("empty chunk below durable at %d", off)
+		}
+		mirror.Write(data)
+		off += int64(len(data))
+	}
+	disk, err := os.ReadFile(filepath.Join(dir, WALName(st.Cur)))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(disk[HeaderSize:], mirror.Bytes()) {
+		t.Fatal("mirrored bytes differ from the wal file")
+	}
+	// Caught up: empty chunk, no error.
+	data, durable, _, err := s.ReadWALChunk(st.Cur, off, 32)
+	if err != nil || len(data) != 0 || durable != off {
+		t.Fatalf("caught-up read = (%d bytes, durable %d, %v)", len(data), durable, err)
+	}
+}
+
+func TestReadWALChunkResetSentinels(t *testing.T) {
+	s, _ := openTestStore(t)
+	if _, _, _, err := s.ReadWALChunk(99, HeaderSize, 64); !errors.Is(err, ErrReplReset) {
+		t.Fatalf("future gen: err = %v, want ErrReplReset", err)
+	}
+	if _, _, _, err := s.ReadWALChunk(1, 1<<30, 64); !errors.Is(err, ErrReplReset) {
+		t.Fatalf("offset past durable: err = %v, want ErrReplReset", err)
+	}
+	if _, _, _, err := s.ReadWALChunk(1, 0, 64); !errors.Is(err, ErrReplReset) {
+		t.Fatalf("offset inside header: err = %v, want ErrReplReset", err)
+	}
+	// Rotate + Commit retire generation 1; reading it must demand bootstrap.
+	gen, err := s.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := s.Commit(gen, []byte(`{"v":1}`), nil); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if _, _, _, err := s.ReadWALChunk(1, HeaderSize, 64); !errors.Is(err, ErrReplReset) {
+		t.Fatalf("compacted gen: err = %v, want ErrReplReset", err)
+	}
+}
+
+func TestReadWALChunkAcrossRotation(t *testing.T) {
+	s, _ := openTestStore(t)
+	if err := s.Append(Op{T: OpJoin, Worker: 1, Name: "w"}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	preSt := s.ReplState()
+	if _, err := s.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := s.Append(Op{T: OpJoin, Worker: 2, Name: "x"}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Old generation still readable until commit; durable = full file size.
+	data, durable, cur, err := s.ReadWALChunk(preSt.Cur, HeaderSize, 1<<20)
+	if err != nil {
+		t.Fatalf("ReadWALChunk(old gen): %v", err)
+	}
+	if cur != preSt.Cur+1 {
+		t.Fatalf("cur = %d, want %d", cur, preSt.Cur+1)
+	}
+	if int64(len(data))+HeaderSize != durable || durable != preSt.Appended {
+		t.Fatalf("old gen chunk %d bytes, durable %d, want %d", len(data), durable, preSt.Appended)
+	}
+}
+
+func TestRetainedChunkAndEpoch(t *testing.T) {
+	s, _ := openTestStore(t)
+	if err := s.AppendRetained([][]byte{[]byte("tally-1"), []byte("tally-2")}); err != nil {
+		t.Fatalf("AppendRetained: %v", err)
+	}
+	st := s.ReplState()
+	if st.RetainedSize <= HeaderSize || st.RetainedEpoch != 0 {
+		t.Fatalf("state = %+v", st)
+	}
+	data, size, epoch, err := s.ReadRetainedChunk(HeaderSize, 1<<20)
+	if err != nil {
+		t.Fatalf("ReadRetainedChunk: %v", err)
+	}
+	if int64(len(data))+HeaderSize != size || epoch != 0 {
+		t.Fatalf("chunk %d bytes, size %d, epoch %d", len(data), size, epoch)
+	}
+	if err := s.RewriteRetained([][]byte{[]byte("tally-2b")}); err != nil {
+		t.Fatalf("RewriteRetained: %v", err)
+	}
+	_, size2, epoch2, err := s.ReadRetainedChunk(HeaderSize, 1<<20)
+	if err != nil {
+		t.Fatalf("ReadRetainedChunk after rewrite: %v", err)
+	}
+	if epoch2 != 1 {
+		t.Fatalf("epoch = %d, want 1 after rewrite", epoch2)
+	}
+	if size2 >= size {
+		t.Fatalf("rewrite did not shrink: %d -> %d", size, size2)
+	}
+}
+
+func TestBootstrapDataRoundTrip(t *testing.T) {
+	s, dir := openTestStore(t)
+	if err := s.Append(Op{T: OpJoin, Worker: 1, Name: "w"}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := s.AppendRetained([][]byte{[]byte("tally")}); err != nil {
+		t.Fatalf("AppendRetained: %v", err)
+	}
+	gen, err := s.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	snap := []byte(`{"workers":[1]}`)
+	if err := s.Commit(gen, snap, nil); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := s.Append(Op{T: OpJoin, Worker: 2, Name: "x"}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	base, snapGot, retained, _, err := s.BootstrapData()
+	if err != nil {
+		t.Fatalf("BootstrapData: %v", err)
+	}
+	if base != gen || !bytes.Equal(snapGot, snap) {
+		t.Fatalf("base=%d snap=%q", base, snapGot)
+	}
+
+	// Materialize the bootstrap into a follower directory plus the current
+	// wal mirrored chunk-wise; Open there must recover the same ops as a
+	// fresh Open of the primary's own directory.
+	fdir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(fdir, RetainedName), retained, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(filepath.Join(fdir, SnapName(base)), snapGot); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteManifestFile(fdir, base); err != nil {
+		t.Fatal(err)
+	}
+	st := s.ReplState()
+	wal := []byte(MagicWAL)
+	for off := int64(HeaderSize); off < st.Durable; {
+		data, _, _, err := s.ReadWALChunk(st.Cur, off, 16)
+		if err != nil {
+			t.Fatalf("ReadWALChunk: %v", err)
+		}
+		wal = append(wal, data...)
+		off += int64(len(data))
+	}
+	if err := os.WriteFile(filepath.Join(fdir, WALName(base)), wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	p, prec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen primary: %v", err)
+	}
+	defer p.Close()
+	f, frec, err := Open(fdir)
+	if err != nil {
+		t.Fatalf("open follower: %v", err)
+	}
+	defer f.Close()
+	if !bytes.Equal(prec.Snapshot, frec.Snapshot) {
+		t.Fatal("snapshots differ")
+	}
+	if len(prec.Ops) != len(frec.Ops) {
+		t.Fatalf("ops %d != %d", len(prec.Ops), len(frec.Ops))
+	}
+	if len(prec.Retained) != len(frec.Retained) {
+		t.Fatalf("retained %d != %d", len(prec.Retained), len(frec.Retained))
+	}
+	if gm, err := ReadManifestGen(fdir); err != nil || gm != base {
+		t.Fatalf("ReadManifestGen = %d, %v", gm, err)
+	}
+}

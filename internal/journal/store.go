@@ -41,6 +41,15 @@ type Store struct {
 	err    error  // first write-path error since the last healing commit (see Err)
 	errGen uint64 // generation current when err was recorded
 
+	// Replication watermarks: bytes appended to / fsynced into the current
+	// wal (header included), the retained log's size, and a counter bumped
+	// by every RewriteRetained so a follower mirroring the retained log by
+	// offset can detect that the bytes under its feet were replaced.
+	walBytes  int64
+	walSynced int64
+	retBytes  int64
+	retEpoch  uint64
+
 	// Fsync policy (see SetSync). dirty marks appended-but-unsynced wal
 	// bytes in group mode; syncs counts wal fsyncs (observability + tests).
 	mode      SyncMode
@@ -156,6 +165,8 @@ func (s *Store) syncDirty() {
 	err := s.wal.Sync()
 	if err != nil {
 		s.failLocked(err)
+	} else {
+		s.walSynced = s.walBytes
 	}
 	s.mu.Unlock()
 	if err == nil {
@@ -302,6 +313,17 @@ func Open(dir string) (*Store, Recovered, error) {
 	if s.wal, err = os.OpenFile(s.path(WALName(s.cur)), os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
 		return nil, rec, err
 	}
+	// Recovery truncated any torn tail above, so what is on disk now is the
+	// durable prefix: both watermarks start at the file size.
+	if st, err := s.wal.Stat(); err == nil {
+		s.walBytes, s.walSynced = st.Size(), st.Size()
+	} else {
+		_ = s.wal.Close()
+		return nil, rec, err
+	}
+	if st, err := os.Stat(s.path(RetainedName)); err == nil {
+		s.retBytes = st.Size()
+	}
 	if s.ret, err = os.OpenFile(s.path(RetainedName), os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
 		// Best-effort: the open itself failed, so there is no store to
 		// record a sticky error against; the open error is what surfaces.
@@ -424,6 +446,7 @@ func (s *Store) Append(op Op) error {
 		err = AppendRecord(s.wal, payload)
 		if err == nil {
 			s.walOps++
+			s.walBytes += 8 + int64(len(payload))
 			switch s.mode {
 			case SyncCommit:
 				s.syncs++
@@ -432,6 +455,7 @@ func (s *Store) Append(op Op) error {
 				if err = s.wal.Sync(); err == nil {
 					lag = time.Since(t0).Seconds()
 					committed = true
+					s.walSynced = s.walBytes
 				}
 			case SyncGroup:
 				s.pendingOps++
@@ -463,6 +487,7 @@ func (s *Store) AppendRetained(payloads [][]byte) error {
 			return err
 		}
 		s.retRecords++
+		s.retBytes += 8 + int64(len(p))
 	}
 	if len(payloads) > 0 {
 		//clamshell:blocking-ok retained tallies must be durable before the commit's manifest rename
@@ -531,6 +556,10 @@ func (s *Store) RewriteRetained(payloads [][]byte) error {
 		return err
 	}
 	s.retRecords = len(payloads)
+	if st, serr := s.ret.Stat(); serr == nil {
+		s.retBytes = st.Size()
+	}
+	s.retEpoch++
 	return nil
 }
 
@@ -556,6 +585,7 @@ func (s *Store) Rotate() (uint64, error) {
 	prev := s.cur
 	s.cur = next
 	s.walOps = 0
+	s.walBytes, s.walSynced = headerLen, headerLen
 	// The old.Sync below makes any open group batch durable; fold it into
 	// the sketches rather than letting it straddle the generation swap.
 	if s.dirty {
@@ -635,6 +665,8 @@ func (s *Store) Sync() error {
 	err := s.wal.Sync()
 	if err != nil {
 		s.failLocked(err)
+	} else {
+		s.walSynced = s.walBytes
 	}
 	s.mu.Unlock()
 	if err == nil && wasDirty {
@@ -727,6 +759,187 @@ func (s *Store) failGenLocked(err error, gen uint64) {
 		s.err = err
 		s.errGen = gen
 	}
+}
+
+// HeaderSize is the byte length of every journal file's magic header; a
+// replication mirror of a journal file starts appending at this offset.
+const HeaderSize = headerLen
+
+// ErrReplReset reports that a follower's replication position no longer
+// maps onto this store — the generation was compacted away, the offset is
+// past the durable prefix (a primary restart truncated a torn tail), or
+// the follower is otherwise out of sync. The only recovery is a fresh
+// bootstrap of the shard from BootstrapData.
+var ErrReplReset = errors.New("journal: replication position invalid; bootstrap required")
+
+// ReplState is a snapshot of the store's replication watermarks.
+type ReplState struct {
+	Base          uint64 // committed (manifest) generation
+	Cur           uint64 // generation receiving appends
+	Durable       int64  // fsynced bytes of wal-<Cur> (all bytes in SyncOff mode)
+	Appended      int64  // appended bytes of wal-<Cur>
+	RetainedSize  int64  // retained.log size in bytes
+	RetainedEpoch uint64 // bumped by every RewriteRetained
+}
+
+// durableLocked returns the shippable byte watermark of the current wal.
+// SyncOff mode never fsyncs per-op, so replication ships everything
+// appended (the mode is explicitly non-durable); otherwise only fsynced
+// bytes ship, which is what lets a follower's pull double as an ack that
+// the shipped prefix is durable on both sides.
+func (s *Store) durableLocked() int64 {
+	if s.mode == SyncOff {
+		return s.walBytes
+	}
+	return s.walSynced
+}
+
+// ReplState returns the store's current replication watermarks.
+func (s *Store) ReplState() ReplState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ReplState{
+		Base:          s.gen,
+		Cur:           s.cur,
+		Durable:       s.durableLocked(),
+		Appended:      s.walBytes,
+		RetainedSize:  s.retBytes,
+		RetainedEpoch: s.retEpoch,
+	}
+}
+
+// ReadWALChunk reads up to max bytes of wal-<gen> starting at byte offset
+// off, returning the chunk, the generation's shippable limit, and the
+// current generation. An empty chunk with durable == off means the reader
+// is caught up on this generation (and should advance when gen < cur).
+// ErrReplReset means the position cannot be served and the follower must
+// bootstrap the shard afresh.
+//
+// WAL files are append-only while the store is open — bytes below the
+// durable watermark never change, and superseded generations are deleted
+// whole — so the file read happens outside the store lock.
+func (s *Store) ReadWALChunk(gen uint64, off int64, max int) (data []byte, durable int64, cur uint64, err error) {
+	s.mu.Lock()
+	base := s.gen
+	cur = s.cur
+	curDurable := s.durableLocked()
+	s.mu.Unlock()
+	if gen < base || gen > cur || off < headerLen {
+		return nil, 0, cur, ErrReplReset
+	}
+	if gen == cur {
+		durable = curDurable
+	} else {
+		st, serr := os.Stat(s.path(WALName(gen)))
+		if serr != nil {
+			// Deleted by a racing Commit: the generation is compacted away.
+			return nil, 0, cur, ErrReplReset
+		}
+		durable = st.Size()
+	}
+	if off > durable {
+		return nil, 0, cur, ErrReplReset
+	}
+	if off == durable || max <= 0 {
+		return nil, durable, cur, nil
+	}
+	n := durable - off
+	if int64(max) < n {
+		n = int64(max)
+	}
+	f, err := os.Open(s.path(WALName(gen)))
+	if err != nil {
+		return nil, 0, cur, ErrReplReset
+	}
+	defer f.Close()
+	data = make([]byte, n)
+	if _, err := f.ReadAt(data, off); err != nil {
+		return nil, 0, cur, ErrReplReset
+	}
+	return data, durable, cur, nil
+}
+
+// ReadRetainedChunk reads up to max bytes of the retained log at byte
+// offset off. It returns the log's current size and rewrite epoch; when
+// the caller's epoch does not match, the bytes it mirrored are stale
+// (RewriteRetained replaced the file) and it must restart the retained
+// mirror from HeaderSize. The read runs under the store lock so it cannot
+// race the rewrite's rename swap.
+func (s *Store) ReadRetainedChunk(off int64, max int) (data []byte, size int64, epoch uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size, epoch = s.retBytes, s.retEpoch
+	if off < headerLen || off >= size || max <= 0 {
+		return nil, size, epoch, nil
+	}
+	n := size - off
+	if int64(max) < n {
+		n = int64(max)
+	}
+	f, ferr := os.Open(s.path(RetainedName))
+	if ferr != nil {
+		return nil, size, epoch, ferr
+	}
+	defer f.Close()
+	data = make([]byte, n)
+	if _, rerr := f.ReadAt(data, off); rerr != nil {
+		return nil, size, epoch, rerr
+	}
+	return data, size, epoch, nil
+}
+
+// BootstrapData captures a consistent bootstrap image for a follower: the
+// committed base generation, its snapshot bytes (nil when nothing was ever
+// committed), and the whole retained log with its epoch. It runs under the
+// store lock, which serializes it against Commit's manifest move and
+// generation sweep, so the three pieces always agree. After applying it,
+// the follower resumes WAL mirroring at generation base, offset
+// HeaderSize.
+func (s *Store) BootstrapData() (base uint64, snapshot, retained []byte, epoch uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base = s.gen
+	snapshot, err = os.ReadFile(s.path(SnapName(base)))
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			return 0, nil, nil, 0, err
+		}
+		snapshot = nil
+	}
+	retained, err = os.ReadFile(s.path(RetainedName))
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	return base, snapshot, retained, s.retEpoch, nil
+}
+
+// WriteManifestFile writes a shard MANIFEST committing generation gen into
+// dir. It is exported for the replication follower, which materializes a
+// bootstrap image into an on-disk layout that Open recovers identically to
+// the primary's own directory.
+func WriteManifestFile(dir string, gen uint64) error {
+	data, err := json.Marshal(manifest{Version: manifestVersion, Gen: gen})
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(filepath.Join(dir, ManifestName), data)
+}
+
+// ReadManifestGen returns the generation committed by dir's MANIFEST, or 0
+// with os.ErrNotExist when none was ever written.
+func ReadManifestGen(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return 0, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, fmt.Errorf("journal: decoding manifest: %w", err)
+	}
+	if m.Version != manifestVersion || m.Gen < 1 {
+		return 0, fmt.Errorf("journal: bad manifest (version %d, gen %d)", m.Version, m.Gen)
+	}
+	return m.Gen, nil
 }
 
 // WriteFileAtomic replaces path with data via temp file + fsync + rename,

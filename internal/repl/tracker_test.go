@@ -1,0 +1,57 @@
+package repl
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTrackerObserveWait(t *testing.T) {
+	tr := NewTracker(2)
+	if tr.Attached() {
+		t.Fatal("fresh tracker reports attached")
+	}
+	if tr.Wait([]Position{{Gen: 1, Off: 8}, {Gen: 1, Off: 8}}, 10*time.Millisecond) {
+		t.Fatal("Wait succeeded with no follower")
+	}
+
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tr.Observe(0, Position{Gen: 1, Off: 64}, now)
+	if !tr.Attached() {
+		t.Fatal("tracker not attached after an observation")
+	}
+	if got, ok := tr.LastPull(); !ok || !got.Equal(now) {
+		t.Fatalf("LastPull = %v, %v", got, ok)
+	}
+
+	// One shard behind: the barrier must time out.
+	if tr.Wait([]Position{{Gen: 1, Off: 64}, {Gen: 1, Off: 8}}, 10*time.Millisecond) {
+		t.Fatal("Wait succeeded with shard 1 unobserved")
+	}
+
+	// A concurrent pull releases the waiter.
+	done := make(chan bool, 1)
+	go func() {
+		done <- tr.Wait([]Position{{Gen: 1, Off: 64}, {Gen: 2, Off: 8}}, 5*time.Second)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	tr.Observe(1, Position{Gen: 2, Off: 8}, now.Add(time.Second))
+	if !<-done {
+		t.Fatal("Wait timed out despite the follower catching up")
+	}
+
+	// Positions are monotonic: a regressed pull offset (a follower
+	// re-bootstrapping) never rolls the durability frontier back.
+	tr.Observe(0, Position{Gen: 1, Off: 8}, now.Add(2*time.Second))
+	if pos := tr.Positions(); pos[0].Off != 64 {
+		t.Fatalf("position regressed to %+v", pos[0])
+	}
+	// A newer generation always advances, whatever the offset.
+	tr.Observe(0, Position{Gen: 3, Off: 8}, now.Add(3*time.Second))
+	if pos := tr.Positions(); pos[0].Gen != 3 || pos[0].Off != 8 {
+		t.Fatalf("generation advance not taken: %+v", pos[0])
+	}
+	// Satisfied targets return immediately.
+	if !tr.Wait([]Position{{Gen: 3, Off: 8}, {Gen: 2, Off: 8}}, time.Millisecond) {
+		t.Fatal("Wait failed on already-reached targets")
+	}
+}

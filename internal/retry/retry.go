@@ -1,0 +1,262 @@
+// Package retry is the fabric's shared remote-call discipline: capped
+// exponential backoff with deterministic jitter under an overall deadline,
+// plus a half-open circuit breaker. Every cross-node caller (the router's
+// remote shards, the replication follower, the worker drivers) goes
+// through one Policy so timeout behavior is uniform and testable — no
+// hand-rolled sleep loops scattered per call site.
+//
+// The package is dependency-free and clock-injectable: tests drive the
+// backoff schedule with a fake sleeper and the breaker with a fake clock.
+package retry
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrExhausted reports that a Policy gave up: attempts or deadline ran
+// out. The last attempt's error is wrapped alongside it.
+var ErrExhausted = errors.New("retry: attempts exhausted")
+
+// ErrStopped reports that the caller's stop channel closed mid-backoff.
+var ErrStopped = errors.New("retry: stopped")
+
+// Policy is a retry schedule: up to MaxAttempts tries (0 means unbounded)
+// within Deadline (0 means unbounded), sleeping Base, 2·Base, 4·Base ...
+// capped at Cap between tries. Jitter in [0,1] randomizes each sleep
+// downward by up to that fraction, decorrelating a thundering herd of
+// reconnecting clients; the jitter stream is seeded, so a seeded test
+// replays the exact schedule.
+type Policy struct {
+	MaxAttempts int
+	Deadline    time.Duration
+	Base        time.Duration
+	Cap         time.Duration
+	Jitter      float64
+	Seed        uint64
+
+	// Sleep and Now are test seams; nil selects the real clock.
+	Sleep func(d time.Duration, stop <-chan struct{}) bool
+	Now   func() time.Time
+}
+
+// DefaultPolicy is the fabric-wide remote-call schedule: a handful of
+// quick retries under a short deadline, so a blip heals invisibly and a
+// dead peer fails fast enough for the circuit breaker to take over.
+func DefaultPolicy() Policy {
+	return Policy{MaxAttempts: 4, Deadline: 3 * time.Second, Base: 10 * time.Millisecond, Cap: 500 * time.Millisecond, Jitter: 0.5}
+}
+
+// Permanent wraps err so Do stops retrying and returns it as-is.
+func Permanent(err error) error { return &permanentErr{err} }
+
+type permanentErr struct{ err error }
+
+func (p *permanentErr) Error() string { return p.err.Error() }
+func (p *permanentErr) Unwrap() error { return p.err }
+
+// Do calls f until it succeeds, returns a Permanent error, or the policy
+// is exhausted. stop (may be nil) aborts mid-backoff. The returned error
+// on exhaustion wraps both ErrExhausted and f's last error.
+func (p Policy) Do(stop <-chan struct{}, f func() error) error {
+	now := p.Now
+	if now == nil {
+		now = time.Now
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = realSleep
+	}
+	var deadline time.Time
+	if p.Deadline > 0 {
+		deadline = now().Add(p.Deadline)
+	}
+	rng := p.Seed
+	if rng == 0 {
+		rng = 0x9e3779b97f4a7c15
+	}
+	delay := p.Base
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		err := f()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentErr
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		lastErr = err
+		if p.MaxAttempts > 0 && attempt >= p.MaxAttempts {
+			return &exhaustedErr{lastErr}
+		}
+		d := delay
+		if p.Jitter > 0 {
+			rng = splitmix64(&rng)
+			frac := float64(rng>>11) / float64(1<<53) // [0,1)
+			d -= time.Duration(float64(d) * p.Jitter * frac)
+		}
+		if !deadline.IsZero() {
+			left := deadline.Sub(now())
+			if left <= 0 {
+				return &exhaustedErr{lastErr}
+			}
+			if d > left {
+				d = left
+			}
+		}
+		if !sleep(d, stop) {
+			return ErrStopped
+		}
+		if !deadline.IsZero() && !now().Before(deadline) {
+			return &exhaustedErr{lastErr}
+		}
+		delay *= 2
+		if p.Cap > 0 && delay > p.Cap {
+			delay = p.Cap
+		}
+	}
+}
+
+// exhaustedErr carries the last attempt's error under ErrExhausted.
+type exhaustedErr struct{ last error }
+
+func (e *exhaustedErr) Error() string { return ErrExhausted.Error() + ": " + e.last.Error() }
+func (e *exhaustedErr) Unwrap() error { return e.last }
+
+// Is reports ErrExhausted so callers can errors.Is against it while
+// errors.Is/As still reach the wrapped cause through Unwrap.
+func (e *exhaustedErr) Is(target error) bool { return target == ErrExhausted }
+
+func realSleep(d time.Duration, stop <-chan struct{}) bool {
+	if stop == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// splitmix64 advances the jitter stream (the same mixer the fabric's join
+// probe uses — cheap and deterministic).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	x := *state
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Breaker is a circuit breaker over one remote peer. Closed passes calls
+// through; Threshold consecutive failures open it, rejecting calls for
+// Cooldown; after the cooldown one probe call is allowed through
+// (half-open) — its outcome closes or re-opens the circuit. Allow/Report
+// are safe for concurrent use.
+type Breaker struct {
+	Threshold int           // consecutive failures to open (default 5)
+	Cooldown  time.Duration // open duration before a half-open probe (default 1s)
+	Now       func() time.Time
+
+	mu       chMutex
+	failures int
+	openedAt time.Time
+	open     bool
+	probing  bool
+}
+
+// ErrOpen reports a call rejected by an open circuit.
+var ErrOpen = errors.New("retry: circuit open")
+
+// chMutex is a tiny channel-based mutex so the breaker stays free of sync
+// imports (and trivially deadlock-diagnosable in tests).
+type chMutex struct{ ch chan struct{} }
+
+func (m *chMutex) lock() {
+	for {
+		if m.ch != nil {
+			m.ch <- struct{}{}
+			return
+		}
+		m.init()
+	}
+}
+
+func (m *chMutex) init() {
+	// Racing initializers allocate channels; exactly one wins via the
+	// compare below. The breaker is normally constructed before concurrent
+	// use, so this is belt-and-braces, not a hot path.
+	if m.ch == nil {
+		m.ch = make(chan struct{}, 1)
+	}
+}
+
+func (m *chMutex) unlock() { <-m.ch }
+
+// Allow reports whether a call may proceed now. A true return from a
+// half-open circuit claims the probe slot: exactly one caller probes.
+func (b *Breaker) Allow() bool {
+	now := b.Now
+	if now == nil {
+		now = time.Now
+	}
+	b.mu.lock()
+	defer b.mu.unlock()
+	if !b.open {
+		return true
+	}
+	cd := b.Cooldown
+	if cd <= 0 {
+		cd = time.Second
+	}
+	if b.probing || now().Sub(b.openedAt) < cd {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Report records a call outcome. Success closes the circuit; failure
+// re-opens it (or opens it once Threshold consecutive failures accrue).
+func (b *Breaker) Report(ok bool) {
+	now := b.Now
+	if now == nil {
+		now = time.Now
+	}
+	b.mu.lock()
+	defer b.mu.unlock()
+	if ok {
+		b.failures = 0
+		b.open = false
+		b.probing = false
+		return
+	}
+	b.failures++
+	thr := b.Threshold
+	if thr <= 0 {
+		thr = 5
+	}
+	if b.open || b.failures >= thr {
+		b.open = true
+		b.openedAt = now()
+		b.probing = false
+	}
+}
+
+// Open reports whether the circuit is currently open.
+func (b *Breaker) Open() bool {
+	b.mu.lock()
+	defer b.mu.unlock()
+	return b.open
+}

@@ -1,0 +1,192 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives Policy/Breaker deterministically: sleeps advance the
+// clock instead of blocking.
+type fakeClock struct {
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func (c *fakeClock) Now() time.Time { return c.now }
+
+func (c *fakeClock) Sleep(d time.Duration, stop <-chan struct{}) bool {
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+	return true
+}
+
+func testPolicy(c *fakeClock) Policy {
+	return Policy{
+		MaxAttempts: 5,
+		Deadline:    10 * time.Second,
+		Base:        10 * time.Millisecond,
+		Cap:         80 * time.Millisecond,
+		Seed:        42,
+		Sleep:       c.Sleep,
+		Now:         c.Now,
+	}
+}
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	c := &fakeClock{now: time.Unix(0, 0)}
+	p := testPolicy(c)
+	calls := 0
+	err := p.Do(nil, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if len(c.sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want 2 entries", c.sleeps)
+	}
+	// Jitter is zero here, so the schedule is exactly base, 2*base.
+	if c.sleeps[0] != 10*time.Millisecond || c.sleeps[1] != 20*time.Millisecond {
+		t.Fatalf("schedule = %v, want [10ms 20ms]", c.sleeps)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	c := &fakeClock{now: time.Unix(0, 0)}
+	p := testPolicy(c)
+	cause := errors.New("down")
+	err := p.Do(nil, func() error { return cause })
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want wrapped cause", err)
+	}
+	if len(c.sleeps) != 4 {
+		t.Fatalf("sleeps = %d, want 4 (5 attempts)", len(c.sleeps))
+	}
+}
+
+func TestDoCapsBackoff(t *testing.T) {
+	c := &fakeClock{now: time.Unix(0, 0)}
+	p := testPolicy(c)
+	p.MaxAttempts = 8
+	_ = p.Do(nil, func() error { return errors.New("down") })
+	// 10, 20, 40, 80, 80, 80, 80: cap holds after the fourth sleep.
+	last := c.sleeps[len(c.sleeps)-1]
+	if last != 80*time.Millisecond {
+		t.Fatalf("last sleep = %v, want cap 80ms", last)
+	}
+}
+
+func TestDoDeadline(t *testing.T) {
+	c := &fakeClock{now: time.Unix(0, 0)}
+	p := testPolicy(c)
+	p.MaxAttempts = 0 // unbounded attempts; deadline must stop it
+	p.Deadline = 35 * time.Millisecond
+	calls := 0
+	err := p.Do(nil, func() error { calls++; return errors.New("down") })
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if calls == 0 || calls > 4 {
+		t.Fatalf("calls = %d, want a small bounded number", calls)
+	}
+}
+
+func TestDoJitterDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		c := &fakeClock{now: time.Unix(0, 0)}
+		p := testPolicy(c)
+		p.Jitter = 0.5
+		_ = p.Do(nil, func() error { return errors.New("down") })
+		return c.sleeps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded jitter not deterministic: %v vs %v", a, b)
+		}
+		base := 10 * time.Millisecond << uint(i)
+		if base > 80*time.Millisecond {
+			base = 80 * time.Millisecond
+		}
+		if a[i] > base || a[i] < base/2 {
+			t.Fatalf("sleep %d = %v outside [%v,%v]", i, a[i], base/2, base)
+		}
+	}
+}
+
+func TestDoPermanentStops(t *testing.T) {
+	c := &fakeClock{now: time.Unix(0, 0)}
+	p := testPolicy(c)
+	cause := errors.New("bad request")
+	calls := 0
+	err := p.Do(nil, func() error { calls++; return Permanent(cause) })
+	if err != cause {
+		t.Fatalf("err = %v, want the permanent cause unwrapped", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestDoStop(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	p := Policy{MaxAttempts: 3, Base: time.Hour} // real sleeper must return early
+	err := p.Do(stop, func() error { return errors.New("down") })
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestBreakerOpensAndProbes(t *testing.T) {
+	c := &fakeClock{now: time.Unix(0, 0)}
+	b := &Breaker{Threshold: 3, Cooldown: time.Second, Now: c.Now}
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Report(false)
+	}
+	if !b.Open() {
+		t.Fatal("breaker did not open after threshold failures")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call inside cooldown")
+	}
+	c.now = c.now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe allowed")
+	}
+	b.Report(false) // probe failed: re-open
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed a call")
+	}
+	c.now = c.now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused second probe after cooldown")
+	}
+	b.Report(true) // probe succeeded: close
+	if b.Open() {
+		t.Fatal("breaker still open after successful probe")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a call")
+	}
+}

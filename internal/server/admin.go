@@ -18,6 +18,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":        true,
+		"role":      "primary",
 		"uptime_ms": uptime.Milliseconds(),
 	})
 }

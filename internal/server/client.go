@@ -186,6 +186,19 @@ func (c *Client) Restore(data []byte) error {
 	return nil
 }
 
+// Promote asks a journal-shipping follower to take over as primary. It
+// returns the number of shards recovered from the mirror.
+func (c *Client) Promote() (int, error) {
+	var resp struct {
+		OK     bool `json:"ok"`
+		Shards int  `json:"shards"`
+	}
+	if err := c.post("/api/promote", struct{}{}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Shards, nil
+}
+
 // Metricsz fetches the Prometheus-format metrics page from the historical
 // /api/metricsz alias.
 func (c *Client) Metricsz() (string, error) {

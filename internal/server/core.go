@@ -44,6 +44,9 @@ const (
 	FetchGoneRetired
 	// FetchNoWorker: the worker is not in the pool (HTTP 404).
 	FetchNoWorker
+	// FetchUnavailable: the worker's shard lives on a node the router
+	// cannot reach right now (HTTP 503); retry with backoff.
+	FetchUnavailable
 )
 
 // SubmitReply is the acknowledged half of a submission outcome.
@@ -70,6 +73,10 @@ var (
 	ErrNoTasksGiven    = errors.New("no tasks given")
 	ErrTaskNoRecords   = errors.New("task with no records")
 	ErrTaskBadFeatures = errors.New("task features do not match records")
+	// ErrUnavailable reports that the shard or node owning the entity is
+	// unreachable (a remote node down, its circuit open). The op did not
+	// run; callers retry with backoff.
+	ErrUnavailable = errors.New("shard unavailable")
 )
 
 // --- single-shard Core implementation ---

@@ -33,6 +33,16 @@ type JournalSnapshot struct {
 	RetainedRecords uint64          // records in the retained tally logs
 }
 
+// ReplSnapshot is the replication plane's contribution to the page
+// (present only on a primary with journal shipping configured).
+type ReplSnapshot struct {
+	FollowerAttached bool    // a follower has pulled at least once
+	LagMS            float64 // ms since the follower last matched the durable frontier
+	LagBytes         float64 // durable bytes the follower has not yet acknowledged
+	ShippedBytes     uint64  // total journal bytes shipped to followers
+	SyncDegraded     uint64  // mutating acks released by barrier timeout, not follower durability
+}
+
 // ShardMetrics is one shard's contribution to the fabric-wide page.
 type ShardMetrics struct {
 	Counters    Counters
@@ -66,6 +76,7 @@ type MetricsPage struct {
 	Obs         *Obs
 	Journal     *JournalSnapshot
 	Hybrid      *HybridSnapshot
+	Repl        *ReplSnapshot
 }
 
 // BuildMetricsPage merges per-shard metrics into one fabric-wide page:
@@ -249,5 +260,55 @@ func (p *MetricsPage) RenderPrometheus() []byte {
 			"Records in the retained tally logs (compaction bound trigger).", float64(j.RetainedRecords))
 	}
 
+	if rp := p.Repl; rp != nil {
+		attached := 0.0
+		if rp.FollowerAttached {
+			attached = 1
+		}
+		gauge("clamshell_repl_follower_attached",
+			"Whether a journal-shipping follower is currently attached.", attached)
+		gauge("clamshell_repl_lag_ms",
+			"Milliseconds since the follower last matched the primary's durable frontier.", rp.LagMS)
+		gauge("clamshell_repl_lag_bytes",
+			"Durable journal bytes not yet acknowledged by the follower.", rp.LagBytes)
+		header("clamshell_repl_shipped_bytes_total",
+			"Journal bytes shipped to followers.", "counter")
+		fmt.Fprintf(&b, "clamshell_repl_shipped_bytes_total %d\n", rp.ShippedBytes)
+		header("clamshell_repl_sync_degraded_total",
+			"Mutating acks released by barrier timeout instead of follower durability.", "counter")
+		fmt.Fprintf(&b, "clamshell_repl_sync_degraded_total %d\n", rp.SyncDegraded)
+	}
+
 	return []byte(b.String())
+}
+
+// FollowerMetrics is the journal-shipping follower's scrape surface. The
+// attachment and lag families mirror the primary's page (the same series
+// seen from the other end of the link); the pull counters are follower-only.
+type FollowerMetrics struct {
+	Attached    bool    // at least one pull has succeeded
+	LagMS       float64 // ms since the last completed pull
+	LagBytes    float64 // primary-reported durable bytes not yet mirrored
+	PulledBytes uint64  // journal payload bytes mirrored so far
+	Bootstraps  uint64  // full re-seeds from a primary snapshot
+}
+
+// Render appends the follower families to a metrics page under build.
+func (fm FollowerMetrics) Render(b *strings.Builder) {
+	header := func(name, help, typ string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	attached := 0
+	if fm.Attached {
+		attached = 1
+	}
+	fmt.Fprintf(b, "clamshell_repl_follower_attached %d\n", attached)
+	fmt.Fprintf(b, "clamshell_repl_lag_ms %g\n", fm.LagMS)
+	fmt.Fprintf(b, "clamshell_repl_lag_bytes %g\n", fm.LagBytes)
+	header("clamshell_repl_pulled_bytes_total",
+		"Journal bytes pulled from the primary into the local mirror.", "counter")
+	fmt.Fprintf(b, "clamshell_repl_pulled_bytes_total %d\n", fm.PulledBytes)
+	header("clamshell_repl_bootstraps_total",
+		"Full mirror re-seeds from a primary snapshot (initial attach, rotation, reset).", "counter")
+	fmt.Fprintf(b, "clamshell_repl_bootstraps_total %d\n", fm.Bootstraps)
 }

@@ -177,6 +177,11 @@ func handleCoreJoin(w http.ResponseWriter, r *http.Request, c Core) {
 		return
 	}
 	id := c.CoreJoin(name)
+	if id == 0 {
+		// A router with no reachable node admits nobody (see ErrUnavailable).
+		writeCoreErr(w, http.StatusServiceUnavailable, ErrUnavailable)
+		return
+	}
 	out := getBuf()
 	b := append(*out, `{"worker_id":`...)
 	b = strconv.AppendInt(b, int64(id), 10)
@@ -268,6 +273,8 @@ func handleCoreFetch(w http.ResponseWriter, r *http.Request, c Core) {
 		writeCoreErr(w, http.StatusGone, ErrNoMoreTasks)
 	case FetchNoWorker:
 		writeCoreErr(w, http.StatusNotFound, ErrUnknownWorker)
+	case FetchUnavailable:
+		writeCoreErr(w, http.StatusServiceUnavailable, ErrUnavailable)
 	default:
 		out := getBuf()
 		b := appendAssignment(*out, a)

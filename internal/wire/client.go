@@ -165,15 +165,25 @@ func (c *Client) roundTrip(req request) (reader, byte, error) {
 	if c.err != nil {
 		return reader{}, 0, c.err
 	}
-	var body []byte
+	c.sbuf = encodeRequest(c.sbuf[:0], req)
+	return c.roundTripRaw(c.sbuf)
+}
+
+// roundTripRaw sends one pre-encoded request body and returns the response
+// payload, handling the batch-of-one envelope on v2. Callers hold mu; body
+// may alias c.sbuf but not c.wbuf.
+func (c *Client) roundTripRaw(body []byte) (reader, byte, error) {
+	if c.err != nil {
+		return reader{}, 0, c.err
+	}
+	var resp []byte
 	if c.version >= Version2 {
 		// A single op rides a batch-of-one envelope: v2 connections carry
 		// exactly one payload format, so the server never has to guess.
-		c.sbuf = encodeRequest(c.sbuf[:0], req)
 		tag := c.nextTag
 		c.nextTag++
 		c.wbuf = binary.AppendUvarint(c.wbuf[:0], 1)
-		c.wbuf = appendSub(c.wbuf, tag, c.sbuf)
+		c.wbuf = appendSub(c.wbuf, tag, body)
 		payload, err := c.exchange()
 		if err != nil {
 			return reader{}, 0, err
@@ -189,16 +199,16 @@ func (c *Client) roundTrip(req request) (reader, byte, error) {
 		if !ok || rtag != tag || batch.n != 0 {
 			return reader{}, 0, c.poison(errDesync)
 		}
-		body = rbody
+		resp = rbody
 	} else {
-		c.wbuf = encodeRequest(c.wbuf[:0], req)
+		c.wbuf = append(c.wbuf[:0], body...)
 		payload, err := c.exchange()
 		if err != nil {
 			return reader{}, 0, err
 		}
-		body = payload
+		resp = payload
 	}
-	r := reader{b: body}
+	r := reader{b: resp}
 	status, err := r.byte()
 	if err != nil {
 		return r, 0, err
@@ -206,14 +216,49 @@ func (c *Client) roundTrip(req request) (reader, byte, error) {
 	return r, status, nil
 }
 
+// StatusError is an in-band non-OK response: the op that failed, the wire
+// status and the server's message, preserved as a typed error so remote
+// callers (the fabric router's remote shards) can map it back to the
+// core's dispositions instead of string-matching. Error renders the same
+// "op: message" text the historical plain errors carried.
+type StatusError struct {
+	Op     string
+	Status byte
+	Msg    string
+}
+
+func (e *StatusError) Error() string { return e.Op + ": " + e.Msg }
+
+// Unwrap exposes the canonical sentinel behind well-known statuses, so
+// errors.Is(err, ErrThrottled) and errors.Is(err, server.ErrUnavailable)
+// work across the wire.
+func (e *StatusError) Unwrap() error {
+	switch e.Status {
+	case stThrottled:
+		return ErrThrottled
+	case stUnavailable:
+		return server.ErrUnavailable
+	}
+	return nil
+}
+
+// Gone reports a retired-worker refusal (HTTP 410 equivalent).
+func (e *StatusError) Gone() bool { return e.Status == stGone }
+
+// NotFound reports an unknown-worker/task refusal (HTTP 404 equivalent).
+func (e *StatusError) NotFound() bool { return e.Status == stNotFound }
+
+// Unavailable reports a shard/node-down refusal (HTTP 503 equivalent).
+func (e *StatusError) Unavailable() bool { return e.Status == stUnavailable }
+
 // respError turns a non-OK response into a Go error named after the op.
 // Throttle refusals wrap ErrThrottled so callers can back off on
 // errors.Is rather than string matching.
 func respError(op string, status byte, r *reader) error {
 	if status == stThrottled {
-		return fmt.Errorf("%s: %w", op, ErrThrottled)
+		return &StatusError{Op: op, Status: status, Msg: ErrThrottled.Error()}
 	}
-	return fmt.Errorf("%s: %s", op, r.rest())
+	return &StatusError{Op: op, Status: status, Msg: r.rest()}
 }
 
 // Join admits a worker and returns its id.
@@ -326,6 +371,38 @@ func (c *Client) Result(taskID int) (server.TaskStatus, error) {
 		return server.TaskStatus{}, respError("result", status, &r)
 	}
 	return decodeTaskStatus(&r)
+}
+
+// ReplPull issues one journal-shipping pull (see ReplPullRequest). The
+// returned chunk's byte slices are owned by the caller.
+func (c *Client) ReplPull(req ReplPullRequest) (ReplChunk, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sbuf = encodeReplPull(c.sbuf[:0], req)
+	r, status, err := c.roundTripRaw(c.sbuf)
+	if err != nil {
+		return ReplChunk{}, err
+	}
+	if status != stOK {
+		return ReplChunk{}, respError("repl pull", status, &r)
+	}
+	return decodeReplChunk(&r)
+}
+
+// SnapshotJSON reads the node's full state snapshot — the same JSON the
+// HTTP /api/snapshot endpoint serves — over the wire connection.
+func (c *Client) SnapshotJSON() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sbuf = encodeSnapshotReq(c.sbuf[:0])
+	r, status, err := c.roundTripRaw(c.sbuf)
+	if err != nil {
+		return nil, err
+	}
+	if status != stOK {
+		return nil, respError("snapshot", status, &r)
+	}
+	return []byte(r.rest()), nil
 }
 
 // SubmitAndFetch coalesces the worker loop's natural op pair — submit the

@@ -34,12 +34,13 @@ const (
 
 // Response statuses, mirroring the HTTP shim's status mapping.
 const (
-	stOK         byte = iota // op-specific body follows
-	stNoWork                 // fetch only: keep waiting (HTTP 204)
-	stGone                   // retired worker (HTTP 410); message follows
-	stNotFound               // unknown worker/task (HTTP 404); message follows
-	stBadRequest             // malformed or invalid request (HTTP 400); message follows
-	stThrottled              // per-connection rate limit hit (HTTP 429); message follows
+	stOK          byte = iota // op-specific body follows
+	stNoWork                  // fetch only: keep waiting (HTTP 204)
+	stGone                    // retired worker (HTTP 410); message follows
+	stNotFound                // unknown worker/task (HTTP 404); message follows
+	stBadRequest              // malformed or invalid request (HTTP 400); message follows
+	stThrottled               // per-connection rate limit hit (HTTP 429); message follows
+	stUnavailable             // shard or node unavailable (HTTP 503); message follows
 )
 
 // Submit response flags.

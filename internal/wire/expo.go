@@ -1,0 +1,21 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// Client-side transport telemetry in the exposition format. Worker fleets,
+// the load generator and the replication follower all re-dial through
+// internal/retry when a connection poisons; this renders the shared
+// counter family so every client binary exposes (or logs) the same series.
+
+// WriteClientMetrics renders the wire client transport counters.
+func WriteClientMetrics(w io.Writer, reconnects uint64) {
+	header := func(name, help, typ string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	header("clamshell_wire_reconnects_total",
+		"Wire connections re-dialed after a poisoned or failed connection.", "counter")
+	fmt.Fprintf(w, "clamshell_wire_reconnects_total %d\n", reconnects)
+}

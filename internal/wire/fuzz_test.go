@@ -107,10 +107,10 @@ func FuzzBatchFrame(f *testing.F) {
 	one := binary.AppendUvarint(nil, 1)
 	one = appendSub(one, 42, encodeRequest(nil, request{op: opJoin, name: "bob"}))
 	f.Add(one)
-	f.Add(binary.AppendUvarint(nil, 0))                // empty batch
-	f.Add(binary.AppendUvarint(nil, MaxBatch+1))       // hostile count
-	f.Add(append(binary.AppendUvarint(nil, 1), 0, 5))  // sub-length past the end
-	f.Add(append(one[:len(one):len(one)], 0xAA))       // trailing garbage
+	f.Add(binary.AppendUvarint(nil, 0))               // empty batch
+	f.Add(binary.AppendUvarint(nil, MaxBatch+1))      // hostile count
+	f.Add(append(binary.AppendUvarint(nil, 1), 0, 5)) // sub-length past the end
+	f.Add(append(one[:len(one):len(one)], 0xAA))      // trailing garbage
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

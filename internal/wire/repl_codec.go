@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Control-plane opcodes, outside the worker-protocol range (1..7). They are
+// intercepted before rate limiting and per-op instrumentation: replication
+// pulls and snapshot reads are fabric infrastructure, not worker traffic,
+// and the observability plane's per-op arrays are sized for worker ops.
+const (
+	// opSnapshot reads the node's full state snapshot (the same JSON the
+	// HTTP /api/snapshot endpoint serves). The request is the bare opcode.
+	opSnapshot byte = 8
+	// opReplPull is the journal-shipping pull: the follower states how far
+	// it has durably mirrored each journal file and the primary answers
+	// with the next chunk (or a corrective action). Because the follower
+	// only ever asks for what it has fsynced, the request doubles as a
+	// durability ack — the primary's replication watermark is exactly the
+	// follower's last pull position.
+	opReplPull byte = 9
+)
+
+// ReplPullRequest is one follower pull: the shard being mirrored, the wal
+// generation and byte offset the follower has durably applied, the same
+// for the retained log (with the rewrite epoch it mirrored under), and the
+// maximum chunk size it wants back.
+type ReplPullRequest struct {
+	Shard    int
+	Gen      uint64
+	WALOff   int64
+	RetOff   int64
+	RetEpoch uint64
+	Max      int
+}
+
+// Replication chunk actions, ordered roughly by frequency.
+const (
+	// ReplIdle: the follower is fully caught up; nothing to ship.
+	ReplIdle byte = iota
+	// ReplWAL: Data holds wal-<Gen> bytes at the follower's WALOff.
+	ReplWAL
+	// ReplAdvance: wal-<Gen> is fully mirrored and a newer generation
+	// exists; the follower starts wal-<Gen+1> (writing the file header
+	// itself) and resumes at the header offset.
+	ReplAdvance
+	// ReplRetained: Data holds retained-log bytes at the follower's RetOff.
+	ReplRetained
+	// ReplRetReset: the primary rewrote the retained log (epoch moved); the
+	// follower truncates its mirror to the header and re-pulls.
+	ReplRetReset
+	// ReplBootstrap: the follower's position cannot be served incrementally
+	// (compacted generation, truncated tail, fresh follower). Data holds
+	// the committed snapshot for Gen (empty when none was ever committed),
+	// Data2 the complete retained log; the follower wipes the shard mirror,
+	// materializes these, and resumes wal-<Gen> at the header offset.
+	ReplBootstrap
+)
+
+// ReplChunk is the primary's answer to one pull.
+type ReplChunk struct {
+	Action   byte
+	Shards   int    // node shard count, for follower discovery
+	Gen      uint64 // generation the action refers to
+	Durable  int64  // shippable end of wal-<Gen> on the primary
+	Appended int64  // appended end of the current generation (lag visibility)
+	RetSize  int64  // retained log size on the primary
+	RetEpoch uint64 // retained rewrite epoch
+	Data     []byte // ReplWAL/ReplRetained chunk; ReplBootstrap snapshot
+	Data2    []byte // ReplBootstrap retained log
+}
+
+// appendInt64 and the reader counterparts extend the varint vocabulary to
+// the journal's byte offsets (always non-negative).
+func appendInt64(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, uint64(v))
+}
+
+func (r *reader) int64() (int64, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt64 {
+		return 0, errOverflow
+	}
+	return int64(v), nil
+}
+
+// bytes reads a length-prefixed byte chunk. The returned slice is a copy:
+// replication chunks outlive the connection's reusable response buffer
+// (the follower applies them to disk after the call returns).
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.i) {
+		return nil, errCount
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.i:r.i+int(n)])
+	r.i += int(n)
+	return out, nil
+}
+
+func appendBytes(b, data []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(data)))
+	return append(b, data...)
+}
+
+// encodeSnapshotReq encodes a snapshot read: the bare opcode.
+func encodeSnapshotReq(buf []byte) []byte {
+	return append(buf, opSnapshot)
+}
+
+// decodeSnapshotReq validates a snapshot read request payload.
+func decodeSnapshotReq(payload []byte) error {
+	if len(payload) != 1 || payload[0] != opSnapshot {
+		return errTrailing
+	}
+	return nil
+}
+
+// encodeReplPull appends a pull request's encoding to buf.
+func encodeReplPull(buf []byte, req ReplPullRequest) []byte {
+	buf = append(buf, opReplPull)
+	buf = appendUint(buf, req.Shard)
+	buf = binary.AppendUvarint(buf, req.Gen)
+	buf = appendInt64(buf, req.WALOff)
+	buf = appendInt64(buf, req.RetOff)
+	buf = binary.AppendUvarint(buf, req.RetEpoch)
+	return appendUint(buf, req.Max)
+}
+
+// decodeReplPull parses a pull request payload (opcode byte included).
+func decodeReplPull(payload []byte) (ReplPullRequest, error) {
+	var req ReplPullRequest
+	r := reader{b: payload}
+	op, err := r.byte()
+	if err != nil {
+		return req, err
+	}
+	if op != opReplPull {
+		return req, errBadOpcode
+	}
+	if req.Shard, err = r.uint(); err != nil {
+		return req, err
+	}
+	if req.Gen, err = r.uvarint(); err != nil {
+		return req, err
+	}
+	if req.WALOff, err = r.int64(); err != nil {
+		return req, err
+	}
+	if req.RetOff, err = r.int64(); err != nil {
+		return req, err
+	}
+	if req.RetEpoch, err = r.uvarint(); err != nil {
+		return req, err
+	}
+	if req.Max, err = r.uint(); err != nil {
+		return req, err
+	}
+	return req, r.done()
+}
+
+// appendReplChunk encodes a pull response: stOK + the chunk.
+func appendReplChunk(buf []byte, ch ReplChunk) []byte {
+	buf = append(buf, stOK, ch.Action)
+	buf = appendUint(buf, ch.Shards)
+	buf = binary.AppendUvarint(buf, ch.Gen)
+	buf = appendInt64(buf, ch.Durable)
+	buf = appendInt64(buf, ch.Appended)
+	buf = appendInt64(buf, ch.RetSize)
+	buf = binary.AppendUvarint(buf, ch.RetEpoch)
+	buf = appendBytes(buf, ch.Data)
+	return appendBytes(buf, ch.Data2)
+}
+
+// decodeReplChunk parses a pull response body (after the status byte).
+func decodeReplChunk(r *reader) (ReplChunk, error) {
+	var ch ReplChunk
+	var err error
+	if ch.Action, err = r.byte(); err != nil {
+		return ch, err
+	}
+	if ch.Action > ReplBootstrap {
+		return ch, fmt.Errorf("wire: unknown replication action %d", ch.Action)
+	}
+	if ch.Shards, err = r.uint(); err != nil {
+		return ch, err
+	}
+	if ch.Gen, err = r.uvarint(); err != nil {
+		return ch, err
+	}
+	if ch.Durable, err = r.int64(); err != nil {
+		return ch, err
+	}
+	if ch.Appended, err = r.int64(); err != nil {
+		return ch, err
+	}
+	if ch.RetSize, err = r.int64(); err != nil {
+		return ch, err
+	}
+	if ch.RetEpoch, err = r.uvarint(); err != nil {
+		return ch, err
+	}
+	if ch.Data, err = r.bytes(); err != nil {
+		return ch, err
+	}
+	if ch.Data2, err = r.bytes(); err != nil {
+		return ch, err
+	}
+	return ch, r.done()
+}

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestReplPullRoundTrip(t *testing.T) {
+	reqs := []ReplPullRequest{
+		{},
+		{Shard: 3, Gen: 7, WALOff: 8, RetOff: 8, RetEpoch: 2, Max: 1 << 16},
+		{Shard: 0, Gen: 1, WALOff: 1 << 40, RetOff: 99, Max: 1},
+	}
+	for _, req := range reqs {
+		enc := encodeReplPull(nil, req)
+		got, err := decodeReplPull(enc)
+		if err != nil {
+			t.Fatalf("decodeReplPull(%+v): %v", req, err)
+		}
+		if !reflect.DeepEqual(req, got) {
+			t.Fatalf("roundtrip %+v -> %+v", req, got)
+		}
+	}
+}
+
+func TestReplChunkRoundTrip(t *testing.T) {
+	chunks := []ReplChunk{
+		{Action: ReplIdle, Shards: 2, Gen: 1, Durable: 8, Appended: 8},
+		{Action: ReplWAL, Shards: 2, Gen: 3, Durable: 100, Appended: 120,
+			RetSize: 8, RetEpoch: 1, Data: []byte("wal bytes")},
+		{Action: ReplBootstrap, Shards: 4, Gen: 9,
+			Data: []byte(`{"snap":true}`), Data2: []byte("CLAMRET\x01tallies")},
+		{Action: ReplRetReset, RetEpoch: 5},
+	}
+	for _, ch := range chunks {
+		enc := appendReplChunk(nil, ch)
+		if enc[0] != stOK {
+			t.Fatalf("chunk encoding must lead with stOK")
+		}
+		r := reader{b: enc[1:]}
+		got, err := decodeReplChunk(&r)
+		if err != nil {
+			t.Fatalf("decodeReplChunk(%+v): %v", ch, err)
+		}
+		// Empty slices decode as empty (never nil-vs-empty drift in content).
+		if got.Action != ch.Action || got.Shards != ch.Shards || got.Gen != ch.Gen ||
+			got.Durable != ch.Durable || got.Appended != ch.Appended ||
+			got.RetSize != ch.RetSize || got.RetEpoch != ch.RetEpoch ||
+			!bytes.Equal(got.Data, ch.Data) || !bytes.Equal(got.Data2, ch.Data2) {
+			t.Fatalf("roundtrip %+v -> %+v", ch, got)
+		}
+	}
+}
+
+func TestSnapshotReqRoundTrip(t *testing.T) {
+	enc := encodeSnapshotReq(nil)
+	if err := decodeSnapshotReq(enc); err != nil {
+		t.Fatalf("decodeSnapshotReq: %v", err)
+	}
+	if err := decodeSnapshotReq(append(enc, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if err := decodeSnapshotReq(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+// FuzzReplCodec feeds arbitrary payloads to the replication codecs: no
+// input may panic or over-allocate, and whatever decodes must survive a
+// canonical re-encode round trip.
+func FuzzReplCodec(f *testing.F) {
+	f.Add(encodeReplPull(nil, ReplPullRequest{Shard: 1, Gen: 2, WALOff: 8, RetOff: 8, Max: 4096}))
+	f.Add(encodeSnapshotReq(nil))
+	f.Add(appendReplChunk(nil, ReplChunk{Action: ReplWAL, Shards: 2, Gen: 1, Data: []byte("x")}))
+	f.Add(appendReplChunk(nil, ReplChunk{Action: ReplBootstrap, Data: []byte("s"), Data2: []byte("r")}))
+	f.Add([]byte{opReplPull, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{opSnapshot})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := decodeReplPull(data); err == nil {
+			enc := encodeReplPull(nil, req)
+			req2, err := decodeReplPull(enc)
+			if err != nil || !reflect.DeepEqual(req, req2) {
+				t.Fatalf("pull roundtrip: %+v -> %+v (err=%v)", req, req2, err)
+			}
+		}
+		_ = decodeSnapshotReq(data)
+		r := reader{b: data}
+		if ch, err := decodeReplChunk(&r); err == nil {
+			enc := appendReplChunk(nil, ch)
+			r2 := reader{b: enc[1:]}
+			ch2, err := decodeReplChunk(&r2)
+			if err != nil || ch2.Action != ch.Action || !bytes.Equal(ch2.Data, ch.Data) {
+				t.Fatalf("chunk roundtrip: %+v -> %+v (err=%v)", ch, ch2, err)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sync"
 	"syscall"
 	"time"
 
@@ -17,6 +18,22 @@ import (
 // connects and sends nothing pins a server goroutine forever.
 const defaultHandshakeTimeout = 10 * time.Second
 
+// defaultDrainTimeout bounds how long Shutdown waits for in-flight
+// connection goroutines to finish their current frame before force-closing
+// them.
+const defaultDrainTimeout = 5 * time.Second
+
+// ReplSource serves journal-shipping pulls (opReplPull). The fabric
+// implements it; a core without it answers pulls with an in-band error.
+type ReplSource interface {
+	ReplRead(ReplPullRequest) (ReplChunk, error)
+}
+
+// SnapshotSource serves whole-node state snapshot reads (opSnapshot).
+type SnapshotSource interface {
+	SnapshotBytes() ([]byte, error)
+}
+
 // Server speaks the wire protocol over persistent connections, dispatching
 // every request to a transport-agnostic server.Core — the same core the
 // HTTP shim fronts, so the two transports cannot diverge. One goroutine
@@ -27,6 +44,8 @@ const defaultHandshakeTimeout = 10 * time.Second
 type Server struct {
 	core server.Core
 	obs  *server.Obs
+	repl ReplSource
+	snap SnapshotSource
 
 	// RateLimit caps each connection's served ops per second (a token
 	// bucket with a one-second burst). Zero means unlimited. Over-limit
@@ -39,16 +58,45 @@ type Server struct {
 	// the default). The deadline is cleared once the magic exchange
 	// completes.
 	HandshakeTimeout time.Duration
+
+	// Barrier, when set, runs after every frame that carried a mutating op
+	// (join, leave, enqueue, fetch, submit) and before its response is
+	// written. The fabric uses it for synchronous replication: the barrier
+	// blocks (bounded by its own timeout) until a follower has durably
+	// mirrored the ops the frame produced, so a wire-level ack implies the
+	// op survives a primary loss. Replication pulls, snapshots, heartbeats
+	// and result reads never trigger it — a follower's own pull stream must
+	// not wait on itself.
+	Barrier func()
+
+	// DrainTimeout bounds Shutdown's wait for per-connection goroutines to
+	// finish their in-flight frame (zero selects the default).
+	DrainTimeout time.Duration
+
+	// Connection registry for Shutdown: Serve-spawned and directly served
+	// connections alike register here so a listener close drains them
+	// instead of abandoning them mid-stream.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	active sync.WaitGroup
 }
 
 // NewServer returns a wire server over core (a *fabric.Fabric or a
 // standalone shard). If the core exposes an observability plane, per-op
 // service time and frame-decode time are recorded into it; cores without
-// one are served uninstrumented.
+// one are served uninstrumented. A core that exposes replication or
+// snapshot surfaces gets the corresponding control opcodes served.
 func NewServer(core server.Core) *Server {
-	s := &Server{core: core}
+	s := &Server{core: core, conns: make(map[net.Conn]struct{})}
 	if p, ok := core.(interface{ Obs() *server.Obs }); ok {
 		s.obs = p.Obs()
+	}
+	if p, ok := core.(ReplSource); ok {
+		s.repl = p
+	}
+	if p, ok := core.(SnapshotSource); ok {
+		s.snap = p
 	}
 	return s
 }
@@ -79,7 +127,10 @@ func transientAcceptErr(err error) bool {
 // Transient accept failures (fd exhaustion, aborted handshakes) are retried
 // with the same capped backoff net/http uses, so one recoverable error
 // cannot kill the listener; Serve returns only when the listener is closed
-// or permanently broken.
+// or permanently broken. Before returning it drains the connections it is
+// serving: each in-flight frame finishes and its response is flushed, then
+// the session closes — a listener close must not abandon a replication
+// follower mid-chunk with an unacknowledged send.
 func (s *Server) Serve(l net.Listener) error {
 	var delay time.Duration
 	for {
@@ -97,10 +148,53 @@ func (s *Server) Serve(l net.Listener) error {
 				time.Sleep(delay)
 				continue
 			}
+			s.Shutdown()
 			return err
 		}
 		delay = 0
 		go s.ServeConn(conn)
+	}
+}
+
+// Shutdown drains the server's active connections: new connections are
+// refused, blocked reads are woken so each serving goroutine finishes (and
+// flushes) the frame it is on, and after DrainTimeout any straggler is
+// force-closed. It is idempotent and safe to call concurrently with Serve.
+func (s *Server) Shutdown() {
+	s.connMu.Lock()
+	s.closed = true
+	open := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		open = append(open, c)
+	}
+	s.connMu.Unlock()
+	// Waking the read side is the drain: a goroutine blocked in readFrame
+	// returns immediately with a deadline error and exits its loop; one
+	// that is mid-handle finishes the handle, writes and flushes the
+	// response (the write side is untouched), then hits the expired
+	// deadline on its next read.
+	past := time.Now().Add(-time.Second)
+	for _, c := range open {
+		_ = c.SetReadDeadline(past)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.active.Wait()
+		close(done)
+	}()
+	timeout := s.DrainTimeout
+	if timeout <= 0 {
+		timeout = defaultDrainTimeout
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.connMu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
 	}
 }
 
@@ -137,6 +231,20 @@ func (cs *connState) allow(now time.Time) bool {
 //clamshell:hotpath
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.active.Add(1)
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		s.active.Done()
+	}()
 	br := bufio.NewReaderSize(conn, 8<<10)
 	bw := bufio.NewWriterSize(conn, 8<<10)
 	// A silent peer must not pin this goroutine: the preamble gets a read
@@ -195,7 +303,11 @@ func (s *Server) serveV1(br *bufio.Reader, bw *bufio.Writer, cs *connState) {
 			return
 		}
 		reqBuf = payload[:0:cap(payload)]
+		mut := len(payload) > 0 && mutatingOp(payload[0])
 		respBuf = s.serveRequest(payload, respBuf[:0], cs)
+		if mut && s.Barrier != nil {
+			s.Barrier()
+		}
 		if len(respBuf) > MaxFrame {
 			// The core produced a response too large to frame (e.g. an
 			// assignment whose records were enqueued over HTTP, which has no
@@ -233,6 +345,7 @@ func (s *Server) serveV2(br *bufio.Reader, bw *bufio.Writer, cs *connState) {
 			return
 		}
 		envBuf = binary.AppendUvarint(envBuf[:0], uint64(batch.n))
+		mut := false
 		for {
 			tag, body, ok, err := batch.next()
 			if err != nil {
@@ -241,6 +354,7 @@ func (s *Server) serveV2(br *bufio.Reader, bw *bufio.Writer, cs *connState) {
 			if !ok {
 				break
 			}
+			mut = mut || (len(body) > 0 && mutatingOp(body[0]))
 			subBuf = s.serveRequest(body, subBuf[:0], cs)
 			// Budget guard: a sub-response that would push the envelope past
 			// MaxFrame is replaced with an in-band error under its tag (same
@@ -251,6 +365,12 @@ func (s *Server) serveV2(br *bufio.Reader, bw *bufio.Writer, cs *connState) {
 				subBuf = appendError(subBuf[:0], stBadRequest, ErrTooLarge.Error())
 			}
 			envBuf = appendSub(envBuf, tag, subBuf)
+		}
+		if mut && s.Barrier != nil {
+			// One barrier per envelope, not per sub-op: the frame's ack (the
+			// response envelope) is withheld until every mutating op it
+			// carried is follower-durable.
+			s.Barrier()
 		}
 		if err := writeFrame(bw, envBuf); err != nil {
 			return
@@ -266,6 +386,13 @@ func (s *Server) serveV2(br *bufio.Reader, bw *bufio.Writer, cs *connState) {
 // v1 frame loop and the v2 sub-request loop, so both framings cannot
 // drift in semantics.
 func (s *Server) serveRequest(payload, respBuf []byte, cs *connState) []byte {
+	if len(payload) > 0 && payload[0] >= opSnapshot {
+		// Control-plane opcodes bypass rate limiting and per-op worker
+		// instrumentation (the obs arrays are sized for worker ops, and a
+		// throttled replication pull would slow recovery exactly when it
+		// matters most).
+		return s.serveControl(payload, respBuf)
+	}
 	if cs.rate > 0 && !cs.allow(time.Now()) {
 		if cs.stats != nil {
 			cs.stats.Throttled.Add(1)
@@ -317,12 +444,67 @@ func (s *Server) serveRequest(payload, respBuf []byte, cs *connState) []byte {
 	return respBuf
 }
 
+// mutatingOp reports whether an opcode can change shard state (and so
+// must be covered by the replication barrier before its ack goes out).
+func mutatingOp(op byte) bool {
+	switch op {
+	case opJoin, opLeave, opEnqueue, opFetch, opSubmit:
+		return true
+	}
+	return false
+}
+
+// serveControl dispatches the control-plane opcodes (replication pulls,
+// snapshot reads). It runs once per follower pull or operator read, far
+// off the worker hot path, and the fabric surfaces behind it marshal JSON
+// — hence the cold annotation.
+//
+//clamshell:coldpath
+func (s *Server) serveControl(payload, respBuf []byte) []byte {
+	switch payload[0] {
+	case opSnapshot:
+		if err := decodeSnapshotReq(payload); err != nil {
+			return appendError(respBuf, stBadRequest, err.Error())
+		}
+		if s.snap == nil {
+			return appendError(respBuf, stUnavailable, "wire: no snapshot source")
+		}
+		data, err := s.snap.SnapshotBytes()
+		if err != nil {
+			return appendError(respBuf, stBadRequest, err.Error())
+		}
+		respBuf = append(respBuf, stOK)
+		return append(respBuf, data...)
+	case opReplPull:
+		req, err := decodeReplPull(payload)
+		if err != nil {
+			return appendError(respBuf, stBadRequest, err.Error())
+		}
+		if s.repl == nil {
+			return appendError(respBuf, stUnavailable, "wire: no replication source")
+		}
+		ch, err := s.repl.ReplRead(req)
+		if err != nil {
+			return appendError(respBuf, stBadRequest, err.Error())
+		}
+		return appendReplChunk(respBuf, ch)
+	default:
+		return appendError(respBuf, stBadRequest, "wire: unknown opcode")
+	}
+}
+
 // handle dispatches one decoded request to the core and appends the
 // response encoding to buf.
 func (s *Server) handle(req request, buf []byte) []byte {
 	switch req.op {
 	case opJoin:
 		id := s.core.CoreJoin(req.name)
+		if id == 0 {
+			// A router with every downstream node unreachable admits nobody;
+			// in-band unavailability keeps the connection healthy for the
+			// retry (the node may be back by then).
+			return appendError(buf, stUnavailable, server.ErrUnavailable.Error())
+		}
 		buf = append(buf, stOK)
 		return appendUint(buf, id)
 	case opHeartbeat:
@@ -348,6 +530,8 @@ func (s *Server) handle(req request, buf []byte) []byte {
 			return appendError(buf, stGone, server.ErrNoMoreTasks.Error())
 		case server.FetchNoWorker:
 			return appendError(buf, stNotFound, server.ErrUnknownWorker.Error())
+		case server.FetchUnavailable:
+			return appendError(buf, stUnavailable, server.ErrUnavailable.Error())
 		default:
 			return appendAssignment(buf, a)
 		}
